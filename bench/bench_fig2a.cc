@@ -1,0 +1,39 @@
+// Figure 2(a): SkNN_b total time vs number of records n, for m in
+// {6, 12, 18}, with k = 5 and K = 512 bits.
+//
+// Paper result (6-core Xeon 3.07 GHz, serial): linear growth in n and m;
+// e.g. m = 6: 44.08 s at n = 2000 -> 87.91 s at n = 4000.
+// Expected shape here: time/(n*m) constant across the grid.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sknn;
+  using namespace sknn::bench;
+
+  const unsigned kKeyBits = 512;
+  const unsigned kK = 5;
+  const unsigned kL = 12;  // SkNN_b is independent of l (Section 5.1)
+  std::vector<std::size_t> ns =
+      PaperScale() ? std::vector<std::size_t>{2000, 4000, 6000, 8000, 10000}
+                   : std::vector<std::size_t>{250, 500, 1000};
+  std::vector<std::size_t> ms = {6, 12, 18};
+
+  PrintHeader("Figure 2(a)", "SkNN_b time vs n for m in {6,12,18}, k=5, K=512",
+              "paper: linear in n*m; m=6,n=2000 -> 44.08 s");
+  std::printf("%8s %4s %4s %12s %14s %12s\n", "n", "m", "k", "time_s",
+              "time_per_nm_ms", "traffic_KiB");
+  for (std::size_t m : ms) {
+    for (std::size_t n : ns) {
+      EngineSetup setup =
+          MakeEngine(n, m, kL, kKeyBits, /*threads=*/1, /*seed=*/n * 31 + m);
+      QueryResult result =
+          MustQuery(setup.engine->QueryBasic(setup.query, kK), "SkNN_b");
+      std::printf("%8zu %4zu %4u %12.2f %14.4f %12.1f\n", n, m, kK,
+                  result.cloud_seconds,
+                  1e3 * result.cloud_seconds / static_cast<double>(n * m),
+                  result.traffic.total_bytes() / 1024.0);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

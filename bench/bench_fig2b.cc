@@ -1,0 +1,57 @@
+// Figure 2(b): SkNN_b total time vs n for m in {6, 12, 18}, k = 5,
+// K = 1024 bits.
+//
+// Paper result: same linear shape as Figure 2(a) but ~7x slower — doubling
+// the Paillier modulus makes every modexp ~8x more expensive (cubic in
+// bit length on N^2-sized operands), slightly amortized by fixed costs.
+// Expected shape here: time_per_nm constant, and the per-(n*m) cost
+// ratio against Figure 2(a)'s K=512 run in the 6-8x band.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sknn;
+  using namespace sknn::bench;
+
+  const unsigned kK = 5;
+  const unsigned kL = 12;
+  std::vector<std::size_t> ns =
+      PaperScale() ? std::vector<std::size_t>{2000, 4000, 6000, 8000, 10000}
+                   : std::vector<std::size_t>{100, 200, 400};
+  std::vector<std::size_t> ms =
+      PaperScale() ? std::vector<std::size_t>{6, 12, 18}
+                   : std::vector<std::size_t>{6, 12};
+
+  PrintHeader("Figure 2(b)",
+              "SkNN_b time vs n for m in {6,12,18}, k=5, K=1024",
+              "paper: ~7x the K=512 cost of Fig 2(a)");
+  std::printf("%8s %4s %4s %12s %14s\n", "n", "m", "k", "time_s",
+              "time_per_nm_ms");
+
+  // Reference point at K=512 for the ratio column.
+  EngineSetup ref = MakeEngine(ns[0], ms[0], kL, 512, 1, 7);
+  QueryResult ref_result =
+      MustQuery(ref.engine->QueryBasic(ref.query, kK), "SkNN_b ref");
+  double ref_per_nm =
+      ref_result.cloud_seconds / static_cast<double>(ns[0] * ms[0]);
+
+  for (std::size_t m : ms) {
+    for (std::size_t n : ns) {
+      EngineSetup setup = MakeEngine(n, m, kL, 1024, 1, n * 37 + m);
+      QueryResult result =
+          MustQuery(setup.engine->QueryBasic(setup.query, kK), "SkNN_b");
+      std::printf("%8zu %4zu %4u %12.2f %14.4f\n", n, m, kK,
+                  result.cloud_seconds,
+                  1e3 * result.cloud_seconds / static_cast<double>(n * m));
+      std::fflush(stdout);
+    }
+  }
+  // Explicit K-doubling ratio at the first grid point for the summary line.
+  EngineSetup big = MakeEngine(ns[0], ms[0], kL, 1024, 1, 11);
+  QueryResult big_result =
+      MustQuery(big.engine->QueryBasic(big.query, kK), "SkNN_b");
+  double big_per_nm =
+      big_result.cloud_seconds / static_cast<double>(ns[0] * ms[0]);
+  std::printf("# measured K-doubling factor: %.1fx (paper: ~7x)\n",
+              big_per_nm / ref_per_nm);
+  return 0;
+}

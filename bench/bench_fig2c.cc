@@ -1,0 +1,39 @@
+// Figure 2(c): SkNN_b time vs k, for K in {512, 1024}, m = 6, n = 2000.
+//
+// Paper result: essentially FLAT in k — SSED dominates and is independent
+// of k (44.08 s -> 44.14 s for k = 5 -> 25 at K = 512).
+// Expected shape here: max/min ratio over the k sweep close to 1.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sknn;
+  using namespace sknn::bench;
+
+  const std::size_t kM = 6;
+  const unsigned kL = 12;
+  const std::size_t n = PaperScale() ? 2000 : 250;
+  std::vector<unsigned> ks = {5, 10, 15, 20, 25};
+  std::vector<unsigned> key_sizes = {512, 1024};
+
+  PrintHeader("Figure 2(c)", "SkNN_b time vs k for K in {512,1024}, m=6",
+              "paper: flat in k (44.08 s -> 44.14 s at K=512)");
+  std::printf("%6s %6s %4s %12s\n", "K", "n", "k", "time_s");
+  for (unsigned key_bits : key_sizes) {
+    std::size_t n_eff = (key_bits == 1024 && !PaperScale()) ? 100 : n;
+    // One engine per key size: the sweep varies only k.
+    EngineSetup setup = MakeEngine(n_eff, kM, kL, key_bits, 1, key_bits);
+    double min_t = 1e30, max_t = 0;
+    for (unsigned k : ks) {
+      QueryResult result =
+          MustQuery(setup.engine->QueryBasic(setup.query, k), "SkNN_b");
+      min_t = std::min(min_t, result.cloud_seconds);
+      max_t = std::max(max_t, result.cloud_seconds);
+      std::printf("%6u %6zu %4u %12.2f\n", key_bits, n_eff, k,
+                  result.cloud_seconds);
+      std::fflush(stdout);
+    }
+    std::printf("# K=%u flatness (max/min over k): %.2fx (paper: ~1.0x)\n",
+                key_bits, max_t / min_t);
+  }
+  return 0;
+}

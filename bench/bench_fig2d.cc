@@ -1,0 +1,42 @@
+// Figure 2(d): SkNN_m time vs k, for l in {6, 12}, n = 2000, m = 6,
+// K = 512 bits.
+//
+// Paper result: linear in k and in l. l=6: 11.93 -> 55.65 min for k=5 -> 25;
+// l=12: 20.68 -> 97.8 min. SMIN_n accounts for >= 69.7% of the cost,
+// growing with k.
+// Expected shape here: time/k roughly constant per l, time(l=12)/time(l=6)
+// close to 2, and the SMIN_n share dominant and growing with k.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sknn;
+  using namespace sknn::bench;
+
+  const std::size_t kM = 6;
+  const unsigned kKeyBits = 512;
+  const std::size_t n = PaperScale() ? 2000 : 32;
+  std::vector<unsigned> ks = PaperScale()
+                                 ? std::vector<unsigned>{5, 10, 15, 20, 25}
+                                 : std::vector<unsigned>{2, 6, 10};
+  std::vector<unsigned> ls = {6, 12};
+
+  PrintHeader("Figure 2(d)", "SkNN_m time vs k for l in {6,12}, n, m=6, K=512",
+              "paper: linear in k and l; SMIN_n >= 69.7% of cost");
+  std::printf("%4s %6s %4s %12s %12s %12s\n", "l", "n", "k", "time_s",
+              "time_per_k_s", "sminn_share");
+  for (unsigned l : ls) {
+    EngineSetup setup = MakeEngine(n, kM, l, kKeyBits, BenchThreads(),
+                                   /*seed=*/l * 1000);
+    for (unsigned k : ks) {
+      QueryResult result =
+          MustQuery(setup.engine->QueryMaxSecure(setup.query, k), "SkNN_m");
+      double share = result.breakdown.sminn_seconds /
+                     (result.cloud_seconds > 0 ? result.cloud_seconds : 1);
+      std::printf("%4u %6zu %4u %12.2f %12.3f %11.1f%%\n", l, n, k,
+                  result.cloud_seconds, result.cloud_seconds / k,
+                  100.0 * share);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

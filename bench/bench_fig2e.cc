@@ -1,0 +1,50 @@
+// Figure 2(e): SkNN_m time vs k, for l in {6, 12}, n = 2000, m = 6,
+// K = 1024 bits.
+//
+// Paper result: same linear-in-k shape as Figure 2(d), ~7x slower; e.g.
+// k = 10: 22.85 min (K=512) -> 157.17 min (K=1024).
+// Expected shape here: linear in k, and the measured K-doubling factor in
+// the 6-8x band against the same grid point at K=512.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sknn;
+  using namespace sknn::bench;
+
+  const std::size_t kM = 6;
+  const std::size_t n = PaperScale() ? 2000 : 24;
+  std::vector<unsigned> ks = PaperScale()
+                                 ? std::vector<unsigned>{5, 10, 15, 20, 25}
+                                 : std::vector<unsigned>{2, 4};
+  std::vector<unsigned> ls = PaperScale() ? std::vector<unsigned>{6, 12}
+                                          : std::vector<unsigned>{6};
+
+  PrintHeader("Figure 2(e)", "SkNN_m time vs k for l in {6,12}, m=6, K=1024",
+              "paper: ~7x the K=512 cost of Fig 2(d)");
+  std::printf("%4s %6s %6s %4s %12s %12s\n", "l", "K", "n", "k", "time_s",
+              "time_per_k_s");
+
+  double per_k_1024 = 0, per_k_512 = 0;
+  for (unsigned l : ls) {
+    EngineSetup setup =
+        MakeEngine(n, kM, l, 1024, BenchThreads(), /*seed=*/l * 2000);
+    for (unsigned k : ks) {
+      QueryResult result =
+          MustQuery(setup.engine->QueryMaxSecure(setup.query, k), "SkNN_m");
+      std::printf("%4u %6u %6zu %4u %12.2f %12.3f\n", l, 1024, n, k,
+                  result.cloud_seconds, result.cloud_seconds / k);
+      std::fflush(stdout);
+      if (l == ls[0] && k == ks[0]) per_k_1024 = result.cloud_seconds / k;
+    }
+  }
+  // Matching K=512 point for the doubling-factor summary.
+  EngineSetup ref = MakeEngine(n, kM, ls[0], 512, BenchThreads(), 4242);
+  QueryResult ref_result =
+      MustQuery(ref.engine->QueryMaxSecure(ref.query, ks[0]), "SkNN_m ref");
+  per_k_512 = ref_result.cloud_seconds / ks[0];
+  std::printf("%4u %6u %6zu %4u %12.2f %12.3f\n", ls[0], 512, n, ks[0],
+              ref_result.cloud_seconds, per_k_512);
+  std::printf("# measured K-doubling factor: %.1fx (paper: ~7x)\n",
+              per_k_1024 / per_k_512);
+  return 0;
+}

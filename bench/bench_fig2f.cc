@@ -1,0 +1,40 @@
+// Figure 2(f): SkNN_b vs SkNN_m over k, with n = 2000, m = 6, l = 6,
+// K = 512 bits.
+//
+// Paper result: SkNN_b flat at 0.73 min; SkNN_m grows 11.93 -> 55.65 min as
+// k goes 5 -> 25. The two never cross — the gap IS the price of hiding
+// distances and access patterns (the security/efficiency trade-off).
+// Expected shape here: basic flat, secure linear in k, secure >> basic at
+// every k.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sknn;
+  using namespace sknn::bench;
+
+  const std::size_t kM = 6;
+  const unsigned kL = 6;
+  const unsigned kKeyBits = 512;
+  const std::size_t n = PaperScale() ? 2000 : 32;
+  std::vector<unsigned> ks = PaperScale()
+                                 ? std::vector<unsigned>{5, 10, 15, 20, 25}
+                                 : std::vector<unsigned>{2, 6, 10};
+
+  PrintHeader("Figure 2(f)", "SkNN_b vs SkNN_m time over k; n, m=6, l=6, K=512",
+              "paper: basic flat at 0.73 min; secure 11.93->55.65 min");
+  std::printf("%6s %4s %14s %14s %10s\n", "n", "k", "basic_time_s",
+              "secure_time_s", "ratio");
+  EngineSetup setup = MakeEngine(n, kM, kL, kKeyBits, BenchThreads(), 5150);
+  for (unsigned k : ks) {
+    QueryResult basic =
+        MustQuery(setup.engine->QueryBasic(setup.query, k), "SkNN_b");
+    QueryResult secure =
+        MustQuery(setup.engine->QueryMaxSecure(setup.query, k), "SkNN_m");
+    std::printf("%6zu %4u %14.2f %14.2f %9.1fx\n", n, k, basic.cloud_seconds,
+                secure.cloud_seconds,
+                secure.cloud_seconds /
+                    (basic.cloud_seconds > 0 ? basic.cloud_seconds : 1e-9));
+    std::fflush(stdout);
+  }
+  return 0;
+}

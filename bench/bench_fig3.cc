@@ -1,0 +1,43 @@
+// Figure 3: serial vs parallel SkNN_b, m = 6, k = 5, K = 512 bits.
+//
+// Paper result (OpenMP on 6 cores): parallel ~6x faster — 215.59 s serial
+// vs 40 s parallel at n = 10000; per-record work is independent, so the
+// speedup tracks the core count.
+// Expected shape here: speedup approaching this host's hardware thread
+// count (reported in the header), constant across n.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sknn;
+  using namespace sknn::bench;
+
+  const std::size_t kM = 6;
+  const unsigned kK = 5;
+  const unsigned kL = 12;
+  const unsigned kKeyBits = 512;
+  std::vector<std::size_t> ns =
+      PaperScale() ? std::vector<std::size_t>{2000, 4000, 6000, 8000, 10000}
+                   : std::vector<std::size_t>{250, 500, 1000};
+
+  PrintHeader("Figure 3", "SkNN_b serial vs parallel over n; m=6, k=5, K=512",
+              "paper: ~6x speedup on 6 cores (215.59 s -> 40 s at n=10000)");
+  std::printf("%8s %14s %16s %10s\n", "n", "serial_time_s", "parallel_time_s",
+              "speedup");
+  for (std::size_t n : ns) {
+    EngineSetup serial = MakeEngine(n, kM, kL, kKeyBits, 1, n);
+    QueryResult serial_result =
+        MustQuery(serial.engine->QueryBasic(serial.query, kK), "serial");
+    EngineSetup parallel =
+        MakeEngine(n, kM, kL, kKeyBits, BenchThreads(), n + 1);
+    QueryResult parallel_result =
+        MustQuery(parallel.engine->QueryBasic(parallel.query, kK), "parallel");
+    std::printf("%8zu %14.2f %16.2f %9.2fx\n", n, serial_result.cloud_seconds,
+                parallel_result.cloud_seconds,
+                serial_result.cloud_seconds /
+                    (parallel_result.cloud_seconds > 0
+                         ? parallel_result.cloud_seconds
+                         : 1e-9));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Microbenchmarks of the cryptosystem and every sub-protocol of Section 3,
+// plus the Section 4.4 complexity accounting: the reported op counters let
+// the measured costs be checked against the paper's O(.) bounds
+// (SM/SBOR constant, SSED O(m), SBD O(l), SMIN O(l), SMIN_n O(l*n)).
+#include <benchmark/benchmark.h>
+
+#include "crypto/op_counters.h"
+#include "net/rpc.h"
+#include "proto/c2_service.h"
+#include "proto/sbd.h"
+#include "proto/sbor.h"
+#include "proto/sm.h"
+#include "proto/smin.h"
+#include "proto/ssed.h"
+
+namespace sknn {
+namespace {
+
+// Two-cloud topology shared by all protocol benchmarks of one key size.
+struct Harness {
+  explicit Harness(unsigned key_bits) {
+    Random rng(key_bits);
+    auto keys = GeneratePaillierKeyPair(key_bits, rng).value();
+    pk = keys.pk;
+    c2 = std::make_unique<C2Service>(std::move(keys.sk));
+    auto link = Channel::CreatePair();
+    server = std::make_unique<RpcServer>(
+        std::move(link.b),
+        [this](const Message& req) { return c2->Handle(req); }, 1);
+    client = std::make_unique<RpcClient>(std::move(link.a));
+    ctx = std::make_unique<ProtoContext>(&pk, client.get(), nullptr);
+  }
+
+  std::vector<Ciphertext> EncryptBits(uint64_t value, unsigned l) {
+    Random& rng = Random::ThreadLocal();
+    std::vector<Ciphertext> out(l);
+    for (unsigned i = 0; i < l; ++i) {
+      out[i] = pk.Encrypt(BigInt((value >> (l - 1 - i)) & 1), rng);
+    }
+    return out;
+  }
+
+  PaillierPublicKey pk;
+  std::unique_ptr<C2Service> c2;
+  std::unique_ptr<RpcServer> server;
+  std::unique_ptr<RpcClient> client;
+  std::unique_ptr<ProtoContext> ctx;
+};
+
+Harness& SharedHarness(unsigned key_bits) {
+  static auto* h512 = new Harness(512);
+  static auto* h1024 = new Harness(1024);
+  return key_bits == 512 ? *h512 : *h1024;
+}
+
+void ReportOps(benchmark::State& state, const OpSnapshot& before) {
+  OpSnapshot delta = OpCounters::Snapshot() - before;
+  double iters = static_cast<double>(state.iterations());
+  state.counters["enc"] = static_cast<double>(delta.encryptions) / iters;
+  state.counters["dec"] = static_cast<double>(delta.decryptions) / iters;
+  state.counters["exp"] = static_cast<double>(delta.exponentiations) / iters;
+}
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
+  Random rng(7);
+  BigInt m = rng.Below(h.pk.n());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.pk.Encrypt(m, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->ArgName("K")->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
+  Random rng(8);
+  Ciphertext c = h.pk.Encrypt(rng.Below(h.pk.n()), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.c2->secret_key().Decrypt(c));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->ArgName("K")->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SecureMultiply(benchmark::State& state) {
+  Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
+  Random rng(9);
+  Ciphertext a = h.pk.Encrypt(BigInt(123), rng);
+  Ciphertext b = h.pk.Encrypt(BigInt(456), rng);
+  OpSnapshot before = OpCounters::Snapshot();
+  for (auto _ : state) {
+    auto r = SecureMultiply(*h.ctx, a, b);
+    if (!r.ok()) state.SkipWithError("SM failed");
+  }
+  ReportOps(state, before);
+  state.SetLabel("paper 4.4: O(1) enc+exp per SM");
+}
+BENCHMARK(BM_SecureMultiply)->ArgName("K")->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ssed(benchmark::State& state) {
+  Harness& h = SharedHarness(512);
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Random rng(10);
+  std::vector<Ciphertext> x, y;
+  for (std::size_t j = 0; j < m; ++j) {
+    x.push_back(h.pk.Encrypt(BigInt(static_cast<int64_t>(j)), rng));
+    y.push_back(h.pk.Encrypt(BigInt(static_cast<int64_t>(2 * j)), rng));
+  }
+  OpSnapshot before = OpCounters::Snapshot();
+  for (auto _ : state) {
+    auto r = SecureSquaredDistance(*h.ctx, x, y);
+    if (!r.ok()) state.SkipWithError("SSED failed");
+  }
+  ReportOps(state, before);
+  state.SetLabel("paper 4.4: O(m) enc+exp per SSED");
+}
+BENCHMARK(BM_Ssed)->ArgName("m")->Arg(6)->Arg(12)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sbd(benchmark::State& state) {
+  Harness& h = SharedHarness(512);
+  const unsigned l = static_cast<unsigned>(state.range(0));
+  Random rng(11);
+  Ciphertext z = h.pk.Encrypt(BigInt(37), rng);
+  SbdOptions opts;
+  opts.l = l;
+  OpSnapshot before = OpCounters::Snapshot();
+  for (auto _ : state) {
+    auto r = BitDecompose(*h.ctx, z, opts);
+    if (!r.ok()) state.SkipWithError("SBD failed");
+  }
+  ReportOps(state, before);
+  state.SetLabel("paper 4.4: O(l) enc+exp per SBD");
+}
+BENCHMARK(BM_Sbd)->ArgName("l")->Arg(6)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Smin(benchmark::State& state) {
+  Harness& h = SharedHarness(512);
+  const unsigned l = static_cast<unsigned>(state.range(0));
+  auto u = h.EncryptBits(21 % (1u << l), l);
+  auto v = h.EncryptBits(13 % (1u << l), l);
+  OpSnapshot before = OpCounters::Snapshot();
+  for (auto _ : state) {
+    auto r = SecureMin(*h.ctx, u, v);
+    if (!r.ok()) state.SkipWithError("SMIN failed");
+  }
+  ReportOps(state, before);
+  state.SetLabel("paper 4.4: O(l) enc+exp per SMIN");
+}
+BENCHMARK(BM_Smin)->ArgName("l")->Arg(6)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SminN(benchmark::State& state) {
+  Harness& h = SharedHarness(512);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const unsigned l = 6;
+  std::vector<std::vector<Ciphertext>> ds;
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.push_back(h.EncryptBits(i % (1u << l), l));
+  }
+  OpSnapshot before = OpCounters::Snapshot();
+  for (auto _ : state) {
+    auto r = SecureMinN(*h.ctx, ds);
+    if (!r.ok()) state.SkipWithError("SMIN_n failed");
+  }
+  ReportOps(state, before);
+  state.SetLabel("paper 4.4: O(l*n) enc+exp per SMIN_n (n-1 SMINs)");
+}
+BENCHMARK(BM_SminN)->ArgName("n")->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sbor(benchmark::State& state) {
+  Harness& h = SharedHarness(512);
+  Random rng(12);
+  Ciphertext a = h.pk.Encrypt(BigInt(1), rng);
+  Ciphertext b = h.pk.Encrypt(BigInt(0), rng);
+  OpSnapshot before = OpCounters::Snapshot();
+  for (auto _ : state) {
+    auto r = SecureBitOr(*h.ctx, a, b);
+    if (!r.ok()) state.SkipWithError("SBOR failed");
+  }
+  ReportOps(state, before);
+  state.SetLabel("paper 4.4: O(1) — one SM plus homomorphic ops");
+}
+BENCHMARK(BM_Sbor)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sknn
+
+BENCHMARK_MAIN();

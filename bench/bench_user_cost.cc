@@ -1,0 +1,75 @@
+// Section 5.2, end-user cost: "for m = 6, Bob's computation costs are 4 and
+// 17 milliseconds when K is 512 and 1024 bits respectively" — the
+// lightweight-client claim (query encryption dominates Bob's work).
+//
+// google-benchmark microbenchmark of Bob's two operations: encrypting the
+// query record, and unmasking the k result records.
+#include <benchmark/benchmark.h>
+
+#include "core/query_client.h"
+#include "crypto/paillier.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace {
+
+const PaillierPublicKey& SharedKey(unsigned bits) {
+  static auto* keys512 = new PaillierKeyPair(
+      GeneratePaillierKeyPair(512).value());
+  static auto* keys1024 = new PaillierKeyPair(
+      GeneratePaillierKeyPair(1024).value());
+  return bits == 512 ? keys512->pk : keys1024->pk;
+}
+
+void BM_BobEncryptQuery(benchmark::State& state) {
+  const unsigned key_bits = static_cast<unsigned>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  QueryClient bob(SharedKey(key_bits));
+  PlainRecord query = GenerateUniformQuery(m, 100, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bob.EncryptQuery(query));
+  }
+  state.SetLabel("paper: m=6 -> 4 ms (K=512), 17 ms (K=1024)");
+}
+BENCHMARK(BM_BobEncryptQuery)
+    ->ArgNames({"K", "m"})
+    ->Args({512, 6})
+    ->Args({512, 12})
+    ->Args({512, 18})
+    ->Args({1024, 6})
+    ->Args({1024, 12})
+    ->Args({1024, 18})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BobUnmaskResult(benchmark::State& state) {
+  const unsigned key_bits = static_cast<unsigned>(state.range(0));
+  const unsigned k = static_cast<unsigned>(state.range(1));
+  const std::size_t m = 6;
+  const PaillierPublicKey& pk = SharedKey(key_bits);
+  QueryClient bob(pk);
+  Random rng(2);
+  std::vector<BigInt> masked, masks;
+  for (std::size_t i = 0; i < k * m; ++i) {
+    masks.push_back(rng.Below(pk.n()));
+    masked.push_back(BigInt(static_cast<int64_t>(i % 97))
+                         .AddMod(masks.back(), pk.n()));
+  }
+  for (auto _ : state) {
+    auto result = bob.RecoverRecords(masked, masks, k, m);
+    if (!result.ok()) state.SkipWithError("recover failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("k*m modular subtractions; negligible vs encryption");
+}
+BENCHMARK(BM_BobUnmaskResult)
+    ->ArgNames({"K", "k"})
+    ->Args({512, 5})
+    ->Args({512, 25})
+    ->Args({1024, 5})
+    ->Args({1024, 25})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sknn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Shared utilities for the figure-reproduction harnesses.
+//
+// Every bench binary prints the same series the corresponding paper figure
+// plots, one row per parameter point. Two grids exist per figure:
+//   * default ("smoke"): a scaled-down grid that finishes in minutes on a
+//     laptop and still exhibits the paper's shape (linearity, flatness,
+//     ratios);
+//   * SKNN_BENCH_SCALE=paper: the paper's exact grid (n up to 10000,
+//     K up to 1024) — hours of wall clock, matching Section 5's setup.
+// EXPERIMENTS.md records measured-vs-paper series for the default grid.
+#ifndef SKNN_BENCH_BENCH_UTIL_H_
+#define SKNN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace bench {
+
+inline bool PaperScale() {
+  const char* env = std::getenv("SKNN_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "paper") == 0;
+}
+
+/// \brief Threads used by the parallel variants (the paper's machine had 6
+/// cores; we use what the host offers).
+inline std::size_t BenchThreads() {
+  return ThreadPool::HardwareConcurrency();
+}
+
+struct EngineSetup {
+  std::unique_ptr<SknnEngine> engine;
+  PlainRecord query;
+  double setup_seconds = 0;
+};
+
+/// \brief Builds a uniform synthetic database whose squared distances fit
+/// in `l` bits (the paper's parameterization) and the matching engine.
+inline EngineSetup MakeEngine(std::size_t n, std::size_t m, unsigned l,
+                              unsigned key_bits, std::size_t threads,
+                              uint64_t seed) {
+  int64_t max_value = MaxValueForDistanceBits(m, l);
+  PlainTable table = GenerateUniformTable(n, m, max_value, seed);
+  PlainRecord query = GenerateUniformQuery(m, max_value, seed + 1);
+  SknnEngine::Options opts;
+  opts.key_bits = key_bits;
+  opts.attr_bits = BitsForMaxValue(max_value);
+  opts.c1_threads = threads;
+  opts.c2_threads = threads;
+  Stopwatch sw;
+  auto engine = SknnEngine::Create(table, opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine setup failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  return {std::move(engine).value(), std::move(query), sw.ElapsedSeconds()};
+}
+
+/// \brief Dies with a message if a query failed.
+inline QueryResult MustQuery(Result<QueryResult> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+inline void PrintHeader(const char* figure, const char* paper_series,
+                        const char* note) {
+  std::printf("# %s — %s\n", figure, paper_series);
+  std::printf("# scale=%s  threads=%zu  %s\n", PaperScale() ? "paper" : "smoke",
+              BenchThreads(), note);
+}
+
+}  // namespace bench
+}  // namespace sknn
+
+#endif  // SKNN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,91 @@
+// Why the paper exists: breaking the prior art.
+//
+// Wong et al.'s ASPE [28] was the strongest pre-2013 SkNN scheme: encrypt
+// the table with a secret invertible matrix, and kNN still works via
+// preserved scalar products. This example shows (1) ASPE answering a kNN
+// query correctly, then (2) an attacker with a handful of known
+// (plaintext, ciphertext) pairs — an insider, or anyone able to insert
+// records — recovering the ENTIRE outsourced database by linear algebra.
+// The Paillier-based SkNN_m protocol is immune by construction: it is
+// semantically secure, so no amount of known plaintext helps.
+//
+// Run:  ./examples/aspe_attack
+#include <cstdio>
+
+#include "baseline/aspe.h"
+#include "baseline/plaintext_knn.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace sknn;
+
+  const std::size_t n = 40, m = 5;
+  const int64_t max_value = 120;
+  PlainTable table = GenerateUniformTable(n, m, max_value, /*seed=*/77);
+  PlainRecord query = GenerateUniformQuery(m, max_value, /*seed=*/78);
+  Random rng(79);
+
+  std::printf("ASPE (Wong et al. [28]) — and why it is not enough\n");
+  std::printf("==================================================\n\n");
+
+  // 1. ASPE working as intended.
+  AspeScheme scheme = AspeScheme::Create(m, rng);
+  std::vector<AspeVector> enc_points;
+  enc_points.reserve(n);
+  for (const auto& row : table) {
+    enc_points.push_back(scheme.EncryptPoint(row));
+  }
+  AspeVector enc_query = scheme.EncryptQuery(query, rng);
+
+  auto secure_idx = AspeScheme::Knn(enc_points, enc_query, 3);
+  auto plain_idx = PlainKnnIndices(table, query, 3);
+  std::printf("Step 1 — ASPE answers the 3-NN query on ciphertexts only:\n");
+  std::printf("  ASPE result indices:      ");
+  for (std::size_t i : secure_idx) std::printf("%zu ", i);
+  std::printf("\n  plaintext kNN indices:    ");
+  for (std::size_t i : plain_idx) std::printf("%zu ", i);
+  bool same = secure_idx == plain_idx;
+  std::printf("\n  -> %s\n\n", same ? "order preserved, query answered"
+                                    : "MISMATCH (unexpected)");
+
+  // 2. The known-plaintext break.
+  const std::size_t known = m + 2;
+  std::printf("Step 2 — attacker learns %zu (plaintext, ciphertext) pairs\n",
+              known);
+  std::printf("  (e.g. records the attacker inserted, or public rows).\n");
+  std::vector<PlainRecord> known_plain(table.begin(), table.begin() + known);
+  std::vector<AspeVector> known_enc(enc_points.begin(),
+                                    enc_points.begin() + known);
+  auto attack = AspeKnownPlaintextAttack::Fit(known_plain, known_enc);
+  if (!attack.ok()) {
+    std::fprintf(stderr, "attack fit failed: %s\n",
+                 attack.status().ToString().c_str());
+    return 1;
+  }
+
+  std::size_t recovered = 0;
+  for (std::size_t i = known; i < n; ++i) {
+    if (attack->Decrypt(enc_points[i]) == table[i]) ++recovered;
+  }
+  std::printf("  secret key recovered by solving one linear system.\n");
+  std::printf("  decrypted %zu / %zu remaining ciphertexts correctly.\n\n",
+              recovered, n - known);
+
+  std::printf("Sample recovered record vs. truth (record %zu):\n", known);
+  PlainRecord rec = attack->Decrypt(enc_points[known]);
+  std::printf("  recovered: ");
+  for (int64_t v : rec) std::printf("%lld ", static_cast<long long>(v));
+  std::printf("\n  truth:     ");
+  for (int64_t v : table[known]) {
+    std::printf("%lld ", static_cast<long long>(v));
+  }
+  std::printf("\n\n");
+
+  std::printf(
+      "Step 3 — contrast: the paper's SkNN_m stores only Paillier\n"
+      "ciphertexts. Semantic security means known plaintexts give an\n"
+      "attacker nothing: each encryption is freshly randomized, and all\n"
+      "query processing happens under encryption (see quickstart and\n"
+      "medical_records for the protocol in action).\n");
+  return recovered == n - known && same ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+#include "baseline/aspe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace {
+
+AspeVector ExtendPoint(const PlainRecord& p) {
+  AspeVector out(p.size() + 1);
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out[i] = static_cast<double>(p[i]);
+    norm2 += out[i] * out[i];
+  }
+  out[p.size()] = -0.5 * norm2;
+  return out;
+}
+
+}  // namespace
+
+AspeScheme AspeScheme::Create(std::size_t num_attributes, Random& rng) {
+  Matrix m = Matrix::RandomInvertible(num_attributes + 1, rng);
+  Matrix m_inv = m.Inverse().value();  // invertible by construction
+  return AspeScheme(std::move(m), std::move(m_inv));
+}
+
+AspeVector AspeScheme::EncryptPoint(const PlainRecord& p) const {
+  SKNN_CHECK(p.size() + 1 == dims_) << "ASPE: point dimension mismatch";
+  return m_.Transpose().MultiplyVector(ExtendPoint(p));
+}
+
+AspeVector AspeScheme::EncryptQuery(const PlainRecord& q, Random& rng) const {
+  SKNN_CHECK(q.size() + 1 == dims_) << "ASPE: query dimension mismatch";
+  // r uniform in (0, 1]: scales the preference, preserves its order.
+  double r = (static_cast<double>(rng.UniformUint64(1'000'000)) + 1.0) /
+             1'000'000.0;
+  AspeVector q_hat(dims_);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q_hat[i] = r * static_cast<double>(q[i]);
+  }
+  q_hat[q.size()] = r;
+  return m_inv_.MultiplyVector(q_hat);
+}
+
+std::vector<std::size_t> AspeScheme::Knn(const std::vector<AspeVector>& points,
+                                         const AspeVector& query, unsigned k) {
+  SKNN_CHECK(k >= 1 && k <= points.size()) << "ASPE: k out of range";
+  std::vector<double> pref(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    pref[i] = Dot(points[i], query);
+  }
+  std::vector<std::size_t> idx(points.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return pref[a] != pref[b] ? pref[a] > pref[b] : a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+Result<AspeKnownPlaintextAttack> AspeKnownPlaintextAttack::Fit(
+    const std::vector<PlainRecord>& known_plain,
+    const std::vector<AspeVector>& known_enc) {
+  if (known_plain.empty() || known_plain.size() != known_enc.size()) {
+    return Status::InvalidArgument("ASPE attack: bad training pairs");
+  }
+  const std::size_t d = known_plain[0].size() + 1;
+  if (known_plain.size() < d) {
+    return Status::InvalidArgument(
+        "ASPE attack: need at least m+1 known pairs");
+  }
+  // Columns: P_hat (extended plaintexts), C (ciphertexts). C = M^T P_hat,
+  // so (M^T)^{-1} = P_hat * C^{-1} using any d independent pairs.
+  // Greedily pick d pairs whose ciphertexts are independent.
+  Matrix p_hat(d, d), c(d, d);
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < known_plain.size() && used < d; ++i) {
+    AspeVector ext = ExtendPoint(known_plain[i]);
+    for (std::size_t r = 0; r < d; ++r) {
+      p_hat.At(r, used) = ext[r];
+      c.At(r, used) = known_enc[i][r];
+    }
+    ++used;
+    if (used == d && !c.Inverse().ok()) {
+      --used;  // dependent set; drop the newest column and keep scanning
+    }
+  }
+  if (used < d) {
+    return Status::InvalidArgument(
+        "ASPE attack: training pairs are linearly dependent");
+  }
+  SKNN_ASSIGN_OR_RETURN(Matrix c_inv, c.Inverse());
+  return AspeKnownPlaintextAttack(p_hat.Multiply(c_inv));
+}
+
+PlainRecord AspeKnownPlaintextAttack::Decrypt(
+    const AspeVector& enc_point) const {
+  std::vector<double> ext = mt_inv_.MultiplyVector(enc_point);
+  PlainRecord out(ext.size() - 1);
+  for (std::size_t i = 0; i + 1 < ext.size(); ++i) {
+    out[i] = static_cast<int64_t>(std::llround(ext[i]));
+  }
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,86 @@
+// ASPE — asymmetric scalar-product-preserving encryption (Wong et al.,
+// SIGMOD 2009; the paper's reference [28]).
+//
+// The strongest prior SkNN scheme the paper compares against in its related
+// work: data points and queries are encrypted with a secret invertible
+// matrix so that inner products (and hence kNN order) are preserved:
+//
+//   point p  -> p_hat = (p, -0.5*|p|^2),  p_enc = M^T p_hat
+//   query q  -> q_hat = r * (q, 1), r > 0, q_enc = M^{-1} q_hat
+//   p_enc . q_enc = r * (p.q - 0.5*|p|^2)  — monotone in -dist(p, q)^2.
+//
+// It is fast (no interaction, no big-number arithmetic) but NOT semantically
+// secure: Section 2.1.1 notes it falls to known/chosen-plaintext attacks.
+// AspeKnownPlaintextAttack implements exactly that break — with m+1 known
+// (plaintext, ciphertext) pairs the secret M is recovered by linear algebra
+// and every stored ciphertext decrypts. The examples/ directory demonstrates
+// the attack end to end; the benchmark harness uses ASPE as the insecure
+// speed baseline.
+#ifndef SKNN_BASELINE_ASPE_H_
+#define SKNN_BASELINE_ASPE_H_
+
+#include <vector>
+
+#include "baseline/linalg.h"
+#include "bigint/random.h"
+#include "common/status.h"
+#include "core/types.h"
+
+namespace sknn {
+
+/// \brief An ASPE-encrypted point or query: a real vector of width m+1.
+using AspeVector = std::vector<double>;
+
+class AspeScheme {
+ public:
+  /// \brief Samples a secret key (random invertible (m+1)x(m+1) matrix).
+  static AspeScheme Create(std::size_t num_attributes, Random& rng);
+
+  std::size_t num_attributes() const { return dims_ - 1; }
+
+  /// \brief Encrypts a database point: M^T * (p, -0.5|p|^2).
+  AspeVector EncryptPoint(const PlainRecord& p) const;
+
+  /// \brief Encrypts a query with fresh positive scaling r.
+  AspeVector EncryptQuery(const PlainRecord& q, Random& rng) const;
+
+  /// \brief kNN on ciphertexts alone: the k points with the LARGEST
+  /// preference (inner product), i.e. the k nearest. Returns indices in
+  /// decreasing-preference (= increasing-distance) order.
+  static std::vector<std::size_t> Knn(const std::vector<AspeVector>& points,
+                                      const AspeVector& query, unsigned k);
+
+ private:
+  AspeScheme(Matrix m, Matrix m_inv)
+      : m_(std::move(m)), m_inv_(std::move(m_inv)), dims_(m_.rows()) {}
+
+  Matrix m_;      // secret key M
+  Matrix m_inv_;  // M^{-1}
+  std::size_t dims_;
+};
+
+/// \brief The known-plaintext break of ASPE: given m+1 independent
+/// (plaintext point, ciphertext) pairs, recovers (M^T)^{-1} and decrypts
+/// arbitrary point ciphertexts.
+class AspeKnownPlaintextAttack {
+ public:
+  /// \brief Fits the attack. Fails if the pairs are linearly dependent
+  /// (supply a few extra pairs in practice).
+  static Result<AspeKnownPlaintextAttack> Fit(
+      const std::vector<PlainRecord>& known_plain,
+      const std::vector<AspeVector>& known_enc);
+
+  /// \brief Decrypts an ASPE point ciphertext back to its attributes
+  /// (rounded to the nearest integer).
+  PlainRecord Decrypt(const AspeVector& enc_point) const;
+
+ private:
+  explicit AspeKnownPlaintextAttack(Matrix mt_inv)
+      : mt_inv_(std::move(mt_inv)) {}
+
+  Matrix mt_inv_;  // (M^T)^{-1}
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_BASELINE_ASPE_H_

@@ -1,0 +1,115 @@
+#include "baseline/linalg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sknn {
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.At(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::RandomInvertible(std::size_t n, Random& rng, double range) {
+  for (;;) {
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        // Uniform on a fine grid of [-range, range].
+        uint64_t raw = rng.UniformUint64(2'000'001);
+        m.At(r, c) = (static_cast<double>(raw) / 1'000'000.0 - 1.0) * range;
+      }
+    }
+    if (m.Inverse().ok()) return m;
+  }
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.At(c, r) = At(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  SKNN_CHECK(cols_ == other.rows_) << "matrix shape mismatch";
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  SKNN_CHECK(cols_ == v.size()) << "matrix/vector shape mismatch";
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += At(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Result<Matrix> Matrix::Inverse() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("Inverse: matrix not square");
+  }
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(work.At(r, col)) > std::fabs(work.At(pivot, col))) {
+        pivot = r;
+      }
+    }
+    double p = work.At(pivot, col);
+    if (std::fabs(p) < 1e-9) {
+      return Status::InvalidArgument("Inverse: matrix is singular");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.At(pivot, c), work.At(col, c));
+        std::swap(inv.At(pivot, c), inv.At(col, c));
+      }
+    }
+    double inv_p = 1.0 / work.At(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      work.At(col, c) *= inv_p;
+      inv.At(col, c) *= inv_p;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = work.At(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work.At(r, c) -= factor * work.At(col, c);
+        inv.At(r, c) -= factor * inv.At(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SKNN_CHECK(a.size() == b.size()) << "dot dimension mismatch";
+  double out = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) out += a[i] * b[i];
+  return out;
+}
+
+}  // namespace sknn

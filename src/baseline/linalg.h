@@ -1,0 +1,53 @@
+// Tiny dense linear algebra over double — just enough for the ASPE baseline
+// (random invertible matrices, inverse, solve) and its known-plaintext
+// attack. Dimensions here are m+1 (record width plus one), so O(d^3)
+// Gaussian elimination is more than adequate.
+#ifndef SKNN_BASELINE_LINALG_H_
+#define SKNN_BASELINE_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/random.h"
+#include "common/status.h"
+
+namespace sknn {
+
+/// \brief Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix Identity(std::size_t n);
+  /// \brief Entries uniform in [-range, range]; re-sampled until well
+  /// conditioned enough to invert.
+  static Matrix RandomInvertible(std::size_t n, Random& rng,
+                                 double range = 10.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// \brief Gauss-Jordan inverse; error if (numerically) singular.
+  Result<Matrix> Inverse() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// \brief Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace sknn
+
+#endif  // SKNN_BASELINE_LINALG_H_

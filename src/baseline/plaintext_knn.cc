@@ -1,0 +1,48 @@
+#include "baseline/plaintext_knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sknn {
+
+int64_t SquaredDistance(const PlainRecord& a, const PlainRecord& b) {
+  SKNN_CHECK(a.size() == b.size()) << "dimension mismatch";
+  int64_t sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int64_t d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::vector<std::size_t> PlainKnnIndices(const PlainTable& table,
+                                         const PlainRecord& query,
+                                         unsigned k) {
+  SKNN_CHECK(k >= 1 && k <= table.size()) << "k out of range";
+  std::vector<int64_t> dist(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    dist[i] = SquaredDistance(table[i], query);
+  }
+  std::vector<std::size_t> idx(table.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return dist[a] != dist[b] ? dist[a] < dist[b] : a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+PlainTable PlainKnn(const PlainTable& table, const PlainRecord& query,
+                    unsigned k) {
+  PlainTable out;
+  out.reserve(k);
+  for (std::size_t i : PlainKnnIndices(table, query, k)) {
+    out.push_back(table[i]);
+  }
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,29 @@
+// Exact plaintext kNN — the correctness oracle every secure protocol is
+// tested against, and the "no security" end of the efficiency spectrum in
+// the benchmark harness.
+#ifndef SKNN_BASELINE_PLAINTEXT_KNN_H_
+#define SKNN_BASELINE_PLAINTEXT_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sknn {
+
+/// \brief Squared Euclidean distance between two equal-length records.
+int64_t SquaredDistance(const PlainRecord& a, const PlainRecord& b);
+
+/// \brief Indices of the k records closest to `query`, in increasing
+/// distance order (ties broken by lower index).
+std::vector<std::size_t> PlainKnnIndices(const PlainTable& table,
+                                         const PlainRecord& query,
+                                         unsigned k);
+
+/// \brief The k closest records themselves.
+PlainTable PlainKnn(const PlainTable& table, const PlainRecord& query,
+                    unsigned k);
+
+}  // namespace sknn
+
+#endif  // SKNN_BASELINE_PLAINTEXT_KNN_H_

@@ -1,0 +1,91 @@
+#include "bigint/random.h"
+
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace {
+
+BigInt OsEntropy(std::size_t bytes) {
+  std::ifstream urandom("/dev/urandom", std::ios::binary);
+  std::vector<uint8_t> buf(bytes);
+  if (urandom.read(reinterpret_cast<char*>(buf.data()), buf.size())) {
+    return BigInt::FromBytes(buf);
+  }
+  // Fallback: std::random_device (still non-deterministic on this platform).
+  SKNN_LOG(Warning) << "/dev/urandom unavailable; seeding from random_device";
+  std::random_device rd;
+  for (auto& b : buf) b = static_cast<uint8_t>(rd());
+  return BigInt::FromBytes(buf);
+}
+
+}  // namespace
+
+Random::Random() {
+  gmp_randinit_mt(state_);
+  BigInt seed = OsEntropy(32);
+  gmp_randseed(state_, seed.raw());
+}
+
+Random::Random(uint64_t seed) {
+  gmp_randinit_mt(state_);
+  gmp_randseed_ui(state_, seed);
+}
+
+Random::~Random() { gmp_randclear(state_); }
+
+BigInt Random::Below(const BigInt& bound) {
+  SKNN_CHECK(!bound.IsZero() && !bound.IsNegative()) << "bound must be > 0";
+  BigInt out;
+  mpz_urandomm(out.raw(), state_, bound.raw());
+  return out;
+}
+
+BigInt Random::NonZeroBelow(const BigInt& bound) {
+  for (;;) {
+    BigInt v = Below(bound);
+    if (!v.IsZero()) return v;
+  }
+}
+
+BigInt Random::UnitModulo(const BigInt& n) {
+  for (;;) {
+    BigInt v = NonZeroBelow(n);
+    if (v.Gcd(n) == BigInt(1)) return v;
+  }
+}
+
+BigInt Random::Bits(unsigned bits) {
+  SKNN_CHECK(bits > 0) << "bits must be > 0";
+  BigInt out;
+  mpz_urandomb(out.raw(), state_, bits);
+  mpz_setbit(out.raw(), bits - 1);  // force exact bit length
+  return out;
+}
+
+BigInt Random::Prime(unsigned bits) {
+  for (;;) {
+    BigInt candidate = Bits(bits);
+    mpz_setbit(candidate.raw(), 0);  // odd
+    if (candidate.IsProbablePrime()) return candidate;
+    BigInt next = candidate.NextPrime();
+    if (next.BitLength() == bits) return next;
+    // NextPrime overflowed the bit length; resample.
+  }
+}
+
+uint64_t Random::UniformUint64(uint64_t bound) {
+  SKNN_CHECK(bound > 0) << "bound must be > 0";
+  BigInt v = Below(BigInt(bound));
+  return v.ToUint64().value();
+}
+
+Random& Random::ThreadLocal() {
+  thread_local Random instance;
+  return instance;
+}
+
+}  // namespace sknn

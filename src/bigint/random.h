@@ -1,0 +1,57 @@
+// Randomness for the cryptosystem and protocols.
+//
+// A Random instance wraps a GMP Mersenne-Twister state seeded with entropy
+// from the OS (/dev/urandom). Instances are NOT thread-safe; use
+// Random::ThreadLocal() from protocol code so parallel record fan-out never
+// contends or shares a stream.
+#ifndef SKNN_BIGINT_RANDOM_H_
+#define SKNN_BIGINT_RANDOM_H_
+
+#include <gmp.h>
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+
+namespace sknn {
+
+class Random {
+ public:
+  /// \brief Seeds from OS entropy.
+  Random();
+  /// \brief Deterministic seed, for reproducible tests and benchmarks only.
+  explicit Random(uint64_t seed);
+  ~Random();
+
+  Random(const Random&) = delete;
+  Random& operator=(const Random&) = delete;
+
+  /// \brief Uniform value in [0, bound). bound must be positive.
+  BigInt Below(const BigInt& bound);
+
+  /// \brief Uniform value in [1, bound).
+  BigInt NonZeroBelow(const BigInt& bound);
+
+  /// \brief Uniform value in [1, n) with gcd(value, n) = 1 — a unit of Z_n,
+  /// as Paillier encryption randomness requires.
+  BigInt UnitModulo(const BigInt& n);
+
+  /// \brief Uniform value with exactly `bits` bits (top bit set).
+  BigInt Bits(unsigned bits);
+
+  /// \brief Random probable prime with exactly `bits` bits.
+  BigInt Prime(unsigned bits);
+
+  /// \brief Uniform uint64 in [0, bound). bound must be positive.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// \brief Per-thread instance seeded from OS entropy.
+  static Random& ThreadLocal();
+
+ private:
+  gmp_randstate_t state_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_BIGINT_RANDOM_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace sknn {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
+    case StatusCode::kCryptoError:
+      return "CryptoError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a ParallelFor convenience, used to reproduce
+// the paper's parallel SkNN variant (Section 5.3, Figure 3): operations on
+// data records are independent, so SSED/SBD/SM fan out across workers.
+#ifndef SKNN_COMMON_THREAD_POOL_H_
+#define SKNN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sknn {
+
+class ThreadPool {
+ public:
+  /// \brief Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueues a task; the returned future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// \brief Runs fn(i) for i in [0, count) across the pool and blocks until
+  /// all iterations finish. Iterations must be independent.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// \brief Number of hardware threads (>= 1).
+  static std::size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_THREAD_POOL_H_

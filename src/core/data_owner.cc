@@ -1,0 +1,72 @@
+#include "core/data_owner.h"
+
+#include <atomic>
+
+#include "bigint/random.h"
+
+namespace sknn {
+
+Result<DataOwner> DataOwner::Create(unsigned key_bits) {
+  SKNN_ASSIGN_OR_RETURN(PaillierKeyPair keys,
+                        GeneratePaillierKeyPair(key_bits));
+  return DataOwner(std::move(keys));
+}
+
+unsigned DataOwner::RequiredDistanceBits(std::size_t num_attributes,
+                                         unsigned attr_bits) {
+  // Max squared distance: m * (2^a - 1)^2.
+  BigInt max_attr = BigInt::PowerOfTwo(attr_bits) - BigInt(1);
+  BigInt max_dist =
+      BigInt(static_cast<int64_t>(num_attributes)) * max_attr * max_attr;
+  if (max_dist.IsZero()) return 1;
+  return static_cast<unsigned>(max_dist.BitLength());
+}
+
+Result<EncryptedDatabase> DataOwner::EncryptDatabase(const PlainTable& table,
+                                                     unsigned attr_bits,
+                                                     ThreadPool* pool) const {
+  if (table.empty() || table[0].empty()) {
+    return Status::InvalidArgument("EncryptDatabase: empty table");
+  }
+  const std::size_t m = table[0].size();
+  const int64_t bound = int64_t{1} << attr_bits;
+  for (const auto& row : table) {
+    if (row.size() != m) {
+      return Status::InvalidArgument("EncryptDatabase: ragged table");
+    }
+    for (int64_t v : row) {
+      if (v < 0 || v >= bound) {
+        return Status::OutOfRange(
+            "EncryptDatabase: attribute value " + std::to_string(v) +
+            " outside [0, 2^" + std::to_string(attr_bits) + ")");
+      }
+    }
+  }
+
+  EncryptedDatabase db;
+  db.records.resize(table.size());
+  auto encrypt_row = [&](std::size_t i) {
+    Random& rng = Random::ThreadLocal();
+    std::vector<Ciphertext> enc_row;
+    enc_row.reserve(m);
+    for (int64_t v : table[i]) {
+      enc_row.push_back(keys_.pk.Encrypt(BigInt(v), rng));
+    }
+    db.records[i] = std::move(enc_row);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(table.size(), encrypt_row);
+  } else {
+    for (std::size_t i = 0; i < table.size(); ++i) encrypt_row(i);
+  }
+
+  db.distance_bits = RequiredDistanceBits(m, attr_bits);
+  if (BigInt::PowerOfTwo(db.distance_bits) >= keys_.pk.n()) {
+    return Status::InvalidArgument(
+        "EncryptDatabase: key too small for the distance domain (need 2^l < "
+        "N)");
+  }
+  return db;
+}
+
+}  // namespace sknn

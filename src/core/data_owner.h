@@ -1,0 +1,47 @@
+// Alice: generates the key pair, encrypts her table attribute-wise, and
+// outsources Epk(T) to C1 and sk to C2 (Section 4). After outsourcing she
+// takes part in no further computation.
+#ifndef SKNN_CORE_DATA_OWNER_H_
+#define SKNN_CORE_DATA_OWNER_H_
+
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/types.h"
+#include "crypto/paillier.h"
+
+namespace sknn {
+
+class DataOwner {
+ public:
+  /// \brief Creates Alice with a fresh Paillier key pair of `key_bits`.
+  static Result<DataOwner> Create(unsigned key_bits);
+
+  /// \brief Attribute-wise encryption of the table. All values must lie in
+  /// [0, 2^attr_bits); `distance_bits` of the result is derived so that any
+  /// squared distance between table rows / queries fits (l of the paper).
+  /// Encryption fans out over `pool` when given (setup is a one-time cost,
+  /// but benchmark grids re-run it often).
+  Result<EncryptedDatabase> EncryptDatabase(const PlainTable& table,
+                                            unsigned attr_bits,
+                                            ThreadPool* pool = nullptr) const;
+
+  const PaillierPublicKey& public_key() const { return keys_.pk; }
+
+  /// \brief The key hand-off to C2 — this is the trust split of the
+  /// federated-cloud model: C2 gets sk but never the encrypted database.
+  const PaillierSecretKey& secret_key_for_c2() const { return keys_.sk; }
+
+  /// \brief Minimal l such that m * (2^attr_bits - 1)^2 < 2^l.
+  static unsigned RequiredDistanceBits(std::size_t num_attributes,
+                                       unsigned attr_bits);
+
+ private:
+  explicit DataOwner(PaillierKeyPair keys) : keys_(std::move(keys)) {}
+
+  PaillierKeyPair keys_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_CORE_DATA_OWNER_H_

@@ -1,0 +1,119 @@
+#include "core/db_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace sknn {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'K', 'N', 'N', 'D', 'B', '0', '1'};
+
+void PutU32(std::ofstream& out, uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out.write(bytes, 4);
+}
+
+bool GetU32(std::ifstream& in, uint32_t* v) {
+  char bytes[4];
+  if (!in.read(bytes, 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i])) << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteEncryptedDatabase(const std::string& path,
+                              const EncryptedDatabase& db) {
+  if (db.records.empty() || db.records[0].empty()) {
+    return Status::InvalidArgument("WriteEncryptedDatabase: empty database");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("WriteEncryptedDatabase: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  PutU32(out, static_cast<uint32_t>(db.num_records()));
+  PutU32(out, static_cast<uint32_t>(db.num_attributes()));
+  PutU32(out, db.distance_bits);
+  for (const auto& row : db.records) {
+    if (row.size() != db.num_attributes()) {
+      return Status::InvalidArgument("WriteEncryptedDatabase: ragged rows");
+    }
+    for (const auto& ct : row) {
+      std::vector<uint8_t> bytes = ct.value().ToBytes();
+      PutU32(out, static_cast<uint32_t>(bytes.size()));
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+  }
+  if (!out.good()) {
+    return Status::IoError("WriteEncryptedDatabase: write failure");
+  }
+  return Status::OK();
+}
+
+Result<EncryptedDatabase> ReadEncryptedDatabase(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("ReadEncryptedDatabase: cannot open " + path);
+  }
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "ReadEncryptedDatabase: bad magic (not an sknn database)");
+  }
+  uint32_t n = 0, m = 0, l = 0;
+  if (!GetU32(in, &n) || !GetU32(in, &m) || !GetU32(in, &l) || n == 0 ||
+      m == 0 || l == 0) {
+    return Status::InvalidArgument("ReadEncryptedDatabase: bad geometry");
+  }
+  EncryptedDatabase db;
+  db.distance_bits = l;
+  db.records.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<Ciphertext> row;
+    row.reserve(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      uint32_t len = 0;
+      if (!GetU32(in, &len)) {
+        return Status::InvalidArgument(
+            "ReadEncryptedDatabase: truncated file");
+      }
+      std::vector<uint8_t> bytes(len);
+      if (len > 0 &&
+          !in.read(reinterpret_cast<char*>(bytes.data()), len)) {
+        return Status::InvalidArgument(
+            "ReadEncryptedDatabase: truncated ciphertext");
+      }
+      row.emplace_back(BigInt::FromBytes(bytes));
+    }
+    db.records.push_back(std::move(row));
+  }
+  // Reject trailing garbage.
+  char extra;
+  if (in.read(&extra, 1)) {
+    return Status::InvalidArgument("ReadEncryptedDatabase: trailing bytes");
+  }
+  return db;
+}
+
+Status ValidateCiphertexts(const EncryptedDatabase& db,
+                           const PaillierPublicKey& pk) {
+  for (std::size_t i = 0; i < db.records.size(); ++i) {
+    for (std::size_t j = 0; j < db.records[i].size(); ++j) {
+      if (!pk.IsValidCiphertext(db.records[i][j])) {
+        return Status::CryptoError(
+            "ValidateCiphertexts: invalid ciphertext at record " +
+            std::to_string(i) + ", attribute " + std::to_string(j));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sknn

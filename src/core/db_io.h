@@ -1,0 +1,32 @@
+// Encrypted-database persistence: the artifact Alice actually ships to C1.
+//
+// Binary format (little-endian):
+//   magic "SKNNDB01" | u32 n | u32 m | u32 l |
+//   n*m ciphertexts, each u32 length + big-endian magnitude bytes
+//
+// Loading validates the geometry and (optionally, ValidateCiphertexts) that
+// every entry is a structurally valid element of Z*_{N^2} under the given
+// public key — a corrupted or foreign-key database fails fast instead of
+// producing garbage query results.
+#ifndef SKNN_CORE_DB_IO_H_
+#define SKNN_CORE_DB_IO_H_
+
+#include <string>
+
+#include "core/types.h"
+#include "crypto/paillier.h"
+
+namespace sknn {
+
+Status WriteEncryptedDatabase(const std::string& path,
+                              const EncryptedDatabase& db);
+
+Result<EncryptedDatabase> ReadEncryptedDatabase(const std::string& path);
+
+/// \brief Checks every ciphertext against `pk` (in [0, N^2), unit mod N).
+Status ValidateCiphertexts(const EncryptedDatabase& db,
+                           const PaillierPublicKey& pk);
+
+}  // namespace sknn
+
+#endif  // SKNN_CORE_DB_IO_H_

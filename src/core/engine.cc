@@ -1,0 +1,125 @@
+#include "core/engine.h"
+
+#include "common/stopwatch.h"
+#include "core/data_owner.h"
+#include "crypto/op_counters.h"
+
+namespace sknn {
+
+Result<std::unique_ptr<SknnEngine>> SknnEngine::Create(
+    const PlainTable& table, const Options& options) {
+  // Alice: keygen + attribute-wise encryption (her one-time cost).
+  SKNN_ASSIGN_OR_RETURN(DataOwner alice, DataOwner::Create(options.key_bits));
+  std::unique_ptr<ThreadPool> setup_pool;
+  ThreadPool* pool_ptr = nullptr;
+  if (options.c1_threads > 1) {
+    setup_pool = std::make_unique<ThreadPool>(options.c1_threads);
+    pool_ptr = setup_pool.get();
+  }
+  SKNN_ASSIGN_OR_RETURN(
+      EncryptedDatabase db,
+      alice.EncryptDatabase(table, options.attr_bits, pool_ptr));
+  return CreateFromParts(alice.public_key(), alice.secret_key_for_c2(),
+                         std::move(db), options);
+}
+
+Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
+    const PaillierPublicKey& pk, PaillierSecretKey sk, EncryptedDatabase db,
+    const Options& options) {
+  if (db.records.empty() || db.distance_bits == 0) {
+    return Status::InvalidArgument("CreateFromParts: empty database");
+  }
+  if (sk.public_key().n() != pk.n()) {
+    return Status::InvalidArgument(
+        "CreateFromParts: public and secret key do not match");
+  }
+  auto engine = std::unique_ptr<SknnEngine>(new SknnEngine());
+  engine->options_ = options;
+  engine->pk_ = pk;
+  engine->db_ = std::move(db);
+
+  // Outsourcing split: Epk(T) is C1's copy; sk goes to C2.
+  engine->c2_ = std::make_unique<C2Service>(std::move(sk));
+  engine->c2_->set_record_views(options.record_c2_views);
+
+  // The C1 <-> C2 link.
+  Channel::EndpointPair link = Channel::CreatePair();
+  engine->channel_ = &link.a->channel();
+  C2Service* c2_raw = engine->c2_.get();
+  engine->server_ = std::make_unique<RpcServer>(
+      std::move(link.b),
+      [c2_raw](const Message& req) { return c2_raw->Handle(req); },
+      options.c2_threads);
+  engine->client_ = std::make_unique<RpcClient>(std::move(link.a));
+
+  if (options.c1_threads > 1) {
+    engine->c1_pool_ = std::make_unique<ThreadPool>(options.c1_threads);
+  }
+  engine->ctx_ = std::make_unique<ProtoContext>(
+      &engine->pk_, engine->client_.get(), engine->c1_pool_.get());
+  engine->bob_ = std::make_unique<QueryClient>(engine->pk_);
+  return engine;
+}
+
+Result<CloudQueryOutput> SknnEngine::Dispatch(Protocol protocol,
+                                              const std::vector<Ciphertext>& q,
+                                              unsigned k, SkNNmBreakdown* bd) {
+  if (protocol == Protocol::kBasic) {
+    return RunSkNNb(*ctx_, db_, q, k);
+  }
+  SkNNmOptions opts;
+  opts.verify_sbd = options_.verify_sbd;
+  opts.farthest = protocol == Protocol::kFarthest;
+  return RunSkNNm(*ctx_, db_, q, k, bd, opts);
+}
+
+Result<QueryResult> SknnEngine::RunQuery(const PlainRecord& query, unsigned k,
+                                         Protocol protocol) {
+  if (query.size() != db_.num_attributes()) {
+    return Status::InvalidArgument("Query dimension mismatch");
+  }
+  QueryResult result;
+
+  // Bob: encrypt Q (his main cost — the paper's 4 ms / 17 ms numbers).
+  Stopwatch bob_watch;
+  std::vector<Ciphertext> enc_query = bob_->EncryptQuery(query);
+  result.bob_seconds = bob_watch.ElapsedSeconds();
+
+  // The clouds: run the chosen protocol with fresh meters.
+  channel_->ResetStats();
+  OpSnapshot ops_before = OpCounters::Snapshot();
+  Stopwatch cloud_watch;
+  Result<CloudQueryOutput> cloud =
+      Dispatch(protocol, enc_query, k, &result.breakdown);
+  if (!cloud.ok()) return cloud.status();
+  result.cloud_seconds = cloud_watch.ElapsedSeconds();
+  result.traffic = channel_->stats();
+  result.ops = OpCounters::Snapshot() - ops_before;
+
+  // Bob: combine C2's decrypted masked records with C1's masks.
+  std::vector<BigInt> from_c2 = c2_->TakeBobOutbox();
+  bob_watch.Reset();
+  SKNN_ASSIGN_OR_RETURN(
+      result.neighbors,
+      bob_->RecoverRecords(from_c2, cloud->masks_for_bob, k,
+                           db_.num_attributes()));
+  result.bob_seconds += bob_watch.ElapsedSeconds();
+  return result;
+}
+
+Result<QueryResult> SknnEngine::QueryBasic(const PlainRecord& query,
+                                           unsigned k) {
+  return RunQuery(query, k, Protocol::kBasic);
+}
+
+Result<QueryResult> SknnEngine::QueryMaxSecure(const PlainRecord& query,
+                                               unsigned k) {
+  return RunQuery(query, k, Protocol::kMaxSecure);
+}
+
+Result<QueryResult> SknnEngine::QueryFarthest(const PlainRecord& query,
+                                              unsigned k) {
+  return RunQuery(query, k, Protocol::kFarthest);
+}
+
+}  // namespace sknn

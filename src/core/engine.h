@@ -1,0 +1,99 @@
+// SknnEngine — the whole outsourced system in one object, for applications
+// and benchmarks: Alice's one-time setup (key generation + database
+// encryption + outsourcing), the federated cloud (C1 protocol driver, C2
+// key-holder service, the link between them), and Bob's query round trip.
+//
+// The engine is the in-process simulation of the paper's deployment; every
+// inter-party byte still crosses the (accounted) channel, so computation
+// and communication measurements match the real topology.
+#ifndef SKNN_CORE_ENGINE_H_
+#define SKNN_CORE_ENGINE_H_
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "core/query_client.h"
+#include "core/sknn_b.h"
+#include "core/sknn_m.h"
+#include "core/types.h"
+#include "net/rpc.h"
+#include "proto/c2_service.h"
+#include "proto/context.h"
+
+namespace sknn {
+
+class SknnEngine {
+ public:
+  struct Options {
+    /// Paillier modulus size K; the paper evaluates 512 and 1024.
+    unsigned key_bits = 512;
+    /// Attribute domain: values in [0, 2^attr_bits). Determines l.
+    unsigned attr_bits = 8;
+    /// C1-side worker threads (1 = the paper's serial variant).
+    std::size_t c1_threads = 1;
+    /// C2-side worker threads.
+    std::size_t c2_threads = 1;
+    /// Capture every plaintext C2 decrypts (security tests only).
+    bool record_c2_views = false;
+    /// Run SBD's verification round inside SkNN_m.
+    bool verify_sbd = true;
+  };
+
+  /// \brief One-time setup: Alice keygens, encrypts `table` and outsources.
+  static Result<std::unique_ptr<SknnEngine>> Create(const PlainTable& table,
+                                                    const Options& options);
+
+  /// \brief Assembles the system from pre-existing artifacts — a key pair
+  /// (e.g. loaded via crypto/serialization) and an already-encrypted
+  /// database (e.g. loaded via core/db_io) — skipping Alice's encryption
+  /// pass. Options::key_bits/attr_bits are ignored (implied by the parts).
+  static Result<std::unique_ptr<SknnEngine>> CreateFromParts(
+      const PaillierPublicKey& pk, PaillierSecretKey sk, EncryptedDatabase db,
+      const Options& options);
+
+  /// \brief Full SkNN_b round trip for Bob's query (k neighbors).
+  Result<QueryResult> QueryBasic(const PlainRecord& query, unsigned k);
+
+  /// \brief Full SkNN_m round trip for Bob's query (k neighbors).
+  Result<QueryResult> QueryMaxSecure(const PlainRecord& query, unsigned k);
+
+  /// \brief Secure k-FARTHEST neighbors (fully secure, SkNN_m machinery on
+  /// complemented distances): the k records most dissimilar to the query,
+  /// farthest first. See SkNNmOptions::farthest for semantics and caveats.
+  Result<QueryResult> QueryFarthest(const PlainRecord& query, unsigned k);
+
+  const PaillierPublicKey& public_key() const { return pk_; }
+  const EncryptedDatabase& database() const { return db_; }
+  unsigned distance_bits() const { return db_.distance_bits; }
+
+  /// \brief C2 instrumentation hooks (security tests).
+  C2Service& c2_service() { return *c2_; }
+  /// \brief Primitive-level access for examples/tests built on the engine.
+  ProtoContext& c1_context() { return *ctx_; }
+
+ private:
+  SknnEngine() = default;
+
+  enum class Protocol { kBasic, kMaxSecure, kFarthest };
+
+  Result<QueryResult> RunQuery(const PlainRecord& query, unsigned k,
+                               Protocol protocol);
+  Result<CloudQueryOutput> Dispatch(Protocol protocol,
+                                    const std::vector<Ciphertext>& q,
+                                    unsigned k, SkNNmBreakdown* bd);
+
+  Options options_;
+  PaillierPublicKey pk_;
+  EncryptedDatabase db_;
+  std::unique_ptr<C2Service> c2_;
+  Channel* channel_ = nullptr;  // owned by the endpoints inside client/server
+  std::unique_ptr<RpcServer> server_;
+  std::unique_ptr<RpcClient> client_;
+  std::unique_ptr<ThreadPool> c1_pool_;
+  std::unique_ptr<ProtoContext> ctx_;
+  std::unique_ptr<QueryClient> bob_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_CORE_ENGINE_H_

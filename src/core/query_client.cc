@@ -1,0 +1,42 @@
+#include "core/query_client.h"
+
+#include "bigint/random.h"
+
+namespace sknn {
+
+std::vector<Ciphertext> QueryClient::EncryptQuery(
+    const PlainRecord& query) const {
+  Random& rng = Random::ThreadLocal();
+  std::vector<Ciphertext> out;
+  out.reserve(query.size());
+  for (int64_t v : query) {
+    out.push_back(pk_.Encrypt(BigInt(v), rng));
+  }
+  return out;
+}
+
+Result<PlainTable> QueryClient::RecoverRecords(
+    const std::vector<BigInt>& masked_from_c2,
+    const std::vector<BigInt>& masks_from_c1, std::size_t k,
+    std::size_t m) const {
+  if (masked_from_c2.size() != k * m || masks_from_c1.size() != k * m) {
+    return Status::InvalidArgument(
+        "RecoverRecords: expected k*m masked values and masks");
+  }
+  PlainTable out;
+  out.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    PlainRecord row;
+    row.reserve(m);
+    for (std::size_t h = 0; h < m; ++h) {
+      BigInt value =
+          masked_from_c2[j * m + h].SubMod(masks_from_c1[j * m + h], pk_.n());
+      SKNN_ASSIGN_OR_RETURN(int64_t v, value.ToInt64());
+      row.push_back(v);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,37 @@
+// Bob: encrypts his query record, and reconstructs the k result records
+// from the two masked halves — random masks r_{j,h} received from C1 and
+// decrypted masked attributes gamma'_{j,h} received from C2 (Algorithms 5/6
+// steps 4-6). Bob's total work is m encryptions plus k*m modular
+// subtractions: the paper's "lightweight enough for a mobile device" claim.
+#ifndef SKNN_CORE_QUERY_CLIENT_H_
+#define SKNN_CORE_QUERY_CLIENT_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "crypto/paillier.h"
+
+namespace sknn {
+
+class QueryClient {
+ public:
+  explicit QueryClient(const PaillierPublicKey& pk) : pk_(pk) {}
+
+  /// \brief Epk(Q): attribute-wise encryption of the query record.
+  std::vector<Ciphertext> EncryptQuery(const PlainRecord& query) const;
+
+  /// \brief Recovers the k records: t'_{j,h} = gamma'_{j,h} - r_{j,h} mod N.
+  /// Both inputs are flat row-major k*m vectors.
+  Result<PlainTable> RecoverRecords(const std::vector<BigInt>& masked_from_c2,
+                                    const std::vector<BigInt>& masks_from_c1,
+                                    std::size_t k, std::size_t m) const;
+
+  const PaillierPublicKey& public_key() const { return pk_; }
+
+ private:
+  PaillierPublicKey pk_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_CORE_QUERY_CLIENT_H_

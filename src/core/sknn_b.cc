@@ -1,0 +1,85 @@
+#include "core/sknn_b.h"
+
+#include "proto/ssed.h"
+
+namespace sknn {
+namespace {
+
+void AppendU32(std::vector<uint8_t>& aux, uint32_t v) {
+  for (int i = 0; i < 4; ++i) aux.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const std::vector<uint8_t>& aux, std::size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(aux[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<CloudQueryOutput> MaskAndShipToBob(
+    ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& chosen) {
+  const PaillierPublicKey& pk = ctx.pk();
+  CloudQueryOutput out;
+  std::vector<BigInt> gamma;
+  for (const auto& record : chosen) {
+    for (const auto& attr : record) {
+      Random& rng = Random::ThreadLocal();
+      BigInt r = rng.Below(pk.n());
+      gamma.push_back(pk.Add(attr, pk.Encrypt(r, rng)).value());
+      out.masks_for_bob.push_back(std::move(r));
+    }
+  }
+  SKNN_ASSIGN_OR_RETURN(Message resp,
+                        ctx.Call(Op::kMaskedDecryptToBob, std::move(gamma)));
+  (void)resp;  // empty ack
+  return out;
+}
+
+Result<CloudQueryOutput> RunSkNNb(ProtoContext& ctx,
+                                  const EncryptedDatabase& db,
+                                  const std::vector<Ciphertext>& enc_query,
+                                  unsigned k) {
+  const std::size_t n = db.num_records();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("SkNN_b: k must be in [1, n]");
+  }
+  if (enc_query.size() != db.num_attributes()) {
+    return Status::InvalidArgument("SkNN_b: query dimension mismatch");
+  }
+
+  // Step 2: Epk(d_i) = SSED(Epk(Q), Epk(t_i)) for all records.
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<Ciphertext> dist,
+      SecureSquaredDistanceBatch(ctx, db.records, enc_query));
+
+  // Step 3: C2 decrypts the distances and returns the top-k index list
+  // delta. (This is exactly the leak the basic protocol accepts.)
+  std::vector<BigInt> dist_values;
+  dist_values.reserve(n);
+  for (auto& c : dist) dist_values.push_back(c.value());
+  std::vector<uint8_t> aux;
+  AppendU32(aux, k);
+  SKNN_ASSIGN_OR_RETURN(
+      Message resp,
+      ctx.Call(Op::kTopKIndices, std::move(dist_values), std::move(aux)));
+  if (resp.aux.size() != std::size_t{k} * 4) {
+    return Status::ProtocolError("SkNN_b: bad top-k response");
+  }
+
+  // Steps 4-5: randomize the chosen records and ship them to Bob.
+  std::vector<std::vector<Ciphertext>> chosen;
+  chosen.reserve(k);
+  for (unsigned j = 0; j < k; ++j) {
+    uint32_t idx = ReadU32(resp.aux, std::size_t{j} * 4);
+    if (idx >= n) {
+      return Status::ProtocolError("SkNN_b: top-k index out of range");
+    }
+    chosen.push_back(db.records[idx]);
+  }
+  return MaskAndShipToBob(ctx, chosen);
+}
+
+}  // namespace sknn

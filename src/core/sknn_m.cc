@@ -1,0 +1,147 @@
+#include "core/sknn_m.h"
+
+#include "common/stopwatch.h"
+#include "proto/permutation.h"
+#include "proto/sbor.h"
+#include "proto/sm.h"
+#include "proto/smax.h"
+#include "proto/smin.h"
+#include "proto/ssed.h"
+
+namespace sknn {
+
+Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
+                                  const EncryptedDatabase& db,
+                                  const std::vector<Ciphertext>& enc_query,
+                                  unsigned k, SkNNmBreakdown* breakdown,
+                                  const SkNNmOptions& options) {
+  const std::size_t n = db.num_records();
+  const std::size_t m = db.num_attributes();
+  const unsigned l = db.distance_bits;
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("SkNN_m: k must be in [1, n]");
+  }
+  if (enc_query.size() != m) {
+    return Status::InvalidArgument("SkNN_m: query dimension mismatch");
+  }
+  if (l == 0) {
+    return Status::InvalidArgument("SkNN_m: database lacks distance_bits");
+  }
+  const PaillierPublicKey& pk = ctx.pk();
+  const BigInt& big_n = pk.n();
+  SkNNmBreakdown local_breakdown;
+  SkNNmBreakdown& bd = breakdown != nullptr ? *breakdown : local_breakdown;
+  bd = SkNNmBreakdown{};
+  Stopwatch phase;
+
+  // Step 2: Epk(d_i) by SSED, then [d_i] by SBD.
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<Ciphertext> dist,
+      SecureSquaredDistanceBatch(ctx, db.records, enc_query));
+  bd.ssed_seconds = phase.ElapsedSeconds();
+  phase.Reset();
+
+  SbdOptions sbd_opts;
+  sbd_opts.l = l;
+  sbd_opts.verify = options.verify_sbd;
+  SKNN_ASSIGN_OR_RETURN(std::vector<EncryptedBits> bits,
+                        BitDecomposeBatch(ctx, dist, sbd_opts));
+  if (options.farthest) {
+    // Work on complements: the minimum of NOT d is the maximum of d, and
+    // every downstream step (SMIN_n, pointer, clamp) applies unchanged.
+    ctx.ForEach(n, [&](std::size_t i) {
+      bits[i] = ComplementBits(pk, bits[i]);
+      dist[i] = ComposeFromBits(pk, bits[i]);
+    });
+  }
+  bd.sbd_seconds = phase.ElapsedSeconds();
+
+  std::vector<std::vector<Ciphertext>> result_records;
+  result_records.reserve(k);
+
+  for (unsigned s = 1; s <= k; ++s) {
+    // Step 3(a): [d_min] over the current (possibly clamped) bit vectors.
+    phase.Reset();
+    SKNN_ASSIGN_OR_RETURN(EncryptedBits dmin_bits, SecureMinN(ctx, bits));
+    bd.sminn_seconds += phase.ElapsedSeconds();
+
+    // Step 3(b): tau_i = Epk(r_i * (d_min - d_i)), permuted. From the second
+    // iteration on, Epk(d_i) must be recomposed from the updated bits.
+    phase.Reset();
+    Ciphertext e_dmin = ComposeFromBits(pk, dmin_bits);
+    std::vector<Ciphertext> tau(n);
+    ctx.ForEach(n, [&](std::size_t i) {
+      Random& rng = Random::ThreadLocal();
+      Ciphertext e_di = (s == 1) ? dist[i] : ComposeFromBits(pk, bits[i]);
+      Ciphertext diff = pk.Sub(e_dmin, e_di);
+      tau[i] = pk.MulScalar(diff, rng.NonZeroBelow(big_n));
+    });
+    Permutation pi = Permutation::Sample(n, Random::ThreadLocal());
+    std::vector<Ciphertext> tau_perm = pi.Apply(tau);
+    std::vector<BigInt> beta;
+    beta.reserve(n);
+    for (auto& c : tau_perm) beta.push_back(c.value());
+
+    // Step 3(c): C2 locates a zero and answers with the encrypted one-hot U.
+    SKNN_ASSIGN_OR_RETURN(Message u_resp,
+                          ctx.Call(Op::kMinPointerBatch, std::move(beta)));
+    if (u_resp.ints.size() != n) {
+      return Status::ProtocolError("SkNN_m: bad min-pointer response");
+    }
+    std::vector<Ciphertext> u(n);
+    for (std::size_t i = 0; i < n; ++i) u[i] = Ciphertext(u_resp.ints[i]);
+
+    // Step 3(d): V = pi^{-1}(U); record extraction via one batched SM of
+    // V_i against every attribute, then column-wise homomorphic sums.
+    std::vector<Ciphertext> v = pi.ApplyInverse(u);
+    std::vector<Ciphertext> sm_left(n * m), sm_right(n * m);
+    ctx.ForEach(n, [&](std::size_t i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        sm_left[i * m + j] = v[i];
+        sm_right[i * m + j] = db.records[i][j];
+      }
+    });
+    SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> v_prime,
+                          SecureMultiplyBatch(ctx, sm_left, sm_right));
+    std::vector<Ciphertext> record(m);
+    ctx.ForEach(m, [&](std::size_t j) {
+      Ciphertext acc = v_prime[j];
+      for (std::size_t i = 1; i < n; ++i) {
+        acc = pk.Add(acc, v_prime[i * m + j]);
+      }
+      record[j] = std::move(acc);
+    });
+    result_records.push_back(std::move(record));
+    bd.extract_seconds += phase.ElapsedSeconds();
+
+    // Step 3(e): clamp the winner's distance to 2^l - 1 via SBOR of V_i
+    // into every bit of [d_i]. Skipped after the last iteration (the paper
+    // loops it unconditionally; the update only matters for the next SMIN_n).
+    if (s == k) break;
+    phase.Reset();
+    std::vector<Ciphertext> or_left(n * l), or_right(n * l);
+    ctx.ForEach(n, [&](std::size_t i) {
+      for (unsigned g = 0; g < l; ++g) {
+        or_left[i * l + g] = v[i];
+        or_right[i * l + g] = bits[i][g];
+      }
+    });
+    SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> ored,
+                          SecureBitOrBatch(ctx, or_left, or_right));
+    ctx.ForEach(n, [&](std::size_t i) {
+      for (unsigned g = 0; g < l; ++g) {
+        bits[i][g] = ored[i * l + g];
+      }
+    });
+    bd.update_seconds += phase.ElapsedSeconds();
+  }
+
+  // Steps 4-6 (as in Algorithm 5): mask and ship to Bob.
+  phase.Reset();
+  SKNN_ASSIGN_OR_RETURN(CloudQueryOutput out,
+                        MaskAndShipToBob(ctx, result_records));
+  bd.finalize_seconds = phase.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace sknn

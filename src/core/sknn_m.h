@@ -1,0 +1,56 @@
+// SkNN_m — the fully secure protocol (Algorithm 6).
+//
+// After SSED + SBD give C1 the encrypted bit vectors [d_i] of all squared
+// distances, the k winners are extracted one per iteration:
+//
+//   (a) SMIN_n yields [d_min] (known only to C1, value known to nobody);
+//   (b) C1 recomposes Epk(d_min - d_i), blinds each difference with a fresh
+//       non-zero factor and permutes the vector (pi) before sending it;
+//   (c) C2 sees zeros only at minimum positions (random residues elsewhere),
+//       picks one and returns the encrypted one-hot vector U;
+//   (d) C1 un-permutes U into V and extracts the winning record
+//       obliviously: Epk(t'_s,j) = prod_i SM(V_i, Epk(t_{i,j}));
+//   (e) the winner's distance bits are clamped to all-ones via SBOR with V_i
+//       so it can never win again — without C1 learning which record it was.
+//
+// Neither cloud learns distances, the query, the records, or which records
+// form the answer: access patterns are hidden (Section 4.3).
+#ifndef SKNN_CORE_SKNN_M_H_
+#define SKNN_CORE_SKNN_M_H_
+
+#include <vector>
+
+#include "core/sknn_b.h"
+#include "core/types.h"
+#include "proto/context.h"
+#include "proto/sbd.h"
+
+namespace sknn {
+
+struct SkNNmOptions {
+  /// Run SBD's verification round (recommended; see SbdOptions::verify).
+  bool verify_sbd = true;
+  /// Secure k-FARTHEST neighbors instead of nearest: the distance bits are
+  /// complemented after SBD (max(d) = NOT min(NOT d)), and the rest of
+  /// Algorithm 6 runs unchanged — extraction clamps a winner's complemented
+  /// distance to all-ones, i.e. its true distance to 0. This is the
+  /// building block for distance-based outlier detection (Section 2.1.1).
+  /// Caveat (mirrors the nearest-neighbor clamp): records at true distance
+  /// 0 from Q tie with already-extracted winners once k exceeds the number
+  /// of records at non-zero distance.
+  bool farthest = false;
+};
+
+/// \brief Runs Algorithm 6 on C1's side; the masked result lands in C2's
+/// Bob outbox and the returned masks complete Bob's view. `breakdown`, if
+/// non-null, receives the per-phase timing split of Section 5.2.
+Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
+                                  const EncryptedDatabase& db,
+                                  const std::vector<Ciphertext>& enc_query,
+                                  unsigned k,
+                                  SkNNmBreakdown* breakdown = nullptr,
+                                  const SkNNmOptions& options = {});
+
+}  // namespace sknn
+
+#endif  // SKNN_CORE_SKNN_M_H_

@@ -1,0 +1,26 @@
+#include "crypto/op_counters.h"
+
+#include <sstream>
+
+namespace sknn {
+
+std::atomic<uint64_t> OpCounters::enc_{0};
+std::atomic<uint64_t> OpCounters::dec_{0};
+std::atomic<uint64_t> OpCounters::exp_{0};
+std::atomic<uint64_t> OpCounters::mul_{0};
+
+void OpCounters::Reset() {
+  enc_.store(0, kOrder);
+  dec_.store(0, kOrder);
+  exp_.store(0, kOrder);
+  mul_.store(0, kOrder);
+}
+
+std::string OpSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "enc=" << encryptions << " dec=" << decryptions
+     << " exp=" << exponentiations << " mul=" << multiplications;
+  return os.str();
+}
+
+}  // namespace sknn

@@ -1,0 +1,53 @@
+// Global operation counters for the complexity accounting of Section 4.4:
+// the paper states costs in numbers of encryptions, decryptions and
+// exponentiations. Benchmarks enable these to verify e.g. that SkNN_m is
+// bounded by O(n * (l + m + k*l*log2 n)) encryptions/exponentiations.
+#ifndef SKNN_CRYPTO_OP_COUNTERS_H_
+#define SKNN_CRYPTO_OP_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sknn {
+
+struct OpSnapshot {
+  uint64_t encryptions = 0;
+  uint64_t decryptions = 0;
+  uint64_t exponentiations = 0;  // ciphertext^scalar (homomorphic scalar mul)
+  uint64_t multiplications = 0;  // ciphertext*ciphertext (homomorphic add)
+
+  OpSnapshot operator-(const OpSnapshot& o) const {
+    return {encryptions - o.encryptions, decryptions - o.decryptions,
+            exponentiations - o.exponentiations,
+            multiplications - o.multiplications};
+  }
+  std::string ToString() const;
+};
+
+/// \brief Process-wide relaxed-atomic counters; negligible overhead next to
+/// the modular exponentiations they count.
+class OpCounters {
+ public:
+  static void CountEncryption() { enc_.fetch_add(1, kOrder); }
+  static void CountDecryption() { dec_.fetch_add(1, kOrder); }
+  static void CountExponentiation() { exp_.fetch_add(1, kOrder); }
+  static void CountMultiplication() { mul_.fetch_add(1, kOrder); }
+
+  static OpSnapshot Snapshot() {
+    return {enc_.load(kOrder), dec_.load(kOrder), exp_.load(kOrder),
+            mul_.load(kOrder)};
+  }
+  static void Reset();
+
+ private:
+  static constexpr std::memory_order kOrder = std::memory_order_relaxed;
+  static std::atomic<uint64_t> enc_;
+  static std::atomic<uint64_t> dec_;
+  static std::atomic<uint64_t> exp_;
+  static std::atomic<uint64_t> mul_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_CRYPTO_OP_COUNTERS_H_

@@ -1,0 +1,185 @@
+#include "crypto/paillier.h"
+
+#include "common/logging.h"
+#include "crypto/op_counters.h"
+
+namespace sknn {
+namespace {
+
+// L(u) = (u - 1) / d, defined on u = 1 mod d.
+BigInt LFunction(const BigInt& u, const BigInt& d) {
+  return (u - BigInt(1)) / d;
+}
+
+}  // namespace
+
+PaillierPublicKey::PaillierPublicKey(BigInt n, unsigned key_bits)
+    : n_(std::move(n)),
+      n_squared_(n_ * n_),
+      g_(n_ + BigInt(1)),
+      key_bits_(key_bits) {}
+
+Ciphertext PaillierPublicKey::Encrypt(const BigInt& m, Random& rng) const {
+  OpCounters::CountEncryption();
+  BigInt reduced = m.Mod(n_);
+  // (1 + mN) mod N^2 — binomial expansion of g^m with g = N+1.
+  BigInt gm = (BigInt(1) + reduced * n_).Mod(n_squared_);
+  BigInt r = rng.UnitModulo(n_);
+  BigInt rn = r.PowMod(n_, n_squared_);
+  return Ciphertext(gm.MulMod(rn, n_squared_));
+}
+
+Ciphertext PaillierPublicKey::EncodeDeterministic(const BigInt& m) const {
+  BigInt reduced = m.Mod(n_);
+  return Ciphertext((BigInt(1) + reduced * n_).Mod(n_squared_));
+}
+
+Ciphertext PaillierPublicKey::Add(const Ciphertext& a,
+                                  const Ciphertext& b) const {
+  OpCounters::CountMultiplication();
+  return Ciphertext(a.value().MulMod(b.value(), n_squared_));
+}
+
+Ciphertext PaillierPublicKey::AddPlain(const Ciphertext& a,
+                                       const BigInt& m) const {
+  OpCounters::CountMultiplication();
+  BigInt gm = (BigInt(1) + m.Mod(n_) * n_).Mod(n_squared_);
+  return Ciphertext(a.value().MulMod(gm, n_squared_));
+}
+
+Ciphertext PaillierPublicKey::MulScalar(const Ciphertext& a,
+                                        const BigInt& s) const {
+  OpCounters::CountExponentiation();
+  return Ciphertext(a.value().PowMod(s.Mod(n_), n_squared_));
+}
+
+Ciphertext PaillierPublicKey::Negate(const Ciphertext& a) const {
+  return MulScalar(a, n_ - BigInt(1));
+}
+
+Ciphertext PaillierPublicKey::Sub(const Ciphertext& a,
+                                  const Ciphertext& b) const {
+  return Add(a, Negate(b));
+}
+
+Ciphertext PaillierPublicKey::Rerandomize(const Ciphertext& a,
+                                          Random& rng) const {
+  OpCounters::CountEncryption();  // costs one r^N modexp, same as encryption
+  BigInt r = rng.UnitModulo(n_);
+  BigInt rn = r.PowMod(n_, n_squared_);
+  return Ciphertext(a.value().MulMod(rn, n_squared_));
+}
+
+bool PaillierPublicKey::IsValidCiphertext(const Ciphertext& c) const {
+  const BigInt& v = c.value();
+  if (v.IsNegative() || v >= n_squared_) return false;
+  return v.Gcd(n_) == BigInt(1);
+}
+
+Result<PaillierSecretKey> PaillierSecretKey::FromPrimes(const BigInt& p,
+                                                        const BigInt& q,
+                                                        unsigned key_bits) {
+  if (p == q) {
+    return Status::CryptoError("Paillier: p and q must be distinct");
+  }
+  if (!p.IsProbablePrime() || !q.IsProbablePrime()) {
+    return Status::CryptoError("Paillier: p and q must be prime");
+  }
+  PaillierSecretKey sk;
+  sk.p_ = p;
+  sk.q_ = q;
+  BigInt n = p * q;
+  // gcd(N, phi(N)) must be 1; holds whenever p, q are distinct primes of the
+  // same bit length, but verify to be safe with caller-provided primes.
+  BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+  if (n.Gcd(phi) != BigInt(1)) {
+    return Status::CryptoError("Paillier: gcd(N, phi(N)) != 1");
+  }
+  sk.pk_ = PaillierPublicKey(n, key_bits);
+  sk.lambda_ = (p - BigInt(1)).Lcm(q - BigInt(1));
+  // With g = N+1: g^lambda mod N^2 = 1 + lambda*N, so
+  // L(g^lambda mod N^2) = lambda mod N and mu = lambda^{-1} mod N.
+  SKNN_ASSIGN_OR_RETURN(sk.mu_, sk.lambda_.Mod(n).InvMod(n));
+
+  // CRT precomputations (Paillier Section 7 / standard optimization).
+  sk.p_squared_ = p * p;
+  sk.q_squared_ = q * q;
+  BigInt gp = sk.pk_.g().Mod(sk.p_squared_);
+  BigInt gq = sk.pk_.g().Mod(sk.q_squared_);
+  BigInt lp = LFunction(gp.PowMod(p - BigInt(1), sk.p_squared_), p);
+  BigInt lq = LFunction(gq.PowMod(q - BigInt(1), sk.q_squared_), q);
+  SKNN_ASSIGN_OR_RETURN(sk.hp_, lp.Mod(p).InvMod(p));
+  SKNN_ASSIGN_OR_RETURN(sk.hq_, lq.Mod(q).InvMod(q));
+  SKNN_ASSIGN_OR_RETURN(sk.p_inv_q_, p.Mod(q).InvMod(q));
+  return sk;
+}
+
+BigInt PaillierSecretKey::Decrypt(const Ciphertext& c) const {
+  OpCounters::CountDecryption();
+  return use_crt_ ? DecryptCrt(c) : DecryptStandard(c);
+}
+
+BigInt PaillierSecretKey::DecryptSigned(const Ciphertext& c) const {
+  return DecodeSigned(Decrypt(c), pk_.n());
+}
+
+BigInt PaillierSecretKey::DecryptStandard(const Ciphertext& c) const {
+  BigInt u = c.value().PowMod(lambda_, pk_.n_squared());
+  return LFunction(u, pk_.n()).MulMod(mu_, pk_.n());
+}
+
+BigInt PaillierSecretKey::DecryptCrt(const Ciphertext& c) const {
+  // m_p = L_p(c^{p-1} mod p^2) * hp mod p, likewise mod q; then CRT.
+  BigInt cp = c.value().Mod(p_squared_);
+  BigInt cq = c.value().Mod(q_squared_);
+  BigInt mp =
+      LFunction(cp.PowMod(p_ - BigInt(1), p_squared_), p_).MulMod(hp_, p_);
+  BigInt mq =
+      LFunction(cq.PowMod(q_ - BigInt(1), q_squared_), q_).MulMod(hq_, q_);
+  // Garner: m = mp + p * ((mq - mp) * p^{-1} mod q).
+  BigInt diff = mq.SubMod(mp, q_);
+  BigInt t = diff.MulMod(p_inv_q_, q_);
+  return mp + p_ * t;
+}
+
+Result<PaillierKeyPair> GeneratePaillierKeyPair(unsigned key_bits,
+                                                Random& rng) {
+  if (key_bits < 16) {
+    return Status::InvalidArgument(
+        "Paillier key size must be >= 16 bits, got " +
+        std::to_string(key_bits));
+  }
+  unsigned half = key_bits / 2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    BigInt p = rng.Prime(half);
+    BigInt q = rng.Prime(key_bits - half);
+    if (p == q) continue;
+    BigInt n = p * q;
+    if (n.BitLength() != key_bits) continue;
+    auto sk = PaillierSecretKey::FromPrimes(p, q, key_bits);
+    if (!sk.ok()) continue;
+    return PaillierKeyPair{sk->public_key(), std::move(sk).value()};
+  }
+  return Status::CryptoError("Paillier key generation failed to converge");
+}
+
+Result<PaillierKeyPair> GeneratePaillierKeyPair(unsigned key_bits) {
+  return GeneratePaillierKeyPair(key_bits, Random::ThreadLocal());
+}
+
+BigInt DecodeSigned(const BigInt& value, const BigInt& n) {
+  BigInt half = n.ShiftRight(1);
+  if (value > half) return value - n;
+  return value;
+}
+
+std::vector<Ciphertext> EncryptVector(const PaillierPublicKey& pk,
+                                      const std::vector<BigInt>& values,
+                                      Random& rng) {
+  std::vector<Ciphertext> out;
+  out.reserve(values.size());
+  for (const auto& v : values) out.push_back(pk.Encrypt(v, rng));
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,130 @@
+#include "crypto/serialization.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace sknn {
+namespace {
+
+constexpr char kPublicHeader[] = "sknn-paillier-public-v1";
+constexpr char kSecretHeader[] = "sknn-paillier-secret-v1";
+
+// Parses "header\nkey: value\n..." into a map, checking the header line.
+Result<std::map<std::string, std::string>> ParseKeyValueBlock(
+    const std::string& text, const std::string& expected_header) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != expected_header) {
+    return Status::InvalidArgument("key parse: bad or missing header (want '" +
+                                   expected_header + "')");
+  }
+  std::map<std::string, std::string> fields;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::size_t colon = line.find(": ");
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("key parse: malformed line '" + line +
+                                     "'");
+    }
+    fields[line.substr(0, colon)] = line.substr(colon + 2);
+  }
+  return fields;
+}
+
+Result<BigInt> HexField(const std::map<std::string, std::string>& fields,
+                        const std::string& name) {
+  auto it = fields.find(name);
+  if (it == fields.end()) {
+    return Status::InvalidArgument("key parse: missing field '" + name + "'");
+  }
+  return BigInt::FromString(it->second, 16);
+}
+
+Result<unsigned> BitsField(const std::map<std::string, std::string>& fields) {
+  auto it = fields.find("key_bits");
+  if (it == fields.end()) {
+    return Status::InvalidArgument("key parse: missing field 'key_bits'");
+  }
+  try {
+    return static_cast<unsigned>(std::stoul(it->second));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("key parse: bad key_bits");
+  }
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << content;
+  if (!out.good()) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializePublicKey(const PaillierPublicKey& pk) {
+  std::ostringstream out;
+  out << kPublicHeader << "\n";
+  out << "key_bits: " << pk.key_bits() << "\n";
+  out << "n: " << pk.n().ToString(16) << "\n";
+  return out.str();
+}
+
+Result<PaillierPublicKey> ParsePublicKey(const std::string& text) {
+  SKNN_ASSIGN_OR_RETURN(auto fields, ParseKeyValueBlock(text, kPublicHeader));
+  SKNN_ASSIGN_OR_RETURN(unsigned bits, BitsField(fields));
+  SKNN_ASSIGN_OR_RETURN(BigInt n, HexField(fields, "n"));
+  if (n.BitLength() != bits) {
+    return Status::InvalidArgument("public key parse: n does not match "
+                                   "key_bits");
+  }
+  return PaillierPublicKey(std::move(n), bits);
+}
+
+std::string SerializeSecretKey(const PaillierSecretKey& sk) {
+  std::ostringstream out;
+  out << kSecretHeader << "\n";
+  out << "key_bits: " << sk.public_key().key_bits() << "\n";
+  out << "p: " << sk.p().ToString(16) << "\n";
+  out << "q: " << sk.q().ToString(16) << "\n";
+  return out.str();
+}
+
+Result<PaillierSecretKey> ParseSecretKey(const std::string& text) {
+  SKNN_ASSIGN_OR_RETURN(auto fields, ParseKeyValueBlock(text, kSecretHeader));
+  SKNN_ASSIGN_OR_RETURN(unsigned bits, BitsField(fields));
+  SKNN_ASSIGN_OR_RETURN(BigInt p, HexField(fields, "p"));
+  SKNN_ASSIGN_OR_RETURN(BigInt q, HexField(fields, "q"));
+  return PaillierSecretKey::FromPrimes(p, q, bits);
+}
+
+Status WritePublicKeyFile(const std::string& path,
+                          const PaillierPublicKey& pk) {
+  return WriteFile(path, SerializePublicKey(pk));
+}
+
+Result<PaillierPublicKey> ReadPublicKeyFile(const std::string& path) {
+  SKNN_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParsePublicKey(text);
+}
+
+Status WriteSecretKeyFile(const std::string& path,
+                          const PaillierSecretKey& sk) {
+  return WriteFile(path, SerializeSecretKey(sk));
+}
+
+Result<PaillierSecretKey> ReadSecretKeyFile(const std::string& path) {
+  SKNN_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseSecretKey(text);
+}
+
+}  // namespace sknn

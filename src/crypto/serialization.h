@@ -1,0 +1,40 @@
+// Key serialization — the artifact formats of the outsourcing hand-off:
+// Alice ships the public key with the encrypted database to C1, and the
+// secret key (over a secure channel) to C2.
+//
+// Text format, versioned, line-oriented:
+//
+//   sknn-paillier-public-v1        sknn-paillier-secret-v1
+//   key_bits: 512                  key_bits: 512
+//   n: <hex>                       p: <hex>
+//                                  q: <hex>
+//
+// The secret key stores only the factorization; every derived constant
+// (lambda, mu, CRT tables) is recomputed on load, so a parsed key is
+// byte-for-byte equivalent to a freshly generated one.
+#ifndef SKNN_CRYPTO_SERIALIZATION_H_
+#define SKNN_CRYPTO_SERIALIZATION_H_
+
+#include <string>
+
+#include "crypto/paillier.h"
+
+namespace sknn {
+
+std::string SerializePublicKey(const PaillierPublicKey& pk);
+Result<PaillierPublicKey> ParsePublicKey(const std::string& text);
+
+std::string SerializeSecretKey(const PaillierSecretKey& sk);
+Result<PaillierSecretKey> ParseSecretKey(const std::string& text);
+
+/// \brief Convenience file wrappers.
+Status WritePublicKeyFile(const std::string& path,
+                          const PaillierPublicKey& pk);
+Result<PaillierPublicKey> ReadPublicKeyFile(const std::string& path);
+Status WriteSecretKeyFile(const std::string& path,
+                          const PaillierSecretKey& sk);
+Result<PaillierSecretKey> ReadSecretKeyFile(const std::string& path);
+
+}  // namespace sknn
+
+#endif  // SKNN_CRYPTO_SERIALIZATION_H_

@@ -1,0 +1,80 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace sknn {
+
+Status WriteCsv(const std::string& path, const PlainTable& table,
+                const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("WriteCsv: cannot open " + path);
+  }
+  if (!header.empty()) {
+    for (std::size_t j = 0; j < header.size(); ++j) {
+      if (j > 0) out << ',';
+      out << header[j];
+    }
+    out << '\n';
+  }
+  for (const auto& row : table) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IoError("WriteCsv: write failure on " + path);
+  }
+  return Status::OK();
+}
+
+Result<PlainTable> ReadCsv(const std::string& path, bool skip_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("ReadCsv: cannot open " + path);
+  }
+  PlainTable table;
+  std::string line;
+  bool first = true;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    PlainRecord row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        std::size_t consumed = 0;
+        int64_t v = std::stoll(cell, &consumed);
+        if (consumed != cell.size()) {
+          return Status::InvalidArgument("ReadCsv: non-integer cell '" +
+                                         cell + "'");
+        }
+        row.push_back(v);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("ReadCsv: non-integer cell '" + cell +
+                                       "'");
+      }
+    }
+    if (width == 0) {
+      width = row.size();
+    } else if (row.size() != width) {
+      return Status::InvalidArgument("ReadCsv: ragged row in " + path);
+    }
+    table.push_back(std::move(row));
+  }
+  if (table.empty()) {
+    return Status::InvalidArgument("ReadCsv: no data rows in " + path);
+  }
+  return table;
+}
+
+}  // namespace sknn

@@ -1,0 +1,23 @@
+// Minimal CSV I/O for integer tables — lets examples load external data and
+// lets the benchmark harness persist result series for plotting.
+#ifndef SKNN_DATA_CSV_H_
+#define SKNN_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace sknn {
+
+/// \brief Writes `table` as CSV; `header` (optional) becomes the first line.
+Status WriteCsv(const std::string& path, const PlainTable& table,
+                const std::vector<std::string>& header = {});
+
+/// \brief Reads an integer CSV. If `skip_header` the first line is dropped.
+Result<PlainTable> ReadCsv(const std::string& path, bool skip_header = false);
+
+}  // namespace sknn
+
+#endif  // SKNN_DATA_CSV_H_

@@ -1,0 +1,95 @@
+#include "data/encoding.h"
+
+#include <cmath>
+
+namespace sknn {
+
+Result<FixedPointEncoder> FixedPointEncoder::Create(double min_value,
+                                                    double max_value,
+                                                    unsigned bits) {
+  if (!(min_value <= max_value)) {
+    return Status::InvalidArgument("FixedPointEncoder: min > max");
+  }
+  if (bits == 0 || bits > 32) {
+    return Status::InvalidArgument("FixedPointEncoder: bits must be in 1..32");
+  }
+  double levels = static_cast<double>((int64_t{1} << bits) - 1);
+  double range = max_value - min_value;
+  // Degenerate constant column: everything maps to 0.
+  double scale = range > 0 ? levels / range : 1.0;
+  return FixedPointEncoder(min_value, max_value, scale, bits);
+}
+
+Result<int64_t> FixedPointEncoder::Encode(double value) const {
+  if (value < min_ || value > max_) {
+    return Status::OutOfRange("FixedPointEncoder: value outside fitted range");
+  }
+  return static_cast<int64_t>(std::llround((value - min_) * scale_));
+}
+
+double FixedPointEncoder::Decode(int64_t encoded) const {
+  return min_ + static_cast<double>(encoded) / scale_;
+}
+
+Result<TableEncoder> TableEncoder::Fit(
+    const std::vector<std::vector<double>>& table, unsigned bits) {
+  if (table.empty() || table[0].empty()) {
+    return Status::InvalidArgument("TableEncoder: empty table");
+  }
+  const std::size_t m = table[0].size();
+  std::vector<FixedPointEncoder> columns;
+  columns.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double lo = table[0][j], hi = table[0][j];
+    for (const auto& row : table) {
+      if (row.size() != m) {
+        return Status::InvalidArgument("TableEncoder: ragged table");
+      }
+      lo = std::min(lo, row[j]);
+      hi = std::max(hi, row[j]);
+    }
+    SKNN_ASSIGN_OR_RETURN(FixedPointEncoder enc,
+                          FixedPointEncoder::Create(lo, hi, bits));
+    columns.push_back(std::move(enc));
+  }
+  return TableEncoder(std::move(columns), bits);
+}
+
+Result<PlainRecord> TableEncoder::EncodeRow(
+    const std::vector<double>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("TableEncoder: row width mismatch");
+  }
+  PlainRecord out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    SKNN_ASSIGN_OR_RETURN(out[j], columns_[j].Encode(row[j]));
+  }
+  return out;
+}
+
+Result<PlainTable> TableEncoder::Encode(
+    const std::vector<std::vector<double>>& table) const {
+  PlainTable out;
+  out.reserve(table.size());
+  for (const auto& row : table) {
+    SKNN_ASSIGN_OR_RETURN(PlainRecord encoded, EncodeRow(row));
+    out.push_back(std::move(encoded));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> TableEncoder::Decode(
+    const PlainTable& table) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(table.size());
+  for (const auto& row : table) {
+    std::vector<double> decoded(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      decoded[j] = columns_[j].Decode(row[j]);
+    }
+    out.push_back(std::move(decoded));
+  }
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,62 @@
+#include "data/heart_dataset.h"
+
+namespace sknn {
+
+const std::vector<std::string>& HeartAttributeNames() {
+  static const std::vector<std::string> kNames = {
+      "age", "sex", "cp", "trestbps", "chol", "fbs", "slope", "ca", "thal"};
+  return kNames;
+}
+
+const PlainTable& HeartFullRecords() {
+  // Table 1, rows t1..t6: age sex cp trestbps chol fbs slope ca thal num.
+  static const PlainTable kRecords = {
+      {63, 1, 1, 145, 233, 1, 3, 0, 6, 0},
+      {56, 1, 3, 130, 256, 1, 2, 1, 6, 2},
+      {57, 0, 3, 140, 241, 0, 2, 0, 7, 1},
+      {59, 1, 4, 144, 200, 1, 2, 2, 6, 3},
+      {55, 0, 4, 128, 205, 0, 2, 1, 7, 3},
+      {77, 1, 4, 125, 304, 0, 1, 3, 3, 4},
+  };
+  return kRecords;
+}
+
+const PlainTable& HeartFeatures() {
+  static const PlainTable kFeatures = [] {
+    PlainTable out;
+    for (const auto& row : HeartFullRecords()) {
+      out.emplace_back(row.begin(), row.end() - 1);
+    }
+    return out;
+  }();
+  return kFeatures;
+}
+
+const std::vector<int64_t>& HeartLabels() {
+  static const std::vector<int64_t> kLabels = [] {
+    std::vector<int64_t> out;
+    for (const auto& row : HeartFullRecords()) {
+      out.push_back(row.back());
+    }
+    return out;
+  }();
+  return kLabels;
+}
+
+const PlainRecord& HeartExampleQuery() {
+  // Example 1: Q = <58, 1, 4, 133, 196, 1, 2, 1, 6>.
+  static const PlainRecord kQuery = {58, 1, 4, 133, 196, 1, 2, 1, 6};
+  return kQuery;
+}
+
+unsigned HeartAttrBits() {
+  int64_t max_value = 0;
+  for (const auto& row : HeartFullRecords()) {
+    for (int64_t v : row) max_value = std::max(max_value, v);
+  }
+  unsigned bits = 1;
+  while ((int64_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+
+}  // namespace sknn

@@ -1,0 +1,37 @@
+// The sample heart-disease dataset of Table 1 / Table 2 (UCI Cleveland
+// subset) and the query of Example 1 — used by the quickstart example and
+// by the end-to-end tests that reproduce the paper's worked example
+// (2-NN of Q must be {t4, t5}).
+#ifndef SKNN_DATA_HEART_DATASET_H_
+#define SKNN_DATA_HEART_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sknn {
+
+/// \brief The 9 query-able attribute names (age .. thal), Table 2 order.
+const std::vector<std::string>& HeartAttributeNames();
+
+/// \brief The 6 records of Table 1 restricted to the 9 query-able
+/// attributes (the `num` diagnosis column is the label, not a feature).
+const PlainTable& HeartFeatures();
+
+/// \brief The `num` diagnosis column of Table 1 (0 = no disease .. 4).
+const std::vector<int64_t>& HeartLabels();
+
+/// \brief The full 10-column records of Table 1 (features + num), as used
+/// verbatim in the paper's Example 3 SSED walk-through.
+const PlainTable& HeartFullRecords();
+
+/// \brief Bob's query record Q from Example 1.
+const PlainRecord& HeartExampleQuery();
+
+/// \brief Smallest attr_bits covering every value in the dataset and query.
+unsigned HeartAttrBits();
+
+}  // namespace sknn
+
+#endif  // SKNN_DATA_HEART_DATASET_H_

@@ -1,0 +1,70 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "bigint/random.h"
+#include "common/logging.h"
+
+namespace sknn {
+
+PlainTable GenerateUniformTable(std::size_t n, std::size_t m,
+                                int64_t max_value, uint64_t seed) {
+  SKNN_CHECK(max_value >= 0) << "max_value must be non-negative";
+  Random rng(seed);
+  PlainTable table(n, PlainRecord(m));
+  for (auto& row : table) {
+    for (auto& v : row) {
+      v = static_cast<int64_t>(
+          rng.UniformUint64(static_cast<uint64_t>(max_value) + 1));
+    }
+  }
+  return table;
+}
+
+PlainRecord GenerateUniformQuery(std::size_t m, int64_t max_value,
+                                 uint64_t seed) {
+  return GenerateUniformTable(1, m, max_value, seed)[0];
+}
+
+PlainTable GenerateClusteredTable(std::size_t n, std::size_t m,
+                                  int64_t max_value, const ClusterSpec& spec,
+                                  uint64_t seed) {
+  SKNN_CHECK(spec.num_clusters >= 1) << "need at least one cluster";
+  Random rng(seed);
+  PlainTable centroids(spec.num_clusters, PlainRecord(m));
+  for (auto& c : centroids) {
+    for (auto& v : c) {
+      v = static_cast<int64_t>(
+          rng.UniformUint64(static_cast<uint64_t>(max_value) + 1));
+    }
+  }
+  PlainTable table(n, PlainRecord(m));
+  for (std::size_t i = 0; i < n; ++i) {
+    const PlainRecord& c = centroids[i % spec.num_clusters];
+    for (std::size_t j = 0; j < m; ++j) {
+      int64_t jitter = static_cast<int64_t>(rng.UniformUint64(
+                           static_cast<uint64_t>(2 * spec.spread + 1))) -
+                       spec.spread;
+      table[i][j] = std::clamp<int64_t>(c[j] + jitter, 0, max_value);
+    }
+  }
+  return table;
+}
+
+unsigned BitsForMaxValue(int64_t max_value) {
+  SKNN_CHECK(max_value >= 0) << "max_value must be non-negative";
+  unsigned bits = 1;
+  while ((int64_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+
+int64_t MaxValueForDistanceBits(std::size_t m, unsigned l) {
+  // Need m * v^2 < 2^l  =>  v <= floor(sqrt((2^l - 1) / m)).
+  SKNN_CHECK(l >= 1 && l < 62) << "l out of supported range";
+  int64_t budget = ((int64_t{1} << l) - 1) / static_cast<int64_t>(m);
+  int64_t v = 0;
+  while ((v + 1) * (v + 1) <= budget) ++v;
+  return v;
+}
+
+}  // namespace sknn

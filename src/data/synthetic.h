@@ -1,0 +1,46 @@
+// Synthetic dataset generation — the paper's evaluation (Section 5) runs on
+// random synthetic tables so every parameter (n, m, domain) is controllable.
+// A clustered generator is also provided for the kNN-classification example,
+// where uniform data would make neighborhoods meaningless.
+#ifndef SKNN_DATA_SYNTHETIC_H_
+#define SKNN_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sknn {
+
+/// \brief n x m table with attributes uniform in [0, max_value].
+/// Deterministic in `seed`.
+PlainTable GenerateUniformTable(std::size_t n, std::size_t m,
+                                int64_t max_value, uint64_t seed);
+
+/// \brief A random query record matching `GenerateUniformTable`'s domain.
+PlainRecord GenerateUniformQuery(std::size_t m, int64_t max_value,
+                                 uint64_t seed);
+
+struct ClusterSpec {
+  std::size_t num_clusters = 4;
+  /// Max absolute per-attribute offset of a point from its centroid.
+  int64_t spread = 2;
+};
+
+/// \brief Clustered table: centroids uniform in [spread, max_value-spread],
+/// points jittered around them (clamped to the domain). The cluster id of
+/// row i is i % num_clusters — handy as a classification label.
+PlainTable GenerateClusteredTable(std::size_t n, std::size_t m,
+                                  int64_t max_value, const ClusterSpec& spec,
+                                  uint64_t seed);
+
+/// \brief Smallest `attr_bits` such that max_value < 2^attr_bits.
+unsigned BitsForMaxValue(int64_t max_value);
+
+/// \brief Largest attribute value allowed when the squared-distance domain
+/// must fit in `l` bits for m-attribute records: the paper fixes l (6 or 12)
+/// and the data must respect it.
+int64_t MaxValueForDistanceBits(std::size_t m, unsigned l);
+
+}  // namespace sknn
+
+#endif  // SKNN_DATA_SYNTHETIC_H_

@@ -1,0 +1,88 @@
+#include "net/channel.h"
+
+#include <sstream>
+
+namespace sknn {
+
+std::string TrafficStats::ToString() const {
+  std::ostringstream os;
+  os << "C1->C2: " << frames_a_to_b << " frames / " << bytes_a_to_b
+     << " B; C2->C1: " << frames_b_to_a << " frames / " << bytes_b_to_a
+     << " B";
+  return os.str();
+}
+
+Channel::EndpointPair Channel::CreatePair() {
+  auto channel = std::shared_ptr<Channel>(new Channel());
+  EndpointPair pair;
+  pair.a = std::make_unique<ChannelEndpoint>(channel, /*is_a=*/true);
+  pair.b = std::make_unique<ChannelEndpoint>(channel, /*is_a=*/false);
+  return pair;
+}
+
+TrafficStats Channel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Channel::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = TrafficStats{};
+}
+
+void Channel::set_latency(std::chrono::microseconds latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_ = latency;
+}
+
+std::chrono::microseconds Channel::latency() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_;
+}
+
+bool ChannelEndpoint::Send(std::vector<uint8_t> frame) {
+  Channel& ch = *channel_;
+  std::lock_guard<std::mutex> lock(ch.mutex_);
+  if (ch.closed_) return false;
+  Channel::Queue& q = is_a_ ? ch.a_to_b_ : ch.b_to_a_;
+  if (is_a_) {
+    ch.stats_.frames_a_to_b++;
+    ch.stats_.bytes_a_to_b += frame.size();
+  } else {
+    ch.stats_.frames_b_to_a++;
+    ch.stats_.bytes_b_to_a += frame.size();
+  }
+  q.frames.push_back(
+      {Channel::Clock::now() + ch.latency_, std::move(frame)});
+  q.cv.notify_one();
+  return true;
+}
+
+bool ChannelEndpoint::Recv(std::vector<uint8_t>* frame) {
+  Channel& ch = *channel_;
+  Channel::Queue& q = is_a_ ? ch.b_to_a_ : ch.a_to_b_;
+  std::unique_lock<std::mutex> lock(ch.mutex_);
+  for (;;) {
+    q.cv.wait(lock, [&] { return ch.closed_ || !q.frames.empty(); });
+    if (q.frames.empty()) return false;  // closed and drained
+    // Honor the simulated link latency: frames are FIFO, so only the head's
+    // delivery time matters.
+    Channel::Clock::time_point ready_at = q.frames.front().deliver_at;
+    if (ready_at <= Channel::Clock::now()) break;
+    q.cv.wait_until(lock, ready_at);
+  }
+  *frame = std::move(q.frames.front().bytes);
+  q.frames.pop_front();
+  return true;
+}
+
+void ChannelEndpoint::Close() {
+  Channel& ch = *channel_;
+  std::lock_guard<std::mutex> lock(ch.mutex_);
+  if (ch.closed_) return;
+  ch.closed_ = true;
+  ch.a_to_b_.cv.notify_all();
+  ch.b_to_a_.cv.notify_all();
+}
+
+}  // namespace sknn

@@ -1,0 +1,29 @@
+// Transport-neutral frame endpoint. The RPC layer is written against this
+// interface, so the same protocol code runs over the in-memory channel
+// (single-process simulation, traffic-accounted) or over TCP sockets
+// (real two-process deployment; see net/socket.h and tools/).
+#ifndef SKNN_NET_ENDPOINT_H_
+#define SKNN_NET_ENDPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sknn {
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// \brief Enqueues/writes one frame. Returns false once closed.
+  virtual bool Send(std::vector<uint8_t> frame) = 0;
+
+  /// \brief Blocks for the next frame; false when closed and drained.
+  virtual bool Recv(std::vector<uint8_t>* frame) = 0;
+
+  /// \brief Closes the link; unblocks any waiting Recv on both sides.
+  virtual void Close() = 0;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_NET_ENDPOINT_H_

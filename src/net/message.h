@@ -1,0 +1,42 @@
+// Typed protocol message and its wire codec.
+//
+// The two clouds exchange Messages: an opcode, a correlation id (so many
+// requests can be in flight during parallel record fan-out), a vector of
+// big integers (ciphertexts / plaintext residues) and optional raw bytes.
+// Messages are actually serialized to a length-prefixed wire format — the
+// traffic counters in channel.h therefore measure real communication cost,
+// and the same codec would work over a socket.
+#ifndef SKNN_NET_MESSAGE_H_
+#define SKNN_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/status.h"
+
+namespace sknn {
+
+struct Message {
+  uint16_t type = 0;
+  uint64_t correlation_id = 0;
+  std::vector<BigInt> ints;
+  std::vector<uint8_t> aux;
+
+  /// \brief Serialized size in bytes (what the codec will emit).
+  std::size_t WireSize() const;
+};
+
+/// \brief Wire format:
+///   [type:2][cid:8][n_ints:4]([len:4][bytes])*[aux_len:4][aux]
+/// all integers little-endian; BigInts as big-endian magnitudes (values are
+/// protocol residues, always non-negative).
+class WireCodec {
+ public:
+  static std::vector<uint8_t> Encode(const Message& msg);
+  static Result<Message> Decode(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_NET_MESSAGE_H_

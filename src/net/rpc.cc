@@ -1,0 +1,142 @@
+#include "net/rpc.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+
+RpcClient::RpcClient(std::unique_ptr<Endpoint> endpoint)
+    : endpoint_(std::move(endpoint)) {
+  demux_thread_ = std::thread([this] { DemuxLoop(); });
+}
+
+RpcClient::~RpcClient() {
+  Shutdown();
+  if (demux_thread_.joinable()) demux_thread_.join();
+}
+
+Result<Message> RpcClient::Call(Message request) {
+  if (shutdown_.load()) {
+    return Status::ProtocolError("RpcClient: already shut down");
+  }
+  uint64_t id = next_id_.fetch_add(1);
+  request.correlation_id = id;
+  auto call = std::make_shared<PendingCall>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_[id] = call;
+  }
+  if (!endpoint_->Send(WireCodec::Encode(request))) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.erase(id);
+    return Status::ProtocolError("RpcClient: link closed on send");
+  }
+  std::unique_lock<std::mutex> lock(call->mutex);
+  call->cv.wait(lock, [&] { return call->done; });
+  return std::move(call->result);
+}
+
+void RpcClient::Shutdown() {
+  shutdown_.store(true);
+  endpoint_->Close();
+}
+
+void RpcClient::DemuxLoop() {
+  std::vector<uint8_t> frame;
+  while (endpoint_->Recv(&frame)) {
+    Result<Message> decoded = WireCodec::Decode(frame);
+    std::shared_ptr<PendingCall> call;
+    if (decoded.ok()) {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(decoded->correlation_id);
+      if (it != pending_.end()) {
+        call = it->second;
+        pending_.erase(it);
+      }
+    }
+    if (!call) {
+      SKNN_LOG(Warning) << "RpcClient: dropping frame (unknown correlation "
+                           "id or decode failure)";
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(call->mutex);
+      call->result = std::move(decoded);
+      call->done = true;
+    }
+    call->cv.notify_one();
+  }
+  // Link closed: fail everything still pending.
+  std::map<uint64_t, std::shared_ptr<PendingCall>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    leftover.swap(pending_);
+  }
+  for (auto& [id, call] : leftover) {
+    (void)id;
+    {
+      std::lock_guard<std::mutex> lock(call->mutex);
+      call->result = Status::ProtocolError("RpcClient: link closed");
+      call->done = true;
+    }
+    call->cv.notify_one();
+  }
+}
+
+RpcServer::RpcServer(std::unique_ptr<Endpoint> endpoint,
+                     Handler handler, std::size_t worker_threads)
+    : endpoint_(std::move(endpoint)), handler_(std::move(handler)) {
+  if (worker_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(worker_threads);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+RpcServer::~RpcServer() {
+  Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // joins workers (pending tasks finish first)
+}
+
+void RpcServer::Shutdown() { endpoint_->Close(); }
+
+void RpcServer::WaitForClose() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void RpcServer::AcceptLoop() {
+  std::vector<uint8_t> frame;
+  while (endpoint_->Recv(&frame)) {
+    if (pool_) {
+      auto owned = std::make_shared<std::vector<uint8_t>>(std::move(frame));
+      pool_->Submit([this, owned] { HandleFrame(std::move(*owned)); });
+    } else {
+      HandleFrame(std::move(frame));
+    }
+  }
+}
+
+void RpcServer::HandleFrame(std::vector<uint8_t> frame) {
+  Result<Message> request = WireCodec::Decode(frame);
+  if (!request.ok()) {
+    SKNN_LOG(Warning) << "RpcServer: dropping undecodable frame: "
+                      << request.status();
+    return;
+  }
+  uint64_t cid = request->correlation_id;
+  Result<Message> response = handler_(*request);
+  Message out;
+  if (response.ok()) {
+    out = std::move(*response);
+  } else {
+    // Error responses carry the status message in aux with type 0xFFFF so
+    // the client surfaces a ProtocolError instead of hanging.
+    out.type = 0xFFFF;
+    const std::string& text = response.status().ToString();
+    out.aux.assign(text.begin(), text.end());
+  }
+  out.correlation_id = cid;
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  endpoint_->Send(WireCodec::Encode(out));
+}
+
+}  // namespace sknn

@@ -1,0 +1,96 @@
+// Request/response layer over an Endpoint (in-memory channel or socket).
+//
+// RpcClient is used by C1 (the protocol driver): Call() serializes a request,
+// assigns a fresh correlation id and blocks until the matching response
+// arrives. Many threads may Call() concurrently — a demux thread routes
+// responses by correlation id, which is what makes the paper's parallel
+// variant (Section 5.3) possible without one channel per worker.
+//
+// RpcServer is used by C2 (the key holder): it loops over incoming requests
+// and dispatches them to a Handler, optionally on a worker pool.
+#ifndef SKNN_NET_RPC_H_
+#define SKNN_NET_RPC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/channel.h"
+#include "net/message.h"
+
+namespace sknn {
+
+class RpcClient {
+ public:
+  explicit RpcClient(std::unique_ptr<Endpoint> endpoint);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// \brief Sends `request` (correlation id is assigned internally) and
+  /// blocks until the response with the same id arrives. Thread-safe.
+  Result<Message> Call(Message request);
+
+  /// \brief Closes the underlying link; outstanding calls fail.
+  void Shutdown();
+
+ private:
+  void DemuxLoop();
+
+  struct PendingCall {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Result<Message> result = Status::ProtocolError("uninitialized");
+  };
+
+  std::unique_ptr<Endpoint> endpoint_;
+  std::atomic<uint64_t> next_id_{1};
+  std::mutex pending_mutex_;
+  std::map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+  std::thread demux_thread_;
+  std::atomic<bool> shutdown_{false};
+};
+
+class RpcServer {
+ public:
+  /// \brief Handler maps a request to a response. It runs on server threads
+  /// and must be thread-safe when worker_threads > 1. The response's
+  /// correlation id is overwritten with the request's.
+  using Handler = std::function<Result<Message>(const Message&)>;
+
+  RpcServer(std::unique_ptr<Endpoint> endpoint, Handler handler,
+            std::size_t worker_threads = 1);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// \brief Stops the accept loop and joins workers.
+  void Shutdown();
+
+  /// \brief Blocks until the peer closes the link (accept loop exits).
+  /// Used by the standalone C2 server to serve a connection to completion.
+  void WaitForClose();
+
+ private:
+  void AcceptLoop();
+  void HandleFrame(std::vector<uint8_t> frame);
+
+  std::unique_ptr<Endpoint> endpoint_;
+  Handler handler_;
+  std::unique_ptr<ThreadPool> pool_;  // null => handle inline
+  std::thread accept_thread_;
+  std::mutex send_mutex_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_NET_RPC_H_

@@ -1,0 +1,175 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sknn {
+namespace {
+
+// Writes the whole buffer, looping over partial writes and EINTR.
+bool WriteAll(int fd, const uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads exactly len bytes; false on EOF or error.
+bool ReadAll(int fd, uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::recv(fd, data + done, len - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // orderly shutdown
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketEndpoint::~SocketEndpoint() { Close(); }
+
+bool SocketEndpoint::Send(std::vector<uint8_t> frame) {
+  if (closed_.load()) return false;
+  // Oversized frames would wrap the length prefix.
+  if (frame.size() > 0xFFFFFFFFu) return false;
+  uint8_t header[4];
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (!WriteAll(fd_, header, 4) ||
+      !WriteAll(fd_, frame.data(), frame.size())) {
+    return false;
+  }
+  bytes_sent_.fetch_add(4 + frame.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool SocketEndpoint::Recv(std::vector<uint8_t>* frame) {
+  std::lock_guard<std::mutex> lock(recv_mutex_);
+  uint8_t header[4];
+  if (!ReadAll(fd_, header, 4)) return false;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  frame->resize(len);
+  if (len > 0 && !ReadAll(fd_, frame->data(), len)) return false;
+  bytes_received_.fetch_add(4 + len, std::memory_order_relaxed);
+  return true;
+}
+
+void SocketEndpoint::Close() {
+  bool expected = false;
+  if (closed_.compare_exchange_strong(expected, true)) {
+    ::shutdown(fd_, SHUT_RDWR);  // unblocks any reader
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<SocketEndpoint>> ConnectTcp(const std::string& host,
+                                                   uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("ConnectTcp: bad IPv4 address '" + host +
+                                   "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect(" + host + ":" + std::to_string(port) +
+                           "): " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<SocketEndpoint>(fd);
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("bind(:" + std::to_string(port) +
+                           "): " + std::strerror(errno));
+  }
+  if (::listen(fd, 8) != 0) {
+    ::close(fd);
+    return Status::IoError("listen(): " + std::string(std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Status::IoError("getsockname(): " +
+                           std::string(std::strerror(errno)));
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<std::unique_ptr<SocketEndpoint>> TcpListener::Accept() {
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return Status::IoError("accept(): " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<SocketEndpoint>(client);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sknn

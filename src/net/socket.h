@@ -1,0 +1,79 @@
+// TCP transport: the real two-process deployment of the federated cloud.
+//
+// SocketEndpoint speaks the same framing as the in-memory channel — each
+// frame is a little-endian u32 length prefix followed by the WireCodec
+// bytes — so RpcClient/RpcServer and all protocol code run unchanged over
+// it. tools/ uses this to run C2 as a standalone key-holder server and the
+// C1 driver (plus Bob) as separate processes.
+#ifndef SKNN_NET_SOCKET_H_
+#define SKNN_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "net/endpoint.h"
+
+namespace sknn {
+
+class SocketEndpoint : public Endpoint {
+ public:
+  /// \brief Takes ownership of a connected stream-socket fd.
+  explicit SocketEndpoint(int fd) : fd_(fd) {}
+  ~SocketEndpoint() override;
+
+  bool Send(std::vector<uint8_t> frame) override;
+  bool Recv(std::vector<uint8_t>* frame) override;
+  void Close() override;
+
+  /// \brief Bytes written/read so far (communication-cost accounting for
+  /// the socket deployment, mirroring Channel's TrafficStats).
+  uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  uint64_t bytes_received() const { return bytes_received_.load(); }
+
+ private:
+  int fd_;
+  std::mutex send_mutex_;  // frames must not interleave
+  std::mutex recv_mutex_;
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+/// \brief Connects to host:port (IPv4 dotted quad or "localhost").
+Result<std::unique_ptr<SocketEndpoint>> ConnectTcp(const std::string& host,
+                                                   uint16_t port);
+
+/// \brief Listening socket; Bind with port 0 chooses an ephemeral port
+/// (query it with port() — used by tests and printed by the C2 server).
+class TcpListener {
+ public:
+  static Result<TcpListener> Bind(uint16_t port);
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// \brief Blocks for the next inbound connection.
+  Result<std::unique_ptr<SocketEndpoint>> Accept();
+
+  /// \brief Stops accepting; a blocked Accept returns an error.
+  void Close();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  uint16_t port_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_NET_SOCKET_H_

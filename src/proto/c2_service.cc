@@ -1,0 +1,247 @@
+#include "proto/c2_service.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bigint/random.h"
+
+namespace sknn {
+namespace {
+
+uint32_t ReadU32(const std::vector<uint8_t>& aux, std::size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(aux[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+void AppendU32(std::vector<uint8_t>& aux, uint32_t v) {
+  for (int i = 0; i < 4; ++i) aux.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+Result<Message> C2Service::Handle(const Message& request) {
+  switch (static_cast<Op>(request.type)) {
+    case Op::kPing: {
+      Message resp;
+      resp.type = OpCode(Op::kPing);
+      return resp;
+    }
+    case Op::kSmBatch:
+      return HandleSmBatch(request);
+    case Op::kLsbBatch:
+      return HandleLsbBatch(request);
+    case Op::kSvrCheckBatch:
+      return HandleSvrCheckBatch(request);
+    case Op::kSminPhase2Batch:
+      return HandleSminPhase2Batch(request);
+    case Op::kMinPointerBatch:
+      return HandleMinPointerBatch(request);
+    case Op::kTopKIndices:
+      return HandleTopKIndices(request);
+    case Op::kMaskedDecryptToBob:
+      return HandleMaskedDecryptToBob(request);
+    case Op::kFetchBobOutbox: {
+      Message resp;
+      resp.type = OpCode(Op::kFetchBobOutbox);
+      resp.ints = TakeBobOutbox();
+      return resp;
+    }
+    default:
+      return Status::ProtocolError("C2Service: unknown opcode " +
+                                   std::to_string(request.type));
+  }
+}
+
+std::vector<BigInt> C2Service::TakeBobOutbox() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BigInt> out;
+  out.swap(bob_outbox_);
+  return out;
+}
+
+std::vector<C2View> C2Service::TakeViews() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<C2View> out;
+  out.swap(views_);
+  return out;
+}
+
+void C2Service::RecordView(Op op, const BigInt& plaintext) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (record_views_) views_.push_back({op, plaintext});
+}
+
+// SM, Algorithm 1 step 2: h_i = D(a'_i) * D(b'_i) mod N, returned encrypted.
+Result<Message> C2Service::HandleSmBatch(const Message& req) {
+  if (req.ints.size() % 2 != 0) {
+    return Status::ProtocolError("kSmBatch: odd number of ciphertexts");
+  }
+  const PaillierPublicKey& pk = sk_.public_key();
+  Random& rng = Random::ThreadLocal();
+  Message resp;
+  resp.type = OpCode(Op::kSmBatch);
+  resp.ints.reserve(req.ints.size() / 2);
+  for (std::size_t i = 0; i < req.ints.size(); i += 2) {
+    BigInt ha = sk_.Decrypt(Ciphertext(req.ints[i]));
+    BigInt hb = sk_.Decrypt(Ciphertext(req.ints[i + 1]));
+    RecordView(Op::kSmBatch, ha);
+    RecordView(Op::kSmBatch, hb);
+    BigInt h = ha.MulMod(hb, pk.n());
+    resp.ints.push_back(pk.Encrypt(h, rng).value());
+  }
+  return resp;
+}
+
+// SBD Encrypted-LSB step: return a fresh encryption of parity(D(Y_i)).
+Result<Message> C2Service::HandleLsbBatch(const Message& req) {
+  const PaillierPublicKey& pk = sk_.public_key();
+  Random& rng = Random::ThreadLocal();
+  Message resp;
+  resp.type = OpCode(Op::kLsbBatch);
+  resp.ints.reserve(req.ints.size());
+  for (const auto& y_ct : req.ints) {
+    BigInt y = sk_.Decrypt(Ciphertext(y_ct));
+    RecordView(Op::kLsbBatch, y);
+    BigInt parity(y.IsOdd() ? 1 : 0);
+    resp.ints.push_back(pk.Encrypt(parity, rng).value());
+  }
+  return resp;
+}
+
+// SVR: report (in aux) whether each blinded difference decrypts to zero.
+Result<Message> C2Service::HandleSvrCheckBatch(const Message& req) {
+  Message resp;
+  resp.type = OpCode(Op::kSvrCheckBatch);
+  resp.aux.reserve(req.ints.size());
+  for (const auto& v_ct : req.ints) {
+    BigInt v = sk_.Decrypt(Ciphertext(v_ct));
+    RecordView(Op::kSvrCheckBatch, v);
+    resp.aux.push_back(v.IsZero() ? 1 : 0);
+  }
+  return resp;
+}
+
+// SMIN, Algorithm 3 step 2. Per block: decrypt L', derive alpha, raise each
+// Gamma' to alpha and RE-RANDOMIZE it (the re-encryption keeps alpha hidden
+// from C1 when alpha = 0 — Gamma'^0 would otherwise be the identity
+// ciphertext, a visible giveaway; the paper's security argument assumes all
+// values C1 receives are fresh randomized encryptions, Section 4.3).
+Result<Message> C2Service::HandleSminPhase2Batch(const Message& req) {
+  if (req.aux.size() != 8) {
+    return Status::ProtocolError("kSminPhase2Batch: bad aux header");
+  }
+  uint32_t l = ReadU32(req.aux, 0);
+  uint32_t count = ReadU32(req.aux, 4);
+  if (l == 0 || req.ints.size() != static_cast<std::size_t>(2 * l) * count) {
+    return Status::ProtocolError("kSminPhase2Batch: bad block geometry");
+  }
+  const PaillierPublicKey& pk = sk_.public_key();
+  Random& rng = Random::ThreadLocal();
+  const BigInt one(1);
+  Message resp;
+  resp.type = OpCode(Op::kSminPhase2Batch);
+  resp.ints.reserve(static_cast<std::size_t>(l + 1) * count);
+  for (uint32_t b = 0; b < count; ++b) {
+    const std::size_t base = static_cast<std::size_t>(b) * 2 * l;
+    // Decrypt the permuted L' vector; alpha = 1 iff some entry equals 1.
+    bool alpha = false;
+    for (uint32_t i = 0; i < l; ++i) {
+      BigInt m = sk_.Decrypt(Ciphertext(req.ints[base + l + i]));
+      RecordView(Op::kSminPhase2Batch, m);
+      if (m == one) alpha = true;
+    }
+    for (uint32_t i = 0; i < l; ++i) {
+      const Ciphertext gamma(req.ints[base + i]);
+      Ciphertext m_prime =
+          alpha ? pk.Rerandomize(gamma, rng) : pk.Encrypt(BigInt(0), rng);
+      resp.ints.push_back(m_prime.value());
+    }
+    resp.ints.push_back(pk.Encrypt(BigInt(alpha ? 1 : 0), rng).value());
+  }
+  return resp;
+}
+
+// SkNN_m step 3(c): U has Epk(1) at (one of) the zero position(s) of the
+// decrypted beta, Epk(0) elsewhere.
+Result<Message> C2Service::HandleMinPointerBatch(const Message& req) {
+  const PaillierPublicKey& pk = sk_.public_key();
+  Random& rng = Random::ThreadLocal();
+  std::vector<std::size_t> zero_positions;
+  std::vector<BigInt> plain;
+  plain.reserve(req.ints.size());
+  for (std::size_t i = 0; i < req.ints.size(); ++i) {
+    BigInt v = sk_.Decrypt(Ciphertext(req.ints[i]));
+    RecordView(Op::kMinPointerBatch, v);
+    if (v.IsZero()) zero_positions.push_back(i);
+    plain.push_back(std::move(v));
+  }
+  if (zero_positions.empty()) {
+    return Status::ProtocolError(
+        "kMinPointerBatch: no zero entry in beta (protocol violation)");
+  }
+  // Ties (several records at the global minimum distance) are broken by a
+  // random pick, exactly as prescribed in Section 4.2.
+  std::size_t chosen =
+      zero_positions[rng.UniformUint64(zero_positions.size())];
+  Message resp;
+  resp.type = OpCode(Op::kMinPointerBatch);
+  resp.ints.reserve(req.ints.size());
+  for (std::size_t i = 0; i < req.ints.size(); ++i) {
+    resp.ints.push_back(
+        pk.Encrypt(BigInt(i == chosen ? 1 : 0), rng).value());
+  }
+  return resp;
+}
+
+// SkNN_b step 3: decrypt all distances, return the k smallest indices.
+Result<Message> C2Service::HandleTopKIndices(const Message& req) {
+  if (req.aux.size() != 4) {
+    return Status::ProtocolError("kTopKIndices: bad aux header");
+  }
+  uint32_t k = ReadU32(req.aux, 0);
+  if (k == 0 || k > req.ints.size()) {
+    return Status::ProtocolError("kTopKIndices: k out of range");
+  }
+  std::vector<BigInt> dist;
+  dist.reserve(req.ints.size());
+  for (const auto& c : req.ints) {
+    BigInt d = sk_.Decrypt(Ciphertext(c));
+    RecordView(Op::kTopKIndices, d);
+    dist.push_back(std::move(d));
+  }
+  std::vector<uint32_t> idx(dist.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      int c = dist[a].Compare(dist[b]);
+                      return c != 0 ? c < 0 : a < b;  // deterministic ties
+                    });
+  Message resp;
+  resp.type = OpCode(Op::kTopKIndices);
+  for (uint32_t j = 0; j < k; ++j) AppendU32(resp.aux, idx[j]);
+  return resp;
+}
+
+// Final step of both protocols: decrypt the randomized records and queue the
+// plaintexts for Bob (C2 -> Bob leg; never sent back to C1).
+Result<Message> C2Service::HandleMaskedDecryptToBob(const Message& req) {
+  std::vector<BigInt> decrypted;
+  decrypted.reserve(req.ints.size());
+  for (const auto& c : req.ints) {
+    BigInt v = sk_.Decrypt(Ciphertext(c));
+    RecordView(Op::kMaskedDecryptToBob, v);
+    decrypted.push_back(std::move(v));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& v : decrypted) bob_outbox_.push_back(std::move(v));
+  }
+  Message resp;
+  resp.type = OpCode(Op::kMaskedDecryptToBob);
+  return resp;
+}
+
+}  // namespace sknn

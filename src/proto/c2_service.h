@@ -1,0 +1,73 @@
+// C2: the cloud that holds the Paillier secret key (Section 4, federated
+// cloud model). C2 never sees the encrypted database; it answers the
+// randomized sub-protocol requests issued by C1 and forwards decrypted,
+// still-masked query results to Bob.
+//
+// Security instrumentation: when view recording is enabled, every plaintext
+// C2 decrypts is captured. The property test suite uses this to check the
+// central claim of Section 4.3 — everything C2 sees is either a uniformly
+// random residue or a value the protocol explicitly allows it to learn.
+#ifndef SKNN_PROTO_C2_SERVICE_H_
+#define SKNN_PROTO_C2_SERVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "net/message.h"
+#include "proto/opcodes.h"
+
+namespace sknn {
+
+/// \brief One decrypted value observed by C2, tagged with the opcode that
+/// produced it (for the simulation-paradigm security tests).
+struct C2View {
+  Op op;
+  BigInt plaintext;
+};
+
+class C2Service {
+ public:
+  explicit C2Service(PaillierSecretKey sk) : sk_(std::move(sk)) {}
+
+  /// \brief RPC dispatch entry point; thread-safe.
+  Result<Message> Handle(const Message& request);
+
+  /// \brief Drains the decrypted masked records destined for Bob. In a real
+  /// deployment this is a direct C2 -> Bob message; the in-process engine
+  /// hands it to the QueryClient. Never routed through C1.
+  std::vector<BigInt> TakeBobOutbox();
+
+  // -- Security-test instrumentation --
+  void set_record_views(bool record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    record_views_ = record;
+    if (!record) views_.clear();
+  }
+  std::vector<C2View> TakeViews();
+
+  const PaillierPublicKey& public_key() const { return sk_.public_key(); }
+  PaillierSecretKey& secret_key() { return sk_; }
+
+ private:
+  Result<Message> HandleSmBatch(const Message& req);
+  Result<Message> HandleLsbBatch(const Message& req);
+  Result<Message> HandleSvrCheckBatch(const Message& req);
+  Result<Message> HandleSminPhase2Batch(const Message& req);
+  Result<Message> HandleMinPointerBatch(const Message& req);
+  Result<Message> HandleTopKIndices(const Message& req);
+  Result<Message> HandleMaskedDecryptToBob(const Message& req);
+
+  void RecordView(Op op, const BigInt& plaintext);
+
+  PaillierSecretKey sk_;
+  std::mutex mutex_;  // guards views_ and bob_outbox_
+  bool record_views_ = false;
+  std::vector<C2View> views_;
+  std::vector<BigInt> bob_outbox_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_PROTO_C2_SERVICE_H_

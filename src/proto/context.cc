@@ -1,0 +1,89 @@
+#include "proto/context.h"
+
+#include <string>
+
+namespace sknn {
+
+Result<Message> ProtoContext::Call(Op op, std::vector<BigInt> ints,
+                                   std::vector<uint8_t> aux) {
+  Message req;
+  req.type = OpCode(op);
+  req.ints = std::move(ints);
+  req.aux = std::move(aux);
+  SKNN_ASSIGN_OR_RETURN(Message resp, client_->Call(std::move(req)));
+  if (resp.type == OpCode(Op::kError)) {
+    return Status::ProtocolError(
+        "C2 error: " + std::string(resp.aux.begin(), resp.aux.end()));
+  }
+  return resp;
+}
+
+void ProtoContext::ForEach(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) const {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+Result<std::vector<BigInt>> ProtoContext::CallChunked(
+    Op op, const std::vector<BigInt>& ints, std::size_t in_arity,
+    std::size_t out_arity,
+    const std::function<std::vector<uint8_t>(std::size_t)>& make_aux) {
+  if (in_arity == 0 || ints.size() % in_arity != 0) {
+    return Status::InvalidArgument("CallChunked: size not divisible by arity");
+  }
+  const std::size_t count = ints.size() / in_arity;
+  if (count == 0) return std::vector<BigInt>{};
+
+  const std::size_t num_chunks =
+      (pool_ == nullptr) ? 1 : std::min(count, pool_->num_threads());
+  const std::size_t per_chunk = (count + num_chunks - 1) / num_chunks;
+
+  std::vector<std::size_t> chunk_begin;  // in items
+  for (std::size_t b = 0; b < count; b += per_chunk) chunk_begin.push_back(b);
+
+  std::vector<Result<Message>> responses(
+      chunk_begin.size(), Result<Message>(Status::Internal("unset")));
+  auto issue = [&](std::size_t c) {
+    std::size_t begin = chunk_begin[c];
+    std::size_t end = std::min(begin + per_chunk, count);
+    Message req;
+    req.type = OpCode(op);
+    req.ints.assign(ints.begin() + begin * in_arity,
+                    ints.begin() + end * in_arity);
+    if (make_aux) req.aux = make_aux(end - begin);
+    responses[c] = client_->Call(std::move(req));
+  };
+  if (pool_ != nullptr && chunk_begin.size() > 1) {
+    std::vector<std::future<void>> futs;
+    futs.reserve(chunk_begin.size());
+    for (std::size_t c = 0; c < chunk_begin.size(); ++c) {
+      futs.push_back(pool_->Submit([&, c] { issue(c); }));
+    }
+    for (auto& f : futs) f.get();
+  } else {
+    for (std::size_t c = 0; c < chunk_begin.size(); ++c) issue(c);
+  }
+
+  std::vector<BigInt> out;
+  out.reserve(count * out_arity);
+  for (std::size_t c = 0; c < chunk_begin.size(); ++c) {
+    if (!responses[c].ok()) return responses[c].status();
+    Message& resp = *responses[c];
+    if (resp.type == OpCode(Op::kError)) {
+      return Status::ProtocolError(
+          "C2 error: " + std::string(resp.aux.begin(), resp.aux.end()));
+    }
+    std::size_t begin = chunk_begin[c];
+    std::size_t end = std::min(begin + per_chunk, count);
+    if (resp.ints.size() != (end - begin) * out_arity) {
+      return Status::ProtocolError("CallChunked: bad response arity");
+    }
+    for (auto& v : resp.ints) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace sknn

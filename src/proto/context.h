@@ -1,0 +1,55 @@
+// Execution context shared by the C1-side protocol drivers: the public key,
+// the RPC client to C2, and an optional thread pool for the parallel variant
+// (paper Section 5.3). When a pool is present, batched requests are split
+// into one chunk per worker and issued concurrently, and local homomorphic
+// work fans out with ParallelFor — this is the library's analogue of the
+// paper's OpenMP parallelization.
+#ifndef SKNN_PROTO_CONTEXT_H_
+#define SKNN_PROTO_CONTEXT_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "crypto/paillier.h"
+#include "net/rpc.h"
+#include "proto/opcodes.h"
+
+namespace sknn {
+
+class ProtoContext {
+ public:
+  ProtoContext(const PaillierPublicKey* pk, RpcClient* client,
+               ThreadPool* pool = nullptr)
+      : pk_(pk), client_(client), pool_(pool) {}
+
+  const PaillierPublicKey& pk() const { return *pk_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// \brief Single RPC round trip. Fails if C2 reported an error.
+  Result<Message> Call(Op op, std::vector<BigInt> ints,
+                       std::vector<uint8_t> aux = {});
+
+  /// \brief Runs `fn(i)` for i in [0, count), parallel when a pool is set.
+  void ForEach(std::size_t count,
+               const std::function<void(std::size_t)>& fn) const;
+
+  /// \brief Chunked batch call: `count` independent items, each contributing
+  /// `in_arity` request ints and producing `out_arity` response ints.
+  /// `make_aux(chunk_items)` builds the per-chunk aux header (may return
+  /// empty). Responses are reassembled in item order. With a pool, one chunk
+  /// per worker is issued concurrently (C2 then also decrypts in parallel).
+  Result<std::vector<BigInt>> CallChunked(
+      Op op, const std::vector<BigInt>& ints, std::size_t in_arity,
+      std::size_t out_arity,
+      const std::function<std::vector<uint8_t>(std::size_t)>& make_aux = {});
+
+ private:
+  const PaillierPublicKey* pk_;
+  RpcClient* client_;
+  ThreadPool* pool_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_PROTO_CONTEXT_H_

@@ -1,0 +1,20 @@
+#include "proto/permutation.h"
+
+#include <numeric>
+
+namespace sknn {
+
+Permutation::Permutation(std::size_t n) : forward_(n) {
+  std::iota(forward_.begin(), forward_.end(), 0);
+}
+
+Permutation Permutation::Sample(std::size_t n, Random& rng) {
+  Permutation p(n);
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = rng.UniformUint64(i);  // j in [0, i)
+    std::swap(p.forward_[i - 1], p.forward_[j]);
+  }
+  return p;
+}
+
+}  // namespace sknn

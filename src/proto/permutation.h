@@ -1,0 +1,52 @@
+// Random permutations — C1's access-pattern defense. SMIN permutes the
+// Gamma and L vectors before C2 sees them (Algorithm 3 step 1(c,d)) and
+// SkNN_m permutes the blinded distance differences (Algorithm 6 step 3(b)).
+#ifndef SKNN_PROTO_PERMUTATION_H_
+#define SKNN_PROTO_PERMUTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/random.h"
+#include "common/logging.h"
+
+namespace sknn {
+
+class Permutation {
+ public:
+  /// \brief Identity permutation of size n.
+  explicit Permutation(std::size_t n);
+
+  /// \brief Uniform random permutation (Fisher-Yates over the CSPRNG).
+  static Permutation Sample(std::size_t n, Random& rng);
+
+  std::size_t size() const { return forward_.size(); }
+
+  /// \brief Image of index i: where element i of the input lands.
+  std::size_t At(std::size_t i) const { return forward_[i]; }
+
+  /// \brief out[pi(i)] = in[i].
+  template <typename T>
+  std::vector<T> Apply(const std::vector<T>& in) const {
+    SKNN_CHECK(in.size() == forward_.size()) << "Permutation size mismatch";
+    std::vector<T> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[forward_[i]] = in[i];
+    return out;
+  }
+
+  /// \brief out[i] = in[pi(i)] — undoes Apply.
+  template <typename T>
+  std::vector<T> ApplyInverse(const std::vector<T>& in) const {
+    SKNN_CHECK(in.size() == forward_.size()) << "Permutation size mismatch";
+    std::vector<T> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[forward_[i]];
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> forward_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_PROTO_PERMUTATION_H_

@@ -1,0 +1,156 @@
+#include "proto/sbd.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sknn {
+namespace {
+
+// One full (unverified) decomposition pass over the given instances.
+// Returns LSB-first bits per instance.
+Result<std::vector<std::vector<Ciphertext>>> DecomposePass(
+    ProtoContext& ctx, const std::vector<Ciphertext>& ezs,
+    const SbdOptions& opts) {
+  const std::size_t count = ezs.size();
+  const PaillierPublicKey& pk = ctx.pk();
+  const BigInt& n = pk.n();
+  // 2^{-1} mod N = (N+1)/2: the exact-division-by-two exponent.
+  const BigInt inv2 = (n + BigInt(1)).ShiftRight(1);
+
+  std::vector<Ciphertext> current(ezs.begin(), ezs.end());
+  std::vector<std::vector<Ciphertext>> bits_lsb_first(
+      count, std::vector<Ciphertext>(opts.l));
+
+  for (unsigned t = 0; t < opts.l; ++t) {
+    // Step 1: blind every instance.
+    std::vector<BigInt> masks(count);
+    std::vector<BigInt> request(count);
+    ctx.ForEach(count, [&](std::size_t i) {
+      Random& rng = Random::ThreadLocal();
+      masks[i] = opts.adversarial_masks_for_test ? n - BigInt(1)
+                                                 : rng.Below(n);
+      request[i] =
+          pk.Add(current[i], pk.Encrypt(masks[i], rng)).value();
+    });
+
+    // Step 2: C2 returns Epk(parity(z + r mod N)).
+    SKNN_ASSIGN_OR_RETURN(std::vector<BigInt> parities,
+                          ctx.CallChunked(Op::kLsbBatch, request,
+                                          /*in_arity=*/1, /*out_arity=*/1));
+
+    // Steps 3-4: recover the encrypted LSB and shift right. With b = the
+    // mask's parity (known to C1): lsb = b + (-1)^b * parity, i.e. parity
+    // itself for even masks and its complement for odd ones. Both branches
+    // are computed through the same formula (1 enc + 1 exp + 1 mul) so the
+    // operation count is independent of the secret coin — no cost side
+    // channel, and deterministic complexity accounting.
+    ctx.ForEach(count, [&](std::size_t i) {
+      Random& rng = Random::ThreadLocal();
+      Ciphertext parity(parities[i]);
+      const bool odd = masks[i].IsOdd();
+      BigInt sign = odd ? n - BigInt(1) : BigInt(1);
+      Ciphertext lsb = pk.Add(pk.Encrypt(BigInt(odd ? 1 : 0), rng),
+                              pk.MulScalar(parity, sign));
+      bits_lsb_first[i][t] = lsb;
+      current[i] = pk.MulScalar(pk.Sub(current[i], lsb), inv2);
+    });
+  }
+  return bits_lsb_first;
+}
+
+}  // namespace
+
+Ciphertext ComposeFromBits(const PaillierPublicKey& pk,
+                           const std::vector<Ciphertext>& bits) {
+  // bits are MSB first: z = sum_i bits[i] * 2^{l-1-i}.
+  const std::size_t l = bits.size();
+  Ciphertext acc = pk.MulScalar(bits[0], BigInt::PowerOfTwo(l - 1));
+  for (std::size_t i = 1; i < l; ++i) {
+    acc = pk.Add(acc, pk.MulScalar(bits[i], BigInt::PowerOfTwo(l - 1 - i)));
+  }
+  return acc;
+}
+
+Result<std::vector<std::vector<Ciphertext>>> BitDecomposeBatch(
+    ProtoContext& ctx, const std::vector<Ciphertext>& ezs,
+    const SbdOptions& opts) {
+  if (opts.l == 0) {
+    return Status::InvalidArgument("SBD: bit width l must be positive");
+  }
+  const std::size_t count = ezs.size();
+  if (count == 0) return std::vector<std::vector<Ciphertext>>{};
+  const PaillierPublicKey& pk = ctx.pk();
+  const BigInt& n = pk.n();
+  if (BigInt::PowerOfTwo(opts.l) >= n) {
+    return Status::InvalidArgument(
+        "SBD: 2^l must be smaller than the Paillier modulus");
+  }
+
+  std::vector<std::vector<Ciphertext>> result(count);
+  std::vector<std::size_t> todo(count);
+  std::iota(todo.begin(), todo.end(), 0);
+
+  SbdOptions pass_opts = opts;
+  for (int attempt = 0; !todo.empty(); ++attempt) {
+    if (attempt > opts.max_retries) {
+      return Status::ProtocolError(
+          "SBD: exceeded retry budget (is z really < 2^l?)");
+    }
+    std::vector<Ciphertext> pending;
+    pending.reserve(todo.size());
+    for (std::size_t i : todo) pending.push_back(ezs[i]);
+
+    SKNN_ASSIGN_OR_RETURN(std::vector<std::vector<Ciphertext>> passed,
+                          DecomposePass(ctx, pending, pass_opts));
+    // The adversarial hook only poisons the first pass, so retry converges.
+    pass_opts.adversarial_masks_for_test = false;
+
+    // Reverse to MSB-first, the paper's [z] convention.
+    for (auto& bits : passed) {
+      std::reverse(bits.begin(), bits.end());
+    }
+
+    if (!opts.verify) {
+      for (std::size_t j = 0; j < todo.size(); ++j) {
+        result[todo[j]] = std::move(passed[j]);
+      }
+      break;
+    }
+
+    // SVR: v = (recomposed - z) * gamma with gamma nonzero; C2 reports
+    // whether each v decrypts to zero. gamma hides the error magnitude.
+    std::vector<BigInt> check(todo.size());
+    ctx.ForEach(todo.size(), [&](std::size_t j) {
+      Random& rng = Random::ThreadLocal();
+      Ciphertext recomposed = ComposeFromBits(pk, passed[j]);
+      Ciphertext diff = pk.Sub(recomposed, ezs[todo[j]]);
+      check[j] = pk.MulScalar(diff, rng.NonZeroBelow(n)).value();
+    });
+    SKNN_ASSIGN_OR_RETURN(Message resp,
+                          ctx.Call(Op::kSvrCheckBatch, std::move(check)));
+    if (resp.aux.size() != todo.size()) {
+      return Status::ProtocolError("SBD: bad SVR response size");
+    }
+
+    std::vector<std::size_t> failed;
+    for (std::size_t j = 0; j < todo.size(); ++j) {
+      if (resp.aux[j] == 1) {
+        result[todo[j]] = std::move(passed[j]);
+      } else {
+        failed.push_back(todo[j]);
+      }
+    }
+    todo = std::move(failed);
+  }
+  return result;
+}
+
+Result<std::vector<Ciphertext>> BitDecompose(ProtoContext& ctx,
+                                             const Ciphertext& ez,
+                                             const SbdOptions& opts) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<std::vector<Ciphertext>> out,
+                        BitDecomposeBatch(ctx, {ez}, opts));
+  return std::move(out[0]);
+}
+
+}  // namespace sknn

@@ -1,0 +1,30 @@
+#include "proto/sbor.h"
+
+#include "proto/sm.h"
+
+namespace sknn {
+
+Result<std::vector<Ciphertext>> SecureBitOrBatch(
+    ProtoContext& ctx, const std::vector<Ciphertext>& o1s,
+    const std::vector<Ciphertext>& o2s) {
+  if (o1s.size() != o2s.size()) {
+    return Status::InvalidArgument("SBOR: operand vectors differ in length");
+  }
+  const PaillierPublicKey& pk = ctx.pk();
+  SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> ands,
+                        SecureMultiplyBatch(ctx, o1s, o2s));
+  std::vector<Ciphertext> out(o1s.size());
+  ctx.ForEach(o1s.size(), [&](std::size_t i) {
+    out[i] = pk.Sub(pk.Add(o1s[i], o2s[i]), ands[i]);
+  });
+  return out;
+}
+
+Result<Ciphertext> SecureBitOr(ProtoContext& ctx, const Ciphertext& o1,
+                               const Ciphertext& o2) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> out,
+                        SecureBitOrBatch(ctx, {o1}, {o2}));
+  return out[0];
+}
+
+}  // namespace sknn

@@ -1,0 +1,54 @@
+#include "proto/sm.h"
+
+namespace sknn {
+
+Result<std::vector<Ciphertext>> SecureMultiplyBatch(
+    ProtoContext& ctx, const std::vector<Ciphertext>& eas,
+    const std::vector<Ciphertext>& ebs) {
+  if (eas.size() != ebs.size()) {
+    return Status::InvalidArgument("SM: operand vectors differ in length");
+  }
+  const std::size_t count = eas.size();
+  if (count == 0) return std::vector<Ciphertext>{};
+  const PaillierPublicKey& pk = ctx.pk();
+  const BigInt& n = pk.n();
+
+  // Step 1: blind both operands. ra, rb stay local to C1.
+  std::vector<BigInt> ra(count), rb(count);
+  std::vector<BigInt> request(2 * count);
+  ctx.ForEach(count, [&](std::size_t i) {
+    Random& rng = Random::ThreadLocal();
+    ra[i] = rng.Below(n);
+    rb[i] = rng.Below(n);
+    Ciphertext a_blind = pk.Add(eas[i], pk.Encrypt(ra[i], rng));
+    Ciphertext b_blind = pk.Add(ebs[i], pk.Encrypt(rb[i], rng));
+    request[2 * i] = a_blind.value();
+    request[2 * i + 1] = b_blind.value();
+  });
+
+  // Step 2: C2 decrypts, multiplies, re-encrypts h = (a+ra)(b+rb) mod N.
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<BigInt> h,
+      ctx.CallChunked(Op::kSmBatch, request, /*in_arity=*/2, /*out_arity=*/1));
+
+  // Step 3: strip the cross terms:
+  //   Epk(ab) = h' * Epk(a)^{N-rb} * Epk(b)^{N-ra} * Epk(ra*rb)^{N-1}.
+  std::vector<Ciphertext> out(count);
+  ctx.ForEach(count, [&](std::size_t i) {
+    Random& rng = Random::ThreadLocal();
+    Ciphertext s = pk.Add(Ciphertext(h[i]), pk.MulScalar(eas[i], n - rb[i]));
+    Ciphertext s_prime = pk.Add(s, pk.MulScalar(ebs[i], n - ra[i]));
+    Ciphertext cross = pk.Encrypt(ra[i].MulMod(rb[i], n), rng);
+    out[i] = pk.Add(s_prime, pk.MulScalar(cross, n - BigInt(1)));
+  });
+  return out;
+}
+
+Result<Ciphertext> SecureMultiply(ProtoContext& ctx, const Ciphertext& ea,
+                                  const Ciphertext& eb) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> out,
+                        SecureMultiplyBatch(ctx, {ea}, {eb}));
+  return out[0];
+}
+
+}  // namespace sknn

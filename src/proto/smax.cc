@@ -1,0 +1,52 @@
+#include "proto/smax.h"
+
+namespace sknn {
+namespace {
+
+std::vector<EncryptedBits> ComplementAll(const PaillierPublicKey& pk,
+                                         const std::vector<EncryptedBits>& v) {
+  std::vector<EncryptedBits> out;
+  out.reserve(v.size());
+  for (const auto& bits : v) out.push_back(ComplementBits(pk, bits));
+  return out;
+}
+
+}  // namespace
+
+EncryptedBits ComplementBits(const PaillierPublicKey& pk,
+                             const EncryptedBits& bits) {
+  Random& rng = Random::ThreadLocal();
+  EncryptedBits out;
+  out.reserve(bits.size());
+  for (const auto& b : bits) {
+    out.push_back(pk.Sub(pk.Encrypt(BigInt(1), rng), b));
+  }
+  return out;
+}
+
+Result<std::vector<EncryptedBits>> SecureMaxBatch(
+    ProtoContext& ctx, const std::vector<EncryptedBits>& us,
+    const std::vector<EncryptedBits>& vs) {
+  const PaillierPublicKey& pk = ctx.pk();
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<EncryptedBits> mins,
+      SecureMinBatch(ctx, ComplementAll(pk, us), ComplementAll(pk, vs)));
+  return ComplementAll(pk, mins);
+}
+
+Result<EncryptedBits> SecureMax(ProtoContext& ctx, const EncryptedBits& u,
+                                const EncryptedBits& v) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<EncryptedBits> out,
+                        SecureMaxBatch(ctx, {u}, {v}));
+  return std::move(out[0]);
+}
+
+Result<EncryptedBits> SecureMaxN(ProtoContext& ctx,
+                                 const std::vector<EncryptedBits>& ds) {
+  const PaillierPublicKey& pk = ctx.pk();
+  SKNN_ASSIGN_OR_RETURN(EncryptedBits min_bits,
+                        SecureMinN(ctx, ComplementAll(pk, ds)));
+  return ComplementBits(pk, min_bits);
+}
+
+}  // namespace sknn

@@ -1,0 +1,43 @@
+// Secure Maximum — the De-Morgan dual of SMIN, built with zero additional
+// interaction machinery:
+//
+//   max(u, v) = NOT min(NOT u, NOT v)
+//
+// where NOT flips every bit of the l-bit representation, a purely local
+// homomorphic operation (1 - b = Epk(1) * Epk(b)^{N-1}). Security is
+// inherited verbatim from SMIN.
+//
+// SMAX_n powers the secure k-FARTHEST-neighbor query (core/sknn_f.h) — the
+// building block for the distance-based outlier detection the paper lists
+// among downstream applications (Section 2.1.1).
+#ifndef SKNN_PROTO_SMAX_H_
+#define SKNN_PROTO_SMAX_H_
+
+#include <vector>
+
+#include "proto/context.h"
+#include "proto/smin.h"
+
+namespace sknn {
+
+/// \brief Homomorphic bitwise complement of an encrypted bit vector:
+/// out_i = Epk(1 - b_i). Local (no interaction).
+EncryptedBits ComplementBits(const PaillierPublicKey& pk,
+                             const EncryptedBits& bits);
+
+/// \brief [max(u,v)] from [u], [v] (equal length l >= 1).
+Result<EncryptedBits> SecureMax(ProtoContext& ctx, const EncryptedBits& u,
+                                const EncryptedBits& v);
+
+/// \brief Pairwise SMAX over a batch; two round trips total.
+Result<std::vector<EncryptedBits>> SecureMaxBatch(
+    ProtoContext& ctx, const std::vector<EncryptedBits>& us,
+    const std::vector<EncryptedBits>& vs);
+
+/// \brief [max(d_1, ..., d_n)] via the complemented SMIN_n tournament.
+Result<EncryptedBits> SecureMaxN(ProtoContext& ctx,
+                                 const std::vector<EncryptedBits>& ds);
+
+}  // namespace sknn
+
+#endif  // SKNN_PROTO_SMAX_H_

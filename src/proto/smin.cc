@@ -1,0 +1,191 @@
+#include "proto/smin.h"
+
+#include <cstdint>
+
+#include "proto/permutation.h"
+#include "proto/sm.h"
+
+namespace sknn {
+namespace {
+
+void AppendU32(std::vector<uint8_t>& aux, uint32_t v) {
+  for (int i = 0; i < 4; ++i) aux.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+// Per-pair state C1 must remember between phase 1 and phase 3.
+struct PairState {
+  bool f_u_greater_v;        // the private functionality F
+  std::vector<BigInt> r_hat; // Gamma blinding, length l
+  Permutation pi1{0};        // applied to Gamma
+};
+
+}  // namespace
+
+Result<std::vector<EncryptedBits>> SecureMinBatch(
+    ProtoContext& ctx, const std::vector<EncryptedBits>& us,
+    const std::vector<EncryptedBits>& vs) {
+  if (us.size() != vs.size()) {
+    return Status::InvalidArgument("SMIN: batch sizes differ");
+  }
+  const std::size_t count = us.size();
+  if (count == 0) return std::vector<EncryptedBits>{};
+  const std::size_t l = us[0].size();
+  if (l == 0) {
+    return Status::InvalidArgument("SMIN: empty bit vectors");
+  }
+  for (std::size_t b = 0; b < count; ++b) {
+    if (us[b].size() != l || vs[b].size() != l) {
+      return Status::InvalidArgument("SMIN: ragged bit vectors");
+    }
+  }
+  const PaillierPublicKey& pk = ctx.pk();
+  const BigInt& n = pk.n();
+  const BigInt n_minus_1 = n - BigInt(1);
+  const BigInt n_minus_2 = n - BigInt(2);
+
+  // -- Round trip 1: Epk(u_i * v_i) for every pair and bit via batched SM.
+  std::vector<Ciphertext> flat_u(count * l), flat_v(count * l);
+  for (std::size_t b = 0; b < count; ++b) {
+    for (std::size_t i = 0; i < l; ++i) {
+      flat_u[b * l + i] = us[b][i];
+      flat_v[b * l + i] = vs[b][i];
+    }
+  }
+  SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> uv,
+                        SecureMultiplyBatch(ctx, flat_u, flat_v));
+
+  // -- Phase 1 (local): W, Gamma, G, H, Phi, L per Algorithm 3 step 1.
+  std::vector<PairState> state(count);
+  // Request layout per block: Gamma'_1..Gamma'_l, L'_1..L'_l.
+  std::vector<BigInt> request(count * 2 * l);
+  ctx.ForEach(count, [&](std::size_t b) {
+    Random& rng = Random::ThreadLocal();
+    PairState& st = state[b];
+    st.f_u_greater_v = rng.UniformUint64(2) == 0;
+    st.r_hat.resize(l);
+
+    std::vector<Ciphertext> gamma(l), big_l(l);
+    Ciphertext h_prev = pk.Encrypt(BigInt(0), rng);  // H_0 = Epk(0)
+    for (std::size_t i = 0; i < l; ++i) {
+      const Ciphertext& ui = us[b][i];
+      const Ciphertext& vi = vs[b][i];
+      const Ciphertext& uivi = uv[b * l + i];
+
+      Ciphertext w;
+      Ciphertext diff;  // Epk(v_i - u_i) or Epk(u_i - v_i), by F
+      if (st.f_u_greater_v) {
+        w = pk.Sub(ui, uivi);       // Epk(u_i * (1 - v_i))
+        diff = pk.Sub(vi, ui);
+      } else {
+        w = pk.Sub(vi, uivi);       // Epk(v_i * (1 - u_i))
+        diff = pk.Sub(ui, vi);
+      }
+      st.r_hat[i] = rng.NonZeroBelow(n);
+      gamma[i] = pk.Add(diff, pk.Encrypt(st.r_hat[i], rng));
+
+      // G_i = Epk(u_i XOR v_i) = Epk(u_i + v_i - 2 u_i v_i).
+      Ciphertext g =
+          pk.Add(pk.Add(ui, vi), pk.MulScalar(uivi, n_minus_2));
+      // H_i = H_{i-1}^{r_i} * G_i with r_i nonzero: preserves the first
+      // Epk(1), randomizes everything after it.
+      Ciphertext h = pk.Add(pk.MulScalar(h_prev, rng.NonZeroBelow(n)), g);
+      h_prev = h;
+      // Phi_i = Epk(-1) * H_i: zero exactly at the first differing bit.
+      Ciphertext phi = pk.Add(pk.Encrypt(n_minus_1, rng), h);
+      // L_i = W_i * Phi_i^{r'_i}: the deciding W leaks only where Phi = 0.
+      big_l[i] = pk.Add(w, pk.MulScalar(phi, rng.NonZeroBelow(n)));
+    }
+
+    st.pi1 = Permutation::Sample(l, rng);
+    Permutation pi2 = Permutation::Sample(l, rng);
+    std::vector<Ciphertext> gamma_perm = st.pi1.Apply(gamma);
+    std::vector<Ciphertext> l_perm = pi2.Apply(big_l);
+    for (std::size_t i = 0; i < l; ++i) {
+      request[b * 2 * l + i] = gamma_perm[i].value();
+      request[b * 2 * l + l + i] = l_perm[i].value();
+    }
+  });
+
+  // -- Round trip 2: C2 derives alpha per block, returns M' and Epk(alpha).
+  auto make_aux = [l](std::size_t chunk_items) {
+    std::vector<uint8_t> aux;
+    AppendU32(aux, static_cast<uint32_t>(l));
+    AppendU32(aux, static_cast<uint32_t>(chunk_items));
+    return aux;
+  };
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<BigInt> response,
+      ctx.CallChunked(Op::kSminPhase2Batch, request, /*in_arity=*/2 * l,
+                      /*out_arity=*/l + 1, make_aux));
+
+  // -- Phase 3 (local): strip blinding, recombine min bits.
+  std::vector<EncryptedBits> out(count, EncryptedBits(l));
+  ctx.ForEach(count, [&](std::size_t b) {
+    const PairState& st = state[b];
+    std::vector<Ciphertext> m_perm(l);
+    for (std::size_t i = 0; i < l; ++i) {
+      m_perm[i] = Ciphertext(response[b * (l + 1) + i]);
+    }
+    Ciphertext e_alpha(response[b * (l + 1) + l]);
+    std::vector<Ciphertext> m = st.pi1.ApplyInverse(m_perm);
+    for (std::size_t i = 0; i < l; ++i) {
+      // lambda_i = M~_i * Epk(alpha)^{N - r^_i} = Epk(alpha*(diff_i)).
+      Ciphertext lambda =
+          pk.Add(m[i], pk.MulScalar(e_alpha, n - st.r_hat[i]));
+      // min_i = u_i + alpha*(v_i - u_i)  (or v/u swapped when F: v > u).
+      const Ciphertext& base = st.f_u_greater_v ? us[b][i] : vs[b][i];
+      out[b][i] = pk.Add(base, lambda);
+    }
+  });
+  return out;
+}
+
+Result<EncryptedBits> SecureMin(ProtoContext& ctx, const EncryptedBits& u,
+                                const EncryptedBits& v) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<EncryptedBits> out,
+                        SecureMinBatch(ctx, {u}, {v}));
+  return std::move(out[0]);
+}
+
+Result<EncryptedBits> SecureMinNLinear(ProtoContext& ctx,
+                                       const std::vector<EncryptedBits>& ds) {
+  if (ds.empty()) {
+    return Status::InvalidArgument("SMIN_n: empty input");
+  }
+  EncryptedBits acc = ds[0];
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    SKNN_ASSIGN_OR_RETURN(acc, SecureMin(ctx, acc, ds[i]));
+  }
+  return acc;
+}
+
+Result<EncryptedBits> SecureMinN(ProtoContext& ctx,
+                                 const std::vector<EncryptedBits>& ds) {
+  if (ds.empty()) {
+    return Status::InvalidArgument("SMIN_n: empty input");
+  }
+  // Algorithm 4: bottom-up binary tournament. Each round pairs up the
+  // surviving vectors; odd survivor advances unchanged. All SMINs of a
+  // round share two batched round trips.
+  std::vector<EncryptedBits> alive = ds;
+  while (alive.size() > 1) {
+    std::vector<EncryptedBits> us, vs;
+    us.reserve(alive.size() / 2);
+    vs.reserve(alive.size() / 2);
+    for (std::size_t j = 0; j + 1 < alive.size(); j += 2) {
+      us.push_back(std::move(alive[j]));
+      vs.push_back(std::move(alive[j + 1]));
+    }
+    bool carry = (alive.size() % 2) == 1;
+    EncryptedBits carried;
+    if (carry) carried = std::move(alive.back());
+
+    SKNN_ASSIGN_OR_RETURN(std::vector<EncryptedBits> winners,
+                          SecureMinBatch(ctx, us, vs));
+    alive = std::move(winners);
+    if (carry) alive.push_back(std::move(carried));
+  }
+  return std::move(alive[0]);
+}
+
+}  // namespace sknn

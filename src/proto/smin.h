@@ -1,0 +1,58 @@
+// Secure Minimum (SMIN, Algorithm 3) and Secure Minimum out of n numbers
+// (SMIN_n, Algorithm 4).
+//
+// SMIN: C1 holds [u], [v] — encrypted bit vectors (MSB first, length l) —
+// and learns [min(u,v)] without either party learning which operand won:
+//
+//   * C1 flips a private coin F in {u > v, v > u} and evaluates the chosen
+//     comparison obliviously: W_i encrypts "bit i decides F", Gamma_i the
+//     blinded bit difference, G_i = u_i XOR v_i, the H chain marks the first
+//     differing position, Phi_i is zero exactly there, and L_i = W_i +
+//     r'_i * Phi_i exposes the deciding W only at that position.
+//   * C1 permutes Gamma and L with fresh permutations pi_1, pi_2 and sends
+//     them; C2 decrypts L, sets alpha = [some entry == 1] (the outcome of F,
+//     meaningless to C2 since F is secret), and returns re-randomized
+//     Gamma^alpha plus Epk(alpha).
+//   * C1 un-permutes, strips the Gamma blinding and recombines:
+//     min_i = u_i + alpha*(v_i - u_i) when F: u > v (symmetrically for v).
+//
+// SMIN_n runs a bottom-up tournament of SMINs (ceil(log2 n) rounds); all
+// pairs of a round ride in the same batched round trips.
+#ifndef SKNN_PROTO_SMIN_H_
+#define SKNN_PROTO_SMIN_H_
+
+#include <vector>
+
+#include "proto/context.h"
+
+namespace sknn {
+
+/// \brief An encrypted bit vector [z], MSB first — the paper's bracket
+/// notation.
+using EncryptedBits = std::vector<Ciphertext>;
+
+/// \brief [min(u,v)] from [u], [v] (equal length l >= 1).
+Result<EncryptedBits> SecureMin(ProtoContext& ctx, const EncryptedBits& u,
+                                const EncryptedBits& v);
+
+/// \brief Pairwise SMIN over a batch: out[i] = [min(us[i], vs[i])]. Two
+/// round trips total regardless of batch size.
+Result<std::vector<EncryptedBits>> SecureMinBatch(
+    ProtoContext& ctx, const std::vector<EncryptedBits>& us,
+    const std::vector<EncryptedBits>& vs);
+
+/// \brief [min(d_1, ..., d_n)] via the tournament of Algorithm 4.
+/// 2*ceil(log2 n) round trips.
+Result<EncryptedBits> SecureMinN(ProtoContext& ctx,
+                                 const std::vector<EncryptedBits>& ds);
+
+/// \brief The naive ordering Algorithm 4 improves on: a sequential linear
+/// scan (min = SMIN(min, d_i) one pair at a time). Same O(n-1) SMIN count
+/// but 2*(n-1) round trips and no batching — kept as the ablation baseline
+/// for the tournament design choice (see bench_ablation).
+Result<EncryptedBits> SecureMinNLinear(ProtoContext& ctx,
+                                       const std::vector<EncryptedBits>& ds);
+
+}  // namespace sknn
+
+#endif  // SKNN_PROTO_SMIN_H_

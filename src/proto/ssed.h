@@ -1,0 +1,30 @@
+// Secure Squared Euclidean Distance (SSED), Algorithm 2.
+//
+// C1 holds two attribute-wise encrypted vectors; the squared distance
+// |X-Y|^2 = sum_i (x_i - y_i)^2 is assembled from homomorphic differences,
+// one batched SM for the squares, and a homomorphic sum. Only squared
+// distances are ever computed — the paper notes squaring preserves the
+// ordering kNN needs, and exact roots are infeasible on ciphertexts.
+#ifndef SKNN_PROTO_SSED_H_
+#define SKNN_PROTO_SSED_H_
+
+#include <vector>
+
+#include "proto/context.h"
+
+namespace sknn {
+
+/// \brief Epk(|X - Y|^2) from Epk(X), Epk(Y) (equal-length vectors).
+Result<Ciphertext> SecureSquaredDistance(ProtoContext& ctx,
+                                         const std::vector<Ciphertext>& ex,
+                                         const std::vector<Ciphertext>& ey);
+
+/// \brief Distances from one encrypted query to many encrypted records in a
+/// single batched SM round trip: out[i] = Epk(|records[i] - query|^2).
+Result<std::vector<Ciphertext>> SecureSquaredDistanceBatch(
+    ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& records,
+    const std::vector<Ciphertext>& query);
+
+}  // namespace sknn
+
+#endif  // SKNN_PROTO_SSED_H_

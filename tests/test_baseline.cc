@@ -1,0 +1,155 @@
+// Tests for the baselines: exact plaintext kNN, the small linear-algebra
+// kit, the ASPE comparator scheme (order preservation), and the
+// known-plaintext attack that breaks it — the security gap motivating the
+// paper's protocols.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/aspe.h"
+#include "baseline/linalg.h"
+#include "baseline/plaintext_knn.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace {
+
+TEST(PlaintextKnnTest, SquaredDistance) {
+  EXPECT_EQ(SquaredDistance({0, 0}, {3, 4}), 25);
+  EXPECT_EQ(SquaredDistance({1, 1, 1}, {1, 1, 1}), 0);
+  EXPECT_EQ(SquaredDistance({-2}, {2}), 16);
+}
+
+TEST(PlaintextKnnTest, FindsNearestInOrder) {
+  PlainTable table = {{0, 0}, {10, 0}, {1, 1}, {5, 5}};
+  PlainRecord query = {0, 1};
+  auto idx = PlainKnnIndices(table, query, 3);
+  // distances: 1, 101, 1, 41 -> ties at distance 1 broken by index.
+  std::vector<std::size_t> expected = {0, 2, 3};
+  EXPECT_EQ(idx, expected);
+  PlainTable rows = PlainKnn(table, query, 2);
+  PlainTable expected_rows = {{0, 0}, {1, 1}};
+  EXPECT_EQ(rows, expected_rows);
+}
+
+TEST(PlaintextKnnTest, KEqualsNReturnsAll) {
+  PlainTable table = {{5}, {1}, {3}};
+  auto idx = PlainKnnIndices(table, {0}, 3);
+  std::vector<std::size_t> expected = {1, 2, 0};
+  EXPECT_EQ(idx, expected);
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix id = Matrix::Identity(3);
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(id.MultiplyVector(v), v);
+}
+
+TEST(MatrixTest, TransposeSwapsIndices) {
+  Matrix m(2, 3);
+  m.At(0, 1) = 5.0;
+  m.At(1, 2) = 7.0;
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.At(1, 0), 5.0);
+  EXPECT_EQ(t.At(2, 1), 7.0);
+}
+
+TEST(MatrixTest, InverseRoundTrip) {
+  Random rng(7);
+  Matrix m = Matrix::RandomInvertible(5, rng);
+  auto inv = m.Inverse();
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = m.Multiply(*inv);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(prod.At(r, c), r == c ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(MatrixTest, SingularMatrixHasNoInverse) {
+  Matrix m(2, 2);  // all zeros
+  EXPECT_FALSE(m.Inverse().ok());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.Inverse().ok());
+}
+
+TEST(MatrixTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+class AspeTest : public ::testing::Test {
+ protected:
+  Random rng_{2024};
+};
+
+TEST_F(AspeTest, PreservesKnnOrder) {
+  const std::size_t n = 60, m = 5;
+  const int64_t max_value = 100;
+  PlainTable table = GenerateUniformTable(n, m, max_value, 1);
+  PlainRecord query = GenerateUniformQuery(m, max_value, 2);
+
+  AspeScheme scheme = AspeScheme::Create(m, rng_);
+  std::vector<AspeVector> enc_points;
+  for (const auto& row : table) enc_points.push_back(scheme.EncryptPoint(row));
+  AspeVector enc_query = scheme.EncryptQuery(query, rng_);
+
+  for (unsigned k : {1u, 5u, 10u}) {
+    auto secure_idx = AspeScheme::Knn(enc_points, enc_query, k);
+    auto plain_idx = PlainKnnIndices(table, query, k);
+    // Compare distance multisets (ties may order differently).
+    std::multiset<int64_t> a, b;
+    for (std::size_t i : secure_idx) a.insert(SquaredDistance(table[i], query));
+    for (std::size_t i : plain_idx) b.insert(SquaredDistance(table[i], query));
+    EXPECT_EQ(a, b) << "k=" << k;
+  }
+}
+
+TEST_F(AspeTest, QueryEncryptionIsRandomized) {
+  AspeScheme scheme = AspeScheme::Create(3, rng_);
+  PlainRecord q = {1, 2, 3};
+  AspeVector e1 = scheme.EncryptQuery(q, rng_);
+  AspeVector e2 = scheme.EncryptQuery(q, rng_);
+  EXPECT_NE(e1, e2) << "query scaling factor must be fresh";
+}
+
+TEST_F(AspeTest, KnownPlaintextAttackRecoversEverything) {
+  // The break the paper cites (Section 2.1.1): with m+1 known pairs the
+  // attacker decrypts the whole outsourced database.
+  const std::size_t m = 4;
+  const int64_t max_value = 50;
+  PlainTable table = GenerateUniformTable(30, m, max_value, 3);
+  AspeScheme scheme = AspeScheme::Create(m, rng_);
+  std::vector<AspeVector> enc_points;
+  for (const auto& row : table) enc_points.push_back(scheme.EncryptPoint(row));
+
+  // Attacker knows the first m+2 records (e.g. via insertion or insider).
+  std::size_t known = m + 2;
+  std::vector<PlainRecord> known_plain(table.begin(), table.begin() + known);
+  std::vector<AspeVector> known_enc(enc_points.begin(),
+                                    enc_points.begin() + known);
+  auto attack = AspeKnownPlaintextAttack::Fit(known_plain, known_enc);
+  ASSERT_TRUE(attack.ok()) << attack.status();
+
+  // Every other ciphertext now decrypts.
+  for (std::size_t i = known; i < table.size(); ++i) {
+    EXPECT_EQ(attack->Decrypt(enc_points[i]), table[i]) << "record " << i;
+  }
+}
+
+TEST_F(AspeTest, AttackRequiresEnoughPairs) {
+  const std::size_t m = 4;
+  PlainTable table = GenerateUniformTable(3, m, 50, 4);  // m+1 = 5 needed
+  AspeScheme scheme = AspeScheme::Create(m, rng_);
+  std::vector<AspeVector> enc;
+  for (const auto& row : table) enc.push_back(scheme.EncryptPoint(row));
+  EXPECT_FALSE(AspeKnownPlaintextAttack::Fit(
+                   {table.begin(), table.end()}, enc)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sknn

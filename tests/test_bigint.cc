@@ -1,0 +1,294 @@
+// Unit and property tests for the GMP BigInt wrapper and the CSPRNG.
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bigint/random.h"
+
+namespace sknn {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt v;
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_EQ(v.ToString(), "0");
+  EXPECT_EQ(v.BitLength(), 0u);
+}
+
+TEST(BigIntTest, ConstructFromInt64) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-7).ToString(), "-7");
+  EXPECT_EQ(BigInt(int64_t{1} << 62).BitLength(), 63u);
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const std::string decimal =
+      "123456789012345678901234567890123456789012345678901234567890";
+  auto v = BigInt::FromString(decimal);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), decimal);
+}
+
+TEST(BigIntTest, FromStringHex) {
+  auto v = BigInt::FromString("ff", 16);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, BigInt(255));
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("12x34").ok());
+  EXPECT_FALSE(BigInt::FromString("").ok());
+}
+
+TEST(BigIntTest, ArithmeticBasics) {
+  BigInt a(100), b(7);
+  EXPECT_EQ(a + b, BigInt(107));
+  EXPECT_EQ(a - b, BigInt(93));
+  EXPECT_EQ(a * b, BigInt(700));
+  EXPECT_EQ(a / b, BigInt(14));
+  EXPECT_EQ(-a, BigInt(-100));
+}
+
+TEST(BigIntTest, CompoundAssignment) {
+  BigInt a(10);
+  a += BigInt(5);
+  EXPECT_EQ(a, BigInt(15));
+  a -= BigInt(20);
+  EXPECT_EQ(a, BigInt(-5));
+  a *= BigInt(-3);
+  EXPECT_EQ(a, BigInt(15));
+}
+
+TEST(BigIntTest, ModIsAlwaysNonNegative) {
+  EXPECT_EQ(BigInt(-1).Mod(BigInt(5)), BigInt(4));
+  EXPECT_EQ(BigInt(-10).Mod(BigInt(3)), BigInt(2));
+  EXPECT_EQ(BigInt(7).Mod(BigInt(3)), BigInt(1));
+}
+
+TEST(BigIntTest, ModularHelpers) {
+  BigInt m(97);
+  EXPECT_EQ(BigInt(90).AddMod(BigInt(10), m), BigInt(3));
+  EXPECT_EQ(BigInt(5).SubMod(BigInt(10), m), BigInt(92));
+  EXPECT_EQ(BigInt(10).MulMod(BigInt(10), m), BigInt(3));
+}
+
+TEST(BigIntTest, PowMod) {
+  // 2^10 mod 1000 = 24.
+  EXPECT_EQ(BigInt(2).PowMod(BigInt(10), BigInt(1000)), BigInt(24));
+  // Fermat: a^(p-1) = 1 mod p.
+  BigInt p(104729);  // prime
+  EXPECT_EQ(BigInt(12345).PowMod(p - BigInt(1), p), BigInt(1));
+}
+
+TEST(BigIntTest, InvMod) {
+  BigInt m(97);
+  auto inv = BigInt(35).InvMod(m);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(BigInt(35).MulMod(*inv, m), BigInt(1));
+}
+
+TEST(BigIntTest, InvModFailsWhenNotCoprime) {
+  EXPECT_FALSE(BigInt(6).InvMod(BigInt(9)).ok());
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(BigInt(12).Gcd(BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt(4).Lcm(BigInt(6)), BigInt(12));
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v(0b101101);
+  EXPECT_EQ(v.BitLength(), 6u);
+  EXPECT_EQ(v.Bit(0), 1);
+  EXPECT_EQ(v.Bit(1), 0);
+  EXPECT_EQ(v.Bit(2), 1);
+  EXPECT_EQ(v.Bit(3), 1);
+  EXPECT_EQ(v.Bit(4), 0);
+  EXPECT_EQ(v.Bit(5), 1);
+  EXPECT_EQ(v.Bit(6), 0);
+}
+
+TEST(BigIntTest, Shifts) {
+  EXPECT_EQ(BigInt(5).ShiftLeft(3), BigInt(40));
+  EXPECT_EQ(BigInt(40).ShiftRight(3), BigInt(5));
+  EXPECT_EQ(BigInt(41).ShiftRight(3), BigInt(5));  // floor
+}
+
+TEST(BigIntTest, PowerOfTwo) {
+  EXPECT_EQ(BigInt::PowerOfTwo(0), BigInt(1));
+  EXPECT_EQ(BigInt::PowerOfTwo(10), BigInt(1024));
+  EXPECT_EQ(BigInt::PowerOfTwo(100).BitLength(), 101u);
+}
+
+TEST(BigIntTest, ParityChecks) {
+  EXPECT_TRUE(BigInt(4).IsEven());
+  EXPECT_TRUE(BigInt(7).IsOdd());
+  EXPECT_TRUE(BigInt(0).IsEven());
+  EXPECT_TRUE(BigInt(-3).IsOdd());
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_GT(BigInt(2), BigInt(1));
+  EXPECT_LE(BigInt(2), BigInt(2));
+  EXPECT_GE(BigInt(2), BigInt(2));
+  EXPECT_NE(BigInt(1), BigInt(-1));
+  EXPECT_LT(BigInt(-5), BigInt(-4));
+}
+
+TEST(BigIntTest, ToInt64Bounds) {
+  EXPECT_EQ(BigInt(123).ToInt64().value(), 123);
+  EXPECT_EQ(BigInt(-123).ToInt64().value(), -123);
+  BigInt too_big = BigInt::PowerOfTwo(70);
+  EXPECT_FALSE(too_big.ToInt64().ok());
+}
+
+TEST(BigIntTest, ToUint64RejectsNegative) {
+  EXPECT_FALSE(BigInt(-1).ToUint64().ok());
+  EXPECT_EQ(BigInt(uint64_t{42}).ToUint64().value(), 42u);
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  auto v = BigInt::FromString("987654321987654321987654321");
+  ASSERT_TRUE(v.ok());
+  std::vector<uint8_t> bytes = v->ToBytes();
+  EXPECT_EQ(BigInt::FromBytes(bytes), *v);
+}
+
+TEST(BigIntTest, BytesOfZeroIsEmpty) {
+  EXPECT_TRUE(BigInt(0).ToBytes().empty());
+  EXPECT_TRUE(BigInt::FromBytes({}).IsZero());
+}
+
+TEST(BigIntTest, IsProbablePrime) {
+  EXPECT_TRUE(BigInt(2).IsProbablePrime());
+  EXPECT_TRUE(BigInt(104729).IsProbablePrime());
+  EXPECT_FALSE(BigInt(104730).IsProbablePrime());
+  EXPECT_FALSE(BigInt(1).IsProbablePrime());
+}
+
+TEST(BigIntTest, NextPrime) {
+  EXPECT_EQ(BigInt(10).NextPrime(), BigInt(11));
+  EXPECT_EQ(BigInt(11).NextPrime(), BigInt(13));
+}
+
+TEST(BigIntTest, CopyAndMoveSemantics) {
+  BigInt a(42);
+  BigInt b = a;        // copy
+  BigInt c = std::move(a);
+  EXPECT_EQ(b, BigInt(42));
+  EXPECT_EQ(c, BigInt(42));
+  b = c;               // copy assign
+  EXPECT_EQ(b, BigInt(42));
+  BigInt d;
+  d = std::move(c);    // move assign
+  EXPECT_EQ(d, BigInt(42));
+}
+
+// -- Property-style sweeps ---------------------------------------------------
+
+class BigIntModularProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntModularProperty, SubModAddModInverse) {
+  Random rng(GetParam());
+  BigInt m = rng.Prime(64);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = rng.Below(m);
+    BigInt b = rng.Below(m);
+    EXPECT_EQ(a.AddMod(b, m).SubMod(b, m), a);
+    EXPECT_EQ(a.SubMod(b, m).AddMod(b, m), a);
+  }
+}
+
+TEST_P(BigIntModularProperty, PowModMatchesRepeatedMul) {
+  Random rng(GetParam());
+  BigInt m = rng.Prime(48);
+  BigInt base = rng.Below(m);
+  BigInt acc(1);
+  for (uint64_t e = 0; e < 16; ++e) {
+    EXPECT_EQ(base.PowMod(BigInt(static_cast<int64_t>(e)), m), acc)
+        << "exponent " << e;
+    acc = acc.MulMod(base, m);
+  }
+}
+
+TEST_P(BigIntModularProperty, InverseIsTwoSided) {
+  Random rng(GetParam());
+  BigInt m = rng.Prime(64);
+  for (int i = 0; i < 25; ++i) {
+    BigInt a = rng.NonZeroBelow(m);
+    auto inv = a.InvMod(m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(a.MulMod(*inv, m), BigInt(1));
+    EXPECT_EQ(inv->MulMod(a, m), BigInt(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntModularProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234567u));
+
+// -- Random ------------------------------------------------------------------
+
+TEST(RandomTest, BelowIsInRange) {
+  Random rng(99);
+  BigInt bound(1000);
+  for (int i = 0; i < 200; ++i) {
+    BigInt v = rng.Below(bound);
+    EXPECT_FALSE(v.IsNegative());
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(RandomTest, NonZeroBelowNeverZero) {
+  Random rng(7);
+  BigInt bound(2);  // only possible value: 1
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.NonZeroBelow(bound), BigInt(1));
+  }
+}
+
+TEST(RandomTest, BitsHasExactLength) {
+  Random rng(5);
+  for (unsigned bits : {1u, 2u, 8u, 63u, 200u}) {
+    EXPECT_EQ(rng.Bits(bits).BitLength(), bits) << bits << " bits";
+  }
+}
+
+TEST(RandomTest, PrimeHasExactLengthAndIsPrime) {
+  Random rng(11);
+  for (unsigned bits : {16u, 24u, 48u}) {
+    BigInt p = rng.Prime(bits);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(p.IsProbablePrime());
+  }
+}
+
+TEST(RandomTest, UnitModuloIsCoprime) {
+  Random rng(13);
+  BigInt n = BigInt(61) * BigInt(67);
+  for (int i = 0; i < 50; ++i) {
+    BigInt u = rng.UnitModulo(n);
+    EXPECT_EQ(u.Gcd(n), BigInt(1));
+  }
+}
+
+TEST(RandomTest, DeterministicSeedsReproduce) {
+  Random a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Below(BigInt::PowerOfTwo(64)), b.Below(BigInt::PowerOfTwo(64)));
+  }
+}
+
+TEST(RandomTest, UniformUint64Bounds) {
+  Random rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.UniformUint64(10), 10u);
+  }
+  // bound 1 always yields 0.
+  EXPECT_EQ(rng.UniformUint64(1), 0u);
+}
+
+}  // namespace
+}  // namespace sknn

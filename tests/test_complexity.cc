@@ -1,0 +1,217 @@
+// Complexity-accounting tests — Section 4.4 made executable.
+//
+// The paper bounds each protocol in counts of Paillier encryptions,
+// decryptions and exponentiations. These tests measure the actual counters
+// and check the claimed growth laws *exactly*, using the fact that a
+// function is linear iff its second differences vanish:
+//   * SM / SBOR: constant ops per instance;
+//   * SSED: linear in m;  SBD: linear in l;  SMIN: linear in l;
+//   * SMIN_n: exactly (n-1) SMINs worth of ops;
+//   * SkNN_b: linear in n (at fixed m, k);
+//   * SkNN_m: linear in k (at fixed n, m, l).
+// Operation counts are randomness-independent (only *values* are random),
+// so the comparisons are exact, not statistical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "crypto/op_counters.h"
+#include "data/synthetic.h"
+#include "proto/sbd.h"
+#include "proto/sbor.h"
+#include "proto/sm.h"
+#include "proto/smin.h"
+#include "proto/ssed.h"
+#include "tests/proto_test_util.h"
+
+namespace sknn {
+namespace {
+
+struct Ops {
+  uint64_t enc, dec, exp, mul;
+  bool operator==(const Ops&) const = default;
+};
+
+Ops Measure(const std::function<void()>& fn) {
+  OpSnapshot before = OpCounters::Snapshot();
+  fn();
+  OpSnapshot d = OpCounters::Snapshot() - before;
+  return {d.encryptions, d.decryptions, d.exponentiations, d.multiplications};
+}
+
+Ops Scale(const Ops& o, uint64_t f) {
+  return {o.enc * f, o.dec * f, o.exp * f, o.mul * f};
+}
+
+Ops Diff(const Ops& a, const Ops& b) {
+  return {a.enc - b.enc, a.dec - b.dec, a.exp - b.exp, a.mul - b.mul};
+}
+
+class ComplexityTest : public ::testing::Test {
+ protected:
+  TwoPartyHarness harness_;
+  Random rng_{424242};
+
+  std::vector<Ciphertext> EncryptMany(std::size_t count, int64_t bound) {
+    std::vector<Ciphertext> out;
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(harness_.pk().Encrypt(
+          BigInt(static_cast<int64_t>(rng_.UniformUint64(bound))), rng_));
+    }
+    return out;
+  }
+};
+
+TEST_F(ComplexityTest, SmIsConstantPerInstance) {
+  auto run = [&](std::size_t batch) {
+    return Measure([&] {
+      auto as = EncryptMany(batch, 100);
+      auto bs = EncryptMany(batch, 100);
+      OpSnapshot setup_excluded = OpCounters::Snapshot();
+      (void)setup_excluded;
+      ASSERT_TRUE(SecureMultiplyBatch(harness_.ctx(), as, bs).ok());
+    });
+  };
+  // Setup encryptions scale with batch too, but both linearly: second
+  // difference over batch sizes 2, 4, 6 must vanish.
+  Ops o2 = run(2), o4 = run(4), o6 = run(6);
+  EXPECT_EQ(Diff(o6, o4), Diff(o4, o2)) << "SM ops not linear in batch size";
+  // And per instance: 4x the batch = 4x the ops.
+  Ops o8 = run(8);
+  EXPECT_EQ(Scale(Diff(o4, o2), 3), Diff(o8, o2));
+}
+
+TEST_F(ComplexityTest, SborIsOneSmPlusConstant) {
+  auto as = EncryptMany(3, 2);
+  auto bs = EncryptMany(3, 2);
+  Ops sbor = Measure([&] {
+    ASSERT_TRUE(SecureBitOrBatch(harness_.ctx(), as, bs).ok());
+  });
+  Ops sm = Measure([&] {
+    ASSERT_TRUE(SecureMultiplyBatch(harness_.ctx(), as, bs).ok());
+  });
+  // SBOR = SM + 2 homomorphic multiplications (Add, Sub incl. Negate exp).
+  EXPECT_EQ(sbor.enc, sm.enc);
+  EXPECT_EQ(sbor.dec, sm.dec);
+  EXPECT_EQ(sbor.exp, sm.exp + 3);  // Negate inside Sub is one exp per item
+  EXPECT_GT(sbor.mul, sm.mul);
+}
+
+TEST_F(ComplexityTest, SsedIsLinearInM) {
+  auto run = [&](std::size_t m) {
+    auto x = EncryptMany(m, 50);
+    auto y = EncryptMany(m, 50);
+    return Measure([&] {
+      ASSERT_TRUE(SecureSquaredDistance(harness_.ctx(), x, y).ok());
+    });
+  };
+  Ops o2 = run(2), o4 = run(4), o6 = run(6);
+  EXPECT_EQ(Diff(o6, o4), Diff(o4, o2)) << "SSED ops not linear in m";
+}
+
+TEST_F(ComplexityTest, SbdIsLinearInL) {
+  Ciphertext z = harness_.pk().Encrypt(BigInt(3), rng_);
+  auto run = [&](unsigned l) {
+    SbdOptions opts;
+    opts.l = l;
+    return Measure(
+        [&] { ASSERT_TRUE(BitDecompose(harness_.ctx(), z, opts).ok()); });
+  };
+  Ops o4 = run(4), o8 = run(8), o12 = run(12);
+  EXPECT_EQ(Diff(o12, o8), Diff(o8, o4)) << "SBD ops not linear in l";
+}
+
+TEST_F(ComplexityTest, SminIsLinearInL) {
+  auto run = [&](unsigned l) {
+    auto u = harness_.EncryptBits(1, l);
+    auto v = harness_.EncryptBits(2 % (1u << l), l);
+    return Measure(
+        [&] { ASSERT_TRUE(SecureMin(harness_.ctx(), u, v).ok()); });
+  };
+  Ops o4 = run(4), o8 = run(8), o12 = run(12);
+  EXPECT_EQ(Diff(o12, o8), Diff(o8, o4)) << "SMIN ops not linear in l";
+}
+
+TEST_F(ComplexityTest, SminNCostsExactlyNMinusOneSmins) {
+  const unsigned l = 5;
+  auto run = [&](std::size_t n) {
+    std::vector<EncryptedBits> ds;
+    for (std::size_t i = 0; i < n; ++i) {
+      ds.push_back(harness_.EncryptBits(i % (1u << l), l));
+    }
+    return Measure(
+        [&] { ASSERT_TRUE(SecureMinN(harness_.ctx(), ds).ok()); });
+  };
+  // n-1 SMINs: 4 for n=5, 8 for n=9 -> exactly double the ops.
+  Ops o5 = run(5), o9 = run(9);
+  Ops per_smin = {o5.enc / 4, o5.dec / 4, o5.exp / 4, o5.mul / 4};
+  EXPECT_EQ(Scale(per_smin, 4), o5) << "SMIN_n(5) not a multiple of 4 SMINs";
+  EXPECT_EQ(Scale(per_smin, 8), o9) << "SMIN_n(9) != 8 SMINs worth of ops";
+}
+
+TEST_F(ComplexityTest, PaperBoundForSkNNm) {
+  // Section 4.4: SkNN_m is O(n * (l + m + k*l*log2 n)) encryptions and
+  // exponentiations. Check the measured counts against the explicit bound
+  // with a generous constant.
+  const std::size_t n = 8, m = 3;
+  const unsigned k = 2;
+  PlainTable table = GenerateUniformTable(n, m, 3, 5);
+  SknnEngine::Options opts;
+  opts.key_bits = 256;
+  opts.attr_bits = 2;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  const unsigned l = (*engine)->distance_bits();
+  auto result = (*engine)->QueryMaxSecure({1, 1, 1}, k);
+  ASSERT_TRUE(result.ok());
+  const double bound =
+      static_cast<double>(n) *
+      (l + m + static_cast<double>(k) * l * std::log2(double(n)));
+  const double kConstant = 40.0;  // generous per-unit constant
+  EXPECT_LT(static_cast<double>(result->ops.encryptions), kConstant * bound);
+  EXPECT_LT(static_cast<double>(result->ops.exponentiations),
+            kConstant * bound);
+}
+
+TEST_F(ComplexityTest, SkNNbOpsLinearInN) {
+  const std::size_t m = 3;
+  auto run = [&](std::size_t n) {
+    PlainTable table = GenerateUniformTable(n, m, 3, n);
+    SknnEngine::Options opts;
+    opts.key_bits = 256;
+    opts.attr_bits = 2;
+    auto engine = SknnEngine::Create(table, opts);
+    EXPECT_TRUE(engine.ok());
+    auto result = (*engine)->QueryBasic({1, 2, 3}, 2);
+    EXPECT_TRUE(result.ok());
+    return Ops{result->ops.encryptions, result->ops.decryptions,
+               result->ops.exponentiations, result->ops.multiplications};
+  };
+  Ops o4 = run(4), o8 = run(8), o12 = run(12);
+  EXPECT_EQ(Diff(o12, o8), Diff(o8, o4)) << "SkNN_b ops not linear in n";
+}
+
+TEST_F(ComplexityTest, SkNNmOpsLinearInK) {
+  const std::size_t n = 6, m = 2;
+  PlainTable table = GenerateUniformTable(n, m, 3, 77);
+  SknnEngine::Options opts;
+  opts.key_bits = 256;
+  opts.attr_bits = 2;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  auto run = [&](unsigned k) {
+    auto result = (*engine)->QueryMaxSecure({1, 1}, k);
+    EXPECT_TRUE(result.ok());
+    return Ops{result->ops.encryptions, result->ops.decryptions,
+               result->ops.exponentiations, result->ops.multiplications};
+  };
+  // Iterations 2..k are identical in op count; iteration k skips the SBOR
+  // update, so compare k in {2,3,4}: second difference of the *middle*
+  // iterations vanishes.
+  Ops o2 = run(2), o3 = run(3), o4 = run(4);
+  EXPECT_EQ(Diff(o4, o3), Diff(o3, o2)) << "SkNN_m ops not linear in k";
+}
+
+}  // namespace
+}  // namespace sknn

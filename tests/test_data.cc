@@ -1,0 +1,189 @@
+// Tests for the data substrate: synthetic generators, the Table 1 heart
+// dataset (values cross-checked against the paper), fixed-point encoding,
+// and CSV round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "baseline/plaintext_knn.h"
+#include "data/csv.h"
+#include "data/encoding.h"
+#include "data/heart_dataset.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace {
+
+TEST(SyntheticTest, UniformTableShapeAndDomain) {
+  PlainTable t = GenerateUniformTable(20, 5, 9, 42);
+  ASSERT_EQ(t.size(), 20u);
+  for (const auto& row : t) {
+    ASSERT_EQ(row.size(), 5u);
+    for (int64_t v : row) {
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, 9);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  EXPECT_EQ(GenerateUniformTable(5, 3, 100, 7),
+            GenerateUniformTable(5, 3, 100, 7));
+  EXPECT_NE(GenerateUniformTable(5, 3, 100, 7),
+            GenerateUniformTable(5, 3, 100, 8));
+}
+
+TEST(SyntheticTest, ClusteredTablePointsStayNearCentroids) {
+  ClusterSpec spec;
+  spec.num_clusters = 3;
+  spec.spread = 1;
+  PlainTable t = GenerateClusteredTable(30, 4, 50, spec, 11);
+  ASSERT_EQ(t.size(), 30u);
+  // Points of the same cluster (i % 3) are within 2*spread per attribute.
+  for (std::size_t i = 3; i < t.size(); ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_LE(std::abs(t[i][j] - t[i % 3][j]), 2 * spec.spread);
+    }
+  }
+}
+
+TEST(SyntheticTest, BitsForMaxValue) {
+  EXPECT_EQ(BitsForMaxValue(0), 1u);
+  EXPECT_EQ(BitsForMaxValue(1), 1u);
+  EXPECT_EQ(BitsForMaxValue(2), 2u);
+  EXPECT_EQ(BitsForMaxValue(255), 8u);
+  EXPECT_EQ(BitsForMaxValue(256), 9u);
+}
+
+TEST(SyntheticTest, MaxValueForDistanceBits) {
+  // l = 6, m = 6: need 6*v^2 <= 63 -> v = 3.
+  EXPECT_EQ(MaxValueForDistanceBits(6, 6), 3);
+  // l = 12, m = 6: 6*v^2 <= 4095 -> v = 26.
+  EXPECT_EQ(MaxValueForDistanceBits(6, 12), 26);
+  // Consistency: distances generated at this value really fit in l bits.
+  for (unsigned l : {6u, 12u, 20u}) {
+    std::size_t m = 6;
+    int64_t v = MaxValueForDistanceBits(m, l);
+    EXPECT_LT(static_cast<int64_t>(m) * v * v, int64_t{1} << l);
+  }
+}
+
+TEST(HeartDatasetTest, MatchesPaperTable1) {
+  const PlainTable& full = HeartFullRecords();
+  ASSERT_EQ(full.size(), 6u);
+  ASSERT_EQ(full[0].size(), 10u);
+  // Spot-check t1 and t6 against Table 1.
+  PlainRecord t1 = {63, 1, 1, 145, 233, 1, 3, 0, 6, 0};
+  PlainRecord t6 = {77, 1, 4, 125, 304, 0, 1, 3, 3, 4};
+  EXPECT_EQ(full[0], t1);
+  EXPECT_EQ(full[5], t6);
+  EXPECT_EQ(HeartFeatures()[0].size(), 9u);
+  EXPECT_EQ(HeartLabels(), (std::vector<int64_t>{0, 2, 1, 3, 3, 4}));
+  EXPECT_EQ(HeartAttributeNames().size(), 9u);
+}
+
+TEST(HeartDatasetTest, Example1NearestNeighborsAreT4T5) {
+  // The paper's Example 1, verified on plaintext.
+  auto idx = PlainKnnIndices(HeartFeatures(), HeartExampleQuery(), 2);
+  std::set<std::size_t> expected = {3, 4};  // t4, t5 (0-based)
+  EXPECT_EQ(std::set<std::size_t>(idx.begin(), idx.end()), expected);
+}
+
+TEST(HeartDatasetTest, AttrBitsCoverDomain) {
+  unsigned bits = HeartAttrBits();
+  EXPECT_EQ(bits, 9u);  // max value 304 -> 9 bits
+  for (const auto& row : HeartFullRecords()) {
+    for (int64_t v : row) {
+      EXPECT_LT(v, int64_t{1} << bits);
+    }
+  }
+}
+
+TEST(FixedPointEncoderTest, RoundTripWithinTolerance) {
+  auto enc = FixedPointEncoder::Create(-1.0, 1.0, 10);
+  ASSERT_TRUE(enc.ok());
+  for (double v : {-1.0, -0.5, 0.0, 0.123, 0.999, 1.0}) {
+    auto code = enc->Encode(v);
+    ASSERT_TRUE(code.ok()) << v;
+    EXPECT_GE(*code, 0);
+    EXPECT_LT(*code, int64_t{1} << 10);
+    EXPECT_NEAR(enc->Decode(*code), v, 2.0 / 1023.0) << v;
+  }
+}
+
+TEST(FixedPointEncoderTest, RejectsOutOfRangeAndBadParams) {
+  auto enc = FixedPointEncoder::Create(0.0, 10.0, 8);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_FALSE(enc->Encode(-0.1).ok());
+  EXPECT_FALSE(enc->Encode(10.1).ok());
+  EXPECT_FALSE(FixedPointEncoder::Create(5.0, 1.0, 8).ok());
+  EXPECT_FALSE(FixedPointEncoder::Create(0.0, 1.0, 0).ok());
+  EXPECT_FALSE(FixedPointEncoder::Create(0.0, 1.0, 40).ok());
+}
+
+TEST(FixedPointEncoderTest, ConstantColumnEncodesToZero) {
+  auto enc = FixedPointEncoder::Create(3.5, 3.5, 8);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->Encode(3.5).value(), 0);
+}
+
+TEST(TableEncoderTest, PreservesKnnOrderApproximately) {
+  // Encode a real-valued table; the nearest neighbor in encoded space must
+  // match the nearest neighbor in real space when quantization is fine.
+  std::vector<std::vector<double>> table = {
+      {0.10, 0.90}, {0.80, 0.20}, {0.12, 0.88}, {0.50, 0.50}};
+  auto enc = TableEncoder::Fit(table, 12);
+  ASSERT_TRUE(enc.ok());
+  auto encoded = enc->Encode(table);
+  ASSERT_TRUE(encoded.ok());
+  auto query = enc->EncodeRow({0.11, 0.89});
+  ASSERT_TRUE(query.ok());
+  auto idx = PlainKnnIndices(*encoded, *query, 2);
+  std::set<std::size_t> expected = {0, 2};
+  EXPECT_EQ(std::set<std::size_t>(idx.begin(), idx.end()), expected);
+}
+
+TEST(TableEncoderTest, DecodeInvertsEncode) {
+  std::vector<std::vector<double>> table = {{1.0, -2.0}, {3.0, 4.0}};
+  auto enc = TableEncoder::Fit(table, 16);
+  ASSERT_TRUE(enc.ok());
+  auto encoded = enc->Encode(table);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = enc->Decode(*encoded);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = 0; j < table[i].size(); ++j) {
+      EXPECT_NEAR(decoded[i][j], table[i][j], 1e-3);
+    }
+  }
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  PlainTable table = {{1, 2, 3}, {-4, 5, 6}};
+  std::string path = testing::TempDir() + "/sknn_test.csv";
+  ASSERT_TRUE(WriteCsv(path, table, {"a", "b", "c"}).ok());
+  auto with_header = ReadCsv(path, /*skip_header=*/true);
+  ASSERT_TRUE(with_header.ok()) << with_header.status();
+  EXPECT_EQ(*with_header, table);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadErrors) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/file.csv").ok());
+  std::string path = testing::TempDir() + "/sknn_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,abc\n";
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "1,2\n3\n";  // ragged
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sknn

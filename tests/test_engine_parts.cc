@@ -1,0 +1,121 @@
+// Tests for assembling the system from persisted artifacts: serialize keys
+// and the encrypted database to disk, reload everything, rebuild the engine
+// with CreateFromParts, and verify queries still match plaintext kNN — the
+// full "resume an outsourced deployment" workflow.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baseline/plaintext_knn.h"
+#include "core/data_owner.h"
+#include "core/db_io.h"
+#include "core/engine.h"
+#include "crypto/serialization.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace {
+
+class EnginePartsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = GenerateUniformTable(10, 3, 7, 31415);
+    query_ = GenerateUniformQuery(3, 7, 31416);
+    auto alice = DataOwner::Create(256);
+    ASSERT_TRUE(alice.ok());
+    pk_ = alice->public_key();
+    sk_ = alice->secret_key_for_c2();
+    auto db = alice->EncryptDatabase(table_, 3);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  PlainTable table_;
+  PlainRecord query_;
+  PaillierPublicKey pk_;
+  PaillierSecretKey sk_;
+  EncryptedDatabase db_;
+  SknnEngine::Options opts_;
+};
+
+TEST_F(EnginePartsTest, DirectPartsAssemblyWorks) {
+  auto engine = SknnEngine::CreateFromParts(pk_, sk_, db_, opts_);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto result = (*engine)->QueryMaxSecure(query_, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::multiset<int64_t> got, want;
+  for (const auto& r : result->neighbors) got.insert(SquaredDistance(r, query_));
+  for (const auto& r : PlainKnn(table_, query_, 3)) {
+    want.insert(SquaredDistance(r, query_));
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(EnginePartsTest, FullDiskRoundTripAssembly) {
+  std::string pk_path = testing::TempDir() + "/parts_pk.txt";
+  std::string sk_path = testing::TempDir() + "/parts_sk.txt";
+  std::string db_path = testing::TempDir() + "/parts_db.bin";
+  ASSERT_TRUE(WritePublicKeyFile(pk_path, pk_).ok());
+  ASSERT_TRUE(WriteSecretKeyFile(sk_path, sk_).ok());
+  ASSERT_TRUE(WriteEncryptedDatabase(db_path, db_).ok());
+
+  auto pk = ReadPublicKeyFile(pk_path);
+  auto sk = ReadSecretKeyFile(sk_path);
+  auto db = ReadEncryptedDatabase(db_path);
+  ASSERT_TRUE(pk.ok());
+  ASSERT_TRUE(sk.ok());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(ValidateCiphertexts(*db, *pk).ok());
+
+  auto engine = SknnEngine::CreateFromParts(*pk, std::move(*sk),
+                                            std::move(*db), opts_);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto result = (*engine)->QueryBasic(query_, 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::multiset<int64_t> got, want;
+  for (const auto& r : result->neighbors) got.insert(SquaredDistance(r, query_));
+  for (const auto& r : PlainKnn(table_, query_, 2)) {
+    want.insert(SquaredDistance(r, query_));
+  }
+  EXPECT_EQ(got, want);
+
+  std::remove(pk_path.c_str());
+  std::remove(sk_path.c_str());
+  std::remove(db_path.c_str());
+}
+
+TEST_F(EnginePartsTest, RejectsMismatchedKeys) {
+  Random rng(27182);
+  auto other = GeneratePaillierKeyPair(256, rng).value();
+  auto engine = SknnEngine::CreateFromParts(pk_, other.sk, db_, opts_);
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST_F(EnginePartsTest, RejectsEmptyDatabase) {
+  auto engine = SknnEngine::CreateFromParts(pk_, sk_, EncryptedDatabase{},
+                                            opts_);
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST_F(EnginePartsTest, PartsAndFreshEngineAgree) {
+  auto fresh_opts = opts_;
+  fresh_opts.key_bits = 256;
+  fresh_opts.attr_bits = 3;
+  auto fresh = SknnEngine::Create(table_, fresh_opts);
+  auto parts = SknnEngine::CreateFromParts(pk_, sk_, db_, opts_);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(parts.ok());
+  auto r1 = (*fresh)->QueryMaxSecure(query_, 2);
+  auto r2 = (*parts)->QueryMaxSecure(query_, 2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  std::multiset<int64_t> d1, d2;
+  for (const auto& r : r1->neighbors) d1.insert(SquaredDistance(r, query_));
+  for (const auto& r : r2->neighbors) d2.insert(SquaredDistance(r, query_));
+  EXPECT_EQ(d1, d2);
+}
+
+}  // namespace
+}  // namespace sknn

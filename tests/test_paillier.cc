@@ -1,0 +1,219 @@
+// Unit and property tests for the Paillier cryptosystem: key generation,
+// encryption/decryption round trips, every homomorphic identity the
+// protocols rely on (Section 2.3), CRT consistency, and signed decoding.
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.h"
+#include "crypto/op_counters.h"
+
+namespace sknn {
+namespace {
+
+PaillierKeyPair MakeKeys(unsigned bits, uint64_t seed) {
+  Random rng(seed);
+  auto keys = GeneratePaillierKeyPair(bits, rng);
+  EXPECT_TRUE(keys.ok()) << keys.status();
+  return std::move(keys).value();
+}
+
+TEST(PaillierTest, KeyGenRejectsTinyKeys) {
+  Random rng(1);
+  EXPECT_FALSE(GeneratePaillierKeyPair(8, rng).ok());
+}
+
+TEST(PaillierTest, KeyHasRequestedSize) {
+  for (unsigned bits : {256u, 512u}) {
+    PaillierKeyPair keys = MakeKeys(bits, bits);
+    EXPECT_EQ(keys.pk.n().BitLength(), bits);
+    EXPECT_EQ(keys.pk.g(), keys.pk.n() + BigInt(1));
+    EXPECT_EQ(keys.pk.n_squared(), keys.pk.n() * keys.pk.n());
+  }
+}
+
+TEST(PaillierTest, EncryptDecryptRoundTrip) {
+  PaillierKeyPair keys = MakeKeys(256, 7);
+  Random rng(8);
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{255}, int64_t{1} << 40}) {
+    Ciphertext c = keys.pk.Encrypt(BigInt(v), rng);
+    EXPECT_EQ(keys.sk.Decrypt(c), BigInt(v)) << v;
+  }
+}
+
+TEST(PaillierTest, EncryptReducesModN) {
+  PaillierKeyPair keys = MakeKeys(256, 9);
+  Random rng(10);
+  BigInt big = keys.pk.n() + BigInt(5);
+  Ciphertext c = keys.pk.Encrypt(big, rng);
+  EXPECT_EQ(keys.sk.Decrypt(c), BigInt(5));
+}
+
+TEST(PaillierTest, EncryptionIsProbabilistic) {
+  PaillierKeyPair keys = MakeKeys(256, 11);
+  Random rng(12);
+  Ciphertext c1 = keys.pk.Encrypt(BigInt(42), rng);
+  Ciphertext c2 = keys.pk.Encrypt(BigInt(42), rng);
+  EXPECT_NE(c1, c2) << "semantic security requires fresh randomness";
+  EXPECT_EQ(keys.sk.Decrypt(c1), keys.sk.Decrypt(c2));
+}
+
+TEST(PaillierTest, DeterministicEncodingDecrypts) {
+  PaillierKeyPair keys = MakeKeys(256, 13);
+  Ciphertext c = keys.pk.EncodeDeterministic(BigInt(77));
+  EXPECT_EQ(keys.sk.Decrypt(c), BigInt(77));
+}
+
+TEST(PaillierTest, HomomorphicAddition) {
+  PaillierKeyPair keys = MakeKeys(256, 14);
+  Random rng(15);
+  Ciphertext ca = keys.pk.Encrypt(BigInt(1000), rng);
+  Ciphertext cb = keys.pk.Encrypt(BigInt(2345), rng);
+  EXPECT_EQ(keys.sk.Decrypt(keys.pk.Add(ca, cb)), BigInt(3345));
+}
+
+TEST(PaillierTest, HomomorphicAddPlain) {
+  PaillierKeyPair keys = MakeKeys(256, 16);
+  Random rng(17);
+  Ciphertext ca = keys.pk.Encrypt(BigInt(10), rng);
+  EXPECT_EQ(keys.sk.Decrypt(keys.pk.AddPlain(ca, BigInt(32))), BigInt(42));
+}
+
+TEST(PaillierTest, HomomorphicScalarMultiply) {
+  PaillierKeyPair keys = MakeKeys(256, 18);
+  Random rng(19);
+  Ciphertext ca = keys.pk.Encrypt(BigInt(111), rng);
+  EXPECT_EQ(keys.sk.Decrypt(keys.pk.MulScalar(ca, BigInt(3))), BigInt(333));
+}
+
+TEST(PaillierTest, HomomorphicNegateAndSub) {
+  PaillierKeyPair keys = MakeKeys(256, 20);
+  Random rng(21);
+  Ciphertext ca = keys.pk.Encrypt(BigInt(5), rng);
+  Ciphertext cb = keys.pk.Encrypt(BigInt(8), rng);
+  // 5 - 8 = -3, i.e. N - 3 in Z_N.
+  BigInt raw = keys.sk.Decrypt(keys.pk.Sub(ca, cb));
+  EXPECT_EQ(raw, keys.pk.n() - BigInt(3));
+  EXPECT_EQ(DecodeSigned(raw, keys.pk.n()), BigInt(-3));
+  EXPECT_EQ(keys.sk.DecryptSigned(keys.pk.Sub(ca, cb)), BigInt(-3));
+}
+
+TEST(PaillierTest, RerandomizePreservesPlaintext) {
+  PaillierKeyPair keys = MakeKeys(256, 22);
+  Random rng(23);
+  Ciphertext c = keys.pk.Encrypt(BigInt(42), rng);
+  Ciphertext r = keys.pk.Rerandomize(c, rng);
+  EXPECT_NE(c, r);
+  EXPECT_EQ(keys.sk.Decrypt(r), BigInt(42));
+}
+
+TEST(PaillierTest, CrtMatchesStandardDecryption) {
+  PaillierKeyPair keys = MakeKeys(512, 24);
+  Random rng(25);
+  PaillierSecretKey sk_std = keys.sk;
+  sk_std.set_use_crt(false);
+  for (int i = 0; i < 20; ++i) {
+    BigInt m = rng.Below(keys.pk.n());
+    Ciphertext c = keys.pk.Encrypt(m, rng);
+    EXPECT_EQ(keys.sk.Decrypt(c), m);
+    EXPECT_EQ(sk_std.Decrypt(c), m);
+  }
+}
+
+TEST(PaillierTest, IsValidCiphertext) {
+  PaillierKeyPair keys = MakeKeys(256, 26);
+  Random rng(27);
+  Ciphertext good = keys.pk.Encrypt(BigInt(1), rng);
+  EXPECT_TRUE(keys.pk.IsValidCiphertext(good));
+  EXPECT_FALSE(keys.pk.IsValidCiphertext(Ciphertext(keys.pk.n_squared())));
+  EXPECT_FALSE(keys.pk.IsValidCiphertext(Ciphertext(-BigInt(1))));
+}
+
+TEST(PaillierTest, FromPrimesRejectsBadInput) {
+  BigInt p(104729);
+  EXPECT_FALSE(PaillierSecretKey::FromPrimes(p, p, 34).ok());       // p == q
+  EXPECT_FALSE(
+      PaillierSecretKey::FromPrimes(p, BigInt(100), 24).ok());      // composite
+}
+
+TEST(PaillierTest, EncryptVectorMatchesElementwise) {
+  PaillierKeyPair keys = MakeKeys(256, 28);
+  Random rng(29);
+  std::vector<BigInt> values = {BigInt(1), BigInt(2), BigInt(3)};
+  auto encrypted = EncryptVector(keys.pk, values, rng);
+  ASSERT_EQ(encrypted.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(keys.sk.Decrypt(encrypted[i]), values[i]);
+  }
+}
+
+TEST(PaillierTest, DecodeSignedBoundary) {
+  BigInt n(101);
+  EXPECT_EQ(DecodeSigned(BigInt(50), n), BigInt(50));   // n/2 = 50
+  EXPECT_EQ(DecodeSigned(BigInt(51), n), BigInt(-50));
+  EXPECT_EQ(DecodeSigned(BigInt(100), n), BigInt(-1));
+  EXPECT_EQ(DecodeSigned(BigInt(0), n), BigInt(0));
+}
+
+TEST(PaillierTest, OpCountersTrackOperations) {
+  PaillierKeyPair keys = MakeKeys(256, 30);
+  Random rng(31);
+  OpCounters::Reset();
+  Ciphertext a = keys.pk.Encrypt(BigInt(1), rng);
+  Ciphertext b = keys.pk.Encrypt(BigInt(2), rng);
+  Ciphertext sum = keys.pk.Add(a, b);
+  Ciphertext scaled = keys.pk.MulScalar(sum, BigInt(3));
+  keys.sk.Decrypt(scaled);
+  OpSnapshot snap = OpCounters::Snapshot();
+  EXPECT_EQ(snap.encryptions, 2u);
+  EXPECT_EQ(snap.multiplications, 1u);
+  EXPECT_EQ(snap.exponentiations, 1u);
+  EXPECT_EQ(snap.decryptions, 1u);
+}
+
+// -- Property sweeps over random plaintext pairs ------------------------------
+
+class PaillierHomomorphismProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    keys_ = MakeKeys(256, GetParam());
+    rng_ = std::make_unique<Random>(GetParam() * 31 + 1);
+  }
+  PaillierKeyPair keys_;
+  std::unique_ptr<Random> rng_;
+};
+
+TEST_P(PaillierHomomorphismProperty, AddMatchesPlaintextAdd) {
+  const BigInt& n = keys_.pk.n();
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = rng_->Below(n), b = rng_->Below(n);
+    Ciphertext c = keys_.pk.Add(keys_.pk.Encrypt(a, *rng_),
+                                keys_.pk.Encrypt(b, *rng_));
+    EXPECT_EQ(keys_.sk.Decrypt(c), a.AddMod(b, n));
+  }
+}
+
+TEST_P(PaillierHomomorphismProperty, MulScalarMatchesPlaintextMul) {
+  const BigInt& n = keys_.pk.n();
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = rng_->Below(n), s = rng_->Below(n);
+    Ciphertext c = keys_.pk.MulScalar(keys_.pk.Encrypt(a, *rng_), s);
+    EXPECT_EQ(keys_.sk.Decrypt(c), a.MulMod(s, n));
+  }
+}
+
+TEST_P(PaillierHomomorphismProperty, NegateIsAdditiveInverse) {
+  const BigInt& n = keys_.pk.n();
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = rng_->Below(n);
+    Ciphertext c = keys_.pk.Encrypt(a, *rng_);
+    Ciphertext zero = keys_.pk.Add(c, keys_.pk.Negate(c));
+    EXPECT_TRUE(keys_.sk.Decrypt(zero).IsZero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaillierHomomorphismProperty,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace sknn

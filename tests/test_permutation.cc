@@ -1,0 +1,81 @@
+// Tests for the permutation utility — the access-pattern defense shared by
+// SMIN and SkNN_m — including an empirical uniformity check.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "proto/permutation.h"
+
+namespace sknn {
+namespace {
+
+TEST(PermutationTest, IdentityByDefault) {
+  Permutation p(5);
+  std::vector<int> in = {10, 11, 12, 13, 14};
+  EXPECT_EQ(p.Apply(in), in);
+  EXPECT_EQ(p.ApplyInverse(in), in);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(p.At(i), i);
+}
+
+TEST(PermutationTest, ApplyInverseUndoesApply) {
+  Random rng(71);
+  for (std::size_t n : {1u, 2u, 7u, 64u}) {
+    Permutation p = Permutation::Sample(n, rng);
+    std::vector<std::size_t> in(n);
+    std::iota(in.begin(), in.end(), 100);
+    EXPECT_EQ(p.ApplyInverse(p.Apply(in)), in) << "n=" << n;
+    EXPECT_EQ(p.Apply(p.ApplyInverse(in)), in) << "n=" << n;
+  }
+}
+
+TEST(PermutationTest, ApplyIsABijection) {
+  Random rng(72);
+  Permutation p = Permutation::Sample(20, rng);
+  std::vector<std::size_t> in(20);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<std::size_t> out = p.Apply(in);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, in);  // every element appears exactly once
+}
+
+TEST(PermutationTest, AtMatchesApply) {
+  Random rng(73);
+  Permutation p = Permutation::Sample(9, rng);
+  std::vector<std::size_t> in(9);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<std::size_t> out = p.Apply(in);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(out[p.At(i)], in[i]);
+  }
+}
+
+TEST(PermutationTest, SampleIsRoughlyUniform) {
+  // Chi-squared-style smoke test: over many samples of S_3, each of the 6
+  // permutations should appear a reasonable number of times.
+  Random rng(74);
+  std::map<std::vector<std::size_t>, int> counts;
+  const int kSamples = 1200;
+  for (int s = 0; s < kSamples; ++s) {
+    Permutation p = Permutation::Sample(3, rng);
+    counts[{p.At(0), p.At(1), p.At(2)}]++;
+  }
+  ASSERT_EQ(counts.size(), 6u) << "some permutation of S_3 never sampled";
+  for (const auto& [perm, count] : counts) {
+    // Expected 200 each; Binomial(1200, 1/6) is within [120, 280] except
+    // with probability < 1e-8.
+    EXPECT_GT(count, 120);
+    EXPECT_LT(count, 280);
+  }
+}
+
+TEST(PermutationTest, SingleElement) {
+  Random rng(75);
+  Permutation p = Permutation::Sample(1, rng);
+  EXPECT_EQ(p.At(0), 0u);
+  std::vector<int> in = {42};
+  EXPECT_EQ(p.Apply(in), in);
+}
+
+}  // namespace
+}  // namespace sknn

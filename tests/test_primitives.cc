@@ -1,0 +1,241 @@
+// Tests for the interactive primitives SM, SSED and SBOR against plaintext
+// references, including the paper's worked examples (Example 2 and
+// Example 3) and randomized property sweeps.
+#include <gtest/gtest.h>
+
+#include "proto/sbor.h"
+#include "proto/sm.h"
+#include "proto/ssed.h"
+#include "tests/proto_test_util.h"
+
+namespace sknn {
+namespace {
+
+class PrimitiveTest : public ::testing::Test {
+ protected:
+  TwoPartyHarness harness_;
+  Random rng_{123};
+};
+
+TEST_F(PrimitiveTest, SmMultipliesSmallValues) {
+  const auto& pk = harness_.pk();
+  auto result = SecureMultiply(harness_.ctx(), pk.Encrypt(BigInt(6), rng_),
+                               pk.Encrypt(BigInt(7), rng_));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(harness_.Decrypt(*result), BigInt(42));
+}
+
+TEST_F(PrimitiveTest, SmPaperExample2) {
+  // Example 2: a = 59, b = 58 -> Epk(3422).
+  const auto& pk = harness_.pk();
+  auto result = SecureMultiply(harness_.ctx(), pk.Encrypt(BigInt(59), rng_),
+                               pk.Encrypt(BigInt(58), rng_));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(harness_.Decrypt(*result), BigInt(3422));
+}
+
+TEST_F(PrimitiveTest, SmHandlesZeroOperands) {
+  const auto& pk = harness_.pk();
+  for (auto [a, b] : {std::pair<int, int>{0, 5}, {5, 0}, {0, 0}}) {
+    auto result = SecureMultiply(harness_.ctx(), pk.Encrypt(BigInt(a), rng_),
+                                 pk.Encrypt(BigInt(b), rng_));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(harness_.Decrypt(*result), BigInt(a * b));
+  }
+}
+
+TEST_F(PrimitiveTest, SmWorksOnNegativeResidues) {
+  // (-3) * 4 = -12 under Z_N encoding.
+  const auto& pk = harness_.pk();
+  Ciphertext minus3 = pk.Encrypt(pk.n() - BigInt(3), rng_);
+  auto result =
+      SecureMultiply(harness_.ctx(), minus3, pk.Encrypt(BigInt(4), rng_));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(harness_.DecryptSigned(*result), BigInt(-12));
+}
+
+TEST_F(PrimitiveTest, SmBatchMatchesElementwise) {
+  const auto& pk = harness_.pk();
+  std::vector<Ciphertext> as, bs;
+  std::vector<int64_t> expected;
+  for (int i = 0; i < 17; ++i) {
+    int64_t a = static_cast<int64_t>(rng_.UniformUint64(1000));
+    int64_t b = static_cast<int64_t>(rng_.UniformUint64(1000));
+    as.push_back(pk.Encrypt(BigInt(a), rng_));
+    bs.push_back(pk.Encrypt(BigInt(b), rng_));
+    expected.push_back(a * b);
+  }
+  auto result = SecureMultiplyBatch(harness_.ctx(), as, bs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(harness_.Decrypt((*result)[i]), BigInt(expected[i])) << i;
+  }
+}
+
+TEST_F(PrimitiveTest, SmBatchRejectsLengthMismatch) {
+  const auto& pk = harness_.pk();
+  std::vector<Ciphertext> as = {pk.Encrypt(BigInt(1), rng_)};
+  std::vector<Ciphertext> bs;
+  EXPECT_FALSE(SecureMultiplyBatch(harness_.ctx(), as, bs).ok());
+}
+
+TEST_F(PrimitiveTest, SmEmptyBatchIsNoop) {
+  auto result = SecureMultiplyBatch(harness_.ctx(), {}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(PrimitiveTest, SsedPaperExample3) {
+  // Example 3: records t1 and t2 of Table 1 -> squared distance 813.
+  const auto& pk = harness_.pk();
+  std::vector<int64_t> t1 = {63, 1, 1, 145, 233, 1, 3, 0, 6, 0};
+  std::vector<int64_t> t2 = {56, 1, 3, 130, 256, 1, 2, 1, 6, 2};
+  std::vector<Ciphertext> ex, ey;
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    ex.push_back(pk.Encrypt(BigInt(t1[i]), rng_));
+    ey.push_back(pk.Encrypt(BigInt(t2[i]), rng_));
+  }
+  auto result = SecureSquaredDistance(harness_.ctx(), ex, ey);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(harness_.Decrypt(*result), BigInt(813));
+}
+
+TEST_F(PrimitiveTest, SsedZeroDistanceForIdenticalVectors) {
+  const auto& pk = harness_.pk();
+  std::vector<Ciphertext> ex, ey;
+  for (int64_t v : {3, 1, 4, 1, 5}) {
+    ex.push_back(pk.Encrypt(BigInt(v), rng_));
+    ey.push_back(pk.Encrypt(BigInt(v), rng_));
+  }
+  auto result = SecureSquaredDistance(harness_.ctx(), ex, ey);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(harness_.Decrypt(*result).IsZero());
+}
+
+TEST_F(PrimitiveTest, SsedBatchMatchesPlaintext) {
+  const auto& pk = harness_.pk();
+  const std::size_t n = 9, m = 4;
+  std::vector<std::vector<int64_t>> records(n, std::vector<int64_t>(m));
+  std::vector<int64_t> query(m);
+  for (auto& r : records) {
+    for (auto& v : r) v = static_cast<int64_t>(rng_.UniformUint64(50));
+  }
+  for (auto& v : query) v = static_cast<int64_t>(rng_.UniformUint64(50));
+
+  std::vector<std::vector<Ciphertext>> enc_records(n);
+  std::vector<Ciphertext> enc_query;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      enc_records[i].push_back(pk.Encrypt(BigInt(records[i][j]), rng_));
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    enc_query.push_back(pk.Encrypt(BigInt(query[j]), rng_));
+  }
+
+  auto result =
+      SecureSquaredDistanceBatch(harness_.ctx(), enc_records, enc_query);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    int64_t expected = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      int64_t d = records[i][j] - query[j];
+      expected += d * d;
+    }
+    EXPECT_EQ(harness_.Decrypt((*result)[i]), BigInt(expected)) << i;
+  }
+}
+
+TEST_F(PrimitiveTest, SsedRejectsDimensionMismatch) {
+  const auto& pk = harness_.pk();
+  std::vector<Ciphertext> ex = {pk.Encrypt(BigInt(1), rng_)};
+  std::vector<Ciphertext> ey = {pk.Encrypt(BigInt(1), rng_),
+                                pk.Encrypt(BigInt(2), rng_)};
+  EXPECT_FALSE(SecureSquaredDistance(harness_.ctx(), ex, ey).ok());
+}
+
+TEST_F(PrimitiveTest, SborTruthTable) {
+  const auto& pk = harness_.pk();
+  for (int o1 : {0, 1}) {
+    for (int o2 : {0, 1}) {
+      auto result =
+          SecureBitOr(harness_.ctx(), pk.Encrypt(BigInt(o1), rng_),
+                      pk.Encrypt(BigInt(o2), rng_));
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(harness_.Decrypt(*result), BigInt(o1 | o2))
+          << o1 << " OR " << o2;
+    }
+  }
+}
+
+TEST_F(PrimitiveTest, SborBatch) {
+  const auto& pk = harness_.pk();
+  std::vector<Ciphertext> o1s, o2s;
+  std::vector<int> expected;
+  for (int i = 0; i < 16; ++i) {
+    int a = (i >> 1) & 1, b = i & 1;
+    o1s.push_back(pk.Encrypt(BigInt(a), rng_));
+    o2s.push_back(pk.Encrypt(BigInt(b), rng_));
+    expected.push_back(a | b);
+  }
+  auto result = SecureBitOrBatch(harness_.ctx(), o1s, o2s);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(harness_.Decrypt((*result)[i]), BigInt(expected[i])) << i;
+  }
+}
+
+// Property sweep: SM over random residue pairs at several key sizes.
+class SmProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, uint64_t>> {};
+
+TEST_P(SmProperty, MatchesModularProduct) {
+  auto [key_bits, seed] = GetParam();
+  TwoPartyHarness harness(key_bits, seed);
+  Random rng(seed + 1);
+  const auto& pk = harness.pk();
+  const BigInt& n = pk.n();
+  std::vector<Ciphertext> as, bs;
+  std::vector<BigInt> expected;
+  for (int i = 0; i < 8; ++i) {
+    BigInt a = rng.Below(n), b = rng.Below(n);
+    as.push_back(pk.Encrypt(a, rng));
+    bs.push_back(pk.Encrypt(b, rng));
+    expected.push_back(a.MulMod(b, n));
+  }
+  auto result = SecureMultiplyBatch(harness.ctx(), as, bs);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(harness.Decrypt((*result)[i]), expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeySizesAndSeeds, SmProperty,
+    ::testing::Combine(::testing::Values(128u, 256u, 512u),
+                       ::testing::Values(1u, 2u)));
+
+// SM under parallel execution: same results, chunked round trips.
+TEST(PrimitiveParallelTest, SmBatchParallelMatchesSerial) {
+  TwoPartyHarness harness(256, 77, /*c1_threads=*/3, /*c2_threads=*/3);
+  Random rng(78);
+  const auto& pk = harness.pk();
+  std::vector<Ciphertext> as, bs;
+  std::vector<int64_t> expected;
+  for (int i = 0; i < 40; ++i) {
+    int64_t a = static_cast<int64_t>(rng.UniformUint64(1 << 20));
+    int64_t b = static_cast<int64_t>(rng.UniformUint64(1 << 20));
+    as.push_back(pk.Encrypt(BigInt(a), rng));
+    bs.push_back(pk.Encrypt(BigInt(b), rng));
+    expected.push_back(a * b);
+  }
+  auto result = SecureMultiplyBatch(harness.ctx(), as, bs);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(harness.Decrypt((*result)[i]), BigInt(expected[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sknn

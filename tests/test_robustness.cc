@@ -1,0 +1,138 @@
+// Robustness tests: C2Service under malformed or adversarial requests, and
+// the chunked-call plumbing's edge cases. A semi-honest C2 still receives
+// requests over a real link — bad geometry must produce a clean protocol
+// error, never a crash or a silent wrong answer.
+#include <gtest/gtest.h>
+
+#include "proto/sm.h"
+#include "tests/proto_test_util.h"
+
+namespace sknn {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  // Sends a raw request and expects a clean error response.
+  void ExpectError(Op op, std::vector<BigInt> ints,
+                   std::vector<uint8_t> aux = {}) {
+    auto resp = harness_.ctx().Call(op, std::move(ints), std::move(aux));
+    EXPECT_FALSE(resp.ok()) << "opcode " << OpCode(op)
+                            << " accepted malformed input";
+    EXPECT_EQ(resp.status().code(), StatusCode::kProtocolError);
+  }
+
+  TwoPartyHarness harness_;
+  Random rng_{12321};
+};
+
+TEST_F(RobustnessTest, UnknownOpcodeIsRejected) {
+  ExpectError(static_cast<Op>(0x7777), {});
+}
+
+TEST_F(RobustnessTest, SmBatchOddOperandCount) {
+  ExpectError(Op::kSmBatch, {harness_.pk().Encrypt(BigInt(1), rng_).value()});
+}
+
+TEST_F(RobustnessTest, SminPhase2BadAux) {
+  const auto& pk = harness_.pk();
+  // Missing aux entirely.
+  ExpectError(Op::kSminPhase2Batch, {pk.Encrypt(BigInt(1), rng_).value()});
+  // Aux present but geometry inconsistent: l=4, count=1 needs 8 ints.
+  std::vector<uint8_t> aux = {4, 0, 0, 0, 1, 0, 0, 0};
+  ExpectError(Op::kSminPhase2Batch, {pk.Encrypt(BigInt(1), rng_).value()},
+              aux);
+  // l = 0.
+  std::vector<uint8_t> zero_l = {0, 0, 0, 0, 1, 0, 0, 0};
+  ExpectError(Op::kSminPhase2Batch, {}, zero_l);
+}
+
+TEST_F(RobustnessTest, MinPointerWithNoZeroEntry) {
+  // A beta vector with no zero is a protocol violation (the minimum always
+  // matches itself); C2 must flag it rather than fabricate a pointer.
+  const auto& pk = harness_.pk();
+  std::vector<BigInt> beta;
+  for (int i = 1; i <= 4; ++i) {
+    beta.push_back(pk.Encrypt(BigInt(i), rng_).value());
+  }
+  ExpectError(Op::kMinPointerBatch, std::move(beta));
+}
+
+TEST_F(RobustnessTest, TopKBadK) {
+  const auto& pk = harness_.pk();
+  std::vector<BigInt> dists = {pk.Encrypt(BigInt(5), rng_).value(),
+                               pk.Encrypt(BigInt(9), rng_).value()};
+  std::vector<uint8_t> k0 = {0, 0, 0, 0};
+  ExpectError(Op::kTopKIndices, dists, k0);
+  std::vector<uint8_t> k3 = {3, 0, 0, 0};  // k > n
+  ExpectError(Op::kTopKIndices, dists, k3);
+  ExpectError(Op::kTopKIndices, dists, {});  // no aux at all
+}
+
+TEST_F(RobustnessTest, TopKHappyPathStillWorks) {
+  const auto& pk = harness_.pk();
+  std::vector<BigInt> dists = {pk.Encrypt(BigInt(9), rng_).value(),
+                               pk.Encrypt(BigInt(5), rng_).value(),
+                               pk.Encrypt(BigInt(7), rng_).value()};
+  std::vector<uint8_t> k2 = {2, 0, 0, 0};
+  auto resp = harness_.ctx().Call(Op::kTopKIndices, dists, k2);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_EQ(resp->aux.size(), 8u);
+  EXPECT_EQ(resp->aux[0], 1);  // index of distance 5
+  EXPECT_EQ(resp->aux[4], 2);  // index of distance 7
+}
+
+TEST_F(RobustnessTest, PingRoundTrip) {
+  auto resp = harness_.ctx().Call(Op::kPing, {});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->type, OpCode(Op::kPing));
+}
+
+TEST_F(RobustnessTest, CallChunkedRejectsBadArity) {
+  std::vector<BigInt> three = {BigInt(1), BigInt(2), BigInt(3)};
+  auto r = harness_.ctx().CallChunked(Op::kSmBatch, three, 2, 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  auto zero = harness_.ctx().CallChunked(Op::kSmBatch, three, 0, 1);
+  EXPECT_FALSE(zero.ok());
+}
+
+TEST_F(RobustnessTest, CallChunkedEmptyInputShortCircuits) {
+  auto r = harness_.ctx().CallChunked(Op::kSmBatch, {}, 2, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(RobustnessTest, GarbageCiphertextsFailCleanly) {
+  // Values that are not valid ciphertexts (not units mod N^2) still decrypt
+  // to *something* under Paillier math or error out; either way the call
+  // must return, and the protocol layer never crashes.
+  std::vector<BigInt> garbage = {BigInt(0), harness_.pk().n_squared(),
+                                 BigInt(12345), BigInt(1)};
+  auto resp = harness_.ctx().Call(Op::kLsbBatch, garbage);
+  // Accept either a clean error or a response of the right shape.
+  if (resp.ok()) {
+    EXPECT_EQ(resp->ints.size(), garbage.size());
+  }
+}
+
+TEST_F(RobustnessTest, SmSurvivesManySequentialBatches) {
+  // Soak: repeated batches over one connection (correlation ids keep
+  // increasing, allocations recycle).
+  const auto& pk = harness_.pk();
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Ciphertext> as, bs;
+    for (int i = 0; i < 5; ++i) {
+      as.push_back(pk.Encrypt(BigInt(round + i), rng_));
+      bs.push_back(pk.Encrypt(BigInt(2 * i + 1), rng_));
+    }
+    auto r = SecureMultiplyBatch(harness_.ctx(), as, bs);
+    ASSERT_TRUE(r.ok()) << "round " << round;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(harness_.Decrypt((*r)[i]),
+                BigInt((round + i) * (2 * i + 1)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sknn

@@ -1,0 +1,182 @@
+// Tests for the persistence layer: Paillier key text format and the binary
+// encrypted-database format, including corruption handling — the artifacts
+// of the Alice -> C1 / Alice -> C2 outsourcing hand-off.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bigint/random.h"
+#include "core/db_io.h"
+#include "core/data_owner.h"
+#include "crypto/serialization.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace {
+
+PaillierKeyPair MakeKeys(unsigned bits = 256, uint64_t seed = 50) {
+  Random rng(seed);
+  return GeneratePaillierKeyPair(bits, rng).value();
+}
+
+TEST(KeySerializationTest, PublicKeyRoundTrip) {
+  PaillierKeyPair keys = MakeKeys();
+  std::string text = SerializePublicKey(keys.pk);
+  EXPECT_NE(text.find("sknn-paillier-public-v1"), std::string::npos);
+  auto parsed = ParsePublicKey(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->n(), keys.pk.n());
+  EXPECT_EQ(parsed->g(), keys.pk.g());
+  EXPECT_EQ(parsed->key_bits(), keys.pk.key_bits());
+}
+
+TEST(KeySerializationTest, SecretKeyRoundTripDecrypts) {
+  PaillierKeyPair keys = MakeKeys();
+  auto parsed = ParseSecretKey(SerializeSecretKey(keys.sk));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Random rng(51);
+  for (int i = 0; i < 5; ++i) {
+    BigInt m = rng.Below(keys.pk.n());
+    Ciphertext c = keys.pk.Encrypt(m, rng);
+    EXPECT_EQ(parsed->Decrypt(c), m);
+  }
+}
+
+TEST(KeySerializationTest, RejectsWrongHeader) {
+  PaillierKeyPair keys = MakeKeys();
+  // Public text fed to the secret parser and vice versa.
+  EXPECT_FALSE(ParseSecretKey(SerializePublicKey(keys.pk)).ok());
+  EXPECT_FALSE(ParsePublicKey(SerializeSecretKey(keys.sk)).ok());
+  EXPECT_FALSE(ParsePublicKey("").ok());
+  EXPECT_FALSE(ParsePublicKey("garbage\n").ok());
+}
+
+TEST(KeySerializationTest, RejectsMissingOrCorruptFields) {
+  EXPECT_FALSE(
+      ParsePublicKey("sknn-paillier-public-v1\nkey_bits: 256\n").ok());
+  EXPECT_FALSE(
+      ParsePublicKey("sknn-paillier-public-v1\nn: ff\nkey_bits: xyz\n").ok());
+  // n inconsistent with key_bits.
+  EXPECT_FALSE(
+      ParsePublicKey("sknn-paillier-public-v1\nkey_bits: 256\nn: ff\n").ok());
+  // Secret key with composite factors.
+  EXPECT_FALSE(ParseSecretKey(
+                   "sknn-paillier-secret-v1\nkey_bits: 16\np: ff\nq: fd\n")
+                   .ok());
+}
+
+TEST(KeySerializationTest, FileRoundTrip) {
+  PaillierKeyPair keys = MakeKeys();
+  std::string pk_path = testing::TempDir() + "/sknn_pk.txt";
+  std::string sk_path = testing::TempDir() + "/sknn_sk.txt";
+  ASSERT_TRUE(WritePublicKeyFile(pk_path, keys.pk).ok());
+  ASSERT_TRUE(WriteSecretKeyFile(sk_path, keys.sk).ok());
+  auto pk = ReadPublicKeyFile(pk_path);
+  auto sk = ReadSecretKeyFile(sk_path);
+  ASSERT_TRUE(pk.ok());
+  ASSERT_TRUE(sk.ok());
+  EXPECT_EQ(pk->n(), keys.pk.n());
+  Random rng(52);
+  Ciphertext c = pk->Encrypt(BigInt(777), rng);
+  EXPECT_EQ(sk->Decrypt(c), BigInt(777));
+  std::remove(pk_path.c_str());
+  std::remove(sk_path.c_str());
+  EXPECT_FALSE(ReadPublicKeyFile("/nonexistent/pk").ok());
+}
+
+class DbIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    keys_ = MakeKeys(256, 60);
+    DataOwner alice = [] {
+      // DataOwner::Create would generate fresh keys; build the encrypted DB
+      // directly so the test controls the key pair.
+      return DataOwner::Create(256).value();
+    }();
+    table_ = GenerateUniformTable(7, 3, 15, 61);
+    auto db = alice.EncryptDatabase(table_, 4);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    pk_ = alice.public_key();
+    path_ = testing::TempDir() + "/sknn_db.bin";
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  PaillierKeyPair keys_;
+  PlainTable table_;
+  EncryptedDatabase db_;
+  PaillierPublicKey pk_;
+  std::string path_;
+};
+
+TEST_F(DbIoTest, RoundTripPreservesEverything) {
+  ASSERT_TRUE(WriteEncryptedDatabase(path_, db_).ok());
+  auto loaded = ReadEncryptedDatabase(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_records(), db_.num_records());
+  EXPECT_EQ(loaded->num_attributes(), db_.num_attributes());
+  EXPECT_EQ(loaded->distance_bits, db_.distance_bits);
+  for (std::size_t i = 0; i < db_.num_records(); ++i) {
+    for (std::size_t j = 0; j < db_.num_attributes(); ++j) {
+      EXPECT_EQ(loaded->records[i][j], db_.records[i][j]);
+    }
+  }
+  EXPECT_TRUE(ValidateCiphertexts(*loaded, pk_).ok());
+}
+
+TEST_F(DbIoTest, RejectsBadMagicAndTruncation) {
+  ASSERT_TRUE(WriteEncryptedDatabase(path_, db_).ok());
+  // Corrupt the magic.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("XXXXXXXX", 8);
+  }
+  EXPECT_FALSE(ReadEncryptedDatabase(path_).ok());
+
+  // Truncate the file.
+  ASSERT_TRUE(WriteEncryptedDatabase(path_, db_).ok());
+  {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    auto size = in.tellg();
+    std::vector<char> buf(static_cast<std::size_t>(size) / 2);
+    in.seekg(0);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_FALSE(ReadEncryptedDatabase(path_).ok());
+}
+
+TEST_F(DbIoTest, RejectsTrailingGarbage) {
+  ASSERT_TRUE(WriteEncryptedDatabase(path_, db_).ok());
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write("x", 1);
+  }
+  EXPECT_FALSE(ReadEncryptedDatabase(path_).ok());
+}
+
+TEST_F(DbIoTest, ValidateCatchesForeignKey) {
+  // Ciphertexts valid under Alice's key are (overwhelmingly likely) invalid
+  // under an unrelated key: either out of range or sharing a factor never —
+  // but the range check alone suffices for a smaller modulus.
+  Random rng(62);
+  auto other = GeneratePaillierKeyPair(128, rng).value();
+  EXPECT_FALSE(ValidateCiphertexts(db_, other.pk).ok());
+}
+
+TEST_F(DbIoTest, ValidateCatchesTamperedCiphertext) {
+  db_.records[2][1] = Ciphertext(pk_.n_squared());  // out of range
+  EXPECT_FALSE(ValidateCiphertexts(db_, pk_).ok());
+}
+
+TEST(DbIoErrorTest, WriteRejectsEmptyAndUnopenablePaths) {
+  EXPECT_FALSE(WriteEncryptedDatabase("/tmp/x.bin", EncryptedDatabase{}).ok());
+  EXPECT_FALSE(ReadEncryptedDatabase("/nonexistent/db.bin").ok());
+}
+
+}  // namespace
+}  // namespace sknn

@@ -1,0 +1,242 @@
+// End-to-end tests of SkNN_b and SkNN_m through the SknnEngine, checked
+// against exact plaintext kNN: the paper's worked Example 1, randomized
+// tables, duplicate-distance ties, both serial and parallel execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/plaintext_knn.h"
+#include "core/engine.h"
+#include "data/heart_dataset.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace {
+
+// Sorting neighbor sets makes comparisons robust to tie ordering.
+PlainTable Sorted(PlainTable t) {
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+// Distance multiset w.r.t. the query — the invariant a correct kNN answer
+// must satisfy even when different tied records are returned.
+std::multiset<int64_t> DistanceSet(const PlainTable& rows,
+                                   const PlainRecord& q) {
+  std::multiset<int64_t> out;
+  for (const auto& r : rows) out.insert(SquaredDistance(r, q));
+  return out;
+}
+
+SknnEngine::Options FastOptions() {
+  SknnEngine::Options opts;
+  opts.key_bits = 256;  // correctness is key-size independent; keep CI fast
+  return opts;
+}
+
+TEST(SkNNbEndToEnd, HeartDiseaseExample1) {
+  // Example 1: the 2-NN of Q in Table 1 are t4 and t5.
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = HeartAttrBits();
+  auto engine = SknnEngine::Create(HeartFeatures(), opts);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto result = (*engine)->QueryBasic(HeartExampleQuery(), 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const PlainTable& features = HeartFeatures();
+  PlainTable expected = {features[4], features[3]};  // t5 (dist 119), t4 (139)
+  EXPECT_EQ(result->neighbors, expected);
+}
+
+TEST(SkNNmEndToEnd, HeartDiseaseExample1) {
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = HeartAttrBits();
+  auto engine = SknnEngine::Create(HeartFeatures(), opts);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto result = (*engine)->QueryMaxSecure(HeartExampleQuery(), 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const PlainTable& features = HeartFeatures();
+  PlainTable expected = {features[4], features[3]};
+  EXPECT_EQ(result->neighbors, expected);
+}
+
+TEST(SkNNbEndToEnd, MatchesPlaintextKnnOnRandomTable) {
+  const std::size_t n = 40, m = 4;
+  const int64_t max_value = 30;
+  PlainTable table = GenerateUniformTable(n, m, max_value, 101);
+  PlainRecord query = GenerateUniformQuery(m, max_value, 102);
+
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = BitsForMaxValue(max_value);
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  for (unsigned k : {1u, 3u, 7u}) {
+    auto result = (*engine)->QueryBasic(query, k);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->neighbors.size(), k);
+    EXPECT_EQ(DistanceSet(result->neighbors, query),
+              DistanceSet(PlainKnn(table, query, k), query))
+        << "k=" << k;
+  }
+}
+
+TEST(SkNNmEndToEnd, MatchesPlaintextKnnOnRandomTable) {
+  const std::size_t n = 12, m = 3;
+  const int64_t max_value = 6;
+  PlainTable table = GenerateUniformTable(n, m, max_value, 201);
+  PlainRecord query = GenerateUniformQuery(m, max_value, 202);
+
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = BitsForMaxValue(max_value);
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  for (unsigned k : {1u, 2u, 4u}) {
+    auto result = (*engine)->QueryMaxSecure(query, k);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->neighbors.size(), k);
+    EXPECT_EQ(DistanceSet(result->neighbors, query),
+              DistanceSet(PlainKnn(table, query, k), query))
+        << "k=" << k;
+  }
+}
+
+TEST(SkNNmEndToEnd, NeighborsAreInIncreasingDistanceOrder) {
+  const std::size_t n = 10, m = 2;
+  PlainTable table = GenerateUniformTable(n, m, 7, 301);
+  PlainRecord query = GenerateUniformQuery(m, 7, 302);
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 3;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->QueryMaxSecure(query, 4);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t j = 1; j < result->neighbors.size(); ++j) {
+    EXPECT_LE(SquaredDistance(result->neighbors[j - 1], query),
+              SquaredDistance(result->neighbors[j], query));
+  }
+}
+
+TEST(SkNNmEndToEnd, HandlesDuplicateRecords) {
+  // Several records identical to the query: ties at distance zero must be
+  // resolved without double-returning the same tournament winner.
+  PlainTable table = {{1, 1}, {5, 5}, {1, 1}, {6, 2}, {1, 1}, {7, 7}};
+  PlainRecord query = {1, 1};
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 3;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->QueryMaxSecure(query, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // All three zero-distance copies must be returned.
+  PlainTable expected = {{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(Sorted(result->neighbors), expected);
+}
+
+TEST(SkNNmEndToEnd, KEqualsN) {
+  PlainTable table = {{0, 0}, {3, 1}, {1, 2}};
+  PlainRecord query = {1, 1};
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 2;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->QueryMaxSecure(query, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(Sorted(result->neighbors), Sorted(table));
+}
+
+TEST(SkNNEndToEnd, SingleRecordDatabase) {
+  PlainTable table = {{2, 3}};
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 2;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  for (bool secure : {false, true}) {
+    auto result = secure ? (*engine)->QueryMaxSecure({0, 0}, 1)
+                         : (*engine)->QueryBasic({0, 0}, 1);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->neighbors, table);
+  }
+}
+
+TEST(SkNNEndToEnd, InvalidArgumentsAreRejected) {
+  PlainTable table = GenerateUniformTable(5, 3, 3, 401);
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 2;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE((*engine)->QueryBasic({1, 1, 1}, 0).ok());    // k = 0
+  EXPECT_FALSE((*engine)->QueryBasic({1, 1, 1}, 6).ok());    // k > n
+  EXPECT_FALSE((*engine)->QueryBasic({1, 1}, 2).ok());       // bad dimension
+  EXPECT_FALSE((*engine)->QueryMaxSecure({1, 1, 1}, 0).ok());
+}
+
+TEST(SkNNEndToEnd, EngineRejectsBadSetup) {
+  SknnEngine::Options opts = FastOptions();
+  EXPECT_FALSE(SknnEngine::Create({}, opts).ok());  // empty table
+  PlainTable table = {{100}};
+  opts.attr_bits = 3;  // 100 >= 2^3
+  EXPECT_FALSE(SknnEngine::Create(table, opts).ok());
+}
+
+TEST(SkNNEndToEnd, ParallelEnginesMatchSerial) {
+  const std::size_t n = 16, m = 3;
+  PlainTable table = GenerateUniformTable(n, m, 7, 501);
+  PlainRecord query = GenerateUniformQuery(m, 7, 502);
+
+  SknnEngine::Options serial = FastOptions();
+  serial.attr_bits = 3;
+  SknnEngine::Options parallel = serial;
+  parallel.c1_threads = 3;
+  parallel.c2_threads = 2;
+
+  auto engine_s = SknnEngine::Create(table, serial);
+  auto engine_p = SknnEngine::Create(table, parallel);
+  ASSERT_TRUE(engine_s.ok());
+  ASSERT_TRUE(engine_p.ok());
+
+  for (unsigned k : {1u, 3u}) {
+    auto rs = (*engine_s)->QueryMaxSecure(query, k);
+    auto rp = (*engine_p)->QueryMaxSecure(query, k);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(rp.ok());
+    EXPECT_EQ(DistanceSet(rs->neighbors, query),
+              DistanceSet(rp->neighbors, query));
+    auto rbs = (*engine_s)->QueryBasic(query, k);
+    auto rbp = (*engine_p)->QueryBasic(query, k);
+    ASSERT_TRUE(rbs.ok());
+    ASSERT_TRUE(rbp.ok());
+    EXPECT_EQ(DistanceSet(rbs->neighbors, query),
+              DistanceSet(rbp->neighbors, query));
+  }
+}
+
+TEST(SkNNEndToEnd, MetricsArePopulated) {
+  PlainTable table = GenerateUniformTable(8, 2, 3, 601);
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 2;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->QueryMaxSecure({1, 2}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->cloud_seconds, 0.0);
+  EXPECT_GT(result->traffic.total_bytes(), 0u);
+  EXPECT_GT(result->ops.encryptions, 0u);
+  EXPECT_GT(result->ops.decryptions, 0u);
+  // SkNN_m breakdown must roughly cover the cloud time.
+  EXPECT_GT(result->breakdown.sminn_seconds, 0.0);
+  EXPECT_GT(result->breakdown.ssed_seconds, 0.0);
+  EXPECT_GT(result->breakdown.sbd_seconds, 0.0);
+  EXPECT_LE(result->breakdown.total(), result->cloud_seconds * 1.5 + 0.1);
+
+  auto basic = (*engine)->QueryBasic({1, 2}, 2);
+  ASSERT_TRUE(basic.ok());
+  // The fully secure protocol must cost strictly more than the basic one —
+  // the security/efficiency trade-off of Figure 2(f).
+  EXPECT_GT(result->ops.encryptions, basic->ops.encryptions);
+  EXPECT_GT(result->traffic.total_bytes(), basic->traffic.total_bytes());
+}
+
+}  // namespace
+}  // namespace sknn

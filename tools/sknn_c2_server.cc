@@ -1,0 +1,67 @@
+// sknn_c2_server — the standalone key-holder cloud C2.
+//
+//   sknn_c2_server --secret sk.txt --port 9000 [--workers 2]
+//                  [--connections N]
+//
+// Serves the C2 side of every sub-protocol over TCP. C1 connects with one
+// link; each querying user (Bob) connects with his own link to pick up
+// results — C2 never routes Bob's data through C1. With --connections N the
+// server exits after N links close (for scripted runs); otherwise it serves
+// until killed.
+#include <cstdio>
+#include <vector>
+
+#include "crypto/serialization.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "proto/c2_service.h"
+#include "tools/tool_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sknn;
+  using namespace sknn::tools;
+  const char* usage =
+      "sknn_c2_server --secret <sk-file> --port <p> [--workers N] "
+      "[--connections N]";
+  auto flags = ParseFlags(argc, argv);
+  std::string sk_path = RequireFlag(flags, "secret", usage);
+  uint16_t port =
+      static_cast<uint16_t>(std::stoul(RequireFlag(flags, "port", usage)));
+  std::size_t workers = std::stoul(FlagOr(flags, "workers", "1"));
+  long connections = std::stol(FlagOr(flags, "connections", "-1"));
+
+  auto sk = ReadSecretKeyFile(sk_path);
+  if (!sk.ok()) {
+    std::fprintf(stderr, "%s\n", sk.status().ToString().c_str());
+    return 1;
+  }
+  C2Service c2(std::move(sk).value());
+
+  auto listener = TcpListener::Bind(port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("C2 key-holder serving on 127.0.0.1:%u (workers=%zu)\n",
+              listener->port(), workers);
+  std::fflush(stdout);
+
+  std::vector<std::unique_ptr<RpcServer>> sessions;
+  for (long served = 0; connections < 0 || served < connections; ++served) {
+    auto endpoint = listener->Accept();
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "accept failed: %s\n",
+                   endpoint.status().ToString().c_str());
+      break;
+    }
+    std::printf("connection %ld established\n", served + 1);
+    std::fflush(stdout);
+    sessions.push_back(std::make_unique<RpcServer>(
+        std::move(endpoint).value(),
+        [&c2](const Message& req) { return c2.Handle(req); }, workers));
+  }
+  // Scripted mode: serve every accepted link to completion, then exit.
+  for (auto& session : sessions) session->WaitForClose();
+  std::printf("all connections closed; shutting down\n");
+  return 0;
+}

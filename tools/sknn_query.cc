@@ -1,0 +1,121 @@
+// sknn_query — drives one secure kNN query against a remote C2.
+//
+//   sknn_query --public pk.txt --db db.bin --host 127.0.0.1 --port 9000 \
+//              --query "58,1,4,133,196,1,2,1,6" --k 2 [--protocol secure]
+//
+// This process plays two roles with two separate TCP links, mirroring the
+// deployment topology:
+//   * C1: hosts the encrypted database, drives SkNN_b / SkNN_m against C2;
+//   * Bob: encrypts the query, and — on his own connection — picks up the
+//     decrypted masked result from C2 and strips C1's masks.
+// protocols: basic (SkNN_b), secure (SkNN_m, default), farthest (k-FN).
+#include <cstdio>
+
+#include "core/db_io.h"
+#include "core/query_client.h"
+#include "core/sknn_b.h"
+#include "core/sknn_m.h"
+#include "crypto/serialization.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "tools/tool_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sknn;
+  using namespace sknn::tools;
+  const char* usage =
+      "sknn_query --public <pk> --db <db.bin> --host <ip> --port <p> "
+      "--query \"v1,v2,...\" --k <k> [--protocol basic|secure|farthest]";
+  auto flags = ParseFlags(argc, argv);
+  std::string pk_path = RequireFlag(flags, "public", usage);
+  std::string db_path = RequireFlag(flags, "db", usage);
+  std::string host = FlagOr(flags, "host", "127.0.0.1");
+  uint16_t port =
+      static_cast<uint16_t>(std::stoul(RequireFlag(flags, "port", usage)));
+  PlainRecord query = ParseRecord(RequireFlag(flags, "query", usage));
+  unsigned k =
+      static_cast<unsigned>(std::stoul(RequireFlag(flags, "k", usage)));
+  std::string protocol = FlagOr(flags, "protocol", "secure");
+
+  auto pk = ReadPublicKeyFile(pk_path);
+  if (!pk.ok()) {
+    std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
+    return 1;
+  }
+  auto db = ReadEncryptedDatabase(db_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = ValidateCiphertexts(*db, *pk); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (query.size() != db->num_attributes()) {
+    std::fprintf(stderr, "query has %zu attributes, database has %zu\n",
+                 query.size(), db->num_attributes());
+    return 1;
+  }
+
+  // C1's link and Bob's link — two independent TCP connections.
+  auto c1_link = ConnectTcp(host, port);
+  auto bob_link = ConnectTcp(host, port);
+  if (!c1_link.ok() || !bob_link.ok()) {
+    std::fprintf(stderr, "cannot reach C2 at %s:%u\n", host.c_str(), port);
+    return 1;
+  }
+  RpcClient c1_rpc(std::move(c1_link).value());
+  RpcClient bob_rpc(std::move(bob_link).value());
+  ProtoContext ctx(&*pk, &c1_rpc);
+
+  // Bob encrypts his query and hands Epk(Q) to C1.
+  QueryClient bob(*pk);
+  std::vector<Ciphertext> enc_query = bob.EncryptQuery(query);
+
+  // C1 runs the chosen protocol against C2.
+  Result<CloudQueryOutput> out =
+      Status::InvalidArgument("unknown --protocol '" + protocol + "'");
+  if (protocol == "basic") {
+    out = RunSkNNb(ctx, *db, enc_query, k);
+  } else if (protocol == "secure" || protocol == "farthest") {
+    SkNNmOptions opts;
+    opts.farthest = protocol == "farthest";
+    out = RunSkNNm(ctx, *db, enc_query, k, nullptr, opts);
+  }
+  if (!out.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+
+  // Bob fetches his half from C2 on his own connection and unmasks.
+  Message fetch;
+  fetch.type = OpCode(Op::kFetchBobOutbox);
+  auto picked_up = bob_rpc.Call(std::move(fetch));
+  if (!picked_up.ok()) {
+    std::fprintf(stderr, "outbox fetch failed: %s\n",
+                 picked_up.status().ToString().c_str());
+    return 1;
+  }
+  auto records = bob.RecoverRecords(picked_up->ints, out->masks_for_bob, k,
+                                    db->num_attributes());
+  if (!records.ok()) {
+    std::fprintf(stderr, "unmasking failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s %u-%s of <", protocol.c_str(), k,
+              protocol == "farthest" ? "farthest" : "nearest");
+  for (std::size_t j = 0; j < query.size(); ++j) {
+    std::printf("%s%lld", j ? "," : "", static_cast<long long>(query[j]));
+  }
+  std::printf(">:\n");
+  for (const auto& row : *records) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      std::printf("%s%lld", j ? "," : "", static_cast<long long>(row[j]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Tiny --flag=value / --flag value parser shared by the CLI tools.
+#ifndef SKNN_TOOLS_TOOL_UTIL_H_
+#define SKNN_TOOLS_TOOL_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sknn {
+namespace tools {
+
+inline std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+    std::string key = arg.substr(2);
+    std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      flags[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "true";
+    }
+  }
+  return flags;
+}
+
+inline std::string RequireFlag(const std::map<std::string, std::string>& flags,
+                               const std::string& name, const char* usage) {
+  auto it = flags.find(name);
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing --%s\nusage: %s\n", name.c_str(), usage);
+    std::exit(2);
+  }
+  return it->second;
+}
+
+inline std::string FlagOr(const std::map<std::string, std::string>& flags,
+                          const std::string& name, const std::string& def) {
+  auto it = flags.find(name);
+  return it == flags.end() ? def : it->second;
+}
+
+/// \brief "1,2,3" -> {1, 2, 3}.
+inline PlainRecord ParseRecord(const std::string& text) {
+  PlainRecord out;
+  std::stringstream ss(text);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    out.push_back(std::stoll(cell));
+  }
+  return out;
+}
+
+}  // namespace tools
+}  // namespace sknn
+
+#endif  // SKNN_TOOLS_TOOL_UTIL_H_
