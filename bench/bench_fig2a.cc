@@ -26,8 +26,8 @@ int main() {
     for (std::size_t n : ns) {
       EngineSetup setup =
           MakeEngine(n, m, kL, kKeyBits, /*threads=*/1, /*seed=*/n * 31 + m);
-      QueryResult result =
-          MustQuery(setup.engine->QueryBasic(setup.query, kK), "SkNN_b");
+      QueryResponse result = MustQuery(*setup.engine, setup.query, kK,
+                                       QueryProtocol::kBasic, "SkNN_b");
       std::printf("%8zu %4zu %4u %12.2f %14.4f %12.1f\n", n, m, kK,
                   result.cloud_seconds,
                   1e3 * result.cloud_seconds / static_cast<double>(n * m),

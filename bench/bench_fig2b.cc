@@ -29,16 +29,16 @@ int main() {
 
   // Reference point at K=512 for the ratio column.
   EngineSetup ref = MakeEngine(ns[0], ms[0], kL, 512, 1, 7);
-  QueryResult ref_result =
-      MustQuery(ref.engine->QueryBasic(ref.query, kK), "SkNN_b ref");
+  QueryResponse ref_result = MustQuery(*ref.engine, ref.query, kK,
+                                       QueryProtocol::kBasic, "SkNN_b ref");
   double ref_per_nm =
       ref_result.cloud_seconds / static_cast<double>(ns[0] * ms[0]);
 
   for (std::size_t m : ms) {
     for (std::size_t n : ns) {
       EngineSetup setup = MakeEngine(n, m, kL, 1024, 1, n * 37 + m);
-      QueryResult result =
-          MustQuery(setup.engine->QueryBasic(setup.query, kK), "SkNN_b");
+      QueryResponse result = MustQuery(*setup.engine, setup.query, kK,
+                                       QueryProtocol::kBasic, "SkNN_b");
       std::printf("%8zu %4zu %4u %12.2f %14.4f\n", n, m, kK,
                   result.cloud_seconds,
                   1e3 * result.cloud_seconds / static_cast<double>(n * m));
@@ -47,8 +47,8 @@ int main() {
   }
   // Explicit K-doubling ratio at the first grid point for the summary line.
   EngineSetup big = MakeEngine(ns[0], ms[0], kL, 1024, 1, 11);
-  QueryResult big_result =
-      MustQuery(big.engine->QueryBasic(big.query, kK), "SkNN_b");
+  QueryResponse big_result = MustQuery(*big.engine, big.query, kK,
+                                       QueryProtocol::kBasic, "SkNN_b");
   double big_per_nm =
       big_result.cloud_seconds / static_cast<double>(ns[0] * ms[0]);
   std::printf("# measured K-doubling factor: %.1fx (paper: ~7x)\n",

@@ -24,8 +24,8 @@ int main() {
     EngineSetup setup = MakeEngine(n_eff, kM, kL, key_bits, 1, key_bits);
     double min_t = 1e30, max_t = 0;
     for (unsigned k : ks) {
-      QueryResult result =
-          MustQuery(setup.engine->QueryBasic(setup.query, k), "SkNN_b");
+      QueryResponse result = MustQuery(*setup.engine, setup.query, k,
+                                       QueryProtocol::kBasic, "SkNN_b");
       min_t = std::min(min_t, result.cloud_seconds);
       max_t = std::max(max_t, result.cloud_seconds);
       std::printf("%6u %6zu %4u %12.2f\n", key_bits, n_eff, k,

@@ -28,8 +28,8 @@ int main() {
     EngineSetup setup = MakeEngine(n, kM, l, kKeyBits, BenchThreads(),
                                    /*seed=*/l * 1000);
     for (unsigned k : ks) {
-      QueryResult result =
-          MustQuery(setup.engine->QueryMaxSecure(setup.query, k), "SkNN_m");
+      QueryResponse result = MustQuery(*setup.engine, setup.query, k,
+                                       QueryProtocol::kSecure, "SkNN_m");
       double share = result.breakdown.sminn_seconds /
                      (result.cloud_seconds > 0 ? result.cloud_seconds : 1);
       std::printf("%4u %6zu %4u %12.2f %12.3f %11.1f%%\n", l, n, k,

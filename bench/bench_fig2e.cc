@@ -29,8 +29,8 @@ int main() {
     EngineSetup setup =
         MakeEngine(n, kM, l, 1024, BenchThreads(), /*seed=*/l * 2000);
     for (unsigned k : ks) {
-      QueryResult result =
-          MustQuery(setup.engine->QueryMaxSecure(setup.query, k), "SkNN_m");
+      QueryResponse result = MustQuery(*setup.engine, setup.query, k,
+                                       QueryProtocol::kSecure, "SkNN_m");
       std::printf("%4u %6u %6zu %4u %12.2f %12.3f\n", l, 1024, n, k,
                   result.cloud_seconds, result.cloud_seconds / k);
       std::fflush(stdout);
@@ -39,8 +39,8 @@ int main() {
   }
   // Matching K=512 point for the doubling-factor summary.
   EngineSetup ref = MakeEngine(n, kM, ls[0], 512, BenchThreads(), 4242);
-  QueryResult ref_result =
-      MustQuery(ref.engine->QueryMaxSecure(ref.query, ks[0]), "SkNN_m ref");
+  QueryResponse ref_result = MustQuery(*ref.engine, ref.query, ks[0],
+                                       QueryProtocol::kSecure, "SkNN_m ref");
   per_k_512 = ref_result.cloud_seconds / ks[0];
   std::printf("%4u %6u %6zu %4u %12.2f %12.3f\n", ls[0], 512, n, ks[0],
               ref_result.cloud_seconds, per_k_512);

@@ -26,10 +26,10 @@ int main() {
               "secure_time_s", "ratio");
   EngineSetup setup = MakeEngine(n, kM, kL, kKeyBits, BenchThreads(), 5150);
   for (unsigned k : ks) {
-    QueryResult basic =
-        MustQuery(setup.engine->QueryBasic(setup.query, k), "SkNN_b");
-    QueryResult secure =
-        MustQuery(setup.engine->QueryMaxSecure(setup.query, k), "SkNN_m");
+    QueryResponse basic = MustQuery(*setup.engine, setup.query, k,
+                                    QueryProtocol::kBasic, "SkNN_b");
+    QueryResponse secure = MustQuery(*setup.engine, setup.query, k,
+                                     QueryProtocol::kSecure, "SkNN_m");
     std::printf("%6zu %4u %14.2f %14.2f %9.1fx\n", n, k, basic.cloud_seconds,
                 secure.cloud_seconds,
                 secure.cloud_seconds /

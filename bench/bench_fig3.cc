@@ -25,12 +25,13 @@ int main() {
               "speedup");
   for (std::size_t n : ns) {
     EngineSetup serial = MakeEngine(n, kM, kL, kKeyBits, 1, n);
-    QueryResult serial_result =
-        MustQuery(serial.engine->QueryBasic(serial.query, kK), "serial");
+    QueryResponse serial_result = MustQuery(*serial.engine, serial.query, kK,
+                                            QueryProtocol::kBasic, "serial");
     EngineSetup parallel =
         MakeEngine(n, kM, kL, kKeyBits, BenchThreads(), n + 1);
-    QueryResult parallel_result =
-        MustQuery(parallel.engine->QueryBasic(parallel.query, kK), "parallel");
+    QueryResponse parallel_result = MustQuery(
+        *parallel.engine, parallel.query, kK, QueryProtocol::kBasic,
+        "parallel");
     std::printf("%8zu %14.2f %16.2f %9.2fx\n", n, serial_result.cloud_seconds,
                 parallel_result.cloud_seconds,
                 serial_result.cloud_seconds /

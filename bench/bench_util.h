@@ -43,9 +43,12 @@ struct EngineSetup {
 
 /// \brief Builds a uniform synthetic database whose squared distances fit
 /// in `l` bits (the paper's parameterization) and the matching engine.
+/// `latency` simulates the C1<->C2 WAN (zero = colocated clouds).
 inline EngineSetup MakeEngine(std::size_t n, std::size_t m, unsigned l,
                               unsigned key_bits, std::size_t threads,
-                              uint64_t seed) {
+                              uint64_t seed,
+                              std::chrono::microseconds latency =
+                                  std::chrono::microseconds{0}) {
   int64_t max_value = MaxValueForDistanceBits(m, l);
   PlainTable table = GenerateUniformTable(n, m, max_value, seed);
   PlainRecord query = GenerateUniformQuery(m, max_value, seed + 1);
@@ -54,6 +57,7 @@ inline EngineSetup MakeEngine(std::size_t n, std::size_t m, unsigned l,
   opts.attr_bits = BitsForMaxValue(max_value);
   opts.c1_threads = threads;
   opts.c2_threads = threads;
+  opts.c1_c2_latency = latency;
   Stopwatch sw;
   auto engine = SknnEngine::Create(table, opts);
   if (!engine.ok()) {
@@ -64,8 +68,16 @@ inline EngineSetup MakeEngine(std::size_t n, std::size_t m, unsigned l,
   return {std::move(engine).value(), std::move(query), sw.ElapsedSeconds()};
 }
 
-/// \brief Dies with a message if a query failed.
-inline QueryResult MustQuery(Result<QueryResult> r, const char* what) {
+/// \brief Runs one request through the engine's query API; dies with a
+/// message if it failed.
+inline QueryResponse MustQuery(SknnEngine& engine, const PlainRecord& query,
+                               unsigned k, QueryProtocol protocol,
+                               const char* what) {
+  QueryRequest request;
+  request.record = query;
+  request.k = k;
+  request.protocol = protocol;
+  Result<QueryResponse> r = engine.Query(request);
   if (!r.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", what,
                  r.status().ToString().c_str());

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   // Ground truth on plaintext.
   PlainTable expected = PlainKnn(table, query, k);
 
-  auto check = [&](const char* name, const Result<QueryResult>& result) {
+  auto check = [&](const char* name, const Result<QueryResponse>& result) {
     if (!result.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", name,
                    result.status().ToString().c_str());
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     }
     // Compare distance multisets (ties may reorder records).
     std::multiset<int64_t> got, want;
-    for (const auto& r : result->neighbors) {
+    for (const auto& r : result->records) {
       got.insert(SquaredDistance(r, query));
     }
     for (const auto& r : expected) {
@@ -75,10 +75,16 @@ int main(int argc, char** argv) {
     if (!correct) std::exit(1);
   };
 
-  auto basic = (*engine)->QueryBasic(query, k);
+  QueryRequest request;
+  request.record = query;
+  request.k = k;
+
+  request.protocol = QueryProtocol::kBasic;
+  auto basic = (*engine)->Query(request);
   check("SkNN_b (basic: leaks distances + access patterns)", basic);
 
-  auto secure = (*engine)->QueryMaxSecure(query, k);
+  request.protocol = QueryProtocol::kSecure;
+  auto secure = (*engine)->Query(request);
   check("SkNN_m (fully secure)", secure);
 
   std::printf("\nBreakdown of SkNN_m (paper Section 5.2 reports SMIN_n");

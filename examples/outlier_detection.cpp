@@ -54,17 +54,21 @@ int main() {
   }
 
   // Probe from the middle of the normal cluster.
-  PlainRecord probe = table[0];
-  auto result = (*engine)->QueryFarthest(probe, k);
+  QueryRequest request;
+  request.record = table[0];
+  request.k = k;
+  request.protocol = QueryProtocol::kFarthest;
+  auto result = (*engine)->Query(request);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
 
+  const PlainRecord& probe = request.record;
   std::printf("k farthest records from the cluster probe:\n");
   int found = 0;
-  for (const auto& row : result->neighbors) {
+  for (const auto& row : result->records) {
     bool is_anomaly =
         std::find(anomalies.begin(), anomalies.end(), row) != anomalies.end();
     found += is_anomaly ? 1 : 0;

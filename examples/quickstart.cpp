@@ -45,7 +45,11 @@ int main() {
               options.key_bits, (*engine)->distance_bits());
 
   // Bob's query: k = 2 nearest neighbors, fully secure protocol.
-  auto result = (*engine)->QueryMaxSecure(query, 2);
+  QueryRequest request;
+  request.record = query;
+  request.k = 2;
+  request.protocol = QueryProtocol::kSecure;
+  auto result = (*engine)->Query(request);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
@@ -57,9 +61,9 @@ int main() {
   std::printf("  %-10s", "");
   for (const auto& n : names) std::printf("%9s", n.c_str());
   std::printf("\n");
-  for (std::size_t j = 0; j < result->neighbors.size(); ++j) {
+  for (std::size_t j = 0; j < result->records.size(); ++j) {
     std::printf("  neighbor%zu ", j + 1);
-    for (int64_t v : result->neighbors[j]) {
+    for (int64_t v : result->records[j]) {
       std::printf("%9lld", static_cast<long long>(v));
     }
     std::printf("\n");

@@ -80,9 +80,12 @@ int main() {
     return 1;
   }
 
-  // Test queries: jittered copies of known-cluster points.
+  // Test queries: jittered copies of known-cluster points. All of them are
+  // independent, so they go out as one batch — the engine pipelines up to
+  // c1_threads of them concurrently over the shared cloud stack.
   const int kTests = 6;
-  int correct_secure = 0, agree_with_plain = 0;
+  std::vector<QueryRequest> requests;
+  std::vector<int64_t> true_labels;
   Random rng(32);
   for (int t = 0; t < kTests; ++t) {
     std::size_t base = rng.UniformUint64(n);
@@ -92,22 +95,35 @@ int main() {
                             std::max<int64_t>(0, v + (t % 3) - 1));
     }
     query.push_back(0);  // label column placeholder
-    int64_t true_label = static_cast<int64_t>(base % spec.num_clusters);
+    true_labels.push_back(static_cast<int64_t>(base % spec.num_clusters));
 
-    auto result = (*engine)->QueryMaxSecure(query, k);
+    QueryRequest request;
+    request.record = std::move(query);
+    request.k = k;
+    request.protocol = QueryProtocol::kSecure;
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<Result<QueryResponse>> results =
+      (*engine)->QueryBatch(requests);
+
+  int correct_secure = 0, agree_with_plain = 0;
+  for (int t = 0; t < kTests; ++t) {
+    const Result<QueryResponse>& result = results[t];
     if (!result.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    result.status().ToString().c_str());
       return 1;
     }
-    int64_t secure_label = MajorityLabel(result->neighbors);
+    const PlainRecord& query = requests[t].record;
+    int64_t secure_label = MajorityLabel(result->records);
     int64_t plain_label = MajorityLabel(PlainKnn(table, query, k));
 
-    if (secure_label == true_label) ++correct_secure;
+    if (secure_label == true_labels[t]) ++correct_secure;
     if (secure_label == plain_label) ++agree_with_plain;
     std::printf(
         "  query %d: true=%lld  secure-kNN=%lld  plain-kNN=%lld  (%5.2f s)\n",
-        t, static_cast<long long>(true_label),
+        t, static_cast<long long>(true_labels[t]),
         static_cast<long long>(secure_label),
         static_cast<long long>(plain_label), result->cloud_seconds);
   }

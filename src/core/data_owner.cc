@@ -22,6 +22,16 @@ unsigned DataOwner::RequiredDistanceBits(std::size_t num_attributes,
   return static_cast<unsigned>(max_dist.BitLength());
 }
 
+unsigned DataOwner::ImpliedAttrBits(std::size_t num_attributes,
+                                    unsigned distance_bits) {
+  unsigned b = 0;
+  while (b < 62 &&
+         RequiredDistanceBits(num_attributes, b + 1) <= distance_bits) {
+    ++b;
+  }
+  return b;
+}
+
 Result<EncryptedDatabase> DataOwner::EncryptDatabase(const PlainTable& table,
                                                      unsigned attr_bits,
                                                      ThreadPool* pool) const {

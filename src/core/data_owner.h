@@ -36,6 +36,14 @@ class DataOwner {
   static unsigned RequiredDistanceBits(std::size_t num_attributes,
                                        unsigned attr_bits);
 
+  /// \brief Inverse of RequiredDistanceBits: the largest attribute width b
+  /// whose worst-case squared distance still fits in `distance_bits`. When
+  /// the database came from EncryptDatabase this recovers Alice's attr_bits
+  /// exactly; query validation holds records to this bound so the
+  /// protocols' distance-domain guarantee survives any query.
+  static unsigned ImpliedAttrBits(std::size_t num_attributes,
+                                  unsigned distance_bits);
+
  private:
   explicit DataOwner(PaillierKeyPair keys) : keys_(std::move(keys)) {}
 

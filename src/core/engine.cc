@@ -1,10 +1,24 @@
 #include "core/engine.h"
 
+#include <string>
+
 #include "common/stopwatch.h"
 #include "core/data_owner.h"
-#include "crypto/op_counters.h"
+#include "proto/query_meter.h"
 
 namespace sknn {
+
+const char* QueryProtocolName(QueryProtocol protocol) {
+  switch (protocol) {
+    case QueryProtocol::kBasic:
+      return "basic";
+    case QueryProtocol::kSecure:
+      return "secure";
+    case QueryProtocol::kFarthest:
+      return "farthest";
+  }
+  return "unknown";
+}
 
 Result<std::unique_ptr<SknnEngine>> SknnEngine::Create(
     const PlainTable& table, const Options& options) {
@@ -38,6 +52,12 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
   engine->pk_ = pk;
   engine->db_ = std::move(db);
 
+  // Attribute domain implied by the database; request validation holds
+  // queries to this bound so the protocols' distance-domain guarantee
+  // survives any query.
+  engine->attr_bits_ = DataOwner::ImpliedAttrBits(
+      engine->db_.num_attributes(), engine->db_.distance_bits);
+
   // Outsourcing split: Epk(T) is C1's copy; sk goes to C2.
   engine->c2_ = std::make_unique<C2Service>(std::move(sk));
   engine->c2_->set_record_views(options.record_c2_views);
@@ -45,6 +65,7 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
   // The C1 <-> C2 link.
   Channel::EndpointPair link = Channel::CreatePair();
   engine->channel_ = &link.a->channel();
+  engine->channel_->set_latency(options.c1_c2_latency);
   C2Service* c2_raw = engine->c2_.get();
   engine->server_ = std::make_unique<RpcServer>(
       std::move(link.b),
@@ -55,71 +76,191 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
   if (options.c1_threads > 1) {
     engine->c1_pool_ = std::make_unique<ThreadPool>(options.c1_threads);
   }
-  engine->ctx_ = std::make_unique<ProtoContext>(
-      &engine->pk_, engine->client_.get(), engine->c1_pool_.get());
   engine->bob_ = std::make_unique<QueryClient>(engine->pk_);
   return engine;
 }
 
-Result<CloudQueryOutput> SknnEngine::Dispatch(Protocol protocol,
-                                              const std::vector<Ciphertext>& q,
-                                              unsigned k, SkNNmBreakdown* bd) {
-  if (protocol == Protocol::kBasic) {
-    return RunSkNNb(*ctx_, db_, q, k);
+SknnEngine::~SknnEngine() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    sched_stop_ = true;
+  }
+  sched_cv_.notify_all();
+  for (auto& t : sched_threads_) t.join();
+}
+
+void SknnEngine::SchedulerLoop() {
+  for (;;) {
+    QueryJob job;
+    {
+      std::unique_lock<std::mutex> lock(sched_mutex_);
+      sched_cv_.wait(lock,
+                     [this] { return sched_stop_ || !sched_queue_.empty(); });
+      if (sched_queue_.empty()) return;  // stop requested and queue drained
+      job = std::move(sched_queue_.front());
+      sched_queue_.pop_front();
+    }
+    job.promise.set_value(ExecuteQuery(job.request));
+  }
+}
+
+Status SknnEngine::ValidateRequest(const QueryRequest& request) const {
+  const std::size_t n = db_.num_records();
+  if (request.record.size() != db_.num_attributes()) {
+    return Status::InvalidArgument(
+        "QueryRequest: record has " + std::to_string(request.record.size()) +
+        " attributes, database has " + std::to_string(db_.num_attributes()));
+  }
+  if (request.k == 0) {
+    return Status::InvalidArgument("QueryRequest: k must be at least 1");
+  }
+  if (request.k > n) {
+    return Status::OutOfRange("QueryRequest: k = " +
+                              std::to_string(request.k) + " exceeds the " +
+                              std::to_string(n) + " database records");
+  }
+  const int64_t bound = int64_t{1} << attr_bits_;
+  for (int64_t v : request.record) {
+    if (v < 0 || v >= bound) {
+      return Status::OutOfRange(
+          "QueryRequest: attribute value " + std::to_string(v) +
+          " outside [0, 2^" + std::to_string(attr_bits_) +
+          ") — distances would overflow the protocol's l-bit domain");
+    }
+  }
+  return Status::OK();
+}
+
+Result<CloudQueryOutput> SknnEngine::Dispatch(
+    ProtoContext& ctx, const QueryRequest& request,
+    const std::vector<Ciphertext>& enc_query, SkNNmBreakdown* breakdown) {
+  if (request.protocol == QueryProtocol::kBasic) {
+    return RunSkNNb(ctx, db_, enc_query, request.k);
   }
   SkNNmOptions opts;
   opts.verify_sbd = options_.verify_sbd;
-  opts.farthest = protocol == Protocol::kFarthest;
-  return RunSkNNm(*ctx_, db_, q, k, bd, opts);
+  opts.farthest = request.protocol == QueryProtocol::kFarthest;
+  return RunSkNNm(ctx, db_, enc_query, request.k,
+                  request.want_breakdown ? breakdown : nullptr, opts);
 }
 
-Result<QueryResult> SknnEngine::RunQuery(const PlainRecord& query, unsigned k,
-                                         Protocol protocol) {
-  if (query.size() != db_.num_attributes()) {
-    return Status::InvalidArgument("Query dimension mismatch");
-  }
-  QueryResult result;
+Result<QueryResponse> SknnEngine::ExecuteQuery(const QueryRequest& request) {
+  SKNN_RETURN_NOT_OK(ValidateRequest(request));
+  const uint64_t query_id = next_query_id_.fetch_add(1);
+  QueryMeter meter;
+  ProtoContext ctx(&pk_, client_.get(), c1_pool_.get(), query_id, &meter);
+  QueryResponse response;
 
   // Bob: encrypt Q (his main cost — the paper's 4 ms / 17 ms numbers).
   Stopwatch bob_watch;
-  std::vector<Ciphertext> enc_query = bob_->EncryptQuery(query);
-  result.bob_seconds = bob_watch.ElapsedSeconds();
+  std::vector<Ciphertext> enc_query = bob_->EncryptQuery(request.record);
+  response.bob_seconds = bob_watch.ElapsedSeconds();
 
-  // The clouds: run the chosen protocol with fresh meters.
-  channel_->ResetStats();
-  OpSnapshot ops_before = OpCounters::Snapshot();
-  Stopwatch cloud_watch;
-  Result<CloudQueryOutput> cloud =
-      Dispatch(protocol, enc_query, k, &result.breakdown);
-  if (!cloud.ok()) return cloud.status();
-  result.cloud_seconds = cloud_watch.ElapsedSeconds();
-  result.traffic = channel_->stats();
-  result.ops = OpCounters::Snapshot() - ops_before;
+  // The clouds: run the chosen protocol. The C1 side of the query sinks its
+  // Paillier ops into the meter; C2 attributes its share via the query id.
+  Result<CloudQueryOutput> cloud = Status::Internal("unset");
+  {
+    ScopedOpSink sink(request.want_op_counts ? &meter.ops() : nullptr);
+    Stopwatch cloud_watch;
+    cloud = Dispatch(ctx, request, enc_query, &response.breakdown);
+    response.cloud_seconds = cloud_watch.ElapsedSeconds();
+  }
+  OpSnapshot c2_ops = c2_->TakeQueryOps(query_id);
+  if (!cloud.ok()) {
+    (void)c2_->TakeBobOutbox(query_id);  // drop any partial result
+    return cloud.status();
+  }
+  response.traffic = meter.traffic();
+  if (request.want_op_counts) {
+    response.ops = meter.ops().snapshot() + c2_ops;
+  }
 
-  // Bob: combine C2's decrypted masked records with C1's masks.
-  std::vector<BigInt> from_c2 = c2_->TakeBobOutbox();
+  // Bob: combine C2's decrypted masked records with C1's masks. The outbox
+  // bucket is keyed by query id, so concurrent queries cannot interleave.
+  std::vector<BigInt> from_c2 = c2_->TakeBobOutbox(query_id);
   bob_watch.Reset();
   SKNN_ASSIGN_OR_RETURN(
-      result.neighbors,
-      bob_->RecoverRecords(from_c2, cloud->masks_for_bob, k,
+      response.records,
+      bob_->RecoverRecords(from_c2, cloud->masks_for_bob, request.k,
                            db_.num_attributes()));
-  result.bob_seconds += bob_watch.ElapsedSeconds();
+  response.bob_seconds += bob_watch.ElapsedSeconds();
+  return response;
+}
+
+Result<QueryResponse> SknnEngine::Query(const QueryRequest& request) {
+  return ExecuteQuery(request);
+}
+
+std::future<Result<QueryResponse>> SknnEngine::Submit(QueryRequest request) {
+  QueryJob job;
+  job.request = std::move(request);
+  std::future<Result<QueryResponse>> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    if (sched_stop_) {
+      job.promise.set_value(
+          Status::FailedPrecondition("Submit: engine is shutting down"));
+      return future;
+    }
+    // Dispatchers are spawned on the first Submit — one per allowed
+    // in-flight query. They only drive protocol control flow (and block on
+    // C2 round trips); the homomorphic heavy lifting stays on c1_pool_.
+    // Engines used purely synchronously never pay for them.
+    if (sched_threads_.empty()) {
+      std::size_t in_flight = std::max<std::size_t>(1, options_.c1_threads);
+      sched_threads_.reserve(in_flight);
+      for (std::size_t i = 0; i < in_flight; ++i) {
+        sched_threads_.emplace_back([this] { SchedulerLoop(); });
+      }
+    }
+    sched_queue_.push_back(std::move(job));
+  }
+  sched_cv_.notify_one();
+  return future;
+}
+
+std::vector<Result<QueryResponse>> SknnEngine::QueryBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) futures.push_back(Submit(std::move(request)));
+  std::vector<Result<QueryResponse>> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+Result<QueryResult> SknnEngine::LegacyQuery(const PlainRecord& query,
+                                            unsigned k,
+                                            QueryProtocol protocol) {
+  QueryRequest request;
+  request.record = query;
+  request.k = k;
+  request.protocol = protocol;
+  SKNN_ASSIGN_OR_RETURN(QueryResponse response, ExecuteQuery(request));
+  QueryResult result;
+  result.neighbors = std::move(response.records);
+  result.bob_seconds = response.bob_seconds;
+  result.cloud_seconds = response.cloud_seconds;
+  result.traffic = response.traffic;
+  result.ops = response.ops;
+  result.breakdown = response.breakdown;
   return result;
 }
 
 Result<QueryResult> SknnEngine::QueryBasic(const PlainRecord& query,
                                            unsigned k) {
-  return RunQuery(query, k, Protocol::kBasic);
+  return LegacyQuery(query, k, QueryProtocol::kBasic);
 }
 
 Result<QueryResult> SknnEngine::QueryMaxSecure(const PlainRecord& query,
                                                unsigned k) {
-  return RunQuery(query, k, Protocol::kMaxSecure);
+  return LegacyQuery(query, k, QueryProtocol::kSecure);
 }
 
 Result<QueryResult> SknnEngine::QueryFarthest(const PlainRecord& query,
                                               unsigned k) {
-  return RunQuery(query, k, Protocol::kFarthest);
+  return LegacyQuery(query, k, QueryProtocol::kFarthest);
 }
 
 }  // namespace sknn

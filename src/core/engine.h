@@ -6,12 +6,28 @@
 // The engine is the in-process simulation of the paper's deployment; every
 // inter-party byte still crosses the (accounted) channel, so computation
 // and communication measurements match the real topology.
+//
+// The query surface is request-oriented (core/query_api.h): Query() runs
+// one QueryRequest synchronously, Submit() returns a future, and
+// QueryBatch() pipelines independent requests — up to c1_threads of them in
+// flight — over the shared C1 pool and the correlation-id RPC demux. Each
+// in-flight query is isolated end to end by its query id (C2 Bob-outbox
+// bucket, traffic meter, op ledger), so concurrent responses are exactly
+// what a serial loop would produce.
 #ifndef SKNN_CORE_ENGINE_H_
 #define SKNN_CORE_ENGINE_H_
 
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/thread_pool.h"
+#include "core/query_api.h"
 #include "core/query_client.h"
 #include "core/sknn_b.h"
 #include "core/sknn_m.h"
@@ -29,10 +45,17 @@ class SknnEngine {
     unsigned key_bits = 512;
     /// Attribute domain: values in [0, 2^attr_bits). Determines l.
     unsigned attr_bits = 8;
-    /// C1-side worker threads (1 = the paper's serial variant).
+    /// C1-side worker threads (1 = the paper's serial variant). Also bounds
+    /// how many submitted queries execute concurrently.
     std::size_t c1_threads = 1;
     /// C2-side worker threads.
     std::size_t c2_threads = 1;
+    /// Simulated one-way latency of the C1 <-> C2 link (default zero =
+    /// colocated clouds). Models the WAN between the two cloud providers of
+    /// the paper's deployment; round-trip-bound protocols stall on it, which
+    /// is exactly the idle time QueryBatch's pipelining reclaims
+    /// (bench/bench_batch.cc).
+    std::chrono::microseconds c1_c2_latency{0};
     /// Capture every plaintext C2 decrypts (security tests only).
     bool record_c2_views = false;
     /// Run SBD's verification round inside SkNN_m.
@@ -51,38 +74,79 @@ class SknnEngine {
       const PaillierPublicKey& pk, PaillierSecretKey sk, EncryptedDatabase db,
       const Options& options);
 
+  ~SknnEngine();
+
+  /// \brief Runs one request synchronously on the calling thread — the one
+  /// blocking entry point everything else is built on.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// \brief Enqueues a request on the engine's scheduler; the future
+  /// resolves when the query completes. Up to Options::c1_threads submitted
+  /// queries run concurrently, pipelined over the shared C1 pool and the
+  /// correlation-id RPC demux.
+  std::future<Result<QueryResponse>> Submit(QueryRequest request);
+
+  /// \brief Submits every request and waits for all of them; results are in
+  /// request order. Independent queries overlap, so with c1_threads > 1 a
+  /// batch finishes well ahead of the equivalent serial loop
+  /// (bench/bench_batch.cc measures the gap).
+  std::vector<Result<QueryResponse>> QueryBatch(
+      std::vector<QueryRequest> requests);
+
+  /// \brief The up-front request validation Query/Submit/QueryBatch apply:
+  /// k in [1, n], matching dimension, attributes in [0, 2^attr_bits).
+  Status ValidateRequest(const QueryRequest& request) const;
+
   /// \brief Full SkNN_b round trip for Bob's query (k neighbors).
+  /// \deprecated Thin wrapper over Query(); use a QueryRequest with
+  /// QueryProtocol::kBasic. Removed after one release.
+  [[deprecated("use Query(QueryRequest) with QueryProtocol::kBasic")]]
   Result<QueryResult> QueryBasic(const PlainRecord& query, unsigned k);
 
   /// \brief Full SkNN_m round trip for Bob's query (k neighbors).
+  /// \deprecated Thin wrapper over Query(); use a QueryRequest with
+  /// QueryProtocol::kSecure. Removed after one release.
+  [[deprecated("use Query(QueryRequest) with QueryProtocol::kSecure")]]
   Result<QueryResult> QueryMaxSecure(const PlainRecord& query, unsigned k);
 
   /// \brief Secure k-FARTHEST neighbors (fully secure, SkNN_m machinery on
-  /// complemented distances): the k records most dissimilar to the query,
-  /// farthest first. See SkNNmOptions::farthest for semantics and caveats.
+  /// complemented distances). See SkNNmOptions::farthest for semantics.
+  /// \deprecated Thin wrapper over Query(); use a QueryRequest with
+  /// QueryProtocol::kFarthest. Removed after one release.
+  [[deprecated("use Query(QueryRequest) with QueryProtocol::kFarthest")]]
   Result<QueryResult> QueryFarthest(const PlainRecord& query, unsigned k);
 
   const PaillierPublicKey& public_key() const { return pk_; }
   const EncryptedDatabase& database() const { return db_; }
   unsigned distance_bits() const { return db_.distance_bits; }
+  /// \brief Attribute domain bound: valid values are [0, 2^attr_bits()).
+  unsigned attr_bits() const { return attr_bits_; }
 
   /// \brief C2 instrumentation hooks (security tests).
   C2Service& c2_service() { return *c2_; }
-  /// \brief Primitive-level access for examples/tests built on the engine.
-  ProtoContext& c1_context() { return *ctx_; }
 
  private:
   SknnEngine() = default;
 
-  enum class Protocol { kBasic, kMaxSecure, kFarthest };
+  struct QueryJob {
+    QueryRequest request;
+    std::promise<Result<QueryResponse>> promise;
+  };
 
-  Result<QueryResult> RunQuery(const PlainRecord& query, unsigned k,
-                               Protocol protocol);
-  Result<CloudQueryOutput> Dispatch(Protocol protocol,
-                                    const std::vector<Ciphertext>& q,
-                                    unsigned k, SkNNmBreakdown* bd);
+  /// \brief The request-driven execution path shared by Query and the
+  /// scheduler: validate, assign a query id, run the protocol with
+  /// per-query instrumentation, and recover Bob's records.
+  Result<QueryResponse> ExecuteQuery(const QueryRequest& request);
+  Result<CloudQueryOutput> Dispatch(ProtoContext& ctx,
+                                    const QueryRequest& request,
+                                    const std::vector<Ciphertext>& enc_query,
+                                    SkNNmBreakdown* breakdown);
+  Result<QueryResult> LegacyQuery(const PlainRecord& query, unsigned k,
+                                  QueryProtocol protocol);
+  void SchedulerLoop();
 
   Options options_;
+  unsigned attr_bits_ = 0;
   PaillierPublicKey pk_;
   EncryptedDatabase db_;
   std::unique_ptr<C2Service> c2_;
@@ -90,8 +154,19 @@ class SknnEngine {
   std::unique_ptr<RpcServer> server_;
   std::unique_ptr<RpcClient> client_;
   std::unique_ptr<ThreadPool> c1_pool_;
-  std::unique_ptr<ProtoContext> ctx_;
   std::unique_ptr<QueryClient> bob_;
+
+  std::atomic<uint64_t> next_query_id_{1};
+
+  // Request scheduler: dedicated dispatcher threads (one per allowed
+  // in-flight query, spawned lazily on the first Submit) drive the
+  // protocol; all heavy homomorphic work inside a query still fans out
+  // over the shared c1_pool_.
+  std::mutex sched_mutex_;
+  std::condition_variable sched_cv_;
+  std::deque<QueryJob> sched_queue_;
+  std::vector<std::thread> sched_threads_;  // guarded by sched_mutex_
+  bool sched_stop_ = false;
 };
 
 }  // namespace sknn

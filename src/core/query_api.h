@@ -1,0 +1,77 @@
+// The request/response vocabulary of the serveable engine.
+//
+// The paper's deployment serves many Bobs against one outsourced database;
+// this header is the shape of that traffic. A QueryRequest names everything
+// one round trip needs — the record, k, which protocol, and which
+// measurements to collect — and a QueryResponse carries the records Bob
+// reconstructs plus the per-query instrumentation the evaluation section
+// reports. SknnEngine::Query runs one request synchronously; Submit and
+// QueryBatch pipeline independent requests over the C1 thread pool and the
+// correlation-id RPC demux (each in-flight query is isolated by its query
+// id end to end: Bob outbox, traffic meter, operation ledger).
+#ifndef SKNN_CORE_QUERY_API_H_
+#define SKNN_CORE_QUERY_API_H_
+
+#include "core/types.h"
+
+namespace sknn {
+
+/// \brief Which protocol a request runs.
+enum class QueryProtocol {
+  /// SkNN_b (Algorithm 5): efficient baseline; C2 learns distances and both
+  /// clouds learn the data access pattern.
+  kBasic,
+  /// SkNN_m (Algorithm 6): fully secure k nearest neighbors.
+  kSecure,
+  /// SkNN_m machinery on complemented distances: fully secure k FARTHEST
+  /// neighbors (outlier detection building block).
+  kFarthest,
+};
+
+const char* QueryProtocolName(QueryProtocol protocol);
+
+/// \brief One Bob query, self-describing. Validated up front by the engine:
+/// k must be in [1, n], the record's dimension must match the database, and
+/// every attribute must lie in [0, 2^attr_bits).
+struct QueryRequest {
+  /// The plaintext query record Q (encrypted attribute-wise by Bob's
+  /// QueryClient before anything reaches the clouds).
+  PlainRecord record;
+  /// Number of neighbors requested.
+  unsigned k = 1;
+  QueryProtocol protocol = QueryProtocol::kSecure;
+  /// Collect the per-phase SkNN_m wall-clock split (Section 5.2). Ignored by
+  /// the basic protocol, which has no phases to split.
+  bool want_breakdown = true;
+  /// Collect exact per-query Paillier operation counts across both clouds
+  /// (Section 4.4 accounting).
+  bool want_op_counts = true;
+};
+
+/// \brief Everything Bob ends up with after one request, plus the
+/// measurements the evaluation section reports. All instrumentation is
+/// per-query exact even when many requests run concurrently.
+struct QueryResponse {
+  /// The k records, in protocol order (nearest first; farthest first for
+  /// QueryProtocol::kFarthest), exactly as Bob reconstructs them.
+  PlainTable records;
+
+  /// Bob-side cost: encrypting Q plus final unmasking — the paper's
+  /// "4 ms / 17 ms" end-user numbers.
+  double bob_seconds = 0;
+  /// Cloud-side cost: everything between Epk(Q) arriving at C1 and the
+  /// masked result leaving for Bob.
+  double cloud_seconds = 0;
+  /// This query's C1<->C2 communication (exact, counted per exchange).
+  TrafficStats traffic;
+  /// This query's Paillier operations across C1 and C2 (populated when
+  /// QueryRequest::want_op_counts).
+  OpSnapshot ops;
+  /// Phase breakdown (populated for kSecure/kFarthest when
+  /// QueryRequest::want_breakdown).
+  SkNNmBreakdown breakdown;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_CORE_QUERY_API_H_

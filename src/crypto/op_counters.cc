@@ -8,6 +8,7 @@ std::atomic<uint64_t> OpCounters::enc_{0};
 std::atomic<uint64_t> OpCounters::dec_{0};
 std::atomic<uint64_t> OpCounters::exp_{0};
 std::atomic<uint64_t> OpCounters::mul_{0};
+thread_local OpAccumulator* OpCounters::sink_ = nullptr;
 
 void OpCounters::Reset() {
   enc_.store(0, kOrder);

@@ -22,17 +22,65 @@ struct OpSnapshot {
             exponentiations - o.exponentiations,
             multiplications - o.multiplications};
   }
+  OpSnapshot operator+(const OpSnapshot& o) const {
+    return {encryptions + o.encryptions, decryptions + o.decryptions,
+            exponentiations + o.exponentiations,
+            multiplications + o.multiplications};
+  }
   std::string ToString() const;
 };
 
+/// \brief Thread-safe accumulator for attributing operations to one scope
+/// (one query, one RPC) while other scopes run concurrently on other
+/// threads. Installed per-thread via ScopedOpSink; many threads may share
+/// one accumulator (the per-query fan-out workers all sink into the query's
+/// meter).
+class OpAccumulator {
+ public:
+  void Add(uint64_t enc, uint64_t dec, uint64_t exp, uint64_t mul) {
+    enc_.fetch_add(enc, kOrder);
+    dec_.fetch_add(dec, kOrder);
+    exp_.fetch_add(exp, kOrder);
+    mul_.fetch_add(mul, kOrder);
+  }
+
+  OpSnapshot snapshot() const {
+    return {enc_.load(kOrder), dec_.load(kOrder), exp_.load(kOrder),
+            mul_.load(kOrder)};
+  }
+
+ private:
+  friend class OpCounters;
+  static constexpr std::memory_order kOrder = std::memory_order_relaxed;
+  std::atomic<uint64_t> enc_{0};
+  std::atomic<uint64_t> dec_{0};
+  std::atomic<uint64_t> exp_{0};
+  std::atomic<uint64_t> mul_{0};
+};
+
 /// \brief Process-wide relaxed-atomic counters; negligible overhead next to
-/// the modular exponentiations they count.
+/// the modular exponentiations they count. Each count additionally lands in
+/// the calling thread's sink accumulator, if one is installed — this is how
+/// concurrent queries get exact per-query operation accounting without
+/// engine-level snapshot deltas.
 class OpCounters {
  public:
-  static void CountEncryption() { enc_.fetch_add(1, kOrder); }
-  static void CountDecryption() { dec_.fetch_add(1, kOrder); }
-  static void CountExponentiation() { exp_.fetch_add(1, kOrder); }
-  static void CountMultiplication() { mul_.fetch_add(1, kOrder); }
+  static void CountEncryption() {
+    enc_.fetch_add(1, kOrder);
+    if (sink_ != nullptr) sink_->enc_.fetch_add(1, kOrder);
+  }
+  static void CountDecryption() {
+    dec_.fetch_add(1, kOrder);
+    if (sink_ != nullptr) sink_->dec_.fetch_add(1, kOrder);
+  }
+  static void CountExponentiation() {
+    exp_.fetch_add(1, kOrder);
+    if (sink_ != nullptr) sink_->exp_.fetch_add(1, kOrder);
+  }
+  static void CountMultiplication() {
+    mul_.fetch_add(1, kOrder);
+    if (sink_ != nullptr) sink_->mul_.fetch_add(1, kOrder);
+  }
 
   static OpSnapshot Snapshot() {
     return {enc_.load(kOrder), dec_.load(kOrder), exp_.load(kOrder),
@@ -40,12 +88,38 @@ class OpCounters {
   }
   static void Reset();
 
+  /// \brief This thread's current sink (null if none) — capture it before
+  /// fanning work out to a pool, re-install inside the workers.
+  static OpAccumulator* ThreadSink() { return sink_; }
+  /// \brief Installs `sink` on this thread, returns the previous one.
+  static OpAccumulator* SwapThreadSink(OpAccumulator* sink) {
+    OpAccumulator* prev = sink_;
+    sink_ = sink;
+    return prev;
+  }
+
  private:
   static constexpr std::memory_order kOrder = std::memory_order_relaxed;
   static std::atomic<uint64_t> enc_;
   static std::atomic<uint64_t> dec_;
   static std::atomic<uint64_t> exp_;
   static std::atomic<uint64_t> mul_;
+  static thread_local OpAccumulator* sink_;
+};
+
+/// \brief RAII sink installer: ops counted on this thread while the scope is
+/// alive are also attributed to `sink` (pass null to detach the thread).
+class ScopedOpSink {
+ public:
+  explicit ScopedOpSink(OpAccumulator* sink)
+      : prev_(OpCounters::SwapThreadSink(sink)) {}
+  ~ScopedOpSink() { OpCounters::SwapThreadSink(prev_); }
+
+  ScopedOpSink(const ScopedOpSink&) = delete;
+  ScopedOpSink& operator=(const ScopedOpSink&) = delete;
+
+ private:
+  OpAccumulator* prev_;
 };
 
 }  // namespace sknn

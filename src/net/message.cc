@@ -42,7 +42,7 @@ bool GetU64(const std::vector<uint8_t>& in, std::size_t& pos, uint64_t* v) {
 }  // namespace
 
 std::size_t Message::WireSize() const {
-  std::size_t size = 2 + 8 + 4 + 4 + aux.size();
+  std::size_t size = 2 + 8 + 8 + 4 + 4 + aux.size();
   for (const auto& v : ints) {
     size += 4 + (v.IsZero() ? 0 : (v.BitLength() + 7) / 8);
   }
@@ -54,6 +54,7 @@ std::vector<uint8_t> WireCodec::Encode(const Message& msg) {
   out.reserve(msg.WireSize());
   PutU16(out, msg.type);
   PutU64(out, msg.correlation_id);
+  PutU64(out, msg.query_id);
   PutU32(out, static_cast<uint32_t>(msg.ints.size()));
   for (const auto& v : msg.ints) {
     std::vector<uint8_t> bytes = v.ToBytes();
@@ -71,6 +72,7 @@ Result<Message> WireCodec::Decode(const std::vector<uint8_t>& bytes) {
   uint32_t n_ints = 0, aux_len = 0;
   if (!GetU16(bytes, pos, &msg.type) ||
       !GetU64(bytes, pos, &msg.correlation_id) ||
+      !GetU64(bytes, pos, &msg.query_id) ||
       !GetU32(bytes, pos, &n_ints)) {
     return Status::ProtocolError("WireCodec: truncated header");
   }

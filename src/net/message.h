@@ -1,11 +1,13 @@
 // Typed protocol message and its wire codec.
 //
 // The two clouds exchange Messages: an opcode, a correlation id (so many
-// requests can be in flight during parallel record fan-out), a vector of
-// big integers (ciphertexts / plaintext residues) and optional raw bytes.
-// Messages are actually serialized to a length-prefixed wire format — the
-// traffic counters in channel.h therefore measure real communication cost,
-// and the same codec would work over a socket.
+// requests can be in flight during parallel record fan-out), a query id (so
+// many *queries* can be in flight — C2 keys its per-query state, e.g. Bob's
+// outbox, by it), a vector of big integers (ciphertexts / plaintext
+// residues) and optional raw bytes. Messages are actually serialized to a
+// length-prefixed wire format — the traffic counters in channel.h therefore
+// measure real communication cost, and the same codec would work over a
+// socket.
 #ifndef SKNN_NET_MESSAGE_H_
 #define SKNN_NET_MESSAGE_H_
 
@@ -20,6 +22,9 @@ namespace sknn {
 struct Message {
   uint16_t type = 0;
   uint64_t correlation_id = 0;
+  /// Identifies which client query this exchange belongs to (0 = untagged).
+  /// Assigned by C1's request scheduler; echoed back in responses.
+  uint64_t query_id = 0;
   std::vector<BigInt> ints;
   std::vector<uint8_t> aux;
 
@@ -28,7 +33,7 @@ struct Message {
 };
 
 /// \brief Wire format:
-///   [type:2][cid:8][n_ints:4]([len:4][bytes])*[aux_len:4][aux]
+///   [type:2][cid:8][qid:8][n_ints:4]([len:4][bytes])*[aux_len:4][aux]
 /// all integers little-endian; BigInts as big-endian magnitudes (values are
 /// protocol residues, always non-negative).
 class WireCodec {

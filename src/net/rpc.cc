@@ -135,6 +135,7 @@ void RpcServer::HandleFrame(std::vector<uint8_t> frame) {
     out.aux.assign(text.begin(), text.end());
   }
   out.correlation_id = cid;
+  out.query_id = request->query_id;
   std::lock_guard<std::mutex> lock(send_mutex_);
   endpoint_->Send(WireCodec::Encode(out));
 }

@@ -23,6 +23,19 @@ void AppendU32(std::vector<uint8_t>& aux, uint32_t v) {
 }  // namespace
 
 Result<Message> C2Service::Handle(const Message& request) {
+  if (request.query_id == 0) return Dispatch(request);
+  // Attribute every Paillier operation this request causes to its query, so
+  // C1 can report exact per-query cost even with many queries in flight.
+  OpAccumulator local;
+  Result<Message> resp = [&] {
+    ScopedOpSink sink(&local);
+    return Dispatch(request);
+  }();
+  RecordQueryOps(request.query_id, local.snapshot());
+  return resp;
+}
+
+Result<Message> C2Service::Dispatch(const Message& request) {
   switch (static_cast<Op>(request.type)) {
     case Op::kPing: {
       Message resp;
@@ -44,9 +57,13 @@ Result<Message> C2Service::Handle(const Message& request) {
     case Op::kMaskedDecryptToBob:
       return HandleMaskedDecryptToBob(request);
     case Op::kFetchBobOutbox: {
+      // Bob's pickup on his own connection: tagged fetches return exactly
+      // his query's records, untagged fetches drain everything (the legacy
+      // single-query deployment).
       Message resp;
       resp.type = OpCode(Op::kFetchBobOutbox);
-      resp.ints = TakeBobOutbox();
+      resp.ints = request.query_id != 0 ? TakeBobOutbox(request.query_id)
+                                        : TakeBobOutbox();
       return resp;
     }
     default:
@@ -58,8 +75,45 @@ Result<Message> C2Service::Handle(const Message& request) {
 std::vector<BigInt> C2Service::TakeBobOutbox() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<BigInt> out;
-  out.swap(bob_outbox_);
+  for (auto& [qid, bucket] : bob_outbox_) {
+    (void)qid;
+    for (auto& v : bucket) out.push_back(std::move(v));
+  }
+  bob_outbox_.clear();
   return out;
+}
+
+std::vector<BigInt> C2Service::TakeBobOutbox(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = bob_outbox_.find(query_id);
+  if (it == bob_outbox_.end()) return {};
+  std::vector<BigInt> out = std::move(it->second);
+  bob_outbox_.erase(it);
+  return out;
+}
+
+OpSnapshot C2Service::TakeQueryOps(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = op_ledger_.find(query_id);
+  if (it == op_ledger_.end()) return {};
+  OpSnapshot ops = it->second;
+  op_ledger_.erase(it);
+  return ops;
+}
+
+void C2Service::RecordQueryOps(uint64_t query_id, const OpSnapshot& ops) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = op_ledger_.try_emplace(query_id);
+  it->second = it->second + ops;
+  if (inserted) {
+    // Every ledger key is in the order deque, so bounding the deque bounds
+    // the ledger (entries already drained by TakeQueryOps erase as no-ops).
+    op_ledger_order_.push_back(query_id);
+    while (op_ledger_order_.size() > kMaxLedgerEntries) {
+      op_ledger_.erase(op_ledger_order_.front());
+      op_ledger_order_.pop_front();
+    }
+  }
 }
 
 std::vector<C2View> C2Service::TakeViews() {
@@ -237,7 +291,8 @@ Result<Message> C2Service::HandleMaskedDecryptToBob(const Message& req) {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& v : decrypted) bob_outbox_.push_back(std::move(v));
+    std::vector<BigInt>& bucket = bob_outbox_[req.query_id];
+    for (auto& v : decrypted) bucket.push_back(std::move(v));
   }
   Message resp;
   resp.type = OpCode(Op::kMaskedDecryptToBob);

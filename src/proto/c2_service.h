@@ -11,9 +11,12 @@
 #define SKNN_PROTO_C2_SERVICE_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <vector>
 
+#include "crypto/op_counters.h"
 #include "crypto/paillier.h"
 #include "net/message.h"
 #include "proto/opcodes.h"
@@ -31,13 +34,24 @@ class C2Service {
  public:
   explicit C2Service(PaillierSecretKey sk) : sk_(std::move(sk)) {}
 
-  /// \brief RPC dispatch entry point; thread-safe.
+  /// \brief RPC dispatch entry point; thread-safe. Requests tagged with a
+  /// non-zero query id get their Paillier work attributed to that query's
+  /// ledger entry and their Bob-bound output keyed to that query.
   Result<Message> Handle(const Message& request);
 
-  /// \brief Drains the decrypted masked records destined for Bob. In a real
-  /// deployment this is a direct C2 -> Bob message; the in-process engine
-  /// hands it to the QueryClient. Never routed through C1.
+  /// \brief Drains the decrypted masked records destined for Bob across all
+  /// queries, in query-id order. In a real deployment this is a direct
+  /// C2 -> Bob message; the in-process engine hands it to the QueryClient.
+  /// Never routed through C1.
   std::vector<BigInt> TakeBobOutbox();
+
+  /// \brief Drains one query's Bob-bound records — the demux that lets many
+  /// queries be in flight without interleaving their results.
+  std::vector<BigInt> TakeBobOutbox(uint64_t query_id);
+
+  /// \brief Removes and returns the Paillier operations C2 performed for
+  /// `query_id` (zeros if unknown).
+  OpSnapshot TakeQueryOps(uint64_t query_id);
 
   // -- Security-test instrumentation --
   void set_record_views(bool record) {
@@ -51,6 +65,9 @@ class C2Service {
   PaillierSecretKey& secret_key() { return sk_; }
 
  private:
+  Result<Message> Dispatch(const Message& request);
+  void RecordQueryOps(uint64_t query_id, const OpSnapshot& ops);
+
   Result<Message> HandleSmBatch(const Message& req);
   Result<Message> HandleLsbBatch(const Message& req);
   Result<Message> HandleSvrCheckBatch(const Message& req);
@@ -62,10 +79,17 @@ class C2Service {
   void RecordView(Op op, const BigInt& plaintext);
 
   PaillierSecretKey sk_;
-  std::mutex mutex_;  // guards views_ and bob_outbox_
+  std::mutex mutex_;  // guards views_, bob_outbox_ and the op ledger
   bool record_views_ = false;
   std::vector<C2View> views_;
-  std::vector<BigInt> bob_outbox_;
+  /// Bob-bound plaintexts, keyed by the query id that produced them
+  /// (0 = untagged legacy traffic).
+  std::map<uint64_t, std::vector<BigInt>> bob_outbox_;
+  /// Per-query operation accounting, FIFO-bounded so an abandoned query on
+  /// a long-running server cannot leak ledger entries forever.
+  static constexpr std::size_t kMaxLedgerEntries = 4096;
+  std::map<uint64_t, OpSnapshot> op_ledger_;
+  std::deque<uint64_t> op_ledger_order_;
 };
 
 }  // namespace sknn

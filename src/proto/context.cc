@@ -4,13 +4,11 @@
 
 namespace sknn {
 
-Result<Message> ProtoContext::Call(Op op, std::vector<BigInt> ints,
-                                   std::vector<uint8_t> aux) {
-  Message req;
-  req.type = OpCode(op);
-  req.ints = std::move(ints);
-  req.aux = std::move(aux);
-  SKNN_ASSIGN_OR_RETURN(Message resp, client_->Call(std::move(req)));
+Result<Message> ProtoContext::Exchange(Message request) {
+  request.query_id = query_id_;
+  const std::size_t request_bytes = request.WireSize();
+  SKNN_ASSIGN_OR_RETURN(Message resp, client_->Call(std::move(request)));
+  if (meter_ != nullptr) meter_->CountExchange(request_bytes, resp.WireSize());
   if (resp.type == OpCode(Op::kError)) {
     return Status::ProtocolError(
         "C2 error: " + std::string(resp.aux.begin(), resp.aux.end()));
@@ -18,10 +16,29 @@ Result<Message> ProtoContext::Call(Op op, std::vector<BigInt> ints,
   return resp;
 }
 
+Result<Message> ProtoContext::Call(Op op, std::vector<BigInt> ints,
+                                   std::vector<uint8_t> aux) {
+  Message req;
+  req.type = OpCode(op);
+  req.ints = std::move(ints);
+  req.aux = std::move(aux);
+  return Exchange(std::move(req));
+}
+
 void ProtoContext::ForEach(std::size_t count,
                            const std::function<void(std::size_t)>& fn) const {
   if (pool_ != nullptr) {
-    pool_->ParallelFor(count, fn);
+    // Pool workers run iterations on behalf of this thread's query: carry
+    // the caller's op sink across so per-query attribution stays exact.
+    OpAccumulator* sink = OpCounters::ThreadSink();
+    if (sink != nullptr) {
+      pool_->ParallelFor(count, [&fn, sink](std::size_t i) {
+        ScopedOpSink scoped(sink);
+        fn(i);
+      });
+    } else {
+      pool_->ParallelFor(count, fn);
+    }
   } else {
     for (std::size_t i = 0; i < count; ++i) fn(i);
   }
@@ -54,7 +71,7 @@ Result<std::vector<BigInt>> ProtoContext::CallChunked(
     req.ints.assign(ints.begin() + begin * in_arity,
                     ints.begin() + end * in_arity);
     if (make_aux) req.aux = make_aux(end - begin);
-    responses[c] = client_->Call(std::move(req));
+    responses[c] = Exchange(std::move(req));
   };
   if (pool_ != nullptr && chunk_begin.size() > 1) {
     std::vector<std::future<void>> futs;
@@ -72,10 +89,6 @@ Result<std::vector<BigInt>> ProtoContext::CallChunked(
   for (std::size_t c = 0; c < chunk_begin.size(); ++c) {
     if (!responses[c].ok()) return responses[c].status();
     Message& resp = *responses[c];
-    if (resp.type == OpCode(Op::kError)) {
-      return Status::ProtocolError(
-          "C2 error: " + std::string(resp.aux.begin(), resp.aux.end()));
-    }
     std::size_t begin = chunk_begin[c];
     std::size_t end = std::min(begin + per_chunk, count);
     if (resp.ints.size() != (end - begin) * out_arity) {

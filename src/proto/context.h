@@ -14,17 +14,25 @@
 #include "crypto/paillier.h"
 #include "net/rpc.h"
 #include "proto/opcodes.h"
+#include "proto/query_meter.h"
 
 namespace sknn {
 
 class ProtoContext {
  public:
+  /// `query_id` tags every RPC issued through this context so C2 can key its
+  /// per-query state (Bob outbox, op ledger) — 0 means untagged. `meter`, if
+  /// set, receives the context's exact per-query wire-traffic accounting.
   ProtoContext(const PaillierPublicKey* pk, RpcClient* client,
-               ThreadPool* pool = nullptr)
-      : pk_(pk), client_(client), pool_(pool) {}
+               ThreadPool* pool = nullptr, uint64_t query_id = 0,
+               QueryMeter* meter = nullptr)
+      : pk_(pk), client_(client), pool_(pool), query_id_(query_id),
+        meter_(meter) {}
 
   const PaillierPublicKey& pk() const { return *pk_; }
   ThreadPool* pool() const { return pool_; }
+  uint64_t query_id() const { return query_id_; }
+  QueryMeter* meter() const { return meter_; }
 
   /// \brief Single RPC round trip. Fails if C2 reported an error.
   Result<Message> Call(Op op, std::vector<BigInt> ints,
@@ -45,9 +53,14 @@ class ProtoContext {
       const std::function<std::vector<uint8_t>(std::size_t)>& make_aux = {});
 
  private:
+  /// \brief Issues one tagged, metered RPC (shared by Call / CallChunked).
+  Result<Message> Exchange(Message request);
+
   const PaillierPublicKey* pk_;
   RpcClient* client_;
   ThreadPool* pool_;
+  uint64_t query_id_ = 0;
+  QueryMeter* meter_ = nullptr;
 };
 
 }  // namespace sknn

@@ -1,0 +1,23 @@
+// Shared helper for engine-level test suites: one request through the
+// request/response query API (the test-side analogue of bench_util.h's
+// MustQuery).
+#ifndef SKNN_TESTS_QUERY_TEST_UTIL_H_
+#define SKNN_TESTS_QUERY_TEST_UTIL_H_
+
+#include "core/engine.h"
+
+namespace sknn {
+
+inline Result<QueryResponse> RunQuery(SknnEngine& engine,
+                                      const PlainRecord& record, unsigned k,
+                                      QueryProtocol protocol) {
+  QueryRequest request;
+  request.record = record;
+  request.k = k;
+  request.protocol = protocol;
+  return engine.Query(request);
+}
+
+}  // namespace sknn
+
+#endif  // SKNN_TESTS_QUERY_TEST_UTIL_H_

@@ -163,7 +163,11 @@ TEST_F(ComplexityTest, PaperBoundForSkNNm) {
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
   const unsigned l = (*engine)->distance_bits();
-  auto result = (*engine)->QueryMaxSecure({1, 1, 1}, k);
+  QueryRequest request;
+  request.record = {1, 1, 1};
+  request.k = k;
+  request.protocol = QueryProtocol::kSecure;
+  auto result = (*engine)->Query(request);
   ASSERT_TRUE(result.ok());
   const double bound =
       static_cast<double>(n) *
@@ -183,7 +187,11 @@ TEST_F(ComplexityTest, SkNNbOpsLinearInN) {
     opts.attr_bits = 2;
     auto engine = SknnEngine::Create(table, opts);
     EXPECT_TRUE(engine.ok());
-    auto result = (*engine)->QueryBasic({1, 2, 3}, 2);
+    QueryRequest request;
+    request.record = {1, 2, 3};
+    request.k = 2;
+    request.protocol = QueryProtocol::kBasic;
+    auto result = (*engine)->Query(request);
     EXPECT_TRUE(result.ok());
     return Ops{result->ops.encryptions, result->ops.decryptions,
                result->ops.exponentiations, result->ops.multiplications};
@@ -201,7 +209,11 @@ TEST_F(ComplexityTest, SkNNmOpsLinearInK) {
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
   auto run = [&](unsigned k) {
-    auto result = (*engine)->QueryMaxSecure({1, 1}, k);
+    QueryRequest request;
+    request.record = {1, 1};
+    request.k = k;
+    request.protocol = QueryProtocol::kSecure;
+    auto result = (*engine)->Query(request);
     EXPECT_TRUE(result.ok());
     return Ops{result->ops.encryptions, result->ops.decryptions,
                result->ops.exponentiations, result->ops.multiplications};

@@ -12,6 +12,7 @@
 #include "core/engine.h"
 #include "crypto/serialization.h"
 #include "data/synthetic.h"
+#include "tests/query_test_util.h"
 
 namespace sknn {
 namespace {
@@ -41,11 +42,11 @@ class EnginePartsTest : public ::testing::Test {
 TEST_F(EnginePartsTest, DirectPartsAssemblyWorks) {
   auto engine = SknnEngine::CreateFromParts(pk_, sk_, db_, opts_);
   ASSERT_TRUE(engine.ok()) << engine.status();
-  auto result = (*engine)->QueryMaxSecure(query_, 3);
+  auto result = RunQuery(**engine, query_, 3, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok()) << result.status();
 
   std::multiset<int64_t> got, want;
-  for (const auto& r : result->neighbors) got.insert(SquaredDistance(r, query_));
+  for (const auto& r : result->records) got.insert(SquaredDistance(r, query_));
   for (const auto& r : PlainKnn(table_, query_, 3)) {
     want.insert(SquaredDistance(r, query_));
   }
@@ -71,11 +72,11 @@ TEST_F(EnginePartsTest, FullDiskRoundTripAssembly) {
   auto engine = SknnEngine::CreateFromParts(*pk, std::move(*sk),
                                             std::move(*db), opts_);
   ASSERT_TRUE(engine.ok()) << engine.status();
-  auto result = (*engine)->QueryBasic(query_, 2);
+  auto result = RunQuery(**engine, query_, 2, QueryProtocol::kBasic);
   ASSERT_TRUE(result.ok()) << result.status();
 
   std::multiset<int64_t> got, want;
-  for (const auto& r : result->neighbors) got.insert(SquaredDistance(r, query_));
+  for (const auto& r : result->records) got.insert(SquaredDistance(r, query_));
   for (const auto& r : PlainKnn(table_, query_, 2)) {
     want.insert(SquaredDistance(r, query_));
   }
@@ -107,13 +108,13 @@ TEST_F(EnginePartsTest, PartsAndFreshEngineAgree) {
   auto parts = SknnEngine::CreateFromParts(pk_, sk_, db_, opts_);
   ASSERT_TRUE(fresh.ok());
   ASSERT_TRUE(parts.ok());
-  auto r1 = (*fresh)->QueryMaxSecure(query_, 2);
-  auto r2 = (*parts)->QueryMaxSecure(query_, 2);
+  auto r1 = RunQuery(**fresh, query_, 2, QueryProtocol::kSecure);
+  auto r2 = RunQuery(**parts, query_, 2, QueryProtocol::kSecure);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
   std::multiset<int64_t> d1, d2;
-  for (const auto& r : r1->neighbors) d1.insert(SquaredDistance(r, query_));
-  for (const auto& r : r2->neighbors) d2.insert(SquaredDistance(r, query_));
+  for (const auto& r : r1->records) d1.insert(SquaredDistance(r, query_));
+  for (const auto& r : r2->records) d2.insert(SquaredDistance(r, query_));
   EXPECT_EQ(d1, d2);
 }
 

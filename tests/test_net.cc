@@ -18,6 +18,7 @@ TEST(WireCodecTest, RoundTripAllFields) {
   Message msg;
   msg.type = 7;
   msg.correlation_id = 0xDEADBEEFCAFEBABEull;
+  msg.query_id = 0x0123456789ABCDEFull;
   msg.ints = {BigInt(0), BigInt(255),
               BigInt::FromString("123456789012345678901234567890").value()};
   msg.aux = {1, 2, 3, 0, 255};
@@ -26,6 +27,7 @@ TEST(WireCodecTest, RoundTripAllFields) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->type, msg.type);
   EXPECT_EQ(decoded->correlation_id, msg.correlation_id);
+  EXPECT_EQ(decoded->query_id, msg.query_id);
   ASSERT_EQ(decoded->ints.size(), msg.ints.size());
   for (std::size_t i = 0; i < msg.ints.size(); ++i) {
     EXPECT_EQ(decoded->ints[i], msg.ints[i]);
@@ -152,7 +154,7 @@ class EchoServerFixture : public ::testing::Test {
           resp.ints = req.ints;
           resp.aux = req.aux;
           return resp;
-        },
+        },  // NOTE: the server echoes the request's query id into responses
         workers);
     client_ = std::make_unique<RpcClient>(std::move(pair.a));
   }
@@ -165,12 +167,16 @@ TEST_F(EchoServerFixture, BasicCall) {
   StartServer(1);
   Message req;
   req.type = 5;
+  req.query_id = 42;
   req.ints = {BigInt(77)};
   auto resp = client_->Call(std::move(req));
   ASSERT_TRUE(resp.ok()) << resp.status();
   EXPECT_EQ(resp->type, 6);
   ASSERT_EQ(resp->ints.size(), 1u);
   EXPECT_EQ(resp->ints[0], BigInt(77));
+  // The RPC server stamps every response with the request's query id, so
+  // per-query demux state on the caller side can trust it.
+  EXPECT_EQ(resp->query_id, 42u);
 }
 
 TEST_F(EchoServerFixture, HandlerErrorSurfacesAsErrorFrame) {

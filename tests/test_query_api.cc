@@ -1,0 +1,201 @@
+// Tests of the request/response query surface: Query / Submit / QueryBatch
+// must be interchangeable — N concurrent submissions produce results
+// identical to a serial loop, under both a serial engine (c1_threads = 1)
+// and a parallel one (c1_threads = 4), for all three protocols — and every
+// in-flight query's instrumentation (ops, traffic) must be isolated from
+// its neighbors'.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+
+namespace sknn {
+namespace {
+
+// Records {i, 0} against query {0, 0} have pairwise-distinct squared
+// distances i^2, so every protocol's answer is fully deterministic (no
+// random tie-breaking) and results can be compared bitwise.
+PlainTable DistinctDistanceTable(std::size_t n) {
+  PlainTable table;
+  for (int64_t i = 0; i < static_cast<int64_t>(n); ++i) {
+    table.push_back({i, 0});
+  }
+  return table;
+}
+
+std::unique_ptr<SknnEngine> MakeEngine(const PlainTable& table,
+                                       std::size_t c1_threads,
+                                       std::size_t c2_threads) {
+  SknnEngine::Options opts;
+  opts.key_bits = 256;
+  opts.attr_bits = 3;
+  opts.c1_threads = c1_threads;
+  opts.c2_threads = c2_threads;
+  auto engine = SknnEngine::Create(table, opts);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+// A protocol-mixed workload of independent requests.
+std::vector<QueryRequest> MixedWorkload() {
+  std::vector<QueryRequest> requests;
+  for (auto [k, protocol] : std::vector<std::pair<unsigned, QueryProtocol>>{
+           {1, QueryProtocol::kBasic},
+           {3, QueryProtocol::kBasic},
+           {2, QueryProtocol::kSecure},
+           {1, QueryProtocol::kSecure},
+           {2, QueryProtocol::kFarthest},
+           {4, QueryProtocol::kBasic},
+       }) {
+    QueryRequest request;
+    request.record = {0, 0};
+    request.k = k;
+    request.protocol = protocol;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+TEST(QueryBatchTest, BatchMatchesSerialLoopAcrossThreadCounts) {
+  PlainTable table = DistinctDistanceTable(8);
+  for (std::size_t c1_threads : {std::size_t{1}, std::size_t{4}}) {
+    auto engine = MakeEngine(table, c1_threads, /*c2_threads=*/2);
+    std::vector<QueryRequest> requests = MixedWorkload();
+
+    // Serial reference: one Query() at a time.
+    std::vector<PlainTable> serial;
+    for (const auto& request : requests) {
+      auto response = engine->Query(request);
+      ASSERT_TRUE(response.ok()) << response.status();
+      serial.push_back(response->records);
+    }
+
+    // The same workload as one pipelined batch.
+    std::vector<Result<QueryResponse>> batch = engine->QueryBatch(requests);
+    ASSERT_EQ(batch.size(), requests.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(batch[i].ok())
+          << "c1_threads=" << c1_threads << " i=" << i << ": "
+          << batch[i].status();
+      EXPECT_EQ(batch[i]->records, serial[i])
+          << "c1_threads=" << c1_threads << " request " << i
+          << " diverged from the serial loop";
+    }
+  }
+}
+
+TEST(QueryBatchTest, ConcurrentSubmitsMatchSerialLoop) {
+  PlainTable table = DistinctDistanceTable(8);
+  auto engine = MakeEngine(table, /*c1_threads=*/4, /*c2_threads=*/2);
+  std::vector<QueryRequest> requests = MixedWorkload();
+
+  std::vector<PlainTable> serial;
+  for (const auto& request : requests) {
+    auto response = engine->Query(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    serial.push_back(response->records);
+  }
+
+  // Fire all Submits before collecting any future: every query is genuinely
+  // in flight at once.
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (const auto& request : requests) {
+    futures.push_back(engine->Submit(request));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Result<QueryResponse> response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->records, serial[i]) << "submission " << i;
+  }
+}
+
+TEST(QueryBatchTest, PerQueryInstrumentationIsIsolatedUnderConcurrency) {
+  // Operation counts are randomness-independent, so k identical requests
+  // must report *identical* ops and traffic — and identical to the same
+  // request run alone. If concurrent queries leaked into each other's
+  // meters (the old engine-global snapshot-delta accounting), these numbers
+  // would inflate with the batch size.
+  PlainTable table = DistinctDistanceTable(6);
+  auto engine = MakeEngine(table, /*c1_threads=*/4, /*c2_threads=*/2);
+  QueryRequest request;
+  request.record = {0, 0};
+  request.k = 2;
+  request.protocol = QueryProtocol::kSecure;
+
+  auto alone = engine->Query(request);
+  ASSERT_TRUE(alone.ok()) << alone.status();
+  ASSERT_GT(alone->ops.encryptions, 0u);
+  ASSERT_GT(alone->ops.decryptions, 0u);
+  ASSERT_GT(alone->traffic.total_bytes(), 0u);
+
+  std::vector<Result<QueryResponse>> batch =
+      engine->QueryBatch({request, request, request, request});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status();
+    EXPECT_EQ(batch[i]->ops.encryptions, alone->ops.encryptions) << i;
+    EXPECT_EQ(batch[i]->ops.decryptions, alone->ops.decryptions) << i;
+    EXPECT_EQ(batch[i]->ops.exponentiations, alone->ops.exponentiations) << i;
+    EXPECT_EQ(batch[i]->ops.multiplications, alone->ops.multiplications) << i;
+    // Frame counts are deterministic; byte counts wobble by a few bytes
+    // because a random ciphertext occasionally serializes one byte shorter
+    // (leading zero byte in the big-endian magnitude).
+    EXPECT_EQ(batch[i]->traffic.total_frames(), alone->traffic.total_frames())
+        << i;
+    int64_t byte_delta =
+        static_cast<int64_t>(batch[i]->traffic.total_bytes()) -
+        static_cast<int64_t>(alone->traffic.total_bytes());
+    EXPECT_LT(std::abs(byte_delta), 64) << i;
+  }
+}
+
+TEST(QueryBatchTest, MixedValidityBatchFailsOnlyTheInvalidSlots) {
+  PlainTable table = DistinctDistanceTable(5);
+  auto engine = MakeEngine(table, /*c1_threads=*/2, /*c2_threads=*/1);
+  QueryRequest good;
+  good.record = {1, 0};
+  good.k = 1;
+  good.protocol = QueryProtocol::kBasic;
+  QueryRequest bad_k = good;
+  bad_k.k = 9;  // > n
+  QueryRequest bad_dim = good;
+  bad_dim.record = {1, 0, 0};
+
+  auto results = engine->QueryBatch({good, bad_k, good, bad_dim});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(results[3].status().code(), StatusCode::kInvalidArgument);
+  // The valid slots are unaffected by their failed neighbors.
+  EXPECT_EQ(results[0]->records, results[2]->records);
+}
+
+TEST(QueryBatchTest, SerialEngineStillAnswersSubmissionsInOrder) {
+  // c1_threads = 1: one scheduler dispatcher, so submissions execute
+  // one-by-one in submission order — the batch degenerates to the serial
+  // loop but through the same async plumbing.
+  PlainTable table = DistinctDistanceTable(6);
+  auto engine = MakeEngine(table, /*c1_threads=*/1, /*c2_threads=*/1);
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (unsigned k = 1; k <= 4; ++k) {
+    QueryRequest request;
+    request.record = {0, 0};
+    request.k = k;
+    request.protocol = QueryProtocol::kBasic;
+    futures.push_back(engine->Submit(request));
+  }
+  for (unsigned k = 1; k <= 4; ++k) {
+    Result<QueryResponse> response = futures[k - 1].get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_EQ(response->records.size(), k);
+    // Nearest record of the distinct-distance table is always {0, 0}.
+    EXPECT_EQ(response->records[0], (PlainRecord{0, 0}));
+  }
+}
+
+}  // namespace
+}  // namespace sknn

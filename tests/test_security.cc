@@ -21,6 +21,7 @@
 #include "proto/sm.h"
 #include "proto/smin.h"
 #include "tests/proto_test_util.h"
+#include "tests/query_test_util.h"
 
 namespace sknn {
 namespace {
@@ -125,7 +126,7 @@ TEST(SkNNmSecurityZeroTest, BetaShowsExactlyOneZeroPerIteration) {
   ASSERT_TRUE(engine.ok()) << engine.status();
 
   const unsigned k = 3;
-  auto result = (*engine)->QueryMaxSecure({0, 0, 0}, k);
+  auto result = RunQuery(**engine, {0, 0, 0}, k, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok()) << result.status();
   std::size_t zeros = 0, pointer_views = 0;
   for (const auto& view : (*engine)->c2_service().TakeViews()) {
@@ -142,7 +143,7 @@ TEST_F(SkNNmSecurityTest, NoSmallPlaintextEverReachesC2) {
   // non-zero beta entries, masked records) must be indistinguishable from a
   // random residue — in particular, never a "small" value like a distance
   // or an attribute, except the protocol's explicit bit/flag values {0, 1}.
-  auto result = engine_->QueryMaxSecure(query_, 2);
+  auto result = RunQuery(*engine_, query_, 2, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok()) << result.status();
   const BigInt distance_bound = BigInt::PowerOfTwo(24);
   std::size_t suspicious = 0, total = 0;
@@ -162,7 +163,7 @@ TEST_F(SkNNmSecurityTest, AccessPatternVariesUnderPermutation) {
   // could correlate iterations with records.
   std::set<std::size_t> zero_positions;
   for (int run = 0; run < 8; ++run) {
-    auto result = engine_->QueryMaxSecure(query_, 1);
+    auto result = RunQuery(*engine_, query_, 1, QueryProtocol::kSecure);
     ASSERT_TRUE(result.ok());
     std::size_t pos = 0, idx = 0;
     for (const auto& view : engine_->c2_service().TakeViews()) {
@@ -178,7 +179,7 @@ TEST_F(SkNNmSecurityTest, AccessPatternVariesUnderPermutation) {
 }
 
 TEST_F(SkNNmSecurityTest, MaskedRecordsForBobLookRandomToC2) {
-  auto result = engine_->QueryMaxSecure(query_, 2);
+  auto result = RunQuery(*engine_, query_, 2, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok());
   // Re-run and compare the kMaskedDecryptToBob views: masks are fresh, so
   // the masked attribute values C2 forwards to Bob differ run to run.
@@ -188,7 +189,7 @@ TEST_F(SkNNmSecurityTest, MaskedRecordsForBobLookRandomToC2) {
       first.insert(view.plaintext.ToString());
     }
   }
-  auto result2 = engine_->QueryMaxSecure(query_, 2);
+  auto result2 = RunQuery(*engine_, query_, 2, QueryProtocol::kSecure);
   ASSERT_TRUE(result2.ok());
   for (const auto& view : engine_->c2_service().TakeViews()) {
     if (view.op == Op::kMaskedDecryptToBob) {
@@ -213,7 +214,7 @@ TEST(SecurityTest, SkNNbLeaksDistancesExactlyAsDocumented) {
   opts.record_c2_views = true;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->QueryBasic(query, 2);
+  auto result = RunQuery(**engine, query, 2, QueryProtocol::kBasic);
   ASSERT_TRUE(result.ok());
 
   std::multiset<int64_t> leaked;
@@ -236,9 +237,10 @@ TEST(SecurityTest, BobOutboxIsConsumedByQuery) {
   opts.attr_bits = 2;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->QueryMaxSecure({1, 1}, 1);
+  auto result = RunQuery(**engine, {1, 1}, 1, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok());
-  // Nothing intended for Bob lingers on C2 after the query completes.
+  // Nothing intended for Bob lingers on C2 after the query completes — the
+  // engine drains exactly its query's outbox bucket.
   EXPECT_TRUE((*engine)->c2_service().TakeBobOutbox().empty());
 }
 

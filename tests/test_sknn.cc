@@ -1,6 +1,7 @@
-// End-to-end tests of SkNN_b and SkNN_m through the SknnEngine, checked
-// against exact plaintext kNN: the paper's worked Example 1, randomized
-// tables, duplicate-distance ties, both serial and parallel execution.
+// End-to-end tests of SkNN_b and SkNN_m through the SknnEngine's
+// request/response API, checked against exact plaintext kNN: the paper's
+// worked Example 1, randomized tables, duplicate-distance ties, both serial
+// and parallel execution, request validation, and the deprecated wrappers.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +11,7 @@
 #include "core/engine.h"
 #include "data/heart_dataset.h"
 #include "data/synthetic.h"
+#include "tests/query_test_util.h"
 
 namespace sknn {
 namespace {
@@ -41,11 +43,11 @@ TEST(SkNNbEndToEnd, HeartDiseaseExample1) {
   opts.attr_bits = HeartAttrBits();
   auto engine = SknnEngine::Create(HeartFeatures(), opts);
   ASSERT_TRUE(engine.ok()) << engine.status();
-  auto result = (*engine)->QueryBasic(HeartExampleQuery(), 2);
+  auto result = RunQuery(**engine, HeartExampleQuery(), 2, QueryProtocol::kBasic);
   ASSERT_TRUE(result.ok()) << result.status();
   const PlainTable& features = HeartFeatures();
   PlainTable expected = {features[4], features[3]};  // t5 (dist 119), t4 (139)
-  EXPECT_EQ(result->neighbors, expected);
+  EXPECT_EQ(result->records, expected);
 }
 
 TEST(SkNNmEndToEnd, HeartDiseaseExample1) {
@@ -53,11 +55,11 @@ TEST(SkNNmEndToEnd, HeartDiseaseExample1) {
   opts.attr_bits = HeartAttrBits();
   auto engine = SknnEngine::Create(HeartFeatures(), opts);
   ASSERT_TRUE(engine.ok()) << engine.status();
-  auto result = (*engine)->QueryMaxSecure(HeartExampleQuery(), 2);
+  auto result = RunQuery(**engine, HeartExampleQuery(), 2, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok()) << result.status();
   const PlainTable& features = HeartFeatures();
   PlainTable expected = {features[4], features[3]};
-  EXPECT_EQ(result->neighbors, expected);
+  EXPECT_EQ(result->records, expected);
 }
 
 TEST(SkNNbEndToEnd, MatchesPlaintextKnnOnRandomTable) {
@@ -72,10 +74,10 @@ TEST(SkNNbEndToEnd, MatchesPlaintextKnnOnRandomTable) {
   ASSERT_TRUE(engine.ok()) << engine.status();
 
   for (unsigned k : {1u, 3u, 7u}) {
-    auto result = (*engine)->QueryBasic(query, k);
+    auto result = RunQuery(**engine, query, k, QueryProtocol::kBasic);
     ASSERT_TRUE(result.ok()) << result.status();
-    ASSERT_EQ(result->neighbors.size(), k);
-    EXPECT_EQ(DistanceSet(result->neighbors, query),
+    ASSERT_EQ(result->records.size(), k);
+    EXPECT_EQ(DistanceSet(result->records, query),
               DistanceSet(PlainKnn(table, query, k), query))
         << "k=" << k;
   }
@@ -93,10 +95,10 @@ TEST(SkNNmEndToEnd, MatchesPlaintextKnnOnRandomTable) {
   ASSERT_TRUE(engine.ok()) << engine.status();
 
   for (unsigned k : {1u, 2u, 4u}) {
-    auto result = (*engine)->QueryMaxSecure(query, k);
+    auto result = RunQuery(**engine, query, k, QueryProtocol::kSecure);
     ASSERT_TRUE(result.ok()) << result.status();
-    ASSERT_EQ(result->neighbors.size(), k);
-    EXPECT_EQ(DistanceSet(result->neighbors, query),
+    ASSERT_EQ(result->records.size(), k);
+    EXPECT_EQ(DistanceSet(result->records, query),
               DistanceSet(PlainKnn(table, query, k), query))
         << "k=" << k;
   }
@@ -110,11 +112,11 @@ TEST(SkNNmEndToEnd, NeighborsAreInIncreasingDistanceOrder) {
   opts.attr_bits = 3;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->QueryMaxSecure(query, 4);
+  auto result = RunQuery(**engine, query, 4, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok());
-  for (std::size_t j = 1; j < result->neighbors.size(); ++j) {
-    EXPECT_LE(SquaredDistance(result->neighbors[j - 1], query),
-              SquaredDistance(result->neighbors[j], query));
+  for (std::size_t j = 1; j < result->records.size(); ++j) {
+    EXPECT_LE(SquaredDistance(result->records[j - 1], query),
+              SquaredDistance(result->records[j], query));
   }
 }
 
@@ -127,11 +129,11 @@ TEST(SkNNmEndToEnd, HandlesDuplicateRecords) {
   opts.attr_bits = 3;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->QueryMaxSecure(query, 3);
+  auto result = RunQuery(**engine, query, 3, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok()) << result.status();
   // All three zero-distance copies must be returned.
   PlainTable expected = {{1, 1}, {1, 1}, {1, 1}};
-  EXPECT_EQ(Sorted(result->neighbors), expected);
+  EXPECT_EQ(Sorted(result->records), expected);
 }
 
 TEST(SkNNmEndToEnd, KEqualsN) {
@@ -141,9 +143,9 @@ TEST(SkNNmEndToEnd, KEqualsN) {
   opts.attr_bits = 2;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->QueryMaxSecure(query, 3);
+  auto result = RunQuery(**engine, query, 3, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(Sorted(result->neighbors), Sorted(table));
+  EXPECT_EQ(Sorted(result->records), Sorted(table));
 }
 
 TEST(SkNNEndToEnd, SingleRecordDatabase) {
@@ -152,24 +154,39 @@ TEST(SkNNEndToEnd, SingleRecordDatabase) {
   opts.attr_bits = 2;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  for (bool secure : {false, true}) {
-    auto result = secure ? (*engine)->QueryMaxSecure({0, 0}, 1)
-                         : (*engine)->QueryBasic({0, 0}, 1);
+  for (QueryProtocol protocol :
+       {QueryProtocol::kBasic, QueryProtocol::kSecure}) {
+    auto result = RunQuery(**engine, {0, 0}, 1, protocol);
     ASSERT_TRUE(result.ok());
-    EXPECT_EQ(result->neighbors, table);
+    EXPECT_EQ(result->records, table);
   }
 }
 
-TEST(SkNNEndToEnd, InvalidArgumentsAreRejected) {
+TEST(SkNNEndToEnd, InvalidRequestsAreRejected) {
   PlainTable table = GenerateUniformTable(5, 3, 3, 401);
   SknnEngine::Options opts = FastOptions();
   opts.attr_bits = 2;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  EXPECT_FALSE((*engine)->QueryBasic({1, 1, 1}, 0).ok());    // k = 0
-  EXPECT_FALSE((*engine)->QueryBasic({1, 1, 1}, 6).ok());    // k > n
-  EXPECT_FALSE((*engine)->QueryBasic({1, 1}, 2).ok());       // bad dimension
-  EXPECT_FALSE((*engine)->QueryMaxSecure({1, 1, 1}, 0).ok());
+  // k = 0.
+  auto r = RunQuery(**engine, {1, 1, 1}, 0, QueryProtocol::kBasic);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // k > n.
+  r = RunQuery(**engine, {1, 1, 1}, 6, QueryProtocol::kBasic);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  // Dimension mismatch.
+  r = RunQuery(**engine, {1, 1}, 2, QueryProtocol::kBasic);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Attribute outside [0, 2^attr_bits) — would overflow the l-bit distance
+  // domain and produce undefined protocol behavior; must be caught up front.
+  r = RunQuery(**engine, {1, 1, 9}, 2, QueryProtocol::kSecure);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  r = RunQuery(**engine, {1, -1, 1}, 2, QueryProtocol::kSecure);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  // Same validation through the async path.
+  auto future = (*engine)->Submit(
+      QueryRequest{{1, 1, 1}, 0, QueryProtocol::kSecure});
+  EXPECT_EQ(future.get().status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SkNNEndToEnd, EngineRejectsBadSetup) {
@@ -197,18 +214,18 @@ TEST(SkNNEndToEnd, ParallelEnginesMatchSerial) {
   ASSERT_TRUE(engine_p.ok());
 
   for (unsigned k : {1u, 3u}) {
-    auto rs = (*engine_s)->QueryMaxSecure(query, k);
-    auto rp = (*engine_p)->QueryMaxSecure(query, k);
+    auto rs = RunQuery(**engine_s, query, k, QueryProtocol::kSecure);
+    auto rp = RunQuery(**engine_p, query, k, QueryProtocol::kSecure);
     ASSERT_TRUE(rs.ok());
     ASSERT_TRUE(rp.ok());
-    EXPECT_EQ(DistanceSet(rs->neighbors, query),
-              DistanceSet(rp->neighbors, query));
-    auto rbs = (*engine_s)->QueryBasic(query, k);
-    auto rbp = (*engine_p)->QueryBasic(query, k);
+    EXPECT_EQ(DistanceSet(rs->records, query),
+              DistanceSet(rp->records, query));
+    auto rbs = RunQuery(**engine_s, query, k, QueryProtocol::kBasic);
+    auto rbp = RunQuery(**engine_p, query, k, QueryProtocol::kBasic);
     ASSERT_TRUE(rbs.ok());
     ASSERT_TRUE(rbp.ok());
-    EXPECT_EQ(DistanceSet(rbs->neighbors, query),
-              DistanceSet(rbp->neighbors, query));
+    EXPECT_EQ(DistanceSet(rbs->records, query),
+              DistanceSet(rbp->records, query));
   }
 }
 
@@ -218,7 +235,7 @@ TEST(SkNNEndToEnd, MetricsArePopulated) {
   opts.attr_bits = 2;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->QueryMaxSecure({1, 2}, 2);
+  auto result = RunQuery(**engine, {1, 2}, 2, QueryProtocol::kSecure);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->cloud_seconds, 0.0);
   EXPECT_GT(result->traffic.total_bytes(), 0u);
@@ -230,12 +247,56 @@ TEST(SkNNEndToEnd, MetricsArePopulated) {
   EXPECT_GT(result->breakdown.sbd_seconds, 0.0);
   EXPECT_LE(result->breakdown.total(), result->cloud_seconds * 1.5 + 0.1);
 
-  auto basic = (*engine)->QueryBasic({1, 2}, 2);
+  auto basic = RunQuery(**engine, {1, 2}, 2, QueryProtocol::kBasic);
   ASSERT_TRUE(basic.ok());
   // The fully secure protocol must cost strictly more than the basic one —
   // the security/efficiency trade-off of Figure 2(f).
   EXPECT_GT(result->ops.encryptions, basic->ops.encryptions);
   EXPECT_GT(result->traffic.total_bytes(), basic->traffic.total_bytes());
+}
+
+TEST(SkNNEndToEnd, InstrumentationIsOptIn) {
+  PlainTable table = GenerateUniformTable(6, 2, 3, 701);
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 2;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+  QueryRequest request;
+  request.record = {1, 2};
+  request.k = 1;
+  request.want_breakdown = false;
+  request.want_op_counts = false;
+  auto result = (*engine)->Query(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->records.size(), 1u);
+  EXPECT_EQ(result->ops.encryptions, 0u);
+  EXPECT_EQ(result->breakdown.total(), 0.0);
+  // Traffic metering is free and always exact.
+  EXPECT_GT(result->traffic.total_bytes(), 0u);
+}
+
+TEST(SkNNEndToEnd, DeprecatedWrappersStillWork) {
+  // QueryBasic/QueryMaxSecure/QueryFarthest remain for one release as thin
+  // shims over Query(); they must return the same answers.
+  PlainTable table = {{0, 0}, {3, 1}, {1, 2}, {7, 7}};
+  PlainRecord query = {1, 1};
+  SknnEngine::Options opts = FastOptions();
+  opts.attr_bits = 3;
+  auto engine = SknnEngine::Create(table, opts);
+  ASSERT_TRUE(engine.ok());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto basic = (*engine)->QueryBasic(query, 2);
+  auto secure = (*engine)->QueryMaxSecure(query, 2);
+  auto farthest = (*engine)->QueryFarthest(query, 1);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(secure.ok());
+  ASSERT_TRUE(farthest.ok());
+  EXPECT_EQ(DistanceSet(basic->neighbors, query),
+            DistanceSet(PlainKnn(table, query, 2), query));
+  EXPECT_EQ(Sorted(secure->neighbors), Sorted(basic->neighbors));
+  EXPECT_EQ(farthest->neighbors, (PlainTable{{7, 7}}));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "data/synthetic.h"
 #include "proto/smax.h"
 #include "tests/proto_test_util.h"
+#include "tests/query_test_util.h"
 
 namespace sknn {
 namespace {
@@ -146,9 +147,9 @@ TEST(FarthestQueryTest, MatchesPlaintextFarthest) {
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok()) << engine.status();
   for (unsigned k : {1u, 3u}) {
-    auto result = (*engine)->QueryFarthest(query, k);
+    auto result = RunQuery(**engine, query, k, QueryProtocol::kFarthest);
     ASSERT_TRUE(result.ok()) << result.status();
-    EXPECT_EQ(DistanceSet(result->neighbors, query),
+    EXPECT_EQ(DistanceSet(result->records, query),
               DistanceSet(PlainFarthest(table, query, k), query))
         << "k=" << k;
   }
@@ -162,13 +163,13 @@ TEST(FarthestQueryTest, FarthestFirstOrdering) {
   opts.attr_bits = 3;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->QueryFarthest(query, 3);
+  auto result = RunQuery(**engine, query, 3, QueryProtocol::kFarthest);
   ASSERT_TRUE(result.ok());
-  for (std::size_t j = 1; j < result->neighbors.size(); ++j) {
-    EXPECT_GE(SquaredDistance(result->neighbors[j - 1], query),
-              SquaredDistance(result->neighbors[j], query));
+  for (std::size_t j = 1; j < result->records.size(); ++j) {
+    EXPECT_GE(SquaredDistance(result->records[j - 1], query),
+              SquaredDistance(result->records[j], query));
   }
-  EXPECT_EQ(result->neighbors[0], (PlainRecord{7, 7}));
+  EXPECT_EQ(result->records[0], (PlainRecord{7, 7}));
 }
 
 TEST(FarthestQueryTest, NearestAndFarthestPartitionExtremes) {
@@ -180,12 +181,12 @@ TEST(FarthestQueryTest, NearestAndFarthestPartitionExtremes) {
   opts.attr_bits = 3;
   auto engine = SknnEngine::Create(table, opts);
   ASSERT_TRUE(engine.ok());
-  auto nearest = (*engine)->QueryMaxSecure(query, 6);
-  auto farthest = (*engine)->QueryFarthest(query, 6);
+  auto nearest = RunQuery(**engine, query, 6, QueryProtocol::kSecure);
+  auto farthest = RunQuery(**engine, query, 6, QueryProtocol::kFarthest);
   ASSERT_TRUE(nearest.ok());
   ASSERT_TRUE(farthest.ok());
-  EXPECT_EQ(DistanceSet(nearest->neighbors, query),
-            DistanceSet(farthest->neighbors, query));
+  EXPECT_EQ(DistanceSet(nearest->records, query),
+            DistanceSet(farthest->records, query));
 }
 
 }  // namespace

@@ -8,9 +8,17 @@
 //   * C1: hosts the encrypted database, drives SkNN_b / SkNN_m against C2;
 //   * Bob: encrypts the query, and — on his own connection — picks up the
 //     decrypted masked result from C2 and strips C1's masks.
+//
+// Every exchange carries a per-query id (the in-process engine's
+// Query/Submit/QueryBatch API assigns these automatically), so any number
+// of sknn_query processes may run against one C2 concurrently: C2 keys
+// each Bob's outbox by the id and each Bob fetches exactly his own result.
+//
 // protocols: basic (SkNN_b), secure (SkNN_m, default), farthest (k-FN).
 #include <cstdio>
 
+#include "bigint/random.h"
+#include "core/data_owner.h"
 #include "core/db_io.h"
 #include "core/query_client.h"
 #include "core/sknn_b.h"
@@ -25,7 +33,12 @@ int main(int argc, char** argv) {
   using namespace sknn::tools;
   const char* usage =
       "sknn_query --public <pk> --db <db.bin> --host <ip> --port <p> "
-      "--query \"v1,v2,...\" --k <k> [--protocol basic|secure|farthest]";
+      "--query \"v1,v2,...\" --k <k> [--protocol basic|secure|farthest]\n"
+      "  basic:    SkNN_b — fast; C2 learns distances + access patterns\n"
+      "  secure:   SkNN_m — fully secure k nearest neighbors (default)\n"
+      "  farthest: SkNN_m on complemented distances — k farthest neighbors\n"
+      "Safe to run many instances against one C2 concurrently (per-query\n"
+      "ids keep the C2->Bob outboxes separate).";
   auto flags = ParseFlags(argc, argv);
   std::string pk_path = RequireFlag(flags, "public", usage);
   std::string db_path = RequireFlag(flags, "db", usage);
@@ -56,6 +69,20 @@ int main(int argc, char** argv) {
                  query.size(), db->num_attributes());
     return 1;
   }
+  // Same up-front domain validation the engine applies to QueryRequests:
+  // attributes outside [0, 2^attr_bits) would overflow the database's l-bit
+  // distance domain and silently corrupt the protocol arithmetic.
+  const unsigned attr_bits =
+      DataOwner::ImpliedAttrBits(db->num_attributes(), db->distance_bits);
+  for (int64_t v : query) {
+    if (v < 0 || v >= (int64_t{1} << attr_bits)) {
+      std::fprintf(stderr,
+                   "query value %lld outside the database's attribute domain "
+                   "[0, 2^%u)\n",
+                   static_cast<long long>(v), attr_bits);
+      return 1;
+    }
+  }
 
   // C1's link and Bob's link — two independent TCP connections.
   auto c1_link = ConnectTcp(host, port);
@@ -66,7 +93,14 @@ int main(int argc, char** argv) {
   }
   RpcClient c1_rpc(std::move(c1_link).value());
   RpcClient bob_rpc(std::move(bob_link).value());
-  ProtoContext ctx(&*pk, &c1_rpc);
+
+  // A random non-zero id isolates this query's state on C2 from any other
+  // sknn_query process sharing the server.
+  uint64_t query_id = 0;
+  while (query_id == 0) {
+    query_id = Random::ThreadLocal().UniformUint64(UINT64_MAX);
+  }
+  ProtoContext ctx(&*pk, &c1_rpc, /*pool=*/nullptr, query_id);
 
   // Bob encrypts his query and hands Epk(Q) to C1.
   QueryClient bob(*pk);
@@ -88,9 +122,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Bob fetches his half from C2 on his own connection and unmasks.
+  // Bob fetches his half from C2 on his own connection and unmasks. The
+  // fetch is tagged with the query id, so he gets exactly his records even
+  // if other queries are in flight on the same C2.
   Message fetch;
   fetch.type = OpCode(Op::kFetchBobOutbox);
+  fetch.query_id = query_id;
   auto picked_up = bob_rpc.Call(std::move(fetch));
   if (!picked_up.ok()) {
     std::fprintf(stderr, "outbox fetch failed: %s\n",
