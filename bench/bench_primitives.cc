@@ -2,8 +2,18 @@
 // plus the Section 4.4 complexity accounting: the reported op counters let
 // the measured costs be checked against the paper's O(.) bounds
 // (SM/SBOR constant, SSED O(m), SBD O(l), SMIN O(l), SMIN_n O(l*n)).
+//
+// With --json, the results (plus the pooled-vs-plain Encrypt speedup) are
+// written to the "primitives" section of BENCH_PR2.json — the repo's
+// machine-readable perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "crypto/op_counters.h"
 #include "net/rpc.h"
 #include "proto/c2_service.h"
@@ -71,6 +81,30 @@ void BM_PaillierEncrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierEncrypt)->ArgName("K")->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
+
+// The PR 2 hot path: Encrypt backed by a prefilled randomizer pool pays a
+// modmul instead of the r^N modexp. Prefilling happens off the clock — this
+// measures the *online* cost when precomputation keeps up (in the engine,
+// the fill workers run inside C1<->C2 round-trip stalls). The unpooled
+// BM_PaillierEncrypt above is the baseline.
+void BM_PaillierEncryptPooled(benchmark::State& state) {
+  Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
+  RandomizerPool pool(h.pk.n(), /*capacity=*/4096);
+  pool.WaitUntilFull();
+  PaillierPublicKey pk = h.pk;
+  pk.set_randomizer_pool(&pool);
+  Random rng(7);
+  BigInt m = rng.Below(pk.n());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pk.Encrypt(m, rng));
+  }
+  if (pool.misses() > 0) {
+    state.SkipWithError("randomizer pool underflowed — not measuring hits");
+  }
+  state.counters["pool_hits"] = static_cast<double>(pool.hits());
+}
+BENCHMARK(BM_PaillierEncryptPooled)->ArgName("K")->Arg(512)->Arg(1024)
+    ->Iterations(1024)->Unit(benchmark::kMicrosecond);
 
 void BM_PaillierDecrypt(benchmark::State& state) {
   Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
@@ -188,6 +222,86 @@ void BM_Sbor(benchmark::State& state) {
 BENCHMARK(BM_Sbor)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Captures every finished run for the --json emitter while still printing
+// the normal console table.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time = 0;  // per iteration, in `unit`
+    std::string unit;
+    int64_t iterations = 0;
+    std::map<std::string, double> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.real_time = run.GetAdjustedRealTime();
+      e.unit = benchmark::GetTimeUnitString(run.time_unit);
+      e.iterations = run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        e.counters[name] = counter.value;
+      }
+      entries.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Entry> entries;
+};
+
+std::string PrimitivesJson(const std::vector<JsonCaptureReporter::Entry>& es) {
+  auto real_time_of = [&](const std::string& name) -> double {
+    for (const auto& e : es) {
+      if (e.name == name) return e.real_time;
+    }
+    return 0;
+  };
+  std::ostringstream os;
+  os << "{\n    \"benchmarks\": [";
+  bool first = true;
+  for (const auto& e : es) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "      {\"name\": \"" << e.name << "\", \"real_time\": "
+       << e.real_time << ", \"unit\": \"" << e.unit
+       << "\", \"iterations\": " << e.iterations;
+    for (const auto& [name, value] : e.counters) {
+      os << ", \"" << name << "\": " << value;
+    }
+    os << "}";
+  }
+  os << "\n    ]";
+  // The PR 2 acceptance number: pooled Encrypt throughput vs the plain
+  // modexp path, per key size (0 when either side did not run).
+  for (unsigned k : {512u, 1024u}) {
+    double plain =
+        real_time_of("BM_PaillierEncrypt/K:" + std::to_string(k));
+    double pooled = real_time_of("BM_PaillierEncryptPooled/K:" +
+                                 std::to_string(k) + "/iterations:1024");
+    os << ",\n    \"encrypt_pooled_speedup_" << k
+       << "\": " << (pooled > 0 ? plain / pooled : 0);
+  }
+  os << "\n  }";
+  return os.str();
+}
+
 }  // namespace sknn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool emit_json = sknn::bench::ConsumeFlag(&argc, argv, "--json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sknn::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (emit_json) {
+    sknn::bench::MergeJsonSection(sknn::bench::BenchJsonPath(), "primitives",
+                                  sknn::PrimitivesJson(reporter.entries));
+  }
+  return 0;
+}

@@ -76,7 +76,24 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
   if (options.c1_threads > 1) {
     engine->c1_pool_ = std::make_unique<ThreadPool>(options.c1_threads);
   }
+  // Bob's client copies the key BEFORE any pool is attached: the end user
+  // pays the paper's unamortized encryption cost (the "4 ms / 17 ms"
+  // bob_seconds numbers) and never draws from the clouds' stock.
   engine->bob_ = std::make_unique<QueryClient>(engine->pk_);
+
+  // Hot path (PR 2): intra-message fan-out at C2 for the vectorized wire
+  // forms, and per-cloud randomizer precomputation so online encryptions
+  // cost a modmul. Both compose with the per-query-id demux — pools are
+  // engine-wide, attribution stays per query.
+  if (options.c2_threads > 1) {
+    engine->c2_->EnableIntraMessageParallelism(options.c2_threads);
+  }
+  if (options.randomizer_pool) {
+    engine->c1_rand_pool_ = std::make_unique<RandomizerPool>(
+        engine->pk_.n(), options.randomizer_pool_capacity);
+    engine->pk_.set_randomizer_pool(engine->c1_rand_pool_.get());
+    engine->c2_->EnableRandomizerPool(options.randomizer_pool_capacity);
+  }
   return engine;
 }
 
@@ -148,7 +165,8 @@ Result<QueryResponse> SknnEngine::ExecuteQuery(const QueryRequest& request) {
   SKNN_RETURN_NOT_OK(ValidateRequest(request));
   const uint64_t query_id = next_query_id_.fetch_add(1);
   QueryMeter meter;
-  ProtoContext ctx(&pk_, client_.get(), c1_pool_.get(), query_id, &meter);
+  ProtoContext ctx(&pk_, client_.get(), c1_pool_.get(), query_id, &meter,
+                   options_.vectorized_rounds);
   QueryResponse response;
 
   // Bob: encrypt Q (his main cost — the paper's 4 ms / 17 ms numbers).
@@ -228,39 +246,6 @@ std::vector<Result<QueryResponse>> SknnEngine::QueryBatch(
   results.reserve(futures.size());
   for (auto& f : futures) results.push_back(f.get());
   return results;
-}
-
-Result<QueryResult> SknnEngine::LegacyQuery(const PlainRecord& query,
-                                            unsigned k,
-                                            QueryProtocol protocol) {
-  QueryRequest request;
-  request.record = query;
-  request.k = k;
-  request.protocol = protocol;
-  SKNN_ASSIGN_OR_RETURN(QueryResponse response, ExecuteQuery(request));
-  QueryResult result;
-  result.neighbors = std::move(response.records);
-  result.bob_seconds = response.bob_seconds;
-  result.cloud_seconds = response.cloud_seconds;
-  result.traffic = response.traffic;
-  result.ops = response.ops;
-  result.breakdown = response.breakdown;
-  return result;
-}
-
-Result<QueryResult> SknnEngine::QueryBasic(const PlainRecord& query,
-                                           unsigned k) {
-  return LegacyQuery(query, k, QueryProtocol::kBasic);
-}
-
-Result<QueryResult> SknnEngine::QueryMaxSecure(const PlainRecord& query,
-                                               unsigned k) {
-  return LegacyQuery(query, k, QueryProtocol::kSecure);
-}
-
-Result<QueryResult> SknnEngine::QueryFarthest(const PlainRecord& query,
-                                              unsigned k) {
-  return LegacyQuery(query, k, QueryProtocol::kFarthest);
 }
 
 }  // namespace sknn

@@ -60,6 +60,20 @@ class SknnEngine {
     bool record_c2_views = false;
     /// Run SBD's verification round inside SkNN_m.
     bool verify_sbd = true;
+    /// Use the vectorized wire opcodes: each batched protocol stage ships
+    /// ONE message carrying the whole vector (C2 fans the instances out
+    /// across c2_threads), and SkNN_m fuses the record-extraction and
+    /// distance-clamp SM stages into one round. Results are identical to
+    /// the scalar (paper-literal) protocol; only message count and wall
+    /// time change. Off = the reference scalar transcript.
+    bool vectorized_rounds = true;
+    /// Back both clouds' encryptions with precomputed-randomizer pools
+    /// (crypto/paillier.h): the r^N modexp moves off the critical path into
+    /// background workers that soak up C1<->C2 round-trip stalls. Disable
+    /// to measure the paper's unamortized online cost.
+    bool randomizer_pool = true;
+    /// Per-cloud randomizer pool capacity (r^N values held ready).
+    std::size_t randomizer_pool_capacity = 4096;
   };
 
   /// \brief One-time setup: Alice keygens, encrypts `table` and outsources.
@@ -97,25 +111,6 @@ class SknnEngine {
   /// k in [1, n], matching dimension, attributes in [0, 2^attr_bits).
   Status ValidateRequest(const QueryRequest& request) const;
 
-  /// \brief Full SkNN_b round trip for Bob's query (k neighbors).
-  /// \deprecated Thin wrapper over Query(); use a QueryRequest with
-  /// QueryProtocol::kBasic. Removed after one release.
-  [[deprecated("use Query(QueryRequest) with QueryProtocol::kBasic")]]
-  Result<QueryResult> QueryBasic(const PlainRecord& query, unsigned k);
-
-  /// \brief Full SkNN_m round trip for Bob's query (k neighbors).
-  /// \deprecated Thin wrapper over Query(); use a QueryRequest with
-  /// QueryProtocol::kSecure. Removed after one release.
-  [[deprecated("use Query(QueryRequest) with QueryProtocol::kSecure")]]
-  Result<QueryResult> QueryMaxSecure(const PlainRecord& query, unsigned k);
-
-  /// \brief Secure k-FARTHEST neighbors (fully secure, SkNN_m machinery on
-  /// complemented distances). See SkNNmOptions::farthest for semantics.
-  /// \deprecated Thin wrapper over Query(); use a QueryRequest with
-  /// QueryProtocol::kFarthest. Removed after one release.
-  [[deprecated("use Query(QueryRequest) with QueryProtocol::kFarthest")]]
-  Result<QueryResult> QueryFarthest(const PlainRecord& query, unsigned k);
-
   const PaillierPublicKey& public_key() const { return pk_; }
   const EncryptedDatabase& database() const { return db_; }
   unsigned distance_bits() const { return db_.distance_bits; }
@@ -141,8 +136,6 @@ class SknnEngine {
                                     const QueryRequest& request,
                                     const std::vector<Ciphertext>& enc_query,
                                     SkNNmBreakdown* breakdown);
-  Result<QueryResult> LegacyQuery(const PlainRecord& query, unsigned k,
-                                  QueryProtocol protocol);
   void SchedulerLoop();
 
   Options options_;
@@ -154,6 +147,10 @@ class SknnEngine {
   std::unique_ptr<RpcServer> server_;
   std::unique_ptr<RpcClient> client_;
   std::unique_ptr<ThreadPool> c1_pool_;
+  /// C1's precomputed-randomizer stock, referenced by pk_ (C2's equivalent
+  /// lives inside C2Service). Declared after everything that encrypts
+  /// through pk_ so it is destroyed first only once queries have drained.
+  std::unique_ptr<RandomizerPool> c1_rand_pool_;
   std::unique_ptr<QueryClient> bob_;
 
   std::atomic<uint64_t> next_query_id_{1};

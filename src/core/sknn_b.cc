@@ -9,29 +9,23 @@ void AppendU32(std::vector<uint8_t>& aux, uint32_t v) {
   for (int i = 0; i < 4; ++i) aux.push_back(static_cast<uint8_t>(v >> (8 * i)));
 }
 
-uint32_t ReadU32(const std::vector<uint8_t>& aux, std::size_t offset) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(aux[offset + i]) << (8 * i);
-  }
-  return v;
-}
-
 }  // namespace
 
 Result<CloudQueryOutput> MaskAndShipToBob(
     ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& chosen) {
   const PaillierPublicKey& pk = ctx.pk();
+  const std::size_t m = chosen.empty() ? 0 : chosen[0].size();
+  const std::size_t total = chosen.size() * m;
   CloudQueryOutput out;
-  std::vector<BigInt> gamma;
-  for (const auto& record : chosen) {
-    for (const auto& attr : record) {
-      Random& rng = Random::ThreadLocal();
-      BigInt r = rng.Below(pk.n());
-      gamma.push_back(pk.Add(attr, pk.Encrypt(r, rng)).value());
-      out.masks_for_bob.push_back(std::move(r));
-    }
-  }
+  out.masks_for_bob.resize(total);
+  std::vector<BigInt> gamma(total);
+  ctx.ForEach(total, [&](std::size_t idx) {
+    Random& rng = Random::ThreadLocal();
+    const Ciphertext& attr = chosen[idx / m][idx % m];
+    BigInt r = rng.Below(pk.n());
+    gamma[idx] = pk.Add(attr, pk.Encrypt(r, rng)).value();
+    out.masks_for_bob[idx] = std::move(r);
+  });
   SKNN_ASSIGN_OR_RETURN(Message resp,
                         ctx.Call(Op::kMaskedDecryptToBob, std::move(gamma)));
   (void)resp;  // empty ack
@@ -73,7 +67,7 @@ Result<CloudQueryOutput> RunSkNNb(ProtoContext& ctx,
   std::vector<std::vector<Ciphertext>> chosen;
   chosen.reserve(k);
   for (unsigned j = 0; j < k; ++j) {
-    uint32_t idx = ReadU32(resp.aux, std::size_t{j} * 4);
+    uint32_t idx = resp.AuxU32At(std::size_t{j} * 4);
     if (idx >= n) {
       return Status::ProtocolError("SkNN_b: top-k index out of range");
     }

@@ -93,12 +93,30 @@ Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
 
     // Step 3(d): V = pi^{-1}(U); record extraction via one batched SM of
     // V_i against every attribute, then column-wise homomorphic sums.
+    //
+    // Step 3(e) clamps the winner's distance to 2^l - 1 via SBOR of V_i
+    // into every bit of [d_i] — and SBOR's only round trip is itself an SM
+    // of exactly the same V_i. In vectorized mode both stages therefore
+    // ride ONE fused SM round (operands [V x attributes | V x bits]); C2
+    // sees the same blinded products either way, so only the message count
+    // changes. Scalar mode keeps the paper-literal two rounds. The clamp is
+    // skipped after the last iteration (the paper loops it unconditionally;
+    // the update only matters for the next SMIN_n).
     std::vector<Ciphertext> v = pi.ApplyInverse(u);
-    std::vector<Ciphertext> sm_left(n * m), sm_right(n * m);
+    const bool clamp = s < k;
+    const bool fuse = ctx.vectorized() && clamp;
+    const std::size_t sm_count = n * m + (fuse ? n * l : 0);
+    std::vector<Ciphertext> sm_left(sm_count), sm_right(sm_count);
     ctx.ForEach(n, [&](std::size_t i) {
       for (std::size_t j = 0; j < m; ++j) {
         sm_left[i * m + j] = v[i];
         sm_right[i * m + j] = db.records[i][j];
+      }
+      if (fuse) {
+        for (unsigned g = 0; g < l; ++g) {
+          sm_left[n * m + i * l + g] = v[i];
+          sm_right[n * m + i * l + g] = bits[i][g];
+        }
       }
     });
     SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> v_prime,
@@ -114,25 +132,33 @@ Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
     result_records.push_back(std::move(record));
     bd.extract_seconds += phase.ElapsedSeconds();
 
-    // Step 3(e): clamp the winner's distance to 2^l - 1 via SBOR of V_i
-    // into every bit of [d_i]. Skipped after the last iteration (the paper
-    // loops it unconditionally; the update only matters for the next SMIN_n).
-    if (s == k) break;
+    if (!clamp) break;
     phase.Reset();
-    std::vector<Ciphertext> or_left(n * l), or_right(n * l);
-    ctx.ForEach(n, [&](std::size_t i) {
-      for (unsigned g = 0; g < l; ++g) {
-        or_left[i * l + g] = v[i];
-        or_right[i * l + g] = bits[i][g];
-      }
-    });
-    SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> ored,
-                          SecureBitOrBatch(ctx, or_left, or_right));
-    ctx.ForEach(n, [&](std::size_t i) {
-      for (unsigned g = 0; g < l; ++g) {
-        bits[i][g] = ored[i * l + g];
-      }
-    });
+    if (fuse) {
+      // Finish the SBOR locally from the fused products:
+      // v OR bit = v + bit - v*bit.
+      ctx.ForEach(n, [&](std::size_t i) {
+        for (unsigned g = 0; g < l; ++g) {
+          bits[i][g] = pk.Sub(pk.Add(v[i], bits[i][g]),
+                              v_prime[n * m + i * l + g]);
+        }
+      });
+    } else {
+      std::vector<Ciphertext> or_left(n * l), or_right(n * l);
+      ctx.ForEach(n, [&](std::size_t i) {
+        for (unsigned g = 0; g < l; ++g) {
+          or_left[i * l + g] = v[i];
+          or_right[i * l + g] = bits[i][g];
+        }
+      });
+      SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> ored,
+                            SecureBitOrBatch(ctx, or_left, or_right));
+      ctx.ForEach(n, [&](std::size_t i) {
+        for (unsigned g = 0; g < l; ++g) {
+          bits[i][g] = ored[i * l + g];
+        }
+      });
+    }
     bd.update_seconds += phase.ElapsedSeconds();
   }
 

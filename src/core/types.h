@@ -47,27 +47,6 @@ struct SkNNmBreakdown {
   }
 };
 
-/// \brief Everything Bob ends up with after a query, plus the measurements
-/// the evaluation section reports.
-struct QueryResult {
-  /// The k nearest records, in increasing-distance order (ties broken
-  /// arbitrarily by the protocol), exactly as Bob reconstructs them.
-  PlainTable neighbors;
-
-  /// Bob-side cost: encrypting Q (plus final unmasking) — the paper's
-  /// "4 ms / 17 ms" end-user numbers.
-  double bob_seconds = 0;
-  /// Cloud-side cost: everything between Epk(Q) arriving at C1 and the
-  /// masked result leaving for Bob.
-  double cloud_seconds = 0;
-  /// C1<->C2 communication during the query.
-  TrafficStats traffic;
-  /// Paillier operation counts during the query (Section 4.4 accounting).
-  OpSnapshot ops;
-  /// Phase breakdown (populated by SkNN_m only).
-  SkNNmBreakdown breakdown;
-};
-
 }  // namespace sknn
 
 #endif  // SKNN_CORE_TYPES_H_

@@ -1,5 +1,7 @@
 #include "crypto/paillier.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "crypto/op_counters.h"
 
@@ -13,19 +15,115 @@ BigInt LFunction(const BigInt& u, const BigInt& d) {
 
 }  // namespace
 
+RandomizerPool::RandomizerPool(const BigInt& n, std::size_t capacity,
+                               std::size_t workers)
+    : n_(n),
+      n_squared_(n * n),
+      capacity_(std::max<std::size_t>(1, capacity)),
+      low_watermark_(std::max<std::size_t>(1, capacity / 4)) {
+  workers = std::max<std::size_t>(1, workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { FillLoop(); });
+  }
+}
+
+RandomizerPool::~RandomizerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  fill_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+BigInt RandomizerPool::ComputeOne(Random& rng) const {
+  return rng.UnitModulo(n_).PowMod(n_, n_squared_);
+}
+
+void RandomizerPool::FillLoop() {
+  Random& rng = Random::ThreadLocal();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      fill_cv_.wait(lock, [this] {
+        return stop_ || (enabled() && stock_.size() < capacity_);
+      });
+      if (stop_) return;
+    }
+    // The modexp runs unlocked so consumers never wait on a producer.
+    BigInt rn = ComputeOne(rng);
+    bool full = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stock_.size() < capacity_) stock_.push_back(std::move(rn));
+      full = stock_.size() >= capacity_;
+    }
+    if (full) full_cv_.notify_all();
+  }
+}
+
+BigInt RandomizerPool::Take() {
+  if (enabled()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stock_.empty()) {
+      BigInt rn = std::move(stock_.front());
+      stock_.pop_front();
+      bool low = stock_.size() < low_watermark_;
+      lock.unlock();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (low) fill_cv_.notify_all();
+      return rn;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return ComputeOne(Random::ThreadLocal());
+}
+
+void RandomizerPool::WaitUntilFull() {
+  fill_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  full_cv_.wait(lock, [this] {
+    return stop_ || !enabled() || stock_.size() >= capacity_;
+  });
+}
+
+void RandomizerPool::set_enabled(bool enabled) {
+  {
+    // The store happens under the mutex so a fill worker between its
+    // predicate check and its block cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  if (enabled) {
+    fill_cv_.notify_all();
+  } else {
+    full_cv_.notify_all();
+  }
+}
+
+std::size_t RandomizerPool::stock() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stock_.size();
+}
+
 PaillierPublicKey::PaillierPublicKey(BigInt n, unsigned key_bits)
     : n_(std::move(n)),
       n_squared_(n_ * n_),
       g_(n_ + BigInt(1)),
       key_bits_(key_bits) {}
 
+BigInt PaillierPublicKey::Randomizer(Random& rng) const {
+  if (randomizer_pool_ != nullptr) return randomizer_pool_->Take();
+  return rng.UnitModulo(n_).PowMod(n_, n_squared_);
+}
+
 Ciphertext PaillierPublicKey::Encrypt(const BigInt& m, Random& rng) const {
   OpCounters::CountEncryption();
   BigInt reduced = m.Mod(n_);
   // (1 + mN) mod N^2 — binomial expansion of g^m with g = N+1.
   BigInt gm = (BigInt(1) + reduced * n_).Mod(n_squared_);
-  BigInt r = rng.UnitModulo(n_);
-  BigInt rn = r.PowMod(n_, n_squared_);
+  BigInt rn = Randomizer(rng);
   return Ciphertext(gm.MulMod(rn, n_squared_));
 }
 
@@ -65,8 +163,7 @@ Ciphertext PaillierPublicKey::Sub(const Ciphertext& a,
 Ciphertext PaillierPublicKey::Rerandomize(const Ciphertext& a,
                                           Random& rng) const {
   OpCounters::CountEncryption();  // costs one r^N modexp, same as encryption
-  BigInt r = rng.UnitModulo(n_);
-  BigInt rn = r.PowMod(n_, n_squared_);
+  BigInt rn = Randomizer(rng);
   return Ciphertext(a.value().MulMod(rn, n_squared_));
 }
 

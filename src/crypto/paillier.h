@@ -15,7 +15,12 @@
 #ifndef SKNN_CRYPTO_PAILLIER_H_
 #define SKNN_CRYPTO_PAILLIER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "bigint/bigint.h"
@@ -23,6 +28,86 @@
 #include "common/status.h"
 
 namespace sknn {
+
+/// \brief Precomputed-randomizer pool: a thread-safe stock of r^N mod N^2
+/// values backing Encrypt/Rerandomize.
+///
+/// The r^N modexp is the entire online cost of a Paillier encryption (with
+/// g = N+1 the g^m part is a modmul), and the paper attributes essentially
+/// all protocol cost to these exponentiations. The randomizer r is
+/// independent of the message, so it can be computed *before* the message is
+/// known: background workers keep the pool filled, and a pooled Encrypt pays
+/// one modmul instead of a full-width modexp. Refills are triggered whenever
+/// the stock falls below the low watermark (capacity / 4), so the workers
+/// soak up exactly the idle time the protocol spends stalled on C1<->C2
+/// round trips.
+///
+/// Semantics and when to disable:
+///  * Pooled randomizers are drawn by the pool's own RNG instead of the
+///    Encrypt caller's, so ciphertext *values* differ from the unpooled path
+///    (fresh uniform randomness either way — decryptions and protocol
+///    results are unaffected).
+///  * Operation counters still count a pooled Encrypt as one encryption:
+///    the paper's Section 4.4 accounting is semantic, and the modexp was
+///    still performed — just off the critical path. Complexity tests
+///    therefore keep working with the pool on.
+///  * Disable the pool (set_enabled(false), or simply never attach one)
+///    when measuring the *unamortized* cost of the paper's protocols — e.g.
+///    latency microbenchmarks of Encrypt itself — or when a deployment
+///    cannot spare a background thread. Take() then always computes inline.
+///
+/// Lifetime: PaillierPublicKey holds a non-owning pointer; the pool must
+/// outlive every key copy that references it (the engine owns its pools and
+/// destroys them last).
+class RandomizerPool {
+ public:
+  /// \brief Starts `workers` background fill threads for a pool of up to
+  /// `capacity` randomizers of the modulus `n`.
+  RandomizerPool(const BigInt& n, std::size_t capacity,
+                 std::size_t workers = 1);
+  ~RandomizerPool();
+
+  RandomizerPool(const RandomizerPool&) = delete;
+  RandomizerPool& operator=(const RandomizerPool&) = delete;
+
+  /// \brief Pops a precomputed r^N mod N^2; computes one inline (a fresh
+  /// modexp, counted in misses()) if the pool is empty or disabled.
+  BigInt Take();
+
+  /// \brief Blocks until the pool is filled to capacity (benchmark /
+  /// test setup; refills happen in the background afterwards).
+  void WaitUntilFull();
+
+  /// \brief The disable switch: when false, Take() always computes inline
+  /// and the workers idle, so measurements see the unpooled cost.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t stock() const;
+  /// \brief Takes served from the precomputed stock / computed inline.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  void FillLoop();
+  BigInt ComputeOne(Random& rng) const;
+
+  const BigInt n_;
+  const BigInt n_squared_;
+  const std::size_t capacity_;
+  const std::size_t low_watermark_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable fill_cv_;   // wakes workers (low stock / stop)
+  std::condition_variable full_cv_;   // wakes WaitUntilFull
+  std::deque<BigInt> stock_;
+  bool stop_ = false;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::vector<std::thread> workers_;
+};
 
 /// \brief A Paillier ciphertext: an element of Z*_{N^2}.
 ///
@@ -54,7 +139,9 @@ class PaillierPublicKey {
   const BigInt& g() const { return g_; }
   unsigned key_bits() const { return key_bits_; }
 
-  /// \brief Epk(m) with fresh randomness. m is reduced mod N.
+  /// \brief Epk(m) with fresh randomness. m is reduced mod N. When a
+  /// RandomizerPool is attached, the r^N factor comes from the pool (one
+  /// modmul online); otherwise it is computed from `rng` (one modexp).
   Ciphertext Encrypt(const BigInt& m, Random& rng) const;
   /// \brief Epk(m) using the calling thread's RNG.
   Ciphertext Encrypt(const BigInt& m) const {
@@ -90,13 +177,24 @@ class PaillierPublicKey {
   /// coprime to N).
   bool IsValidCiphertext(const Ciphertext& c) const;
 
+  /// \brief Attaches (or detaches, with null) a precomputed-randomizer pool
+  /// backing Encrypt/Rerandomize. Non-owning: the pool must outlive every
+  /// copy of this key that carries the pointer. The pool must have been
+  /// built for this key's modulus.
+  void set_randomizer_pool(RandomizerPool* pool) { randomizer_pool_ = pool; }
+  RandomizerPool* randomizer_pool() const { return randomizer_pool_; }
+
   bool operator==(const PaillierPublicKey& o) const { return n_ == o.n_; }
 
  private:
+  /// \brief r^N mod N^2 — pooled when a pool is attached, else from rng.
+  BigInt Randomizer(Random& rng) const;
+
   BigInt n_;
   BigInt n_squared_;
   BigInt g_;
   unsigned key_bits_ = 0;
+  RandomizerPool* randomizer_pool_ = nullptr;
 };
 
 /// \brief Secret key: factorization of N plus precomputed CRT constants.
@@ -108,6 +206,9 @@ class PaillierSecretKey {
                                               unsigned key_bits);
 
   const PaillierPublicKey& public_key() const { return pk_; }
+  /// \brief Mutable access for attaching a RandomizerPool to the embedded
+  /// public key (C2 encrypts through its secret key's pk copy).
+  PaillierPublicKey& mutable_public_key() { return pk_; }
 
   /// \brief Dsk(c), in [0, N). Uses the CRT fast path unless disabled.
   BigInt Decrypt(const Ciphertext& c) const;

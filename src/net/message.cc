@@ -41,6 +41,16 @@ bool GetU64(const std::vector<uint8_t>& in, std::size_t& pos, uint64_t* v) {
 
 }  // namespace
 
+void Message::AppendAuxU32(uint32_t v) { PutU32(aux, v); }
+
+uint32_t Message::AuxU32At(std::size_t offset) const {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(aux[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
 std::size_t Message::WireSize() const {
   std::size_t size = 2 + 8 + 8 + 4 + 4 + aux.size();
   for (const auto& v : ints) {

@@ -30,6 +30,13 @@ struct Message {
 
   /// \brief Serialized size in bytes (what the codec will emit).
   std::size_t WireSize() const;
+
+  /// \brief Appends a little-endian u32 to aux — the aux-header convention
+  /// shared by every opcode that carries geometry (l, count, k, indices).
+  void AppendAuxU32(uint32_t v);
+  /// \brief Reads the little-endian u32 at aux[offset..offset+4). The caller
+  /// must have validated aux.size().
+  uint32_t AuxU32At(std::size_t offset) const;
 };
 
 /// \brief Wire format:

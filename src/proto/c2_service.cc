@@ -6,21 +6,6 @@
 #include "bigint/random.h"
 
 namespace sknn {
-namespace {
-
-uint32_t ReadU32(const std::vector<uint8_t>& aux, std::size_t offset) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(aux[offset + i]) << (8 * i);
-  }
-  return v;
-}
-
-void AppendU32(std::vector<uint8_t>& aux, uint32_t v) {
-  for (int i = 0; i < 4; ++i) aux.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-}  // namespace
 
 Result<Message> C2Service::Handle(const Message& request) {
   if (request.query_id == 0) return Dispatch(request);
@@ -43,13 +28,19 @@ Result<Message> C2Service::Dispatch(const Message& request) {
       return resp;
     }
     case Op::kSmBatch:
-      return HandleSmBatch(request);
+      return HandleSmBatch(request, /*parallel=*/false);
+    case Op::kSmVec:
+      return HandleSmBatch(request, /*parallel=*/true);
     case Op::kLsbBatch:
-      return HandleLsbBatch(request);
+      return HandleLsbBatch(request, /*parallel=*/false);
+    case Op::kLsbVec:
+      return HandleLsbBatch(request, /*parallel=*/true);
     case Op::kSvrCheckBatch:
       return HandleSvrCheckBatch(request);
     case Op::kSminPhase2Batch:
-      return HandleSminPhase2Batch(request);
+      return HandleSminPhase2Batch(request, /*parallel=*/false);
+    case Op::kSminPhase2Vec:
+      return HandleSminPhase2Batch(request, /*parallel=*/true);
     case Op::kMinPointerBatch:
       return HandleMinPointerBatch(request);
     case Op::kTopKIndices:
@@ -70,6 +61,32 @@ Result<Message> C2Service::Dispatch(const Message& request) {
       return Status::ProtocolError("C2Service: unknown opcode " +
                                    std::to_string(request.type));
   }
+}
+
+void C2Service::EnableIntraMessageParallelism(std::size_t threads) {
+  if (threads > 1) intra_pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void C2Service::EnableRandomizerPool(std::size_t capacity,
+                                     std::size_t workers) {
+  rand_pool_ = std::make_unique<RandomizerPool>(sk_.public_key().n(),
+                                                capacity, workers);
+  sk_.mutable_public_key().set_randomizer_pool(rand_pool_.get());
+}
+
+void C2Service::ForEach(bool parallel, std::size_t count,
+                        const std::function<void(std::size_t)>& fn) {
+  if (!parallel || intra_pool_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Pool workers act on behalf of the request being handled: carry the
+  // handler thread's op sink across so per-query attribution stays exact.
+  OpAccumulator* sink = OpCounters::ThreadSink();
+  intra_pool_->ParallelFor(count, [&fn, sink](std::size_t i) {
+    ScopedOpSink scoped(sink);
+    fn(i);
+  });
 }
 
 std::vector<BigInt> C2Service::TakeBobOutbox() {
@@ -129,39 +146,48 @@ void C2Service::RecordView(Op op, const BigInt& plaintext) {
 }
 
 // SM, Algorithm 1 step 2: h_i = D(a'_i) * D(b'_i) mod N, returned encrypted.
-Result<Message> C2Service::HandleSmBatch(const Message& req) {
+// The vectorized form fans the independent instances out across the
+// intra-message pool; views are still recorded in instance order.
+Result<Message> C2Service::HandleSmBatch(const Message& req, bool parallel) {
   if (req.ints.size() % 2 != 0) {
     return Status::ProtocolError("kSmBatch: odd number of ciphertexts");
   }
+  const std::size_t count = req.ints.size() / 2;
   const PaillierPublicKey& pk = sk_.public_key();
-  Random& rng = Random::ThreadLocal();
   Message resp;
-  resp.type = OpCode(Op::kSmBatch);
-  resp.ints.reserve(req.ints.size() / 2);
-  for (std::size_t i = 0; i < req.ints.size(); i += 2) {
-    BigInt ha = sk_.Decrypt(Ciphertext(req.ints[i]));
-    BigInt hb = sk_.Decrypt(Ciphertext(req.ints[i + 1]));
-    RecordView(Op::kSmBatch, ha);
-    RecordView(Op::kSmBatch, hb);
+  resp.type = req.type;
+  resp.ints.resize(count);
+  std::vector<BigInt> seen_a(count), seen_b(count);
+  ForEach(parallel, count, [&](std::size_t i) {
+    BigInt ha = sk_.Decrypt(Ciphertext(req.ints[2 * i]));
+    BigInt hb = sk_.Decrypt(Ciphertext(req.ints[2 * i + 1]));
     BigInt h = ha.MulMod(hb, pk.n());
-    resp.ints.push_back(pk.Encrypt(h, rng).value());
+    resp.ints[i] = pk.Encrypt(h, Random::ThreadLocal()).value();
+    seen_a[i] = std::move(ha);
+    seen_b[i] = std::move(hb);
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    RecordView(Op::kSmBatch, seen_a[i]);
+    RecordView(Op::kSmBatch, seen_b[i]);
   }
   return resp;
 }
 
 // SBD Encrypted-LSB step: return a fresh encryption of parity(D(Y_i)).
-Result<Message> C2Service::HandleLsbBatch(const Message& req) {
+Result<Message> C2Service::HandleLsbBatch(const Message& req, bool parallel) {
   const PaillierPublicKey& pk = sk_.public_key();
-  Random& rng = Random::ThreadLocal();
+  const std::size_t count = req.ints.size();
   Message resp;
-  resp.type = OpCode(Op::kLsbBatch);
-  resp.ints.reserve(req.ints.size());
-  for (const auto& y_ct : req.ints) {
-    BigInt y = sk_.Decrypt(Ciphertext(y_ct));
-    RecordView(Op::kLsbBatch, y);
+  resp.type = req.type;
+  resp.ints.resize(count);
+  std::vector<BigInt> seen(count);
+  ForEach(parallel, count, [&](std::size_t i) {
+    BigInt y = sk_.Decrypt(Ciphertext(req.ints[i]));
     BigInt parity(y.IsOdd() ? 1 : 0);
-    resp.ints.push_back(pk.Encrypt(parity, rng).value());
-  }
+    resp.ints[i] = pk.Encrypt(parity, Random::ThreadLocal()).value();
+    seen[i] = std::move(y);
+  });
+  for (std::size_t i = 0; i < count; ++i) RecordView(Op::kLsbBatch, seen[i]);
   return resp;
 }
 
@@ -183,54 +209,64 @@ Result<Message> C2Service::HandleSvrCheckBatch(const Message& req) {
 // from C1 when alpha = 0 — Gamma'^0 would otherwise be the identity
 // ciphertext, a visible giveaway; the paper's security argument assumes all
 // values C1 receives are fresh randomized encryptions, Section 4.3).
-Result<Message> C2Service::HandleSminPhase2Batch(const Message& req) {
+// Blocks are independent, so the vectorized form fans out per block.
+Result<Message> C2Service::HandleSminPhase2Batch(const Message& req,
+                                                 bool parallel) {
   if (req.aux.size() != 8) {
     return Status::ProtocolError("kSminPhase2Batch: bad aux header");
   }
-  uint32_t l = ReadU32(req.aux, 0);
-  uint32_t count = ReadU32(req.aux, 4);
+  uint32_t l = req.AuxU32At(0);
+  uint32_t count = req.AuxU32At(4);
   if (l == 0 || req.ints.size() != static_cast<std::size_t>(2 * l) * count) {
     return Status::ProtocolError("kSminPhase2Batch: bad block geometry");
   }
   const PaillierPublicKey& pk = sk_.public_key();
-  Random& rng = Random::ThreadLocal();
   const BigInt one(1);
   Message resp;
-  resp.type = OpCode(Op::kSminPhase2Batch);
-  resp.ints.reserve(static_cast<std::size_t>(l + 1) * count);
-  for (uint32_t b = 0; b < count; ++b) {
-    const std::size_t base = static_cast<std::size_t>(b) * 2 * l;
+  resp.type = req.type;
+  resp.ints.resize(static_cast<std::size_t>(l + 1) * count);
+  std::vector<std::vector<BigInt>> seen(count);
+  ForEach(parallel, count, [&](std::size_t b) {
+    Random& rng = Random::ThreadLocal();
+    const std::size_t base = b * 2 * l;
+    const std::size_t out_base = b * (l + 1);
     // Decrypt the permuted L' vector; alpha = 1 iff some entry equals 1.
     bool alpha = false;
+    seen[b].resize(l);
     for (uint32_t i = 0; i < l; ++i) {
       BigInt m = sk_.Decrypt(Ciphertext(req.ints[base + l + i]));
-      RecordView(Op::kSminPhase2Batch, m);
       if (m == one) alpha = true;
+      seen[b][i] = std::move(m);
     }
     for (uint32_t i = 0; i < l; ++i) {
       const Ciphertext gamma(req.ints[base + i]);
       Ciphertext m_prime =
           alpha ? pk.Rerandomize(gamma, rng) : pk.Encrypt(BigInt(0), rng);
-      resp.ints.push_back(m_prime.value());
+      resp.ints[out_base + i] = m_prime.value();
     }
-    resp.ints.push_back(pk.Encrypt(BigInt(alpha ? 1 : 0), rng).value());
+    resp.ints[out_base + l] = pk.Encrypt(BigInt(alpha ? 1 : 0), rng).value();
+  });
+  for (const auto& block : seen) {
+    for (const auto& m : block) RecordView(Op::kSminPhase2Batch, m);
   }
   return resp;
 }
 
 // SkNN_m step 3(c): U has Epk(1) at (one of) the zero position(s) of the
-// decrypted beta, Epk(0) elsewhere.
+// decrypted beta, Epk(0) elsewhere. Decryptions and the one-hot response
+// encryptions are independent per position, so both loops fan out.
 Result<Message> C2Service::HandleMinPointerBatch(const Message& req) {
   const PaillierPublicKey& pk = sk_.public_key();
-  Random& rng = Random::ThreadLocal();
+  const std::size_t n = req.ints.size();
+  const bool parallel = intra_pool_ != nullptr;
+  std::vector<BigInt> plain(n);
+  ForEach(parallel, n, [&](std::size_t i) {
+    plain[i] = sk_.Decrypt(Ciphertext(req.ints[i]));
+  });
   std::vector<std::size_t> zero_positions;
-  std::vector<BigInt> plain;
-  plain.reserve(req.ints.size());
-  for (std::size_t i = 0; i < req.ints.size(); ++i) {
-    BigInt v = sk_.Decrypt(Ciphertext(req.ints[i]));
-    RecordView(Op::kMinPointerBatch, v);
-    if (v.IsZero()) zero_positions.push_back(i);
-    plain.push_back(std::move(v));
+  for (std::size_t i = 0; i < n; ++i) {
+    RecordView(Op::kMinPointerBatch, plain[i]);
+    if (plain[i].IsZero()) zero_positions.push_back(i);
   }
   if (zero_positions.empty()) {
     return Status::ProtocolError(
@@ -239,14 +275,15 @@ Result<Message> C2Service::HandleMinPointerBatch(const Message& req) {
   // Ties (several records at the global minimum distance) are broken by a
   // random pick, exactly as prescribed in Section 4.2.
   std::size_t chosen =
-      zero_positions[rng.UniformUint64(zero_positions.size())];
+      zero_positions[Random::ThreadLocal().UniformUint64(
+          zero_positions.size())];
   Message resp;
   resp.type = OpCode(Op::kMinPointerBatch);
-  resp.ints.reserve(req.ints.size());
-  for (std::size_t i = 0; i < req.ints.size(); ++i) {
-    resp.ints.push_back(
-        pk.Encrypt(BigInt(i == chosen ? 1 : 0), rng).value());
-  }
+  resp.ints.resize(n);
+  ForEach(parallel, n, [&](std::size_t i) {
+    resp.ints[i] = pk.Encrypt(BigInt(i == chosen ? 1 : 0),
+                              Random::ThreadLocal()).value();
+  });
   return resp;
 }
 
@@ -255,17 +292,15 @@ Result<Message> C2Service::HandleTopKIndices(const Message& req) {
   if (req.aux.size() != 4) {
     return Status::ProtocolError("kTopKIndices: bad aux header");
   }
-  uint32_t k = ReadU32(req.aux, 0);
+  uint32_t k = req.AuxU32At(0);
   if (k == 0 || k > req.ints.size()) {
     return Status::ProtocolError("kTopKIndices: k out of range");
   }
-  std::vector<BigInt> dist;
-  dist.reserve(req.ints.size());
-  for (const auto& c : req.ints) {
-    BigInt d = sk_.Decrypt(Ciphertext(c));
-    RecordView(Op::kTopKIndices, d);
-    dist.push_back(std::move(d));
-  }
+  std::vector<BigInt> dist(req.ints.size());
+  ForEach(intra_pool_ != nullptr, req.ints.size(), [&](std::size_t i) {
+    dist[i] = sk_.Decrypt(Ciphertext(req.ints[i]));
+  });
+  for (const auto& d : dist) RecordView(Op::kTopKIndices, d);
   std::vector<uint32_t> idx(dist.size());
   std::iota(idx.begin(), idx.end(), 0);
   std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
@@ -275,20 +310,18 @@ Result<Message> C2Service::HandleTopKIndices(const Message& req) {
                     });
   Message resp;
   resp.type = OpCode(Op::kTopKIndices);
-  for (uint32_t j = 0; j < k; ++j) AppendU32(resp.aux, idx[j]);
+  for (uint32_t j = 0; j < k; ++j) resp.AppendAuxU32(idx[j]);
   return resp;
 }
 
 // Final step of both protocols: decrypt the randomized records and queue the
 // plaintexts for Bob (C2 -> Bob leg; never sent back to C1).
 Result<Message> C2Service::HandleMaskedDecryptToBob(const Message& req) {
-  std::vector<BigInt> decrypted;
-  decrypted.reserve(req.ints.size());
-  for (const auto& c : req.ints) {
-    BigInt v = sk_.Decrypt(Ciphertext(c));
-    RecordView(Op::kMaskedDecryptToBob, v);
-    decrypted.push_back(std::move(v));
-  }
+  std::vector<BigInt> decrypted(req.ints.size());
+  ForEach(intra_pool_ != nullptr, req.ints.size(), [&](std::size_t i) {
+    decrypted[i] = sk_.Decrypt(Ciphertext(req.ints[i]));
+  });
+  for (const auto& v : decrypted) RecordView(Op::kMaskedDecryptToBob, v);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<BigInt>& bucket = bob_outbox_[req.query_id];

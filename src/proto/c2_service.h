@@ -12,10 +12,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "crypto/op_counters.h"
 #include "crypto/paillier.h"
 #include "net/message.h"
@@ -53,6 +56,20 @@ class C2Service {
   /// `query_id` (zeros if unknown).
   OpSnapshot TakeQueryOps(uint64_t query_id);
 
+  /// \brief Spins up `threads` workers that fan the independent instances of
+  /// one vectorized request (kSmVec / kLsbVec / kSminPhase2Vec /
+  /// kMinPointerBatch) out in parallel — the C2 half of the within-query
+  /// record parallelism. Without this, vectorized messages are processed
+  /// serially (still correct, just one core).
+  void EnableIntraMessageParallelism(std::size_t threads);
+
+  /// \brief Creates (and owns) a randomizer pool of `capacity` r^N values
+  /// backing every encryption C2 performs — the response re-encryptions of
+  /// the sub-protocol handlers are its hottest loop. See RandomizerPool in
+  /// crypto/paillier.h for semantics and the disable switch.
+  void EnableRandomizerPool(std::size_t capacity, std::size_t workers = 1);
+  RandomizerPool* randomizer_pool() { return rand_pool_.get(); }
+
   // -- Security-test instrumentation --
   void set_record_views(bool record) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -68,10 +85,16 @@ class C2Service {
   Result<Message> Dispatch(const Message& request);
   void RecordQueryOps(uint64_t query_id, const OpSnapshot& ops);
 
-  Result<Message> HandleSmBatch(const Message& req);
-  Result<Message> HandleLsbBatch(const Message& req);
+  /// \brief Runs fn(i) for i in [0, count) — across the intra-message pool
+  /// when `parallel` (propagating the caller's per-query op sink), serially
+  /// otherwise.
+  void ForEach(bool parallel, std::size_t count,
+               const std::function<void(std::size_t)>& fn);
+
+  Result<Message> HandleSmBatch(const Message& req, bool parallel);
+  Result<Message> HandleLsbBatch(const Message& req, bool parallel);
   Result<Message> HandleSvrCheckBatch(const Message& req);
-  Result<Message> HandleSminPhase2Batch(const Message& req);
+  Result<Message> HandleSminPhase2Batch(const Message& req, bool parallel);
   Result<Message> HandleMinPointerBatch(const Message& req);
   Result<Message> HandleTopKIndices(const Message& req);
   Result<Message> HandleMaskedDecryptToBob(const Message& req);
@@ -79,6 +102,8 @@ class C2Service {
   void RecordView(Op op, const BigInt& plaintext);
 
   PaillierSecretKey sk_;
+  std::unique_ptr<ThreadPool> intra_pool_;
+  std::unique_ptr<RandomizerPool> rand_pool_;
   std::mutex mutex_;  // guards views_, bob_outbox_ and the op ledger
   bool record_views_ = false;
   std::vector<C2View> views_;

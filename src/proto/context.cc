@@ -45,7 +45,7 @@ void ProtoContext::ForEach(std::size_t count,
 }
 
 Result<std::vector<BigInt>> ProtoContext::CallChunked(
-    Op op, const std::vector<BigInt>& ints, std::size_t in_arity,
+    Op op, std::vector<BigInt> ints, std::size_t in_arity,
     std::size_t out_arity,
     const std::function<std::vector<uint8_t>(std::size_t)>& make_aux) {
   if (in_arity == 0 || ints.size() % in_arity != 0) {
@@ -53,6 +53,18 @@ Result<std::vector<BigInt>> ProtoContext::CallChunked(
   }
   const std::size_t count = ints.size() / in_arity;
   if (count == 0) return std::vector<BigInt>{};
+
+  if (vectorized_) {
+    Message req;
+    req.type = OpCode(VectorForm(op));
+    req.ints = std::move(ints);
+    if (make_aux) req.aux = make_aux(count);
+    SKNN_ASSIGN_OR_RETURN(Message resp, Exchange(std::move(req)));
+    if (resp.ints.size() != count * out_arity) {
+      return Status::ProtocolError("CallChunked: bad vectorized response");
+    }
+    return std::move(resp.ints);
+  }
 
   const std::size_t num_chunks =
       (pool_ == nullptr) ? 1 : std::min(count, pool_->num_threads());

@@ -23,16 +23,21 @@ class ProtoContext {
   /// `query_id` tags every RPC issued through this context so C2 can key its
   /// per-query state (Bob outbox, op ledger) — 0 means untagged. `meter`, if
   /// set, receives the context's exact per-query wire-traffic accounting.
+  /// `vectorized` switches CallChunked to the vectorized wire forms: the
+  /// whole batch rides in ONE message (C2 parallelizes internally) instead
+  /// of one chunk per C1 worker. Default off = the paper-literal scalar
+  /// protocol, kept as the bitwise reference for the vectorized path.
   ProtoContext(const PaillierPublicKey* pk, RpcClient* client,
                ThreadPool* pool = nullptr, uint64_t query_id = 0,
-               QueryMeter* meter = nullptr)
+               QueryMeter* meter = nullptr, bool vectorized = false)
       : pk_(pk), client_(client), pool_(pool), query_id_(query_id),
-        meter_(meter) {}
+        meter_(meter), vectorized_(vectorized) {}
 
   const PaillierPublicKey& pk() const { return *pk_; }
   ThreadPool* pool() const { return pool_; }
   uint64_t query_id() const { return query_id_; }
   QueryMeter* meter() const { return meter_; }
+  bool vectorized() const { return vectorized_; }
 
   /// \brief Single RPC round trip. Fails if C2 reported an error.
   Result<Message> Call(Op op, std::vector<BigInt> ints,
@@ -47,8 +52,12 @@ class ProtoContext {
   /// `make_aux(chunk_items)` builds the per-chunk aux header (may return
   /// empty). Responses are reassembled in item order. With a pool, one chunk
   /// per worker is issued concurrently (C2 then also decrypts in parallel).
+  /// In vectorized mode the batch is never split: one message with the
+  /// opcode's VectorForm carries every item, and C2 fans the instances out
+  /// across its own pool — per-stage message count is 1 regardless of
+  /// c1_threads.
   Result<std::vector<BigInt>> CallChunked(
-      Op op, const std::vector<BigInt>& ints, std::size_t in_arity,
+      Op op, std::vector<BigInt> ints, std::size_t in_arity,
       std::size_t out_arity,
       const std::function<std::vector<uint8_t>(std::size_t)>& make_aux = {});
 
@@ -61,6 +70,7 @@ class ProtoContext {
   ThreadPool* pool_;
   uint64_t query_id_ = 0;
   QueryMeter* meter_ = nullptr;
+  bool vectorized_ = false;
 };
 
 }  // namespace sknn

@@ -53,9 +53,42 @@ enum class Op : uint16_t {
   /// outbox contents, which are cleared.
   kFetchBobOutbox = 9,
 
+  // -- Vectorized wire forms (PR 2 hot path) --
+  //
+  // Semantically identical to their scalar counterparts, but C1 ships the
+  // ENTIRE stage vector in one message instead of one chunk per C1 worker,
+  // and C2 fans the independent instances out across its own thread pool.
+  // Per-stage message count becomes exactly 1 regardless of record count and
+  // thread fan-out; what C2 decrypts is unchanged, so the security argument
+  // carries over verbatim.
+
+  /// Vectorized kSmBatch: same geometry, whole SM stage in one message.
+  kSmVec = 10,
+
+  /// Vectorized kLsbBatch: one message per SBD bit-round for all instances.
+  kLsbVec = 11,
+
+  /// Vectorized kSminPhase2Batch: one message per SMIN tournament level.
+  kSminPhase2Vec = 12,
+
   /// Error response emitted by the RPC server (status text in aux).
   kError = 0xFFFF,
 };
+
+/// \brief The vectorized wire form of `op`, or `op` itself when the opcode
+/// has no vector form (it is already a single-message exchange).
+inline Op VectorForm(Op op) {
+  switch (op) {
+    case Op::kSmBatch:
+      return Op::kSmVec;
+    case Op::kLsbBatch:
+      return Op::kLsbVec;
+    case Op::kSminPhase2Batch:
+      return Op::kSminPhase2Vec;
+    default:
+      return op;
+  }
+}
 
 inline uint16_t OpCode(Op op) { return static_cast<uint16_t>(op); }
 

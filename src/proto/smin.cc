@@ -115,8 +115,8 @@ Result<std::vector<EncryptedBits>> SecureMinBatch(
   };
   SKNN_ASSIGN_OR_RETURN(
       std::vector<BigInt> response,
-      ctx.CallChunked(Op::kSminPhase2Batch, request, /*in_arity=*/2 * l,
-                      /*out_arity=*/l + 1, make_aux));
+      ctx.CallChunked(Op::kSminPhase2Batch, std::move(request),
+                      /*in_arity=*/2 * l, /*out_arity=*/l + 1, make_aux));
 
   // -- Phase 3 (local): strip blinding, recombine min bits.
   std::vector<EncryptedBits> out(count, EncryptedBits(l));

@@ -178,6 +178,59 @@ TEST_F(ComplexityTest, PaperBoundForSkNNm) {
             kConstant * bound);
 }
 
+TEST_F(ComplexityTest, SkNNmRoundCountIsIndependentOfNPerStage) {
+  // PR 2 regression: with the vectorized wire opcodes, one SkNN_m query
+  // exchanges O(l + k*l) C1->C2 messages — NOT O(n*l). The exact count,
+  // from the per-query QueryMeter (frames_to_c2 == frames_from_c2, each
+  // exchange is one round trip):
+  //   SSED            1                  (one fused SM stage)
+  //   SBD             l + 1              (one kLsbVec per bit + one SVR)
+  //   per iteration   2*ceil(log2 n)     (SMIN_n tournament: SM + phase2
+  //                                       per level)
+  //                   + 1                (min pointer)
+  //                   + 1                (fused extract+clamp SM)
+  //   finalize        1                  (masked ship to Bob)
+  // Since n <= 2^l here, ceil(log2 n) <= l and the whole query is <= the
+  // paper-shaped bound 2 + l + k*(2*l + 2) + 1 — and independent of n per
+  // stage (doubling n adds at most one tournament level per iteration).
+  unsigned l = 0;
+  auto frames_for = [&](std::size_t n, unsigned k) -> uint64_t {
+    PlainTable table = GenerateUniformTable(n, 2, 3, 99);
+    SknnEngine::Options opts;
+    opts.key_bits = 256;
+    opts.attr_bits = 2;
+    opts.c1_threads = 4;  // fan-out must not multiply the message count
+    opts.c2_threads = 4;
+    auto engine = SknnEngine::Create(table, opts);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    l = (*engine)->distance_bits();
+    QueryRequest request;
+    request.record = {1, 1};
+    request.k = k;
+    request.protocol = QueryProtocol::kSecure;
+    auto result = (*engine)->Query(request);
+    EXPECT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->traffic.frames_a_to_b, result->traffic.frames_b_to_a);
+    return result->traffic.frames_a_to_b;
+  };
+
+  auto exact = [&](std::size_t n, unsigned k) -> uint64_t {
+    uint64_t levels = static_cast<uint64_t>(std::ceil(std::log2(double(n))));
+    return 1 + (l + 1) + k * (2 * levels + 2) + 1;
+  };
+  for (auto [n, k] : std::vector<std::pair<std::size_t, unsigned>>{
+           {8, 1}, {8, 2}, {16, 2}}) {
+    uint64_t frames = frames_for(n, k);
+    ASSERT_GE(l, 4u);  // sanity: log2(n) <= l must hold for the O-bound
+    EXPECT_EQ(frames, exact(n, k)) << "n=" << n << " k=" << k;
+    // The O(l + k*l) law itself (would be wildly exceeded by O(n*l)).
+    EXPECT_LE(frames, 2 * (l + uint64_t{k} * l) + 4) << "n=" << n;
+  }
+  // Doubling n must cost at most one extra tournament level (2 rounds) per
+  // iteration — the signature of O(k log n), not O(n).
+  EXPECT_LE(frames_for(16, 2) - frames_for(8, 2), 2u * 2u);
+}
+
 TEST_F(ComplexityTest, SkNNbOpsLinearInN) {
   const std::size_t m = 3;
   auto run = [&](std::size_t n) {

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "bigint/random.h"
 #include "crypto/op_counters.h"
 
@@ -214,6 +219,85 @@ TEST_P(PaillierHomomorphismProperty, NegateIsAdditiveInverse) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PaillierHomomorphismProperty,
                          ::testing::Values(101u, 202u, 303u));
+
+// -- RandomizerPool (the PR 2 hot-path precomputation) --
+
+TEST(RandomizerPoolTest, NeverHandsOutADuplicate) {
+  PaillierKeyPair keys = MakeKeys(256, 404);
+  // Capacity smaller than the draw count so both the pooled path and the
+  // inline-compute fallback are exercised.
+  RandomizerPool pool(keys.pk.n(), /*capacity=*/128);
+  pool.WaitUntilFull();
+  std::set<std::string> seen;
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_TRUE(seen.insert(pool.Take().ToString()).second)
+        << "duplicate r^N at draw " << i;
+  }
+  EXPECT_GT(pool.hits(), 0u);
+}
+
+TEST(RandomizerPoolTest, PooledEncryptionsDecryptAndStayProbabilistic) {
+  PaillierKeyPair keys = MakeKeys(256, 405);
+  RandomizerPool pool(keys.pk.n(), /*capacity=*/64);
+  keys.pk.set_randomizer_pool(&pool);
+  Random rng(406);
+  std::set<std::string> ciphertexts;
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{12345}, int64_t{1} << 33}) {
+    Ciphertext c = keys.pk.Encrypt(BigInt(v), rng);
+    EXPECT_EQ(keys.sk.Decrypt(c), BigInt(v)) << v;
+    EXPECT_TRUE(ciphertexts.insert(c.value().ToString()).second);
+  }
+  // Same plaintext twice: pooled randomizers are still fresh per encryption.
+  Ciphertext a = keys.pk.Encrypt(BigInt(9), rng);
+  Ciphertext b = keys.pk.Encrypt(BigInt(9), rng);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(keys.sk.Decrypt(keys.pk.Rerandomize(a, rng)), BigInt(9));
+}
+
+TEST(RandomizerPoolTest, SafeUnderConcurrentEncrypt) {
+  PaillierKeyPair keys = MakeKeys(256, 407);
+  RandomizerPool pool(keys.pk.n(), /*capacity=*/256, /*workers=*/2);
+  keys.pk.set_randomizer_pool(&pool);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::vector<Ciphertext>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        results[t].push_back(
+            keys.pk.Encrypt(BigInt(t * kPerThread + i), Random::ThreadLocal()));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::string> distinct;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(keys.sk.Decrypt(results[t][i]), BigInt(t * kPerThread + i));
+      distinct.insert(results[t][i].value().ToString());
+    }
+  }
+  // Distinct randomizers => distinct ciphertexts, even across threads.
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(RandomizerPoolTest, DisableSwitchForcesInlineComputation) {
+  PaillierKeyPair keys = MakeKeys(256, 408);
+  RandomizerPool pool(keys.pk.n(), /*capacity=*/32);
+  pool.WaitUntilFull();
+  pool.set_enabled(false);
+  uint64_t misses_before = pool.misses();
+  BigInt rn = pool.Take();  // computed inline despite a full stock
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+  EXPECT_EQ(pool.stock(), 32u);
+  // The inline value is still a valid randomizer.
+  keys.pk.set_randomizer_pool(&pool);
+  EXPECT_EQ(keys.sk.Decrypt(keys.pk.Encrypt(BigInt(5), Random::ThreadLocal())),
+            BigInt(5));
+  (void)rn;
+}
 
 }  // namespace
 }  // namespace sknn

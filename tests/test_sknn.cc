@@ -275,29 +275,5 @@ TEST(SkNNEndToEnd, InstrumentationIsOptIn) {
   EXPECT_GT(result->traffic.total_bytes(), 0u);
 }
 
-TEST(SkNNEndToEnd, DeprecatedWrappersStillWork) {
-  // QueryBasic/QueryMaxSecure/QueryFarthest remain for one release as thin
-  // shims over Query(); they must return the same answers.
-  PlainTable table = {{0, 0}, {3, 1}, {1, 2}, {7, 7}};
-  PlainRecord query = {1, 1};
-  SknnEngine::Options opts = FastOptions();
-  opts.attr_bits = 3;
-  auto engine = SknnEngine::Create(table, opts);
-  ASSERT_TRUE(engine.ok());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto basic = (*engine)->QueryBasic(query, 2);
-  auto secure = (*engine)->QueryMaxSecure(query, 2);
-  auto farthest = (*engine)->QueryFarthest(query, 1);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(basic.ok());
-  ASSERT_TRUE(secure.ok());
-  ASSERT_TRUE(farthest.ok());
-  EXPECT_EQ(DistanceSet(basic->neighbors, query),
-            DistanceSet(PlainKnn(table, query, 2), query));
-  EXPECT_EQ(Sorted(secure->neighbors), Sorted(basic->neighbors));
-  EXPECT_EQ(farthest->neighbors, (PlainTable{{7, 7}}));
-}
-
 }  // namespace
 }  // namespace sknn

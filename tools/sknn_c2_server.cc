@@ -1,13 +1,15 @@
 // sknn_c2_server — the standalone key-holder cloud C2.
 //
 //   sknn_c2_server --secret sk.txt --port 9000 [--workers 2]
-//                  [--connections N]
+//                  [--connections N] [--no-randomizer-pool]
 //
 // Serves the C2 side of every sub-protocol over TCP. C1 connects with one
 // link; each querying user (Bob) connects with his own link to pick up
 // results — C2 never routes Bob's data through C1. With --connections N the
 // server exits after N links close (for scripted runs); otherwise it serves
-// until killed.
+// until killed. --workers also enables intra-message fan-out for the
+// vectorized opcodes; the response-encryption randomizer pool is on by
+// default (disable it to measure the paper's unamortized cost).
 #include <cstdio>
 #include <vector>
 
@@ -36,6 +38,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   C2Service c2(std::move(sk).value());
+  if (workers > 1) c2.EnableIntraMessageParallelism(workers);
+  if (!flags.count("no-randomizer-pool")) {
+    c2.EnableRandomizerPool(/*capacity=*/4096);
+  }
 
   auto listener = TcpListener::Bind(port);
   if (!listener.ok()) {
