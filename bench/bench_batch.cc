@@ -116,7 +116,8 @@ HotPathPoint MeasureHotPath(std::size_t n, std::size_t m, unsigned l,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool emit_json = ConsumeFlag(&argc, argv, "--json");
+  std::string json_path;
+  const bool emit_json = ConsumeJsonFlag(&argc, argv, &json_path);
   const std::size_t kBatch = 8;
   const unsigned kK = 2;
   const std::size_t kM = 2;
@@ -196,7 +197,8 @@ int main(int argc, char** argv) {
                                     ? hot.vectorized_seconds
                                     : 1e-9)
        << "}\n  }";
-    MergeJsonSection(BenchJsonPath(), "end_to_end", os.str());
+    MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR2.json"),
+                     "end_to_end", os.str());
   }
   return 0;
 }

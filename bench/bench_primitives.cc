@@ -293,15 +293,17 @@ std::string PrimitivesJson(const std::vector<JsonCaptureReporter::Entry>& es) {
 }  // namespace sknn
 
 int main(int argc, char** argv) {
-  const bool emit_json = sknn::bench::ConsumeFlag(&argc, argv, "--json");
+  std::string json_path;
+  const bool emit_json = sknn::bench::ConsumeJsonFlag(&argc, argv, &json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   sknn::JsonCaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   if (emit_json) {
-    sknn::bench::MergeJsonSection(sknn::bench::BenchJsonPath(), "primitives",
-                                  sknn::PrimitivesJson(reporter.entries));
+    sknn::bench::MergeJsonSection(
+        sknn::bench::BenchJsonPath(json_path, "BENCH_PR2.json"), "primitives",
+        sknn::PrimitivesJson(reporter.entries));
   }
   return 0;
 }

@@ -1,0 +1,222 @@
+// bench_serving — multi-client throughput of the serving front end (PR 3).
+//
+// Stands up the full four-party topology in one process but over real
+// loopback sockets — standalone C2 behind a TCP RpcServer, a
+// CreateWithRemoteC2 engine, a QueryService — then drives it with 1/4/8
+// concurrent thin clients (serve/RemoteQueryClient, one connection each)
+// and reports aggregate queries/second per protocol. The 1-client row is
+// the serial baseline; the speedup of the wider rows is what the engine's
+// Submit pipelining buys the deployment.
+//
+//   bench_serving [--json [path]]     # JSON lands in BENCH_PR3.json
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/socket.h"
+#include "serve/query_service.h"
+#include "serve/remote_query_client.h"
+
+namespace sknn {
+namespace bench {
+namespace {
+
+struct ServingStack {
+  std::unique_ptr<SknnEngine> local;  // keys + encrypted db come from here
+  std::unique_ptr<C2Service> c2;
+  std::unique_ptr<RpcServer> c2_server;
+  std::unique_ptr<SknnEngine> engine;
+  std::unique_ptr<QueryService> service;
+  PlainRecord query;
+
+  ServingStack() = default;
+  ServingStack(ServingStack&&) = default;
+  ServingStack& operator=(ServingStack&&) = default;
+  ~ServingStack() {
+    if (service != nullptr) service->Shutdown();
+  }
+};
+
+ServingStack MakeStack(std::size_t n, std::size_t m, unsigned l,
+                       unsigned key_bits, std::size_t threads) {
+  ServingStack stack;
+  EngineSetup setup = MakeEngine(n, m, l, key_bits, threads, /*seed=*/77);
+  stack.local = std::move(setup.engine);
+  stack.query = std::move(setup.query);
+
+  stack.c2 = std::make_unique<C2Service>(
+      PaillierSecretKey(stack.local->c2_service().secret_key()));
+  stack.c2->EnableIntraMessageParallelism(threads);
+  stack.c2->EnableRandomizerPool(/*capacity=*/1024,
+                                 std::max<std::size_t>(1, threads / 2));
+  auto listener = TcpListener::Bind(0);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n",
+                 listener.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::thread accepter([&] {
+    auto accepted = listener->Accept();
+    if (!accepted.ok()) std::exit(1);
+    C2Service* c2_raw = stack.c2.get();
+    stack.c2_server = std::make_unique<RpcServer>(
+        std::move(accepted).value(),
+        [c2_raw](const Message& req) { return c2_raw->Handle(req); },
+        threads);
+  });
+  auto link = ConnectTcp("127.0.0.1", listener->port());
+  accepter.join();
+  if (!link.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 link.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  SknnEngine::Options options;
+  options.c1_threads = threads;
+  auto engine = SknnEngine::CreateWithRemoteC2(
+      stack.local->public_key(), EncryptedDatabase(stack.local->database()),
+      std::move(link).value(), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "remote engine setup failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  stack.engine = std::move(engine).value();
+
+  QueryService::Options service_options;
+  service_options.max_in_flight = 16;
+  stack.service =
+      std::make_unique<QueryService>(stack.engine.get(), service_options);
+  if (Status s = stack.service->Start(0); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return stack;
+}
+
+struct Point {
+  std::size_t clients = 0;
+  std::size_t queries = 0;
+  double seconds = 0;
+};
+
+Point DriveClients(ServingStack& stack, std::size_t num_clients,
+                   std::size_t total_queries, QueryProtocol protocol) {
+  QueryRequest request;
+  request.record = stack.query;
+  request.protocol = protocol;
+  request.k = 2;
+  Stopwatch watch;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    std::size_t share = total_queries / num_clients +
+                        (c < total_queries % num_clients ? 1 : 0);
+    clients.emplace_back([&, share] {
+      auto client =
+          RemoteQueryClient::Connect("127.0.0.1", stack.service->port());
+      if (!client.ok()) std::exit(1);
+      for (std::size_t q = 0; q < share; ++q) {
+        auto response = (*client)->Query(request);
+        if (!response.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       response.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  return {num_clients, total_queries, watch.ElapsedSeconds()};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sknn
+
+int main(int argc, char** argv) {
+  using namespace sknn;
+  using namespace sknn::bench;
+  std::string json_path;
+  const bool emit_json = ConsumeJsonFlag(&argc, argv, &json_path);
+
+  const unsigned key_bits = PaperScale() ? 512 : 256;
+  const std::size_t n = PaperScale() ? 64 : 16;
+  const std::size_t m = 2;
+  const unsigned l = 8;
+  const std::size_t threads = std::min<std::size_t>(4, BenchThreads());
+  const std::vector<std::size_t> client_grid = {1, 4, 8};
+
+  PrintHeader("serving", "thin-client throughput vs concurrency",
+              "thin client -> QueryService -> engine -> remote C2 (loopback)");
+  ServingStack stack = MakeStack(n, m, l, key_bits, threads);
+
+  // Sanity: the served path answers exactly like the local engine.
+  {
+    QueryRequest request;
+    request.record = stack.query;
+    request.k = 2;
+    request.protocol = QueryProtocol::kBasic;
+    auto local = stack.local->Query(request);
+    auto client =
+        RemoteQueryClient::Connect("127.0.0.1", stack.service->port());
+    if (!client.ok()) return 1;
+    auto remote = (*client)->Query(request);
+    if (!local.ok() || !remote.ok() || local->records != remote->records) {
+      std::fprintf(stderr, "served result does not match local engine\n");
+      return 1;
+    }
+  }
+
+  struct Series {
+    const char* name;
+    QueryProtocol protocol;
+    std::size_t total_queries;
+    std::vector<Point> points;
+  };
+  std::vector<Series> all = {
+      {"basic", QueryProtocol::kBasic, std::size_t{16}, {}},
+      {"secure", QueryProtocol::kSecure, std::size_t{8}, {}},
+  };
+  for (auto& series : all) {
+    std::printf("# protocol=%s  queries=%zu\n", series.name,
+                series.total_queries);
+    std::printf("%-8s %-10s %-10s %-8s\n", "clients", "seconds", "qps",
+                "speedup");
+    double serial_seconds = 0;
+    for (std::size_t clients : client_grid) {
+      Point point =
+          DriveClients(stack, clients, series.total_queries, series.protocol);
+      if (clients == 1) serial_seconds = point.seconds;
+      series.points.push_back(point);
+      std::printf("%-8zu %-10.3f %-10.2f %-8.2f\n", point.clients,
+                  point.seconds, point.queries / point.seconds,
+                  serial_seconds / point.seconds);
+    }
+  }
+
+  if (emit_json) {
+    std::ostringstream os;
+    os << "{\n    \"key_bits\": " << key_bits << ", \"n\": " << n
+       << ", \"m\": " << m << ", \"l\": " << l
+       << ", \"c1_threads\": " << threads;
+    for (const auto& series : all) {
+      os << ",\n    \"" << series.name << "\": [";
+      for (std::size_t i = 0; i < series.points.size(); ++i) {
+        const Point& point = series.points[i];
+        os << (i ? ", " : "") << "{\"clients\": " << point.clients
+           << ", \"queries\": " << point.queries
+           << ", \"seconds\": " << point.seconds
+           << ", \"qps\": " << point.queries / point.seconds << "}";
+      }
+      os << "]";
+    }
+    os << "\n  }";
+    MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR3.json"), "serving",
+                     os.str());
+  }
+  return 0;
+}

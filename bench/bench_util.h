@@ -40,16 +40,45 @@ inline bool ConsumeFlag(int* argc, char** argv, const char* flag) {
   return false;
 }
 
-/// \brief The machine-readable benchmark artifact this repo's perf
-/// trajectory is tracked in (written at the repo root when benches run from
-/// a build/ subdirectory, else in the working directory).
-inline std::string BenchJsonPath() {
+/// \brief Consumes "--json [path]" / "--json=path" from the args (so
+/// downstream parsers never see it). Returns true if the flag was present;
+/// `*path` receives the explicit path when one was given and is left
+/// untouched otherwise (BenchJsonPath then falls back to the environment /
+/// location heuristic).
+inline bool ConsumeJsonFlag(int* argc, char** argv, std::string* path) {
+  for (int i = 1; i < *argc; ++i) {
+    int remove = 0;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      *path = argv[i] + 7;
+      remove = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      remove = 1;
+      if (i + 1 < *argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        *path = argv[i + 1];
+        remove = 2;
+      }
+    }
+    if (remove == 0) continue;
+    for (int j = i; j + remove < *argc; ++j) argv[j] = argv[j + remove];
+    *argc -= remove;
+    return true;
+  }
+  return false;
+}
+
+/// \brief Where a bench writes its machine-readable artifact: the explicit
+/// `--json <path>` value when given, else $SKNN_BENCH_JSON, else
+/// `default_name` at the repo root (when running from a build/
+/// subdirectory) or in the working directory.
+inline std::string BenchJsonPath(const std::string& explicit_path,
+                                 const char* default_name) {
+  if (!explicit_path.empty()) return explicit_path;
   const char* env = std::getenv("SKNN_BENCH_JSON");
   if (env != nullptr && *env != '\0') return env;
   // Heuristic: benches are usually run from build/; the artifact belongs
   // next to the sources.
   std::ifstream probe("../CMakeLists.txt");
-  return probe.good() ? "../BENCH_PR2.json" : "BENCH_PR2.json";
+  return probe.good() ? std::string("../") + default_name : default_name;
 }
 
 /// \brief Replaces (or adds) the top-level member `section` of the JSON

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Out-of-process smoke of the four-binary serving deployment
+# (docs/DEPLOY.md): keygen -> encrypt -> sknn_c2_server -> sknn_c1_server ->
+# concurrent thin clients, every answer diffed against the plaintext oracle.
+#
+#   scripts/smoke_deploy.sh [build-dir]     # default: build
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+BIN=$(cd "$BUILD_DIR" && pwd)
+WORK=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046  # word splitting wanted: one pid per argument
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# A distinct-distance table: answers are deterministic for every protocol,
+# so the secure results must match the plaintext oracle exactly.
+cat > "$WORK/table.csv" <<EOF
+0,0
+1,0
+2,0
+3,0
+4,0
+5,0
+EOF
+# Queries on or beyond the table edge keep all squared distances distinct.
+QUERIES=("0,0" "5,0" "7,1")
+
+echo "== Alice: keygen + encrypt =="
+"$BIN/sknn_keygen" --bits 512 --public "$WORK/pk.txt" --secret "$WORK/sk.txt"
+"$BIN/sknn_encrypt" --public "$WORK/pk.txt" --csv "$WORK/table.csv" \
+  --attr-bits 3 --out "$WORK/db.bin"
+
+wait_for_port() { # logfile -> port printed as "serving on 127.0.0.1:PORT"
+  local log=$1 port=""
+  for _ in $(seq 100); do
+    port=$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)
+    [ -n "$port" ] && { echo "$port"; return 0; }
+    sleep 0.1
+  done
+  echo "timed out waiting for server port in $log" >&2
+  return 1
+}
+
+echo "== C2: key holder =="
+"$BIN/sknn_c2_server" --secret "$WORK/sk.txt" --port 0 --workers 2 \
+  --pool-capacity 256 --connections 1 > "$WORK/c2.log" 2>&1 &
+C2_PID=$!
+C2_PORT=$(wait_for_port "$WORK/c2.log")
+
+echo "== C1: query front end =="
+N_QUERIES=$((2 * ${#QUERIES[@]} + 1)) # basic+secure per query, one farthest
+"$BIN/sknn_c1_server" --public "$WORK/pk.txt" --db "$WORK/db.bin" --port 0 \
+  --c2-host 127.0.0.1 --c2-port "$C2_PORT" --threads 2 --max-in-flight 8 \
+  --queries "$N_QUERIES" > "$WORK/c1.log" 2>&1 &
+C1_PID=$!
+C1_PORT=$(wait_for_port "$WORK/c1.log")
+
+echo "== Bob x $N_QUERIES: concurrent thin clients =="
+CLIENT_PIDS=()
+for q in "${QUERIES[@]}"; do
+  for proto in basic secure; do
+    "$BIN/sknn_query" --host 127.0.0.1 --port "$C1_PORT" --query "$q" \
+      --k 2 --protocol "$proto" > "$WORK/out_${proto}_${q//,/_}" 2>>"$WORK/clients.log" &
+    CLIENT_PIDS+=($!)
+  done
+done
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1_PORT" --query "0,0" \
+  --k 2 --protocol farthest > "$WORK/out_farthest_0_0" 2>>"$WORK/clients.log" &
+CLIENT_PIDS+=($!)
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || { echo "a thin client failed:"; cat "$WORK/clients.log"; exit 1; }
+done
+
+echo "== diff against the plaintext oracle =="
+for q in "${QUERIES[@]}"; do
+  "$BIN/sknn_plain_knn" --csv "$WORK/table.csv" --query "$q" --k 2 > "$WORK/want"
+  for proto in basic secure; do
+    tail -n +2 "$WORK/out_${proto}_${q//,/_}" > "$WORK/got"
+    diff -u "$WORK/want" "$WORK/got" || {
+      echo "MISMATCH: $proto query=$q"; exit 1; }
+  done
+done
+"$BIN/sknn_plain_knn" --csv "$WORK/table.csv" --query "0,0" --k 2 --farthest \
+  > "$WORK/want"
+tail -n +2 "$WORK/out_farthest_0_0" > "$WORK/got"
+diff -u "$WORK/want" "$WORK/got" || { echo "MISMATCH: farthest query=0,0"; exit 1; }
+
+wait "$C1_PID"
+wait "$C2_PID"
+echo "smoke deploy OK: $N_QUERIES concurrent queries match the plaintext oracle"

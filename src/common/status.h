@@ -22,6 +22,10 @@ enum class StatusCode {
   kCryptoError,
   kIoError,
   kNotFound,
+  /// A bounded resource (e.g. a serving front end's in-flight admission
+  /// budget) is full; the request was rejected, not failed — retrying later
+  /// is expected to succeed.
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -61,6 +65,9 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "bigint/random.h"
 #include "common/stopwatch.h"
 #include "core/data_owner.h"
 #include "proto/query_meter.h"
@@ -52,12 +53,6 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
   engine->pk_ = pk;
   engine->db_ = std::move(db);
 
-  // Attribute domain implied by the database; request validation holds
-  // queries to this bound so the protocols' distance-domain guarantee
-  // survives any query.
-  engine->attr_bits_ = DataOwner::ImpliedAttrBits(
-      engine->db_.num_attributes(), engine->db_.distance_bits);
-
   // Outsourcing split: Epk(T) is C1's copy; sk goes to C2.
   engine->c2_ = std::make_unique<C2Service>(std::move(sk));
   engine->c2_->set_record_views(options.record_c2_views);
@@ -73,28 +68,78 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
       options.c2_threads);
   engine->client_ = std::make_unique<RpcClient>(std::move(link.a));
 
-  if (options.c1_threads > 1) {
-    engine->c1_pool_ = std::make_unique<ThreadPool>(options.c1_threads);
+  engine->InitCommon();
+  return engine;
+}
+
+Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateWithRemoteC2(
+    const PaillierPublicKey& pk, EncryptedDatabase db,
+    std::unique_ptr<Endpoint> c2_link, const Options& options) {
+  if (db.records.empty() || db.distance_bits == 0) {
+    return Status::InvalidArgument("CreateWithRemoteC2: empty database");
+  }
+  if (c2_link == nullptr) {
+    return Status::InvalidArgument("CreateWithRemoteC2: null C2 link");
+  }
+  auto engine = std::unique_ptr<SknnEngine>(new SknnEngine());
+  engine->options_ = options;
+  engine->pk_ = pk;
+  engine->db_ = std::move(db);
+  engine->client_ = std::make_unique<RpcClient>(std::move(c2_link));
+
+  // Many front ends may share one C2 server; a random non-zero id base
+  // keeps their per-query state (Bob outbox buckets, op ledger entries)
+  // disjoint. The in-process engine counts from 1 — it owns its C2.
+  uint64_t id_base = 0;
+  while (id_base == 0) {
+    id_base = Random::ThreadLocal().UniformUint64(UINT64_MAX);
+  }
+  engine->next_query_id_.store(id_base);
+
+  engine->InitCommon();
+
+  // Fail fast on a dead or mismatched link instead of on the first query.
+  Message ping;
+  ping.type = OpCode(Op::kPing);
+  SKNN_ASSIGN_OR_RETURN(Message pong, engine->client_->Call(std::move(ping)));
+  if (pong.type != OpCode(Op::kPing)) {
+    return Status::ProtocolError(
+        "CreateWithRemoteC2: peer did not answer ping (not a C2 server?)");
+  }
+  return engine;
+}
+
+void SknnEngine::InitCommon() {
+  // Attribute domain implied by the database; request validation holds
+  // queries to this bound so the protocols' distance-domain guarantee
+  // survives any query.
+  attr_bits_ =
+      DataOwner::ImpliedAttrBits(db_.num_attributes(), db_.distance_bits);
+
+  if (options_.c1_threads > 1) {
+    c1_pool_ = std::make_unique<ThreadPool>(options_.c1_threads);
   }
   // Bob's client copies the key BEFORE any pool is attached: the end user
   // pays the paper's unamortized encryption cost (the "4 ms / 17 ms"
   // bob_seconds numbers) and never draws from the clouds' stock.
-  engine->bob_ = std::make_unique<QueryClient>(engine->pk_);
+  bob_ = std::make_unique<QueryClient>(pk_);
 
   // Hot path (PR 2): intra-message fan-out at C2 for the vectorized wire
   // forms, and per-cloud randomizer precomputation so online encryptions
   // cost a modmul. Both compose with the per-query-id demux — pools are
-  // engine-wide, attribution stays per query.
-  if (options.c2_threads > 1) {
-    engine->c2_->EnableIntraMessageParallelism(options.c2_threads);
+  // engine-wide, attribution stays per query. A remote C2 configures its
+  // own pools (sknn_c2_server --workers / --pool-capacity).
+  if (c2_ != nullptr && options_.c2_threads > 1) {
+    c2_->EnableIntraMessageParallelism(options_.c2_threads);
   }
-  if (options.randomizer_pool) {
-    engine->c1_rand_pool_ = std::make_unique<RandomizerPool>(
-        engine->pk_.n(), options.randomizer_pool_capacity);
-    engine->pk_.set_randomizer_pool(engine->c1_rand_pool_.get());
-    engine->c2_->EnableRandomizerPool(options.randomizer_pool_capacity);
+  if (options_.randomizer_pool) {
+    c1_rand_pool_ = std::make_unique<RandomizerPool>(
+        pk_.n(), options_.randomizer_pool_capacity);
+    pk_.set_randomizer_pool(c1_rand_pool_.get());
+    if (c2_ != nullptr) {
+      c2_->EnableRandomizerPool(options_.randomizer_pool_capacity);
+    }
   }
-  return engine;
 }
 
 SknnEngine::~SknnEngine() {
@@ -161,6 +206,24 @@ Result<CloudQueryOutput> SknnEngine::Dispatch(
                   request.want_breakdown ? breakdown : nullptr, opts);
 }
 
+Result<std::vector<BigInt>> SknnEngine::TakeC2Outbox(ProtoContext& ctx,
+                                                     uint64_t query_id) {
+  if (c2_ != nullptr) return c2_->TakeBobOutbox(query_id);
+  // Remote C2: a tagged fetch over the link. In the serving topology the
+  // front end unmasks on Bob's behalf (it already holds his masks), so this
+  // leg rides C1's connection; see docs/DEPLOY.md for the trust model.
+  SKNN_ASSIGN_OR_RETURN(Message resp, ctx.Call(Op::kFetchBobOutbox, {}));
+  return std::move(resp.ints);
+}
+
+OpSnapshot SknnEngine::TakeC2QueryOps(ProtoContext& ctx, uint64_t query_id) {
+  if (c2_ != nullptr) return c2_->TakeQueryOps(query_id);
+  auto resp = ctx.Call(Op::kFetchQueryOps, {});
+  if (!resp.ok() || resp->aux.size() < 32) return {};
+  return {resp->AuxU64At(0), resp->AuxU64At(8), resp->AuxU64At(16),
+          resp->AuxU64At(24)};
+}
+
 Result<QueryResponse> SknnEngine::ExecuteQuery(const QueryRequest& request) {
   SKNN_RETURN_NOT_OK(ValidateRequest(request));
   const uint64_t query_id = next_query_id_.fetch_add(1);
@@ -183,19 +246,31 @@ Result<QueryResponse> SknnEngine::ExecuteQuery(const QueryRequest& request) {
     cloud = Dispatch(ctx, request, enc_query, &response.breakdown);
     response.cloud_seconds = cloud_watch.ElapsedSeconds();
   }
-  OpSnapshot c2_ops = c2_->TakeQueryOps(query_id);
   if (!cloud.ok()) {
-    (void)c2_->TakeBobOutbox(query_id);  // drop any partial result
+    // Drop any partial result and drain the ledger entry. Best-effort for a
+    // remote C2 (whose ledger is FIFO-bounded anyway) — the protocol error
+    // is what the caller needs to see, not a cleanup failure.
+    (void)TakeC2Outbox(ctx, query_id);
+    if (c2_ != nullptr) (void)c2_->TakeQueryOps(query_id);
     return cloud.status();
+  }
+
+  // Bob: combine C2's decrypted masked records with C1's masks. The outbox
+  // bucket is keyed by query id, so concurrent queries cannot interleave.
+  SKNN_ASSIGN_OR_RETURN(std::vector<BigInt> from_c2,
+                        TakeC2Outbox(ctx, query_id));
+  // The ops fetch costs a round trip against a remote C2, so only pay it
+  // when the caller asked; the local ledger is always drained (hygiene).
+  OpSnapshot c2_ops;
+  if (request.want_op_counts) {
+    c2_ops = TakeC2QueryOps(ctx, query_id);
+  } else if (c2_ != nullptr) {
+    (void)c2_->TakeQueryOps(query_id);
   }
   response.traffic = meter.traffic();
   if (request.want_op_counts) {
     response.ops = meter.ops().snapshot() + c2_ops;
   }
-
-  // Bob: combine C2's decrypted masked records with C1's masks. The outbox
-  // bucket is keyed by query id, so concurrent queries cannot interleave.
-  std::vector<BigInt> from_c2 = c2_->TakeBobOutbox(query_id);
   bob_watch.Reset();
   SKNN_ASSIGN_OR_RETURN(
       response.records,

@@ -88,6 +88,26 @@ class SknnEngine {
       const PaillierPublicKey& pk, PaillierSecretKey sk, EncryptedDatabase db,
       const Options& options);
 
+  /// \brief Assembles a C1-only engine: the key holder C2 lives behind
+  /// `c2_link` (typically a TCP connection to a standalone sknn_c2_server;
+  /// any Endpoint works) instead of in-process. This is the construction
+  /// path of the serving deployment (tools/sknn_c1_server): one standing
+  /// engine instance holds pk + Epk(T) and drives the protocols over the
+  /// link, while thin clients talk to it through serve/QueryService.
+  ///
+  /// Identical query semantics to the in-process engine — the Bob outbox and
+  /// the C2 op ledger are fetched over the wire (kFetchBobOutbox /
+  /// kFetchQueryOps) instead of by direct call, and both fetches are tagged
+  /// with the query id, so many front ends may share one C2. The query-id
+  /// space is seeded randomly per engine to keep concurrent front ends
+  /// disjoint. Options that configure the in-process C2 (c2_threads,
+  /// record_c2_views, c1_c2_latency) are ignored: the remote server owns its
+  /// own parallelism and the WAN is real. Fails fast (ping) if the link is
+  /// dead.
+  static Result<std::unique_ptr<SknnEngine>> CreateWithRemoteC2(
+      const PaillierPublicKey& pk, EncryptedDatabase db,
+      std::unique_ptr<Endpoint> c2_link, const Options& options);
+
   ~SknnEngine();
 
   /// \brief Runs one request synchronously on the calling thread — the one
@@ -117,7 +137,12 @@ class SknnEngine {
   /// \brief Attribute domain bound: valid values are [0, 2^attr_bits()).
   unsigned attr_bits() const { return attr_bits_; }
 
-  /// \brief C2 instrumentation hooks (security tests).
+  /// \brief True when C2 runs in-process (Create / CreateFromParts); false
+  /// for a CreateWithRemoteC2 engine, whose C2 is on the far side of a link.
+  bool has_local_c2() const { return c2_ != nullptr; }
+
+  /// \brief C2 instrumentation hooks (security tests). Only valid when
+  /// has_local_c2().
   C2Service& c2_service() { return *c2_; }
 
  private:
@@ -137,6 +162,19 @@ class SknnEngine {
                                     const std::vector<Ciphertext>& enc_query,
                                     SkNNmBreakdown* breakdown);
   void SchedulerLoop();
+
+  /// \brief The construction tail shared by every factory: attribute domain,
+  /// C1 pool, Bob's client, and the C1-side randomizer pool (plus the
+  /// in-process C2's pools when one exists).
+  void InitCommon();
+  /// \brief One query's Bob-bound records — direct call for the in-process
+  /// C2, a tagged kFetchBobOutbox exchange (metered through `ctx`) for a
+  /// remote one.
+  Result<std::vector<BigInt>> TakeC2Outbox(ProtoContext& ctx,
+                                           uint64_t query_id);
+  /// \brief One query's C2-side Paillier ledger entry; zeros if the remote
+  /// fetch fails (instrumentation is best-effort, results are not).
+  OpSnapshot TakeC2QueryOps(ProtoContext& ctx, uint64_t query_id);
 
   Options options_;
   unsigned attr_bits_ = 0;

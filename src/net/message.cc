@@ -51,6 +51,16 @@ uint32_t Message::AuxU32At(std::size_t offset) const {
   return v;
 }
 
+void Message::AppendAuxU64(uint64_t v) { PutU64(aux, v); }
+
+uint64_t Message::AuxU64At(std::size_t offset) const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(aux[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
 std::size_t Message::WireSize() const {
   std::size_t size = 2 + 8 + 8 + 4 + 4 + aux.size();
   for (const auto& v : ints) {

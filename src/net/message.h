@@ -37,6 +37,12 @@ struct Message {
   /// \brief Reads the little-endian u32 at aux[offset..offset+4). The caller
   /// must have validated aux.size().
   uint32_t AuxU32At(std::size_t offset) const;
+
+  /// \brief Little-endian u64 aux accessors — the front-end frames
+  /// (net/query_wire.h) carry record attributes, counters and f64 bit
+  /// patterns this wide.
+  void AppendAuxU64(uint64_t v);
+  uint64_t AuxU64At(std::size_t offset) const;
 };
 
 /// \brief Wire format:

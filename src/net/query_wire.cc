@@ -1,0 +1,168 @@
+#include "net/query_wire.h"
+
+#include <bit>
+#include <string>
+
+namespace sknn {
+namespace {
+
+constexpr uint32_t kFlagBreakdown = 1;
+constexpr uint32_t kFlagOpCounts = 2;
+
+void AppendF64(Message& msg, double v) {
+  msg.AppendAuxU64(std::bit_cast<uint64_t>(v));
+}
+
+double F64At(const Message& msg, std::size_t offset) {
+  return std::bit_cast<double>(msg.AuxU64At(offset));
+}
+
+Status BadFrame(const char* what) {
+  return Status::ProtocolError(std::string("front-end frame: ") + what);
+}
+
+}  // namespace
+
+Message EncodeQueryRequest(const QueryRequest& request) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kQuery);
+  msg.AppendAuxU32(request.k);
+  msg.AppendAuxU32(static_cast<uint32_t>(request.protocol));
+  msg.AppendAuxU32((request.want_breakdown ? kFlagBreakdown : 0) |
+                   (request.want_op_counts ? kFlagOpCounts : 0));
+  msg.AppendAuxU32(static_cast<uint32_t>(request.record.size()));
+  for (int64_t v : request.record) {
+    msg.AppendAuxU64(static_cast<uint64_t>(v));
+  }
+  return msg;
+}
+
+Result<QueryRequest> DecodeQueryRequest(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kQuery)) {
+    return BadFrame("not a kQuery frame");
+  }
+  if (msg.aux.size() < 16) return BadFrame("truncated kQuery header");
+  QueryRequest request;
+  request.k = msg.AuxU32At(0);
+  const uint32_t protocol = msg.AuxU32At(4);
+  if (protocol > static_cast<uint32_t>(QueryProtocol::kFarthest)) {
+    return BadFrame("unknown protocol");
+  }
+  request.protocol = static_cast<QueryProtocol>(protocol);
+  const uint32_t flags = msg.AuxU32At(8);
+  request.want_breakdown = (flags & kFlagBreakdown) != 0;
+  request.want_op_counts = (flags & kFlagOpCounts) != 0;
+  const uint32_t m = msg.AuxU32At(12);
+  if (msg.aux.size() != 16 + std::size_t{m} * 8) {
+    return BadFrame("kQuery geometry mismatch");
+  }
+  request.record.reserve(m);
+  for (uint32_t j = 0; j < m; ++j) {
+    request.record.push_back(
+        static_cast<int64_t>(msg.AuxU64At(16 + std::size_t{j} * 8)));
+  }
+  return request;
+}
+
+Message EncodeQueryResponse(const QueryResponse& response) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kQueryResult);
+  const std::size_t rows = response.records.size();
+  const std::size_t cols = rows == 0 ? 0 : response.records[0].size();
+  msg.AppendAuxU32(static_cast<uint32_t>(rows));
+  msg.AppendAuxU32(static_cast<uint32_t>(cols));
+  for (const auto& row : response.records) {
+    for (int64_t v : row) msg.AppendAuxU64(static_cast<uint64_t>(v));
+  }
+  AppendF64(msg, response.bob_seconds);
+  AppendF64(msg, response.cloud_seconds);
+  msg.AppendAuxU64(response.traffic.frames_a_to_b);
+  msg.AppendAuxU64(response.traffic.bytes_a_to_b);
+  msg.AppendAuxU64(response.traffic.frames_b_to_a);
+  msg.AppendAuxU64(response.traffic.bytes_b_to_a);
+  msg.AppendAuxU64(response.ops.encryptions);
+  msg.AppendAuxU64(response.ops.decryptions);
+  msg.AppendAuxU64(response.ops.exponentiations);
+  msg.AppendAuxU64(response.ops.multiplications);
+  AppendF64(msg, response.breakdown.ssed_seconds);
+  AppendF64(msg, response.breakdown.sbd_seconds);
+  AppendF64(msg, response.breakdown.sminn_seconds);
+  AppendF64(msg, response.breakdown.extract_seconds);
+  AppendF64(msg, response.breakdown.update_seconds);
+  AppendF64(msg, response.breakdown.finalize_seconds);
+  return msg;
+}
+
+Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kQueryResult)) {
+    return BadFrame("not a kQueryResult frame");
+  }
+  if (msg.aux.size() < 8) return BadFrame("truncated kQueryResult header");
+  const std::size_t rows = msg.AuxU32At(0);
+  const std::size_t cols = msg.AuxU32At(4);
+  // Bound the claimed geometry BEFORE arithmetic: unchecked u32 dimensions
+  // could overflow `expected` into a small value and defeat the size check,
+  // turning a hostile frame into a huge out-of-bounds read below.
+  constexpr std::size_t kMaxDim = std::size_t{1} << 20;
+  if (rows > kMaxDim || cols > kMaxDim) {
+    return BadFrame("kQueryResult geometry implausible");
+  }
+  // Records, two timings, 4 traffic counters, 4 op counters, 6 phases.
+  const std::size_t expected = 8 + (rows * cols + 2 + 4 + 4 + 6) * 8;
+  if (msg.aux.size() != expected) {
+    return BadFrame("kQueryResult geometry mismatch");
+  }
+  QueryResponse response;
+  std::size_t at = 8;
+  response.records.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    PlainRecord row;
+    row.reserve(cols);
+    for (std::size_t j = 0; j < cols; ++j, at += 8) {
+      row.push_back(static_cast<int64_t>(msg.AuxU64At(at)));
+    }
+    response.records.push_back(std::move(row));
+  }
+  response.bob_seconds = F64At(msg, at);
+  response.cloud_seconds = F64At(msg, at + 8);
+  response.traffic.frames_a_to_b = msg.AuxU64At(at + 16);
+  response.traffic.bytes_a_to_b = msg.AuxU64At(at + 24);
+  response.traffic.frames_b_to_a = msg.AuxU64At(at + 32);
+  response.traffic.bytes_b_to_a = msg.AuxU64At(at + 40);
+  response.ops.encryptions = msg.AuxU64At(at + 48);
+  response.ops.decryptions = msg.AuxU64At(at + 56);
+  response.ops.exponentiations = msg.AuxU64At(at + 64);
+  response.ops.multiplications = msg.AuxU64At(at + 72);
+  response.breakdown.ssed_seconds = F64At(msg, at + 80);
+  response.breakdown.sbd_seconds = F64At(msg, at + 88);
+  response.breakdown.sminn_seconds = F64At(msg, at + 96);
+  response.breakdown.extract_seconds = F64At(msg, at + 104);
+  response.breakdown.update_seconds = F64At(msg, at + 112);
+  response.breakdown.finalize_seconds = F64At(msg, at + 120);
+  return response;
+}
+
+Message EncodeQueryError(const Status& status) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kQueryError);
+  msg.AppendAuxU32(static_cast<uint32_t>(status.code()));
+  const std::string& text = status.message();
+  msg.aux.insert(msg.aux.end(), text.begin(), text.end());
+  return msg;
+}
+
+Status DecodeQueryError(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kQueryError) ||
+      msg.aux.size() < 4) {
+    return BadFrame("malformed kQueryError frame");
+  }
+  const uint32_t code = msg.AuxU32At(0);
+  if (code == 0 ||
+      code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+    return BadFrame("kQueryError carries an unknown status code");
+  }
+  return Status(static_cast<StatusCode>(code),
+                std::string(msg.aux.begin() + 4, msg.aux.end()));
+}
+
+}  // namespace sknn

@@ -1,0 +1,56 @@
+// Front-end wire frames: QueryRequest/QueryResponse as Messages.
+//
+// The serving topology (docs/DEPLOY.md) splits Bob from C1: a thin client
+// sends one kQuery frame to the standing C1 query front end
+// (serve/query_service.h) and gets back either a kQueryResult carrying the
+// records plus the full instrumentation payload (timings, traffic, ops,
+// breakdown) or a kQueryError carrying a real Status — code and message —
+// so callers can distinguish "retry later" (ResourceExhausted backpressure)
+// from "fix your request" (InvalidArgument/OutOfRange).
+//
+// Frames ride the existing Message/WireCodec/Endpoint stack, so the client
+// <-> front-end link reuses RpcClient/RpcServer unchanged (correlation-id
+// demux, length-prefixed framing) over TCP or the in-memory channel. The
+// FrontendOp opcode space is disjoint from the C1<->C2 Op space: a frame
+// from the wrong link is rejected, never misinterpreted.
+#ifndef SKNN_NET_QUERY_WIRE_H_
+#define SKNN_NET_QUERY_WIRE_H_
+
+#include "core/query_api.h"
+#include "net/message.h"
+
+namespace sknn {
+
+enum class FrontendOp : uint16_t {
+  /// One Bob query. aux = [k:u32][protocol:u32][flags:u32][m:u32][m x i64],
+  /// flags bit 0 = want_breakdown, bit 1 = want_op_counts; attributes as
+  /// two's-complement little-endian u64 (requests are validated server-side,
+  /// so out-of-domain values must survive the wire intact to be rejected
+  /// with a proper Status).
+  kQuery = 0x0101,
+  /// Success. aux = [rows:u32][cols:u32][rows*cols x i64]
+  /// [bob_seconds:f64][cloud_seconds:f64][traffic:4 x u64][ops:4 x u64]
+  /// [breakdown:6 x f64], f64 as IEEE-754 bit patterns in u64.
+  kQueryResult = 0x0102,
+  /// Failure. aux = [status code:u32][message bytes].
+  kQueryError = 0x0103,
+};
+
+inline uint16_t FrontendOpCode(FrontendOp op) {
+  return static_cast<uint16_t>(op);
+}
+
+Message EncodeQueryRequest(const QueryRequest& request);
+Result<QueryRequest> DecodeQueryRequest(const Message& msg);
+
+Message EncodeQueryResponse(const QueryResponse& response);
+Result<QueryResponse> DecodeQueryResponse(const Message& msg);
+
+/// \brief `status` must be an error; the code crosses the wire intact.
+Message EncodeQueryError(const Status& status);
+/// \brief The Status carried by a kQueryError frame (never OK).
+Status DecodeQueryError(const Message& msg);
+
+}  // namespace sknn
+
+#endif  // SKNN_NET_QUERY_WIRE_H_

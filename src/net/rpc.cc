@@ -113,6 +113,7 @@ void RpcServer::AcceptLoop() {
       HandleFrame(std::move(frame));
     }
   }
+  finished_.store(true, std::memory_order_release);
 }
 
 void RpcServer::HandleFrame(std::vector<uint8_t> frame) {

@@ -80,6 +80,11 @@ class RpcServer {
   /// Used by the standalone C2 server to serve a connection to completion.
   void WaitForClose();
 
+  /// \brief True once the peer has closed the link and the accept loop has
+  /// exited (queued pool work may still be draining). Lets a connection
+  /// manager (serve/QueryService) reap dead sessions without blocking.
+  bool Finished() const { return finished_.load(std::memory_order_acquire); }
+
  private:
   void AcceptLoop();
   void HandleFrame(std::vector<uint8_t> frame);
@@ -89,6 +94,7 @@ class RpcServer {
   std::unique_ptr<ThreadPool> pool_;  // null => handle inline
   std::thread accept_thread_;
   std::mutex send_mutex_;
+  std::atomic<bool> finished_{false};
 };
 
 }  // namespace sknn

@@ -7,8 +7,27 @@
 
 namespace sknn {
 
+namespace {
+
+/// Instrumentation/pickup opcodes perform no Paillier work of their own;
+/// attributing them would re-create a just-drained ledger entry.
+bool IsMetaOp(uint16_t type) {
+  switch (static_cast<Op>(type)) {
+    case Op::kPing:
+    case Op::kFetchBobOutbox:
+    case Op::kFetchQueryOps:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 Result<Message> C2Service::Handle(const Message& request) {
-  if (request.query_id == 0) return Dispatch(request);
+  if (request.query_id == 0 || IsMetaOp(request.type)) {
+    return Dispatch(request);
+  }
   // Attribute every Paillier operation this request causes to its query, so
   // C1 can report exact per-query cost even with many queries in flight.
   OpAccumulator local;
@@ -55,6 +74,18 @@ Result<Message> C2Service::Dispatch(const Message& request) {
       resp.type = OpCode(Op::kFetchBobOutbox);
       resp.ints = request.query_id != 0 ? TakeBobOutbox(request.query_id)
                                         : TakeBobOutbox();
+      return resp;
+    }
+    case Op::kFetchQueryOps: {
+      // A remote C1 front end collecting this query's C2-side Paillier cost
+      // (the in-process engine calls TakeQueryOps directly instead).
+      OpSnapshot ops = TakeQueryOps(request.query_id);
+      Message resp;
+      resp.type = OpCode(Op::kFetchQueryOps);
+      resp.AppendAuxU64(ops.encryptions);
+      resp.AppendAuxU64(ops.decryptions);
+      resp.AppendAuxU64(ops.exponentiations);
+      resp.AppendAuxU64(ops.multiplications);
       return resp;
     }
     default:
@@ -324,8 +355,19 @@ Result<Message> C2Service::HandleMaskedDecryptToBob(const Message& req) {
   for (const auto& v : decrypted) RecordView(Op::kMaskedDecryptToBob, v);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::vector<BigInt>& bucket = bob_outbox_[req.query_id];
-    for (auto& v : decrypted) bucket.push_back(std::move(v));
+    auto [it, inserted] = bob_outbox_.try_emplace(req.query_id);
+    for (auto& v : decrypted) it->second.push_back(std::move(v));
+    if (inserted) {
+      // Same FIFO bound as the op ledger: a front end that crashes between
+      // shipping the masked records and fetching them (or a dropped link on
+      // the best-effort error-path drain) must not leak its bucket on a
+      // long-running server forever. Drained buckets erase as no-ops.
+      outbox_order_.push_back(req.query_id);
+      while (outbox_order_.size() > kMaxLedgerEntries) {
+        bob_outbox_.erase(outbox_order_.front());
+        outbox_order_.pop_front();
+      }
+    }
   }
   Message resp;
   resp.type = OpCode(Op::kMaskedDecryptToBob);

@@ -108,8 +108,11 @@ class C2Service {
   bool record_views_ = false;
   std::vector<C2View> views_;
   /// Bob-bound plaintexts, keyed by the query id that produced them
-  /// (0 = untagged legacy traffic).
+  /// (0 = untagged legacy traffic). FIFO-bounded like the op ledger: a
+  /// front end that vanishes before fetching must not leak its bucket on a
+  /// standing server.
   std::map<uint64_t, std::vector<BigInt>> bob_outbox_;
+  std::deque<uint64_t> outbox_order_;
   /// Per-query operation accounting, FIFO-bounded so an abandoned query on
   /// a long-running server cannot leak ledger entries forever.
   static constexpr std::size_t kMaxLedgerEntries = 4096;

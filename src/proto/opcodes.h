@@ -71,6 +71,13 @@ enum class Op : uint16_t {
   /// Vectorized kSminPhase2Batch: one message per SMIN tournament level.
   kSminPhase2Vec = 12,
 
+  /// Drains C2's Paillier-operation ledger entry for the tagged query:
+  /// response aux = 4 little-endian u64 (encryptions, decryptions,
+  /// exponentiations, multiplications). Issued by a C1 front end running
+  /// against a REMOTE C2 (engine CreateWithRemoteC2) after the protocol
+  /// finishes, so QueryResponse::ops stays exact across process boundaries.
+  kFetchQueryOps = 13,
+
   /// Error response emitted by the RPC server (status text in aux).
   kError = 0xFFFF,
 };

@@ -1,0 +1,151 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sknn {
+
+QueryService::QueryService(SknnEngine* engine, const Options& options)
+    : engine_(engine), options_(options) {
+  if (options_.max_in_flight == 0) options_.max_in_flight = 1;
+  if (options_.connection_workers == 0) options_.connection_workers = 1;
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Status QueryService::Start(uint16_t port) {
+  if (listener_.has_value()) {
+    return Status::FailedPrecondition("QueryService: already started");
+  }
+  SKNN_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Bind(port));
+  port_ = listener.port();
+  listener_.emplace(std::move(listener));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryService::Shutdown() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listener_.has_value()) {
+    listener_->Close();
+    // shutdown() on the listening fd wakes a blocked accept() on Linux; a
+    // throwaway connection covers platforms where it does not.
+    if (auto kick = ConnectTcp("127.0.0.1", port_); kick.ok()) {
+      (*kick)->Close();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<RpcServer>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) session->Shutdown();
+  sessions.clear();  // destructors join the per-connection handlers
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t QueryService::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& session : sessions_) {
+    if (!session->Finished()) ++active;
+  }
+  return active;
+}
+
+void QueryService::AcceptLoop() {
+  for (;;) {
+    auto endpoint = listener_->Accept();
+    if (stopping_.load()) break;
+    if (!endpoint.ok()) {
+      // Transient accept failures (ECONNABORTED handshake resets, EMFILE
+      // under a connection burst, EINTR) must not kill the front end for
+      // good; pause briefly and keep accepting until Shutdown says stop.
+      SKNN_LOG(Warning) << "QueryService: accept failed: "
+                        << endpoint.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    // Reap sessions whose client already disconnected, so a long-running
+    // front end does not accumulate one dead RpcServer per past client.
+    // Destruction happens OUTSIDE the lock: a reaped session may still be
+    // joining a pool worker that is blocked in a multi-second query, and
+    // holding mutex_ across that would stall stats() and every completion
+    // count with it.
+    std::vector<std::unique_ptr<RpcServer>> dead;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto finished = std::stable_partition(
+          sessions_.begin(), sessions_.end(),
+          [](const std::unique_ptr<RpcServer>& s) { return !s->Finished(); });
+      for (auto it = finished; it != sessions_.end(); ++it) {
+        dead.push_back(std::move(*it));
+      }
+      sessions_.erase(finished, sessions_.end());
+      ++stats_.connections_accepted;
+      sessions_.push_back(std::make_unique<RpcServer>(
+          std::move(endpoint).value(),
+          [this](const Message& req) { return HandleFrame(req); },
+          options_.connection_workers));
+    }
+    dead.clear();
+  }
+}
+
+Message QueryService::Reject(const Status& status,
+                             uint64_t Stats::* counter) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++(stats_.*counter);
+  }
+  return EncodeQueryError(status);
+}
+
+Result<Message> QueryService::HandleFrame(const Message& request) {
+  Result<QueryRequest> decoded = DecodeQueryRequest(request);
+  if (!decoded.ok()) {
+    return Reject(decoded.status(), &Stats::queries_failed);
+  }
+  // Validate before admission: malformed requests must not consume slots,
+  // and their errors are not load signals.
+  if (Status valid = engine_->ValidateRequest(*decoded); !valid.ok()) {
+    return Reject(valid, &Stats::queries_failed);
+  }
+  std::size_t cur = in_flight_.load();
+  do {
+    if (cur >= options_.max_in_flight) {
+      return Reject(
+          Status::ResourceExhausted(
+              "QueryService: " + std::to_string(options_.max_in_flight) +
+              " queries in flight; retry"),
+          &Stats::queries_rejected);
+    }
+  } while (!in_flight_.compare_exchange_weak(cur, cur + 1));
+
+  Result<QueryResponse> response =
+      engine_->Submit(std::move(*decoded)).get();
+  in_flight_.fetch_sub(1);
+  if (!response.ok()) {
+    return Reject(response.status(), &Stats::queries_failed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.queries_completed;
+  }
+  return EncodeQueryResponse(*response);
+}
+
+}  // namespace sknn

@@ -1,0 +1,102 @@
+// QueryService — the standing C1 query front end.
+//
+// Accepts any number of thin-client connections (serve/remote_query_client.h
+// or any speaker of net/query_wire.h) on one TCP port, validates each
+// decoded QueryRequest up front, admits it under a bounded in-flight budget
+// — rejecting with StatusCode::kResourceExhausted once the budget is full,
+// so overload surfaces as an explicit retry signal instead of an unbounded
+// queue — and pipelines admitted requests through SknnEngine::Submit, where
+// up to Options::c1_threads of them execute concurrently over the shared C1
+// pool and the correlation-id RPC demux.
+//
+// One engine, many clients: this is the deployment split the paper implies
+// (Bob only encrypts and unmasks; here even that is delegated to the front
+// end, which acts as Bob's agent — see docs/DEPLOY.md for the trust model)
+// and the architecture every scaling step (caching, sharding, replication)
+// builds on.
+#ifndef SKNN_SERVE_QUERY_SERVICE_H_
+#define SKNN_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/query_wire.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+
+namespace sknn {
+
+class QueryService {
+ public:
+  struct Options {
+    /// Admission budget: how many decoded requests may be inside the engine
+    /// (scheduler queue + executing) at once. Requests arriving beyond it
+    /// are rejected with kResourceExhausted — backpressure the thin client
+    /// handles by retrying — instead of queueing without bound.
+    std::size_t max_in_flight = 8;
+    /// RPC worker threads per client connection (1 = requests on one
+    /// connection are answered one at a time; clients that pipeline many
+    /// concurrent calls over a single connection need more).
+    std::size_t connection_workers = 1;
+  };
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t queries_completed = 0;
+    uint64_t queries_failed = 0;    // engine/validation/decode errors
+    uint64_t queries_rejected = 0;  // backpressure (kResourceExhausted)
+  };
+
+  /// `engine` must outlive the service. Construction does not bind.
+  /// (No default for `options`: a nested class's member initializers cannot
+  /// feed a default argument inside the enclosing class.)
+  QueryService(SknnEngine* engine, const Options& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// \brief Binds `port` (0 = ephemeral; see port()) and starts accepting.
+  Status Start(uint16_t port);
+
+  /// \brief The bound port, valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  /// \brief Stops accepting, closes every client link, waits for in-flight
+  /// handlers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  Stats stats() const;
+
+  /// \brief Connections whose client has not yet disconnected. A graceful
+  /// drain (tools/sknn_c1_server --queries) waits for this to reach zero
+  /// before Shutdown: queries_completed is counted when the handler
+  /// finishes, a hair before the response frame hits the wire, so closing
+  /// on the counter alone could cut off the last client's answer.
+  std::size_t active_sessions() const;
+
+ private:
+  void AcceptLoop();
+  Result<Message> HandleFrame(const Message& request);
+  Message Reject(const Status& status, uint64_t Stats::* counter);
+
+  SknnEngine* engine_;
+  Options options_;
+  std::optional<TcpListener> listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> in_flight_{0};
+  mutable std::mutex mutex_;  // guards sessions_ and stats_
+  std::vector<std::unique_ptr<RpcServer>> sessions_;
+  Stats stats_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,30 @@
+#include "serve/remote_query_client.h"
+
+#include "net/query_wire.h"
+#include "net/socket.h"
+#include "proto/opcodes.h"
+
+namespace sknn {
+
+Result<std::unique_ptr<RemoteQueryClient>> RemoteQueryClient::Connect(
+    const std::string& host, uint16_t port) {
+  SKNN_ASSIGN_OR_RETURN(std::unique_ptr<SocketEndpoint> link,
+                        ConnectTcp(host, port));
+  return std::make_unique<RemoteQueryClient>(std::move(link));
+}
+
+Result<QueryResponse> RemoteQueryClient::Query(const QueryRequest& request) {
+  SKNN_ASSIGN_OR_RETURN(Message reply, rpc_.Call(EncodeQueryRequest(request)));
+  if (reply.type == FrontendOpCode(FrontendOp::kQueryError)) {
+    return DecodeQueryError(reply);
+  }
+  if (reply.type == OpCode(Op::kError)) {
+    // Transport-level error frame (handler crash path of the RPC server).
+    return Status::ProtocolError("front end error: " +
+                                 std::string(reply.aux.begin(),
+                                             reply.aux.end()));
+  }
+  return DecodeQueryResponse(reply);
+}
+
+}  // namespace sknn

@@ -1,0 +1,48 @@
+// RemoteQueryClient — the thin Bob of the serving deployment.
+//
+// Connects to a QueryService (tools/sknn_c1_server), sends one
+// plaintext-record QueryRequest per call and gets the QueryResponse back —
+// records plus the full per-query instrumentation — without ever loading
+// the encrypted database or driving the protocol itself. This is what lets
+// one standing front end serve many lightweight clients.
+//
+// Errors arrive as real Statuses: kResourceExhausted means the front end's
+// admission budget is full (back off and retry); kInvalidArgument /
+// kOutOfRange mean the request itself is wrong. Query() is thread-safe —
+// concurrent calls on one connection are demultiplexed by correlation id —
+// but the front end answers a connection's requests one at a time unless
+// its Options::connection_workers is raised.
+#ifndef SKNN_SERVE_REMOTE_QUERY_CLIENT_H_
+#define SKNN_SERVE_REMOTE_QUERY_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/query_api.h"
+#include "net/rpc.h"
+
+namespace sknn {
+
+class RemoteQueryClient {
+ public:
+  /// \brief Connects to a QueryService at host:port.
+  static Result<std::unique_ptr<RemoteQueryClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  /// \brief Wraps an already-connected link (tests: in-memory channel).
+  explicit RemoteQueryClient(std::unique_ptr<Endpoint> link)
+      : rpc_(std::move(link)) {}
+
+  /// \brief One query, one round trip.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// \brief Closes the connection; in-flight calls fail.
+  void Close() { rpc_.Shutdown(); }
+
+ private:
+  RpcClient rpc_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_SERVE_REMOTE_QUERY_CLIENT_H_

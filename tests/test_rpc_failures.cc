@@ -1,0 +1,150 @@
+// RPC failure-path coverage, parameterized over both transports the stack
+// runs on — the in-memory channel and a real loopback TcpSocket: client
+// shutdown with calls in flight, a handler returning an error Status, and
+// the peer disconnecting mid-call. A serving deployment lives or dies by
+// these paths; none of them may hang or crash.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "proto/context.h"
+
+namespace sknn {
+namespace {
+
+struct EndpointPair {
+  std::unique_ptr<Endpoint> client;
+  std::unique_ptr<Endpoint> server;
+};
+
+EndpointPair MakePair(bool tcp) {
+  if (!tcp) {
+    Channel::EndpointPair link = Channel::CreatePair();
+    return {std::move(link.a), std::move(link.b)};
+  }
+  auto listener = TcpListener::Bind(0);
+  EXPECT_TRUE(listener.ok()) << listener.status();
+  EndpointPair pair;
+  std::thread accepter([&] {
+    auto accepted = listener->Accept();
+    EXPECT_TRUE(accepted.ok()) << accepted.status();
+    pair.server = std::move(accepted).value();
+  });
+  auto connected = ConnectTcp("127.0.0.1", listener->port());
+  EXPECT_TRUE(connected.ok()) << connected.status();
+  pair.client = std::move(connected).value();
+  accepter.join();
+  return pair;
+}
+
+class RpcFailureTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(Transports, RpcFailureTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Tcp" : "Channel";
+                         });
+
+TEST_P(RpcFailureTest, ShutdownFailsCallsInFlight) {
+  EndpointPair pair = MakePair(GetParam());
+  // The handler stalls long enough that Shutdown() races ahead of any
+  // response; the blocked Call must fail, not hang.
+  RpcServer server(std::move(pair.server),
+                   [](const Message& req) -> Result<Message> {
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(400));
+                     Message resp;
+                     resp.type = req.type;
+                     return resp;
+                   });
+  RpcClient client(std::move(pair.client));
+
+  Result<Message> in_flight = Status::Internal("unset");
+  std::thread caller([&] {
+    Message req;
+    req.type = 7;
+    in_flight = client.Call(std::move(req));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.Shutdown();
+  caller.join();
+  EXPECT_FALSE(in_flight.ok());
+  EXPECT_EQ(in_flight.status().code(), StatusCode::kProtocolError);
+  EXPECT_NE(in_flight.status().message().find("link closed"),
+            std::string::npos)
+      << in_flight.status();
+
+  // And the client stays failed-fast for later calls.
+  Message again;
+  again.type = 8;
+  auto after = client.Call(std::move(again));
+  EXPECT_FALSE(after.ok());
+}
+
+TEST_P(RpcFailureTest, HandlerErrorStatusSurfacesToCaller) {
+  EndpointPair pair = MakePair(GetParam());
+  RpcServer server(std::move(pair.server),
+                   [](const Message&) -> Result<Message> {
+                     return Status::Internal("handler exploded");
+                   });
+  RpcClient client(std::move(pair.client));
+
+  // At the raw RPC layer the exchange succeeds and delivers the kError
+  // frame with the status text.
+  Message req;
+  req.type = OpCode(Op::kPing);
+  auto resp = client.Call(std::move(req));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->type, OpCode(Op::kError));
+  std::string text(resp->aux.begin(), resp->aux.end());
+  EXPECT_NE(text.find("handler exploded"), std::string::npos) << text;
+
+  // The protocol layer converts the frame into a ProtocolError Status.
+  ProtoContext ctx(/*pk=*/nullptr, &client);
+  auto converted = ctx.Call(Op::kPing, {});
+  ASSERT_FALSE(converted.ok());
+  EXPECT_EQ(converted.status().code(), StatusCode::kProtocolError);
+  EXPECT_NE(converted.status().message().find("handler exploded"),
+            std::string::npos)
+      << converted.status();
+}
+
+TEST_P(RpcFailureTest, PeerDisconnectMidCallFailsAllInFlight) {
+  EndpointPair pair = MakePair(GetParam());
+  Endpoint* server_raw = pair.server.get();
+  // A raw peer that swallows a few requests and then slams the link shut
+  // without answering any of them.
+  constexpr int kCalls = 3;
+  std::thread peer([&] {
+    std::vector<uint8_t> frame;
+    for (int i = 0; i < kCalls; ++i) {
+      if (!server_raw->Recv(&frame)) break;
+    }
+    server_raw->Close();
+  });
+  RpcClient client(std::move(pair.client));
+
+  std::vector<std::thread> callers;
+  std::vector<Result<Message>> results(kCalls, Status::Internal("unset"));
+  for (int i = 0; i < kCalls; ++i) {
+    callers.emplace_back([&, i] {
+      Message req;
+      req.type = static_cast<uint16_t>(100 + i);
+      results[i] = client.Call(std::move(req));
+    });
+  }
+  for (auto& t : callers) t.join();
+  peer.join();
+  for (const auto& result : results) {
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kProtocolError);
+  }
+}
+
+}  // namespace
+}  // namespace sknn

@@ -1,0 +1,298 @@
+// End-to-end tests of the serving split (PR 3): thin client ->
+// QueryService (C1 query front end) -> SknnEngine::CreateWithRemoteC2 ->
+// standalone C2 over a real loopback TCP link — the four-party deployment
+// of docs/DEPLOY.md, exercised in one process.
+//
+// The reference for every assertion is the in-process engine: the remote
+// path must return records bitwise-identical to SknnEngine::Query for
+// basic, secure and farthest, under concurrency, with per-query
+// instrumentation intact across both process boundaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/query_wire.h"
+#include "net/socket.h"
+#include "serve/query_service.h"
+#include "serve/remote_query_client.h"
+
+namespace sknn {
+namespace {
+
+// Records {i, 0} against queries on the x-axis have pairwise-distinct
+// squared distances, so every protocol's answer is deterministic and the
+// remote path can be compared to the local engine bitwise.
+PlainTable DistinctDistanceTable(std::size_t n) {
+  PlainTable table;
+  for (int64_t i = 0; i < static_cast<int64_t>(n); ++i) {
+    table.push_back({i, 0});
+  }
+  return table;
+}
+
+QueryRequest MakeRequest(PlainRecord record, unsigned k,
+                         QueryProtocol protocol) {
+  QueryRequest request;
+  request.record = std::move(record);
+  request.k = k;
+  request.protocol = protocol;
+  return request;
+}
+
+// The whole deployment in one object: a local reference engine (which also
+// supplies the keys), a standalone C2 behind a TCP RpcServer, a
+// CreateWithRemoteC2 engine driving it, and a QueryService in front.
+class ServingTopology {
+ public:
+  explicit ServingTopology(const PlainTable& table,
+                           std::size_t c1_threads = 2,
+                           std::size_t max_in_flight = 8) {
+    SknnEngine::Options options;
+    options.key_bits = 256;
+    options.attr_bits = 3;
+    options.c1_threads = c1_threads;
+    options.c2_threads = 2;
+    options.randomizer_pool_capacity = 64;  // keep background fill light
+    auto reference = SknnEngine::Create(table, options);
+    EXPECT_TRUE(reference.ok()) << reference.status();
+    reference_ = std::move(reference).value();
+
+    // The standalone key holder: same secret key, own process in the real
+    // deployment, own socket server here.
+    c2_ = std::make_unique<C2Service>(
+        PaillierSecretKey(reference_->c2_service().secret_key()));
+    c2_->EnableRandomizerPool(/*capacity=*/64);
+    auto listener = TcpListener::Bind(0);
+    EXPECT_TRUE(listener.ok()) << listener.status();
+    std::thread accepter([&] {
+      auto accepted = listener->Accept();
+      EXPECT_TRUE(accepted.ok()) << accepted.status();
+      C2Service* c2_raw = c2_.get();
+      c2_server_ = std::make_unique<RpcServer>(
+          std::move(accepted).value(),
+          [c2_raw](const Message& req) { return c2_raw->Handle(req); },
+          /*worker_threads=*/2);
+    });
+    auto c2_link = ConnectTcp("127.0.0.1", listener->port());
+    EXPECT_TRUE(c2_link.ok()) << c2_link.status();
+    accepter.join();
+
+    // The C1 front end: public artifacts only (pk + Epk(T)) plus the link.
+    auto engine = SknnEngine::CreateWithRemoteC2(
+        reference_->public_key(), EncryptedDatabase(reference_->database()),
+        std::move(c2_link).value(), options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(engine).value();
+
+    QueryService::Options service_options;
+    service_options.max_in_flight = max_in_flight;
+    service_ = std::make_unique<QueryService>(engine_.get(), service_options);
+    Status started = service_->Start(0);
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  ~ServingTopology() {
+    if (service_ != nullptr) service_->Shutdown();
+  }
+
+  SknnEngine& reference() { return *reference_; }
+  QueryService& service() { return *service_; }
+
+  std::unique_ptr<RemoteQueryClient> NewClient() {
+    auto client = RemoteQueryClient::Connect("127.0.0.1", service_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+ private:
+  // Declaration order is teardown order in reverse: the service goes first
+  // (drains clients), then the front-end engine (closes the C2 link, which
+  // lets the C2 server's accept loop exit), then the C2 server, then C2.
+  std::unique_ptr<SknnEngine> reference_;
+  std::unique_ptr<C2Service> c2_;
+  std::unique_ptr<RpcServer> c2_server_;
+  std::unique_ptr<SknnEngine> engine_;
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST(ServingTest, RemotePathMatchesLocalEngineBitwise) {
+  ServingTopology topology(DistinctDistanceTable(8));
+  auto client = topology.NewClient();
+  for (QueryProtocol protocol :
+       {QueryProtocol::kBasic, QueryProtocol::kSecure,
+        QueryProtocol::kFarthest}) {
+    QueryRequest request = MakeRequest({7, 0}, 2, protocol);
+    auto local = topology.reference().Query(request);
+    ASSERT_TRUE(local.ok()) << local.status();
+    auto remote = client->Query(request);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_EQ(remote->records, local->records)
+        << "protocol " << QueryProtocolName(protocol);
+    // Instrumentation crossed both wires: the thin client sees the real
+    // C1<->C2 traffic and both clouds' Paillier ops.
+    EXPECT_GT(remote->traffic.total_frames(), 0u);
+    EXPECT_GT(remote->ops.decryptions, 0u);
+    if (protocol != QueryProtocol::kBasic) {
+      EXPECT_GT(remote->breakdown.total(), 0.0);
+    }
+  }
+}
+
+TEST(ServingTest, ConcurrentThinClientsAllGetTheirOwnAnswer) {
+  ServingTopology topology(DistinctDistanceTable(8), /*c1_threads=*/2,
+                           /*max_in_flight=*/8);
+  // Distinct queries with distinct answers, so any cross-query interleaving
+  // of outboxes or responses would be visible.
+  std::vector<QueryRequest> requests = {
+      MakeRequest({0, 0}, 2, QueryProtocol::kBasic),
+      MakeRequest({5, 0}, 1, QueryProtocol::kBasic),
+      MakeRequest({7, 0}, 2, QueryProtocol::kSecure),
+      MakeRequest({1, 0}, 1, QueryProtocol::kSecure),
+  };
+  std::vector<PlainTable> expected;
+  for (const auto& request : requests) {
+    auto local = topology.reference().Query(request);
+    ASSERT_TRUE(local.ok()) << local.status();
+    expected.push_back(local->records);
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<Result<QueryResponse>> responses(
+      requests.size(), Result<QueryResponse>(Status::Internal("unset")));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    clients.emplace_back([&, i] {
+      auto client = topology.NewClient();
+      responses[i] = client->Query(requests[i]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << responses[i].status();
+    EXPECT_EQ(responses[i]->records, expected[i]) << "request " << i;
+  }
+  EXPECT_EQ(topology.service().stats().queries_completed, requests.size());
+}
+
+TEST(ServingTest, BackpressureRejectsAndRetrySucceeds) {
+  ServingTopology topology(DistinctDistanceTable(8), /*c1_threads=*/1,
+                           /*max_in_flight=*/1);
+  QueryRequest request = MakeRequest({7, 0}, 2, QueryProtocol::kSecure);
+  auto expected = topology.reference().Query(request);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  constexpr int kClients = 5;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  std::vector<Result<QueryResponse>> responses(
+      kClients, Result<QueryResponse>(Status::Internal("unset")));
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto client = topology.NewClient();
+      for (;;) {
+        responses[i] = client->Query(request);
+        if (responses[i].ok() || responses[i].status().code() !=
+                                     StatusCode::kResourceExhausted) {
+          return;
+        }
+        // The thin-client contract: ResourceExhausted means back off and
+        // retry; eventually everyone is served.
+        rejected.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->records, expected->records);
+  }
+  // Five secure queries admitted one at a time: the burst must have tripped
+  // the admission bound at least once.
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_EQ(topology.service().stats().queries_rejected,
+            static_cast<uint64_t>(rejected.load()));
+  EXPECT_EQ(topology.service().stats().queries_completed,
+            static_cast<uint64_t>(kClients));
+}
+
+TEST(ServingTest, InvalidRequestsGetRealStatusCodesOverTheWire) {
+  ServingTopology topology(DistinctDistanceTable(4));
+  auto client = topology.NewClient();
+
+  auto k_zero = client->Query(MakeRequest({1, 0}, 0, QueryProtocol::kBasic));
+  ASSERT_FALSE(k_zero.ok());
+  EXPECT_EQ(k_zero.status().code(), StatusCode::kInvalidArgument);
+
+  auto k_too_big =
+      client->Query(MakeRequest({1, 0}, 99, QueryProtocol::kBasic));
+  ASSERT_FALSE(k_too_big.ok());
+  EXPECT_EQ(k_too_big.status().code(), StatusCode::kOutOfRange);
+
+  auto bad_dim =
+      client->Query(MakeRequest({1, 0, 3}, 1, QueryProtocol::kBasic));
+  ASSERT_FALSE(bad_dim.ok());
+  EXPECT_EQ(bad_dim.status().code(), StatusCode::kInvalidArgument);
+
+  auto out_of_domain =
+      client->Query(MakeRequest({12345, 0}, 1, QueryProtocol::kSecure));
+  ASSERT_FALSE(out_of_domain.ok());
+  EXPECT_EQ(out_of_domain.status().code(), StatusCode::kOutOfRange);
+
+  // The failures above must not have consumed the admission budget.
+  auto still_fine =
+      client->Query(MakeRequest({1, 0}, 1, QueryProtocol::kBasic));
+  EXPECT_TRUE(still_fine.ok()) << still_fine.status();
+}
+
+TEST(ServingTest, MalformedFramesAreRejectedNotHung) {
+  ServingTopology topology(DistinctDistanceTable(4));
+  auto link = ConnectTcp("127.0.0.1", topology.service().port());
+  ASSERT_TRUE(link.ok()) << link.status();
+  RpcClient raw(std::move(link).value());
+
+  // A frame with the right opcode and garbage aux.
+  Message garbage;
+  garbage.type = FrontendOpCode(FrontendOp::kQuery);
+  garbage.aux = {1, 2, 3};
+  auto reply = raw.Call(std::move(garbage));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  ASSERT_EQ(reply->type, FrontendOpCode(FrontendOp::kQueryError));
+  EXPECT_EQ(DecodeQueryError(*reply).code(), StatusCode::kProtocolError);
+
+  // A frame from the wrong opcode space entirely (a C1<->C2 opcode).
+  Message wrong_space;
+  wrong_space.type = 2;  // Op::kSmBatch
+  auto reply2 = raw.Call(std::move(wrong_space));
+  ASSERT_TRUE(reply2.ok()) << reply2.status();
+  EXPECT_EQ(reply2->type, FrontendOpCode(FrontendOp::kQueryError));
+}
+
+TEST(ServingTest, CreateWithRemoteC2FailsFastOnDeadLink) {
+  PlainTable table = DistinctDistanceTable(4);
+  SknnEngine::Options options;
+  options.key_bits = 256;
+  options.attr_bits = 3;
+  auto reference = SknnEngine::Create(table, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // A listener that is immediately closed: the connect may succeed at the
+  // TCP level, but the ping gets no answer.
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  uint16_t dead_port = listener->port();
+  auto link = ConnectTcp("127.0.0.1", dead_port);
+  listener->Close();
+  if (!link.ok()) return;  // connect itself failed: equally fine
+  auto engine = SknnEngine::CreateWithRemoteC2(
+      (*reference)->public_key(), EncryptedDatabase((*reference)->database()),
+      std::move(link).value(), options);
+  EXPECT_FALSE(engine.ok());
+}
+
+}  // namespace
+}  // namespace sknn

@@ -1,0 +1,121 @@
+// sknn_c1_server — the standing C1 query front end of the serving
+// deployment (docs/DEPLOY.md).
+//
+//   sknn_c1_server --public pk.txt --db db.bin --port 9100 \
+//                  --c2-host 127.0.0.1 --c2-port 9000 \
+//                  [--threads N] [--max-in-flight M] [--queries N]
+//
+// Loads the public key and the encrypted database ONCE, connects to the
+// standalone C2 key holder, and serves any number of thin clients
+// (sknn_query / serve/RemoteQueryClient) speaking QueryRequest/QueryResponse
+// frames on --port. Up to --threads admitted queries execute concurrently
+// over the shared C1 pool; beyond --max-in-flight, requests are rejected
+// with ResourceExhausted so clients back off instead of piling into an
+// unbounded queue.
+//
+// --queries N exits after N queries have been answered (scripted smoke
+// runs); the default serves until killed.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/db_io.h"
+#include "core/engine.h"
+#include "crypto/serialization.h"
+#include "net/socket.h"
+#include "serve/query_service.h"
+#include "tools/tool_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sknn;
+  using namespace sknn::tools;
+  const char* usage =
+      "sknn_c1_server --public <pk> --db <db.bin> --port <p> "
+      "--c2-host <ip> --c2-port <p> [--threads N] [--max-in-flight M] "
+      "[--queries N]";
+  auto flags = ParseFlags(argc, argv);
+  std::string pk_path = RequireFlag(flags, "public", usage);
+  std::string db_path = RequireFlag(flags, "db", usage);
+  uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
+                                 usage);
+  std::string c2_host = FlagOr(flags, "c2-host", "127.0.0.1");
+  uint16_t c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
+                                    "c2-port", usage);
+  std::size_t threads = static_cast<std::size_t>(ParseUint64OrDie(
+      FlagOr(flags, "threads", "1"), "threads", usage, 1, 4096));
+  std::size_t max_in_flight = static_cast<std::size_t>(ParseUint64OrDie(
+      FlagOr(flags, "max-in-flight", "8"), "max-in-flight", usage, 1, 65536));
+  int64_t target_queries = ParseInt64OrDie(FlagOr(flags, "queries", "-1"),
+                                           "queries", usage, -1);
+
+  auto pk = ReadPublicKeyFile(pk_path);
+  if (!pk.ok()) {
+    std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
+    return 1;
+  }
+  auto db = ReadEncryptedDatabase(db_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = ValidateCiphertexts(*db, *pk); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::size_t n = db->num_records(), m = db->num_attributes();
+
+  auto c2_link = ConnectTcp(c2_host, c2_port);
+  if (!c2_link.ok()) {
+    std::fprintf(stderr, "cannot reach C2 at %s:%u: %s\n", c2_host.c_str(),
+                 c2_port, c2_link.status().ToString().c_str());
+    return 1;
+  }
+
+  SknnEngine::Options options;
+  options.c1_threads = threads;
+  auto engine = SknnEngine::CreateWithRemoteC2(*pk, std::move(db).value(),
+                                               std::move(c2_link).value(),
+                                               options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine setup failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryService::Options service_options;
+  service_options.max_in_flight = max_in_flight;
+  QueryService service(engine->get(), service_options);
+  if (Status s = service.Start(port); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "C1 query front end serving on 127.0.0.1:%u "
+      "(n=%zu records, m=%zu attributes, threads=%zu, max-in-flight=%zu)\n",
+      service.port(), n, m, threads, max_in_flight);
+  std::fflush(stdout);
+
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (target_queries < 0) continue;
+    QueryService::Stats stats = service.stats();
+    if (stats.queries_completed + stats.queries_failed >=
+        static_cast<uint64_t>(target_queries)) {
+      break;
+    }
+  }
+  // Drain before Shutdown: the Nth completion is counted a hair before the
+  // response frame is written, so wait (bounded) for the clients to read
+  // their answers and hang up rather than cutting the last send off.
+  for (int grace = 0; grace < 100 && service.active_sessions() > 0; ++grace) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  QueryService::Stats stats = service.stats();
+  service.Shutdown();
+  std::printf("served %llu queries (%llu failed, %llu rejected); "
+              "shutting down\n",
+              static_cast<unsigned long long>(stats.queries_completed),
+              static_cast<unsigned long long>(stats.queries_failed),
+              static_cast<unsigned long long>(stats.queries_rejected));
+  return 0;
+}

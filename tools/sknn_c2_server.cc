@@ -1,7 +1,8 @@
 // sknn_c2_server — the standalone key-holder cloud C2.
 //
 //   sknn_c2_server --secret sk.txt --port 9000 [--workers 2]
-//                  [--connections N] [--no-randomizer-pool]
+//                  [--connections N] [--pool-capacity N]
+//                  [--no-randomizer-pool]
 //
 // Serves the C2 side of every sub-protocol over TCP. C1 connects with one
 // link; each querying user (Bob) connects with his own link to pick up
@@ -9,7 +10,10 @@
 // server exits after N links close (for scripted runs); otherwise it serves
 // until killed. --workers also enables intra-message fan-out for the
 // vectorized opcodes; the response-encryption randomizer pool is on by
-// default (disable it to measure the paper's unamortized cost).
+// default (disable it to measure the paper's unamortized cost), holds
+// --pool-capacity precomputed r^N values, and refills on background threads
+// sized from --workers.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -24,13 +28,18 @@ int main(int argc, char** argv) {
   using namespace sknn::tools;
   const char* usage =
       "sknn_c2_server --secret <sk-file> --port <p> [--workers N] "
-      "[--connections N]";
+      "[--connections N] [--pool-capacity N] [--no-randomizer-pool]";
   auto flags = ParseFlags(argc, argv);
   std::string sk_path = RequireFlag(flags, "secret", usage);
-  uint16_t port =
-      static_cast<uint16_t>(std::stoul(RequireFlag(flags, "port", usage)));
-  std::size_t workers = std::stoul(FlagOr(flags, "workers", "1"));
-  long connections = std::stol(FlagOr(flags, "connections", "-1"));
+  uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
+                                 usage);
+  std::size_t workers = static_cast<std::size_t>(ParseUint64OrDie(
+      FlagOr(flags, "workers", "1"), "workers", usage, 1, 4096));
+  long connections = static_cast<long>(ParseInt64OrDie(
+      FlagOr(flags, "connections", "-1"), "connections", usage, -1));
+  std::size_t pool_capacity = static_cast<std::size_t>(
+      ParseUint64OrDie(FlagOr(flags, "pool-capacity", "4096"),
+                       "pool-capacity", usage, 1, uint64_t{1} << 30));
 
   auto sk = ReadSecretKeyFile(sk_path);
   if (!sk.ok()) {
@@ -40,7 +49,11 @@ int main(int argc, char** argv) {
   C2Service c2(std::move(sk).value());
   if (workers > 1) c2.EnableIntraMessageParallelism(workers);
   if (!flags.count("no-randomizer-pool")) {
-    c2.EnableRandomizerPool(/*capacity=*/4096);
+    // Refill threads scale with the serving fan-out: half the handler
+    // workers (at least one) keeps the stock warm under load without
+    // starving the handlers themselves of cores.
+    c2.EnableRandomizerPool(pool_capacity,
+                            std::max<std::size_t>(1, workers / 2));
   }
 
   auto listener = TcpListener::Bind(port);

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   std::string pk_path = RequireFlag(flags, "public", usage);
   std::string csv_path = RequireFlag(flags, "csv", usage);
   std::string out_path = RequireFlag(flags, "out", usage);
-  unsigned attr_bits =
-      static_cast<unsigned>(std::stoul(RequireFlag(flags, "attr-bits", usage)));
+  unsigned attr_bits = static_cast<unsigned>(ParseUint64OrDie(
+      RequireFlag(flags, "attr-bits", usage), "attr-bits", usage, 1, 62));
   bool skip_header = flags.count("skip-header") > 0;
 
   auto pk = ReadPublicKeyFile(pk_path);

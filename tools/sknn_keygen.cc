@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   const char* usage =
       "sknn_keygen --bits <N> --public <pk-file> --secret <sk-file>";
   auto flags = ParseFlags(argc, argv);
-  unsigned bits =
-      static_cast<unsigned>(std::stoul(FlagOr(flags, "bits", "1024")));
+  unsigned bits = static_cast<unsigned>(ParseUint64OrDie(
+      FlagOr(flags, "bits", "1024"), "bits", usage, 16, 1u << 20));
   std::string pk_path = RequireFlag(flags, "public", usage);
   std::string sk_path = RequireFlag(flags, "secret", usage);
 

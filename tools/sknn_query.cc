@@ -1,158 +1,119 @@
-// sknn_query — drives one secure kNN query against a remote C2.
+// sknn_query — Bob's thin client: one secure kNN query against a standing
+// C1 query front end (sknn_c1_server).
 //
-//   sknn_query --public pk.txt --db db.bin --host 127.0.0.1 --port 9000 \
-//              --query "58,1,4,133,196,1,2,1,6" --k 2 [--protocol secure]
+//   sknn_query --host 127.0.0.1 --port 9100 \
+//              --query "58,1,4,133,196,1,2,1,6" --k 2 \
+//              [--protocol secure] [--retries 5] [--stats]
 //
-// This process plays two roles with two separate TCP links, mirroring the
-// deployment topology:
-//   * C1: hosts the encrypted database, drives SkNN_b / SkNN_m against C2;
-//   * Bob: encrypts the query, and — on his own connection — picks up the
-//     decrypted masked result from C2 and strips C1's masks.
-//
-// Every exchange carries a per-query id (the in-process engine's
-// Query/Submit/QueryBatch API assigns these automatically), so any number
-// of sknn_query processes may run against one C2 concurrently: C2 keys
-// each Bob's outbox by the id and each Bob fetches exactly his own result.
+// This process neither loads the encrypted database nor drives the
+// protocol: it sends one plaintext-record QueryRequest frame and receives
+// the records plus per-query instrumentation — which is what lets one front
+// end serve any number of these clients concurrently. If the front end's
+// admission budget is full (ResourceExhausted), the client backs off and
+// retries up to --retries times before giving up with exit code 3.
 //
 // protocols: basic (SkNN_b), secure (SkNN_m, default), farthest (k-FN).
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
-#include "bigint/random.h"
-#include "core/data_owner.h"
-#include "core/db_io.h"
-#include "core/query_client.h"
-#include "core/sknn_b.h"
-#include "core/sknn_m.h"
-#include "crypto/serialization.h"
-#include "net/rpc.h"
-#include "net/socket.h"
+#include "serve/remote_query_client.h"
 #include "tools/tool_util.h"
 
 int main(int argc, char** argv) {
   using namespace sknn;
   using namespace sknn::tools;
   const char* usage =
-      "sknn_query --public <pk> --db <db.bin> --host <ip> --port <p> "
-      "--query \"v1,v2,...\" --k <k> [--protocol basic|secure|farthest]\n"
+      "sknn_query --host <ip> --port <p> --query \"v1,v2,...\" --k <k> "
+      "[--protocol basic|secure|farthest] [--retries N] [--stats]\n"
       "  basic:    SkNN_b — fast; C2 learns distances + access patterns\n"
       "  secure:   SkNN_m — fully secure k nearest neighbors (default)\n"
       "  farthest: SkNN_m on complemented distances — k farthest neighbors\n"
-      "Safe to run many instances against one C2 concurrently (per-query\n"
-      "ids keep the C2->Bob outboxes separate).";
+      "Thin client: talks to a sknn_c1_server front end, which hosts the\n"
+      "encrypted database and drives the clouds. Run as many instances\n"
+      "concurrently as the front end's --max-in-flight admits.";
   auto flags = ParseFlags(argc, argv);
-  std::string pk_path = RequireFlag(flags, "public", usage);
-  std::string db_path = RequireFlag(flags, "db", usage);
   std::string host = FlagOr(flags, "host", "127.0.0.1");
-  uint16_t port =
-      static_cast<uint16_t>(std::stoul(RequireFlag(flags, "port", usage)));
-  PlainRecord query = ParseRecord(RequireFlag(flags, "query", usage));
-  unsigned k =
-      static_cast<unsigned>(std::stoul(RequireFlag(flags, "k", usage)));
+  uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
+                                 usage);
+  QueryRequest request;
+  // Ops/breakdown collection costs the front end an extra C1<->C2 round
+  // trip per query; only pay it when --stats will print it.
+  request.want_op_counts = flags.count("stats") > 0;
+  request.want_breakdown = flags.count("stats") > 0;
+  request.record = ParseRecord(RequireFlag(flags, "query", usage), usage);
+  request.k = static_cast<unsigned>(ParseUint64OrDie(
+      RequireFlag(flags, "k", usage), "k", usage, 1, 1u << 30));
   std::string protocol = FlagOr(flags, "protocol", "secure");
-
-  auto pk = ReadPublicKeyFile(pk_path);
-  if (!pk.ok()) {
-    std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
-    return 1;
-  }
-  auto db = ReadEncryptedDatabase(db_path);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
-    return 1;
-  }
-  if (Status s = ValidateCiphertexts(*db, *pk); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
-  }
-  if (query.size() != db->num_attributes()) {
-    std::fprintf(stderr, "query has %zu attributes, database has %zu\n",
-                 query.size(), db->num_attributes());
-    return 1;
-  }
-  // Same up-front domain validation the engine applies to QueryRequests:
-  // attributes outside [0, 2^attr_bits) would overflow the database's l-bit
-  // distance domain and silently corrupt the protocol arithmetic.
-  const unsigned attr_bits =
-      DataOwner::ImpliedAttrBits(db->num_attributes(), db->distance_bits);
-  for (int64_t v : query) {
-    if (v < 0 || v >= (int64_t{1} << attr_bits)) {
-      std::fprintf(stderr,
-                   "query value %lld outside the database's attribute domain "
-                   "[0, 2^%u)\n",
-                   static_cast<long long>(v), attr_bits);
-      return 1;
-    }
-  }
-
-  // C1's link and Bob's link — two independent TCP connections.
-  auto c1_link = ConnectTcp(host, port);
-  auto bob_link = ConnectTcp(host, port);
-  if (!c1_link.ok() || !bob_link.ok()) {
-    std::fprintf(stderr, "cannot reach C2 at %s:%u\n", host.c_str(), port);
-    return 1;
-  }
-  RpcClient c1_rpc(std::move(c1_link).value());
-  RpcClient bob_rpc(std::move(bob_link).value());
-
-  // A random non-zero id isolates this query's state on C2 from any other
-  // sknn_query process sharing the server.
-  uint64_t query_id = 0;
-  while (query_id == 0) {
-    query_id = Random::ThreadLocal().UniformUint64(UINT64_MAX);
-  }
-  ProtoContext ctx(&*pk, &c1_rpc, /*pool=*/nullptr, query_id);
-
-  // Bob encrypts his query and hands Epk(Q) to C1.
-  QueryClient bob(*pk);
-  std::vector<Ciphertext> enc_query = bob.EncryptQuery(query);
-
-  // C1 runs the chosen protocol against C2.
-  Result<CloudQueryOutput> out =
-      Status::InvalidArgument("unknown --protocol '" + protocol + "'");
   if (protocol == "basic") {
-    out = RunSkNNb(ctx, *db, enc_query, k);
-  } else if (protocol == "secure" || protocol == "farthest") {
-    SkNNmOptions opts;
-    opts.farthest = protocol == "farthest";
-    out = RunSkNNm(ctx, *db, enc_query, k, nullptr, opts);
+    request.protocol = QueryProtocol::kBasic;
+  } else if (protocol == "secure") {
+    request.protocol = QueryProtocol::kSecure;
+  } else if (protocol == "farthest") {
+    request.protocol = QueryProtocol::kFarthest;
+  } else {
+    DieBadFlag("protocol", protocol, usage);
   }
-  if (!out.ok()) {
+  int64_t retries = ParseInt64OrDie(FlagOr(flags, "retries", "5"), "retries",
+                                    usage, 0, 1000000);
+
+  auto client = RemoteQueryClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot reach front end at %s:%u: %s\n",
+                 host.c_str(), port, client.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<QueryResponse> response = Status::Internal("unset");
+  for (int64_t attempt = 0;; ++attempt) {
+    response = (*client)->Query(request);
+    if (response.ok() ||
+        response.status().code() != StatusCode::kResourceExhausted) {
+      break;
+    }
+    if (attempt >= retries) {
+      std::fprintf(stderr, "front end saturated after %lld attempts: %s\n",
+                   static_cast<long long>(attempt + 1),
+                   response.status().ToString().c_str());
+      return 3;
+    }
+    // Linear backoff keeps a burst of thin clients from hammering a full
+    // admission queue in lockstep.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50 * (attempt + 1)));
+  }
+  if (!response.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
-                 out.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
 
-  // Bob fetches his half from C2 on his own connection and unmasks. The
-  // fetch is tagged with the query id, so he gets exactly his records even
-  // if other queries are in flight on the same C2.
-  Message fetch;
-  fetch.type = OpCode(Op::kFetchBobOutbox);
-  fetch.query_id = query_id;
-  auto picked_up = bob_rpc.Call(std::move(fetch));
-  if (!picked_up.ok()) {
-    std::fprintf(stderr, "outbox fetch failed: %s\n",
-                 picked_up.status().ToString().c_str());
-    return 1;
-  }
-  auto records = bob.RecoverRecords(picked_up->ints, out->masks_for_bob, k,
-                                    db->num_attributes());
-  if (!records.ok()) {
-    std::fprintf(stderr, "unmasking failed: %s\n",
-                 records.status().ToString().c_str());
-    return 1;
-  }
-
-  std::printf("%s %u-%s of <", protocol.c_str(), k,
+  std::printf("%s %u-%s of <", protocol.c_str(), request.k,
               protocol == "farthest" ? "farthest" : "nearest");
-  for (std::size_t j = 0; j < query.size(); ++j) {
-    std::printf("%s%lld", j ? "," : "", static_cast<long long>(query[j]));
+  for (std::size_t j = 0; j < request.record.size(); ++j) {
+    std::printf("%s%lld", j ? "," : "",
+                static_cast<long long>(request.record[j]));
   }
   std::printf(">:\n");
-  for (const auto& row : *records) {
+  for (const auto& row : response->records) {
     for (std::size_t j = 0; j < row.size(); ++j) {
       std::printf("%s%lld", j ? "," : "", static_cast<long long>(row[j]));
     }
     std::printf("\n");
+  }
+  if (flags.count("stats")) {
+    std::printf("# bob %.6fs  cloud %.6fs  traffic %s  ops %s\n",
+                response->bob_seconds, response->cloud_seconds,
+                response->traffic.ToString().c_str(),
+                response->ops.ToString().c_str());
+    const SkNNmBreakdown& phases = response->breakdown;
+    if (phases.total() > 0) {  // basic has no phases to split
+      std::printf(
+          "# phases: ssed %.3fs  sbd %.3fs  smin_n %.3fs  extract %.3fs  "
+          "update %.3fs  finalize %.3fs\n",
+          phases.ssed_seconds, phases.sbd_seconds, phases.sminn_seconds,
+          phases.extract_seconds, phases.update_seconds,
+          phases.finalize_seconds);
+    }
   }
   return 0;
 }

@@ -1,7 +1,13 @@
-// Tiny --flag=value / --flag value parser shared by the CLI tools.
+// Tiny --flag=value / --flag value parser shared by the CLI tools, plus
+// defensive numeric parsing: a malformed flag value ("--port abc", an
+// out-of-range count, trailing garbage) prints the offending flag and the
+// tool's usage string and exits 2 — it never throws out of std::sto* and
+// aborts the process.
 #ifndef SKNN_TOOLS_TOOL_UTIL_H_
 #define SKNN_TOOLS_TOOL_UTIL_H_
 
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -51,14 +57,60 @@ inline std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? def : it->second;
 }
 
-/// \brief "1,2,3" -> {1, 2, 3}.
-inline PlainRecord ParseRecord(const std::string& text) {
+[[noreturn]] inline void DieBadFlag(const std::string& name,
+                                    const std::string& value,
+                                    const char* usage) {
+  std::fprintf(stderr, "bad value '%s' for --%s\nusage: %s\n", value.c_str(),
+               name.c_str(), usage);
+  std::exit(2);
+}
+
+/// \brief Strict whole-string signed parse of a flag value; dies with the
+/// usage string on garbage, partial parses, or values outside [min, max].
+inline int64_t ParseInt64OrDie(const std::string& value,
+                               const std::string& name, const char* usage,
+                               int64_t min = INT64_MIN,
+                               int64_t max = INT64_MAX) {
+  int64_t out = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end || out < min || out > max) {
+    DieBadFlag(name, value, usage);
+  }
+  return out;
+}
+
+/// \brief Unsigned counterpart of ParseInt64OrDie (rejects '-').
+inline uint64_t ParseUint64OrDie(const std::string& value,
+                                 const std::string& name, const char* usage,
+                                 uint64_t min = 0, uint64_t max = UINT64_MAX) {
+  uint64_t out = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end || out < min || out > max) {
+    DieBadFlag(name, value, usage);
+  }
+  return out;
+}
+
+/// \brief A TCP port flag: 0 (= pick an ephemeral port) through 65535.
+inline uint16_t ParsePortOrDie(const std::string& value,
+                               const std::string& name, const char* usage) {
+  return static_cast<uint16_t>(ParseUint64OrDie(value, name, usage, 0, 65535));
+}
+
+/// \brief "1,2,3" -> {1, 2, 3}; dies with the usage string on any malformed
+/// cell ("1,,3", "1,x") instead of throwing out of std::stoll.
+inline PlainRecord ParseRecord(const std::string& text, const char* usage) {
   PlainRecord out;
   std::stringstream ss(text);
   std::string cell;
   while (std::getline(ss, cell, ',')) {
-    out.push_back(std::stoll(cell));
+    out.push_back(ParseInt64OrDie(cell, "query", usage));
   }
+  if (out.empty()) DieBadFlag("query", text, usage);
   return out;
 }
 
