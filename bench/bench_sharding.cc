@@ -1,0 +1,97 @@
+// bench_sharding — what sharding the record fan-out buys one query (PR 4).
+//
+// Builds one in-process engine per shard count over the SAME table and key
+// pair and times the same SkNN_m query at s = 1 / 2 / 4 shards (s = 1 is
+// the unsharded reference path). The per-shard stats of the response are
+// reported too, so the JSON shows where the time went: shard stages
+// (concurrent, each over n/s records — SMIN_n tournaments of depth
+// log2(n/s)) versus the coordinator's s*k-candidate merge. On a multicore
+// host the shard stages overlap; the merge is the serial tail Amdahl
+// charges for it.
+//
+//   bench_sharding [--json [path]]     # JSON lands in BENCH_PR4.json
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace sknn {
+namespace bench {
+namespace {
+
+struct Point {
+  std::size_t shards = 0;
+  double seconds = 0;
+  double merge_seconds = 0;
+  double shard_stage_seconds = 0;  // max over shards (they overlap)
+};
+
+int Main(int argc, char** argv) {
+  std::string json_path;
+  bool want_json = ConsumeJsonFlag(&argc, argv, &json_path);
+  PrintHeader("sharding", "per-query wall time vs shard count",
+              "SkNN_m k=2; s=1 is the unsharded engine");
+
+  const std::size_t n = PaperScale() ? 64 : 16;
+  const std::size_t m = 2;
+  const unsigned l = 8;
+  const unsigned key_bits = PaperScale() ? 512 : 256;
+  const unsigned k = 2;
+  const std::size_t threads = BenchThreads();
+
+  std::printf("%8s %12s %12s %14s %10s\n", "shards", "seconds", "merge_s",
+              "shard_stage_s", "speedup");
+  std::vector<Point> points;
+  double base_seconds = 0;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    EngineSetup setup = MakeEngine(
+        n, m, l, key_bits, threads, /*seed=*/4242,
+        std::chrono::microseconds{0},
+        [shards](SknnEngine::Options& opts) { opts.shards = shards; });
+    // Warm the randomizer pools out of the measurement.
+    (void)MustQuery(*setup.engine, setup.query, k, QueryProtocol::kSecure,
+                    "warmup query");
+    Stopwatch watch;
+    QueryResponse response = MustQuery(*setup.engine, setup.query, k,
+                                       QueryProtocol::kSecure, "timed query");
+    Point point;
+    point.shards = shards;
+    point.seconds = watch.ElapsedSeconds();
+    point.merge_seconds = response.merge_seconds;
+    for (const auto& shard : response.shards) {
+      point.shard_stage_seconds =
+          std::max(point.shard_stage_seconds, shard.seconds);
+    }
+    if (shards == 1) base_seconds = point.seconds;
+    std::printf("%8zu %12.4f %12.4f %14.4f %9.2fx\n", point.shards,
+                point.seconds, point.merge_seconds, point.shard_stage_seconds,
+                base_seconds / point.seconds);
+    points.push_back(point);
+  }
+
+  if (want_json) {
+    std::ostringstream json;
+    json << "{\"n\": " << n << ", \"k\": " << k
+         << ", \"threads\": " << threads << ", \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) json << ", ";
+      json << "{\"shards\": " << points[i].shards
+           << ", \"seconds\": " << points[i].seconds
+           << ", \"merge_seconds\": " << points[i].merge_seconds
+           << ", \"shard_stage_seconds\": " << points[i].shard_stage_seconds
+           << "}";
+    }
+    json << "]}";
+    MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR4.json"), "sharding",
+                     json.str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sknn
+
+int main(int argc, char** argv) { return sknn::bench::Main(argc, argv); }

@@ -84,8 +84,11 @@ inline std::string BenchJsonPath(const std::string& explicit_path,
 /// \brief Replaces (or adds) the top-level member `section` of the JSON
 /// object in `path` with `value_json`, preserving the other sections — so
 /// bench_primitives and bench_batch can each own a section of the same
-/// artifact. The scanner only needs to split well-formed top-level members,
-/// which is all this emitter ever writes.
+/// artifact. An existing section is replaced IN PLACE (same position, other
+/// members byte-identical), so re-running a bench neither reorders the
+/// artifact nor perturbs its neighbors; a new section is appended. The
+/// scanner only needs to split well-formed top-level members, which is all
+/// this emitter ever writes.
 inline void MergeJsonSection(const std::string& path,
                              const std::string& section,
                              const std::string& value_json) {
@@ -106,6 +109,16 @@ inline void MergeJsonSection(const std::string& path,
     bool in_key = false, in_value = false;
     std::string key, value;
     auto finish_member = [&] {
+      // Trim the whitespace the scanner swept up with the value, so a
+      // rewrite emits exactly one "key: value" separator — re-running must
+      // not grow untouched sections by one space per pass.
+      std::size_t first = value.find_first_not_of(" \t\r\n");
+      std::size_t last = value.find_last_not_of(" \t\r\n");
+      if (first == std::string::npos) {
+        value.clear();
+      } else {
+        value = value.substr(first, last - first + 1);
+      }
       if (!key.empty() && !value.empty()) members.emplace_back(key, value);
       key.clear();
       value.clear();
@@ -154,18 +167,23 @@ inline void MergeJsonSection(const std::string& path,
     }
     finish_member();
   }
+  // Replace in place; append only if the section is new.
+  bool replaced = false;
+  for (auto& [k, v] : members) {
+    if (k == section) {
+      v = value_json;
+      replaced = true;
+    }
+  }
+  if (!replaced) members.emplace_back(section, value_json);
   std::ofstream out(path, std::ios::trunc);
   out << "{\n";
   bool first = true;
-  auto emit = [&](const std::string& k, const std::string& v) {
+  for (const auto& [k, v] : members) {
     if (!first) out << ",\n";
     first = false;
     out << "  \"" << k << "\": " << v;
-  };
-  for (const auto& [k, v] : members) {
-    if (k != section) emit(k, v);
   }
-  emit(section, value_json);
   out << "\n}\n";
   std::fprintf(stderr, "wrote section \"%s\" to %s\n", section.c_str(),
                path.c_str());

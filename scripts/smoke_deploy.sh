@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Out-of-process smoke of the four-binary serving deployment
-# (docs/DEPLOY.md): keygen -> encrypt -> sknn_c2_server -> sknn_c1_server ->
-# concurrent thin clients, every answer diffed against the plaintext oracle.
+# Out-of-process smoke of the serving deployment (docs/DEPLOY.md), two legs:
+#   1. the four-binary topology: keygen -> encrypt -> sknn_c2_server ->
+#      sknn_c1_server -> concurrent thin clients;
+#   2. the SHARDED topology: the same database split across two
+#      sknn_c1_shard workers (via the manifest sknn_encrypt emitted) behind
+#      a worker-backed sknn_c1_server.
+# Every answer of both legs is diffed against the plaintext oracle — the
+# sharded leg on a table WITH tied distances, which the deterministic
+# tie-break must resolve exactly like the oracle (lower index first).
 #
 #   scripts/smoke_deploy.sh [build-dir]     # default: build
 set -euo pipefail
@@ -29,10 +35,23 @@ EOF
 # Queries on or beyond the table edge keep all squared distances distinct.
 QUERIES=("0,0" "5,0" "7,1")
 
-echo "== Alice: keygen + encrypt =="
+echo "== Alice: keygen + encrypt (+ 2-shard manifest) =="
 "$BIN/sknn_keygen" --bits 512 --public "$WORK/pk.txt" --secret "$WORK/sk.txt"
 "$BIN/sknn_encrypt" --public "$WORK/pk.txt" --csv "$WORK/table.csv" \
   --attr-bits 3 --out "$WORK/db.bin"
+
+# The sharded leg's table: records 1-3 are all at squared distance 4 from
+# query (2,0) — the deterministic tie-break (lower index) is on the line.
+cat > "$WORK/tied.csv" <<EOF
+2,0
+0,0
+4,0
+2,2
+7,0
+EOF
+"$BIN/sknn_encrypt" --public "$WORK/pk.txt" --csv "$WORK/tied.csv" \
+  --attr-bits 3 --out "$WORK/tied_db.bin" \
+  --shards 2 --shard-scheme roundrobin --manifest-out "$WORK/tied_manifest.bin"
 
 wait_for_port() { # logfile -> port printed as "serving on 127.0.0.1:PORT"
   local log=$1 port=""
@@ -91,4 +110,57 @@ diff -u "$WORK/want" "$WORK/got" || { echo "MISMATCH: farthest query=0,0"; exit 
 
 wait "$C1_PID"
 wait "$C2_PID"
-echo "smoke deploy OK: $N_QUERIES concurrent queries match the plaintext oracle"
+echo "leg 1 OK: $N_QUERIES concurrent queries match the plaintext oracle"
+
+echo "== leg 2: sharded deployment (2 x sknn_c1_shard + coordinator) =="
+# 3 links close on this C2: two shard workers + the coordinator.
+"$BIN/sknn_c2_server" --secret "$WORK/sk.txt" --port 0 --workers 2 \
+  --pool-capacity 256 --connections 3 > "$WORK/c2_sharded.log" 2>&1 &
+C2S_PID=$!
+C2S_PORT=$(wait_for_port "$WORK/c2_sharded.log")
+
+for shard in 0 1; do
+  "$BIN/sknn_c1_shard" --public "$WORK/pk.txt" --db "$WORK/tied_db.bin" \
+    --port 0 --c2-host 127.0.0.1 --c2-port "$C2S_PORT" \
+    --manifest "$WORK/tied_manifest.bin" --shard-index "$shard" \
+    --threads 2 --connections 1 > "$WORK/shard$shard.log" 2>&1 &
+  eval "SHARD${shard}_PID=\$!"
+done
+SHARD0_PORT=$(wait_for_port "$WORK/shard0.log")
+SHARD1_PORT=$(wait_for_port "$WORK/shard1.log")
+
+# The worker-backed front end hosts no records itself: no --db.
+N_SHARDED=3
+"$BIN/sknn_c1_server" --public "$WORK/pk.txt" --port 0 \
+  --c2-host 127.0.0.1 --c2-port "$C2S_PORT" --threads 2 --max-in-flight 8 \
+  --shard-workers "127.0.0.1:$SHARD0_PORT,127.0.0.1:$SHARD1_PORT" \
+  --queries "$N_SHARDED" > "$WORK/c1_sharded.log" 2>&1 &
+C1S_PID=$!
+C1S_PORT=$(wait_for_port "$WORK/c1_sharded.log")
+
+# Query (2,0) puts records 1-3 in a three-way distance tie: the sharded
+# answer must break it exactly like the oracle (lower index first).
+for proto in basic secure; do
+  "$BIN/sknn_query" --host 127.0.0.1 --port "$C1S_PORT" --query "2,0" \
+    --k 3 --protocol "$proto" > "$WORK/sharded_$proto" \
+    2>>"$WORK/clients.log" || { echo "sharded $proto client failed"; exit 1; }
+  "$BIN/sknn_plain_knn" --csv "$WORK/tied.csv" --query "2,0" --k 3 \
+    > "$WORK/want"
+  tail -n +2 "$WORK/sharded_$proto" > "$WORK/got"
+  diff -u "$WORK/want" "$WORK/got" || {
+    echo "MISMATCH: sharded $proto (tie-break?)"; exit 1; }
+done
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1S_PORT" --query "2,0" \
+  --k 2 --protocol farthest > "$WORK/sharded_farthest" \
+  2>>"$WORK/clients.log" || { echo "sharded farthest client failed"; exit 1; }
+"$BIN/sknn_plain_knn" --csv "$WORK/tied.csv" --query "2,0" --k 2 --farthest \
+  > "$WORK/want"
+tail -n +2 "$WORK/sharded_farthest" > "$WORK/got"
+diff -u "$WORK/want" "$WORK/got" || { echo "MISMATCH: sharded farthest"; exit 1; }
+
+wait "$C1S_PID"
+wait "$SHARD0_PID"
+wait "$SHARD1_PID"
+wait "$C2S_PID"
+echo "leg 2 OK: 2-shard deployment matches the oracle (ties included)"
+echo "smoke deploy OK: both legs match the plaintext oracle"

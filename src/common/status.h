@@ -26,6 +26,11 @@ enum class StatusCode {
   /// budget) is full; the request was rejected, not failed — retrying later
   /// is expected to succeed.
   kResourceExhausted,
+  /// A required peer (e.g. a shard worker of a sharded front end) is dead or
+  /// unreachable: the call failed at the transport, not the protocol, layer.
+  /// Retrying may succeed once the peer recovers — but unlike
+  /// kResourceExhausted it is not *expected* to.
+  kUnavailable,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -68,6 +73,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

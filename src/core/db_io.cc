@@ -7,6 +7,7 @@ namespace sknn {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'K', 'N', 'N', 'D', 'B', '0', '1'};
+constexpr char kManifestMagic[8] = {'S', 'K', 'N', 'N', 'S', 'H', '0', '1'};
 
 void PutU32(std::ofstream& out, uint32_t v) {
   char bytes[4];
@@ -100,6 +101,55 @@ Result<EncryptedDatabase> ReadEncryptedDatabase(const std::string& path) {
     return Status::InvalidArgument("ReadEncryptedDatabase: trailing bytes");
   }
   return db;
+}
+
+Status WriteShardManifest(const std::string& path,
+                          const ShardManifest& manifest) {
+  // Round-trip through the validator so a malformed manifest can never be
+  // persisted in the first place.
+  SKNN_ASSIGN_OR_RETURN(ShardManifest checked,
+                        MakeShardManifest(manifest.total_records,
+                                          manifest.num_shards,
+                                          manifest.scheme));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("WriteShardManifest: cannot open " + path);
+  }
+  out.write(kManifestMagic, sizeof(kManifestMagic));
+  PutU32(out, static_cast<uint32_t>(checked.scheme));
+  PutU32(out, static_cast<uint32_t>(checked.num_shards));
+  PutU32(out, static_cast<uint32_t>(checked.total_records));
+  if (!out.good()) {
+    return Status::IoError("WriteShardManifest: write failure");
+  }
+  return Status::OK();
+}
+
+Result<ShardManifest> ReadShardManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("ReadShardManifest: cannot open " + path);
+  }
+  char magic[sizeof(kManifestMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return Status::InvalidArgument(
+        "ReadShardManifest: bad magic (not a shard manifest)");
+  }
+  uint32_t scheme = 0, num_shards = 0, total_records = 0;
+  if (!GetU32(in, &scheme) || !GetU32(in, &num_shards) ||
+      !GetU32(in, &total_records)) {
+    return Status::InvalidArgument("ReadShardManifest: truncated file");
+  }
+  char extra;
+  if (in.read(&extra, 1)) {
+    return Status::InvalidArgument("ReadShardManifest: trailing bytes");
+  }
+  if (scheme > static_cast<uint32_t>(ShardScheme::kRoundRobin)) {
+    return Status::InvalidArgument("ReadShardManifest: unknown scheme");
+  }
+  return MakeShardManifest(total_records, num_shards,
+                           static_cast<ShardScheme>(scheme));
 }
 
 Status ValidateCiphertexts(const EncryptedDatabase& db,

@@ -8,11 +8,17 @@
 // every entry is a structurally valid element of Z*_{N^2} under the given
 // public key — a corrupted or foreign-key database fails fast instead of
 // producing garbage query results.
+//
+// A shard manifest (core/sharding.h) is persisted alongside the database in
+// a sharded deployment so coordinator and workers provably agree on the
+// partitioning:
+//   magic "SKNNSH01" | u32 scheme | u32 num_shards | u32 total_records
 #ifndef SKNN_CORE_DB_IO_H_
 #define SKNN_CORE_DB_IO_H_
 
 #include <string>
 
+#include "core/sharding.h"
 #include "core/types.h"
 #include "crypto/paillier.h"
 
@@ -26,6 +32,12 @@ Result<EncryptedDatabase> ReadEncryptedDatabase(const std::string& path);
 /// \brief Checks every ciphertext against `pk` (in [0, N^2), unit mod N).
 Status ValidateCiphertexts(const EncryptedDatabase& db,
                            const PaillierPublicKey& pk);
+
+Status WriteShardManifest(const std::string& path,
+                          const ShardManifest& manifest);
+
+/// \brief Reads and re-validates a manifest (MakeShardManifest rules).
+Result<ShardManifest> ReadShardManifest(const std::string& path);
 
 }  // namespace sknn
 

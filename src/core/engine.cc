@@ -68,7 +68,7 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateFromParts(
       options.c2_threads);
   engine->client_ = std::make_unique<RpcClient>(std::move(link.a));
 
-  engine->InitCommon();
+  SKNN_RETURN_NOT_OK(engine->InitCommon());
   return engine;
 }
 
@@ -96,7 +96,7 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateWithRemoteC2(
   }
   engine->next_query_id_.store(id_base);
 
-  engine->InitCommon();
+  SKNN_RETURN_NOT_OK(engine->InitCommon());
 
   // Fail fast on a dead or mismatched link instead of on the first query.
   Message ping;
@@ -109,12 +109,69 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateWithRemoteC2(
   return engine;
 }
 
-void SknnEngine::InitCommon() {
+Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateWithShardWorkers(
+    const PaillierPublicKey& pk,
+    std::vector<std::unique_ptr<Endpoint>> shard_links,
+    std::unique_ptr<Endpoint> c2_link, const Options& options) {
+  if (c2_link == nullptr) {
+    return Status::InvalidArgument("CreateWithShardWorkers: null C2 link");
+  }
+  auto engine = std::unique_ptr<SknnEngine>(new SknnEngine());
+  engine->options_ = options;
+  // The workers' manifest defines the sharding; the in-process option must
+  // not ALSO partition (there is nothing here to partition).
+  engine->options_.shards = 1;
+  engine->pk_ = pk;
+  engine->client_ = std::make_unique<RpcClient>(std::move(c2_link));
+
+  // Same shared-C2 discipline as CreateWithRemoteC2: a random non-zero id
+  // base keeps this front end's per-query state disjoint from its peers'.
+  uint64_t id_base = 0;
+  while (id_base == 0) {
+    id_base = Random::ThreadLocal().UniformUint64(UINT64_MAX);
+  }
+  engine->next_query_id_.store(id_base);
+
+  // The coordinator pings every worker and validates the shard cover; the
+  // database geometry comes back with the pings, so the front end itself
+  // never loads Epk(T).
+  SKNN_ASSIGN_OR_RETURN(
+      engine->coordinator_,
+      ShardCoordinator::CreateRemote(std::move(shard_links),
+                                     options.verify_sbd));
+  engine->num_records_ = engine->coordinator_->manifest().total_records;
+  engine->num_attributes_ = engine->coordinator_->num_attributes();
+  engine->distance_bits_ = engine->coordinator_->distance_bits();
+  if (engine->num_records_ == 0 || engine->num_attributes_ == 0 ||
+      engine->distance_bits_ == 0) {
+    return Status::ProtocolError(
+        "CreateWithShardWorkers: workers reported an empty geometry");
+  }
+  SKNN_RETURN_NOT_OK(engine->InitCommon());
+
+  Message ping;
+  ping.type = OpCode(Op::kPing);
+  SKNN_ASSIGN_OR_RETURN(Message pong, engine->client_->Call(std::move(ping)));
+  if (pong.type != OpCode(Op::kPing)) {
+    return Status::ProtocolError(
+        "CreateWithShardWorkers: peer did not answer ping (not a C2 "
+        "server?)");
+  }
+  return engine;
+}
+
+Status SknnEngine::InitCommon() {
+  // Geometry: mirrored from the hosted database unless a shard-worker
+  // construction already learned it from the workers.
+  if (num_records_ == 0) {
+    num_records_ = db_.num_records();
+    num_attributes_ = db_.num_attributes();
+    distance_bits_ = db_.distance_bits;
+  }
   // Attribute domain implied by the database; request validation holds
   // queries to this bound so the protocols' distance-domain guarantee
   // survives any query.
-  attr_bits_ =
-      DataOwner::ImpliedAttrBits(db_.num_attributes(), db_.distance_bits);
+  attr_bits_ = DataOwner::ImpliedAttrBits(num_attributes_, distance_bits_);
 
   if (options_.c1_threads > 1) {
     c1_pool_ = std::make_unique<ThreadPool>(options_.c1_threads);
@@ -140,6 +197,25 @@ void SknnEngine::InitCommon() {
       c2_->EnableRandomizerPool(options_.randomizer_pool_capacity);
     }
   }
+
+  // In-process shard set (Options::shards > 1): partition the hosted
+  // database and route every query through the coordinator. Remote-worker
+  // engines arrive here with coordinator_ already built.
+  if (coordinator_ == nullptr && options_.shards > 1) {
+    SKNN_ASSIGN_OR_RETURN(
+        ShardManifest manifest,
+        MakeShardManifest(num_records_, options_.shards,
+                          options_.shard_scheme));
+    SKNN_ASSIGN_OR_RETURN(
+        coordinator_,
+        ShardCoordinator::CreateLocal(db_, manifest, options_.verify_sbd));
+    // The slices now hold every record and Dispatch routes through the
+    // coordinator unconditionally — keeping the unsliced copy too would
+    // double resident ciphertext memory for the engine's lifetime.
+    db_.records.clear();
+    db_.records.shrink_to_fit();
+  }
+  return Status::OK();
 }
 
 SknnEngine::~SknnEngine() {
@@ -167,11 +243,11 @@ void SknnEngine::SchedulerLoop() {
 }
 
 Status SknnEngine::ValidateRequest(const QueryRequest& request) const {
-  const std::size_t n = db_.num_records();
-  if (request.record.size() != db_.num_attributes()) {
+  const std::size_t n = num_records_;
+  if (request.record.size() != num_attributes_) {
     return Status::InvalidArgument(
         "QueryRequest: record has " + std::to_string(request.record.size()) +
-        " attributes, database has " + std::to_string(db_.num_attributes()));
+        " attributes, database has " + std::to_string(num_attributes_));
   }
   if (request.k == 0) {
     return Status::InvalidArgument("QueryRequest: k must be at least 1");
@@ -195,15 +271,26 @@ Status SknnEngine::ValidateRequest(const QueryRequest& request) const {
 
 Result<CloudQueryOutput> SknnEngine::Dispatch(
     ProtoContext& ctx, const QueryRequest& request,
-    const std::vector<Ciphertext>& enc_query, SkNNmBreakdown* breakdown) {
+    const std::vector<Ciphertext>& enc_query, QueryResponse* response) {
+  SkNNmBreakdown* breakdown =
+      request.want_breakdown ? &response->breakdown : nullptr;
+  if (coordinator_ != nullptr) {
+    ShardCoordinator::RunStats stats;
+    Result<CloudQueryOutput> out = coordinator_->Run(
+        ctx, request, enc_query,
+        request.protocol == QueryProtocol::kBasic ? nullptr : breakdown,
+        &stats);
+    response->shards = std::move(stats.shards);
+    response->merge_seconds = stats.merge_seconds;
+    return out;
+  }
   if (request.protocol == QueryProtocol::kBasic) {
     return RunSkNNb(ctx, db_, enc_query, request.k);
   }
   SkNNmOptions opts;
   opts.verify_sbd = options_.verify_sbd;
   opts.farthest = request.protocol == QueryProtocol::kFarthest;
-  return RunSkNNm(ctx, db_, enc_query, request.k,
-                  request.want_breakdown ? breakdown : nullptr, opts);
+  return RunSkNNm(ctx, db_, enc_query, request.k, breakdown, opts);
 }
 
 Result<std::vector<BigInt>> SknnEngine::TakeC2Outbox(ProtoContext& ctx,
@@ -243,7 +330,7 @@ Result<QueryResponse> SknnEngine::ExecuteQuery(const QueryRequest& request) {
   {
     ScopedOpSink sink(request.want_op_counts ? &meter.ops() : nullptr);
     Stopwatch cloud_watch;
-    cloud = Dispatch(ctx, request, enc_query, &response.breakdown);
+    cloud = Dispatch(ctx, request, enc_query, &response);
     response.cloud_seconds = cloud_watch.ElapsedSeconds();
   }
   if (!cloud.ok()) {
@@ -267,15 +354,23 @@ Result<QueryResponse> SknnEngine::ExecuteQuery(const QueryRequest& request) {
   } else if (c2_ != nullptr) {
     (void)c2_->TakeQueryOps(query_id);
   }
+  // Under sharding the shard stages meter themselves (per-shard split in
+  // response.shards); fold their share back into the query totals.
   response.traffic = meter.traffic();
+  for (const auto& shard : response.shards) {
+    response.traffic = response.traffic + shard.traffic;
+  }
   if (request.want_op_counts) {
     response.ops = meter.ops().snapshot() + c2_ops;
+    for (const auto& shard : response.shards) {
+      response.ops = response.ops + shard.ops;
+    }
   }
   bob_watch.Reset();
   SKNN_ASSIGN_OR_RETURN(
       response.records,
       bob_->RecoverRecords(from_c2, cloud->masks_for_bob, request.k,
-                           db_.num_attributes()));
+                           num_attributes_));
   response.bob_seconds += bob_watch.ElapsedSeconds();
   return response;
 }

@@ -29,6 +29,8 @@
 #include "common/thread_pool.h"
 #include "core/query_api.h"
 #include "core/query_client.h"
+#include "core/shard_coordinator.h"
+#include "core/sharding.h"
 #include "core/sknn_b.h"
 #include "core/sknn_m.h"
 #include "core/types.h"
@@ -74,6 +76,16 @@ class SknnEngine {
     bool randomizer_pool = true;
     /// Per-cloud randomizer pool capacity (r^N values held ready).
     std::size_t randomizer_pool_capacity = 4096;
+    /// Shard the record fan-out: partition Epk(T) into this many in-process
+    /// shards, run each query's distance + local-top-k stages per shard
+    /// concurrently, and merge the s*k candidates through the coordinator
+    /// (core/shard_coordinator.h). Results are bitwise-identical to the
+    /// unsharded execution for every protocol. 1 = unsharded. For shards in
+    /// separate worker PROCESSES use CreateWithShardWorkers instead, which
+    /// ignores this option.
+    std::size_t shards = 1;
+    /// How the records are partitioned across shards.
+    ShardScheme shard_scheme = ShardScheme::kContiguous;
   };
 
   /// \brief One-time setup: Alice keygens, encrypts `table` and outsources.
@@ -108,6 +120,21 @@ class SknnEngine {
       const PaillierPublicKey& pk, EncryptedDatabase db,
       std::unique_ptr<Endpoint> c2_link, const Options& options);
 
+  /// \brief Assembles the sharded front end of the scaled-out deployment:
+  /// every shard of Epk(T) is hosted by a sknn_c1_shard worker process
+  /// behind one of `shard_links`, and C2 is behind `c2_link` (the workers
+  /// hold their own C2 connections). The coordinator learns the database
+  /// geometry from the workers at connect time, so this engine never loads
+  /// Epk(T) itself; `database()` is empty. Queries behave exactly like any
+  /// other engine's — bitwise-identical records, per-shard stats in
+  /// QueryResponse::shards — and a worker dying mid-query surfaces as
+  /// StatusCode::kUnavailable. Options::shards/shard_scheme are ignored
+  /// (the workers' manifest wins).
+  static Result<std::unique_ptr<SknnEngine>> CreateWithShardWorkers(
+      const PaillierPublicKey& pk,
+      std::vector<std::unique_ptr<Endpoint>> shard_links,
+      std::unique_ptr<Endpoint> c2_link, const Options& options);
+
   ~SknnEngine();
 
   /// \brief Runs one request synchronously on the calling thread — the one
@@ -132,10 +159,21 @@ class SknnEngine {
   Status ValidateRequest(const QueryRequest& request) const;
 
   const PaillierPublicKey& public_key() const { return pk_; }
+  /// \brief Epk(T) as hosted by this process — EMPTY for sharded engines:
+  /// a CreateWithShardWorkers engine's records live in the workers, and an
+  /// in-process shard set (Options::shards > 1) holds them in the
+  /// coordinator's slices instead.
   const EncryptedDatabase& database() const { return db_; }
-  unsigned distance_bits() const { return db_.distance_bits; }
+  std::size_t num_records() const { return num_records_; }
+  std::size_t num_attributes() const { return num_attributes_; }
+  unsigned distance_bits() const { return distance_bits_; }
   /// \brief Attribute domain bound: valid values are [0, 2^attr_bits()).
   unsigned attr_bits() const { return attr_bits_; }
+  /// \brief Non-null when queries execute sharded (Options::shards > 1 or
+  /// CreateWithShardWorkers).
+  const ShardCoordinator* shard_coordinator() const {
+    return coordinator_.get();
+  }
 
   /// \brief True when C2 runs in-process (Create / CreateFromParts); false
   /// for a CreateWithRemoteC2 engine, whose C2 is on the far side of a link.
@@ -160,13 +198,14 @@ class SknnEngine {
   Result<CloudQueryOutput> Dispatch(ProtoContext& ctx,
                                     const QueryRequest& request,
                                     const std::vector<Ciphertext>& enc_query,
-                                    SkNNmBreakdown* breakdown);
+                                    QueryResponse* response);
   void SchedulerLoop();
 
-  /// \brief The construction tail shared by every factory: attribute domain,
-  /// C1 pool, Bob's client, and the C1-side randomizer pool (plus the
-  /// in-process C2's pools when one exists).
-  void InitCommon();
+  /// \brief The construction tail shared by every factory: geometry and
+  /// attribute domain, C1 pool, Bob's client, the C1-side randomizer pool
+  /// (plus the in-process C2's pools when one exists), and the local shard
+  /// coordinator when Options::shards > 1.
+  Status InitCommon();
   /// \brief One query's Bob-bound records — direct call for the in-process
   /// C2, a tagged kFetchBobOutbox exchange (metered through `ctx`) for a
   /// remote one.
@@ -180,6 +219,12 @@ class SknnEngine {
   unsigned attr_bits_ = 0;
   PaillierPublicKey pk_;
   EncryptedDatabase db_;
+  /// Database geometry — mirrors db_ normally; reported by the shard
+  /// workers for a CreateWithShardWorkers engine (whose db_ is empty).
+  std::size_t num_records_ = 0;
+  std::size_t num_attributes_ = 0;
+  unsigned distance_bits_ = 0;
+  std::unique_ptr<ShardCoordinator> coordinator_;
   std::unique_ptr<C2Service> c2_;
   Channel* channel_ = nullptr;  // owned by the endpoints inside client/server
   std::unique_ptr<RpcServer> server_;

@@ -12,6 +12,8 @@
 #ifndef SKNN_CORE_QUERY_API_H_
 #define SKNN_CORE_QUERY_API_H_
 
+#include <vector>
+
 #include "core/types.h"
 
 namespace sknn {
@@ -48,6 +50,22 @@ struct QueryRequest {
   bool want_op_counts = true;
 };
 
+/// \brief One shard's share of a sharded query (core/shard_coordinator.h):
+/// the distance + local-top-k stage it executed on its slice of Epk(T).
+struct ShardQueryStats {
+  /// Shard index within the manifest.
+  uint32_t shard = 0;
+  /// Candidates this shard contributed to the merge (min(k, shard size)).
+  uint32_t candidates = 0;
+  /// Wall time of the shard stage as the coordinator observed it.
+  double seconds = 0;
+  /// The shard's own C1<->C2 traffic during its stage.
+  TrafficStats traffic;
+  /// C1-side Paillier operations of the shard stage (a remote worker
+  /// reports its own; already included in QueryResponse::ops).
+  OpSnapshot ops;
+};
+
 /// \brief Everything Bob ends up with after one request, plus the
 /// measurements the evaluation section reports. All instrumentation is
 /// per-query exact even when many requests run concurrently.
@@ -68,8 +86,16 @@ struct QueryResponse {
   /// QueryRequest::want_op_counts).
   OpSnapshot ops;
   /// Phase breakdown (populated for kSecure/kFarthest when
-  /// QueryRequest::want_breakdown).
+  /// QueryRequest::want_breakdown). Under sharded execution the ssed/sbd
+  /// phases happen inside the shards; the merge's sminn/extract/update and
+  /// the finalize phase are the coordinator's.
   SkNNmBreakdown breakdown;
+  /// Per-shard stage instrumentation (empty for unsharded execution). The
+  /// shard stages' traffic and ops are already folded into `traffic` and
+  /// `ops` above; this is the split.
+  std::vector<ShardQueryStats> shards;
+  /// Wall time of the coordinator's global candidate merge (sharded only).
+  double merge_seconds = 0;
 };
 
 }  // namespace sknn

@@ -1,0 +1,276 @@
+#include "core/shard_coordinator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "proto/query_meter.h"
+
+namespace sknn {
+
+ShardCoordinator::~ShardCoordinator() = default;
+
+Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateLocal(
+    const EncryptedDatabase& db, const ShardManifest& manifest,
+    bool verify_sbd) {
+  SKNN_ASSIGN_OR_RETURN(
+      ShardManifest checked,
+      MakeShardManifest(manifest.total_records, manifest.num_shards,
+                        manifest.scheme));
+  auto coordinator = std::unique_ptr<ShardCoordinator>(new ShardCoordinator());
+  coordinator->manifest_ = checked;
+  coordinator->verify_sbd_ = verify_sbd;
+  coordinator->num_attributes_ = db.num_attributes();
+  coordinator->distance_bits_ = db.distance_bits;
+  SKNN_ASSIGN_OR_RETURN(coordinator->slices_, PartitionDatabase(db, checked));
+  return coordinator;
+}
+
+Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateRemote(
+    std::vector<std::unique_ptr<Endpoint>> worker_links, bool verify_sbd) {
+  if (worker_links.empty()) {
+    return Status::InvalidArgument("ShardCoordinator: no worker links");
+  }
+  // Ping every worker for its geometry; workers may connect in any order —
+  // they are re-indexed by their reported shard.
+  std::vector<std::unique_ptr<RpcClient>> clients;
+  std::vector<ShardGeometry> geometries;
+  for (auto& link : worker_links) {
+    if (link == nullptr) {
+      return Status::InvalidArgument("ShardCoordinator: null worker link");
+    }
+    auto client = std::make_unique<RpcClient>(std::move(link));
+    auto pong = client->Call(EncodeShardPing());
+    if (!pong.ok()) {
+      return Status::Unavailable("shard worker " +
+                                 std::to_string(clients.size()) +
+                                 " did not answer ping: " +
+                                 pong.status().message());
+    }
+    SKNN_ASSIGN_OR_RETURN(ShardGeometry geometry, DecodeShardGeometry(*pong));
+    clients.push_back(std::move(client));
+    geometries.push_back(geometry);
+  }
+  const ShardManifest manifest = geometries[0].manifest;
+  if (manifest.num_shards != clients.size()) {
+    return Status::InvalidArgument(
+        "ShardCoordinator: manifest wants " +
+        std::to_string(manifest.num_shards) + " shards, got " +
+        std::to_string(clients.size()) + " workers");
+  }
+  auto coordinator = std::unique_ptr<ShardCoordinator>(new ShardCoordinator());
+  coordinator->manifest_ = manifest;
+  coordinator->verify_sbd_ = verify_sbd;
+  coordinator->num_attributes_ = geometries[0].num_attributes;
+  coordinator->distance_bits_ = geometries[0].distance_bits;
+  coordinator->workers_.resize(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const ShardGeometry& g = geometries[i];
+    if (!(g.manifest == manifest) ||
+        g.num_attributes != coordinator->num_attributes_ ||
+        g.distance_bits != coordinator->distance_bits_) {
+      return Status::InvalidArgument(
+          "ShardCoordinator: worker " + std::to_string(i) +
+          " disagrees on the manifest or database geometry");
+    }
+    if (g.shard >= clients.size() ||
+        coordinator->workers_[g.shard] != nullptr) {
+      return Status::InvalidArgument(
+          "ShardCoordinator: workers do not cover shards 0.." +
+          std::to_string(clients.size() - 1) + " exactly (duplicate or " +
+          "out-of-range shard index " + std::to_string(g.shard) + ")");
+    }
+    coordinator->workers_[g.shard] = std::move(clients[i]);
+  }
+  return coordinator;
+}
+
+Result<ShardCandidates> ShardCoordinator::RunShard(
+    ProtoContext& ctx, std::size_t shard, const QueryRequest& request,
+    const std::vector<Ciphertext>& enc_query, ShardQueryStats* stats) {
+  stats->shard = static_cast<uint32_t>(shard);
+  if (!workers_.empty()) {
+    ShardQueryFrame frame;
+    frame.query_id = ctx.query_id();
+    frame.k = request.k;
+    frame.protocol = request.protocol;
+    frame.enc_query = enc_query;
+    auto resp = workers_[shard]->Call(EncodeShardQuery(frame));
+    if (!resp.ok()) {
+      // The transport died under the call: worker killed, link cut. This is
+      // the one failure the coordinator maps to kUnavailable — a protocol
+      // error inside a live worker arrives as a kShardError frame instead.
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " worker unreachable: " +
+                                 resp.status().message());
+    }
+    if (resp->type == OpCode(Op::kError)) {
+      return Status::Unavailable(
+          "shard " + std::to_string(shard) + " worker failed: " +
+          std::string(resp->aux.begin(), resp->aux.end()));
+    }
+    SKNN_ASSIGN_OR_RETURN(ShardCandidatesFrame decoded,
+                          DecodeShardCandidates(*resp));
+    stats->candidates = static_cast<uint32_t>(decoded.candidates.count());
+    stats->seconds = decoded.seconds;
+    stats->traffic = decoded.traffic;
+    stats->ops = decoded.ops;
+    return std::move(decoded.candidates);
+  }
+
+  // Local shard set: same stage, this process, per-shard meter. The shard's
+  // C1-side Paillier ops sink into the shard meter (NOT the query's main
+  // meter — the engine folds them back in via the stats), so the per-shard
+  // split stays exact.
+  QueryMeter shard_meter;
+  ProtoContext shard_ctx(&ctx.pk(), ctx.client(), ctx.pool(), ctx.query_id(),
+                         &shard_meter, ctx.vectorized());
+  Stopwatch watch;
+  Result<ShardCandidates> result = [&] {
+    ScopedOpSink sink(&shard_meter.ops());
+    return RunShardStage(shard_ctx, slices_[shard], manifest_.total_records,
+                         enc_query, request.k, request.protocol, verify_sbd_);
+  }();
+  stats->seconds = watch.ElapsedSeconds();
+  stats->traffic = shard_meter.traffic();
+  stats->ops = shard_meter.ops().snapshot();
+  if (result.ok()) {
+    stats->candidates = static_cast<uint32_t>(result->count());
+  }
+  return result;
+}
+
+Result<CloudQueryOutput> ShardCoordinator::MergeSecure(
+    ProtoContext& ctx, std::vector<ShardCandidates> candidates, unsigned k,
+    SkNNmBreakdown* breakdown) {
+  const unsigned want_bits =
+      AugmentedBitWidth(distance_bits_, manifest_.total_records);
+  std::vector<EncryptedBits> pool_bits;
+  std::vector<std::vector<Ciphertext>> pool_records;
+  for (std::size_t shard = 0; shard < candidates.size(); ++shard) {
+    ShardCandidates& c = candidates[shard];
+    if (c.bits.size() != c.records.size()) {
+      return Status::ProtocolError("shard " + std::to_string(shard) +
+                                   ": candidate bits/records mismatch");
+    }
+    for (std::size_t i = 0; i < c.bits.size(); ++i) {
+      if (c.bits[i].size() != want_bits ||
+          c.records[i].size() != num_attributes_) {
+        return Status::ProtocolError("shard " + std::to_string(shard) +
+                                     ": candidate geometry mismatch");
+      }
+      pool_bits.push_back(std::move(c.bits[i]));
+      pool_records.push_back(std::move(c.records[i]));
+    }
+  }
+  if (pool_records.size() < k) {
+    return Status::ProtocolError(
+        "merge pool holds " + std::to_string(pool_records.size()) +
+        " candidates for k = " + std::to_string(k));
+  }
+  // The candidates' augmented values are pairwise distinct (each embeds its
+  // global index), so these k iterations pick exactly the global top-k in
+  // the global order — bitwise what the unsharded extraction returns.
+  SKNN_ASSIGN_OR_RETURN(TopKExtraction top,
+                        ExtractTopK(ctx, pool_records, pool_bits, k,
+                                    /*keep_winner_bits=*/false, breakdown));
+  Stopwatch finalize;
+  Result<CloudQueryOutput> out = MaskAndShipToBob(ctx, top.records);
+  if (breakdown != nullptr) {
+    breakdown->finalize_seconds += finalize.ElapsedSeconds();
+  }
+  return out;
+}
+
+Result<CloudQueryOutput> ShardCoordinator::MergeBasic(
+    ProtoContext& ctx, std::vector<ShardCandidates> candidates, unsigned k) {
+  struct Candidate {
+    const Ciphertext* distance;
+    const std::vector<Ciphertext>* record;
+    uint32_t global_index;
+  };
+  std::vector<Candidate> pool;
+  for (std::size_t shard = 0; shard < candidates.size(); ++shard) {
+    const ShardCandidates& c = candidates[shard];
+    if (c.distances.size() != c.records.size() ||
+        c.global_indices.size() != c.records.size()) {
+      return Status::ProtocolError("shard " + std::to_string(shard) +
+                                   ": basic candidate geometry mismatch");
+    }
+    for (std::size_t i = 0; i < c.records.size(); ++i) {
+      if (c.records[i].size() != num_attributes_ ||
+          c.global_indices[i] >= manifest_.total_records) {
+        return Status::ProtocolError("shard " + std::to_string(shard) +
+                                     ": basic candidate out of range");
+      }
+      pool.push_back({&c.distances[i], &c.records[i], c.global_indices[i]});
+    }
+  }
+  if (pool.size() < k) {
+    return Status::ProtocolError("merge pool holds " +
+                                 std::to_string(pool.size()) +
+                                 " candidates for k = " + std::to_string(k));
+  }
+  // C2's top-k round breaks distance ties by the lower POSITION in the sent
+  // vector; ordering the pool by global index makes that tie-break the
+  // global one, so the merged list equals the unsharded protocol's exactly.
+  std::sort(pool.begin(), pool.end(), [](const Candidate& a,
+                                         const Candidate& b) {
+    return a.global_index < b.global_index;
+  });
+  std::vector<Ciphertext> dists;
+  dists.reserve(pool.size());
+  for (const Candidate& c : pool) dists.push_back(*c.distance);
+  SKNN_ASSIGN_OR_RETURN(std::vector<uint32_t> delta,
+                        SecureTopKIndices(ctx, dists, k));
+  std::vector<std::vector<Ciphertext>> chosen;
+  chosen.reserve(k);
+  for (uint32_t idx : delta) chosen.push_back(*pool[idx].record);
+  return MaskAndShipToBob(ctx, chosen);
+}
+
+Result<CloudQueryOutput> ShardCoordinator::Run(
+    ProtoContext& ctx, const QueryRequest& request,
+    const std::vector<Ciphertext>& enc_query, SkNNmBreakdown* breakdown,
+    RunStats* stats) {
+  const std::size_t s = manifest_.num_shards;
+  RunStats local_stats;
+  RunStats& st = stats != nullptr ? *stats : local_stats;
+  st.shards.assign(s, ShardQueryStats{});
+  st.merge_seconds = 0;
+
+  // Fan out: every shard stage in flight at once. Shard threads only drive
+  // control flow (and block on their shard's round trips); the homomorphic
+  // work still lands on the shared pools.
+  std::vector<Result<ShardCandidates>> results(
+      s, Result<ShardCandidates>(Status::Internal("unset")));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(s);
+    for (std::size_t shard = 0; shard < s; ++shard) {
+      threads.emplace_back([&, shard] {
+        results[shard] =
+            RunShard(ctx, shard, request, enc_query, &st.shards[shard]);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  std::vector<ShardCandidates> candidates;
+  candidates.reserve(s);
+  for (std::size_t shard = 0; shard < s; ++shard) {
+    if (!results[shard].ok()) return results[shard].status();
+    candidates.push_back(std::move(results[shard]).value());
+  }
+
+  Stopwatch merge_watch;
+  Result<CloudQueryOutput> merged =
+      request.protocol == QueryProtocol::kBasic
+          ? MergeBasic(ctx, std::move(candidates), request.k)
+          : MergeSecure(ctx, std::move(candidates), request.k, breakdown);
+  st.merge_seconds = merge_watch.ElapsedSeconds();
+  return merged;
+}
+
+}  // namespace sknn

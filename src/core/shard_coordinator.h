@@ -1,0 +1,100 @@
+// ShardCoordinator — fans one query out to all shards and merges their
+// candidates into the global answer.
+//
+// Two shard placements behind one interface:
+//   * local  — the shard slices live in this process and their stages run
+//     on coordinator-spawned threads, all sharing the engine's C2 link
+//     (concurrent exchanges demux by correlation id; per-query attribution
+//     by the shared query id);
+//   * remote — each shard is a sknn_c1_shard worker process reached over
+//     the RPC stack (net/shard_wire.h), with its own copy of its slice and
+//     its own C2 connection. A dead or unreachable worker surfaces as
+//     StatusCode::kUnavailable, never as a hang.
+//
+// The merge is the same machinery as the unsharded protocol, restricted to
+// the s*k candidates: for kSecure/kFarthest, k iterations of ExtractTopK
+// over the candidates' augmented bit vectors (every candidate embeds its
+// global index, so the total order — and therefore the result — is
+// bitwise-identical to the unsharded SknnEngine::Query); for kBasic, one
+// more plaintext top-k round at C2 over the candidate distances, ordered by
+// global index so the lower-index tie-break stays exact. The coordinator
+// finishes with the usual masked hand-off to Bob.
+#ifndef SKNN_CORE_SHARD_COORDINATOR_H_
+#define SKNN_CORE_SHARD_COORDINATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/query_api.h"
+#include "core/sharding.h"
+#include "net/rpc.h"
+#include "net/shard_wire.h"
+
+namespace sknn {
+
+class ShardCoordinator {
+ public:
+  /// \brief Per-run instrumentation, merged into QueryResponse by the
+  /// engine.
+  struct RunStats {
+    std::vector<ShardQueryStats> shards;
+    double merge_seconds = 0;
+  };
+
+  /// \brief In-process shard set: partitions `db` along `manifest` and runs
+  /// every shard stage on coordinator threads against the caller's C2 link.
+  static Result<std::unique_ptr<ShardCoordinator>> CreateLocal(
+      const EncryptedDatabase& db, const ShardManifest& manifest,
+      bool verify_sbd);
+
+  /// \brief Remote shard workers: pings every link, validates that the
+  /// workers agree on one manifest and cover shards {0..s-1} exactly (in
+  /// any connection order), and keeps one RPC client per shard. The
+  /// database geometry (total records, attributes, distance bits) is
+  /// learned from the workers — the coordinator never needs Epk(T).
+  static Result<std::unique_ptr<ShardCoordinator>> CreateRemote(
+      std::vector<std::unique_ptr<Endpoint>> worker_links, bool verify_sbd);
+
+  ~ShardCoordinator();
+
+  /// \brief One query: fan out, collect s*k candidates, merge, mask-and-
+  /// ship to Bob. All merge exchanges (and, in local mode, the shard
+  /// stages) ride `ctx`'s query id and meter. `breakdown` receives the
+  /// merge's sminn/extract/update phases.
+  Result<CloudQueryOutput> Run(ProtoContext& ctx, const QueryRequest& request,
+                               const std::vector<Ciphertext>& enc_query,
+                               SkNNmBreakdown* breakdown, RunStats* stats);
+
+  const ShardManifest& manifest() const { return manifest_; }
+  /// \brief Database geometry (remote mode reports the workers'; local mode
+  /// mirrors the partitioned db).
+  std::size_t num_attributes() const { return num_attributes_; }
+  unsigned distance_bits() const { return distance_bits_; }
+
+ private:
+  ShardCoordinator() = default;
+
+  Result<ShardCandidates> RunShard(ProtoContext& ctx, std::size_t shard,
+                                   const QueryRequest& request,
+                                   const std::vector<Ciphertext>& enc_query,
+                                   ShardQueryStats* stats);
+  Result<CloudQueryOutput> MergeSecure(
+      ProtoContext& ctx, std::vector<ShardCandidates> candidates, unsigned k,
+      SkNNmBreakdown* breakdown);
+  Result<CloudQueryOutput> MergeBasic(ProtoContext& ctx,
+                                      std::vector<ShardCandidates> candidates,
+                                      unsigned k);
+
+  ShardManifest manifest_;
+  bool verify_sbd_ = true;
+  std::size_t num_attributes_ = 0;
+  unsigned distance_bits_ = 0;
+  /// Local mode: one slice per shard.
+  std::vector<ShardSlice> slices_;
+  /// Remote mode: one standing RPC client per shard, indexed by shard.
+  std::vector<std::unique_ptr<RpcClient>> workers_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_CORE_SHARD_COORDINATOR_H_

@@ -32,6 +32,35 @@ Result<CloudQueryOutput> MaskAndShipToBob(
   return out;
 }
 
+Result<std::vector<uint32_t>> SecureTopKIndices(
+    ProtoContext& ctx, const std::vector<Ciphertext>& dists, unsigned k) {
+  const std::size_t n = dists.size();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("SecureTopKIndices: k must be in [1, n]");
+  }
+  std::vector<BigInt> dist_values;
+  dist_values.reserve(n);
+  for (const auto& c : dists) dist_values.push_back(c.value());
+  std::vector<uint8_t> aux;
+  AppendU32(aux, k);
+  SKNN_ASSIGN_OR_RETURN(
+      Message resp,
+      ctx.Call(Op::kTopKIndices, std::move(dist_values), std::move(aux)));
+  if (resp.aux.size() != std::size_t{k} * 4) {
+    return Status::ProtocolError("SecureTopKIndices: bad top-k response");
+  }
+  std::vector<uint32_t> indices;
+  indices.reserve(k);
+  for (unsigned j = 0; j < k; ++j) {
+    uint32_t idx = resp.AuxU32At(std::size_t{j} * 4);
+    if (idx >= n) {
+      return Status::ProtocolError("SecureTopKIndices: index out of range");
+    }
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
 Result<CloudQueryOutput> RunSkNNb(ProtoContext& ctx,
                                   const EncryptedDatabase& db,
                                   const std::vector<Ciphertext>& enc_query,
@@ -51,28 +80,13 @@ Result<CloudQueryOutput> RunSkNNb(ProtoContext& ctx,
 
   // Step 3: C2 decrypts the distances and returns the top-k index list
   // delta. (This is exactly the leak the basic protocol accepts.)
-  std::vector<BigInt> dist_values;
-  dist_values.reserve(n);
-  for (auto& c : dist) dist_values.push_back(c.value());
-  std::vector<uint8_t> aux;
-  AppendU32(aux, k);
-  SKNN_ASSIGN_OR_RETURN(
-      Message resp,
-      ctx.Call(Op::kTopKIndices, std::move(dist_values), std::move(aux)));
-  if (resp.aux.size() != std::size_t{k} * 4) {
-    return Status::ProtocolError("SkNN_b: bad top-k response");
-  }
+  SKNN_ASSIGN_OR_RETURN(std::vector<uint32_t> delta,
+                        SecureTopKIndices(ctx, dist, k));
 
   // Steps 4-5: randomize the chosen records and ship them to Bob.
   std::vector<std::vector<Ciphertext>> chosen;
   chosen.reserve(k);
-  for (unsigned j = 0; j < k; ++j) {
-    uint32_t idx = resp.AuxU32At(std::size_t{j} * 4);
-    if (idx >= n) {
-      return Status::ProtocolError("SkNN_b: top-k index out of range");
-    }
-    chosen.push_back(db.records[idx]);
-  }
+  for (uint32_t idx : delta) chosen.push_back(db.records[idx]);
   return MaskAndShipToBob(ctx, chosen);
 }
 

@@ -27,6 +27,13 @@ struct CloudQueryOutput {
 Result<CloudQueryOutput> MaskAndShipToBob(
     ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& chosen);
 
+/// \brief Step 3 of Algorithm 5 on its own: C2 decrypts `dists` and returns
+/// the indices of the k smallest, ties broken by the lower position — the
+/// round the sharded execution reuses to pick local candidates per shard
+/// and again to merge candidates at the coordinator (core/shard_coordinator).
+Result<std::vector<uint32_t>> SecureTopKIndices(
+    ProtoContext& ctx, const std::vector<Ciphertext>& dists, unsigned k);
+
 /// \brief Runs Algorithm 5 on C1's side. `enc_query` is Epk(Q) as received
 /// from Bob. Returns the C1->Bob masks; C2's outbox holds the other half.
 Result<CloudQueryOutput> RunSkNNb(ProtoContext& ctx,

@@ -1,5 +1,7 @@
 #include "core/sknn_m.h"
 
+#include <bit>
+
 #include "common/stopwatch.h"
 #include "proto/permutation.h"
 #include "proto/sbor.h"
@@ -10,54 +12,102 @@
 
 namespace sknn {
 
-Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
-                                  const EncryptedDatabase& db,
-                                  const std::vector<Ciphertext>& enc_query,
-                                  unsigned k, SkNNmBreakdown* breakdown,
-                                  const SkNNmOptions& options) {
-  const std::size_t n = db.num_records();
-  const std::size_t m = db.num_attributes();
-  const unsigned l = db.distance_bits;
-  if (k == 0 || k > n) {
-    return Status::InvalidArgument("SkNN_m: k must be in [1, n]");
-  }
-  if (enc_query.size() != m) {
-    return Status::InvalidArgument("SkNN_m: query dimension mismatch");
+unsigned TieBreakIndexBits(std::size_t total_records) {
+  if (total_records <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(total_records - 1));
+}
+
+Result<std::vector<EncryptedBits>> PrepareDistanceBits(
+    ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& records,
+    const std::vector<Ciphertext>& enc_query, unsigned l,
+    const std::vector<std::size_t>* global_indices, std::size_t total_records,
+    bool farthest, bool verify_sbd, SkNNmBreakdown* breakdown) {
+  const std::size_t n = records.size();
+  if (n == 0) {
+    return Status::InvalidArgument("PrepareDistanceBits: no records");
   }
   if (l == 0) {
-    return Status::InvalidArgument("SkNN_m: database lacks distance_bits");
+    return Status::InvalidArgument("PrepareDistanceBits: l must be positive");
+  }
+  if (global_indices != nullptr && global_indices->size() != n) {
+    return Status::InvalidArgument(
+        "PrepareDistanceBits: global_indices size mismatch");
+  }
+  if (total_records < n) {
+    return Status::InvalidArgument(
+        "PrepareDistanceBits: total_records smaller than the record set");
+  }
+  const PaillierPublicKey& pk = ctx.pk();
+  SkNNmBreakdown local_breakdown;
+  SkNNmBreakdown& bd = breakdown != nullptr ? *breakdown : local_breakdown;
+  Stopwatch phase;
+
+  // Step 2: Epk(d_i) by SSED, then [d_i] by SBD.
+  SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> dist,
+                        SecureSquaredDistanceBatch(ctx, records, enc_query));
+  bd.ssed_seconds += phase.ElapsedSeconds();
+  phase.Reset();
+
+  SbdOptions sbd_opts;
+  sbd_opts.l = l;
+  sbd_opts.verify = verify_sbd;
+  SKNN_ASSIGN_OR_RETURN(std::vector<EncryptedBits> bits,
+                        BitDecomposeBatch(ctx, dist, sbd_opts));
+
+  // Tie-break augmentation: [flag = 0 | d_i (complemented for farthest) |
+  // global index], MSB first. The compared values are now pairwise
+  // distinct, so every SMIN_n has a unique winner and C2's min pointer sees
+  // exactly one zero. The flag bit keeps clamped (already extracted)
+  // records strictly above every live one even when a live record's
+  // distance and index bits are all ones.
+  const unsigned idx_bits = TieBreakIndexBits(total_records);
+  ctx.ForEach(n, [&](std::size_t i) {
+    Random& rng = Random::ThreadLocal();
+    EncryptedBits aug;
+    aug.reserve(1 + l + idx_bits);
+    aug.push_back(pk.Encrypt(BigInt(0), rng));
+    EncryptedBits d_bits =
+        farthest ? ComplementBits(pk, bits[i]) : std::move(bits[i]);
+    for (auto& b : d_bits) aug.push_back(std::move(b));
+    const std::size_t gidx =
+        global_indices != nullptr ? (*global_indices)[i] : i;
+    for (unsigned g = idx_bits; g-- > 0;) {
+      aug.push_back(pk.Encrypt(BigInt(int64_t{(gidx >> g) & 1}), rng));
+    }
+    bits[i] = std::move(aug);
+  });
+  bd.sbd_seconds += phase.ElapsedSeconds();
+  return bits;
+}
+
+Result<TopKExtraction> ExtractTopK(
+    ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& records,
+    std::vector<EncryptedBits>& bits, unsigned k, bool keep_winner_bits,
+    SkNNmBreakdown* breakdown) {
+  const std::size_t n = records.size();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("ExtractTopK: k must be in [1, n]");
+  }
+  if (bits.size() != n) {
+    return Status::InvalidArgument(
+        "ExtractTopK: records / bit vectors size mismatch");
+  }
+  const std::size_t m = records[0].size();
+  const std::size_t l_aug = bits[0].size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (records[i].size() != m || bits[i].size() != l_aug) {
+      return Status::InvalidArgument("ExtractTopK: ragged inputs");
+    }
   }
   const PaillierPublicKey& pk = ctx.pk();
   const BigInt& big_n = pk.n();
   SkNNmBreakdown local_breakdown;
   SkNNmBreakdown& bd = breakdown != nullptr ? *breakdown : local_breakdown;
-  bd = SkNNmBreakdown{};
   Stopwatch phase;
 
-  // Step 2: Epk(d_i) by SSED, then [d_i] by SBD.
-  SKNN_ASSIGN_OR_RETURN(
-      std::vector<Ciphertext> dist,
-      SecureSquaredDistanceBatch(ctx, db.records, enc_query));
-  bd.ssed_seconds = phase.ElapsedSeconds();
-  phase.Reset();
-
-  SbdOptions sbd_opts;
-  sbd_opts.l = l;
-  sbd_opts.verify = options.verify_sbd;
-  SKNN_ASSIGN_OR_RETURN(std::vector<EncryptedBits> bits,
-                        BitDecomposeBatch(ctx, dist, sbd_opts));
-  if (options.farthest) {
-    // Work on complements: the minimum of NOT d is the maximum of d, and
-    // every downstream step (SMIN_n, pointer, clamp) applies unchanged.
-    ctx.ForEach(n, [&](std::size_t i) {
-      bits[i] = ComplementBits(pk, bits[i]);
-      dist[i] = ComposeFromBits(pk, bits[i]);
-    });
-  }
-  bd.sbd_seconds = phase.ElapsedSeconds();
-
-  std::vector<std::vector<Ciphertext>> result_records;
-  result_records.reserve(k);
+  TopKExtraction out;
+  out.records.reserve(k);
+  if (keep_winner_bits) out.winner_bits.reserve(k);
 
   for (unsigned s = 1; s <= k; ++s) {
     // Step 3(a): [d_min] over the current (possibly clamped) bit vectors.
@@ -65,14 +115,15 @@ Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
     SKNN_ASSIGN_OR_RETURN(EncryptedBits dmin_bits, SecureMinN(ctx, bits));
     bd.sminn_seconds += phase.ElapsedSeconds();
 
-    // Step 3(b): tau_i = Epk(r_i * (d_min - d_i)), permuted. From the second
-    // iteration on, Epk(d_i) must be recomposed from the updated bits.
+    // Step 3(b): tau_i = Epk(r_i * (d_min - d_i)), permuted. Epk(d_i) is
+    // recomposed from the current bits (they carry the augmentation and,
+    // from the second iteration on, the clamps).
     phase.Reset();
     Ciphertext e_dmin = ComposeFromBits(pk, dmin_bits);
     std::vector<Ciphertext> tau(n);
     ctx.ForEach(n, [&](std::size_t i) {
       Random& rng = Random::ThreadLocal();
-      Ciphertext e_di = (s == 1) ? dist[i] : ComposeFromBits(pk, bits[i]);
+      Ciphertext e_di = ComposeFromBits(pk, bits[i]);
       Ciphertext diff = pk.Sub(e_dmin, e_di);
       tau[i] = pk.MulScalar(diff, rng.NonZeroBelow(big_n));
     });
@@ -82,11 +133,13 @@ Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
     beta.reserve(n);
     for (auto& c : tau_perm) beta.push_back(c.value());
 
-    // Step 3(c): C2 locates a zero and answers with the encrypted one-hot U.
+    // Step 3(c): C2 locates the zero and answers with the encrypted
+    // one-hot U. The augmentation guarantees a unique minimum, so C2 sees
+    // exactly one zero — tie multiplicity is no longer in its view.
     SKNN_ASSIGN_OR_RETURN(Message u_resp,
                           ctx.Call(Op::kMinPointerBatch, std::move(beta)));
     if (u_resp.ints.size() != n) {
-      return Status::ProtocolError("SkNN_m: bad min-pointer response");
+      return Status::ProtocolError("ExtractTopK: bad min-pointer response");
     }
     std::vector<Ciphertext> u(n);
     for (std::size_t i = 0; i < n; ++i) u[i] = Ciphertext(u_resp.ints[i]);
@@ -94,28 +147,28 @@ Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
     // Step 3(d): V = pi^{-1}(U); record extraction via one batched SM of
     // V_i against every attribute, then column-wise homomorphic sums.
     //
-    // Step 3(e) clamps the winner's distance to 2^l - 1 via SBOR of V_i
-    // into every bit of [d_i] — and SBOR's only round trip is itself an SM
-    // of exactly the same V_i. In vectorized mode both stages therefore
-    // ride ONE fused SM round (operands [V x attributes | V x bits]); C2
-    // sees the same blinded products either way, so only the message count
-    // changes. Scalar mode keeps the paper-literal two rounds. The clamp is
-    // skipped after the last iteration (the paper loops it unconditionally;
-    // the update only matters for the next SMIN_n).
+    // Step 3(e) clamps every bit of the winner to 1 via SBOR of V_i — and
+    // SBOR's only round trip is itself an SM of exactly the same V_i. In
+    // vectorized mode both stages therefore ride ONE fused SM round
+    // (operands [V x attributes | V x bits]); C2 sees the same blinded
+    // products either way, so only the message count changes. Scalar mode
+    // keeps the paper-literal two rounds. The clamp is skipped after the
+    // last iteration (the paper loops it unconditionally; the update only
+    // matters for the next SMIN_n).
     std::vector<Ciphertext> v = pi.ApplyInverse(u);
     const bool clamp = s < k;
     const bool fuse = ctx.vectorized() && clamp;
-    const std::size_t sm_count = n * m + (fuse ? n * l : 0);
+    const std::size_t sm_count = n * m + (fuse ? n * l_aug : 0);
     std::vector<Ciphertext> sm_left(sm_count), sm_right(sm_count);
     ctx.ForEach(n, [&](std::size_t i) {
       for (std::size_t j = 0; j < m; ++j) {
         sm_left[i * m + j] = v[i];
-        sm_right[i * m + j] = db.records[i][j];
+        sm_right[i * m + j] = records[i][j];
       }
       if (fuse) {
-        for (unsigned g = 0; g < l; ++g) {
-          sm_left[n * m + i * l + g] = v[i];
-          sm_right[n * m + i * l + g] = bits[i][g];
+        for (std::size_t g = 0; g < l_aug; ++g) {
+          sm_left[n * m + i * l_aug + g] = v[i];
+          sm_right[n * m + i * l_aug + g] = bits[i][g];
         }
       }
     });
@@ -129,7 +182,8 @@ Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
       }
       record[j] = std::move(acc);
     });
-    result_records.push_back(std::move(record));
+    out.records.push_back(std::move(record));
+    if (keep_winner_bits) out.winner_bits.push_back(std::move(dmin_bits));
     bd.extract_seconds += phase.ElapsedSeconds();
 
     if (!clamp) break;
@@ -138,34 +192,64 @@ Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
       // Finish the SBOR locally from the fused products:
       // v OR bit = v + bit - v*bit.
       ctx.ForEach(n, [&](std::size_t i) {
-        for (unsigned g = 0; g < l; ++g) {
+        for (std::size_t g = 0; g < l_aug; ++g) {
           bits[i][g] = pk.Sub(pk.Add(v[i], bits[i][g]),
-                              v_prime[n * m + i * l + g]);
+                              v_prime[n * m + i * l_aug + g]);
         }
       });
     } else {
-      std::vector<Ciphertext> or_left(n * l), or_right(n * l);
+      std::vector<Ciphertext> or_left(n * l_aug), or_right(n * l_aug);
       ctx.ForEach(n, [&](std::size_t i) {
-        for (unsigned g = 0; g < l; ++g) {
-          or_left[i * l + g] = v[i];
-          or_right[i * l + g] = bits[i][g];
+        for (std::size_t g = 0; g < l_aug; ++g) {
+          or_left[i * l_aug + g] = v[i];
+          or_right[i * l_aug + g] = bits[i][g];
         }
       });
       SKNN_ASSIGN_OR_RETURN(std::vector<Ciphertext> ored,
                             SecureBitOrBatch(ctx, or_left, or_right));
       ctx.ForEach(n, [&](std::size_t i) {
-        for (unsigned g = 0; g < l; ++g) {
-          bits[i][g] = ored[i * l + g];
+        for (std::size_t g = 0; g < l_aug; ++g) {
+          bits[i][g] = ored[i * l_aug + g];
         }
       });
     }
     bd.update_seconds += phase.ElapsedSeconds();
   }
+  return out;
+}
+
+Result<CloudQueryOutput> RunSkNNm(ProtoContext& ctx,
+                                  const EncryptedDatabase& db,
+                                  const std::vector<Ciphertext>& enc_query,
+                                  unsigned k, SkNNmBreakdown* breakdown,
+                                  const SkNNmOptions& options) {
+  const std::size_t n = db.num_records();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("SkNN_m: k must be in [1, n]");
+  }
+  if (enc_query.size() != db.num_attributes()) {
+    return Status::InvalidArgument("SkNN_m: query dimension mismatch");
+  }
+  if (db.distance_bits == 0) {
+    return Status::InvalidArgument("SkNN_m: database lacks distance_bits");
+  }
+  SkNNmBreakdown local_breakdown;
+  SkNNmBreakdown& bd = breakdown != nullptr ? *breakdown : local_breakdown;
+  bd = SkNNmBreakdown{};
+
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<EncryptedBits> bits,
+      PrepareDistanceBits(ctx, db.records, enc_query, db.distance_bits,
+                          /*global_indices=*/nullptr, n, options.farthest,
+                          options.verify_sbd, &bd));
+  SKNN_ASSIGN_OR_RETURN(TopKExtraction top,
+                        ExtractTopK(ctx, db.records, bits, k,
+                                    /*keep_winner_bits=*/false, &bd));
 
   // Steps 4-6 (as in Algorithm 5): mask and ship to Bob.
-  phase.Reset();
+  Stopwatch phase;
   SKNN_ASSIGN_OR_RETURN(CloudQueryOutput out,
-                        MaskAndShipToBob(ctx, result_records));
+                        MaskAndShipToBob(ctx, top.records));
   bd.finalize_seconds = phase.ElapsedSeconds();
   return out;
 }

@@ -6,12 +6,29 @@
 //   (a) SMIN_n yields [d_min] (known only to C1, value known to nobody);
 //   (b) C1 recomposes Epk(d_min - d_i), blinds each difference with a fresh
 //       non-zero factor and permutes the vector (pi) before sending it;
-//   (c) C2 sees zeros only at minimum positions (random residues elsewhere),
-//       picks one and returns the encrypted one-hot vector U;
+//   (c) C2 sees a zero only at the minimum position (random residues
+//       elsewhere) and returns the encrypted one-hot vector U;
 //   (d) C1 un-permutes U into V and extracts the winning record
 //       obliviously: Epk(t'_s,j) = prod_i SM(V_i, Epk(t_{i,j}));
-//   (e) the winner's distance bits are clamped to all-ones via SBOR with V_i
-//       so it can never win again — without C1 learning which record it was.
+//   (e) the winner's bits are clamped to all-ones via SBOR with V_i so it
+//       can never win again — without C1 learning which record it was.
+//
+// Deterministic tie-break (the departure from the paper's literal Section
+// 4.2, which lets C2 pick among tied minima at random): every comparison
+// runs on an AUGMENTED bit vector
+//
+//     [extracted-flag | d_i (l bits) | global record index]
+//
+// so the compared values are pairwise distinct — ties in d are broken by
+// the lower global index, and already-extracted records (flag forced to 1
+// by the clamp) sort above everything still alive. The protocol's answer
+// becomes a pure function of (table, query, k), which is what lets a
+// sharded execution (core/shard_coordinator.h) merge per-shard candidates
+// into bitwise-identical results, and C2 now sees EXACTLY one zero in every
+// min-pointer round instead of leaking the multiplicity of the tie. The
+// index bits are data-independent public values; everything C2 decrypts is
+// blinded exactly as before, so the Section 4.3 security argument is
+// unchanged.
 //
 // Neither cloud learns distances, the query, the records, or which records
 // form the answer: access patterns are hidden (Section 4.3).
@@ -24,6 +41,7 @@
 #include "core/types.h"
 #include "proto/context.h"
 #include "proto/sbd.h"
+#include "proto/smin.h"
 
 namespace sknn {
 
@@ -35,11 +53,56 @@ struct SkNNmOptions {
   /// Algorithm 6 runs unchanged — extraction clamps a winner's complemented
   /// distance to all-ones, i.e. its true distance to 0. This is the
   /// building block for distance-based outlier detection (Section 2.1.1).
-  /// Caveat (mirrors the nearest-neighbor clamp): records at true distance
-  /// 0 from Q tie with already-extracted winners once k exceeds the number
-  /// of records at non-zero distance.
+  /// Ties (equal true distance) are broken by the lower global index, same
+  /// as the nearest-neighbor direction.
   bool farthest = false;
 };
+
+/// \brief Width of the global-index field of the augmented bit vectors for
+/// a database of `total_records` records (0 when a single record needs no
+/// tie-break).
+unsigned TieBreakIndexBits(std::size_t total_records);
+
+/// \brief Total augmented vector width: flag + l distance bits + index.
+inline unsigned AugmentedBitWidth(unsigned l, std::size_t total_records) {
+  return 1 + l + TieBreakIndexBits(total_records);
+}
+
+/// \brief Steps 2-3(b-prep) of Algorithm 6 for `records` (all of Epk(T), or
+/// one shard of it): SSED distances, SBD bit decomposition (complemented
+/// for `farthest`), then the tie-break augmentation described above.
+/// `global_indices` names each record's index in the FULL database (null =
+/// identity, the unsharded case); `total_records` sizes the index field so
+/// every shard of one database augments identically. `breakdown`, if
+/// non-null, accumulates the ssed/sbd phase timings.
+Result<std::vector<EncryptedBits>> PrepareDistanceBits(
+    ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& records,
+    const std::vector<Ciphertext>& enc_query, unsigned l,
+    const std::vector<std::size_t>* global_indices, std::size_t total_records,
+    bool farthest, bool verify_sbd, SkNNmBreakdown* breakdown = nullptr);
+
+/// \brief What k rounds of step 3 produce: per iteration the winner's
+/// (still encrypted) record, and optionally its augmented bit vector — the
+/// handle a shard hands the coordinator so the merge can re-compare
+/// candidates without re-deriving distances.
+struct TopKExtraction {
+  /// winner s's record, attribute-wise encrypted (m ciphertexts each).
+  std::vector<std::vector<Ciphertext>> records;
+  /// winner s's augmented bits (only when keep_winner_bits).
+  std::vector<EncryptedBits> winner_bits;
+};
+
+/// \brief Runs k iterations of Algorithm 6 step 3 — SMIN_n, min pointer,
+/// oblivious record extraction, SBOR clamp — over any (records, bits) pool:
+/// the full database, one shard, or a set of merge candidates. `bits` are
+/// augmented vectors (PrepareDistanceBits or a shard's winner_bits) and are
+/// mutated in place: each winner is clamped to all-ones (the clamp after
+/// the final iteration is skipped — it only matters for a further SMIN_n).
+/// `breakdown`, if non-null, accumulates the sminn/extract/update timings.
+Result<TopKExtraction> ExtractTopK(
+    ProtoContext& ctx, const std::vector<std::vector<Ciphertext>>& records,
+    std::vector<EncryptedBits>& bits, unsigned k, bool keep_winner_bits,
+    SkNNmBreakdown* breakdown = nullptr);
 
 /// \brief Runs Algorithm 6 on C1's side; the masked result lands in C2's
 /// Bob outbox and the returned masks complete Bob's view. `breakdown`, if

@@ -10,6 +10,12 @@ std::atomic<uint64_t> OpCounters::exp_{0};
 std::atomic<uint64_t> OpCounters::mul_{0};
 thread_local OpAccumulator* OpCounters::sink_ = nullptr;
 
+OpAccumulator* OpCounters::SwapThreadSink(OpAccumulator* sink) {
+  OpAccumulator* prev = sink_;
+  sink_ = sink;
+  return prev;
+}
+
 void OpCounters::Reset() {
   enc_.store(0, kOrder);
   dec_.store(0, kOrder);

@@ -92,11 +92,10 @@ class OpCounters {
   /// fanning work out to a pool, re-install inside the workers.
   static OpAccumulator* ThreadSink() { return sink_; }
   /// \brief Installs `sink` on this thread, returns the previous one.
-  static OpAccumulator* SwapThreadSink(OpAccumulator* sink) {
-    OpAccumulator* prev = sink_;
-    sink_ = sink;
-    return prev;
-  }
+  /// Defined out of line: gcc 12's -fsanitize=null misfires on an inlined
+  /// store to this thread_local at -O1 and above (the TLS slot is reported
+  /// as a null pointer), and the swap is nowhere near a hot path.
+  static OpAccumulator* SwapThreadSink(OpAccumulator* sink);
 
  private:
   static constexpr std::memory_order kOrder = std::memory_order_relaxed;

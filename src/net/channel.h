@@ -28,6 +28,10 @@ struct TrafficStats {
 
   uint64_t total_bytes() const { return bytes_a_to_b + bytes_b_to_a; }
   uint64_t total_frames() const { return frames_a_to_b + frames_b_to_a; }
+  TrafficStats operator+(const TrafficStats& o) const {
+    return {frames_a_to_b + o.frames_a_to_b, bytes_a_to_b + o.bytes_a_to_b,
+            frames_b_to_a + o.frames_b_to_a, bytes_b_to_a + o.bytes_b_to_a};
+  }
   std::string ToString() const;
 };
 

@@ -90,6 +90,21 @@ Message EncodeQueryResponse(const QueryResponse& response) {
   AppendF64(msg, response.breakdown.extract_seconds);
   AppendF64(msg, response.breakdown.update_seconds);
   AppendF64(msg, response.breakdown.finalize_seconds);
+  AppendF64(msg, response.merge_seconds);
+  msg.AppendAuxU32(static_cast<uint32_t>(response.shards.size()));
+  for (const ShardQueryStats& shard : response.shards) {
+    msg.AppendAuxU32(shard.shard);
+    msg.AppendAuxU32(shard.candidates);
+    AppendF64(msg, shard.seconds);
+    msg.AppendAuxU64(shard.traffic.frames_a_to_b);
+    msg.AppendAuxU64(shard.traffic.bytes_a_to_b);
+    msg.AppendAuxU64(shard.traffic.frames_b_to_a);
+    msg.AppendAuxU64(shard.traffic.bytes_b_to_a);
+    msg.AppendAuxU64(shard.ops.encryptions);
+    msg.AppendAuxU64(shard.ops.decryptions);
+    msg.AppendAuxU64(shard.ops.exponentiations);
+    msg.AppendAuxU64(shard.ops.multiplications);
+  }
   return msg;
 }
 
@@ -107,10 +122,17 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
   if (rows > kMaxDim || cols > kMaxDim) {
     return BadFrame("kQueryResult geometry implausible");
   }
-  // Records, two timings, 4 traffic counters, 4 op counters, 6 phases.
-  const std::size_t expected = 8 + (rows * cols + 2 + 4 + 4 + 6) * 8;
-  if (msg.aux.size() != expected) {
+  // Records, two timings, 4 traffic counters, 4 op counters, 6 phases,
+  // merge seconds — then the shard-count u32 and its per-shard blocks.
+  const std::size_t fixed = 8 + (rows * cols + 2 + 4 + 4 + 6 + 1) * 8 + 4;
+  if (msg.aux.size() < fixed) {
     return BadFrame("kQueryResult geometry mismatch");
+  }
+  const std::size_t num_shards = msg.AuxU32At(fixed - 4);
+  constexpr std::size_t kPerShard = 4 + 4 + 9 * 8;
+  if (num_shards > kMaxDim ||
+      msg.aux.size() != fixed + num_shards * kPerShard) {
+    return BadFrame("kQueryResult shard-stats geometry mismatch");
   }
   QueryResponse response;
   std::size_t at = 8;
@@ -139,6 +161,25 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
   response.breakdown.extract_seconds = F64At(msg, at + 104);
   response.breakdown.update_seconds = F64At(msg, at + 112);
   response.breakdown.finalize_seconds = F64At(msg, at + 120);
+  response.merge_seconds = F64At(msg, at + 128);
+  at += 140;  // past the counters/phases block and the shard-count u32
+  response.shards.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    ShardQueryStats shard;
+    shard.shard = msg.AuxU32At(at);
+    shard.candidates = msg.AuxU32At(at + 4);
+    shard.seconds = F64At(msg, at + 8);
+    shard.traffic.frames_a_to_b = msg.AuxU64At(at + 16);
+    shard.traffic.bytes_a_to_b = msg.AuxU64At(at + 24);
+    shard.traffic.frames_b_to_a = msg.AuxU64At(at + 32);
+    shard.traffic.bytes_b_to_a = msg.AuxU64At(at + 40);
+    shard.ops.encryptions = msg.AuxU64At(at + 48);
+    shard.ops.decryptions = msg.AuxU64At(at + 56);
+    shard.ops.exponentiations = msg.AuxU64At(at + 64);
+    shard.ops.multiplications = msg.AuxU64At(at + 72);
+    response.shards.push_back(shard);
+    at += kPerShard;
+  }
   return response;
 }
 
@@ -157,8 +198,7 @@ Status DecodeQueryError(const Message& msg) {
     return BadFrame("malformed kQueryError frame");
   }
   const uint32_t code = msg.AuxU32At(0);
-  if (code == 0 ||
-      code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
     return BadFrame("kQueryError carries an unknown status code");
   }
   return Status(static_cast<StatusCode>(code),

@@ -30,7 +30,10 @@ enum class FrontendOp : uint16_t {
   kQuery = 0x0101,
   /// Success. aux = [rows:u32][cols:u32][rows*cols x i64]
   /// [bob_seconds:f64][cloud_seconds:f64][traffic:4 x u64][ops:4 x u64]
-  /// [breakdown:6 x f64], f64 as IEEE-754 bit patterns in u64.
+  /// [breakdown:6 x f64][merge_seconds:f64][num_shards:u32] then per shard
+  /// [shard:u32][candidates:u32][seconds:f64][traffic:4 x u64][ops:4 x u64]
+  /// (num_shards = 0 for unsharded execution), f64 as IEEE-754 bit
+  /// patterns in u64.
   kQueryResult = 0x0102,
   /// Failure. aux = [status code:u32][message bytes].
   kQueryError = 0x0103,

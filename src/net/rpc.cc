@@ -18,6 +18,9 @@ Result<Message> RpcClient::Call(Message request) {
   if (shutdown_.load()) {
     return Status::ProtocolError("RpcClient: already shut down");
   }
+  if (link_down_.load()) {
+    return Status::ProtocolError("RpcClient: link closed");
+  }
   uint64_t id = next_id_.fetch_add(1);
   request.correlation_id = id;
   auto call = std::make_shared<PendingCall>();
@@ -29,6 +32,24 @@ Result<Message> RpcClient::Call(Message request) {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_.erase(id);
     return Status::ProtocolError("RpcClient: link closed on send");
+  }
+  // Re-check AFTER registering: a TCP send can still succeed (buffered)
+  // once the peer is gone, and if the demux loop exited before our entry
+  // landed in pending_, nobody would ever complete this call. The demux
+  // sets link_down_ before its final sweep, so one of the two — the sweep
+  // or this check — always settles the call instead of letting it hang.
+  // Only a call still IN pending_ is failed here: if the demux already
+  // took it, it was completed (a real response that raced the link close,
+  // or the sweep's error) and that result must be delivered as-is.
+  if (link_down_.load()) {
+    bool still_pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      still_pending = pending_.erase(id) > 0;
+    }
+    if (still_pending) {
+      return Status::ProtocolError("RpcClient: link closed");
+    }
   }
   std::unique_lock<std::mutex> lock(call->mutex);
   call->cv.wait(lock, [&] { return call->done; });
@@ -65,7 +86,8 @@ void RpcClient::DemuxLoop() {
     }
     call->cv.notify_one();
   }
-  // Link closed: fail everything still pending.
+  // Link closed: refuse new calls, then fail everything still pending.
+  link_down_.store(true);
   std::map<uint64_t, std::shared_ptr<PendingCall>> leftover;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);

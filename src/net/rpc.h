@@ -57,6 +57,10 @@ class RpcClient {
   std::map<uint64_t, std::shared_ptr<PendingCall>> pending_;
   std::thread demux_thread_;
   std::atomic<bool> shutdown_{false};
+  /// Set by the demux loop on its way out (peer closed the link): calls
+  /// issued AFTER the final pending sweep must fail fast, not wait on a
+  /// response thread that no longer exists.
+  std::atomic<bool> link_down_{false};
 };
 
 class RpcServer {

@@ -1,0 +1,83 @@
+// Coordinator <-> shard-worker wire frames.
+//
+// A sharded front end (docs/DEPLOY.md) fans each query out to s shard
+// workers (tools/sknn_c1_shard), each holding one slice of Epk(T) and its
+// own link to C2. The frames ride the existing Message/WireCodec/RpcClient
+// stack, in an opcode space disjoint from both the C1<->C2 Op space and the
+// client-facing FrontendOp space, so a frame from the wrong link is
+// rejected, never misinterpreted.
+//
+//   kShardPing       coordinator -> worker at connect: the worker answers
+//                    with its geometry (shard index, manifest, db shape) so
+//                    a misconfigured worker set fails fast, not per query.
+//   kShardQuery      one query's fan-out leg: Epk(Q), k, protocol; the
+//                    query id rides the Message header so the worker tags
+//                    its C2 exchanges with it (one ledger entry per query
+//                    across coordinator AND workers).
+//   kShardCandidates the worker's min(k, shard size) local candidates plus
+//                    its stage instrumentation (seconds, C2 traffic, ops).
+//   kShardError      a real Status, code included — the coordinator
+//                    distinguishes a worker-side protocol failure from a
+//                    dead link (which surfaces as kUnavailable).
+#ifndef SKNN_NET_SHARD_WIRE_H_
+#define SKNN_NET_SHARD_WIRE_H_
+
+#include "core/query_api.h"
+#include "core/sharding.h"
+#include "net/message.h"
+
+namespace sknn {
+
+enum class ShardOp : uint16_t {
+  kShardPing = 0x0201,
+  kShardQuery = 0x0202,
+  kShardCandidates = 0x0203,
+  kShardError = 0x0204,
+};
+
+inline uint16_t ShardOpCode(ShardOp op) { return static_cast<uint16_t>(op); }
+
+/// \brief What a worker reports about itself at connect time.
+struct ShardGeometry {
+  uint32_t shard = 0;
+  ShardManifest manifest;
+  uint32_t num_attributes = 0;
+  uint32_t distance_bits = 0;
+
+  bool operator==(const ShardGeometry&) const = default;
+};
+
+Message EncodeShardPing();
+Message EncodeShardGeometry(const ShardGeometry& geometry);
+Result<ShardGeometry> DecodeShardGeometry(const Message& msg);
+
+/// \brief One query's shard leg.
+struct ShardQueryFrame {
+  uint64_t query_id = 0;
+  unsigned k = 1;
+  QueryProtocol protocol = QueryProtocol::kSecure;
+  std::vector<Ciphertext> enc_query;
+};
+
+Message EncodeShardQuery(const ShardQueryFrame& frame);
+Result<ShardQueryFrame> DecodeShardQuery(const Message& msg);
+
+/// \brief A worker's answer: candidates plus stage instrumentation.
+struct ShardCandidatesFrame {
+  ShardCandidates candidates;
+  double seconds = 0;
+  TrafficStats traffic;
+  OpSnapshot ops;
+};
+
+Message EncodeShardCandidates(const ShardCandidatesFrame& frame);
+Result<ShardCandidatesFrame> DecodeShardCandidates(const Message& msg);
+
+/// \brief `status` must be an error; the code crosses the wire intact.
+Message EncodeShardError(const Status& status);
+/// \brief The Status carried by a kShardError frame (never OK).
+Status DecodeShardError(const Message& msg);
+
+}  // namespace sknn
+
+#endif  // SKNN_NET_SHARD_WIRE_H_

@@ -34,6 +34,9 @@ class ProtoContext {
         meter_(meter), vectorized_(vectorized) {}
 
   const PaillierPublicKey& pk() const { return *pk_; }
+  /// \brief The C2 link, so a caller can derive sibling contexts for the
+  /// same query (e.g. one per shard stage, each with its own meter).
+  RpcClient* client() const { return client_; }
   ThreadPool* pool() const { return pool_; }
   uint64_t query_id() const { return query_id_; }
   QueryMeter* meter() const { return meter_; }

@@ -18,6 +18,55 @@ QueryService::QueryService(SknnEngine* engine, const Options& options)
 
 QueryService::~QueryService() { Shutdown(); }
 
+Result<std::unique_ptr<SknnEngine>> QueryService::CreateShardedEngine(
+    const PaillierPublicKey& pk, EncryptedDatabase db,
+    std::unique_ptr<Endpoint> c2_link, SknnEngine::Options options,
+    std::size_t shards, ShardScheme scheme,
+    const std::vector<std::string>& worker_addrs) {
+  if (worker_addrs.empty()) {
+    options.shards = shards;
+    options.shard_scheme = scheme;
+    return SknnEngine::CreateWithRemoteC2(pk, std::move(db),
+                                          std::move(c2_link), options);
+  }
+  if (shards != 0 && shards != worker_addrs.size()) {
+    return Status::InvalidArgument(
+        "CreateShardedEngine: --shards says " + std::to_string(shards) +
+        " but " + std::to_string(worker_addrs.size()) +
+        " shard workers were given");
+  }
+  std::vector<std::unique_ptr<Endpoint>> links;
+  links.reserve(worker_addrs.size());
+  for (const std::string& addr : worker_addrs) {
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= addr.size()) {
+      return Status::InvalidArgument(
+          "CreateShardedEngine: worker address '" + addr +
+          "' is not host:port");
+    }
+    unsigned long port = 0;
+    try {
+      port = std::stoul(addr.substr(colon + 1));
+    } catch (...) {
+      port = 0;
+    }
+    if (port == 0 || port > 65535) {
+      return Status::InvalidArgument(
+          "CreateShardedEngine: bad port in worker address '" + addr + "'");
+    }
+    auto link = ConnectTcp(addr.substr(0, colon),
+                           static_cast<uint16_t>(port));
+    if (!link.ok()) {
+      return Status::Unavailable("CreateShardedEngine: cannot reach shard "
+                                 "worker at " + addr + ": " +
+                                 link.status().message());
+    }
+    links.push_back(std::move(link).value());
+  }
+  return SknnEngine::CreateWithShardWorkers(pk, std::move(links),
+                                            std::move(c2_link), options);
+}
+
 Status QueryService::Start(uint16_t port) {
   if (listener_.has_value()) {
     return Status::FailedPrecondition("QueryService: already started");

@@ -58,6 +58,22 @@ class QueryService {
   QueryService(SknnEngine* engine, const Options& options);
   ~QueryService();
 
+  /// \brief The sharded construction path of the front end: builds the
+  /// engine a sharded `sknn_c1_server --shards s [--shard-workers ...]`
+  /// serves, with the same wire contract as the unsharded one.
+  ///
+  /// With `worker_addrs` empty, Epk(T) is partitioned into `shards`
+  /// in-process shards (SknnEngine::Options::shards) driven over `c2_link`.
+  /// Otherwise each "host:port" entry is one standing sknn_c1_shard worker:
+  /// the engine is assembled via SknnEngine::CreateWithShardWorkers — `db`
+  /// may then be empty, the geometry comes from the workers, and `shards`
+  /// must match the worker count (0 = take it from the list).
+  static Result<std::unique_ptr<SknnEngine>> CreateShardedEngine(
+      const PaillierPublicKey& pk, EncryptedDatabase db,
+      std::unique_ptr<Endpoint> c2_link, SknnEngine::Options options,
+      std::size_t shards, ShardScheme scheme,
+      const std::vector<std::string>& worker_addrs);
+
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 

@@ -1,0 +1,126 @@
+#include "serve/shard_worker.h"
+
+#include <string>
+
+#include "common/stopwatch.h"
+#include "proto/query_meter.h"
+
+namespace sknn {
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::Create(
+    const PaillierPublicKey& pk, const EncryptedDatabase& db,
+    const ShardManifest& manifest, std::size_t shard_index,
+    std::unique_ptr<Endpoint> c2_link, const Options& options) {
+  SKNN_ASSIGN_OR_RETURN(
+      ShardManifest checked,
+      MakeShardManifest(manifest.total_records, manifest.num_shards,
+                        manifest.scheme));
+  if (db.num_records() != checked.total_records) {
+    return Status::InvalidArgument(
+        "ShardWorker: manifest is for " +
+        std::to_string(checked.total_records) + " records, database has " +
+        std::to_string(db.num_records()));
+  }
+  if (shard_index >= checked.num_shards) {
+    return Status::InvalidArgument(
+        "ShardWorker: shard index " + std::to_string(shard_index) +
+        " out of range for " + std::to_string(checked.num_shards) +
+        " shards");
+  }
+  if (c2_link == nullptr) {
+    return Status::InvalidArgument("ShardWorker: null C2 link");
+  }
+  auto worker = std::unique_ptr<ShardWorker>(new ShardWorker());
+  worker->options_ = options;
+  worker->pk_ = pk;
+  worker->slice_.global_indices = ShardRecordIndices(checked, shard_index);
+  worker->slice_.db.distance_bits = db.distance_bits;
+  worker->slice_.db.records.reserve(worker->slice_.global_indices.size());
+  for (std::size_t gidx : worker->slice_.global_indices) {
+    worker->slice_.db.records.push_back(db.records[gidx]);
+  }
+  worker->geometry_.shard = static_cast<uint32_t>(shard_index);
+  worker->geometry_.manifest = checked;
+  worker->geometry_.num_attributes =
+      static_cast<uint32_t>(db.num_attributes());
+  worker->geometry_.distance_bits = db.distance_bits;
+  worker->c2_client_ = std::make_unique<RpcClient>(std::move(c2_link));
+  if (options.threads > 1) {
+    worker->pool_ = std::make_unique<ThreadPool>(options.threads);
+  }
+  if (options.randomizer_pool) {
+    worker->rand_pool_ = std::make_unique<RandomizerPool>(
+        worker->pk_.n(), options.randomizer_pool_capacity);
+    worker->pk_.set_randomizer_pool(worker->rand_pool_.get());
+  }
+
+  // Fail fast on a dead or mismatched C2 link instead of on the first query.
+  Message ping;
+  ping.type = OpCode(Op::kPing);
+  SKNN_ASSIGN_OR_RETURN(Message pong,
+                        worker->c2_client_->Call(std::move(ping)));
+  if (pong.type != OpCode(Op::kPing)) {
+    return Status::ProtocolError(
+        "ShardWorker: peer did not answer ping (not a C2 server?)");
+  }
+  return worker;
+}
+
+Message ShardWorker::HandleShardQuery(const Message& request) {
+  auto decoded = DecodeShardQuery(request);
+  if (!decoded.ok()) return EncodeShardError(decoded.status());
+  const ShardQueryFrame& frame = *decoded;
+  if (frame.enc_query.size() != geometry_.num_attributes) {
+    return EncodeShardError(Status::InvalidArgument(
+        "shard query has " + std::to_string(frame.enc_query.size()) +
+        " attributes, shard database has " +
+        std::to_string(geometry_.num_attributes)));
+  }
+  for (const auto& c : frame.enc_query) {
+    if (!pk_.IsValidCiphertext(c)) {
+      return EncodeShardError(Status::CryptoError(
+          "shard query carries an invalid ciphertext"));
+    }
+  }
+  if (frame.k > geometry_.manifest.total_records) {
+    return EncodeShardError(Status::OutOfRange(
+        "shard query k = " + std::to_string(frame.k) + " exceeds the " +
+        std::to_string(geometry_.manifest.total_records) +
+        " database records"));
+  }
+
+  QueryMeter meter;
+  ProtoContext ctx(&pk_, c2_client_.get(), pool_.get(), frame.query_id,
+                   &meter, options_.vectorized_rounds);
+  Stopwatch watch;
+  Result<ShardCandidates> candidates = [&] {
+    ScopedOpSink sink(&meter.ops());
+    return RunShardStage(ctx, slice_, geometry_.manifest.total_records,
+                         frame.enc_query, frame.k, frame.protocol,
+                         options_.verify_sbd);
+  }();
+  if (!candidates.ok()) return EncodeShardError(candidates.status());
+
+  ShardCandidatesFrame out;
+  out.candidates = std::move(candidates).value();
+  out.seconds = watch.ElapsedSeconds();
+  out.traffic = meter.traffic();
+  out.ops = meter.ops().snapshot();
+  return EncodeShardCandidates(out);
+}
+
+Result<Message> ShardWorker::Handle(const Message& request) {
+  switch (static_cast<ShardOp>(request.type)) {
+    case ShardOp::kShardPing:
+      return EncodeShardGeometry(geometry_);
+    case ShardOp::kShardQuery:
+      return HandleShardQuery(request);
+    default:
+      // Typed error frame, not a bare RpcServer kError: the coordinator
+      // reserves the transport-level failure path for dead workers.
+      return EncodeShardError(Status::ProtocolError(
+          "shard worker: unexpected opcode " + std::to_string(request.type)));
+  }
+}
+
+}  // namespace sknn

@@ -1,10 +1,14 @@
 // Tests for the common utilities: Status/Result, logging levels, the thread
-// pool, and the stopwatch.
+// pool, the stopwatch, and the bench-artifact JSON section emitter.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -32,7 +36,8 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
         StatusCode::kProtocolError, StatusCode::kCryptoError,
-        StatusCode::kIoError, StatusCode::kNotFound}) {
+        StatusCode::kIoError, StatusCode::kNotFound,
+        StatusCode::kResourceExhausted, StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }
@@ -126,6 +131,68 @@ TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
 TEST(ThreadPoolTest, ZeroRequestedBecomesOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+class MergeJsonSectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/merge_json_section_test.json";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string ReadFile() const {
+    std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(MergeJsonSectionTest, AppendsNewSectionsInOrder) {
+  bench::MergeJsonSection(path_, "alpha", "{\"x\": 1}");
+  bench::MergeJsonSection(path_, "beta", "[1, 2, 3]");
+  EXPECT_EQ(ReadFile(),
+            "{\n  \"alpha\": {\"x\": 1},\n  \"beta\": [1, 2, 3]\n}\n");
+}
+
+TEST_F(MergeJsonSectionTest, ReRunReplacesInPlaceWithoutTouchingNeighbors) {
+  bench::MergeJsonSection(path_, "alpha", "{\"x\": 1}");
+  bench::MergeJsonSection(path_, "beta", "{\"kept\": [1, {\"y\": 2}]}");
+  bench::MergeJsonSection(path_, "gamma", "3.5");
+  // The bug this pins down: re-emitting an existing section used to drop it
+  // from its position and append it at the end, shuffling the artifact on
+  // every re-run. It must be replaced where it stands, neighbors untouched.
+  bench::MergeJsonSection(path_, "alpha", "{\"x\": 99}");
+  EXPECT_EQ(ReadFile(),
+            "{\n  \"alpha\": {\"x\": 99},\n"
+            "  \"beta\": {\"kept\": [1, {\"y\": 2}]},\n"
+            "  \"gamma\": 3.5\n}\n");
+}
+
+TEST_F(MergeJsonSectionTest, ReRunIsByteStable) {
+  bench::MergeJsonSection(path_, "alpha", "{\"x\": 1}");
+  bench::MergeJsonSection(path_, "beta", "2");
+  std::string before = ReadFile();
+  // Identical rewrites must be byte-identical fixpoints (no whitespace
+  // accumulation in the untouched sections, no reordering).
+  bench::MergeJsonSection(path_, "beta", "2");
+  bench::MergeJsonSection(path_, "beta", "2");
+  EXPECT_EQ(ReadFile(), before);
+}
+
+TEST_F(MergeJsonSectionTest, SurvivesTrickyValues) {
+  // Values with nested objects, strings holding braces/commas/escapes, and
+  // empty strings must round-trip through the member scanner.
+  const std::string tricky =
+      "{\"s\": \"a, \\\"b\\\" {c}\", \"empty\": \"\", \"arr\": [[1], {}]}";
+  bench::MergeJsonSection(path_, "alpha", tricky);
+  bench::MergeJsonSection(path_, "beta", "1");
+  bench::MergeJsonSection(path_, "beta", "2");
+  EXPECT_EQ(ReadFile(),
+            "{\n  \"alpha\": " + tricky + ",\n  \"beta\": 2\n}\n");
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -3,6 +3,13 @@
 // shutdown with calls in flight, a handler returning an error Status, and
 // the peer disconnecting mid-call. A serving deployment lives or dies by
 // these paths; none of them may hang or crash.
+//
+// The shard channel (coordinator <-> sknn_c1_shard worker, net/
+// shard_wire.h) rides the same RpcClient/RpcServer stack, so its failure
+// modes are covered here too: a worker vanishing mid-kShardQuery, calls
+// issued AFTER the link already died (they must fail fast — the demux
+// thread is gone and nobody would ever complete them), and the typed
+// kShardError frames that carry real status codes across the wire.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -11,6 +18,7 @@
 
 #include "net/channel.h"
 #include "net/rpc.h"
+#include "net/shard_wire.h"
 #include "net/socket.h"
 #include "proto/context.h"
 
@@ -112,6 +120,83 @@ TEST_P(RpcFailureTest, HandlerErrorStatusSurfacesToCaller) {
   EXPECT_NE(converted.status().message().find("handler exploded"),
             std::string::npos)
       << converted.status();
+}
+
+TEST_P(RpcFailureTest, ShardQueryAgainstDeadPeerFailsFastNotForever) {
+  EndpointPair pair = MakePair(GetParam());
+  // The worker dies before (or while) the coordinator speaks to it: close
+  // the server side outright and give the client's demux a moment to
+  // observe it.
+  pair.server->Close();
+  RpcClient client(std::move(pair.client));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ShardQueryFrame frame;
+  frame.query_id = 7;
+  frame.k = 2;
+  frame.enc_query = {Ciphertext(BigInt(123)), Ciphertext(BigInt(456))};
+  // Regression: a Call AFTER the demux loop exited used to block forever if
+  // the transport still buffered the send. It must fail, immediately.
+  auto first = client.Call(EncodeShardQuery(frame));
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kProtocolError);
+  auto second = client.Call(EncodeShardPing());
+  EXPECT_FALSE(second.ok());
+}
+
+TEST_P(RpcFailureTest, ShardWorkerDisconnectMidQueryFailsTheCall) {
+  EndpointPair pair = MakePair(GetParam());
+  Endpoint* server_raw = pair.server.get();
+  // A worker that reads the query leg and then dies without answering —
+  // the kill/disconnect the shard coordinator maps to kUnavailable.
+  std::thread peer([&] {
+    std::vector<uint8_t> frame;
+    (void)server_raw->Recv(&frame);
+    server_raw->Close();
+  });
+  RpcClient client(std::move(pair.client));
+  ShardQueryFrame frame;
+  frame.query_id = 9;
+  frame.k = 1;
+  frame.enc_query = {Ciphertext(BigInt(5))};
+  auto result = client.Call(EncodeShardQuery(frame));
+  peer.join();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kProtocolError);
+}
+
+TEST_P(RpcFailureTest, ShardErrorFramesCarryStatusCodesIntact) {
+  EndpointPair pair = MakePair(GetParam());
+  // A live worker that answers every query frame with a typed error — the
+  // path a coordinator uses to distinguish "worker says no" (real code,
+  // e.g. CryptoError) from "worker is gone" (kUnavailable).
+  RpcServer server(std::move(pair.server),
+                   [](const Message& req) -> Result<Message> {
+                     if (req.type == ShardOpCode(ShardOp::kShardPing)) {
+                       return EncodeShardError(
+                           Status::Unavailable("worker draining"));
+                     }
+                     return EncodeShardError(
+                         Status::CryptoError("bad ciphertext"));
+                   });
+  RpcClient client(std::move(pair.client));
+
+  auto ping = client.Call(EncodeShardPing());
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  Status drained = DecodeShardError(*ping);
+  EXPECT_EQ(drained.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(drained.message(), "worker draining");
+
+  ShardQueryFrame frame;
+  frame.query_id = 11;
+  frame.k = 1;
+  frame.enc_query = {Ciphertext(BigInt(5))};
+  auto reply = client.Call(EncodeShardQuery(frame));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  // DecodeShardCandidates folds a kShardError frame into its Status.
+  auto decoded = DecodeShardCandidates(*reply);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCryptoError);
 }
 
 TEST_P(RpcFailureTest, PeerDisconnectMidCallFailsAllInFlight) {

@@ -51,7 +51,8 @@ class ServingTopology {
  public:
   explicit ServingTopology(const PlainTable& table,
                            std::size_t c1_threads = 2,
-                           std::size_t max_in_flight = 8) {
+                           std::size_t max_in_flight = 8,
+                           std::size_t shards = 1) {
     SknnEngine::Options options;
     options.key_bits = 256;
     options.attr_bits = 3;
@@ -83,6 +84,9 @@ class ServingTopology {
     accepter.join();
 
     // The C1 front end: public artifacts only (pk + Epk(T)) plus the link.
+    // The reference engine above stays UNSHARDED on purpose: the sharded
+    // front end must be indistinguishable from it on the wire.
+    options.shards = shards;
     auto engine = SknnEngine::CreateWithRemoteC2(
         reference_->public_key(), EncryptedDatabase(reference_->database()),
         std::move(c2_link).value(), options);
@@ -213,6 +217,55 @@ TEST(ServingTest, BackpressureRejectsAndRetrySucceeds) {
   }
   // Five secure queries admitted one at a time: the burst must have tripped
   // the admission bound at least once.
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_EQ(topology.service().stats().queries_rejected,
+            static_cast<uint64_t>(rejected.load()));
+  EXPECT_EQ(topology.service().stats().queries_completed,
+            static_cast<uint64_t>(kClients));
+}
+
+TEST(ServingTest, ShardedServiceBackpressureRejectsNotQueuesAndRetriesSucceed) {
+  // The sharded front end under overload: an in-process 2-shard engine
+  // behind a QueryService with a one-slot admission budget and a burst of
+  // concurrent clients. Backpressure semantics must be exactly the
+  // unsharded ones — reject with ResourceExhausted, never queue — and
+  // every retried query must come back with the correct (reference-equal)
+  // records and per-shard stats.
+  ServingTopology topology(DistinctDistanceTable(8), /*c1_threads=*/2,
+                           /*max_in_flight=*/1, /*shards=*/2);
+  QueryRequest request = MakeRequest({7, 0}, 2, QueryProtocol::kSecure);
+  auto expected = topology.reference().Query(request);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  constexpr int kClients = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  std::vector<Result<QueryResponse>> responses(
+      kClients, Result<QueryResponse>(Status::Internal("unset")));
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto client = topology.NewClient();
+      for (;;) {
+        responses[i] = client->Query(request);
+        if (responses[i].ok() || responses[i].status().code() !=
+                                     StatusCode::kResourceExhausted) {
+          return;
+        }
+        rejected.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->records, expected->records)
+        << "a retried sharded query returned wrong records";
+    // The shard split crossed the client wire intact.
+    ASSERT_EQ(response->shards.size(), 2u);
+    EXPECT_GT(response->shards[0].traffic.total_frames(), 0u);
+    EXPECT_GT(response->shards[1].traffic.total_frames(), 0u);
+  }
   EXPECT_GT(rejected.load(), 0);
   EXPECT_EQ(topology.service().stats().queries_rejected,
             static_cast<uint64_t>(rejected.load()));

@@ -1,0 +1,669 @@
+// The sharded-execution proof harness (ISSUE 4 tentpole): sharded query
+// execution must be indistinguishable — record for record, byte for byte —
+// from the unsharded engine, which itself must match the plaintext oracle.
+//
+// Three layers of evidence:
+//   1. a seeded differential sweep over (n, m, k, s, scheme, protocol) —
+//      random tables (ties included: the deterministic tie-break makes them
+//      safe), every combination checked sharded vs unsharded vs oracle,
+//      with the edge cases the coordinator must survive: k > n/s (shards
+//      smaller than k), s = 1 (degenerate sharding), s > k, k = n;
+//   2. adversarial tie tables — many records at exactly equal distance,
+//      distinct payloads — asserted identical across shard counts and
+//      schemes (the lower-global-index tie-break, end to end);
+//   3. the remote topology: real ShardWorker instances behind loopback TCP
+//      RpcServers, a shared C2 service, SknnEngine::CreateWithShardWorkers
+//      — plus fault injection: a worker killed or disconnecting mid-query
+//      must surface StatusCode::kUnavailable, never a hang, and a
+//      misassembled worker set must be rejected at construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+#include "baseline/plaintext_knn.h"
+#include "core/data_owner.h"
+#include "core/db_io.h"
+#include "core/engine.h"
+#include "core/sharding.h"
+#include "data/synthetic.h"
+#include "net/shard_wire.h"
+#include "net/socket.h"
+#include "serve/shard_worker.h"
+#include "tests/query_test_util.h"
+
+namespace sknn {
+namespace {
+
+constexpr unsigned kKeyBits = 256;
+constexpr unsigned kAttrBits = 3;
+constexpr int64_t kMaxValue = 7;  // [0, 2^kAttrBits)
+
+// One Alice for the whole binary: keygen dominates setup, and every engine
+// under test may share the same key pair (they simulate ONE deployment).
+DataOwner& SharedAlice() {
+  static DataOwner* alice = [] {
+    auto created = DataOwner::Create(kKeyBits);
+    SKNN_CHECK(created.ok()) << created.status();
+    return new DataOwner(std::move(created).value());
+  }();
+  return *alice;
+}
+
+SknnEngine::Options BaseOptions() {
+  SknnEngine::Options options;
+  options.c1_threads = 2;
+  options.c2_threads = 2;
+  options.randomizer_pool_capacity = 32;  // keep background fill light
+  return options;
+}
+
+std::unique_ptr<SknnEngine> MakeEngine(const PlainTable& table,
+                                       const SknnEngine::Options& options) {
+  auto db = SharedAlice().EncryptDatabase(table, kAttrBits);
+  EXPECT_TRUE(db.ok()) << db.status();
+  auto engine = SknnEngine::CreateFromParts(
+      SharedAlice().public_key(),
+      PaillierSecretKey(SharedAlice().secret_key_for_c2()),
+      std::move(db).value(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+// The farthest-first oracle (mirrors tools/sknn_plain_knn --farthest):
+// descending distance, ties by lower index.
+PlainTable FarthestOracle(const PlainTable& table, const PlainRecord& query,
+                          unsigned k) {
+  std::vector<std::size_t> order(table.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return SquaredDistance(table[a], query) >
+                            SquaredDistance(table[b], query);
+                   });
+  PlainTable out;
+  for (unsigned j = 0; j < k; ++j) out.push_back(table[order[j]]);
+  return out;
+}
+
+PlainTable Oracle(const PlainTable& table, const PlainRecord& query,
+                  unsigned k, QueryProtocol protocol) {
+  return protocol == QueryProtocol::kFarthest
+             ? FarthestOracle(table, query, k)
+             : PlainKnn(table, query, k);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Seeded differential sweep.
+
+struct SweepCase {
+  std::size_t n, m;
+  unsigned k;
+  std::size_t s;
+  ShardScheme scheme;
+  QueryProtocol protocol;
+  uint64_t seed;
+};
+
+std::string CaseName(const SweepCase& c) {
+  return std::string(QueryProtocolName(c.protocol)) + " n=" +
+         std::to_string(c.n) + " m=" + std::to_string(c.m) + " k=" +
+         std::to_string(c.k) + " s=" + std::to_string(c.s) + " " +
+         ShardSchemeName(c.scheme) + " seed=" + std::to_string(c.seed);
+}
+
+TEST(ShardedQueryDifferential, SweepMatchesUnshardedAndOracle) {
+  const std::vector<SweepCase> sweep = {
+      // Plain shapes, both schemes, all protocols.
+      {8, 2, 2, 2, ShardScheme::kContiguous, QueryProtocol::kSecure, 1001},
+      {9, 3, 3, 3, ShardScheme::kRoundRobin, QueryProtocol::kSecure, 1002},
+      {8, 2, 3, 2, ShardScheme::kContiguous, QueryProtocol::kBasic, 1003},
+      {9, 2, 4, 4, ShardScheme::kRoundRobin, QueryProtocol::kBasic, 1004},
+      {8, 2, 2, 2, ShardScheme::kRoundRobin, QueryProtocol::kFarthest, 1005},
+      // k > n/s: shards smaller than k contribute all their records.
+      {6, 2, 4, 3, ShardScheme::kContiguous, QueryProtocol::kSecure, 1006},
+      {6, 2, 5, 3, ShardScheme::kRoundRobin, QueryProtocol::kBasic, 1007},
+      // s = 1: the coordinator path degenerates to re-extraction.
+      {8, 2, 2, 1, ShardScheme::kContiguous, QueryProtocol::kSecure, 1008},
+      // s > k, uneven partition (8 records over 5 shards).
+      {8, 2, 2, 5, ShardScheme::kRoundRobin, QueryProtocol::kSecure, 1009},
+      // k = n: every record comes back, in global order.
+      {6, 2, 6, 3, ShardScheme::kContiguous, QueryProtocol::kBasic, 1010},
+      {5, 2, 5, 2, ShardScheme::kContiguous, QueryProtocol::kFarthest, 1011},
+  };
+  for (const SweepCase& c : sweep) {
+    SCOPED_TRACE(CaseName(c));
+    PlainTable table = GenerateUniformTable(c.n, c.m, kMaxValue, c.seed);
+    PlainRecord query = GenerateUniformQuery(c.m, kMaxValue, c.seed + 1);
+
+    auto unsharded = MakeEngine(table, BaseOptions());
+    SknnEngine::Options sharded_options = BaseOptions();
+    sharded_options.shards = c.s;
+    sharded_options.shard_scheme = c.scheme;
+    auto sharded = MakeEngine(table, sharded_options);
+
+    auto reference = RunQuery(*unsharded, query, c.k, c.protocol);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    auto result = RunQuery(*sharded, query, c.k, c.protocol);
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    // The three-way differential: oracle == unsharded == sharded.
+    EXPECT_EQ(reference->records, Oracle(table, query, c.k, c.protocol));
+    EXPECT_EQ(result->records, reference->records);
+
+    // s = 1 in-process is BY DESIGN the unsharded engine (Options::shards
+    // doc) — the answer must still agree, with no shard stats. The true
+    // one-shard coordinator path is exercised by the remote topology below
+    // (SingleWorkerCoordinatorDegeneratesCorrectly).
+    if (c.s == 1) {
+      EXPECT_TRUE(result->shards.empty());
+      continue;
+    }
+    // Per-shard instrumentation: every shard reports, candidate counts are
+    // exactly min(k, shard size), and the shard stages' cost is folded into
+    // the query totals.
+    ASSERT_EQ(result->shards.size(), c.s);
+    auto manifest = MakeShardManifest(c.n, c.s, c.scheme);
+    ASSERT_TRUE(manifest.ok()) << manifest.status();
+    uint64_t shard_frames = 0;
+    for (std::size_t shard = 0; shard < c.s; ++shard) {
+      const ShardQueryStats& stats = result->shards[shard];
+      EXPECT_EQ(stats.shard, shard);
+      const std::size_t shard_n =
+          ShardRecordIndices(*manifest, shard).size();
+      EXPECT_EQ(static_cast<std::size_t>(stats.candidates),
+                std::min<std::size_t>(c.k, shard_n));
+      EXPECT_GT(stats.traffic.total_frames(), 0u) << "shard " << shard;
+      EXPECT_GT(stats.ops.encryptions, 0u) << "shard " << shard;
+      shard_frames += stats.traffic.total_frames();
+    }
+    EXPECT_GE(result->traffic.total_frames(), shard_frames)
+        << "shard traffic not folded into the query total";
+    EXPECT_GE(result->merge_seconds, 0.0);
+    EXPECT_TRUE(reference->shards.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Tied distances: the deterministic lower-global-index tie-break must
+// hold across shard counts and schemes, for distinct records at equal
+// distances (the case a random tie-pick would scramble).
+
+TEST(ShardedQueryDifferential, TiedDistancesBreakDeterministicallyAcrossShardCounts) {
+  // From query {0,0}: records 0-3 all at squared distance 25 with DISTINCT
+  // payloads, records 4-5 nearer, record 6 a duplicate of record 1 (also at
+  // 25). k=4 cuts through the tie group; k=2 (farthest) picks among the
+  // tied-farthest four.
+  const PlainTable table = {{0, 5}, {3, 4}, {4, 3}, {5, 0},
+                           {1, 0}, {0, 2}, {3, 4}};
+  const PlainRecord query = {0, 0};
+
+  for (QueryProtocol protocol :
+       {QueryProtocol::kBasic, QueryProtocol::kSecure,
+        QueryProtocol::kFarthest}) {
+    SCOPED_TRACE(QueryProtocolName(protocol));
+    const unsigned k = 4;
+    const PlainTable want = Oracle(table, query, k, protocol);
+    for (ShardScheme scheme :
+         {ShardScheme::kContiguous, ShardScheme::kRoundRobin}) {
+      for (std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+        SCOPED_TRACE(std::string(ShardSchemeName(scheme)) + " s=" +
+                     std::to_string(s));
+        SknnEngine::Options options = BaseOptions();
+        options.shards = s;
+        options.shard_scheme = scheme;
+        auto engine = MakeEngine(table, options);
+        auto result = RunQuery(*engine, query, k, protocol);
+        ASSERT_TRUE(result.ok()) << result.status();
+        EXPECT_EQ(result->records, want)
+            << "tie-break diverged from the lower-global-index order";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Partitioner / manifest units (the geometry the whole scheme rests on).
+
+TEST(ShardManifestTest, BothSchemesPartitionExactly) {
+  for (ShardScheme scheme :
+       {ShardScheme::kContiguous, ShardScheme::kRoundRobin}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{12}}) {
+      for (std::size_t s = 1; s <= n; ++s) {
+        auto manifest = MakeShardManifest(n, s, scheme);
+        ASSERT_TRUE(manifest.ok()) << manifest.status();
+        std::vector<bool> seen(n, false);
+        for (std::size_t shard = 0; shard < s; ++shard) {
+          std::vector<std::size_t> indices =
+              ShardRecordIndices(*manifest, shard);
+          EXPECT_FALSE(indices.empty())
+              << ShardSchemeName(scheme) << " n=" << n << " s=" << s
+              << " shard " << shard << " is empty";
+          EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+          for (std::size_t gidx : indices) {
+            ASSERT_LT(gidx, n);
+            EXPECT_FALSE(seen[gidx]) << "index " << gidx << " assigned twice";
+            seen[gidx] = true;
+          }
+        }
+        EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                                [](bool b) { return b; }))
+            << ShardSchemeName(scheme) << " n=" << n << " s=" << s
+            << " left records unassigned";
+      }
+    }
+  }
+}
+
+TEST(ShardManifestTest, RejectsDegenerateShapes) {
+  EXPECT_FALSE(MakeShardManifest(0, 1, ShardScheme::kContiguous).ok());
+  EXPECT_FALSE(MakeShardManifest(4, 0, ShardScheme::kContiguous).ok());
+  EXPECT_FALSE(MakeShardManifest(4, 5, ShardScheme::kContiguous).ok());
+
+  // Over-sharded engine construction fails up front, not at query time.
+  PlainTable table = GenerateUniformTable(4, 2, kMaxValue, 7);
+  auto db = SharedAlice().EncryptDatabase(table, kAttrBits);
+  ASSERT_TRUE(db.ok());
+  SknnEngine::Options options = BaseOptions();
+  options.shards = 9;
+  auto engine = SknnEngine::CreateFromParts(
+      SharedAlice().public_key(),
+      PaillierSecretKey(SharedAlice().secret_key_for_c2()),
+      std::move(db).value(), options);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardManifestTest, RoundTripsThroughDbIo) {
+  const std::string path =
+      ::testing::TempDir() + "/sharded_query_manifest.bin";
+  auto manifest = MakeShardManifest(12, 3, ShardScheme::kRoundRobin);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(WriteShardManifest(path, *manifest).ok());
+  auto loaded = ReadShardManifest(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, *manifest);
+
+  // Corruption is detected, not interpreted.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "SKNNSH01garbage";
+  }
+  EXPECT_FALSE(ReadShardManifest(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// 4. The remote topology: real workers over loopback TCP + fault injection.
+
+// A C2 key holder accepting any number of TCP connections (the engine's and
+// every worker's), one RpcServer per link — the in-test stand-in for
+// tools/sknn_c2_server.
+class TcpC2 {
+ public:
+  explicit TcpC2(PaillierSecretKey sk) : c2_(std::move(sk)) {
+    c2_.EnableRandomizerPool(/*capacity=*/32);
+    auto listener = TcpListener::Bind(0);
+    SKNN_CHECK(listener.ok()) << listener.status();
+    listener_.emplace(std::move(listener).value());
+    accept_thread_ = std::thread([this] {
+      for (;;) {
+        auto endpoint = listener_->Accept();
+        if (!endpoint.ok()) return;  // closed
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions_.push_back(std::make_unique<RpcServer>(
+            std::move(endpoint).value(),
+            [this](const Message& req) { return c2_.Handle(req); },
+            /*worker_threads=*/2));
+      }
+    });
+  }
+
+  ~TcpC2() {
+    listener_->Close();
+    if (auto kick = ConnectTcp("127.0.0.1", port()); kick.ok()) {
+      (*kick)->Close();
+    }
+    accept_thread_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& session : sessions_) session->Shutdown();
+  }
+
+  uint16_t port() const { return listener_->port(); }
+
+  std::unique_ptr<Endpoint> Connect() {
+    auto link = ConnectTcp("127.0.0.1", port());
+    SKNN_CHECK(link.ok()) << link.status();
+    return std::move(link).value();
+  }
+
+ private:
+  C2Service c2_;
+  std::optional<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<RpcServer>> sessions_;
+};
+
+// One shard worker served over a loopback TCP link (the in-test
+// tools/sknn_c1_shard). Handler may be overridden for fault injection.
+class TcpWorker {
+ public:
+  TcpWorker(std::unique_ptr<ShardWorker> worker, RpcServer::Handler handler)
+      : worker_(std::move(worker)) {
+    auto listener = TcpListener::Bind(0);
+    SKNN_CHECK(listener.ok()) << listener.status();
+    port_ = listener->port();
+    std::thread accepter([&] {
+      auto accepted = listener->Accept();
+      SKNN_CHECK(accepted.ok()) << accepted.status();
+      server_ = std::make_unique<RpcServer>(
+          std::move(accepted).value(), std::move(handler),
+          /*worker_threads=*/2);
+    });
+    link_ = ConnectTcp("127.0.0.1", port_);
+    SKNN_CHECK(link_.ok()) << link_.status();
+    accepter.join();
+  }
+
+  static RpcServer::Handler Passthrough(ShardWorker* worker) {
+    return [worker](const Message& req) { return worker->Handle(req); };
+  }
+
+  std::unique_ptr<Endpoint> TakeLink() { return std::move(link_).value(); }
+  RpcServer& server() { return *server_; }
+  ShardWorker* worker() { return worker_.get(); }
+
+ private:
+  std::unique_ptr<ShardWorker> worker_;
+  uint16_t port_ = 0;
+  std::unique_ptr<RpcServer> server_;
+  Result<std::unique_ptr<SocketEndpoint>> link_ =
+      Status::Internal("not connected");
+};
+
+struct RemoteTopology {
+  PlainTable table;
+  EncryptedDatabase db;
+  ShardManifest manifest;
+  std::unique_ptr<TcpC2> c2;
+  std::vector<std::unique_ptr<TcpWorker>> workers;
+
+  RemoteTopology(std::size_t n, std::size_t s, uint64_t seed) {
+    table = GenerateUniformTable(n, 2, kMaxValue, seed);
+    auto encrypted = SharedAlice().EncryptDatabase(table, kAttrBits);
+    SKNN_CHECK(encrypted.ok()) << encrypted.status();
+    db = std::move(encrypted).value();
+    auto made = MakeShardManifest(n, s, ShardScheme::kContiguous);
+    SKNN_CHECK(made.ok()) << made.status();
+    manifest = std::move(made).value();
+    c2 = std::make_unique<TcpC2>(
+        PaillierSecretKey(SharedAlice().secret_key_for_c2()));
+  }
+
+  std::unique_ptr<ShardWorker> MakeWorker(std::size_t shard) {
+    ShardWorker::Options options;
+    options.threads = 2;
+    options.randomizer_pool_capacity = 32;
+    auto worker = ShardWorker::Create(SharedAlice().public_key(), db,
+                                      manifest, shard, c2->Connect(),
+                                      options);
+    SKNN_CHECK(worker.ok()) << worker.status();
+    return std::move(worker).value();
+  }
+
+  void AddWorker(std::size_t shard) {
+    auto worker = MakeWorker(shard);
+    ShardWorker* raw = worker.get();
+    workers.push_back(std::make_unique<TcpWorker>(
+        std::move(worker), TcpWorker::Passthrough(raw)));
+  }
+
+  Result<std::unique_ptr<SknnEngine>> MakeEngine() {
+    std::vector<std::unique_ptr<Endpoint>> links;
+    for (auto& worker : workers) links.push_back(worker->TakeLink());
+    return SknnEngine::CreateWithShardWorkers(SharedAlice().public_key(),
+                                              std::move(links), c2->Connect(),
+                                              BaseOptions());
+  }
+};
+
+TEST(ShardedQueryRemote, WorkerTopologyMatchesUnshardedBitwise) {
+  RemoteTopology topology(/*n=*/8, /*s=*/2, /*seed=*/2201);
+  // Register workers out of order on purpose: the coordinator must index
+  // them by their REPORTED shard, not by connection order.
+  topology.AddWorker(1);
+  topology.AddWorker(0);
+  auto engine = topology.MakeEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_TRUE((*engine)->database().records.empty())
+      << "a worker-backed front end must not host records";
+  EXPECT_EQ((*engine)->num_records(), 8u);
+
+  auto reference = MakeEngine(topology.table, BaseOptions());
+  PlainRecord query = GenerateUniformQuery(2, kMaxValue, 2202);
+  for (QueryProtocol protocol :
+       {QueryProtocol::kBasic, QueryProtocol::kSecure,
+        QueryProtocol::kFarthest}) {
+    SCOPED_TRACE(QueryProtocolName(protocol));
+    for (unsigned k : {1u, 3u}) {
+      auto local = RunQuery(*reference, query, k, protocol);
+      ASSERT_TRUE(local.ok()) << local.status();
+      auto remote = RunQuery(**engine, query, k, protocol);
+      ASSERT_TRUE(remote.ok()) << remote.status();
+      EXPECT_EQ(remote->records, local->records);
+      EXPECT_EQ(remote->records, Oracle(topology.table, query, k, protocol));
+      ASSERT_EQ(remote->shards.size(), 2u);
+      for (const auto& shard : remote->shards) {
+        EXPECT_GT(shard.traffic.total_frames(), 0u);
+        EXPECT_GT(shard.ops.encryptions, 0u);
+      }
+      // Both clouds' ops crossed both process boundaries: the response must
+      // see C2 decryptions (ledger fetch) and the workers' C1-side work.
+      EXPECT_GT(remote->ops.decryptions, 0u);
+    }
+  }
+}
+
+TEST(ShardedQueryRemote, SingleWorkerCoordinatorDegeneratesCorrectly) {
+  // s = 1 through the REAL coordinator: one worker holds everything, the
+  // merge re-extracts from that worker's own candidates — and the answer is
+  // still bitwise the unsharded one.
+  RemoteTopology topology(/*n=*/6, /*s=*/1, /*seed=*/2601);
+  topology.AddWorker(0);
+  auto engine = topology.MakeEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto reference = MakeEngine(topology.table, BaseOptions());
+  PlainRecord query = GenerateUniformQuery(2, kMaxValue, 2602);
+  for (QueryProtocol protocol :
+       {QueryProtocol::kBasic, QueryProtocol::kSecure}) {
+    SCOPED_TRACE(QueryProtocolName(protocol));
+    auto local = RunQuery(*reference, query, 2, protocol);
+    ASSERT_TRUE(local.ok()) << local.status();
+    auto remote = RunQuery(**engine, query, 2, protocol);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_EQ(remote->records, local->records);
+    ASSERT_EQ(remote->shards.size(), 1u);
+    EXPECT_EQ(remote->shards[0].candidates, 2u);
+  }
+}
+
+TEST(ShardedQueryRemote, MisassembledWorkerSetsAreRejected) {
+  RemoteTopology topology(/*n=*/6, /*s=*/2, /*seed=*/2301);
+  // Two workers claiming the SAME shard.
+  topology.AddWorker(0);
+  topology.AddWorker(0);
+  auto engine = topology.MakeEngine();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+
+  // One worker for a two-shard manifest.
+  RemoteTopology short_set(/*n=*/6, /*s=*/2, /*seed=*/2302);
+  short_set.AddWorker(0);
+  auto incomplete = short_set.MakeEngine();
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_EQ(incomplete.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A fake shard worker for fault injection: answers the construction-time
+// ping with a consistent geometry, then misbehaves on the query leg.
+class FaultyWorker {
+ public:
+  enum class Mode { kHangUntilKilled, kDisconnect };
+
+  FaultyWorker(const ShardGeometry& geometry, Mode mode)
+      : geometry_(geometry), mode_(mode) {
+    auto listener = TcpListener::Bind(0);
+    SKNN_CHECK(listener.ok()) << listener.status();
+    std::thread accepter([&] {
+      auto accepted = listener->Accept();
+      SKNN_CHECK(accepted.ok()) << accepted.status();
+      server_ = std::make_unique<RpcServer>(
+          std::move(accepted).value(),
+          [this](const Message& req) { return Handle(req); },
+          /*worker_threads=*/1);
+    });
+    link_ = ConnectTcp("127.0.0.1", listener->port());
+    SKNN_CHECK(link_.ok()) << link_.status();
+    accepter.join();
+  }
+
+  ~FaultyWorker() {
+    Kill();
+    Release();
+  }
+
+  std::unique_ptr<Endpoint> TakeLink() { return std::move(link_).value(); }
+
+  /// Blocks until the faulty worker has received the query leg.
+  void WaitForQuery() { query_seen_.get_future().wait(); }
+
+  /// The "kill -9": slams the worker's link shut mid-query.
+  void Kill() { server_->Shutdown(); }
+
+  void Release() {
+    if (!released_.exchange(true)) hold_.set_value();
+  }
+
+ private:
+  Result<Message> Handle(const Message& req) {
+    if (req.type == ShardOpCode(ShardOp::kShardPing)) {
+      return EncodeShardGeometry(geometry_);
+    }
+    if (!seen_.exchange(true)) query_seen_.set_value();
+    if (mode_ == Mode::kDisconnect) {
+      // Slam the link from inside the handler: the coordinator observes a
+      // disconnect with its call in flight.
+      server_->Shutdown();
+      return Status::Unavailable("disconnected");
+    }
+    hold_.get_future().wait();  // hang until the test kills or releases us
+    return Status::Unavailable("killed");
+  }
+
+  ShardGeometry geometry_;
+  Mode mode_;
+  std::unique_ptr<RpcServer> server_;
+  Result<std::unique_ptr<SocketEndpoint>> link_ =
+      Status::Internal("not connected");
+  std::promise<void> query_seen_;
+  std::atomic<bool> seen_{false};
+  std::promise<void> hold_;
+  std::atomic<bool> released_{false};
+};
+
+class ShardFaultInjection
+    : public ::testing::TestWithParam<FaultyWorker::Mode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ShardFaultInjection,
+    ::testing::Values(FaultyWorker::Mode::kHangUntilKilled,
+                      FaultyWorker::Mode::kDisconnect),
+    [](const ::testing::TestParamInfo<FaultyWorker::Mode>& info) {
+      return info.param == FaultyWorker::Mode::kHangUntilKilled
+                 ? "KilledMidQuery"
+                 : "DisconnectMidQuery";
+    });
+
+TEST_P(ShardFaultInjection, DeadWorkerSurfacesUnavailableNotHang) {
+  RemoteTopology topology(/*n=*/6, /*s=*/2, /*seed=*/2401);
+  topology.AddWorker(0);  // shard 0: a real worker
+  // Shard 1: the faulty one, advertising a geometry consistent with the
+  // real set so construction succeeds and the failure strikes mid-query.
+  ShardGeometry geometry = topology.workers[0]->worker()->geometry();
+  geometry.shard = 1;
+  FaultyWorker faulty(geometry, GetParam());
+
+  std::vector<std::unique_ptr<Endpoint>> links;
+  links.push_back(topology.workers[0]->TakeLink());
+  links.push_back(faulty.TakeLink());
+  auto engine = SknnEngine::CreateWithShardWorkers(
+      SharedAlice().public_key(), std::move(links), topology.c2->Connect(),
+      BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  PlainRecord query = GenerateUniformQuery(2, kMaxValue, 2402);
+  auto pending = std::async(std::launch::async, [&] {
+    return RunQuery(**engine, query, 2, QueryProtocol::kSecure);
+  });
+  faulty.WaitForQuery();
+  if (GetParam() == FaultyWorker::Mode::kHangUntilKilled) {
+    faulty.Kill();  // the disconnect mode killed itself inside the handler
+  }
+  // The coordinator must fail the query with a real status — a hang here
+  // trips the ctest timeout, which is exactly the regression this guards.
+  auto result = pending.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+      << result.status();
+  faulty.Release();
+
+  // The engine itself is still alive for follow-up queries? No — its shard
+  // set is degraded; but it must keep FAILING CLEANLY, not hang or crash.
+  auto after = RunQuery(**engine, query, 1, QueryProtocol::kBasic);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ShardedQueryRemote, WorkerAnswersMalformedFramesWithTypedErrors) {
+  RemoteTopology topology(/*n=*/4, /*s=*/2, /*seed=*/2501);
+  auto worker = topology.MakeWorker(0);
+
+  // Unknown opcode in the shard space.
+  Message bogus;
+  bogus.type = 0x02FF;
+  auto resp = worker->Handle(bogus);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->type, ShardOpCode(ShardOp::kShardError));
+  EXPECT_EQ(DecodeShardError(*resp).code(), StatusCode::kProtocolError);
+
+  // A query frame with garbage geometry.
+  Message garbage;
+  garbage.type = ShardOpCode(ShardOp::kShardQuery);
+  garbage.aux = {1, 2, 3};
+  resp = worker->Handle(garbage);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->type, ShardOpCode(ShardOp::kShardError));
+
+  // A well-formed frame whose ciphertexts are not valid under the key.
+  ShardQueryFrame frame;
+  frame.query_id = 42;
+  frame.k = 1;
+  frame.enc_query = {Ciphertext(BigInt(0)), Ciphertext(BigInt(0))};
+  resp = worker->Handle(EncodeShardQuery(frame));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->type, ShardOpCode(ShardOp::kShardError));
+  EXPECT_EQ(DecodeShardError(*resp).code(), StatusCode::kCryptoError);
+}
+
+}  // namespace
+}  // namespace sknn

@@ -3,7 +3,9 @@
 //
 //   sknn_c1_server --public pk.txt --db db.bin --port 9100 \
 //                  --c2-host 127.0.0.1 --c2-port 9000 \
-//                  [--threads N] [--max-in-flight M] [--queries N]
+//                  [--threads N] [--max-in-flight M] [--queries N] \
+//                  [--shards S] [--shard-scheme contiguous|roundrobin] \
+//                  [--shard-workers host:port,host:port,...]
 //
 // Loads the public key and the encrypted database ONCE, connects to the
 // standalone C2 key holder, and serves any number of thin clients
@@ -13,11 +15,20 @@
 // with ResourceExhausted so clients back off instead of piling into an
 // unbounded queue.
 //
+// Sharded record fan-out (same wire contract, per-shard stats in every
+// response): --shards S partitions Epk(T) into S in-process shards; with
+// --shard-workers the shards instead live in standing sknn_c1_shard worker
+// processes (one address per shard, any order — the workers' manifest is
+// cross-checked at connect) and --db may be omitted, since this process
+// then never hosts records itself.
+//
 // --queries N exits after N queries have been answered (scripted smoke
 // runs); the default serves until killed.
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <thread>
+#include <vector>
 
 #include "core/db_io.h"
 #include "core/engine.h"
@@ -30,12 +41,12 @@ int main(int argc, char** argv) {
   using namespace sknn;
   using namespace sknn::tools;
   const char* usage =
-      "sknn_c1_server --public <pk> --db <db.bin> --port <p> "
+      "sknn_c1_server --public <pk> [--db <db.bin>] --port <p> "
       "--c2-host <ip> --c2-port <p> [--threads N] [--max-in-flight M] "
-      "[--queries N]";
+      "[--queries N] [--shards S] [--shard-scheme contiguous|roundrobin] "
+      "[--shard-workers host:port,...]";
   auto flags = ParseFlags(argc, argv);
   std::string pk_path = RequireFlag(flags, "public", usage);
-  std::string db_path = RequireFlag(flags, "db", usage);
   uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
                                  usage);
   std::string c2_host = FlagOr(flags, "c2-host", "127.0.0.1");
@@ -47,22 +58,51 @@ int main(int argc, char** argv) {
       FlagOr(flags, "max-in-flight", "8"), "max-in-flight", usage, 1, 65536));
   int64_t target_queries = ParseInt64OrDie(FlagOr(flags, "queries", "-1"),
                                            "queries", usage, -1);
+  // 0 = "not set": with --shard-workers the worker count (and the workers'
+  // manifest) decides; without it the default is the unsharded engine.
+  std::size_t shards = static_cast<std::size_t>(ParseUint64OrDie(
+      FlagOr(flags, "shards", "0"), "shards", usage, 0, 65535));
+  auto scheme = ParseShardScheme(FlagOr(flags, "shard-scheme", "contiguous"));
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s\n", scheme.status().ToString().c_str(),
+                 usage);
+    return 2;
+  }
+  std::vector<std::string> worker_addrs;
+  if (flags.count("shard-workers")) {
+    std::stringstream ss(flags.at("shard-workers"));
+    std::string addr;
+    while (std::getline(ss, addr, ',')) {
+      if (!addr.empty()) worker_addrs.push_back(addr);
+    }
+    if (worker_addrs.empty()) {
+      DieBadFlag("shard-workers", flags.at("shard-workers"), usage);
+    }
+  }
+  if (worker_addrs.empty() && shards == 0) shards = 1;
 
   auto pk = ReadPublicKeyFile(pk_path);
   if (!pk.ok()) {
     std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
     return 1;
   }
-  auto db = ReadEncryptedDatabase(db_path);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
-    return 1;
+  // With remote shard workers the front end hosts no records; the database
+  // is only required (and only loaded) when this process runs the protocol
+  // over Epk(T) itself.
+  EncryptedDatabase db;
+  if (worker_addrs.empty()) {
+    std::string db_path = RequireFlag(flags, "db", usage);
+    auto loaded = ReadEncryptedDatabase(db_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = ValidateCiphertexts(*loaded, *pk); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded).value();
   }
-  if (Status s = ValidateCiphertexts(*db, *pk); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
-  }
-  const std::size_t n = db->num_records(), m = db->num_attributes();
 
   auto c2_link = ConnectTcp(c2_host, c2_port);
   if (!c2_link.ok()) {
@@ -73,14 +113,20 @@ int main(int argc, char** argv) {
 
   SknnEngine::Options options;
   options.c1_threads = threads;
-  auto engine = SknnEngine::CreateWithRemoteC2(*pk, std::move(db).value(),
-                                               std::move(c2_link).value(),
-                                               options);
+  auto engine = QueryService::CreateShardedEngine(
+      *pk, std::move(db), std::move(c2_link).value(), options, shards,
+      *scheme, worker_addrs);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine setup failed: %s\n",
                  engine.status().ToString().c_str());
     return 1;
   }
+  const std::size_t n = (*engine)->num_records();
+  const std::size_t m = (*engine)->num_attributes();
+  const std::size_t effective_shards =
+      (*engine)->shard_coordinator() != nullptr
+          ? (*engine)->shard_coordinator()->manifest().num_shards
+          : 1;
 
   QueryService::Options service_options;
   service_options.max_in_flight = max_in_flight;
@@ -91,8 +137,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "C1 query front end serving on 127.0.0.1:%u "
-      "(n=%zu records, m=%zu attributes, threads=%zu, max-in-flight=%zu)\n",
-      service.port(), n, m, threads, max_in_flight);
+      "(n=%zu records, m=%zu attributes, threads=%zu, max-in-flight=%zu, "
+      "shards=%zu%s)\n",
+      service.port(), n, m, threads, max_in_flight, effective_shards,
+      worker_addrs.empty() ? "" : " via workers");
   std::fflush(stdout);
 
   for (;;) {

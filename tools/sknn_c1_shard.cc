@@ -1,0 +1,141 @@
+// sknn_c1_shard — one C1 shard worker of the sharded serving deployment
+// (docs/DEPLOY.md).
+//
+//   sknn_c1_shard --public pk.txt --db db.bin --port 9200 \
+//                 --c2-host 127.0.0.1 --c2-port 9000 \
+//                 --shards 4 --shard-index 1 [--scheme contiguous] \
+//                 [--manifest manifest.bin] [--threads N] [--connections N]
+//
+// Loads the public key and the FULL encrypted database once, keeps only its
+// shard of the records (the manifest — either derived from --shards /
+// --scheme or loaded from --manifest, which wins — says which), connects to
+// the C2 key holder, and serves the coordinator's kShardPing / kShardQuery
+// frames (net/shard_wire.h) on --port. Every worker of one deployment must
+// be launched with the SAME manifest parameters against the SAME database;
+// the coordinator cross-checks this at connect time and refuses a
+// mismatched set.
+//
+// --connections N exits after N coordinator links close (scripted smoke
+// runs); the default serves until killed.
+#include <cstdio>
+#include <vector>
+
+#include "core/db_io.h"
+#include "crypto/serialization.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "serve/shard_worker.h"
+#include "tools/tool_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sknn;
+  using namespace sknn::tools;
+  const char* usage =
+      "sknn_c1_shard --public <pk> --db <db.bin> --port <p> "
+      "--c2-host <ip> --c2-port <p> --shards <s> --shard-index <i> "
+      "[--scheme contiguous|roundrobin] [--manifest <file>] [--threads N] "
+      "[--connections N]";
+  auto flags = ParseFlags(argc, argv);
+  std::string pk_path = RequireFlag(flags, "public", usage);
+  std::string db_path = RequireFlag(flags, "db", usage);
+  uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
+                                 usage);
+  std::string c2_host = FlagOr(flags, "c2-host", "127.0.0.1");
+  uint16_t c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
+                                    "c2-port", usage);
+  std::size_t shard_index = static_cast<std::size_t>(ParseUint64OrDie(
+      RequireFlag(flags, "shard-index", usage), "shard-index", usage, 0,
+      65535));
+  std::size_t threads = static_cast<std::size_t>(ParseUint64OrDie(
+      FlagOr(flags, "threads", "1"), "threads", usage, 1, 4096));
+  long connections = static_cast<long>(ParseInt64OrDie(
+      FlagOr(flags, "connections", "-1"), "connections", usage, -1));
+
+  auto pk = ReadPublicKeyFile(pk_path);
+  if (!pk.ok()) {
+    std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
+    return 1;
+  }
+  auto db = ReadEncryptedDatabase(db_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = ValidateCiphertexts(*db, *pk); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  ShardManifest manifest;
+  if (flags.count("manifest")) {
+    auto loaded = ReadShardManifest(flags.at("manifest"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    manifest = std::move(loaded).value();
+  } else {
+    std::size_t shards = static_cast<std::size_t>(ParseUint64OrDie(
+        RequireFlag(flags, "shards", usage), "shards", usage, 1, 65535));
+    auto scheme = ParseShardScheme(FlagOr(flags, "scheme", "contiguous"));
+    if (!scheme.ok()) {
+      std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+      return 1;
+    }
+    auto made = MakeShardManifest(db->num_records(), shards, *scheme);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    manifest = std::move(made).value();
+  }
+
+  auto c2_link = ConnectTcp(c2_host, c2_port);
+  if (!c2_link.ok()) {
+    std::fprintf(stderr, "cannot reach C2 at %s:%u: %s\n", c2_host.c_str(),
+                 c2_port, c2_link.status().ToString().c_str());
+    return 1;
+  }
+
+  ShardWorker::Options options;
+  options.threads = threads;
+  auto worker = ShardWorker::Create(*pk, *db, manifest, shard_index,
+                                    std::move(c2_link).value(), options);
+  if (!worker.ok()) {
+    std::fprintf(stderr, "shard worker setup failed: %s\n",
+                 worker.status().ToString().c_str());
+    return 1;
+  }
+  db->records.clear();  // only the slice is needed from here on
+
+  auto listener = TcpListener::Bind(port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "C1 shard %zu/%zu (%s, %zu records) serving on 127.0.0.1:%u\n",
+      shard_index, manifest.num_shards, ShardSchemeName(manifest.scheme),
+      (*worker)->shard_records(), listener->port());
+  std::fflush(stdout);
+
+  ShardWorker* worker_raw = worker->get();
+  std::vector<std::unique_ptr<RpcServer>> sessions;
+  for (long served = 0; connections < 0 || served < connections; ++served) {
+    auto endpoint = listener->Accept();
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "accept failed: %s\n",
+                   endpoint.status().ToString().c_str());
+      break;
+    }
+    std::printf("coordinator connection %ld established\n", served + 1);
+    std::fflush(stdout);
+    sessions.push_back(std::make_unique<RpcServer>(
+        std::move(endpoint).value(),
+        [worker_raw](const Message& req) { return worker_raw->Handle(req); },
+        threads));
+  }
+  for (auto& session : sessions) session->WaitForClose();
+  std::printf("all coordinator connections closed; shutting down\n");
+  return 0;
+}

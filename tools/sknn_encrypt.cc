@@ -2,7 +2,13 @@
 // CSV table into the binary database C1 hosts.
 //
 //   sknn_encrypt --public pk.txt --csv patients.csv --attr-bits 9 \
-//                --out db.bin [--skip-header]
+//                --out db.bin [--skip-header] \
+//                [--shards s [--shard-scheme contiguous|roundrobin] \
+//                 --manifest-out manifest.bin]
+//
+// With --shards, Alice also emits the shard manifest (core/sharding.h) —
+// the small artifact every sknn_c1_shard worker and the coordinator load
+// (--manifest) so the partitioning provably agrees across the deployment.
 #include <cstdio>
 
 #include "bigint/random.h"
@@ -17,7 +23,8 @@ int main(int argc, char** argv) {
   using namespace sknn::tools;
   const char* usage =
       "sknn_encrypt --public <pk> --csv <table.csv> --attr-bits <a> --out "
-      "<db.bin> [--skip-header]";
+      "<db.bin> [--skip-header] [--shards s [--shard-scheme x] "
+      "--manifest-out <file>]";
   auto flags = ParseFlags(argc, argv);
   std::string pk_path = RequireFlag(flags, "public", usage);
   std::string csv_path = RequireFlag(flags, "csv", usage);
@@ -66,5 +73,29 @@ int main(int argc, char** argv) {
   }
   std::printf("encrypted %zu records x %zu attributes -> %s (l = %u bits)\n",
               n, m, out_path.c_str(), db.distance_bits);
+
+  if (flags.count("shards")) {
+    std::string manifest_path = RequireFlag(flags, "manifest-out", usage);
+    std::size_t shards = static_cast<std::size_t>(ParseUint64OrDie(
+        flags.at("shards"), "shards", usage, 1, 65535));
+    auto scheme =
+        ParseShardScheme(FlagOr(flags, "shard-scheme", "contiguous"));
+    if (!scheme.ok()) {
+      std::fprintf(stderr, "%s\nusage: %s\n",
+                   scheme.status().ToString().c_str(), usage);
+      return 2;
+    }
+    auto manifest = MakeShardManifest(n, shards, *scheme);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "%s\n", manifest.status().ToString().c_str());
+      return 1;
+    }
+    if (Status ms = WriteShardManifest(manifest_path, *manifest); !ms.ok()) {
+      std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+      return 1;
+    }
+    std::printf("shard manifest (%zu %s shards) -> %s\n", shards,
+                ShardSchemeName(*scheme), manifest_path.c_str());
+  }
   return 0;
 }

@@ -7,8 +7,9 @@
 //
 // Output: k rows of comma-separated attributes, nearest first (farthest
 // first with --farthest) — the same row format sknn_query prints after its
-// header line. Ties are broken by lower record index; use distinct-distance
-// data when diffing against the protocols, whose tie choice is C2's.
+// header line. Ties are broken by lower record index, the same
+// deterministic order the protocols implement (core/sknn_m.h tie-break
+// augmentation), so the diff is exact even on tied-distance data.
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
