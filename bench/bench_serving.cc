@@ -1,4 +1,5 @@
-// bench_serving — multi-client throughput of the serving front end (PR 3).
+// bench_serving — multi-client throughput of the serving front end (PR 3),
+// plus the multi-table series (PR 5).
 //
 // Stands up the full four-party topology in one process but over real
 // loopback sockets — standalone C2 behind a TCP RpcServer, a
@@ -8,7 +9,13 @@
 // the serial baseline; the speedup of the wider rows is what the engine's
 // Submit pipelining buys the deployment.
 //
-//   bench_serving [--json [path]]     # JSON lands in BENCH_PR3.json
+// The multi-table series serves 1 vs 4 independent tables (own keys, own
+// C2 each) from ONE QueryService and spreads the same concurrent client
+// load across them — the isolation cost (or win: independent engines don't
+// share a C1 pool) of multi-tenancy behind one port. JSON lands in
+// BENCH_PR5.json under "serving_multi_table".
+//
+//   bench_serving [--json [path]]     # JSON lands in BENCH_PR3/PR5.json
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -19,6 +26,7 @@
 #include "net/socket.h"
 #include "serve/query_service.h"
 #include "serve/remote_query_client.h"
+#include "serve/table_registry.h"
 
 namespace sknn {
 namespace bench {
@@ -40,18 +48,27 @@ struct ServingStack {
   }
 };
 
-ServingStack MakeStack(std::size_t n, std::size_t m, unsigned l,
-                       unsigned key_bits, std::size_t threads) {
-  ServingStack stack;
-  EngineSetup setup = MakeEngine(n, m, l, key_bits, threads, /*seed=*/77);
-  stack.local = std::move(setup.engine);
-  stack.query = std::move(setup.query);
+// One C2-over-TCP backing: a standalone C2Service (same secret key as
+// `local`) behind a loopback RpcServer, and the CreateWithRemoteC2 engine
+// connected to it — the bring-up both the single- and multi-table stacks
+// share.
+struct RemoteC2Backing {
+  std::unique_ptr<C2Service> c2;
+  std::unique_ptr<RpcServer> c2_server;
+  std::unique_ptr<SknnEngine> engine;
+};
 
-  stack.c2 = std::make_unique<C2Service>(
-      PaillierSecretKey(stack.local->c2_service().secret_key()));
-  stack.c2->EnableIntraMessageParallelism(threads);
-  stack.c2->EnableRandomizerPool(/*capacity=*/1024,
-                                 std::max<std::size_t>(1, threads / 2));
+RemoteC2Backing ConnectRemoteEngine(SknnEngine& local, std::size_t threads,
+                                    std::size_t pool_capacity,
+                                    bool intra_message_parallelism) {
+  RemoteC2Backing backing;
+  backing.c2 = std::make_unique<C2Service>(
+      PaillierSecretKey(local.c2_service().secret_key()));
+  if (intra_message_parallelism) {
+    backing.c2->EnableIntraMessageParallelism(threads);
+  }
+  backing.c2->EnableRandomizerPool(pool_capacity,
+                                   std::max<std::size_t>(1, threads / 2));
   auto listener = TcpListener::Bind(0);
   if (!listener.ok()) {
     std::fprintf(stderr, "bind failed: %s\n",
@@ -61,8 +78,8 @@ ServingStack MakeStack(std::size_t n, std::size_t m, unsigned l,
   std::thread accepter([&] {
     auto accepted = listener->Accept();
     if (!accepted.ok()) std::exit(1);
-    C2Service* c2_raw = stack.c2.get();
-    stack.c2_server = std::make_unique<RpcServer>(
+    C2Service* c2_raw = backing.c2.get();
+    backing.c2_server = std::make_unique<RpcServer>(
         std::move(accepted).value(),
         [c2_raw](const Message& req) { return c2_raw->Handle(req); },
         threads);
@@ -78,14 +95,30 @@ ServingStack MakeStack(std::size_t n, std::size_t m, unsigned l,
   SknnEngine::Options options;
   options.c1_threads = threads;
   auto engine = SknnEngine::CreateWithRemoteC2(
-      stack.local->public_key(), EncryptedDatabase(stack.local->database()),
+      local.public_key(), EncryptedDatabase(local.database()),
       std::move(link).value(), options);
   if (!engine.ok()) {
     std::fprintf(stderr, "remote engine setup failed: %s\n",
                  engine.status().ToString().c_str());
     std::exit(1);
   }
-  stack.engine = std::move(engine).value();
+  backing.engine = std::move(engine).value();
+  return backing;
+}
+
+ServingStack MakeStack(std::size_t n, std::size_t m, unsigned l,
+                       unsigned key_bits, std::size_t threads) {
+  ServingStack stack;
+  EngineSetup setup = MakeEngine(n, m, l, key_bits, threads, /*seed=*/77);
+  stack.local = std::move(setup.engine);
+  stack.query = std::move(setup.query);
+
+  RemoteC2Backing backing = ConnectRemoteEngine(
+      *stack.local, threads, /*pool_capacity=*/1024,
+      /*intra_message_parallelism=*/true);
+  stack.c2 = std::move(backing.c2);
+  stack.c2_server = std::move(backing.c2_server);
+  stack.engine = std::move(backing.engine);
 
   QueryService::Options service_options;
   service_options.max_in_flight = 16;
@@ -103,6 +136,105 @@ struct Point {
   std::size_t queries = 0;
   double seconds = 0;
 };
+
+// The PR 5 shape: T independent tables — own keys, own database, own C2 —
+// registered behind ONE QueryService.
+struct MultiTableStack {
+  struct Backing {
+    std::unique_ptr<SknnEngine> local;
+    std::unique_ptr<C2Service> c2;
+    std::unique_ptr<RpcServer> c2_server;
+    std::unique_ptr<SknnEngine> engine;
+    PlainRecord query;
+  };
+  std::vector<Backing> tables;
+  std::vector<std::string> names;
+  TableRegistry registry;
+  std::unique_ptr<QueryService> service;
+
+  ~MultiTableStack() {
+    if (service != nullptr) service->Shutdown();
+  }
+};
+
+// unique_ptr: the registry's mutex makes the stack immovable.
+std::unique_ptr<MultiTableStack> MakeMultiStack(std::size_t num_tables,
+                                                std::size_t n, std::size_t m,
+                                                unsigned l, unsigned key_bits,
+                                                std::size_t threads) {
+  auto stack_ptr = std::make_unique<MultiTableStack>();
+  MultiTableStack& stack = *stack_ptr;
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    MultiTableStack::Backing backing;
+    EngineSetup setup =
+        MakeEngine(n, m, l, key_bits, threads, /*seed=*/101 + t);
+    backing.local = std::move(setup.engine);
+    backing.query = std::move(setup.query);
+
+    // Smaller randomizer stock than the single-table stack: up to four of
+    // these C2s refill in the background at once.
+    RemoteC2Backing remote = ConnectRemoteEngine(
+        *backing.local, threads, /*pool_capacity=*/256,
+        /*intra_message_parallelism=*/false);
+    backing.c2 = std::move(remote.c2);
+    backing.c2_server = std::move(remote.c2_server);
+    backing.engine = std::move(remote.engine);
+    stack.names.push_back("table" + std::to_string(t));
+    stack.tables.push_back(std::move(backing));
+  }
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    Status s = stack.registry.Register(stack.names[t],
+                                      stack.tables[t].engine.get());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  QueryService::Options service_options;
+  service_options.max_in_flight = 16;
+  stack.service =
+      std::make_unique<QueryService>(&stack.registry, service_options);
+  if (Status s = stack.service->Start(0); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return stack_ptr;
+}
+
+// Each client owns one connection and hammers ONE table (client c ->
+// table c mod T): with T = 1 every client contends on one engine, with
+// T = clients each table serves exactly one client.
+Point DriveMultiTableClients(MultiTableStack& stack, std::size_t num_clients,
+                             std::size_t total_queries,
+                             QueryProtocol protocol) {
+  Stopwatch watch;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    std::size_t share = total_queries / num_clients +
+                        (c < total_queries % num_clients ? 1 : 0);
+    const std::size_t table = c % stack.tables.size();
+    clients.emplace_back([&, share, table] {
+      QueryRequest request;
+      request.table = stack.names[table];
+      request.record = stack.tables[table].query;
+      request.protocol = protocol;
+      request.k = 2;
+      auto client =
+          RemoteQueryClient::Connect("127.0.0.1", stack.service->port());
+      if (!client.ok()) std::exit(1);
+      for (std::size_t q = 0; q < share; ++q) {
+        auto response = (*client)->Query(request);
+        if (!response.ok()) {
+          std::fprintf(stderr, "multi-table query failed: %s\n",
+                       response.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  return {num_clients, total_queries, watch.ElapsedSeconds()};
+}
 
 Point DriveClients(ServingStack& stack, std::size_t num_clients,
                    std::size_t total_queries, QueryProtocol protocol) {
@@ -217,6 +349,53 @@ int main(int argc, char** argv) {
     os << "\n  }";
     MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR3.json"), "serving",
                      os.str());
+  }
+
+  // Tear the single-table stack down before standing up the multi-table
+  // grids: on a small CI box the background randomizer refills of five
+  // live C2s would distort the comparison.
+  stack.service->Shutdown();
+
+  // -- Multi-table series (PR 5): 1 vs 4 tables under the same client load.
+  std::printf("# multi-table: %zu clients spread across T tables "
+              "(basic protocol)\n",
+              std::size_t{4});
+  std::printf("%-8s %-8s %-10s %-10s\n", "tables", "clients", "seconds",
+              "qps");
+  struct MultiPoint {
+    std::size_t tables = 0;
+    Point point;
+  };
+  std::vector<MultiPoint> multi_points;
+  const std::size_t multi_clients = 4;
+  const std::size_t multi_queries = PaperScale() ? 32 : 16;
+  for (std::size_t num_tables : {std::size_t{1}, std::size_t{4}}) {
+    std::unique_ptr<MultiTableStack> multi =
+        MakeMultiStack(num_tables, n, m, l, key_bits, threads);
+    Point point = DriveMultiTableClients(*multi, multi_clients,
+                                         multi_queries,
+                                         QueryProtocol::kBasic);
+    multi_points.push_back({num_tables, point});
+    std::printf("%-8zu %-8zu %-10.3f %-10.2f\n", num_tables, point.clients,
+                point.seconds, point.queries / point.seconds);
+  }
+
+  if (emit_json) {
+    std::ostringstream os;
+    os << "{\n    \"key_bits\": " << key_bits << ", \"n\": " << n
+       << ", \"m\": " << m << ", \"l\": " << l
+       << ", \"c1_threads\": " << threads
+       << ", \"clients\": " << multi_clients << ",\n    \"series\": [";
+    for (std::size_t i = 0; i < multi_points.size(); ++i) {
+      const MultiPoint& mp = multi_points[i];
+      os << (i ? ", " : "") << "{\"tables\": " << mp.tables
+         << ", \"queries\": " << mp.point.queries
+         << ", \"seconds\": " << mp.point.seconds
+         << ", \"qps\": " << mp.point.queries / mp.point.seconds << "}";
+    }
+    os << "]\n  }";
+    MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR5.json"),
+                     "serving_multi_table", os.str());
   }
   return 0;
 }

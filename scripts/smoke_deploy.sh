@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Out-of-process smoke of the serving deployment (docs/DEPLOY.md), two legs:
+# Out-of-process smoke of the serving deployment (docs/DEPLOY.md), three legs:
 #   1. the four-binary topology: keygen -> encrypt -> sknn_c2_server ->
 #      sknn_c1_server -> concurrent thin clients;
 #   2. the SHARDED topology: the same database split across two
 #      sknn_c1_shard workers (via the manifest sknn_encrypt emitted) behind
-#      a worker-backed sknn_c1_server.
-# Every answer of both legs is diffed against the plaintext oracle — the
+#      a worker-backed sknn_c1_server;
+#   3. the MULTI-TABLE topology: two tables with DISTINCT Paillier keys
+#      (each with its own C2 key holder) behind ONE sknn_c1_server,
+#      introspected with sknn_admin and torn down with SIGTERM — the
+#      servers must drain and exit 0, which is why no teardown step here
+#      needs "|| true".
+# Every answer of every leg is diffed against the plaintext oracle — the
 # sharded leg on a table WITH tied distances, which the deterministic
 # tie-break must resolve exactly like the oracle (lower index first).
 #
@@ -15,12 +20,27 @@ set -euo pipefail
 BUILD_DIR=${1:-build}
 BIN=$(cd "$BUILD_DIR" && pwd)
 WORK=$(mktemp -d)
+# Failure-path safety net only: every leg's normal path stops its servers
+# with term_and_wait below and asserts a clean exit 0.
 cleanup() {
-  # shellcheck disable=SC2046  # word splitting wanted: one pid per argument
-  kill $(jobs -p) 2>/dev/null || true
+  local pids
+  pids=$(jobs -p)
+  if [ -n "$pids" ]; then
+    # shellcheck disable=SC2086  # word splitting wanted: one pid per argument
+    kill $pids 2>/dev/null && wait $pids 2>/dev/null
+  fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT
+
+# SIGTERM each pid, then wait for ALL of them, requiring clean exits: under
+# `set -e` a server that dies non-zero (instead of draining on the signal)
+# fails the smoke.
+term_and_wait() {
+  local pid
+  for pid in "$@"; do kill -TERM "$pid"; done
+  for pid in "$@"; do wait "$pid"; done
+}
 
 # A distinct-distance table: answers are deterministic for every protocol,
 # so the secure results must match the plaintext oracle exactly.
@@ -163,4 +183,85 @@ wait "$SHARD0_PID"
 wait "$SHARD1_PID"
 wait "$C2S_PID"
 echo "leg 2 OK: 2-shard deployment matches the oracle (ties included)"
-echo "smoke deploy OK: both legs match the plaintext oracle"
+
+echo "== leg 3: multi-table front end (distinct keys per table) =="
+# A second key ceremony: table "beta" shares NOTHING with "alpha" — its own
+# key pair, its own C2 key holder, its own dimensionality.
+"$BIN/sknn_keygen" --bits 512 --public "$WORK/pk_b.txt" --secret "$WORK/sk_b.txt"
+cat > "$WORK/beta.csv" <<EOF
+0,0,1
+2,0,1
+4,0,1
+6,0,1
+EOF
+"$BIN/sknn_encrypt" --public "$WORK/pk_b.txt" --csv "$WORK/beta.csv" \
+  --attr-bits 3 --out "$WORK/beta_db.bin"
+
+# Both C2s and the front end run UNBOUNDED here: leg 3's teardown is the
+# SIGINT/SIGTERM drain path itself.
+"$BIN/sknn_c2_server" --secret "$WORK/sk.txt" --port 0 --workers 2 \
+  --pool-capacity 256 > "$WORK/c2_alpha.log" 2>&1 &
+C2A_PID=$!
+C2A_PORT=$(wait_for_port "$WORK/c2_alpha.log")
+"$BIN/sknn_c2_server" --secret "$WORK/sk_b.txt" --port 0 --workers 2 \
+  --pool-capacity 256 > "$WORK/c2_beta.log" 2>&1 &
+C2B_PID=$!
+C2B_PORT=$(wait_for_port "$WORK/c2_beta.log")
+
+"$BIN/sknn_c1_server" --port 0 --threads 2 --max-in-flight 8 \
+  --table "alpha=$WORK/db.bin,public=$WORK/pk.txt,c2-port=$C2A_PORT" \
+  --table "beta=$WORK/beta_db.bin,public=$WORK/pk_b.txt,c2-port=$C2B_PORT" \
+  > "$WORK/c1_multi.log" 2>&1 &
+C1M_PID=$!
+C1M_PORT=$(wait_for_port "$WORK/c1_multi.log")
+
+echo "== sknn_admin: control plane =="
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --hello
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --list-tables \
+  > "$WORK/tables"
+printf 'alpha\nbeta\n' > "$WORK/tables_want"
+diff -u "$WORK/tables_want" "$WORK/tables" || {
+  echo "MISMATCH: list-tables"; exit 1; }
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --table-info \
+  > "$WORK/table_info"
+grep -q "table alpha" "$WORK/table_info"
+grep -q "table beta" "$WORK/table_info"
+grep -q "attributes     3" "$WORK/table_info" # beta is 3-dimensional
+
+echo "== per-table queries diffed against the oracle =="
+for q in "1,0" "5,0"; do
+  "$BIN/sknn_query" --host 127.0.0.1 --port "$C1M_PORT" --table alpha \
+    --query "$q" --k 2 --protocol secure > "$WORK/alpha_out" \
+    2>>"$WORK/clients.log"
+  "$BIN/sknn_plain_knn" --csv "$WORK/table.csv" --query "$q" --k 2 \
+    > "$WORK/want"
+  tail -n +2 "$WORK/alpha_out" > "$WORK/got"
+  diff -u "$WORK/want" "$WORK/got" || { echo "MISMATCH: alpha $q"; exit 1; }
+done
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1M_PORT" --table beta \
+  --query "5,0,1" --k 2 --protocol secure > "$WORK/beta_out" \
+  2>>"$WORK/clients.log"
+"$BIN/sknn_plain_knn" --csv "$WORK/beta.csv" --query "5,0,1" --k 2 \
+  > "$WORK/want"
+tail -n +2 "$WORK/beta_out" > "$WORK/got"
+diff -u "$WORK/want" "$WORK/got" || { echo "MISMATCH: beta"; exit 1; }
+
+# A wrong table name is a typed error (exit 1), not a hang or garbage.
+if "$BIN/sknn_query" --host 127.0.0.1 --port "$C1M_PORT" --table gamma \
+    --query "1,0" --k 1 > /dev/null 2>"$WORK/gamma.err"; then
+  echo "querying an unknown table unexpectedly succeeded"; exit 1
+fi
+grep -q "unknown table" "$WORK/gamma.err"
+
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --stats \
+  > "$WORK/stats"
+grep -Eq "alpha +2 " "$WORK/stats" || { cat "$WORK/stats"; \
+  echo "MISMATCH: alpha completed count"; exit 1; }
+grep -Eq "beta +1 " "$WORK/stats" || { cat "$WORK/stats"; \
+  echo "MISMATCH: beta completed count"; exit 1; }
+
+echo "== SIGTERM teardown: every server must drain and exit 0 =="
+term_and_wait "$C1M_PID"
+term_and_wait "$C2A_PID" "$C2B_PID"
+echo "leg 3 OK: two tables, two key pairs, one front end; clean shutdown"
+echo "smoke deploy OK: all three legs match the plaintext oracle"

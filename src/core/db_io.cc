@@ -25,6 +25,20 @@ bool GetU32(std::ifstream& in, uint32_t* v) {
   return true;
 }
 
+// Reads and checks an 8-byte magic whose last two characters are the format
+// revision. Three distinct outcomes for the caller's error message: OK,
+// "right family, unknown revision" (version skew — an artifact from a
+// newer/older build must be re-exported, not half-parsed), and "not ours".
+enum class MagicCheck { kOk, kVersionSkew, kForeign };
+
+MagicCheck CheckMagic(std::ifstream& in, const char (&expected)[8]) {
+  char magic[8];
+  if (!in.read(magic, sizeof(magic))) return MagicCheck::kForeign;
+  if (std::memcmp(magic, expected, sizeof(magic)) == 0) return MagicCheck::kOk;
+  if (std::memcmp(magic, expected, 6) == 0) return MagicCheck::kVersionSkew;
+  return MagicCheck::kForeign;
+}
+
 }  // namespace
 
 Status WriteEncryptedDatabase(const std::string& path,
@@ -62,11 +76,18 @@ Result<EncryptedDatabase> ReadEncryptedDatabase(const std::string& path) {
   if (!in) {
     return Status::IoError("ReadEncryptedDatabase: cannot open " + path);
   }
-  char magic[sizeof(kMagic)];
-  if (!in.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(
-        "ReadEncryptedDatabase: bad magic (not an sknn database)");
+  switch (CheckMagic(in, kMagic)) {
+    case MagicCheck::kOk:
+      break;
+    case MagicCheck::kVersionSkew:
+      return Status::InvalidArgument(
+          "ReadEncryptedDatabase: " + path +
+          " is an sknn database of an unsupported format revision (this "
+          "build reads SKNNDB01); re-export it with this build's "
+          "sknn_encrypt");
+    case MagicCheck::kForeign:
+      return Status::InvalidArgument(
+          "ReadEncryptedDatabase: bad magic (not an sknn database)");
   }
   uint32_t n = 0, m = 0, l = 0;
   if (!GetU32(in, &n) || !GetU32(in, &m) || !GetU32(in, &l) || n == 0 ||
@@ -130,11 +151,18 @@ Result<ShardManifest> ReadShardManifest(const std::string& path) {
   if (!in) {
     return Status::IoError("ReadShardManifest: cannot open " + path);
   }
-  char magic[sizeof(kManifestMagic)];
-  if (!in.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kManifestMagic, sizeof(kManifestMagic)) != 0) {
-    return Status::InvalidArgument(
-        "ReadShardManifest: bad magic (not a shard manifest)");
+  switch (CheckMagic(in, kManifestMagic)) {
+    case MagicCheck::kOk:
+      break;
+    case MagicCheck::kVersionSkew:
+      return Status::InvalidArgument(
+          "ReadShardManifest: " + path +
+          " is a shard manifest of an unsupported format revision (this "
+          "build reads SKNNSH01); re-export it with this build's "
+          "sknn_encrypt");
+    case MagicCheck::kForeign:
+      return Status::InvalidArgument(
+          "ReadShardManifest: bad magic (not a shard manifest)");
   }
   uint32_t scheme = 0, num_shards = 0, total_records = 0;
   if (!GetU32(in, &scheme) || !GetU32(in, &num_shards) ||
@@ -150,6 +178,19 @@ Result<ShardManifest> ReadShardManifest(const std::string& path) {
   }
   return MakeShardManifest(total_records, num_shards,
                            static_cast<ShardScheme>(scheme));
+}
+
+Status ValidateManifestForDatabase(const ShardManifest& manifest,
+                                   const EncryptedDatabase& db) {
+  if (manifest.total_records != db.num_records()) {
+    return Status::InvalidArgument(
+        "shard manifest describes " +
+        std::to_string(manifest.total_records) +
+        " records but the database holds " +
+        std::to_string(db.num_records()) +
+        " — manifest and database are not from the same export");
+  }
+  return Status::OK();
 }
 
 Status ValidateCiphertexts(const EncryptedDatabase& db,

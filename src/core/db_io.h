@@ -7,7 +7,10 @@
 // Loading validates the geometry and (optionally, ValidateCiphertexts) that
 // every entry is a structurally valid element of Z*_{N^2} under the given
 // public key — a corrupted or foreign-key database fails fast instead of
-// producing garbage query results.
+// producing garbage query results. Version skew is its own failure mode: a
+// file whose magic says "sknn database, different format revision" (e.g. a
+// future SKNNDB02) is rejected with an explicit unsupported-version error,
+// distinct from "not an sknn database at all".
 //
 // A shard manifest (core/sharding.h) is persisted alongside the database in
 // a sharded deployment so coordinator and workers provably agree on the
@@ -38,6 +41,13 @@ Status WriteShardManifest(const std::string& path,
 
 /// \brief Reads and re-validates a manifest (MakeShardManifest rules).
 Result<ShardManifest> ReadShardManifest(const std::string& path);
+
+/// \brief A manifest only describes ONE database: the record counts must
+/// agree, or the partitioning silently misassigns every record. Checked at
+/// load time by every process that holds both artifacts (sknn_c1_shard,
+/// sknn_c1_server --table ...,manifest=...).
+Status ValidateManifestForDatabase(const ShardManifest& manifest,
+                                   const EncryptedDatabase& db);
 
 }  // namespace sknn
 

@@ -242,6 +242,21 @@ void SknnEngine::SchedulerLoop() {
   }
 }
 
+SknnEngine::Info SknnEngine::info() const {
+  Info info;
+  info.num_records = num_records_;
+  info.num_attributes = num_attributes_;
+  info.attr_bits = attr_bits_;
+  info.distance_bits = distance_bits_;
+  info.k_max = static_cast<unsigned>(num_records_);
+  if (coordinator_ != nullptr) {
+    info.num_shards = coordinator_->manifest().num_shards;
+    info.shard_scheme = coordinator_->manifest().scheme;
+    info.remote_shard_workers = coordinator_->remote();
+  }
+  return info;
+}
+
 Status SknnEngine::ValidateRequest(const QueryRequest& request) const {
   const std::size_t n = num_records_;
   if (request.record.size() != num_attributes_) {

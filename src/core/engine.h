@@ -158,6 +158,27 @@ class SknnEngine {
   /// k in [1, n], matching dimension, attributes in [0, 2^attr_bits).
   Status ValidateRequest(const QueryRequest& request) const;
 
+  /// \brief Everything a serving control plane reports about this engine in
+  /// one copyable value: the database geometry, the attribute domain, the
+  /// admissible-k bound, and the shard topology. This is what a front end's
+  /// kTableInfo frame (net/query_wire.h) carries per table.
+  struct Info {
+    std::size_t num_records = 0;
+    std::size_t num_attributes = 0;
+    unsigned attr_bits = 0;
+    unsigned distance_bits = 0;
+    /// Largest k ValidateRequest admits (= num_records).
+    unsigned k_max = 0;
+    /// 1 = unsharded execution.
+    std::size_t num_shards = 1;
+    /// Meaningful when num_shards > 1.
+    ShardScheme shard_scheme = ShardScheme::kContiguous;
+    /// True when the shards are sknn_c1_shard worker processes
+    /// (CreateWithShardWorkers) rather than in-process slices.
+    bool remote_shard_workers = false;
+  };
+  Info info() const;
+
   const PaillierPublicKey& public_key() const { return pk_; }
   /// \brief Epk(T) as hosted by this process — EMPTY for sharded engines:
   /// a CreateWithShardWorkers engine's records live in the workers, and an

@@ -12,6 +12,7 @@
 #ifndef SKNN_CORE_QUERY_API_H_
 #define SKNN_CORE_QUERY_API_H_
 
+#include <string>
 #include <vector>
 
 #include "core/types.h"
@@ -48,6 +49,14 @@ struct QueryRequest {
   /// Collect exact per-query Paillier operation counts across both clouds
   /// (Section 4.4 accounting).
   bool want_op_counts = true;
+  /// Which table of a multi-table serving front end this query targets
+  /// (serve/table_registry.h). Empty = the sole table, which is both the
+  /// in-process engine's shape (an engine IS one table; it ignores this
+  /// field) and the pre-multi-table client shape. A front end serving
+  /// several tables rejects the empty name with kInvalidArgument and an
+  /// unknown name with kNotFound. Last member so the established aggregate
+  /// initialization order {record, k, protocol, ...} stays valid.
+  std::string table;
 };
 
 /// \brief One shard's share of a sharded query (core/shard_coordinator.h):

@@ -66,6 +66,9 @@ class ShardCoordinator {
                                SkNNmBreakdown* breakdown, RunStats* stats);
 
   const ShardManifest& manifest() const { return manifest_; }
+  /// \brief True when the shards are worker processes (CreateRemote) rather
+  /// than in-process slices.
+  bool remote() const { return !workers_.empty(); }
   /// \brief Database geometry (remote mode reports the workers'; local mode
   /// mirrors the partitioned db).
   std::size_t num_attributes() const { return num_attributes_; }

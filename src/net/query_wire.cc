@@ -21,6 +21,27 @@ Status BadFrame(const char* what) {
   return Status::ProtocolError(std::string("front-end frame: ") + what);
 }
 
+// Table and frame names cross the wire length-prefixed; anything longer is
+// a hostile or corrupt frame, not a legitimate identifier.
+constexpr std::size_t kMaxNameLen = 256;
+
+void AppendString(Message& msg, const std::string& text) {
+  msg.AppendAuxU32(static_cast<uint32_t>(text.size()));
+  msg.aux.insert(msg.aux.end(), text.begin(), text.end());
+}
+
+// Reads [len:u32][bytes] at `at`, advancing it; false on any overrun.
+bool StringAt(const Message& msg, std::size_t* at, std::string* out) {
+  if (msg.aux.size() < *at + 4) return false;
+  const std::size_t len = msg.AuxU32At(*at);
+  *at += 4;
+  if (len > kMaxNameLen || msg.aux.size() < *at + len) return false;
+  out->assign(msg.aux.begin() + static_cast<std::ptrdiff_t>(*at),
+              msg.aux.begin() + static_cast<std::ptrdiff_t>(*at + len));
+  *at += len;
+  return true;
+}
+
 }  // namespace
 
 Message EncodeQueryRequest(const QueryRequest& request) {
@@ -34,6 +55,7 @@ Message EncodeQueryRequest(const QueryRequest& request) {
   for (int64_t v : request.record) {
     msg.AppendAuxU64(static_cast<uint64_t>(v));
   }
+  AppendString(msg, request.table);
   return msg;
 }
 
@@ -53,13 +75,19 @@ Result<QueryRequest> DecodeQueryRequest(const Message& msg) {
   request.want_breakdown = (flags & kFlagBreakdown) != 0;
   request.want_op_counts = (flags & kFlagOpCounts) != 0;
   const uint32_t m = msg.AuxU32At(12);
-  if (msg.aux.size() != 16 + std::size_t{m} * 8) {
-    return BadFrame("kQuery geometry mismatch");
-  }
+  std::size_t at = 16 + std::size_t{m} * 8;
+  if (msg.aux.size() < at) return BadFrame("kQuery geometry mismatch");
   request.record.reserve(m);
   for (uint32_t j = 0; j < m; ++j) {
     request.record.push_back(
         static_cast<int64_t>(msg.AuxU64At(16 + std::size_t{j} * 8)));
+  }
+  // Revision-1 frames end at the record; revision-2 frames append the table
+  // name. Either shape decodes (the sole-table default), so the hello gate
+  // — not a parse failure — is what tells an old client it must upgrade.
+  if (msg.aux.size() == at) return request;
+  if (!StringAt(msg, &at, &request.table) || msg.aux.size() != at) {
+    return BadFrame("kQuery table-name geometry mismatch");
   }
   return request;
 }
@@ -203,6 +231,202 @@ Status DecodeQueryError(const Message& msg) {
   }
   return Status(static_cast<StatusCode>(code),
                 std::string(msg.aux.begin() + 4, msg.aux.end()));
+}
+
+namespace {
+
+// kHello and kHelloAck share one shape; only the opcode (and whether
+// num_tables is meaningful) differs.
+Message EncodeHelloShape(FrontendOp op, const HelloInfo& hello) {
+  Message msg;
+  msg.type = FrontendOpCode(op);
+  msg.AppendAuxU32(hello.revision);
+  msg.AppendAuxU32(hello.features);
+  msg.AppendAuxU32(hello.num_tables);
+  return msg;
+}
+
+Result<HelloInfo> DecodeHelloShape(FrontendOp op, const char* what,
+                                   const Message& msg) {
+  if (msg.type != FrontendOpCode(op)) return BadFrame(what);
+  if (msg.aux.size() != 12) return BadFrame(what);
+  HelloInfo hello;
+  hello.revision = msg.AuxU32At(0);
+  hello.features = msg.AuxU32At(4);
+  hello.num_tables = msg.AuxU32At(8);
+  return hello;
+}
+
+}  // namespace
+
+Message EncodeHello(const HelloInfo& hello) {
+  return EncodeHelloShape(FrontendOp::kHello, hello);
+}
+
+Result<HelloInfo> DecodeHello(const Message& msg) {
+  return DecodeHelloShape(FrontendOp::kHello, "malformed kHello frame", msg);
+}
+
+Message EncodeHelloAck(const HelloInfo& ack) {
+  return EncodeHelloShape(FrontendOp::kHelloAck, ack);
+}
+
+Result<HelloInfo> DecodeHelloAck(const Message& msg) {
+  return DecodeHelloShape(FrontendOp::kHelloAck, "malformed kHelloAck frame",
+                          msg);
+}
+
+Message EncodeListTablesRequest() {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kListTables);
+  return msg;
+}
+
+Message EncodeTableList(const std::vector<std::string>& names) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kTableList);
+  msg.AppendAuxU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) AppendString(msg, name);
+  return msg;
+}
+
+Result<std::vector<std::string>> DecodeTableList(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kTableList)) {
+    return BadFrame("not a kTableList frame");
+  }
+  if (msg.aux.size() < 4) return BadFrame("truncated kTableList");
+  const uint32_t count = msg.AuxU32At(0);
+  // Bound the claimed count BEFORE reserving: each entry needs at least its
+  // 4-byte length prefix, so a hostile count cannot force a huge allocation
+  // ahead of the per-entry bounds checks.
+  if (std::size_t{count} * 4 > msg.aux.size() - 4) {
+    return BadFrame("kTableList count implausible");
+  }
+  std::size_t at = 4;
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!StringAt(msg, &at, &name)) {
+      return BadFrame("kTableList geometry mismatch");
+    }
+    names.push_back(std::move(name));
+  }
+  if (at != msg.aux.size()) return BadFrame("kTableList trailing bytes");
+  return names;
+}
+
+Message EncodeTableInfoRequest(const std::string& name) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kTableInfo);
+  AppendString(msg, name);
+  return msg;
+}
+
+Result<std::string> DecodeTableInfoRequest(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kTableInfo)) {
+    return BadFrame("not a kTableInfo frame");
+  }
+  std::size_t at = 0;
+  std::string name;
+  if (!StringAt(msg, &at, &name) || at != msg.aux.size()) {
+    return BadFrame("kTableInfo geometry mismatch");
+  }
+  return name;
+}
+
+Message EncodeTableInfoReply(const TableInfoReply& info) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kTableInfoResult);
+  AppendString(msg, info.name);
+  msg.AppendAuxU64(info.num_records);
+  msg.AppendAuxU32(info.num_attributes);
+  msg.AppendAuxU32(info.attr_bits);
+  msg.AppendAuxU32(info.k_max);
+  msg.AppendAuxU32(info.distance_bits);
+  msg.AppendAuxU32(info.num_shards);
+  msg.AppendAuxU32(info.shard_scheme);
+  msg.AppendAuxU32(info.remote_workers ? 1 : 0);
+  return msg;
+}
+
+Result<TableInfoReply> DecodeTableInfoReply(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kTableInfoResult)) {
+    return BadFrame("not a kTableInfoResult frame");
+  }
+  std::size_t at = 0;
+  TableInfoReply info;
+  if (!StringAt(msg, &at, &info.name) ||
+      msg.aux.size() != at + 8 + 7 * 4) {
+    return BadFrame("kTableInfoResult geometry mismatch");
+  }
+  info.num_records = msg.AuxU64At(at);
+  info.num_attributes = msg.AuxU32At(at + 8);
+  info.attr_bits = msg.AuxU32At(at + 12);
+  info.k_max = msg.AuxU32At(at + 16);
+  info.distance_bits = msg.AuxU32At(at + 20);
+  info.num_shards = msg.AuxU32At(at + 24);
+  info.shard_scheme = msg.AuxU32At(at + 28);
+  info.remote_workers = msg.AuxU32At(at + 32) != 0;
+  return info;
+}
+
+Message EncodeServiceStatsRequest() {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kServiceStats);
+  return msg;
+}
+
+Message EncodeServiceStatsReply(const ServiceStatsReply& stats) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kServiceStatsResult);
+  AppendF64(msg, stats.uptime_seconds);
+  msg.AppendAuxU64(stats.connections_accepted);
+  msg.AppendAuxU64(stats.in_flight);
+  msg.AppendAuxU32(static_cast<uint32_t>(stats.tables.size()));
+  for (const TableStatsEntry& table : stats.tables) {
+    AppendString(msg, table.name);
+    msg.AppendAuxU64(table.completed);
+    msg.AppendAuxU64(table.failed);
+    msg.AppendAuxU64(table.rejected);
+    msg.AppendAuxU64(table.in_flight);
+  }
+  return msg;
+}
+
+Result<ServiceStatsReply> DecodeServiceStatsReply(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kServiceStatsResult)) {
+    return BadFrame("not a kServiceStatsResult frame");
+  }
+  if (msg.aux.size() < 28) return BadFrame("truncated kServiceStatsResult");
+  ServiceStatsReply stats;
+  stats.uptime_seconds = F64At(msg, 0);
+  stats.connections_accepted = msg.AuxU64At(8);
+  stats.in_flight = msg.AuxU64At(16);
+  const uint32_t count = msg.AuxU32At(24);
+  // Same implausible-count guard as kTableList: a per-table block is at
+  // least 36 bytes (name length prefix + four u64 counters).
+  if (std::size_t{count} * 36 > msg.aux.size() - 28) {
+    return BadFrame("kServiceStatsResult count implausible");
+  }
+  std::size_t at = 28;
+  stats.tables.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TableStatsEntry table;
+    if (!StringAt(msg, &at, &table.name) || msg.aux.size() < at + 32) {
+      return BadFrame("kServiceStatsResult geometry mismatch");
+    }
+    table.completed = msg.AuxU64At(at);
+    table.failed = msg.AuxU64At(at + 8);
+    table.rejected = msg.AuxU64At(at + 16);
+    table.in_flight = msg.AuxU64At(at + 24);
+    at += 32;
+    stats.tables.push_back(std::move(table));
+  }
+  if (at != msg.aux.size()) {
+    return BadFrame("kServiceStatsResult trailing bytes");
+  }
+  return stats;
 }
 
 }  // namespace sknn

@@ -1,32 +1,77 @@
-// Front-end wire frames: QueryRequest/QueryResponse as Messages.
+// Front-end wire contract: the versioned client <-> C1 serving protocol.
 //
 // The serving topology (docs/DEPLOY.md) splits Bob from C1: a thin client
-// sends one kQuery frame to the standing C1 query front end
-// (serve/query_service.h) and gets back either a kQueryResult carrying the
-// records plus the full instrumentation payload (timings, traffic, ops,
-// breakdown) or a kQueryError carrying a real Status — code and message —
-// so callers can distinguish "retry later" (ResourceExhausted backpressure)
-// from "fix your request" (InvalidArgument/OutOfRange).
+// connects to the standing C1 query front end (serve/query_service.h),
+// NEGOTIATES the contract with one kHello/kHelloAck exchange — protocol
+// revision plus feature bits, so a client from the wrong era gets a typed
+// kQueryError instead of silent garbage — and then sends kQuery frames,
+// each naming the TABLE it targets (the front end may host many independent
+// encrypted tables behind one port; empty = the sole table, the pre-
+// multi-table client shape). Answers are kQueryResult frames carrying the
+// records plus the full instrumentation payload, or kQueryError frames
+// carrying a real Status — code and message — so callers can distinguish
+// "retry later" (ResourceExhausted backpressure, Unavailable) from "fix
+// your request" (InvalidArgument/OutOfRange/NotFound).
+//
+// Alongside the data path rides a small control plane: kListTables (what is
+// served), kTableInfo (one table's geometry and shard topology), and
+// kServiceStats (per-table admission counters, in-flight, uptime) — the
+// same frames sknn_admin prints and every later scaling PR (per-table
+// caching, replication, resharding) introspects.
 //
 // Frames ride the existing Message/WireCodec/Endpoint stack, so the client
 // <-> front-end link reuses RpcClient/RpcServer unchanged (correlation-id
 // demux, length-prefixed framing) over TCP or the in-memory channel. The
 // FrontendOp opcode space is disjoint from the C1<->C2 Op space: a frame
 // from the wrong link is rejected, never misinterpreted.
+//
+// The full frame catalog, negotiation rules and version-compatibility
+// policy are specified in docs/API.md.
 #ifndef SKNN_NET_QUERY_WIRE_H_
 #define SKNN_NET_QUERY_WIRE_H_
+
+#include <string>
+#include <vector>
 
 #include "core/query_api.h"
 #include "net/message.h"
 
 namespace sknn {
 
+/// \brief Revision of the client-facing wire contract this build speaks.
+/// Revision history:
+///   1 — PR 3/4: unversioned kQuery/kQueryResult/kQueryError only.
+///   2 — PR 5: hello/negotiation mandatory, kQuery carries a table name,
+///       control-plane frames (list/info/stats).
+constexpr uint32_t kProtocolRevision = 2;
+/// \brief Oldest client revision the server still accepts. Revision 1
+/// clients cannot hello at all; their first kQuery gets the typed
+/// missing-hello error, which is the deliberate end of their road.
+constexpr uint32_t kMinSupportedRevision = 2;
+
+/// \brief Feature bits advertised in kHello/kHelloAck. A client MUST ignore
+/// bits it does not know; a server advertises exactly what it implements.
+enum FrontendFeature : uint32_t {
+  /// kQuery dispatches on a table name; kListTables/kTableInfo exist.
+  kFeatureMultiTable = 1u << 0,
+  /// QueryResponse carries per-shard stats for sharded tables.
+  kFeatureShardStats = 1u << 1,
+  /// kServiceStats exists.
+  kFeatureServiceStats = 1u << 2,
+};
+
+/// \brief Every feature this build implements.
+constexpr uint32_t kSupportedFeatures =
+    kFeatureMultiTable | kFeatureShardStats | kFeatureServiceStats;
+
 enum class FrontendOp : uint16_t {
-  /// One Bob query. aux = [k:u32][protocol:u32][flags:u32][m:u32][m x i64],
-  /// flags bit 0 = want_breakdown, bit 1 = want_op_counts; attributes as
-  /// two's-complement little-endian u64 (requests are validated server-side,
-  /// so out-of-domain values must survive the wire intact to be rejected
-  /// with a proper Status).
+  /// One Bob query. aux = [k:u32][protocol:u32][flags:u32][m:u32][m x i64]
+  /// [table_len:u32][table bytes], flags bit 0 = want_breakdown, bit 1 =
+  /// want_op_counts; attributes as two's-complement little-endian u64
+  /// (requests are validated server-side, so out-of-domain values must
+  /// survive the wire intact to be rejected with a proper Status). The
+  /// table suffix is absent in revision-1 frames; decoding treats that as
+  /// the empty (sole-table) name so the frame shape itself stays readable.
   kQuery = 0x0101,
   /// Success. aux = [rows:u32][cols:u32][rows*cols x i64]
   /// [bob_seconds:f64][cloud_seconds:f64][traffic:4 x u64][ops:4 x u64]
@@ -37,11 +82,88 @@ enum class FrontendOp : uint16_t {
   kQueryResult = 0x0102,
   /// Failure. aux = [status code:u32][message bytes].
   kQueryError = 0x0103,
+
+  // -- Session handshake (revision 2) --
+
+  /// Client -> server, first frame of every session.
+  /// aux = [revision:u32][features:u32][reserved:u32] — the same 12-byte
+  /// shape as kHelloAck; the third word is 0 in this direction.
+  kHello = 0x0110,
+  /// Server -> client on an accepted hello.
+  /// aux = [revision:u32][features:u32][num_tables:u32].
+  kHelloAck = 0x0111,
+
+  // -- Control plane (revision 2) --
+
+  /// Client -> server: enumerate served tables. aux empty.
+  kListTables = 0x0112,
+  /// Server -> client. aux = [count:u32] then per table
+  /// [name_len:u32][name bytes].
+  kTableList = 0x0113,
+  /// Client -> server: one table's metadata.
+  /// aux = [name_len:u32][name bytes] (empty name = sole table).
+  kTableInfo = 0x0114,
+  /// Server -> client. aux = [name_len:u32][name bytes][n:u64][m:u32]
+  /// [attr_bits:u32][k_max:u32][distance_bits:u32][num_shards:u32]
+  /// [scheme:u32][remote_workers:u32].
+  kTableInfoResult = 0x0115,
+  /// Client -> server: service-wide counters. aux empty.
+  kServiceStats = 0x0116,
+  /// Server -> client. aux = [uptime_seconds:f64][connections:u64]
+  /// [in_flight:u64][num_tables:u32] then per table
+  /// [name_len:u32][name bytes][completed:u64][failed:u64][rejected:u64]
+  /// [in_flight:u64].
+  kServiceStatsResult = 0x0117,
 };
 
 inline uint16_t FrontendOpCode(FrontendOp op) {
   return static_cast<uint16_t>(op);
 }
+
+/// \brief The negotiated session parameters a kHello/kHelloAck exchange
+/// carries (client -> server: what the client speaks; server -> client:
+/// what the server speaks plus how many tables it serves).
+struct HelloInfo {
+  uint32_t revision = kProtocolRevision;
+  uint32_t features = kSupportedFeatures;
+  /// Only meaningful in the ack direction.
+  uint32_t num_tables = 0;
+};
+
+/// \brief One table's metadata as kTableInfoResult reports it.
+struct TableInfoReply {
+  std::string name;
+  uint64_t num_records = 0;
+  uint32_t num_attributes = 0;
+  /// Attribute domain: valid query values are [0, 2^attr_bits).
+  uint32_t attr_bits = 0;
+  /// Largest admissible k (= num_records).
+  uint32_t k_max = 0;
+  uint32_t distance_bits = 0;
+  /// 1 = unsharded.
+  uint32_t num_shards = 1;
+  /// ShardScheme as u32 (meaningful when num_shards > 1).
+  uint32_t shard_scheme = 0;
+  /// True when the shards live in sknn_c1_shard worker processes.
+  bool remote_workers = false;
+};
+
+/// \brief One table's admission counters inside kServiceStatsResult.
+struct TableStatsEntry {
+  std::string name;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t rejected = 0;
+  uint64_t in_flight = 0;
+};
+
+/// \brief Service-wide counters as kServiceStatsResult reports them.
+struct ServiceStatsReply {
+  double uptime_seconds = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t in_flight = 0;
+  std::vector<TableStatsEntry> tables;
+};
 
 Message EncodeQueryRequest(const QueryRequest& request);
 Result<QueryRequest> DecodeQueryRequest(const Message& msg);
@@ -53,6 +175,24 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg);
 Message EncodeQueryError(const Status& status);
 /// \brief The Status carried by a kQueryError frame (never OK).
 Status DecodeQueryError(const Message& msg);
+
+Message EncodeHello(const HelloInfo& hello);
+Result<HelloInfo> DecodeHello(const Message& msg);
+Message EncodeHelloAck(const HelloInfo& ack);
+Result<HelloInfo> DecodeHelloAck(const Message& msg);
+
+Message EncodeListTablesRequest();
+Message EncodeTableList(const std::vector<std::string>& names);
+Result<std::vector<std::string>> DecodeTableList(const Message& msg);
+
+Message EncodeTableInfoRequest(const std::string& name);
+Result<std::string> DecodeTableInfoRequest(const Message& msg);
+Message EncodeTableInfoReply(const TableInfoReply& info);
+Result<TableInfoReply> DecodeTableInfoReply(const Message& msg);
+
+Message EncodeServiceStatsRequest();
+Message EncodeServiceStatsReply(const ServiceStatsReply& stats);
+Result<ServiceStatsReply> DecodeServiceStatsReply(const Message& msg);
 
 }  // namespace sknn
 

@@ -67,6 +67,12 @@ class TcpListener {
 
   uint16_t port() const { return port_; }
 
+  /// \brief The listening fd, for the servers' signal handlers ONLY:
+  /// shutdown(2) is async-signal-safe and wakes a blocked accept(2), which
+  /// is how SIGINT/SIGTERM turn into a clean unbind-and-drain instead of a
+  /// kill -9 (tools/tool_util.h InstallShutdownHandler).
+  int native_handle() const { return fd_; }
+
  private:
   TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 

@@ -1,19 +1,27 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
-#include <chrono>
 #include <string>
-#include <thread>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace sknn {
 
-QueryService::QueryService(SknnEngine* engine, const Options& options)
-    : engine_(engine), options_(options) {
+QueryService::QueryService(TableRegistry* registry, const Options& options)
+    : registry_(registry), options_(options) {
   if (options_.max_in_flight == 0) options_.max_in_flight = 1;
   if (options_.connection_workers == 0) options_.connection_workers = 1;
+}
+
+QueryService::QueryService(SknnEngine* engine, const Options& options)
+    : QueryService(static_cast<TableRegistry*>(nullptr), options) {
+  owned_registry_ = std::make_unique<TableRegistry>();
+  Status registered = owned_registry_->Register("default", engine);
+  // The fixed name cannot fail validation; a null engine would crash on the
+  // first query anyway, exactly like the pre-registry service.
+  (void)registered;
+  registry_ = owned_registry_.get();
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -71,9 +79,16 @@ Status QueryService::Start(uint16_t port) {
   if (listener_.has_value()) {
     return Status::FailedPrecondition("QueryService: already started");
   }
+  if (registry_->size() == 0) {
+    return Status::FailedPrecondition("QueryService: no tables registered");
+  }
+  // From here the table set is immutable, so per-query resolution never
+  // takes the registration lock.
+  registry_->Freeze();
   SKNN_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Bind(port));
   port_ = listener.port();
   listener_.emplace(std::move(listener));
+  started_at_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -104,6 +119,29 @@ void QueryService::Shutdown() {
 QueryService::Stats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+ServiceStatsReply QueryService::ServiceStatsSnapshot() const {
+  ServiceStatsReply reply;
+  reply.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reply.connections_accepted = stats_.connections_accepted;
+  }
+  reply.in_flight = in_flight_.load();
+  for (const auto& entry : registry_->entries()) {
+    TableStatsEntry table;
+    table.name = entry->name;
+    table.completed = entry->counters.completed.load();
+    table.failed = entry->counters.failed.load();
+    table.rejected = entry->counters.rejected.load();
+    table.in_flight = entry->counters.in_flight.load();
+    reply.tables.push_back(std::move(table));
+  }
+  return reply;
 }
 
 std::size_t QueryService::active_sessions() const {
@@ -145,9 +183,12 @@ void QueryService::AcceptLoop() {
       }
       sessions_.erase(finished, sessions_.end());
       ++stats_.connections_accepted;
+      auto session = std::make_shared<SessionState>();
       sessions_.push_back(std::make_unique<RpcServer>(
           std::move(endpoint).value(),
-          [this](const Message& req) { return HandleFrame(req); },
+          [this, session](const Message& req) {
+            return HandleFrame(*session, req);
+          },
           options_.connection_workers));
     }
     dead.clear();
@@ -163,19 +204,46 @@ Message QueryService::Reject(const Status& status,
   return EncodeQueryError(status);
 }
 
-Result<Message> QueryService::HandleFrame(const Message& request) {
-  Result<QueryRequest> decoded = DecodeQueryRequest(request);
-  if (!decoded.ok()) {
-    return Reject(decoded.status(), &Stats::queries_failed);
+Message QueryService::HandleHello(SessionState& session,
+                                  const Message& request) {
+  Result<HelloInfo> hello = DecodeHello(request);
+  if (!hello.ok()) {
+    return Reject(hello.status(), &Stats::hello_rejected);
   }
+  if (hello->revision < kMinSupportedRevision ||
+      hello->revision > kProtocolRevision) {
+    return Reject(
+        Status::FailedPrecondition(
+            "QueryService: protocol revision " +
+            std::to_string(hello->revision) + " unsupported; this server "
+            "speaks revisions " + std::to_string(kMinSupportedRevision) +
+            ".." + std::to_string(kProtocolRevision)),
+        &Stats::hello_rejected);
+  }
+  session.hello_done.store(true, std::memory_order_release);
+  HelloInfo ack;
+  ack.revision = kProtocolRevision;
+  ack.features = kSupportedFeatures;
+  ack.num_tables = static_cast<uint32_t>(registry_->size());
+  return EncodeHelloAck(ack);
+}
+
+Message QueryService::HandleQuery(QueryRequest decoded) {
+  Result<TableRegistry::Entry*> table = registry_->Resolve(decoded.table);
+  if (!table.ok()) {
+    return Reject(table.status(), &Stats::queries_failed);
+  }
+  TableRegistry::Entry& entry = **table;
   // Validate before admission: malformed requests must not consume slots,
   // and their errors are not load signals.
-  if (Status valid = engine_->ValidateRequest(*decoded); !valid.ok()) {
+  if (Status valid = entry.engine->ValidateRequest(decoded); !valid.ok()) {
+    entry.counters.failed.fetch_add(1);
     return Reject(valid, &Stats::queries_failed);
   }
   std::size_t cur = in_flight_.load();
   do {
     if (cur >= options_.max_in_flight) {
+      entry.counters.rejected.fetch_add(1);
       return Reject(
           Status::ResourceExhausted(
               "QueryService: " + std::to_string(options_.max_in_flight) +
@@ -183,18 +251,82 @@ Result<Message> QueryService::HandleFrame(const Message& request) {
           &Stats::queries_rejected);
     }
   } while (!in_flight_.compare_exchange_weak(cur, cur + 1));
+  entry.counters.in_flight.fetch_add(1);
 
   Result<QueryResponse> response =
-      engine_->Submit(std::move(*decoded)).get();
+      entry.engine->Submit(std::move(decoded)).get();
+  entry.counters.in_flight.fetch_sub(1);
   in_flight_.fetch_sub(1);
   if (!response.ok()) {
+    entry.counters.failed.fetch_add(1);
     return Reject(response.status(), &Stats::queries_failed);
   }
+  entry.counters.completed.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.queries_completed;
   }
   return EncodeQueryResponse(*response);
+}
+
+Message QueryService::HandleTableInfo(const Message& request) {
+  Result<std::string> name = DecodeTableInfoRequest(request);
+  if (!name.ok()) return EncodeQueryError(name.status());
+  Result<TableRegistry::Entry*> table = registry_->Resolve(*name);
+  if (!table.ok()) return EncodeQueryError(table.status());
+  const SknnEngine::Info info = (*table)->engine->info();
+  TableInfoReply reply;
+  reply.name = (*table)->name;
+  reply.num_records = info.num_records;
+  reply.num_attributes = static_cast<uint32_t>(info.num_attributes);
+  reply.attr_bits = info.attr_bits;
+  reply.k_max = info.k_max;
+  reply.distance_bits = info.distance_bits;
+  reply.num_shards = static_cast<uint32_t>(info.num_shards);
+  reply.shard_scheme = static_cast<uint32_t>(info.shard_scheme);
+  reply.remote_workers = info.remote_shard_workers;
+  return EncodeTableInfoReply(reply);
+}
+
+Result<Message> QueryService::HandleFrame(SessionState& session,
+                                          const Message& request) {
+  if (request.type == FrontendOpCode(FrontendOp::kHello)) {
+    return HandleHello(session, request);
+  }
+  // Shape first, handshake second: garbage stays a ProtocolError whether or
+  // not the session ever negotiated, so fuzzing the port teaches an
+  // attacker nothing about session state.
+  Result<QueryRequest> decoded = QueryRequest{};
+  if (request.type == FrontendOpCode(FrontendOp::kQuery)) {
+    decoded = DecodeQueryRequest(request);
+    if (!decoded.ok()) {
+      return Reject(decoded.status(), &Stats::queries_failed);
+    }
+  }
+  if (!session.hello_done.load(std::memory_order_acquire)) {
+    return Reject(
+        Status::FailedPrecondition(
+            "QueryService: session did not hello — send kHello (protocol "
+            "revision " + std::to_string(kProtocolRevision) +
+            ") before any other frame"),
+        &Stats::hello_rejected);
+  }
+  switch (static_cast<FrontendOp>(request.type)) {
+    case FrontendOp::kQuery:
+      return HandleQuery(std::move(*decoded));
+    case FrontendOp::kListTables:
+      return EncodeTableList(registry_->names());
+    case FrontendOp::kTableInfo:
+      return HandleTableInfo(request);
+    case FrontendOp::kServiceStats:
+      return EncodeServiceStatsReply(ServiceStatsSnapshot());
+    default:
+      return Reject(Status::ProtocolError(
+                        "QueryService: frame type " +
+                        std::to_string(request.type) +
+                        " is not part of the front-end contract"),
+                    &Stats::queries_failed);
+  }
 }
 
 }  // namespace sknn

@@ -1,26 +1,39 @@
 // QueryService — the standing C1 query front end.
 //
 // Accepts any number of thin-client connections (serve/remote_query_client.h
-// or any speaker of net/query_wire.h) on one TCP port, validates each
-// decoded QueryRequest up front, admits it under a bounded in-flight budget
-// — rejecting with StatusCode::kResourceExhausted once the budget is full,
-// so overload surfaces as an explicit retry signal instead of an unbounded
-// queue — and pipelines admitted requests through SknnEngine::Submit, where
-// up to Options::c1_threads of them execute concurrently over the shared C1
-// pool and the correlation-id RPC demux.
+// or any speaker of net/query_wire.h) on one TCP port. Every session starts
+// with a kHello/kHelloAck negotiation — a client speaking an unsupported
+// protocol revision, or sending anything else before its hello, gets a
+// typed kQueryError (FailedPrecondition), never silent garbage. After the
+// handshake a session may query any of the tables the service hosts
+// (serve/table_registry.h; the wire QueryRequest names one — empty = the
+// sole table, the pre-multi-table client shape) and introspect the
+// deployment through the control plane: kListTables, kTableInfo (geometry +
+// shard topology per table) and kServiceStats (per-table admission
+// counters, in-flight, uptime).
 //
-// One engine, many clients: this is the deployment split the paper implies
-// (Bob only encrypts and unmasks; here even that is delegated to the front
-// end, which acts as Bob's agent — see docs/DEPLOY.md for the trust model)
-// and the architecture every scaling step (caching, sharding, replication)
-// builds on.
+// Queries are validated up front, then admitted under a bounded in-flight
+// budget — rejected with StatusCode::kResourceExhausted once the budget is
+// full, so overload surfaces as an explicit retry signal instead of an
+// unbounded queue — and pipelined through the target table's
+// SknnEngine::Submit, where up to Options::c1_threads of them execute
+// concurrently over that engine's C1 pool and correlation-id RPC demux.
+//
+// Many tables, many clients, one process: this is the multi-tenant serving
+// shape (each table has its own Paillier keys, database and shard
+// topology; tenants share nothing but the port) and the contract every
+// later scaling step (per-table caching, replication, resharding) builds
+// on. docs/API.md specifies the wire contract; docs/DEPLOY.md the
+// deployment.
 #ifndef SKNN_SERVE_QUERY_SERVICE_H_
 #define SKNN_SERVE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -28,16 +41,18 @@
 #include "net/query_wire.h"
 #include "net/rpc.h"
 #include "net/socket.h"
+#include "serve/table_registry.h"
 
 namespace sknn {
 
 class QueryService {
  public:
   struct Options {
-    /// Admission budget: how many decoded requests may be inside the engine
-    /// (scheduler queue + executing) at once. Requests arriving beyond it
-    /// are rejected with kResourceExhausted — backpressure the thin client
-    /// handles by retrying — instead of queueing without bound.
+    /// Admission budget: how many decoded requests may be inside the
+    /// engines (scheduler queues + executing) at once, across ALL tables.
+    /// Requests arriving beyond it are rejected with kResourceExhausted —
+    /// backpressure the thin client handles by retrying — instead of
+    /// queueing without bound.
     std::size_t max_in_flight = 8;
     /// RPC worker threads per client connection (1 = requests on one
     /// connection are answered one at a time; clients that pipeline many
@@ -50,12 +65,19 @@ class QueryService {
     uint64_t queries_completed = 0;
     uint64_t queries_failed = 0;    // engine/validation/decode errors
     uint64_t queries_rejected = 0;  // backpressure (kResourceExhausted)
+    uint64_t hello_rejected = 0;    // version mismatch / missing hello
   };
 
-  /// `engine` must outlive the service. Construction does not bind.
-  /// (No default for `options`: a nested class's member initializers cannot
-  /// feed a default argument inside the enclosing class.)
+  /// \brief The multi-table front end: serves every table registered in
+  /// `registry`, which must outlive the service and to which Start applies
+  /// TableRegistry::Freeze. Construction does not bind.
+  QueryService(TableRegistry* registry, const Options& options);
+
+  /// \brief The single-table convenience used by tests and benches: wraps
+  /// `engine` (not owned, must outlive the service) in an internal registry
+  /// as table "default".
   QueryService(SknnEngine* engine, const Options& options);
+
   ~QueryService();
 
   /// \brief The sharded construction path of the front end: builds the
@@ -89,6 +111,10 @@ class QueryService {
 
   Stats stats() const;
 
+  /// \brief The control plane's service-wide snapshot (also what a
+  /// kServiceStats frame answers): uptime, per-table counters, in-flight.
+  ServiceStatsReply ServiceStatsSnapshot() const;
+
   /// \brief Connections whose client has not yet disconnected. A graceful
   /// drain (tools/sknn_c1_server --queries) waits for this to reach zero
   /// before Shutdown: queries_completed is counted when the handler
@@ -97,14 +123,28 @@ class QueryService {
   std::size_t active_sessions() const;
 
  private:
+  /// Per-connection negotiation state, captured by that connection's
+  /// handler. The hello gate is per SESSION: one client negotiating does
+  /// not admit its neighbors.
+  struct SessionState {
+    std::atomic<bool> hello_done{false};
+  };
+
   void AcceptLoop();
-  Result<Message> HandleFrame(const Message& request);
+  Result<Message> HandleFrame(SessionState& session, const Message& request);
+  Message HandleHello(SessionState& session, const Message& request);
+  Message HandleQuery(QueryRequest request);
+  Message HandleTableInfo(const Message& request);
   Message Reject(const Status& status, uint64_t Stats::* counter);
 
-  SknnEngine* engine_;
+  TableRegistry* registry_;
+  /// Backs the single-engine constructor; null when the caller owns the
+  /// registry.
+  std::unique_ptr<TableRegistry> owned_registry_;
   Options options_;
   std::optional<TcpListener> listener_;
   uint16_t port_ = 0;
+  std::chrono::steady_clock::time_point started_at_{};
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> in_flight_{0};

@@ -1,10 +1,30 @@
 #include "serve/remote_query_client.h"
 
-#include "net/query_wire.h"
+#include <algorithm>
+#include <thread>
+
+#include "bigint/random.h"
 #include "net/socket.h"
 #include "proto/opcodes.h"
 
 namespace sknn {
+
+std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy, int attempt,
+                                       double uniform01) {
+  if (attempt < 1) attempt = 1;
+  uniform01 = std::clamp(uniform01, 0.0, 1.0);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  // Exponential growth without overflow: cap the shift, then the value.
+  const int shift = std::min(attempt - 1, 20);
+  double backoff = static_cast<double>(policy.initial_backoff.count()) *
+                   static_cast<double>(1u << shift);
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff.count()));
+  // Decorrelate: the bottom (1 - jitter) share is guaranteed, the top
+  // jitter share is uniformly random — synchronized clients spread out
+  // instead of re-arriving at the admission gate in lockstep.
+  const double slept = backoff * (1.0 - jitter) + backoff * jitter * uniform01;
+  return std::chrono::milliseconds(static_cast<int64_t>(slept));
+}
 
 Result<std::unique_ptr<RemoteQueryClient>> RemoteQueryClient::Connect(
     const std::string& host, uint16_t port) {
@@ -13,8 +33,30 @@ Result<std::unique_ptr<RemoteQueryClient>> RemoteQueryClient::Connect(
   return std::make_unique<RemoteQueryClient>(std::move(link));
 }
 
-Result<QueryResponse> RemoteQueryClient::Query(const QueryRequest& request) {
-  SKNN_ASSIGN_OR_RETURN(Message reply, rpc_.Call(EncodeQueryRequest(request)));
+Result<HelloInfo> RemoteQueryClient::Hello() {
+  SKNN_RETURN_NOT_OK(EnsureHello());
+  std::lock_guard<std::mutex> lock(hello_mutex_);
+  return server_hello_;
+}
+
+Status RemoteQueryClient::EnsureHello() {
+  std::lock_guard<std::mutex> lock(hello_mutex_);
+  if (hello_done_) return Status::OK();
+  HelloInfo hello;
+  hello.revision = kProtocolRevision;
+  hello.features = kSupportedFeatures;
+  SKNN_ASSIGN_OR_RETURN(Message reply, rpc_.Call(EncodeHello(hello)));
+  if (reply.type == FrontendOpCode(FrontendOp::kQueryError)) {
+    return DecodeQueryError(reply);
+  }
+  SKNN_ASSIGN_OR_RETURN(server_hello_, DecodeHelloAck(reply));
+  hello_done_ = true;
+  return Status::OK();
+}
+
+Result<Message> RemoteQueryClient::Call(Message request) {
+  SKNN_RETURN_NOT_OK(EnsureHello());
+  SKNN_ASSIGN_OR_RETURN(Message reply, rpc_.Call(std::move(request)));
   if (reply.type == FrontendOpCode(FrontendOp::kQueryError)) {
     return DecodeQueryError(reply);
   }
@@ -24,7 +66,56 @@ Result<QueryResponse> RemoteQueryClient::Query(const QueryRequest& request) {
                                  std::string(reply.aux.begin(),
                                              reply.aux.end()));
   }
+  return reply;
+}
+
+Result<QueryResponse> RemoteQueryClient::Query(const QueryRequest& request) {
+  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeQueryRequest(request)));
   return DecodeQueryResponse(reply);
+}
+
+Result<QueryResponse> RemoteQueryClient::QueryWithRetry(
+    const QueryRequest& request, const RetryPolicy& policy) {
+  const auto started = std::chrono::steady_clock::now();
+  const int attempts = std::max(policy.max_attempts, 1);
+  Result<QueryResponse> response = Status::Internal("unset");
+  for (int attempt = 1;; ++attempt) {
+    response = Query(request);
+    if (response.ok()) return response;
+    const StatusCode code = response.status().code();
+    const bool retryable =
+        code == StatusCode::kResourceExhausted ||
+        (policy.retry_unavailable && code == StatusCode::kUnavailable);
+    if (!retryable || attempt >= attempts) return response;
+    const double uniform01 =
+        static_cast<double>(Random::ThreadLocal().UniformUint64(1u << 20)) /
+        static_cast<double>(1u << 20);
+    const std::chrono::milliseconds sleep =
+        RetryBackoff(policy, attempt, uniform01);
+    if (policy.max_elapsed.count() > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started);
+      // Give up rather than start a sleep that cannot end in time: the last
+      // error (a retry signal) is still the honest answer.
+      if (elapsed + sleep > policy.max_elapsed) return response;
+    }
+    std::this_thread::sleep_for(sleep);
+  }
+}
+
+Result<std::vector<std::string>> RemoteQueryClient::ListTables() {
+  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeListTablesRequest()));
+  return DecodeTableList(reply);
+}
+
+Result<TableInfoReply> RemoteQueryClient::TableInfo(const std::string& table) {
+  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeTableInfoRequest(table)));
+  return DecodeTableInfoReply(reply);
+}
+
+Result<ServiceStatsReply> RemoteQueryClient::ServiceStats() {
+  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeServiceStatsRequest()));
+  return DecodeServiceStatsReply(reply);
 }
 
 }  // namespace sknn

@@ -1,31 +1,77 @@
 // RemoteQueryClient — the thin Bob of the serving deployment.
 //
-// Connects to a QueryService (tools/sknn_c1_server), sends one
-// plaintext-record QueryRequest per call and gets the QueryResponse back —
-// records plus the full per-query instrumentation — without ever loading
-// the encrypted database or driving the protocol itself. This is what lets
-// one standing front end serve many lightweight clients.
+// Connects to a QueryService (tools/sknn_c1_server), negotiates the
+// versioned wire contract (an explicit Hello(), or an automatic one before
+// the first call — either way a server from the wrong protocol era answers
+// with a typed Status instead of garbage), then sends one plaintext-record
+// QueryRequest per call — naming the target table when the front end hosts
+// several — and gets the QueryResponse back: records plus the full
+// per-query instrumentation, without ever loading the encrypted database
+// or driving the protocol itself. This is what lets one standing front end
+// serve many lightweight clients across many tables.
+//
+// The control plane rides the same connection: ListTables() enumerates
+// what is served, TableInfo() reports one table's geometry and shard
+// topology, ServiceStats() the per-table admission counters — the calls
+// sknn_admin prints.
 //
 // Errors arrive as real Statuses: kResourceExhausted means the front end's
-// admission budget is full (back off and retry); kInvalidArgument /
-// kOutOfRange mean the request itself is wrong. Query() is thread-safe —
-// concurrent calls on one connection are demultiplexed by correlation id —
-// but the front end answers a connection's requests one at a time unless
-// its Options::connection_workers is raised.
+// admission budget is full (back off and retry — QueryWithRetry implements
+// the well-behaved client: exponential backoff with bounded jitter, so a
+// burst of synchronized thin clients decorrelates instead of re-arriving
+// in lockstep, under a max-elapsed cap); kInvalidArgument / kOutOfRange /
+// kNotFound mean the request itself is wrong — retrying cannot help.
+// Query() is thread-safe — concurrent calls on one connection are
+// demultiplexed by correlation id — but the front end answers a
+// connection's requests one at a time unless its
+// Options::connection_workers is raised.
 #ifndef SKNN_SERVE_REMOTE_QUERY_CLIENT_H_
 #define SKNN_SERVE_REMOTE_QUERY_CLIENT_H_
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/query_api.h"
+#include "net/query_wire.h"
 #include "net/rpc.h"
 
 namespace sknn {
 
+/// \brief How QueryWithRetry behaves when the front end says
+/// kResourceExhausted. Exponential backoff, full jitter on the top
+/// `jitter` fraction of each delay, two caps: per-sleep (max_backoff) and
+/// total elapsed (max_elapsed — the client gives up rather than retry
+/// forever against a saturated service).
+struct RetryPolicy {
+  /// Total attempts, the first one included. 0 behaves as 1.
+  int max_attempts = 6;
+  std::chrono::milliseconds initial_backoff{50};
+  std::chrono::milliseconds max_backoff{2000};
+  /// Give up once the next sleep would push the total elapsed time past
+  /// this. Zero or negative = no elapsed cap.
+  std::chrono::milliseconds max_elapsed{30000};
+  /// Fraction of each backoff that is uniformly random, in [0, 1]. 0 =
+  /// deterministic (lockstep — only sensible in tests); 1 = full jitter.
+  double jitter = 0.5;
+  /// Also retry kUnavailable (a dead shard worker mid-query). Off by
+  /// default: unlike backpressure, recovery is possible but not expected.
+  bool retry_unavailable = false;
+};
+
+/// \brief The sleep before retry attempt `attempt` (1 = the sleep after the
+/// first failure): min(max_backoff, initial_backoff * 2^(attempt-1)),
+/// with the top `jitter` fraction scaled by `uniform01` in [0, 1). Pure —
+/// QueryWithRetry feeds it thread-local randomness; tests feed it corners.
+std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy, int attempt,
+                                       double uniform01);
+
 class RemoteQueryClient {
  public:
-  /// \brief Connects to a QueryService at host:port.
+  /// \brief Connects to a QueryService at host:port. The hello handshake
+  /// runs lazily before the first call (or explicitly via Hello()).
   static Result<std::unique_ptr<RemoteQueryClient>> Connect(
       const std::string& host, uint16_t port);
 
@@ -33,14 +79,46 @@ class RemoteQueryClient {
   explicit RemoteQueryClient(std::unique_ptr<Endpoint> link)
       : rpc_(std::move(link)) {}
 
-  /// \brief One query, one round trip.
+  /// \brief Negotiates the session: sends this build's protocol revision
+  /// and feature bits, returns the server's. Idempotent — later calls
+  /// return the cached ack without another round trip. Every other method
+  /// calls this implicitly first.
+  Result<HelloInfo> Hello();
+
+  /// \brief One query, one round trip (after the implicit hello).
+  /// request.table targets one of a multi-table front end's tables
+  /// (empty = the sole table).
   Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// \brief Query(), retrying kResourceExhausted per `policy`. Returns the
+  /// last error when attempts or the elapsed cap run out.
+  Result<QueryResponse> QueryWithRetry(const QueryRequest& request,
+                                       const RetryPolicy& policy);
+
+  /// \brief The names the front end serves, registration order.
+  Result<std::vector<std::string>> ListTables();
+
+  /// \brief One table's geometry + shard topology ("" = the sole table).
+  Result<TableInfoReply> TableInfo(const std::string& table);
+
+  /// \brief Service-wide counters: uptime, in-flight, per-table admission
+  /// accounting.
+  Result<ServiceStatsReply> ServiceStats();
 
   /// \brief Closes the connection; in-flight calls fail.
   void Close() { rpc_.Shutdown(); }
 
  private:
+  /// \brief Runs the handshake once; concurrent first calls serialize.
+  Status EnsureHello();
+  /// \brief One negotiated round trip: hello first, then `request`;
+  /// kQueryError replies come back as their carried Status.
+  Result<Message> Call(Message request);
+
   RpcClient rpc_;
+  std::mutex hello_mutex_;
+  bool hello_done_ = false;
+  HelloInfo server_hello_;
 };
 
 }  // namespace sknn

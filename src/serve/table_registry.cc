@@ -1,0 +1,107 @@
+#include "serve/table_registry.h"
+
+#include <utility>
+
+namespace sknn {
+namespace {
+
+constexpr std::size_t kMaxTableNameLen = 64;
+
+bool ValidTableNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+Status CheckTableName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("TableRegistry: table name is empty");
+  }
+  if (name.size() > kMaxTableNameLen) {
+    return Status::InvalidArgument("TableRegistry: table name '" + name +
+                                   "' exceeds 64 characters");
+  }
+  for (char c : name) {
+    if (!ValidTableNameChar(c)) {
+      return Status::InvalidArgument(
+          "TableRegistry: table name '" + name +
+          "' has characters outside [A-Za-z0-9._-]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TableRegistry::Register(const std::string& name,
+                               std::unique_ptr<SknnEngine> engine) {
+  SknnEngine* raw = engine.get();
+  return RegisterEntry(name, raw, std::move(engine));
+}
+
+Status TableRegistry::Register(const std::string& name, SknnEngine* engine) {
+  return RegisterEntry(name, engine, nullptr);
+}
+
+Status TableRegistry::RegisterEntry(const std::string& name,
+                                    SknnEngine* engine,
+                                    std::unique_ptr<SknnEngine> owned) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("TableRegistry: null engine for table '" +
+                                   name + "'");
+  }
+  SKNN_RETURN_NOT_OK(CheckTableName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (frozen_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "TableRegistry: serving already started; cannot register '" + name +
+        "'");
+  }
+  for (const auto& entry : entries_) {
+    if (entry->name == name) {
+      return Status::InvalidArgument("TableRegistry: table '" + name +
+                                     "' registered twice");
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->engine = engine;
+  entry->owned = std::move(owned);
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Result<TableRegistry::Entry*> TableRegistry::Resolve(const std::string& name) {
+  if (name.empty()) {
+    if (entries_.empty()) {
+      return Status::FailedPrecondition("TableRegistry: no tables registered");
+    }
+    if (entries_.size() > 1) {
+      return Status::InvalidArgument(
+          "TableRegistry: " + std::to_string(entries_.size()) +
+          " tables are served; the request must name one (kListTables "
+          "enumerates them)");
+    }
+    return entries_.front().get();
+  }
+  if (Entry* entry = Find(name); entry != nullptr) return entry;
+  return Status::NotFound("TableRegistry: unknown table '" + name + "'");
+}
+
+TableRegistry::Entry* TableRegistry::Find(const std::string& name) {
+  if (name.empty()) return nullptr;
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TableRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry->name);
+  return out;
+}
+
+std::size_t TableRegistry::size() const { return entries_.size(); }
+
+}  // namespace sknn

@@ -1,0 +1,97 @@
+// TableRegistry — the named-table catalog behind a multi-table front end.
+//
+// One sknn_c1_server process may serve many independent encrypted tables:
+// each registered entry is a complete SknnEngine — its own Paillier keys,
+// its own database (or shard topology), its own C2 link — discovered by
+// clients through the control plane (kListTables / kTableInfo) and targeted
+// per query by the `table` field of the wire QueryRequest. This is the
+// multi-tenant shape of "Secure k-NN as a Service" deployments: data owners
+// share one serving deployment without sharing any cryptographic material.
+//
+// The registry also owns the per-table admission accounting
+// (completed/failed/rejected/in-flight counters) that kServiceStats
+// reports: admission itself stays service-wide (one budget protects one
+// process), attribution is per table.
+//
+// Lifecycle: register every table BEFORE handing the registry to a
+// QueryService; registration is rejected once serving starts (Freeze).
+// Lookup is lock-free after that point, so the query hot path never takes
+// the registration mutex.
+#ifndef SKNN_SERVE_TABLE_REGISTRY_H_
+#define SKNN_SERVE_TABLE_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace sknn {
+
+/// \brief Per-table admission counters. Atomics, written by the service's
+/// connection handlers, snapshotted by the control plane.
+struct TableCounters {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> in_flight{0};
+};
+
+class TableRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    /// Always valid; `owned` below controls lifetime only.
+    SknnEngine* engine = nullptr;
+    std::unique_ptr<SknnEngine> owned;
+    TableCounters counters;
+  };
+
+  TableRegistry() = default;
+  TableRegistry(const TableRegistry&) = delete;
+  TableRegistry& operator=(const TableRegistry&) = delete;
+
+  /// \brief Registers `engine` under `name`, taking ownership. Names must
+  /// be non-empty, unique, at most 64 characters from [A-Za-z0-9._-].
+  Status Register(const std::string& name,
+                  std::unique_ptr<SknnEngine> engine);
+  /// \brief Non-owning registration; `engine` must outlive the registry.
+  Status Register(const std::string& name, SknnEngine* engine);
+
+  /// \brief Rejects further registration — called by QueryService::Start so
+  /// the serving hot path can look tables up without locking.
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+
+  /// \brief Resolves a wire table name: "" means THE sole table (an error
+  /// when several are served — a multi-table client must say which), an
+  /// unknown name is kNotFound. Stable pointer for the registry's lifetime.
+  Result<Entry*> Resolve(const std::string& name);
+
+  /// \brief Exact-name lookup; nullptr when absent. ("" never matches.)
+  Entry* Find(const std::string& name);
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  /// \brief Every entry, registration order — the control plane's
+  /// iteration. Stable once frozen.
+  const std::vector<std::unique_ptr<Entry>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  Status RegisterEntry(const std::string& name, SknnEngine* engine,
+                       std::unique_ptr<SknnEngine> owned);
+
+  mutable std::mutex mutex_;  // guards registration only
+  std::atomic<bool> frozen_{false};
+  /// unique_ptr elements: Entry addresses survive vector growth, so Resolve
+  /// can hand out stable pointers.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_SERVE_TABLE_REGISTRY_H_

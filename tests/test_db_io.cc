@@ -1,0 +1,236 @@
+// db_io negative paths: every way a persisted artifact can be wrong —
+// truncated or corrupted SKNNDB/SKNNSH headers, version skew from a
+// different format revision, geometry lies, manifest/database mismatch —
+// must come back as a Status error. No crash, no silent partial load, no
+// serving a database that is not what Alice exported.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/data_owner.h"
+#include "core/db_io.h"
+
+namespace sknn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/db_io_" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// One small real database on disk, shared by every case: 3 records x 2
+// attributes under a 256-bit key (mutations below copy the bytes; the
+// original file stays pristine).
+class DbIoNegativeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto alice = DataOwner::Create(256);
+    ASSERT_TRUE(alice.ok()) << alice.status();
+    auto db = alice->EncryptDatabase({{1, 2}, {3, 4}, {5, 6}},
+                                     /*attr_bits=*/3);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_path_ = new std::string(TempPath("good.bin"));
+    ASSERT_TRUE(WriteEncryptedDatabase(*db_path_, *db).ok());
+    db_bytes_ = new std::vector<uint8_t>(ReadFileBytes(*db_path_));
+    db_ = new EncryptedDatabase(std::move(db).value());
+
+    auto manifest = MakeShardManifest(/*total_records=*/3, /*num_shards=*/3,
+                                      ShardScheme::kRoundRobin);
+    ASSERT_TRUE(manifest.ok()) << manifest.status();
+    manifest_path_ = new std::string(TempPath("good.manifest"));
+    ASSERT_TRUE(WriteShardManifest(*manifest_path_, *manifest).ok());
+    manifest_bytes_ = new std::vector<uint8_t>(ReadFileBytes(*manifest_path_));
+  }
+
+  // Writes a mutated copy and expects the named loader to reject it with a
+  // non-crashing error whose message contains `want_substr`.
+  template <typename Loader>
+  void ExpectRejected(const std::vector<uint8_t>& bytes, Loader loader,
+                      const std::string& want_substr,
+                      const std::string& tag) {
+    const std::string path = TempPath(tag);
+    WriteFileBytes(path, bytes);
+    auto loaded = loader(path);
+    ASSERT_FALSE(loaded.ok()) << tag << ": load unexpectedly succeeded";
+    EXPECT_NE(loaded.status().message().find(want_substr), std::string::npos)
+        << tag << ": got '" << loaded.status().ToString() << "'";
+  }
+
+  static std::string* db_path_;
+  static std::vector<uint8_t>* db_bytes_;
+  static EncryptedDatabase* db_;
+  static std::string* manifest_path_;
+  static std::vector<uint8_t>* manifest_bytes_;
+};
+
+std::string* DbIoNegativeTest::db_path_ = nullptr;
+std::vector<uint8_t>* DbIoNegativeTest::db_bytes_ = nullptr;
+EncryptedDatabase* DbIoNegativeTest::db_ = nullptr;
+std::string* DbIoNegativeTest::manifest_path_ = nullptr;
+std::vector<uint8_t>* DbIoNegativeTest::manifest_bytes_ = nullptr;
+
+auto LoadDb = [](const std::string& path) {
+  return ReadEncryptedDatabase(path);
+};
+auto LoadManifest = [](const std::string& path) {
+  return ReadShardManifest(path);
+};
+
+TEST_F(DbIoNegativeTest, GoodArtifactsStillLoad) {
+  ASSERT_TRUE(ReadEncryptedDatabase(*db_path_).ok());
+  ASSERT_TRUE(ReadShardManifest(*manifest_path_).ok());
+}
+
+TEST_F(DbIoNegativeTest, MissingFileIsIoError) {
+  auto db = ReadEncryptedDatabase(TempPath("no_such_file"));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kIoError);
+  auto manifest = ReadShardManifest(TempPath("no_such_file"));
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DbIoNegativeTest, TruncatedDatabaseHeaderRejected) {
+  // Every prefix of the header region: magic fragments and partial
+  // geometry words.
+  for (std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{8},
+                          std::size_t{10}, std::size_t{19}}) {
+    std::vector<uint8_t> bytes(db_bytes_->begin(),
+                               db_bytes_->begin() + static_cast<long>(len));
+    const std::string path = TempPath("trunc_hdr_" + std::to_string(len));
+    WriteFileBytes(path, bytes);
+    auto loaded = ReadEncryptedDatabase(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST_F(DbIoNegativeTest, TruncatedCiphertextBodyRejected) {
+  // Cut mid-ciphertext: drop the trailing third of the file.
+  std::vector<uint8_t> bytes(*db_bytes_);
+  bytes.resize(bytes.size() * 2 / 3);
+  ExpectRejected(bytes, LoadDb, "truncated", "trunc_body.bin");
+}
+
+TEST_F(DbIoNegativeTest, TrailingGarbageRejected) {
+  std::vector<uint8_t> bytes(*db_bytes_);
+  bytes.push_back(0x5a);
+  ExpectRejected(bytes, LoadDb, "trailing", "trailing.bin");
+}
+
+TEST_F(DbIoNegativeTest, ForeignMagicRejected) {
+  std::vector<uint8_t> bytes(*db_bytes_);
+  bytes[0] = 'X';
+  ExpectRejected(bytes, LoadDb, "not an sknn database", "foreign.bin");
+}
+
+TEST_F(DbIoNegativeTest, DatabaseVersionSkewRejectedExplicitly) {
+  // Same family, different format revision: "SKNNDB02". The error must say
+  // version, not "bad magic" — the operator's fix (re-export) differs.
+  std::vector<uint8_t> bytes(*db_bytes_);
+  bytes[7] = '2';
+  ExpectRejected(bytes, LoadDb, "unsupported format revision",
+                 "version_skew.bin");
+}
+
+TEST_F(DbIoNegativeTest, ZeroGeometryRejected) {
+  // n = 0 (bytes 8..11 little-endian).
+  std::vector<uint8_t> bytes(*db_bytes_);
+  bytes[8] = bytes[9] = bytes[10] = bytes[11] = 0;
+  ExpectRejected(bytes, LoadDb, "bad geometry", "zero_n.bin");
+}
+
+TEST_F(DbIoNegativeTest, GeometryLyingAboutRecordCountRejected) {
+  // Claim 4 records while the body holds 3: the reader must run out of
+  // bytes, not fabricate a record.
+  std::vector<uint8_t> bytes(*db_bytes_);
+  bytes[8] = 4;
+  ExpectRejected(bytes, LoadDb, "truncated", "lying_n.bin");
+}
+
+TEST_F(DbIoNegativeTest, TruncatedManifestRejected) {
+  for (std::size_t len : {std::size_t{0}, std::size_t{5}, std::size_t{8},
+                          std::size_t{14}, std::size_t{19}}) {
+    std::vector<uint8_t> bytes(manifest_bytes_->begin(),
+                               manifest_bytes_->begin() +
+                                   static_cast<long>(len));
+    const std::string path = TempPath("trunc_man_" + std::to_string(len));
+    WriteFileBytes(path, bytes);
+    auto loaded = ReadShardManifest(path);
+    ASSERT_FALSE(loaded.ok()) << "manifest prefix of " << len << " loaded";
+  }
+}
+
+TEST_F(DbIoNegativeTest, ManifestVersionSkewRejectedExplicitly) {
+  std::vector<uint8_t> bytes(*manifest_bytes_);
+  bytes[7] = '9';
+  ExpectRejected(bytes, LoadManifest, "unsupported format revision",
+                 "manifest_skew.bin");
+}
+
+TEST_F(DbIoNegativeTest, ManifestForeignMagicRejected) {
+  std::vector<uint8_t> bytes(*manifest_bytes_);
+  bytes[2] = 'Z';
+  ExpectRejected(bytes, LoadManifest, "not a shard manifest",
+                 "manifest_foreign.bin");
+}
+
+TEST_F(DbIoNegativeTest, ManifestUnknownSchemeRejected) {
+  // scheme (bytes 8..11) = 7: not a ShardScheme.
+  std::vector<uint8_t> bytes(*manifest_bytes_);
+  bytes[8] = 7;
+  ExpectRejected(bytes, LoadManifest, "unknown scheme", "manifest_scheme.bin");
+}
+
+TEST_F(DbIoNegativeTest, ManifestImpossiblePartitionRejected) {
+  // 3 shards over 0 records: MakeShardManifest's invariant (every shard
+  // holds at least one record) must hold for LOADED manifests too.
+  std::vector<uint8_t> bytes(*manifest_bytes_);
+  bytes[16] = bytes[17] = bytes[18] = bytes[19] = 0;  // total_records = 0
+  const std::string path = TempPath("manifest_empty.bin");
+  WriteFileBytes(path, bytes);
+  auto loaded = ReadShardManifest(path);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST_F(DbIoNegativeTest, ManifestTrailingGarbageRejected) {
+  std::vector<uint8_t> bytes(*manifest_bytes_);
+  bytes.push_back(0);
+  ExpectRejected(bytes, LoadManifest, "trailing", "manifest_trailing.bin");
+}
+
+TEST_F(DbIoNegativeTest, ManifestDatabaseMismatchCaughtAtLoad) {
+  // A manifest for a 5-record export against the 3-record database: the
+  // cross-check every loader runs before serving.
+  auto other = MakeShardManifest(/*total_records=*/5, /*num_shards=*/2,
+                                 ShardScheme::kContiguous);
+  ASSERT_TRUE(other.ok());
+  Status mismatch = ValidateManifestForDatabase(*other, *db_);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch.message().find("not from the same export"),
+            std::string::npos);
+
+  auto good = ReadShardManifest(*manifest_path_);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(ValidateManifestForDatabase(*good, *db_).ok());
+}
+
+}  // namespace
+}  // namespace sknn

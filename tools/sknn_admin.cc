@@ -1,0 +1,135 @@
+// sknn_admin — operator's window into a serving front end.
+//
+//   sknn_admin --host 127.0.0.1 --port 9100 <command>
+//     --hello              negotiation check: protocol revision + features
+//     --list-tables        the served table names, one per line
+//     --table-info [name]  one table's geometry + shard topology
+//                          (no name = every table)
+//     --stats              uptime, in-flight, per-table admission counters
+//
+// Pure control plane: every command is one hello handshake plus one frame
+// of net/query_wire.h through the same port the data path uses, so what
+// this prints is exactly what any RemoteQueryClient can learn. Exit 0 on
+// success, 1 on any error (including a front end from the wrong protocol
+// era, which answers the hello with a typed status instead of garbage).
+#include <cstdio>
+
+#include "core/sharding.h"
+#include "serve/remote_query_client.h"
+#include "tools/tool_util.h"
+
+namespace {
+
+using namespace sknn;
+
+int PrintTableInfo(RemoteQueryClient& client, const std::string& name) {
+  auto info = client.TableInfo(name);
+  if (!info.ok()) {
+    std::fprintf(stderr, "table-info failed: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("table %s\n", info->name.c_str());
+  std::printf("  records        %llu\n",
+              static_cast<unsigned long long>(info->num_records));
+  std::printf("  attributes     %u\n", info->num_attributes);
+  std::printf("  attr_bits      %u   (values in [0, 2^%u))\n",
+              info->attr_bits, info->attr_bits);
+  std::printf("  k_max          %u\n", info->k_max);
+  std::printf("  distance_bits  %u\n", info->distance_bits);
+  if (info->num_shards > 1) {
+    std::printf("  shards         %u (%s, %s)\n", info->num_shards,
+                ShardSchemeName(static_cast<ShardScheme>(info->shard_scheme)),
+                info->remote_workers ? "remote workers" : "in-process");
+  } else {
+    std::printf("  shards         1 (unsharded)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sknn::tools;
+  const char* usage =
+      "sknn_admin --host <ip> --port <p> "
+      "(--hello | --list-tables | --table-info [name] | --stats)";
+  auto flags = ParseFlags(argc, argv);
+  std::string host = FlagOr(flags, "host", "127.0.0.1");
+  uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
+                                 usage);
+
+  auto client = RemoteQueryClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot reach front end at %s:%u: %s\n",
+                 host.c_str(), port, client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags.count("hello")) {
+    auto ack = (*client)->Hello();
+    if (!ack.ok()) {
+      std::fprintf(stderr, "hello failed: %s\n",
+                   ack.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("protocol revision %u, features 0x%x, %u table%s\n",
+                ack->revision, ack->features, ack->num_tables,
+                ack->num_tables == 1 ? "" : "s");
+    return 0;
+  }
+  if (flags.count("list-tables")) {
+    auto tables = (*client)->ListTables();
+    if (!tables.ok()) {
+      std::fprintf(stderr, "list-tables failed: %s\n",
+                   tables.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& name : *tables) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (flags.count("table-info")) {
+    std::string name = flags.at("table-info");
+    if (name != "true") return PrintTableInfo(**client, name);
+    // "true" is the flag parser's bare-flag sentinel, but it is also a
+    // legal table name — resolve the collision in favor of a real table
+    // with that name; only fall back to print-every-table when none exists.
+    auto tables = (*client)->ListTables();
+    if (!tables.ok()) {
+      std::fprintf(stderr, "list-tables failed: %s\n",
+                   tables.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& table : *tables) {
+      if (table == "true") return PrintTableInfo(**client, table);
+    }
+    for (const std::string& table : *tables) {
+      if (int rc = PrintTableInfo(**client, table); rc != 0) return rc;
+    }
+    return 0;
+  }
+  if (flags.count("stats")) {
+    auto stats = (*client)->ServiceStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("uptime %.1fs  connections %llu  in-flight %llu\n",
+                stats->uptime_seconds,
+                static_cast<unsigned long long>(stats->connections_accepted),
+                static_cast<unsigned long long>(stats->in_flight));
+    std::printf("%-20s %10s %10s %10s %10s\n", "table", "completed", "failed",
+                "rejected", "in-flight");
+    for (const TableStatsEntry& table : stats->tables) {
+      std::printf("%-20s %10llu %10llu %10llu %10llu\n", table.name.c_str(),
+                  static_cast<unsigned long long>(table.completed),
+                  static_cast<unsigned long long>(table.failed),
+                  static_cast<unsigned long long>(table.rejected),
+                  static_cast<unsigned long long>(table.in_flight));
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "no command given\nusage: %s\n", usage);
+  return 2;
+}

@@ -1,5 +1,8 @@
 // sknn_c1_server — the standing C1 query front end of the serving
-// deployment (docs/DEPLOY.md).
+// deployment (docs/DEPLOY.md), serving one or MANY encrypted tables behind
+// the versioned wire contract of docs/API.md.
+//
+// Single table (the PR 3/4 shape):
 //
 //   sknn_c1_server --public pk.txt --db db.bin --port 9100 \
 //                  --c2-host 127.0.0.1 --c2-port 9000 \
@@ -7,25 +10,32 @@
 //                  [--shards S] [--shard-scheme contiguous|roundrobin] \
 //                  [--shard-workers host:port,host:port,...]
 //
-// Loads the public key and the encrypted database ONCE, connects to the
-// standalone C2 key holder, and serves any number of thin clients
-// (sknn_query / serve/RemoteQueryClient) speaking QueryRequest/QueryResponse
-// frames on --port. Up to --threads admitted queries execute concurrently
-// over the shared C1 pool; beyond --max-in-flight, requests are rejected
-// with ResourceExhausted so clients back off instead of piling into an
-// unbounded queue.
+// Multi-table: repeat --table once per table. Each spec is
+//   --table <name>=<db.bin>[,manifest=<file>][,public=<pk>]
+//                          [,c2-host=<ip>][,c2-port=<p>]
+//                          [,shards=<s>][,scheme=contiguous|roundrobin]
+// where public/c2-host/c2-port default to the global flags — so tables MAY
+// have entirely different Paillier keys, each pointing at the C2 server
+// holding its own secret key, or share one key and one C2. A manifest
+// (sknn_encrypt --manifest-out) shards that table in-process with the
+// partitioning Alice persisted.
 //
-// Sharded record fan-out (same wire contract, per-shard stats in every
-// response): --shards S partitions Epk(T) into S in-process shards; with
-// --shard-workers the shards instead live in standing sknn_c1_shard worker
-// processes (one address per shard, any order — the workers' manifest is
-// cross-checked at connect) and --db may be omitted, since this process
-// then never hosts records itself.
+//   sknn_c1_server --port 9100 --c2-host 127.0.0.1 --c2-port 9000 \
+//                  --public pk_a.txt \
+//                  --table users=users.bin \
+//                  --table genes=genes.bin,public=pk_b.txt,c2-port=9001
+//
+// Every engine is registered in one TableRegistry behind one QueryService:
+// clients hello, then name the table per query; sknn_admin lists tables,
+// geometry and per-table admission counters over the same port.
 //
 // --queries N exits after N queries have been answered (scripted smoke
-// runs); the default serves until killed.
+// runs); the default serves until SIGINT/SIGTERM, either of which unbinds,
+// drains in-flight queries and exits 0 (clean teardown for supervisors and
+// scripts alike).
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -35,23 +45,120 @@
 #include "crypto/serialization.h"
 #include "net/socket.h"
 #include "serve/query_service.h"
+#include "serve/table_registry.h"
 #include "tools/tool_util.h"
 
+namespace {
+
+using namespace sknn;
+using namespace sknn::tools;
+
+// One --table spec, defaults already resolved against the global flags.
+struct TableSpec {
+  std::string name;
+  std::string db_path;
+  std::string manifest_path;  // empty = unsharded (or shards/scheme below)
+  std::string pk_path;
+  std::string c2_host;
+  uint16_t c2_port = 0;
+  std::size_t shards = 1;
+  ShardScheme scheme = ShardScheme::kContiguous;
+};
+
+// "<name>=<db>[,key=value...]" -> TableSpec; dies with usage on malformed
+// specs so a typo'd deployment refuses to start instead of serving the
+// wrong table.
+TableSpec ParseTableSpec(const std::string& text, const char* usage) {
+  TableSpec spec;
+  std::stringstream ss(text);
+  std::string item;
+  bool first = true;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      DieBadFlag("table", text, usage);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (first) {
+      spec.name = key;
+      spec.db_path = value;
+      first = false;
+      continue;
+    }
+    if (key == "manifest") {
+      spec.manifest_path = value;
+    } else if (key == "public") {
+      spec.pk_path = value;
+    } else if (key == "c2-host") {
+      spec.c2_host = value;
+    } else if (key == "c2-port") {
+      spec.c2_port = ParsePortOrDie(value, "table(c2-port)", usage);
+    } else if (key == "shards") {
+      spec.shards = static_cast<std::size_t>(
+          ParseUint64OrDie(value, "table(shards)", usage, 1, 65535));
+    } else if (key == "scheme") {
+      auto scheme = ParseShardScheme(value);
+      if (!scheme.ok()) DieBadFlag("table", text, usage);
+      spec.scheme = *scheme;
+    } else {
+      DieBadFlag("table", text, usage);
+    }
+  }
+  if (spec.name.empty() || spec.db_path.empty()) {
+    DieBadFlag("table", text, usage);
+  }
+  return spec;
+}
+
+// Loads one spec's artifacts and assembles its engine — own key, own
+// database, own C2 connection, own (optional) in-process shard set.
+Result<std::unique_ptr<SknnEngine>> BuildTableEngine(
+    const TableSpec& spec, const SknnEngine::Options& base_options) {
+  SKNN_ASSIGN_OR_RETURN(PaillierPublicKey pk,
+                        ReadPublicKeyFile(spec.pk_path));
+  SKNN_ASSIGN_OR_RETURN(EncryptedDatabase db,
+                        ReadEncryptedDatabase(spec.db_path));
+  SKNN_RETURN_NOT_OK(ValidateCiphertexts(db, pk));
+
+  SknnEngine::Options options = base_options;
+  options.shards = spec.shards;
+  options.shard_scheme = spec.scheme;
+  if (!spec.manifest_path.empty()) {
+    SKNN_ASSIGN_OR_RETURN(ShardManifest manifest,
+                          ReadShardManifest(spec.manifest_path));
+    SKNN_RETURN_NOT_OK(ValidateManifestForDatabase(manifest, db));
+    options.shards = manifest.num_shards;
+    options.shard_scheme = manifest.scheme;
+  }
+
+  auto c2_link = ConnectTcp(spec.c2_host, spec.c2_port);
+  if (!c2_link.ok()) {
+    return Status::Unavailable("table '" + spec.name +
+                               "': cannot reach C2 at " + spec.c2_host + ":" +
+                               std::to_string(spec.c2_port) + ": " +
+                               c2_link.status().message());
+  }
+  return SknnEngine::CreateWithRemoteC2(pk, std::move(db),
+                                        std::move(c2_link).value(), options);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace sknn;
-  using namespace sknn::tools;
   const char* usage =
-      "sknn_c1_server --public <pk> [--db <db.bin>] --port <p> "
-      "--c2-host <ip> --c2-port <p> [--threads N] [--max-in-flight M] "
+      "sknn_c1_server --port <p> [--public <pk>] [--db <db.bin>] "
+      "[--c2-host <ip>] [--c2-port <p>] [--threads N] [--max-in-flight M] "
       "[--queries N] [--shards S] [--shard-scheme contiguous|roundrobin] "
-      "[--shard-workers host:port,...]";
-  auto flags = ParseFlags(argc, argv);
-  std::string pk_path = RequireFlag(flags, "public", usage);
+      "[--shard-workers host:port,...] "
+      "[--table name=db.bin[,manifest=f][,public=pk][,c2-host=ip]"
+      "[,c2-port=p][,shards=s][,scheme=sch]]...";
+  auto flag_list = ParseFlagList(argc, argv);
+  std::map<std::string, std::string> flags;
+  for (auto& [key, value] : flag_list) flags[key] = value;
   uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
                                  usage);
   std::string c2_host = FlagOr(flags, "c2-host", "127.0.0.1");
-  uint16_t c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
-                                    "c2-port", usage);
   std::size_t threads = static_cast<std::size_t>(ParseUint64OrDie(
       FlagOr(flags, "threads", "1"), "threads", usage, 1, 4096));
   std::size_t max_in_flight = static_cast<std::size_t>(ParseUint64OrDie(
@@ -79,72 +186,130 @@ int main(int argc, char** argv) {
       DieBadFlag("shard-workers", flags.at("shard-workers"), usage);
     }
   }
-  if (worker_addrs.empty() && shards == 0) shards = 1;
 
-  auto pk = ReadPublicKeyFile(pk_path);
-  if (!pk.ok()) {
-    std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
-    return 1;
+  SknnEngine::Options base_options;
+  base_options.c1_threads = threads;
+
+  TableRegistry registry;
+  const std::vector<std::string> table_flags = FlagValues(flag_list, "table");
+  if (!table_flags.empty()) {
+    // The single-table-only globals must not be silently ignored: an
+    // operator who writes `--shards 4 --table ...` expects sharding, and
+    // getting an unsharded server instead would only surface under load.
+    for (const char* single_only : {"shard-workers", "shards",
+                                    "shard-scheme", "db"}) {
+      if (flags.count(single_only)) {
+        std::fprintf(stderr,
+                     "--%s applies to the single-table form only; with "
+                     "--table, put db/manifest/shards/scheme inside each "
+                     "table spec\nusage: %s\n",
+                     single_only, usage);
+        return 2;
+      }
+    }
   }
-  // With remote shard workers the front end hosts no records; the database
-  // is only required (and only loaded) when this process runs the protocol
-  // over Epk(T) itself.
-  EncryptedDatabase db;
-  if (worker_addrs.empty()) {
-    std::string db_path = RequireFlag(flags, "db", usage);
-    auto loaded = ReadEncryptedDatabase(db_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+
+  if (table_flags.empty()) {
+    // The single-table form: global flags describe the sole table, served
+    // under the name "default" (clients with an empty table name reach it).
+    std::string pk_path = RequireFlag(flags, "public", usage);
+    uint16_t c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
+                                      "c2-port", usage);
+    auto pk = ReadPublicKeyFile(pk_path);
+    if (!pk.ok()) {
+      std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
       return 1;
     }
-    if (Status s = ValidateCiphertexts(*loaded, *pk); !s.ok()) {
+    // With remote shard workers the front end hosts no records; the
+    // database is only required (and only loaded) when this process runs
+    // the protocol over Epk(T) itself.
+    EncryptedDatabase db;
+    if (worker_addrs.empty()) {
+      std::string db_path = RequireFlag(flags, "db", usage);
+      auto loaded = ReadEncryptedDatabase(db_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      if (Status s = ValidateCiphertexts(*loaded, *pk); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      db = std::move(loaded).value();
+      if (shards == 0) shards = 1;
+    }
+    auto c2_link = ConnectTcp(c2_host, c2_port);
+    if (!c2_link.ok()) {
+      std::fprintf(stderr, "cannot reach C2 at %s:%u: %s\n", c2_host.c_str(),
+                   c2_port, c2_link.status().ToString().c_str());
+      return 1;
+    }
+    auto engine = QueryService::CreateShardedEngine(
+        *pk, std::move(db), std::move(c2_link).value(), base_options, shards,
+        *scheme, worker_addrs);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine setup failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = registry.Register("default", std::move(engine).value());
+        !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
-    db = std::move(loaded).value();
+  } else {
+    for (const std::string& text : table_flags) {
+      TableSpec spec = ParseTableSpec(text, usage);
+      if (spec.pk_path.empty()) {
+        spec.pk_path = RequireFlag(flags, "public", usage);
+      }
+      if (spec.c2_host.empty()) spec.c2_host = c2_host;
+      if (spec.c2_port == 0) {
+        spec.c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
+                                      "c2-port", usage);
+      }
+      auto engine = BuildTableEngine(spec, base_options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "table '%s' setup failed: %s\n",
+                     spec.name.c_str(), engine.status().ToString().c_str());
+        return 1;
+      }
+      if (Status s = registry.Register(spec.name, std::move(engine).value());
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
   }
-
-  auto c2_link = ConnectTcp(c2_host, c2_port);
-  if (!c2_link.ok()) {
-    std::fprintf(stderr, "cannot reach C2 at %s:%u: %s\n", c2_host.c_str(),
-                 c2_port, c2_link.status().ToString().c_str());
-    return 1;
-  }
-
-  SknnEngine::Options options;
-  options.c1_threads = threads;
-  auto engine = QueryService::CreateShardedEngine(
-      *pk, std::move(db), std::move(c2_link).value(), options, shards,
-      *scheme, worker_addrs);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine setup failed: %s\n",
-                 engine.status().ToString().c_str());
-    return 1;
-  }
-  const std::size_t n = (*engine)->num_records();
-  const std::size_t m = (*engine)->num_attributes();
-  const std::size_t effective_shards =
-      (*engine)->shard_coordinator() != nullptr
-          ? (*engine)->shard_coordinator()->manifest().num_shards
-          : 1;
 
   QueryService::Options service_options;
   service_options.max_in_flight = max_in_flight;
-  QueryService service(engine->get(), service_options);
+  QueryService service(&registry, service_options);
   if (Status s = service.Start(port); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf(
-      "C1 query front end serving on 127.0.0.1:%u "
-      "(n=%zu records, m=%zu attributes, threads=%zu, max-in-flight=%zu, "
-      "shards=%zu%s)\n",
-      service.port(), n, m, threads, max_in_flight, effective_shards,
-      worker_addrs.empty() ? "" : " via workers");
+  // The main loop polls; the handler only needs to set the flag (no
+  // blocked accept to wake — QueryService owns its own listener thread).
+  InstallShutdownHandler(-1);
+
+  std::printf("C1 query front end serving on 127.0.0.1:%u "
+              "(protocol rev %u, %zu table%s, threads=%zu, "
+              "max-in-flight=%zu)\n",
+              service.port(), kProtocolRevision, registry.size(),
+              registry.size() == 1 ? "" : "s", threads, max_in_flight);
+  for (const auto& entry : registry.entries()) {
+    const SknnEngine::Info info = entry->engine->info();
+    std::printf("  table %-16s n=%zu m=%zu attr_bits=%u shards=%zu%s\n",
+                entry->name.c_str(), info.num_records, info.num_attributes,
+                info.attr_bits, info.num_shards,
+                info.remote_shard_workers ? " (remote workers)" : "");
+  }
   std::fflush(stdout);
 
   for (;;) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (ShutdownRequested()) break;
     if (target_queries < 0) continue;
     QueryService::Stats stats = service.stats();
     if (stats.queries_completed + stats.queries_failed >=
@@ -160,10 +325,11 @@ int main(int argc, char** argv) {
   }
   QueryService::Stats stats = service.stats();
   service.Shutdown();
-  std::printf("served %llu queries (%llu failed, %llu rejected); "
+  std::printf("served %llu queries (%llu failed, %llu rejected)%s; "
               "shutting down\n",
               static_cast<unsigned long long>(stats.queries_completed),
               static_cast<unsigned long long>(stats.queries_failed),
-              static_cast<unsigned long long>(stats.queries_rejected));
+              static_cast<unsigned long long>(stats.queries_rejected),
+              ShutdownRequested() ? " on signal" : "");
   return 0;
 }

@@ -16,7 +16,8 @@
 // mismatched set.
 //
 // --connections N exits after N coordinator links close (scripted smoke
-// runs); the default serves until killed.
+// runs); the default serves until SIGINT/SIGTERM, either of which stops
+// accepting, drains in-flight shard stages and exits 0.
 #include <cstdio>
 #include <vector>
 
@@ -74,6 +75,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     manifest = std::move(loaded).value();
+    // A manifest from a different export would misassign every record;
+    // refuse to serve rather than answer wrong.
+    if (Status s = ValidateManifestForDatabase(manifest, *db); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
   } else {
     std::size_t shards = static_cast<std::size_t>(ParseUint64OrDie(
         RequireFlag(flags, "shards", usage), "shards", usage, 1, 65535));
@@ -113,6 +120,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
     return 1;
   }
+  // SIGINT/SIGTERM: wake the blocked Accept and run the drain path below.
+  InstallShutdownHandler(listener->native_handle());
   std::printf(
       "C1 shard %zu/%zu (%s, %zu records) serving on 127.0.0.1:%u\n",
       shard_index, manifest.num_shards, ShardSchemeName(manifest.scheme),
@@ -123,6 +132,7 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<RpcServer>> sessions;
   for (long served = 0; connections < 0 || served < connections; ++served) {
     auto endpoint = listener->Accept();
+    if (ShutdownRequested()) break;
     if (!endpoint.ok()) {
       std::fprintf(stderr, "accept failed: %s\n",
                    endpoint.status().ToString().c_str());
@@ -134,6 +144,14 @@ int main(int argc, char** argv) {
         std::move(endpoint).value(),
         [worker_raw](const Message& req) { return worker_raw->Handle(req); },
         threads));
+  }
+  if (ShutdownRequested()) {
+    listener->Close();
+    for (auto& session : sessions) session->Shutdown();
+    std::printf("signal received; drained %zu coordinator connection%s and "
+                "shut down\n",
+                sessions.size(), sessions.size() == 1 ? "" : "s");
+    return 0;
   }
   for (auto& session : sessions) session->WaitForClose();
   std::printf("all coordinator connections closed; shutting down\n");

@@ -8,8 +8,9 @@
 // link; each querying user (Bob) connects with his own link to pick up
 // results — C2 never routes Bob's data through C1. With --connections N the
 // server exits after N links close (for scripted runs); otherwise it serves
-// until killed. --workers also enables intra-message fan-out for the
-// vectorized opcodes; the response-encryption randomizer pool is on by
+// until SIGINT/SIGTERM, either of which stops accepting, drains in-flight
+// handlers and exits 0. --workers also enables intra-message fan-out for
+// the vectorized opcodes; the response-encryption randomizer pool is on by
 // default (disable it to measure the paper's unamortized cost), holds
 // --pool-capacity precomputed r^N values, and refills on background threads
 // sized from --workers.
@@ -61,6 +62,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
     return 1;
   }
+  // SIGINT/SIGTERM: the handler shutdown(2)s the listening fd, so the
+  // blocked Accept below returns and the drain path runs.
+  InstallShutdownHandler(listener->native_handle());
   std::printf("C2 key-holder serving on 127.0.0.1:%u (workers=%zu)\n",
               listener->port(), workers);
   std::fflush(stdout);
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<RpcServer>> sessions;
   for (long served = 0; connections < 0 || served < connections; ++served) {
     auto endpoint = listener->Accept();
+    if (ShutdownRequested()) break;
     if (!endpoint.ok()) {
       std::fprintf(stderr, "accept failed: %s\n",
                    endpoint.status().ToString().c_str());
@@ -78,6 +83,15 @@ int main(int argc, char** argv) {
     sessions.push_back(std::make_unique<RpcServer>(
         std::move(endpoint).value(),
         [&c2](const Message& req) { return c2.Handle(req); }, workers));
+  }
+  if (ShutdownRequested()) {
+    // Signal: unbind (done — the handler killed the listener), finish any
+    // in-flight handlers, close the links, exit clean.
+    listener->Close();
+    for (auto& session : sessions) session->Shutdown();
+    std::printf("signal received; drained %zu connection%s and shut down\n",
+                sessions.size(), sessions.size() == 1 ? "" : "s");
+    return 0;
   }
   // Scripted mode: serve every accepted link to completion, then exit.
   for (auto& session : sessions) session->WaitForClose();

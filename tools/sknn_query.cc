@@ -3,19 +3,20 @@
 //
 //   sknn_query --host 127.0.0.1 --port 9100 \
 //              --query "58,1,4,133,196,1,2,1,6" --k 2 \
-//              [--protocol secure] [--retries 5] [--stats]
+//              [--table name] [--protocol secure] [--retries 5] \
+//              [--max-wait-ms 30000] [--stats]
 //
 // This process neither loads the encrypted database nor drives the
-// protocol: it sends one plaintext-record QueryRequest frame and receives
-// the records plus per-query instrumentation — which is what lets one front
-// end serve any number of these clients concurrently. If the front end's
-// admission budget is full (ResourceExhausted), the client backs off and
-// retries up to --retries times before giving up with exit code 3.
+// protocol: it negotiates the versioned wire contract (hello), then sends
+// one plaintext-record QueryRequest frame — naming the target table when
+// the front end serves several (sknn_admin --list-tables enumerates them)
+// — and receives the records plus per-query instrumentation. If the front
+// end's admission budget is full (ResourceExhausted), the client backs off
+// with exponential, jittered delays (RetryPolicy) up to --retries retries
+// or --max-wait-ms total, then gives up with exit code 3.
 //
 // protocols: basic (SkNN_b), secure (SkNN_m, default), farthest (k-FN).
-#include <chrono>
 #include <cstdio>
-#include <thread>
 
 #include "serve/remote_query_client.h"
 #include "tools/tool_util.h"
@@ -25,18 +26,20 @@ int main(int argc, char** argv) {
   using namespace sknn::tools;
   const char* usage =
       "sknn_query --host <ip> --port <p> --query \"v1,v2,...\" --k <k> "
-      "[--protocol basic|secure|farthest] [--retries N] [--stats]\n"
+      "[--table name] [--protocol basic|secure|farthest] [--retries N] "
+      "[--max-wait-ms M] [--stats]\n"
       "  basic:    SkNN_b — fast; C2 learns distances + access patterns\n"
       "  secure:   SkNN_m — fully secure k nearest neighbors (default)\n"
       "  farthest: SkNN_m on complemented distances — k farthest neighbors\n"
       "Thin client: talks to a sknn_c1_server front end, which hosts the\n"
-      "encrypted database and drives the clouds. Run as many instances\n"
+      "encrypted table(s) and drives the clouds. Run as many instances\n"
       "concurrently as the front end's --max-in-flight admits.";
   auto flags = ParseFlags(argc, argv);
   std::string host = FlagOr(flags, "host", "127.0.0.1");
   uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
                                  usage);
   QueryRequest request;
+  request.table = FlagOr(flags, "table", "");
   // Ops/breakdown collection costs the front end an extra C1<->C2 round
   // trip per query; only pay it when --stats will print it.
   request.want_op_counts = flags.count("stats") > 0;
@@ -54,8 +57,13 @@ int main(int argc, char** argv) {
   } else {
     DieBadFlag("protocol", protocol, usage);
   }
-  int64_t retries = ParseInt64OrDie(FlagOr(flags, "retries", "5"), "retries",
-                                    usage, 0, 1000000);
+  RetryPolicy policy;
+  policy.max_attempts = 1 + static_cast<int>(ParseInt64OrDie(
+      FlagOr(flags, "retries", "5"), "retries", usage, 0, 1000000));
+  policy.max_elapsed =
+      std::chrono::milliseconds(ParseInt64OrDie(
+          FlagOr(flags, "max-wait-ms", "30000"), "max-wait-ms", usage, 0,
+          86400000));
 
   auto client = RemoteQueryClient::Connect(host, port);
   if (!client.ok()) {
@@ -64,24 +72,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<QueryResponse> response = Status::Internal("unset");
-  for (int64_t attempt = 0;; ++attempt) {
-    response = (*client)->Query(request);
-    if (response.ok() ||
-        response.status().code() != StatusCode::kResourceExhausted) {
-      break;
-    }
-    if (attempt >= retries) {
-      std::fprintf(stderr, "front end saturated after %lld attempts: %s\n",
-                   static_cast<long long>(attempt + 1),
+  Result<QueryResponse> response = (*client)->QueryWithRetry(request, policy);
+  if (!response.ok()) {
+    if (response.status().code() == StatusCode::kResourceExhausted) {
+      std::fprintf(stderr, "front end saturated, gave up: %s\n",
                    response.status().ToString().c_str());
       return 3;
     }
-    // Linear backoff keeps a burst of thin clients from hammering a full
-    // admission queue in lockstep.
-    std::this_thread::sleep_for(std::chrono::milliseconds(50 * (attempt + 1)));
-  }
-  if (!response.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  response.status().ToString().c_str());
     return 1;

@@ -2,17 +2,23 @@
 // defensive numeric parsing: a malformed flag value ("--port abc", an
 // out-of-range count, trailing garbage) prints the offending flag and the
 // tool's usage string and exits 2 — it never throws out of std::sto* and
-// aborts the process.
+// aborts the process. Also the servers' shared SIGINT/SIGTERM machinery
+// (InstallShutdownHandler): a signal requests a clean unbind-and-drain
+// instead of killing the process mid-response.
 #ifndef SKNN_TOOLS_TOOL_UTIL_H_
 #define SKNN_TOOLS_TOOL_UTIL_H_
 
+#include <sys/socket.h>
+
 #include <charconv>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -20,8 +26,11 @@
 namespace sknn {
 namespace tools {
 
-inline std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
+/// \brief Flags in command-line order, repeats preserved — for flags that
+/// may legitimately appear many times (sknn_c1_server --table).
+inline std::vector<std::pair<std::string, std::string>> ParseFlagList(
+    int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> flags;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -31,15 +40,76 @@ inline std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
     std::string key = arg.substr(2);
     std::size_t eq = key.find('=');
     if (eq != std::string::npos) {
-      flags[key.substr(0, eq)] = key.substr(eq + 1);
+      flags.emplace_back(key.substr(0, eq), key.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags[key] = argv[++i];
+      flags.emplace_back(std::move(key), argv[++i]);
     } else {
-      flags[key] = "true";
+      flags.emplace_back(std::move(key), "true");
     }
   }
   return flags;
 }
+
+inline std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (auto& [key, value] : ParseFlagList(argc, argv)) {
+    flags[key] = value;  // last occurrence wins, as before
+  }
+  return flags;
+}
+
+/// \brief Every value a repeated flag was given, command-line order.
+inline std::vector<std::string> FlagValues(
+    const std::vector<std::pair<std::string, std::string>>& flags,
+    const std::string& name) {
+  std::vector<std::string> values;
+  for (const auto& [key, value] : flags) {
+    if (key == name) values.push_back(value);
+  }
+  return values;
+}
+
+// -- Clean shutdown on SIGINT/SIGTERM ---------------------------------------
+//
+// The standing servers must drain on a signal, not vanish: unbind the
+// listener (no new connections), let in-flight handlers finish, exit 0 —
+// so scripted deployments (scripts/smoke_deploy.sh) can `kill -TERM` and
+// `wait` for a real exit code instead of kill-and-hope.
+//
+// Mechanics: the handler (installed WITHOUT SA_RESTART) sets a flag and
+// shutdown(2)s the listening fd — both async-signal-safe — which wakes a
+// blocked accept(2) with an error; the accept loop sees the flag and
+// returns to the drain path. A second signal during a stubborn drain
+// restores the default disposition, so repeated Ctrl-C still kills.
+
+inline volatile std::sig_atomic_t g_shutdown_requested = 0;
+inline volatile int g_shutdown_wake_fd = -1;
+
+inline void ShutdownSignalHandler(int signum) {
+  if (g_shutdown_requested) {
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  g_shutdown_requested = 1;
+  const int fd = g_shutdown_wake_fd;
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+/// \brief Routes SIGINT and SIGTERM into the drain path. `wake_fd` is the
+/// listening socket a blocked accept(2) waits on (pass -1 for servers that
+/// poll instead of block).
+inline void InstallShutdownHandler(int wake_fd) {
+  g_shutdown_wake_fd = wake_fd;
+  struct sigaction sa = {};
+  sa.sa_handler = ShutdownSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: accept() must return
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+inline bool ShutdownRequested() { return g_shutdown_requested != 0; }
 
 inline std::string RequireFlag(const std::map<std::string, std::string>& flags,
                                const std::string& name, const char* usage) {
