@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Repo lint gate — run locally before pushing, run by the lint CI job.
+#
+# Two layers:
+#  1. Custom greps with no tool dependencies (always run):
+#       - no raw std::mutex / locks outside src/common/mutex.h: every lock
+#         must be the annotated sknn::Mutex so Clang Thread Safety Analysis
+#         sees it (docs/CONCURRENCY.md);
+#       - no naked std::sto* / atoi in tools/: flag parsing must go through
+#         tools/tool_util.h's checked parsers, which reject trailing garbage
+#         and never throw out of a CLI;
+#       - no std::thread::detach anywhere: every thread must be joined, or
+#         TSan-clean teardown is impossible.
+#  2. clang-tidy over compile_commands.json (runs when clang-tidy is on
+#     PATH — the lint CI job; skipped with a notice otherwise). Checks are
+#     curated in .clang-tidy.
+#
+# Usage: scripts/lint.sh [build-dir]     (default: build)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+cd "${repo_root}"
+
+failures=0
+
+fail() {
+  echo "LINT FAIL: $1" >&2
+  shift
+  printf '%s\n' "$@" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1a. Raw mutex primitives outside the annotated wrapper ----------------
+raw_mutex=$(grep -rn --include='*.h' --include='*.cc' \
+  -e 'std::mutex' -e 'std::lock_guard' -e 'std::unique_lock' \
+  -e 'std::condition_variable' -e 'std::scoped_lock' -e 'std::shared_mutex' \
+  src tools tests bench examples 2>/dev/null \
+  | grep -v '^src/common/mutex\.h:' || true)
+if [ -n "${raw_mutex}" ]; then
+  fail "raw std::mutex primitives outside src/common/mutex.h — use \
+sknn::Mutex/MutexLock/CondVar so the thread-safety analysis covers them" \
+    "${raw_mutex}"
+fi
+
+# --- 1b. Naked numeric parsing in the CLI tools ----------------------------
+# tool_util.h's ParseCount/ParsePort reject garbage and never throw; a naked
+# std::sto* aborts the whole tool on "--port abc". Comments are exempt.
+naked_sto=$(grep -rn --include='*.h' --include='*.cc' \
+  -e 'std::sto[a-z]*(' -e '[^_a-z]atoi(' -e 'strtoul(' \
+  tools 2>/dev/null | grep -v '^\s*//' | grep -v ':[0-9]*:\s*//' || true)
+if [ -n "${naked_sto}" ]; then
+  fail "naked numeric parsing in tools/ — use the checked parsers in \
+tools/tool_util.h" "${naked_sto}"
+fi
+
+# --- 1c. Detached threads --------------------------------------------------
+detached=$(grep -rn --include='*.h' --include='*.cc' '\.detach()' \
+  src tools tests bench examples 2>/dev/null || true)
+if [ -n "${detached}" ]; then
+  fail "std::thread::detach — track and join every thread (TSan-clean \
+teardown, docs/CONCURRENCY.md)" "${detached}"
+fi
+
+# --- 2. clang-tidy ---------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "${build_dir}/compile_commands.json" ]; then
+    fail "clang-tidy needs ${build_dir}/compile_commands.json — configure \
+with cmake -B ${build_dir} -S . (CMAKE_EXPORT_COMPILE_COMMANDS is on by \
+default)"
+  else
+    # Library + tools only: test binaries are gtest-macro soup that drowns
+    # the signal. run-clang-tidy parallelizes when present.
+    tidy_sources=$(find src tools -name '*.cc' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      # shellcheck disable=SC2086  # word-splitting the file list is intended
+      if ! run-clang-tidy -quiet -p "${build_dir}" ${tidy_sources} \
+          > /tmp/clang_tidy_lint.log 2>&1; then
+        fail "clang-tidy (see /tmp/clang_tidy_lint.log)" \
+          "$(grep -E 'warning:|error:' /tmp/clang_tidy_lint.log | head -50)"
+      fi
+    else
+      tidy_failed=0
+      for f in ${tidy_sources}; do
+        clang-tidy -quiet -p "${build_dir}" "${f}" \
+          >> /tmp/clang_tidy_lint.log 2>&1 || tidy_failed=1
+      done
+      if [ "${tidy_failed}" -ne 0 ]; then
+        fail "clang-tidy (see /tmp/clang_tidy_lint.log)" \
+          "$(grep -E 'warning:|error:' /tmp/clang_tidy_lint.log | head -50)"
+      fi
+    fi
+  fi
+else
+  echo "lint: clang-tidy not on PATH — skipping the static-analysis layer" \
+    "(the lint CI job runs it)"
+fi
+
+if [ "${failures}" -ne 0 ]; then
+  echo "lint: ${failures} gate(s) failed" >&2
+  exit 1
+fi
+echo "lint: OK"

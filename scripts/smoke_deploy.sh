@@ -139,12 +139,13 @@ echo "== leg 2: sharded deployment (2 x sknn_c1_shard + coordinator) =="
 C2S_PID=$!
 C2S_PORT=$(wait_for_port "$WORK/c2_sharded.log")
 
+SHARD_PIDS=()
 for shard in 0 1; do
   "$BIN/sknn_c1_shard" --public "$WORK/pk.txt" --db "$WORK/tied_db.bin" \
     --port 0 --c2-host 127.0.0.1 --c2-port "$C2S_PORT" \
     --manifest "$WORK/tied_manifest.bin" --shard-index "$shard" \
     --threads 2 --connections 1 > "$WORK/shard$shard.log" 2>&1 &
-  eval "SHARD${shard}_PID=\$!"
+  SHARD_PIDS+=($!)
 done
 SHARD0_PORT=$(wait_for_port "$WORK/shard0.log")
 SHARD1_PORT=$(wait_for_port "$WORK/shard1.log")
@@ -179,8 +180,7 @@ tail -n +2 "$WORK/sharded_farthest" > "$WORK/got"
 diff -u "$WORK/want" "$WORK/got" || { echo "MISMATCH: sharded farthest"; exit 1; }
 
 wait "$C1S_PID"
-wait "$SHARD0_PID"
-wait "$SHARD1_PID"
+for pid in "${SHARD_PIDS[@]}"; do wait "$pid"; done
 wait "$C2S_PID"
 echo "leg 2 OK: 2-shard deployment matches the oracle (ties included)"
 

@@ -4,13 +4,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace sknn {
 namespace {
 
 std::atomic<int> g_log_level{-1};
-std::mutex g_log_mutex;
+/// Guards no field — serializes whole messages onto std::cerr so two
+/// threads' log lines cannot interleave mid-line.
+Mutex g_log_mutex;
 
 LogLevel LevelFromEnv() {
   const char* env = std::getenv("SKNN_LOG_LEVEL");
@@ -65,7 +68,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::cerr << stream_.str() << std::endl;
   if (level_ == LogLevel::kError) {
     // Error-level messages from SKNN_CHECK indicate programmer error.

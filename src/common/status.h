@@ -40,7 +40,7 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Error statuses carry a code and a
 /// message. Status is cheap to copy in the OK case (no allocation).
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -103,7 +103,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Accessing the value of an errored Result aborts in debug builds; callers
 /// must check ok() (or use SKNN_ASSIGN_OR_RETURN).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

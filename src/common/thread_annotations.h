@@ -1,0 +1,75 @@
+// Clang Thread Safety Analysis attribute macros — the compiler-checked
+// locking contract of the concurrency surface (common/mutex.h and every
+// class that declares GUARDED_BY fields). Under clang the CI builds with
+// -Wthread-safety -Werror=thread-safety, so an unguarded access to an
+// annotated field, a missing REQUIRES on a helper, or an unbalanced
+// ACQUIRE/RELEASE is a build break. Under gcc (and any compiler without the
+// attributes) every macro expands to nothing.
+//
+// Vocabulary (see docs/CONCURRENCY.md for the repo-wide lock inventory):
+//   GUARDED_BY(mu)    — field may only be read/written with `mu` held
+//   PT_GUARDED_BY(mu) — the pointee of a pointer field is guarded by `mu`
+//   REQUIRES(mu)      — caller must hold `mu` before calling
+//   EXCLUDES(mu)      — caller must NOT hold `mu` (the function locks it)
+//   ACQUIRE / RELEASE — the function takes / drops the named capability
+//   CAPABILITY        — the class IS a lock (sknn::Mutex)
+//   SCOPED_CAPABILITY — RAII lock holder (sknn::MutexLock)
+//
+// This is the standard macro set of Clang's thread-safety documentation
+// (the abseil idiom); the spellings LOCKABLE / SCOPED_LOCKABLE are provided
+// as aliases for the capability forms.
+#ifndef SKNN_COMMON_THREAD_ANNOTATIONS_H_
+#define SKNN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SKNN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SKNN_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) SKNN_THREAD_ANNOTATION__(capability(x))
+#define LOCKABLE CAPABILITY("mutex")
+
+#define SCOPED_CAPABILITY SKNN_THREAD_ANNOTATION__(scoped_lockable)
+#define SCOPED_LOCKABLE SCOPED_CAPABILITY
+
+#define GUARDED_BY(x) SKNN_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) SKNN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  SKNN_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SKNN_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  SKNN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SKNN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) SKNN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SKNN_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) SKNN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SKNN_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  SKNN_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  SKNN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SKNN_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) SKNN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) SKNN_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  SKNN_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) SKNN_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SKNN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SKNN_COMMON_THREAD_ANNOTATIONS_H_

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -27,10 +27,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> fut = packaged->get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     tasks_.push([packaged] { (*packaged)(); });
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return fut;
 }
 
@@ -68,8 +68,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

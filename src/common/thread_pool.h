@@ -4,14 +4,15 @@
 #ifndef SKNN_COMMON_THREAD_POOL_H_
 #define SKNN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sknn {
 
@@ -39,11 +40,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Written only by the constructor; joined by the destructor.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sknn

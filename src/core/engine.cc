@@ -219,21 +219,22 @@ Status SknnEngine::InitCommon() {
 }
 
 SknnEngine::~SknnEngine() {
+  std::vector<std::thread> dispatchers;
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    MutexLock lock(&sched_mutex_);
     sched_stop_ = true;
+    dispatchers.swap(sched_threads_);
   }
-  sched_cv_.notify_all();
-  for (auto& t : sched_threads_) t.join();
+  sched_cv_.NotifyAll();
+  for (auto& t : dispatchers) t.join();
 }
 
 void SknnEngine::SchedulerLoop() {
   for (;;) {
     QueryJob job;
     {
-      std::unique_lock<std::mutex> lock(sched_mutex_);
-      sched_cv_.wait(lock,
-                     [this] { return sched_stop_ || !sched_queue_.empty(); });
+      MutexLock lock(&sched_mutex_);
+      while (!sched_stop_ && sched_queue_.empty()) sched_cv_.Wait(sched_mutex_);
       if (sched_queue_.empty()) return;  // stop requested and queue drained
       job = std::move(sched_queue_.front());
       sched_queue_.pop_front();
@@ -399,7 +400,7 @@ std::future<Result<QueryResponse>> SknnEngine::Submit(QueryRequest request) {
   job.request = std::move(request);
   std::future<Result<QueryResponse>> future = job.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    MutexLock lock(&sched_mutex_);
     if (sched_stop_) {
       job.promise.set_value(
           Status::FailedPrecondition("Submit: engine is shutting down"));
@@ -418,7 +419,7 @@ std::future<Result<QueryResponse>> SknnEngine::Submit(QueryRequest request) {
     }
     sched_queue_.push_back(std::move(job));
   }
-  sched_cv_.notify_one();
+  sched_cv_.NotifyOne();
   return future;
 }
 

@@ -18,14 +18,14 @@
 #define SKNN_CORE_ENGINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/query_api.h"
 #include "core/query_client.h"
@@ -263,11 +263,11 @@ class SknnEngine {
   // in-flight query, spawned lazily on the first Submit) drive the
   // protocol; all heavy homomorphic work inside a query still fans out
   // over the shared c1_pool_.
-  std::mutex sched_mutex_;
-  std::condition_variable sched_cv_;
-  std::deque<QueryJob> sched_queue_;
-  std::vector<std::thread> sched_threads_;  // guarded by sched_mutex_
-  bool sched_stop_ = false;
+  Mutex sched_mutex_;
+  CondVar sched_cv_;
+  std::deque<QueryJob> sched_queue_ GUARDED_BY(sched_mutex_);
+  std::vector<std::thread> sched_threads_ GUARDED_BY(sched_mutex_);
+  bool sched_stop_ GUARDED_BY(sched_mutex_) = false;
 };
 
 }  // namespace sknn

@@ -30,10 +30,10 @@ RandomizerPool::RandomizerPool(const BigInt& n, std::size_t capacity,
 
 RandomizerPool::~RandomizerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  fill_cv_.notify_all();
+  fill_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -45,34 +45,41 @@ void RandomizerPool::FillLoop() {
   Random& rng = Random::ThreadLocal();
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      fill_cv_.wait(lock, [this] {
-        return stop_ || (enabled() && stock_.size() < capacity_);
-      });
+      MutexLock lock(&mutex_);
+      while (!stop_ && !(enabled() && stock_.size() < capacity_)) {
+        fill_cv_.Wait(mutex_);
+      }
       if (stop_) return;
     }
     // The modexp runs unlocked so consumers never wait on a producer.
     BigInt rn = ComputeOne(rng);
     bool full = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (stock_.size() < capacity_) stock_.push_back(std::move(rn));
       full = stock_.size() >= capacity_;
     }
-    if (full) full_cv_.notify_all();
+    if (full) full_cv_.NotifyAll();
   }
 }
 
 BigInt RandomizerPool::Take() {
   if (enabled()) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!stock_.empty()) {
-      BigInt rn = std::move(stock_.front());
-      stock_.pop_front();
-      bool low = stock_.size() < low_watermark_;
-      lock.unlock();
+    BigInt rn;
+    bool hit = false;
+    bool low = false;
+    {
+      MutexLock lock(&mutex_);
+      if (!stock_.empty()) {
+        rn = std::move(stock_.front());
+        stock_.pop_front();
+        low = stock_.size() < low_watermark_;
+        hit = true;
+      }
+    }
+    if (hit) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      if (low) fill_cv_.notify_all();
+      if (low) fill_cv_.NotifyAll();
       return rn;
     }
   }
@@ -81,29 +88,29 @@ BigInt RandomizerPool::Take() {
 }
 
 void RandomizerPool::WaitUntilFull() {
-  fill_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  full_cv_.wait(lock, [this] {
-    return stop_ || !enabled() || stock_.size() >= capacity_;
-  });
+  fill_cv_.NotifyAll();
+  MutexLock lock(&mutex_);
+  while (!stop_ && enabled() && stock_.size() < capacity_) {
+    full_cv_.Wait(mutex_);
+  }
 }
 
 void RandomizerPool::set_enabled(bool enabled) {
   {
     // The store happens under the mutex so a fill worker between its
     // predicate check and its block cannot miss the wakeup.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     enabled_.store(enabled, std::memory_order_relaxed);
   }
   if (enabled) {
-    fill_cv_.notify_all();
+    fill_cv_.NotifyAll();
   } else {
-    full_cv_.notify_all();
+    full_cv_.NotifyAll();
   }
 }
 
 std::size_t RandomizerPool::stock() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stock_.size();
 }
 

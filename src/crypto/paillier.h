@@ -16,16 +16,16 @@
 #define SKNN_CRYPTO_PAILLIER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bigint/bigint.h"
 #include "bigint/random.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sknn {
 
@@ -98,11 +98,14 @@ class RandomizerPool {
   const std::size_t capacity_;
   const std::size_t low_watermark_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable fill_cv_;   // wakes workers (low stock / stop)
-  std::condition_variable full_cv_;   // wakes WaitUntilFull
-  std::deque<BigInt> stock_;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar fill_cv_;  // wakes workers (low stock / stop)
+  CondVar full_cv_;  // wakes WaitUntilFull
+  std::deque<BigInt> stock_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
+  /// Atomic, not guarded: Take()'s fast path and enabled() read it without
+  /// the lock; set_enabled() still stores it under mutex_ so a fill worker
+  /// between predicate check and block cannot miss the wakeup.
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -21,28 +21,28 @@ Channel::EndpointPair Channel::CreatePair() {
 }
 
 TrafficStats Channel::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 
 void Channel::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   stats_ = TrafficStats{};
 }
 
 void Channel::set_latency(std::chrono::microseconds latency) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   latency_ = latency;
 }
 
 std::chrono::microseconds Channel::latency() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return latency_;
 }
 
 bool ChannelEndpoint::Send(std::vector<uint8_t> frame) {
   Channel& ch = *channel_;
-  std::lock_guard<std::mutex> lock(ch.mutex_);
+  MutexLock lock(&ch.mutex_);
   if (ch.closed_) return false;
   Channel::Queue& q = is_a_ ? ch.a_to_b_ : ch.b_to_a_;
   if (is_a_) {
@@ -54,22 +54,22 @@ bool ChannelEndpoint::Send(std::vector<uint8_t> frame) {
   }
   q.frames.push_back(
       {Channel::Clock::now() + ch.latency_, std::move(frame)});
-  q.cv.notify_one();
+  q.cv.NotifyOne();
   return true;
 }
 
 bool ChannelEndpoint::Recv(std::vector<uint8_t>* frame) {
   Channel& ch = *channel_;
+  MutexLock lock(&ch.mutex_);
   Channel::Queue& q = is_a_ ? ch.b_to_a_ : ch.a_to_b_;
-  std::unique_lock<std::mutex> lock(ch.mutex_);
   for (;;) {
-    q.cv.wait(lock, [&] { return ch.closed_ || !q.frames.empty(); });
+    while (!ch.closed_ && q.frames.empty()) q.cv.Wait(ch.mutex_);
     if (q.frames.empty()) return false;  // closed and drained
     // Honor the simulated link latency: frames are FIFO, so only the head's
     // delivery time matters.
     Channel::Clock::time_point ready_at = q.frames.front().deliver_at;
     if (ready_at <= Channel::Clock::now()) break;
-    q.cv.wait_until(lock, ready_at);
+    q.cv.WaitUntil(ch.mutex_, ready_at);
   }
   *frame = std::move(q.frames.front().bytes);
   q.frames.pop_front();
@@ -78,11 +78,11 @@ bool ChannelEndpoint::Recv(std::vector<uint8_t>* frame) {
 
 void ChannelEndpoint::Close() {
   Channel& ch = *channel_;
-  std::lock_guard<std::mutex> lock(ch.mutex_);
+  MutexLock lock(&ch.mutex_);
   if (ch.closed_) return;
   ch.closed_ = true;
-  ch.a_to_b_.cv.notify_all();
-  ch.b_to_a_.cv.notify_all();
+  ch.a_to_b_.cv.NotifyAll();
+  ch.b_to_a_.cv.NotifyAll();
 }
 
 }  // namespace sknn

@@ -8,14 +8,14 @@
 #define SKNN_NET_CHANNEL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/endpoint.h"
 
 namespace sknn {
@@ -38,6 +38,9 @@ struct TrafficStats {
 class ChannelEndpoint;
 
 /// \brief Shared state of a duplex link between two endpoints (A and B).
+/// One mutex guards the whole link: both queues, the stats, the latency
+/// knob and the closed flag (frames are multi-KB ciphertext vectors, so
+/// finer-grained locking would buy nothing).
 class Channel {
  public:
   struct EndpointPair {
@@ -70,15 +73,15 @@ class Channel {
 
   struct Queue {
     std::deque<TimedFrame> frames;
-    std::condition_variable cv;
+    CondVar cv;
   };
 
-  mutable std::mutex mutex_;
-  Queue a_to_b_;
-  Queue b_to_a_;
-  TrafficStats stats_;
-  std::chrono::microseconds latency_{0};
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  Queue a_to_b_ GUARDED_BY(mutex_);
+  Queue b_to_a_ GUARDED_BY(mutex_);
+  TrafficStats stats_ GUARDED_BY(mutex_);
+  std::chrono::microseconds latency_ GUARDED_BY(mutex_){0};
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 /// \brief One side of a Channel. Send/Recv are thread-safe.

@@ -25,11 +25,11 @@ Result<Message> RpcClient::Call(Message request) {
   request.correlation_id = id;
   auto call = std::make_shared<PendingCall>();
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(&pending_mutex_);
     pending_[id] = call;
   }
   if (!endpoint_->Send(WireCodec::Encode(request))) {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(&pending_mutex_);
     pending_.erase(id);
     return Status::ProtocolError("RpcClient: link closed on send");
   }
@@ -44,16 +44,17 @@ Result<Message> RpcClient::Call(Message request) {
   if (link_down_.load()) {
     bool still_pending;
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      MutexLock lock(&pending_mutex_);
       still_pending = pending_.erase(id) > 0;
     }
     if (still_pending) {
       return Status::ProtocolError("RpcClient: link closed");
     }
   }
-  std::unique_lock<std::mutex> lock(call->mutex);
-  call->cv.wait(lock, [&] { return call->done; });
-  return std::move(call->result);
+  PendingCall& pending = *call;
+  MutexLock lock(&pending.mutex);
+  while (!pending.done) pending.cv.Wait(pending.mutex);
+  return std::move(pending.result);
 }
 
 void RpcClient::Shutdown() {
@@ -67,7 +68,7 @@ void RpcClient::DemuxLoop() {
     Result<Message> decoded = WireCodec::Decode(frame);
     std::shared_ptr<PendingCall> call;
     if (decoded.ok()) {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      MutexLock lock(&pending_mutex_);
       auto it = pending_.find(decoded->correlation_id);
       if (it != pending_.end()) {
         call = it->second;
@@ -79,28 +80,30 @@ void RpcClient::DemuxLoop() {
                            "id or decode failure)";
       continue;
     }
+    PendingCall& pending = *call;
     {
-      std::lock_guard<std::mutex> lock(call->mutex);
-      call->result = std::move(decoded);
-      call->done = true;
+      MutexLock lock(&pending.mutex);
+      pending.result = std::move(decoded);
+      pending.done = true;
     }
-    call->cv.notify_one();
+    pending.cv.NotifyOne();
   }
   // Link closed: refuse new calls, then fail everything still pending.
   link_down_.store(true);
   std::map<uint64_t, std::shared_ptr<PendingCall>> leftover;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(&pending_mutex_);
     leftover.swap(pending_);
   }
   for (auto& [id, call] : leftover) {
     (void)id;
+    PendingCall& pending = *call;
     {
-      std::lock_guard<std::mutex> lock(call->mutex);
-      call->result = Status::ProtocolError("RpcClient: link closed");
-      call->done = true;
+      MutexLock lock(&pending.mutex);
+      pending.result = Status::ProtocolError("RpcClient: link closed");
+      pending.done = true;
     }
-    call->cv.notify_one();
+    pending.cv.NotifyOne();
   }
 }
 
@@ -159,7 +162,7 @@ void RpcServer::HandleFrame(std::vector<uint8_t> frame) {
   }
   out.correlation_id = cid;
   out.query_id = request->query_id;
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  MutexLock lock(&send_mutex_);
   endpoint_->Send(WireCodec::Encode(out));
 }
 

@@ -12,14 +12,14 @@
 #define SKNN_NET_RPC_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "net/channel.h"
 #include "net/message.h"
@@ -45,16 +45,18 @@ class RpcClient {
   void DemuxLoop();
 
   struct PendingCall {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    Result<Message> result = Status::ProtocolError("uninitialized");
+    Mutex mutex;
+    CondVar cv;
+    bool done GUARDED_BY(mutex) = false;
+    Result<Message> result GUARDED_BY(mutex) =
+        Status::ProtocolError("uninitialized");
   };
 
   std::unique_ptr<Endpoint> endpoint_;
   std::atomic<uint64_t> next_id_{1};
-  std::mutex pending_mutex_;
-  std::map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+  Mutex pending_mutex_;
+  std::map<uint64_t, std::shared_ptr<PendingCall>> pending_
+      GUARDED_BY(pending_mutex_);
   std::thread demux_thread_;
   std::atomic<bool> shutdown_{false};
   /// Set by the demux loop on its way out (peer closed the link): calls
@@ -97,7 +99,10 @@ class RpcServer {
   Handler handler_;
   std::unique_ptr<ThreadPool> pool_;  // null => handle inline
   std::thread accept_thread_;
-  std::mutex send_mutex_;
+  /// Serializes response frames from concurrent pool workers; guards no
+  /// field — the endpoint itself is internally synchronized, the mutex only
+  /// keeps whole frames from interleaving on the wire.
+  Mutex send_mutex_;
   std::atomic<bool> finished_{false};
 };
 

@@ -43,16 +43,24 @@ bool ReadAll(int fd, uint8_t* data, std::size_t len) {
 
 }  // namespace
 
-SocketEndpoint::~SocketEndpoint() { Close(); }
+SocketEndpoint::~SocketEndpoint() {
+  Close();
+  // The fd is released here and only here: Close() may run while another
+  // thread is blocked inside recv(2)/send(2) on this fd, and closing it
+  // under that thread would let the kernel recycle the number for an
+  // unrelated descriptor mid-read. By destruction time no other thread may
+  // touch the endpoint, so the close is safe.
+  ::close(fd_);
+}
 
 bool SocketEndpoint::Send(std::vector<uint8_t> frame) {
-  if (closed_.load()) return false;
+  if (closed_.load(std::memory_order_acquire)) return false;
   // Oversized frames would wrap the length prefix.
   if (frame.size() > 0xFFFFFFFFu) return false;
   uint8_t header[4];
   uint32_t len = static_cast<uint32_t>(frame.size());
   for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  MutexLock lock(&send_mutex_);
   if (!WriteAll(fd_, header, 4) ||
       !WriteAll(fd_, frame.data(), frame.size())) {
     return false;
@@ -62,7 +70,7 @@ bool SocketEndpoint::Send(std::vector<uint8_t> frame) {
 }
 
 bool SocketEndpoint::Recv(std::vector<uint8_t>* frame) {
-  std::lock_guard<std::mutex> lock(recv_mutex_);
+  MutexLock lock(&recv_mutex_);
   uint8_t header[4];
   if (!ReadAll(fd_, header, 4)) return false;
   uint32_t len = 0;
@@ -76,8 +84,9 @@ bool SocketEndpoint::Recv(std::vector<uint8_t>* frame) {
 void SocketEndpoint::Close() {
   bool expected = false;
   if (closed_.compare_exchange_strong(expected, true)) {
-    ::shutdown(fd_, SHUT_RDWR);  // unblocks any reader
-    ::close(fd_);
+    // shutdown(2), not close(2): unblocks any reader/writer without
+    // releasing the fd number while they still hold it (see ~SocketEndpoint).
+    ::shutdown(fd_, SHUT_RDWR);
   }
 }
 
@@ -135,27 +144,32 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
   return TcpListener(fd, ntohs(addr.sin_port));
 }
 
-TcpListener::~TcpListener() {
-  if (fd_ >= 0) ::close(fd_);
-}
+TcpListener::~TcpListener() { Close(); }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
-}
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+      port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = other.fd_;
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
     port_ = other.port_;
-    other.fd_ = -1;
   }
   return *this;
 }
 
 Result<std::unique_ptr<SocketEndpoint>> TcpListener::Accept() {
-  int client = ::accept(fd_, nullptr, nullptr);
+  // Read the fd once: Close() may flip it to -1 concurrently (the front
+  // end's shutdown path), and a blocked accept(2) on the old fd then fails
+  // with EBADF/EINVAL — which the caller's stop flag turns into a clean
+  // exit.
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) {
+    return Status::IoError("accept(): listener is closed");
+  }
+  int client = ::accept(fd, nullptr, nullptr);
   if (client < 0) {
     return Status::IoError("accept(): " + std::string(std::strerror(errno)));
   }
@@ -165,10 +179,10 @@ Result<std::unique_ptr<SocketEndpoint>> TcpListener::Accept() {
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

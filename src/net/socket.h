@@ -11,10 +11,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/endpoint.h"
 
 namespace sknn {
@@ -27,6 +28,11 @@ class SocketEndpoint : public Endpoint {
 
   bool Send(std::vector<uint8_t> frame) override;
   bool Recv(std::vector<uint8_t>* frame) override;
+
+  /// \brief Half-closes the connection: shutdown(2) unblocks any thread
+  /// sitting in Send/Recv and fails future calls. The fd itself is released
+  /// by the destructor only — a concurrent reader must never observe its fd
+  /// number closed (and potentially reused by another open()) under it.
   void Close() override;
 
   /// \brief Bytes written/read so far (communication-cost accounting for
@@ -35,9 +41,11 @@ class SocketEndpoint : public Endpoint {
   uint64_t bytes_received() const { return bytes_received_.load(); }
 
  private:
-  int fd_;
-  std::mutex send_mutex_;  // frames must not interleave
-  std::mutex recv_mutex_;
+  /// Assigned once at construction, closed by the destructor. Concurrent
+  /// Send/Recv/Close only ever read it.
+  const int fd_;
+  Mutex send_mutex_;  // serializes writers: frames must not interleave
+  Mutex recv_mutex_;  // serializes readers: one frame per caller
   std::atomic<bool> closed_{false};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
@@ -62,7 +70,10 @@ class TcpListener {
   /// \brief Blocks for the next inbound connection.
   Result<std::unique_ptr<SocketEndpoint>> Accept();
 
-  /// \brief Stops accepting; a blocked Accept returns an error.
+  /// \brief Stops accepting; a blocked Accept returns an error. Safe to
+  /// call from another thread than the accept loop's (the shutdown state is
+  /// atomic — the serving front end's Shutdown races its accept thread by
+  /// design).
   void Close();
 
   uint16_t port() const { return port_; }
@@ -71,12 +82,15 @@ class TcpListener {
   /// shutdown(2) is async-signal-safe and wakes a blocked accept(2), which
   /// is how SIGINT/SIGTERM turn into a clean unbind-and-drain instead of a
   /// kill -9 (tools/tool_util.h InstallShutdownHandler).
-  int native_handle() const { return fd_; }
+  int native_handle() const { return fd_.load(std::memory_order_acquire); }
 
  private:
   TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_;
+  /// -1 once closed (or moved from). Atomic because Close() is called from
+  /// a shutdown thread while the accept thread reads it — previously a
+  /// plain int, which was a data race TSan flagged on every clean shutdown.
+  std::atomic<int> fd_;
   uint16_t port_;
 };
 

@@ -121,7 +121,7 @@ void C2Service::ForEach(bool parallel, std::size_t count,
 }
 
 std::vector<BigInt> C2Service::TakeBobOutbox() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<BigInt> out;
   for (auto& [qid, bucket] : bob_outbox_) {
     (void)qid;
@@ -132,7 +132,7 @@ std::vector<BigInt> C2Service::TakeBobOutbox() {
 }
 
 std::vector<BigInt> C2Service::TakeBobOutbox(uint64_t query_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = bob_outbox_.find(query_id);
   if (it == bob_outbox_.end()) return {};
   std::vector<BigInt> out = std::move(it->second);
@@ -141,7 +141,7 @@ std::vector<BigInt> C2Service::TakeBobOutbox(uint64_t query_id) {
 }
 
 OpSnapshot C2Service::TakeQueryOps(uint64_t query_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = op_ledger_.find(query_id);
   if (it == op_ledger_.end()) return {};
   OpSnapshot ops = it->second;
@@ -150,7 +150,7 @@ OpSnapshot C2Service::TakeQueryOps(uint64_t query_id) {
 }
 
 void C2Service::RecordQueryOps(uint64_t query_id, const OpSnapshot& ops) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto [it, inserted] = op_ledger_.try_emplace(query_id);
   it->second = it->second + ops;
   if (inserted) {
@@ -165,14 +165,14 @@ void C2Service::RecordQueryOps(uint64_t query_id, const OpSnapshot& ops) {
 }
 
 std::vector<C2View> C2Service::TakeViews() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<C2View> out;
   out.swap(views_);
   return out;
 }
 
 void C2Service::RecordView(Op op, const BigInt& plaintext) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (record_views_) views_.push_back({op, plaintext});
 }
 
@@ -354,7 +354,7 @@ Result<Message> C2Service::HandleMaskedDecryptToBob(const Message& req) {
   });
   for (const auto& v : decrypted) RecordView(Op::kMaskedDecryptToBob, v);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto [it, inserted] = bob_outbox_.try_emplace(req.query_id);
     for (auto& v : decrypted) it->second.push_back(std::move(v));
     if (inserted) {

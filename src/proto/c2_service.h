@@ -15,9 +15,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "crypto/op_counters.h"
 #include "crypto/paillier.h"
@@ -72,7 +73,7 @@ class C2Service {
 
   // -- Security-test instrumentation --
   void set_record_views(bool record) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     record_views_ = record;
     if (!record) views_.clear();
   }
@@ -104,20 +105,20 @@ class C2Service {
   PaillierSecretKey sk_;
   std::unique_ptr<ThreadPool> intra_pool_;
   std::unique_ptr<RandomizerPool> rand_pool_;
-  std::mutex mutex_;  // guards views_, bob_outbox_ and the op ledger
-  bool record_views_ = false;
-  std::vector<C2View> views_;
+  Mutex mutex_;  // guards views_, bob_outbox_ and the op ledger
+  bool record_views_ GUARDED_BY(mutex_) = false;
+  std::vector<C2View> views_ GUARDED_BY(mutex_);
   /// Bob-bound plaintexts, keyed by the query id that produced them
   /// (0 = untagged legacy traffic). FIFO-bounded like the op ledger: a
   /// front end that vanishes before fetching must not leak its bucket on a
   /// standing server.
-  std::map<uint64_t, std::vector<BigInt>> bob_outbox_;
-  std::deque<uint64_t> outbox_order_;
+  std::map<uint64_t, std::vector<BigInt>> bob_outbox_ GUARDED_BY(mutex_);
+  std::deque<uint64_t> outbox_order_ GUARDED_BY(mutex_);
   /// Per-query operation accounting, FIFO-bounded so an abandoned query on
   /// a long-running server cannot leak ledger entries forever.
   static constexpr std::size_t kMaxLedgerEntries = 4096;
-  std::map<uint64_t, OpSnapshot> op_ledger_;
-  std::deque<uint64_t> op_ledger_order_;
+  std::map<uint64_t, OpSnapshot> op_ledger_ GUARDED_BY(mutex_);
+  std::deque<uint64_t> op_ledger_order_ GUARDED_BY(mutex_);
 };
 
 }  // namespace sknn

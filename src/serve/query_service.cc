@@ -94,10 +94,13 @@ Status QueryService::Start(uint16_t port) {
 }
 
 void QueryService::Shutdown() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  // One caller runs the teardown; any concurrent caller blocks here until
+  // it is complete. Joining the accept thread from two threads at once (the
+  // old stopping_-flag fast path) is undefined behavior.
+  MutexLock shutdown_lock(&shutdown_mutex_);
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  stopping_.store(true);
   if (listener_.has_value()) {
     listener_->Close();
     // shutdown() on the listening fd wakes a blocked accept() on Linux; a
@@ -109,7 +112,7 @@ void QueryService::Shutdown() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<RpcServer>> sessions;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     sessions.swap(sessions_);
   }
   for (auto& session : sessions) session->Shutdown();
@@ -117,7 +120,7 @@ void QueryService::Shutdown() {
 }
 
 QueryService::Stats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 
@@ -128,11 +131,11 @@ ServiceStatsReply QueryService::ServiceStatsSnapshot() const {
                                     started_at_)
           .count();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     reply.connections_accepted = stats_.connections_accepted;
   }
   reply.in_flight = in_flight_.load();
-  for (const auto& entry : registry_->entries()) {
+  for (const TableRegistry::Entry* entry : registry_->snapshot()) {
     TableStatsEntry table;
     table.name = entry->name;
     table.completed = entry->counters.completed.load();
@@ -145,7 +148,7 @@ ServiceStatsReply QueryService::ServiceStatsSnapshot() const {
 }
 
 std::size_t QueryService::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::size_t active = 0;
   for (const auto& session : sessions_) {
     if (!session->Finished()) ++active;
@@ -174,7 +177,7 @@ void QueryService::AcceptLoop() {
     // count with it.
     std::vector<std::unique_ptr<RpcServer>> dead;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       auto finished = std::stable_partition(
           sessions_.begin(), sessions_.end(),
           [](const std::unique_ptr<RpcServer>& s) { return !s->Finished(); });
@@ -198,7 +201,7 @@ void QueryService::AcceptLoop() {
 Message QueryService::Reject(const Status& status,
                              uint64_t Stats::* counter) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++(stats_.*counter);
   }
   return EncodeQueryError(status);
@@ -263,7 +266,7 @@ Message QueryService::HandleQuery(QueryRequest decoded) {
   }
   entry.counters.completed.fetch_add(1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++stats_.queries_completed;
   }
   return EncodeQueryResponse(*response);

@@ -31,12 +31,13 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "net/query_wire.h"
 #include "net/rpc.h"
@@ -148,9 +149,15 @@ class QueryService {
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> in_flight_{0};
-  mutable std::mutex mutex_;  // guards sessions_ and stats_
-  std::vector<std::unique_ptr<RpcServer>> sessions_;
-  Stats stats_;
+  mutable Mutex mutex_;  // guards sessions_ and stats_
+  std::vector<std::unique_ptr<RpcServer>> sessions_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
+  /// Serializes Shutdown against itself: a second caller blocks until the
+  /// first finishes instead of racing it to accept_thread_.join() (joining
+  /// one std::thread from two threads is undefined behavior). Ordered after
+  /// mutex_ in no lock order — Shutdown never holds both.
+  Mutex shutdown_mutex_ ACQUIRED_BEFORE(mutex_);
+  bool shutdown_done_ GUARDED_BY(shutdown_mutex_) = false;
 };
 
 }  // namespace sknn

@@ -35,12 +35,12 @@ Result<std::unique_ptr<RemoteQueryClient>> RemoteQueryClient::Connect(
 
 Result<HelloInfo> RemoteQueryClient::Hello() {
   SKNN_RETURN_NOT_OK(EnsureHello());
-  std::lock_guard<std::mutex> lock(hello_mutex_);
+  MutexLock lock(&hello_mutex_);
   return server_hello_;
 }
 
 Status RemoteQueryClient::EnsureHello() {
-  std::lock_guard<std::mutex> lock(hello_mutex_);
+  MutexLock lock(&hello_mutex_);
   if (hello_done_) return Status::OK();
   HelloInfo hello;
   hello.revision = kProtocolRevision;

@@ -30,12 +30,13 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/query_api.h"
 #include "net/query_wire.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/rpc.h"
 
 namespace sknn {
@@ -116,9 +117,11 @@ class RemoteQueryClient {
   Result<Message> Call(Message request);
 
   RpcClient rpc_;
-  std::mutex hello_mutex_;
-  bool hello_done_ = false;
-  HelloInfo server_hello_;
+  /// Held across the handshake round trip on purpose: concurrent first
+  /// callers serialize behind one hello instead of each sending their own.
+  Mutex hello_mutex_;
+  bool hello_done_ GUARDED_BY(hello_mutex_) = false;
+  HelloInfo server_hello_ GUARDED_BY(hello_mutex_);
 };
 
 }  // namespace sknn

@@ -50,8 +50,8 @@ Status TableRegistry::RegisterEntry(const std::string& name,
                                    name + "'");
   }
   SKNN_RETURN_NOT_OK(CheckTableName(name));
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (frozen_.load(std::memory_order_acquire)) {
+  MutexLock lock(&mutex_);
+  if (frozen_) {
     return Status::FailedPrecondition(
         "TableRegistry: serving already started; cannot register '" + name +
         "'");
@@ -71,6 +71,7 @@ Status TableRegistry::RegisterEntry(const std::string& name,
 }
 
 Result<TableRegistry::Entry*> TableRegistry::Resolve(const std::string& name) {
+  MutexLock lock(&mutex_);
   if (name.empty()) {
     if (entries_.empty()) {
       return Status::FailedPrecondition("TableRegistry: no tables registered");
@@ -83,11 +84,16 @@ Result<TableRegistry::Entry*> TableRegistry::Resolve(const std::string& name) {
     }
     return entries_.front().get();
   }
-  if (Entry* entry = Find(name); entry != nullptr) return entry;
+  if (Entry* entry = FindLocked(name); entry != nullptr) return entry;
   return Status::NotFound("TableRegistry: unknown table '" + name + "'");
 }
 
 TableRegistry::Entry* TableRegistry::Find(const std::string& name) {
+  MutexLock lock(&mutex_);
+  return FindLocked(name);
+}
+
+TableRegistry::Entry* TableRegistry::FindLocked(const std::string& name) {
   if (name.empty()) return nullptr;
   for (const auto& entry : entries_) {
     if (entry->name == name) return entry.get();
@@ -96,12 +102,24 @@ TableRegistry::Entry* TableRegistry::Find(const std::string& name) {
 }
 
 std::vector<std::string> TableRegistry::names() const {
+  MutexLock lock(&mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& entry : entries_) out.push_back(entry->name);
   return out;
 }
 
-std::size_t TableRegistry::size() const { return entries_.size(); }
+std::size_t TableRegistry::size() const {
+  MutexLock lock(&mutex_);
+  return entries_.size();
+}
+
+std::vector<TableRegistry::Entry*> TableRegistry::snapshot() const {
+  MutexLock lock(&mutex_);
+  std::vector<Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.get());
+  return out;
+}
 
 }  // namespace sknn

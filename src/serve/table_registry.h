@@ -15,17 +15,19 @@
 //
 // Lifecycle: register every table BEFORE handing the registry to a
 // QueryService; registration is rejected once serving starts (Freeze).
-// Lookup is lock-free after that point, so the query hot path never takes
-// the registration mutex.
+// Every accessor takes the registry mutex — it is uncontended and held for
+// a name comparison or two, noise next to the milliseconds of homomorphic
+// work behind each query — so the thread-safety analysis can check every
+// entries_ access instead of trusting a freeze-then-read convention.
 #ifndef SKNN_SERVE_TABLE_REGISTRY_H_
 #define SKNN_SERVE_TABLE_REGISTRY_H_
 
-#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 
 namespace sknn {
@@ -60,9 +62,12 @@ class TableRegistry {
   /// \brief Non-owning registration; `engine` must outlive the registry.
   Status Register(const std::string& name, SknnEngine* engine);
 
-  /// \brief Rejects further registration — called by QueryService::Start so
-  /// the serving hot path can look tables up without locking.
-  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  /// \brief Rejects further registration — called by QueryService::Start,
+  /// after which the table set is immutable for the registry's lifetime.
+  void Freeze() {
+    MutexLock lock(&mutex_);
+    frozen_ = true;
+  }
 
   /// \brief Resolves a wire table name: "" means THE sole table (an error
   /// when several are served — a multi-table client must say which), an
@@ -76,20 +81,22 @@ class TableRegistry {
   std::size_t size() const;
 
   /// \brief Every entry, registration order — the control plane's
-  /// iteration. Stable once frozen.
-  const std::vector<std::unique_ptr<Entry>>& entries() const {
-    return entries_;
-  }
+  /// iteration. The pointers stay valid for the registry's lifetime; the
+  /// snapshot itself is the caller's copy (handing out a reference to the
+  /// guarded vector would escape the lock).
+  std::vector<Entry*> snapshot() const;
 
  private:
   Status RegisterEntry(const std::string& name, SknnEngine* engine,
                        std::unique_ptr<SknnEngine> owned);
 
-  mutable std::mutex mutex_;  // guards registration only
-  std::atomic<bool> frozen_{false};
+  Entry* FindLocked(const std::string& name) REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  bool frozen_ GUARDED_BY(mutex_) = false;
   /// unique_ptr elements: Entry addresses survive vector growth, so Resolve
   /// can hand out stable pointers.
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace sknn

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 #include "baseline/plaintext_knn.h"
 #include "core/data_owner.h"
@@ -319,7 +320,7 @@ class TcpC2 {
       for (;;) {
         auto endpoint = listener_->Accept();
         if (!endpoint.ok()) return;  // closed
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         sessions_.push_back(std::make_unique<RpcServer>(
             std::move(endpoint).value(),
             [this](const Message& req) { return c2_.Handle(req); },
@@ -334,7 +335,7 @@ class TcpC2 {
       (*kick)->Close();
     }
     accept_thread_.join();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (auto& session : sessions_) session->Shutdown();
   }
 
@@ -350,8 +351,8 @@ class TcpC2 {
   C2Service c2_;
   std::optional<TcpListener> listener_;
   std::thread accept_thread_;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<RpcServer>> sessions_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<RpcServer>> sessions_ GUARDED_BY(mutex_);
 };
 
 // One shard worker served over a loopback TCP link (the in-test

@@ -1,0 +1,392 @@
+// Concurrency stress for ThreadSanitizer — and regression tests for the
+// data races the sanitizer pass surfaced.
+//
+// Every scenario here is chosen for the interleavings it provokes, not for
+// protocol coverage (the differential suites own correctness):
+//
+//  * many thin clients hammering one QueryService under a deliberately tiny
+//    admission budget, so the backpressure CAS loop, the per-table atomic
+//    counters and the stats mutex all contend while the control plane
+//    (kServiceStats / kListTables) reads them;
+//  * a shard worker killed mid-serving, so the coordinator's failure path
+//    races live queries;
+//  * concurrent Shutdown callers racing each other and the accept thread
+//    (regression: two callers used to race to accept_thread_.join(), which
+//    is undefined behavior on a std::thread);
+//  * TcpListener::Close against a blocked Accept (regression: the listening
+//    fd was a plain int written by Close while Accept read it);
+//  * RandomizerPool::set_enabled toggled against Take and the fill threads.
+//
+// The suite is part of the regular ctest run (it must also PASS functionally)
+// and is the workload of the tsan CI job, where the whole binary runs under
+// -fsanitize=thread and any report fails the build.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/data_owner.h"
+#include "core/engine.h"
+#include "core/sharding.h"
+#include "data/synthetic.h"
+#include "net/shard_wire.h"
+#include "net/socket.h"
+#include "proto/c2_service.h"
+#include "serve/query_service.h"
+#include "serve/remote_query_client.h"
+#include "serve/shard_worker.h"
+#include "tests/query_test_util.h"
+
+namespace sknn {
+namespace {
+
+constexpr unsigned kKeyBits = 256;
+constexpr unsigned kAttrBits = 3;
+constexpr int64_t kMaxValue = 7;  // [0, 2^kAttrBits)
+
+// One Alice for the whole binary: keygen dominates setup, and every engine
+// under test may share the same key pair (they simulate ONE deployment).
+DataOwner& SharedAlice() {
+  static DataOwner* alice = [] {
+    auto created = DataOwner::Create(kKeyBits);
+    SKNN_CHECK(created.ok()) << created.status();
+    return new DataOwner(std::move(created).value());
+  }();
+  return *alice;
+}
+
+SknnEngine::Options BaseOptions() {
+  SknnEngine::Options options;
+  options.c1_threads = 2;
+  options.c2_threads = 2;
+  options.randomizer_pool_capacity = 32;  // keep background fill light
+  return options;
+}
+
+std::unique_ptr<SknnEngine> MakeLocalEngine(const PlainTable& table) {
+  auto db = SharedAlice().EncryptDatabase(table, kAttrBits);
+  SKNN_CHECK(db.ok()) << db.status();
+  auto engine = SknnEngine::CreateFromParts(
+      SharedAlice().public_key(),
+      PaillierSecretKey(SharedAlice().secret_key_for_c2()),
+      std::move(db).value(), BaseOptions());
+  SKNN_CHECK(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+QueryRequest MakeRequest(PlainRecord record, unsigned k) {
+  QueryRequest request;
+  request.record = std::move(record);
+  request.k = k;
+  request.protocol = QueryProtocol::kBasic;
+  return request;
+}
+
+RetryPolicy PatientRetry() {
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff = std::chrono::milliseconds(5);
+  policy.max_backoff = std::chrono::milliseconds(100);
+  policy.max_elapsed = std::chrono::milliseconds(0);  // no elapsed cap
+  policy.jitter = 0.5;
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Concurrent clients vs a one-slot admission budget + control plane.
+
+TEST(TsanStress, ConcurrentClientsBackpressureAndControlPlane) {
+  PlainTable table = GenerateUniformTable(8, 2, kMaxValue, 9001);
+  std::unique_ptr<SknnEngine> engine = MakeLocalEngine(table);
+
+  QueryService::Options options;
+  // One slot for four clients: most arrivals bounce with kResourceExhausted
+  // and re-enter through QueryWithRetry, so the admission CAS and the
+  // rejection counters are contended the whole run.
+  options.max_in_flight = 1;
+  options.connection_workers = 1;
+  QueryService service(engine.get(), options);
+  ASSERT_TRUE(service.Start(0).ok());
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 3;
+  const PlainRecord query = GenerateUniformQuery(2, kMaxValue, 9002);
+  const auto expected = RunQuery(*engine, query, 2, QueryProtocol::kBasic);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+      ASSERT_TRUE(client.ok()) << client.status();
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        auto response =
+            (*client)->QueryWithRetry(MakeRequest(query, 2), PatientRetry());
+        ASSERT_TRUE(response.ok()) << response.status();
+        EXPECT_EQ(response->records, expected->records);
+        successes.fetch_add(1);
+      }
+    });
+  }
+  // The control plane polls while queries are in flight: kServiceStats
+  // snapshots the same counters the handlers are writing.
+  std::thread poller([&] {
+    auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    while (!done.load()) {
+      auto stats = (*client)->ServiceStats();
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      EXPECT_LE(stats->in_flight, options.max_in_flight);
+      auto tables = (*client)->ListTables();
+      ASSERT_TRUE(tables.ok()) << tables.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& t : clients) t.join();
+  done.store(true);
+  poller.join();
+
+  EXPECT_EQ(successes.load(), kClients * kQueriesPerClient);
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries_completed,
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(stats.queries_failed, 0u);
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// 2. Concurrent Shutdown callers (regression for the double-join race).
+
+TEST(TsanStress, ConcurrentShutdownIsSerialized) {
+  PlainTable table = GenerateUniformTable(4, 2, kMaxValue, 9101);
+  std::unique_ptr<SknnEngine> engine = MakeLocalEngine(table);
+  QueryService service(engine.get(), QueryService::Options{});
+  ASSERT_TRUE(service.Start(0).ok());
+
+  // A client keeps the accept loop and a session busy while the shutdowns
+  // race it.
+  auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE((*client)->Hello().ok());
+
+  // Before Shutdown was serialized, every caller past the first took the
+  // "already stopping" path and joined accept_thread_ — several threads
+  // joining ONE std::thread concurrently is undefined behavior.
+  std::vector<std::thread> killers;
+  for (int i = 0; i < 4; ++i) {
+    killers.emplace_back([&] { service.Shutdown(); });
+  }
+  for (auto& t : killers) t.join();
+  EXPECT_EQ(service.active_sessions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 3. TcpListener::Close vs a blocked Accept (regression for the plain-int
+//    listening fd).
+
+TEST(TsanStress, ListenerCloseRacesBlockedAccept) {
+  for (int round = 0; round < 8; ++round) {
+    auto listener = TcpListener::Bind(0);
+    ASSERT_TRUE(listener.ok()) << listener.status();
+    std::thread acceptor([&] {
+      // Either outcome is fine — an error after Close, or a connection that
+      // sneaked in first; the point is that the fd handoff is clean.
+      auto accepted = listener->Accept();
+      (void)accepted;
+    });
+    // No sleep: sometimes Close lands before Accept blocks, sometimes
+    // after — both orders must be race-free.
+    listener->Close();
+    // Unblock platforms where shutdown(2) does not wake a parked accept(2).
+    if (auto kick = ConnectTcp("127.0.0.1", listener->port()); kick.ok()) {
+      (*kick)->Close();
+    }
+    acceptor.join();
+    EXPECT_FALSE(listener->Accept().ok());  // closed for good
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4. RandomizerPool: set_enabled toggled against Take and the fill threads.
+
+TEST(TsanStress, RandomizerPoolToggleUnderLoad) {
+  const PaillierPublicKey& pk = SharedAlice().public_key();
+  RandomizerPool pool(pk.n(), /*capacity=*/16, /*workers=*/2);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> takers;
+  for (int t = 0; t < 3; ++t) {
+    takers.emplace_back([&] {
+      while (!stop.load()) {
+        BigInt r = pool.Take();
+        EXPECT_NE(r, BigInt(0));
+      }
+    });
+  }
+  std::thread toggler([&] {
+    for (int i = 0; i < 50; ++i) {
+      pool.set_enabled(i % 2 == 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    pool.set_enabled(true);
+  });
+  toggler.join();
+  pool.WaitUntilFull();
+  stop.store(true);
+  for (auto& t : takers) t.join();
+  EXPECT_GT(pool.hits() + pool.misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 5. A shard worker dies mid-serving; the front end must fail queries with
+//    a Status and keep its control plane alive, never crash or hang.
+
+// A C2 key holder accepting any number of TCP connections (the engine's and
+// every worker's) — the in-test stand-in for tools/sknn_c2_server.
+class StressC2 {
+ public:
+  StressC2() : c2_(PaillierSecretKey(SharedAlice().secret_key_for_c2())) {
+    c2_.EnableRandomizerPool(/*capacity=*/32);
+    auto listener = TcpListener::Bind(0);
+    SKNN_CHECK(listener.ok()) << listener.status();
+    listener_.emplace(std::move(listener).value());
+    accept_thread_ = std::thread([this] {
+      for (;;) {
+        auto endpoint = listener_->Accept();
+        if (!endpoint.ok()) return;  // closed
+        MutexLock lock(&mutex_);
+        sessions_.push_back(std::make_unique<RpcServer>(
+            std::move(endpoint).value(),
+            [this](const Message& req) { return c2_.Handle(req); },
+            /*worker_threads=*/2));
+      }
+    });
+  }
+
+  ~StressC2() {
+    listener_->Close();
+    if (auto kick = ConnectTcp("127.0.0.1", port()); kick.ok()) {
+      (*kick)->Close();
+    }
+    accept_thread_.join();
+    MutexLock lock(&mutex_);
+    for (auto& session : sessions_) session->Shutdown();
+  }
+
+  uint16_t port() const { return listener_->port(); }
+
+  std::unique_ptr<Endpoint> Connect() {
+    auto link = ConnectTcp("127.0.0.1", port());
+    SKNN_CHECK(link.ok()) << link.status();
+    return std::move(link).value();
+  }
+
+ private:
+  C2Service c2_;
+  std::optional<TcpListener> listener_;
+  std::thread accept_thread_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<RpcServer>> sessions_ GUARDED_BY(mutex_);
+};
+
+// One shard worker served over a loopback TCP link (the in-test
+// tools/sknn_c1_shard), killable mid-run.
+class StressWorker {
+ public:
+  StressWorker(const EncryptedDatabase& db, const ShardManifest& manifest,
+               std::size_t shard, StressC2* c2) {
+    ShardWorker::Options options;
+    options.threads = 2;
+    options.randomizer_pool_capacity = 32;
+    auto worker = ShardWorker::Create(SharedAlice().public_key(), db,
+                                     manifest, shard, c2->Connect(), options);
+    SKNN_CHECK(worker.ok()) << worker.status();
+    worker_ = std::move(worker).value();
+
+    auto listener = TcpListener::Bind(0);
+    SKNN_CHECK(listener.ok()) << listener.status();
+    std::thread accepter([&] {
+      auto accepted = listener->Accept();
+      SKNN_CHECK(accepted.ok()) << accepted.status();
+      ShardWorker* raw = worker_.get();
+      server_ = std::make_unique<RpcServer>(
+          std::move(accepted).value(),
+          [raw](const Message& req) { return raw->Handle(req); },
+          /*worker_threads=*/2);
+    });
+    link_ = ConnectTcp("127.0.0.1", listener->port());
+    SKNN_CHECK(link_.ok()) << link_.status();
+    accepter.join();
+  }
+
+  std::unique_ptr<Endpoint> TakeLink() { return std::move(link_).value(); }
+
+  /// The "kill -9": slams the worker's link shut.
+  void Kill() { server_->Shutdown(); }
+
+ private:
+  std::unique_ptr<ShardWorker> worker_;
+  std::unique_ptr<RpcServer> server_;
+  Result<std::unique_ptr<SocketEndpoint>> link_ =
+      Status::Internal("not connected");
+};
+
+TEST(TsanStress, ShardWorkerKilledMidServing) {
+  PlainTable table = GenerateUniformTable(8, 2, kMaxValue, 9201);
+  auto encrypted = SharedAlice().EncryptDatabase(table, kAttrBits);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  EncryptedDatabase db = std::move(encrypted).value();
+  auto manifest = MakeShardManifest(8, 2, ShardScheme::kContiguous);
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+
+  StressC2 c2;
+  auto worker0 = std::make_unique<StressWorker>(db, *manifest, 0, &c2);
+  auto worker1 = std::make_unique<StressWorker>(db, *manifest, 1, &c2);
+  std::vector<std::unique_ptr<Endpoint>> links;
+  links.push_back(worker0->TakeLink());
+  links.push_back(worker1->TakeLink());
+  auto engine = SknnEngine::CreateWithShardWorkers(
+      SharedAlice().public_key(), std::move(links), c2.Connect(),
+      BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  QueryService service(engine->get(), QueryService::Options{});
+  ASSERT_TRUE(service.Start(0).ok());
+  auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const PlainRecord query = GenerateUniformQuery(2, kMaxValue, 9202);
+  auto healthy = (*client)->Query(MakeRequest(query, 2));
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+
+  // Kill one worker while two clients keep querying: every subsequent
+  // query must come back as a Status (the dead shard surfaces as an
+  // engine error through the wire), never hang or crash the front end.
+  worker1->Kill();
+  std::vector<std::thread> mourners;
+  for (int t = 0; t < 2; ++t) {
+    mourners.emplace_back([&] {
+      auto doomed = RemoteQueryClient::Connect("127.0.0.1", service.port());
+      ASSERT_TRUE(doomed.ok()) << doomed.status();
+      for (int q = 0; q < 2; ++q) {
+        auto response = (*doomed)->Query(MakeRequest(query, 2));
+        EXPECT_FALSE(response.ok());
+      }
+    });
+  }
+  for (auto& t : mourners) t.join();
+
+  // The control plane must still answer after the data plane degraded.
+  auto stats = (*client)->ServiceStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->tables.at(0).failed, 4u);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace sknn

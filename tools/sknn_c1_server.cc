@@ -298,7 +298,7 @@ int main(int argc, char** argv) {
               "max-in-flight=%zu)\n",
               service.port(), kProtocolRevision, registry.size(),
               registry.size() == 1 ? "" : "s", threads, max_in_flight);
-  for (const auto& entry : registry.entries()) {
+  for (const sknn::TableRegistry::Entry* entry : registry.snapshot()) {
     const SknnEngine::Info info = entry->engine->info();
     std::printf("  table %-16s n=%zu m=%zu attr_bits=%u shards=%zu%s\n",
                 entry->name.c_str(), info.num_records, info.num_attributes,
