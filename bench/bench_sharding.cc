@@ -1,21 +1,41 @@
-// bench_sharding — what sharding the record fan-out buys one query (PR 4).
+// bench_sharding — what sharding the record fan-out buys one query (PR 4),
+// and what replica failover costs it (ISSUE 7).
 //
-// Builds one in-process engine per shard count over the SAME table and key
-// pair and times the same SkNN_m query at s = 1 / 2 / 4 shards (s = 1 is
-// the unsharded reference path). The per-shard stats of the response are
-// reported too, so the JSON shows where the time went: shard stages
-// (concurrent, each over n/s records — SMIN_n tournaments of depth
+// Series 1 (sharding): one in-process engine per shard count over the SAME
+// table and key pair, the same SkNN_m query timed at s = 1 / 2 / 4 shards
+// (s = 1 is the unsharded reference path). The per-shard stats of the
+// response are reported too, so the JSON shows where the time went: shard
+// stages (concurrent, each over n/s records — SMIN_n tournaments of depth
 // log2(n/s)) versus the coordinator's s*k-candidate merge. On a multicore
 // host the shard stages overlap; the merge is the serial tail Amdahl
 // charges for it.
 //
-//   bench_sharding [--json [path]]     # JSON lands in BENCH_PR4.json
+// Series 2 (failover): a replicated remote topology — 2 shards, 2 TCP
+// worker replicas for shard 0 — timed in four states: healthy steady
+// state; the first query after the preferred replica is killed (pays one
+// transport-failure detection + in-query retry); the query after that
+// (preferred has rotated — steady state again); and a replica that HANGS
+// instead of dying, where detection costs the per-attempt share of the
+// query deadline rather than a fast connection reset. The failover column
+// counts the in-query retries the response reported.
+//
+//   bench_sharding [--json [path]]     # sharding  -> BENCH_PR4.json
+//                                      # failover  -> BENCH_PR7.json
 #include <cstdio>
+#include <future>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/data_owner.h"
+#include "core/sharding.h"
+#include "net/shard_wire.h"
+#include "net/socket.h"
+#include "proto/c2_service.h"
+#include "serve/shard_worker.h"
 
 namespace sknn {
 namespace bench {
@@ -26,6 +46,144 @@ struct Point {
   double seconds = 0;
   double merge_seconds = 0;
   double shard_stage_seconds = 0;  // max over shards (they overlap)
+};
+
+// ---------------------------------------------------------------------------
+// Failover series machinery: a C2 key holder accepting any number of TCP
+// connections, real ShardWorkers behind loopback RpcServers (killable), and
+// one replica that hangs on the query leg instead of dying — the same rig
+// the robustness tests use, sized for timing.
+
+class FailoverC2 {
+ public:
+  explicit FailoverC2(const DataOwner& alice)
+      : c2_(PaillierSecretKey(alice.secret_key_for_c2())) {
+    c2_.EnableRandomizerPool(/*capacity=*/64);
+    auto listener = TcpListener::Bind(0);
+    if (!listener.ok()) Die("C2 listener", listener.status());
+    listener_.emplace(std::move(listener).value());
+    accept_thread_ = std::thread([this] {
+      for (;;) {
+        auto endpoint = listener_->Accept();
+        if (!endpoint.ok()) return;  // closed
+        MutexLock lock(&mutex_);
+        sessions_.push_back(std::make_unique<RpcServer>(
+            std::move(endpoint).value(),
+            [this](const Message& req) { return c2_.Handle(req); },
+            /*worker_threads=*/2));
+      }
+    });
+  }
+
+  ~FailoverC2() {
+    listener_->Close();
+    if (auto kick = ConnectTcp("127.0.0.1", listener_->port()); kick.ok()) {
+      (*kick)->Close();
+    }
+    accept_thread_.join();
+    MutexLock lock(&mutex_);
+    for (auto& session : sessions_) session->Shutdown();
+  }
+
+  std::unique_ptr<Endpoint> Connect() {
+    auto link = ConnectTcp("127.0.0.1", listener_->port());
+    if (!link.ok()) Die("C2 connect", link.status());
+    return std::move(link).value();
+  }
+
+ private:
+  static void Die(const char* what, const Status& status) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+
+  C2Service c2_;
+  std::optional<TcpListener> listener_;
+  std::thread accept_thread_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<RpcServer>> sessions_ GUARDED_BY(mutex_);
+};
+
+// One shard worker served over a loopback TCP link, killable mid-run.
+class FailoverWorker {
+ public:
+  FailoverWorker(const DataOwner& alice, const EncryptedDatabase& db,
+                 const ShardManifest& manifest, std::size_t shard,
+                 FailoverC2* c2) {
+    ShardWorker::Options options;
+    options.threads = 2;
+    options.randomizer_pool_capacity = 64;
+    auto worker = ShardWorker::Create(alice.public_key(), db, manifest, shard,
+                                      c2->Connect(), options);
+    if (!worker.ok()) {
+      std::fprintf(stderr, "worker setup failed: %s\n",
+                   worker.status().ToString().c_str());
+      std::exit(1);
+    }
+    worker_ = std::move(worker).value();
+    Serve([this](const Message& req) { return worker_->Handle(req); });
+  }
+
+  /// A replica that answers the construction-time ping with `geometry` but
+  /// parks every query leg until destruction — alive on the socket, silent
+  /// on the work; what a SIGSTOPped worker looks like to the coordinator.
+  explicit FailoverWorker(const ShardGeometry& geometry) {
+    Serve([this, geometry](const Message& req) -> Result<Message> {
+      if (req.type == ShardOpCode(ShardOp::kShardPing)) {
+        return EncodeShardGeometry(geometry);
+      }
+      hold_.get_future().wait();
+      return Status::Unavailable("hung replica released");
+    });
+  }
+
+  ~FailoverWorker() {
+    server_->Shutdown();
+    if (!released_.exchange(true)) hold_.set_value();
+  }
+
+  std::unique_ptr<Endpoint> TakeLink() { return std::move(link_).value(); }
+  const ShardGeometry& geometry() const { return worker_->geometry(); }
+  /// The "kill -9": slams the worker's link shut.
+  void Kill() { server_->Shutdown(); }
+
+ private:
+  void Serve(RpcServer::Handler handler) {
+    auto listener = TcpListener::Bind(0);
+    if (!listener.ok()) {
+      std::fprintf(stderr, "worker listener failed: %s\n",
+                   listener.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::thread accepter([&] {
+      auto accepted = listener->Accept();
+      if (accepted.ok()) {
+        server_ = std::make_unique<RpcServer>(std::move(accepted).value(),
+                                              std::move(handler),
+                                              /*worker_threads=*/2);
+      }
+    });
+    link_ = ConnectTcp("127.0.0.1", listener->port());
+    accepter.join();
+    if (!link_.ok()) {
+      std::fprintf(stderr, "worker connect failed: %s\n",
+                   link_.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  std::unique_ptr<ShardWorker> worker_;  // null for the hung replica
+  std::unique_ptr<RpcServer> server_;
+  Result<std::unique_ptr<SocketEndpoint>> link_ =
+      Status::Internal("not connected");
+  std::promise<void> hold_;
+  std::atomic<bool> released_{false};
+};
+
+struct FailoverPoint {
+  std::string scenario;
+  double seconds = 0;
+  uint64_t failovers = 0;
 };
 
 int Main(int argc, char** argv) {
@@ -85,6 +243,135 @@ int Main(int argc, char** argv) {
     }
     json << "]}";
     MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR4.json"), "sharding",
+                     json.str());
+  }
+
+  // -------------------------------------------------------------------------
+  // Series 2: replica failover. 2 shards behind real TCP workers, shard 0
+  // replicated twice; time the query through the failure modes.
+
+  PrintHeader("failover", "per-query wall time across replica failure modes",
+              "SkNN_m k=2; 2 shards, shard 0 twice-replicated over TCP");
+  const uint32_t deadline_ms = PaperScale() ? 20000 : 4000;
+  const int64_t max_value = MaxValueForDistanceBits(m, l);
+  const PlainTable table = GenerateUniformTable(n, m, max_value, 4242);
+  const PlainRecord fo_query = GenerateUniformQuery(m, max_value, 4243);
+  auto alice = DataOwner::Create(key_bits);
+  if (!alice.ok()) {
+    std::fprintf(stderr, "keygen failed: %s\n",
+                 alice.status().ToString().c_str());
+    return 1;
+  }
+  auto db = alice->EncryptDatabase(table, BitsForMaxValue(max_value));
+  if (!db.ok()) {
+    std::fprintf(stderr, "encrypt failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  auto manifest = MakeShardManifest(n, 2, ShardScheme::kContiguous);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "manifest failed: %s\n",
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+
+  auto make_engine = [&](std::vector<std::unique_ptr<Endpoint>> links,
+                         FailoverC2& c2) {
+    SknnEngine::Options opts;
+    opts.c1_threads = threads;
+    opts.c2_threads = threads;
+    auto engine = SknnEngine::CreateWithShardWorkers(
+        alice->public_key(), std::move(links), c2.Connect(), opts);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "remote engine failed: %s\n",
+                   engine.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(engine).value();
+  };
+  auto timed = [&](SknnEngine& engine, uint32_t deadline,
+                   const char* scenario) {
+    QueryRequest request;
+    request.record = fo_query;
+    request.k = k;
+    request.protocol = QueryProtocol::kSecure;
+    request.deadline_ms = deadline;
+    Stopwatch watch;
+    auto response = engine.Query(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s query failed: %s\n", scenario,
+                   response.status().ToString().c_str());
+      std::exit(1);
+    }
+    FailoverPoint point;
+    point.scenario = scenario;
+    point.seconds = watch.ElapsedSeconds();
+    for (const auto& shard : response->shards) {
+      point.failovers += shard.failovers;
+    }
+    return point;
+  };
+
+  std::vector<FailoverPoint> fo_points;
+  std::printf("%20s %12s %10s\n", "scenario", "seconds", "failovers");
+  {
+    // Healthy -> kill the preferred replica -> recovered, one rig: the
+    // kill detection is a fast connection reset, the retry runs the stage
+    // on the sibling, and the rotated preference makes the NEXT query free.
+    FailoverC2 c2(*alice);
+    FailoverWorker shard0_a(*alice, *db, *manifest, 0, &c2);
+    FailoverWorker shard0_b(*alice, *db, *manifest, 0, &c2);
+    FailoverWorker shard1(*alice, *db, *manifest, 1, &c2);
+    std::vector<std::unique_ptr<Endpoint>> links;
+    links.push_back(shard0_a.TakeLink());
+    links.push_back(shard0_b.TakeLink());
+    links.push_back(shard1.TakeLink());
+    auto engine = make_engine(std::move(links), c2);
+    (void)timed(*engine, 0, "warmup");
+    fo_points.push_back(timed(*engine, 0, "healthy"));
+    shard0_a.Kill();  // the preferred replica — every query so far used it
+    fo_points.push_back(timed(*engine, 0, "kill_failover"));
+    fo_points.push_back(timed(*engine, 0, "recovered"));
+    for (auto i = fo_points.size() - 3; i < fo_points.size(); ++i) {
+      std::printf("%20s %12.4f %10llu\n", fo_points[i].scenario.c_str(),
+                  fo_points[i].seconds,
+                  static_cast<unsigned long long>(fo_points[i].failovers));
+    }
+  }
+  {
+    // A replica that hangs instead of dying: detection costs the hung
+    // attempt's share of the deadline (deadline/2 with two replicas), not
+    // a connection reset. Unwarmed on purpose — the first query is the one
+    // that meets the hang — so the number also carries pool cold-start,
+    // which the deadline share dominates.
+    FailoverC2 c2(*alice);
+    FailoverWorker shard0_real(*alice, *db, *manifest, 0, &c2);
+    FailoverWorker shard0_hung(shard0_real.geometry());
+    FailoverWorker shard1(*alice, *db, *manifest, 1, &c2);
+    std::vector<std::unique_ptr<Endpoint>> links;
+    links.push_back(shard0_hung.TakeLink());  // replica 0: preferred, silent
+    links.push_back(shard0_real.TakeLink());
+    links.push_back(shard1.TakeLink());
+    auto engine = make_engine(std::move(links), c2);
+    fo_points.push_back(timed(*engine, deadline_ms, "hang_failover"));
+    std::printf("%20s %12.4f %10llu\n", fo_points.back().scenario.c_str(),
+                fo_points.back().seconds,
+                static_cast<unsigned long long>(fo_points.back().failovers));
+  }
+
+  if (want_json) {
+    std::ostringstream json;
+    json << "{\"n\": " << n << ", \"k\": " << k << ", \"shards\": 2"
+         << ", \"shard0_replicas\": 2, \"deadline_ms\": " << deadline_ms
+         << ", \"points\": [";
+    for (std::size_t i = 0; i < fo_points.size(); ++i) {
+      if (i > 0) json << ", ";
+      json << "{\"scenario\": \"" << fo_points[i].scenario
+           << "\", \"seconds\": " << fo_points[i].seconds
+           << ", \"failovers\": " << fo_points[i].failovers << "}";
+    }
+    json << "]}";
+    MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR7.json"), "failover",
                      json.str());
   }
   return 0;

@@ -10,7 +10,9 @@
 #         tools/tool_util.h's checked parsers, which reject trailing garbage
 #         and never throw out of a CLI;
 #       - no std::thread::detach anywhere: every thread must be joined, or
-#         TSan-clean teardown is impossible.
+#         TSan-clean teardown is impossible;
+#       - every client-visible wire frame type in src/net/query_wire.h is
+#         documented by name in docs/API.md, the versioned client contract.
 #  2. clang-tidy over compile_commands.json (runs when clang-tidy is on
 #     PATH — the lint CI job; skipped with a notice otherwise). Checks are
 #     curated in .clang-tidy.
@@ -60,6 +62,25 @@ detached=$(grep -rn --include='*.h' --include='*.cc' '\.detach()' \
 if [ -n "${detached}" ]; then
   fail "std::thread::detach — track and join every thread (TSan-clean \
 teardown, docs/CONCURRENCY.md)" "${detached}"
+fi
+
+# --- 1d. Undocumented wire frames ------------------------------------------
+# docs/API.md is the versioned client contract: every front-end frame type
+# declared in src/net/query_wire.h (the `kName = 0x....` enumerators) must
+# appear there by name. Shipping an opcode without documenting it breaks
+# third-party clients silently. (src/net/shard_wire.h is exempt — API.md
+# declares the coordinator<->worker protocol internal and unversioned.)
+undocumented=""
+for opcode in $(grep -oE 'k[A-Za-z0-9]+ = 0x' src/net/query_wire.h \
+                  | sed 's/ = 0x//'); do
+  if ! grep -qw "${opcode}" docs/API.md; then
+    undocumented="${undocumented}${opcode}"$'\n'
+  fi
+done
+if [ -n "${undocumented}" ]; then
+  fail "wire frame types in src/net/query_wire.h missing from docs/API.md — \
+document the layout and semantics of every client-visible frame" \
+    "${undocumented}"
 fi
 
 # --- 2. clang-tidy ---------------------------------------------------------

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Out-of-process smoke of the serving deployment (docs/DEPLOY.md), three legs:
+# Out-of-process smoke of the serving deployment (docs/DEPLOY.md), four legs:
 #   1. the four-binary topology: keygen -> encrypt -> sknn_c2_server ->
 #      sknn_c1_server -> concurrent thin clients;
 #   2. the SHARDED topology: the same database split across two
@@ -9,7 +9,14 @@
 #      (each with its own C2 key holder) behind ONE sknn_c1_server,
 #      introspected with sknn_admin and torn down with SIGTERM — the
 #      servers must drain and exit 0, which is why no teardown step here
-#      needs "|| true".
+#      needs "|| true";
+#   4. the CHAOS leg: 2 shards x 2 replicas behind one front end, with
+#      oracle-diffing clients looping the whole time while the smoke
+#      kill -9s a replica mid-traffic, restarts it on the same port (the
+#      probe redials and reinstates it), and hot-reloads the table — zero
+#      client-visible failures allowed; then both replicas of one shard
+#      are SIGSTOPped and a --deadline-ms probe must come back as a TYPED
+#      deadline error (exit 4) within the budget, not a hang.
 # Every answer of every leg is diffed against the plaintext oracle — the
 # sharded leg on a table WITH tied distances, which the deterministic
 # tie-break must resolve exactly like the oracle (lower index first).
@@ -264,4 +271,156 @@ echo "== SIGTERM teardown: every server must drain and exit 0 =="
 term_and_wait "$C1M_PID"
 term_and_wait "$C2A_PID" "$C2B_PID"
 echo "leg 3 OK: two tables, two key pairs, one front end; clean shutdown"
-echo "smoke deploy OK: all three legs match the plaintext oracle"
+
+echo "== leg 4: chaos — 2 shards x 2 replicas, kill -9 + hot reload under traffic =="
+# The C2 and the workers run UNBOUNDED: redials after the kill -9 and the
+# fresh links a hot reload opens make the connection count unpredictable.
+"$BIN/sknn_c2_server" --secret "$WORK/sk.txt" --port 0 --workers 2 \
+  --pool-capacity 256 > "$WORK/c2_chaos.log" 2>&1 &
+C2C_PID=$!
+C2C_PORT=$(wait_for_port "$WORK/c2_chaos.log")
+
+start_replica() { # shard replica-tag port(0=ephemeral) -> logs to chaos_<s><tag>.log
+  "$BIN/sknn_c1_shard" --public "$WORK/pk.txt" --db "$WORK/tied_db.bin" \
+    --port "$3" --c2-host 127.0.0.1 --c2-port "$C2C_PORT" \
+    --manifest "$WORK/tied_manifest.bin" --shard-index "$1" \
+    --threads 2 > "$WORK/chaos_$1$2.log" 2>&1 &
+}
+start_replica 0 a 0; S0A_PID=$!
+start_replica 0 b 0; S0B_PID=$!
+start_replica 1 a 0; S1A_PID=$!
+start_replica 1 b 0; S1B_PID=$!
+S0A_PORT=$(wait_for_port "$WORK/chaos_0a.log")
+S0B_PORT=$(wait_for_port "$WORK/chaos_0b.log")
+S1A_PORT=$(wait_for_port "$WORK/chaos_1a.log")
+S1B_PORT=$(wait_for_port "$WORK/chaos_1b.log")
+
+# Two addresses claiming the same shard index = replicas of that shard.
+"$BIN/sknn_c1_server" --public "$WORK/pk.txt" --port 0 \
+  --c2-host 127.0.0.1 --c2-port "$C2C_PORT" --threads 2 --max-in-flight 8 \
+  --shard-workers "127.0.0.1:$S0A_PORT,127.0.0.1:$S0B_PORT,127.0.0.1:$S1A_PORT,127.0.0.1:$S1B_PORT" \
+  > "$WORK/c1_chaos.log" 2>&1 &
+C1C_PID=$!
+C1C_PORT=$(wait_for_port "$WORK/c1_chaos.log")
+
+# Oracle-diffing client loop: queries until chaos_stop appears, records its
+# query count, and flags ANY failure or oracle mismatch in chaos_failed.
+"$BIN/sknn_plain_knn" --csv "$WORK/tied.csv" --query "2,0" --k 3 \
+  > "$WORK/chaos_want"
+chaos_client() { # proto
+  local proto=$1 n=0
+  while [ ! -f "$WORK/chaos_stop" ]; do
+    if ! "$BIN/sknn_query" --host 127.0.0.1 --port "$C1C_PORT" \
+        --query "2,0" --k 3 --protocol "$proto" \
+        > "$WORK/chaos_out_$proto" 2>>"$WORK/chaos_clients.log"; then
+      echo "$proto query failed" >> "$WORK/chaos_failed"
+      return 0
+    fi
+    tail -n +2 "$WORK/chaos_out_$proto" > "$WORK/chaos_got_$proto"
+    diff -u "$WORK/chaos_want" "$WORK/chaos_got_$proto" \
+      >> "$WORK/chaos_failed" 2>&1 || true
+    n=$((n + 1))
+  done
+  echo "$n" > "$WORK/chaos_count_$proto"
+}
+chaos_client basic &
+CHAOS_BASIC_PID=$!
+chaos_client secure &
+CHAOS_SECURE_PID=$!
+sleep 1 # let traffic flow on the healthy topology first
+
+echo "== kill -9 shard-0 replica a mid-traffic =="
+kill -9 "$S0A_PID"
+wait "$S0A_PID" 2>/dev/null || true
+for _ in $(seq 100); do
+  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --health \
+    > "$WORK/chaos_health" 2>&1 || true
+  grep -q "UNHEALTHY" "$WORK/chaos_health" && break
+  sleep 0.1
+done
+grep -q "UNHEALTHY" "$WORK/chaos_health" || {
+  echo "killed replica never went UNHEALTHY in sknn_admin --health"
+  cat "$WORK/chaos_health"; exit 1; }
+
+echo "== restart the replica on the same port: redial must reinstate it =="
+start_replica 0 a "$S0A_PORT"; S0A_PID=$!
+wait_for_port "$WORK/chaos_0a.log" > /dev/null
+for _ in $(seq 200); do
+  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --health \
+    > "$WORK/chaos_health" 2>&1 || true
+  if ! grep -q "UNHEALTHY" "$WORK/chaos_health" &&
+      [ "$(grep -c ' healthy' "$WORK/chaos_health")" -eq 4 ]; then
+    break
+  fi
+  sleep 0.1
+done
+grep -q "UNHEALTHY" "$WORK/chaos_health" && {
+  echo "restarted replica was never reinstated"; cat "$WORK/chaos_health"
+  exit 1; }
+
+echo "== hot reload under live traffic =="
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" \
+  --reload-table default > "$WORK/chaos_reload"
+grep -q "reloaded default" "$WORK/chaos_reload" || {
+  echo "reload-table did not ack"; cat "$WORK/chaos_reload"; exit 1; }
+sleep 2 # more traffic over the swapped-in engine
+
+touch "$WORK/chaos_stop"
+wait "$CHAOS_BASIC_PID"
+wait "$CHAOS_SECURE_PID"
+if [ -s "$WORK/chaos_failed" ]; then
+  echo "chaos clients saw failures or oracle mismatches:"
+  cat "$WORK/chaos_failed"; exit 1
+fi
+# The zero-failure gate above is the real assertion; the floors below only
+# prove traffic actually flowed. A secure query costs seconds under these
+# 512-bit keys, so its floor is low.
+[ "$(cat "$WORK/chaos_count_basic")" -ge 3 ] || {
+  echo "chaos basic client only completed $(cat "$WORK/chaos_count_basic") \
+queries"; exit 1; }
+[ "$(cat "$WORK/chaos_count_secure")" -ge 1 ] || {
+  echo "chaos secure client completed no queries"; exit 1; }
+n_basic=$(cat "$WORK/chaos_count_basic")
+n_secure=$(cat "$WORK/chaos_count_secure")
+echo "leg 4a OK: $n_basic+$n_secure queries, zero failures across kill+reload"
+
+echo "== SIGSTOP both shard-1 replicas: deadline must fire, not hang =="
+kill -STOP "$S1A_PID" "$S1B_PID"
+start=$SECONDS
+set +e
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1C_PORT" --query "2,0" \
+  --k 1 --protocol basic --deadline-ms 2000 \
+  > /dev/null 2>"$WORK/chaos_deadline.err"
+rc=$?
+set -e
+elapsed=$((SECONDS - start))
+[ "$rc" -eq 4 ] || {
+  echo "expected exit 4 (deadline exceeded), got $rc"
+  cat "$WORK/chaos_deadline.err"; exit 1; }
+[ "$elapsed" -le 10 ] || {
+  echo "deadline probe took ${elapsed}s — the deadline did not bound the hang"
+  exit 1; }
+grep -qi "deadline" "$WORK/chaos_deadline.err"
+
+kill -CONT "$S1A_PID" "$S1B_PID"
+for _ in $(seq 200); do
+  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --health \
+    > "$WORK/chaos_health" 2>&1 || true
+  if ! grep -q "UNHEALTHY" "$WORK/chaos_health" &&
+      [ "$(grep -c ' healthy' "$WORK/chaos_health")" -eq 4 ]; then
+    break
+  fi
+  sleep 0.1
+done
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1C_PORT" --query "2,0" \
+  --k 3 --protocol secure > "$WORK/chaos_final" 2>>"$WORK/chaos_clients.log"
+tail -n +2 "$WORK/chaos_final" > "$WORK/chaos_got_final"
+diff -u "$WORK/chaos_want" "$WORK/chaos_got_final" || {
+  echo "MISMATCH: post-SIGCONT query"; exit 1; }
+echo "leg 4b OK: deadline fired in ${elapsed}s (exit 4), shard recovered"
+
+term_and_wait "$C1C_PID"
+term_and_wait "$S0A_PID" "$S0B_PID" "$S1A_PID" "$S1B_PID"
+term_and_wait "$C2C_PID"
+echo "leg 4 OK: failover, redial, hot reload, deadlines — all under traffic"
+echo "smoke deploy OK: all four legs match the plaintext oracle"

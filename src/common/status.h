@@ -31,6 +31,10 @@ enum class StatusCode {
   /// Retrying may succeed once the peer recovers — but unlike
   /// kResourceExhausted it is not *expected* to.
   kUnavailable,
+  /// The caller's deadline elapsed before the operation completed: a peer
+  /// is alive but too slow (a hung worker, an overloaded link). Retrying —
+  /// ideally against a different replica — may succeed.
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -76,6 +80,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

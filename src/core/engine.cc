@@ -134,11 +134,17 @@ Result<std::unique_ptr<SknnEngine>> SknnEngine::CreateWithShardWorkers(
 
   // The coordinator pings every worker and validates the shard cover; the
   // database geometry comes back with the pings, so the front end itself
-  // never loads Epk(T).
+  // never loads Epk(T). Several links reporting the same shard become that
+  // shard's replicas: queries fail over between them, and the probe thread
+  // redials dead ones at their configured addresses.
+  ShardCoordinator::RemoteOptions remote_options;
+  remote_options.redial_addrs = options.shard_worker_redial_addrs;
+  remote_options.probe_interval = options.shard_probe_interval;
   SKNN_ASSIGN_OR_RETURN(
       engine->coordinator_,
       ShardCoordinator::CreateRemote(std::move(shard_links),
-                                     options.verify_sbd));
+                                     options.verify_sbd,
+                                     std::move(remote_options)));
   engine->num_records_ = engine->coordinator_->manifest().total_records;
   engine->num_attributes_ = engine->coordinator_->num_attributes();
   engine->distance_bits_ = engine->coordinator_->distance_bits();
@@ -333,6 +339,10 @@ Result<QueryResponse> SknnEngine::ExecuteQuery(const QueryRequest& request) {
   QueryMeter meter;
   ProtoContext ctx(&pk_, client_.get(), c1_pool_.get(), query_id, &meter,
                    options_.vectorized_rounds);
+  if (request.deadline_ms > 0) {
+    ctx.set_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(request.deadline_ms));
+  }
   QueryResponse response;
 
   // Bob: encrypt Q (his main cost — the paper's 4 ms / 17 ms numbers).

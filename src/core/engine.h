@@ -86,6 +86,14 @@ class SknnEngine {
     std::size_t shards = 1;
     /// How the records are partitioned across shards.
     ShardScheme shard_scheme = ShardScheme::kContiguous;
+    /// CreateWithShardWorkers only: "host:port" redial addresses, parallel
+    /// to `shard_links`. A replica whose link dies is re-connected by the
+    /// coordinator's probe thread at this address (a restarted worker on
+    /// the same port is reinstated automatically). Empty = no redial.
+    std::vector<std::string> shard_worker_redial_addrs;
+    /// CreateWithShardWorkers only: cadence of the coordinator's replica
+    /// health probes; zero disables probing (and redial).
+    std::chrono::milliseconds shard_probe_interval{500};
   };
 
   /// \brief One-time setup: Alice keygens, encrypts `table` and outsources.

@@ -54,9 +54,15 @@ struct QueryRequest {
   /// in-process engine's shape (an engine IS one table; it ignores this
   /// field) and the pre-multi-table client shape. A front end serving
   /// several tables rejects the empty name with kInvalidArgument and an
-  /// unknown name with kNotFound. Last member so the established aggregate
-  /// initialization order {record, k, protocol, ...} stays valid.
+  /// unknown name with kNotFound. Kept after the established aggregate
+  /// initialization order {record, k, protocol, ...} so it stays valid.
   std::string table;
+  /// Per-query deadline in milliseconds, 0 = none. The serving stack bounds
+  /// every blocking wait (C2 exchanges, shard-worker RPCs) by the time
+  /// remaining and fails the query with kDeadlineExceeded once it runs out —
+  /// a hung worker costs the deadline, never a stall. Appended after `table`
+  /// for the same aggregate-initialization reason.
+  uint32_t deadline_ms = 0;
 };
 
 /// \brief One shard's share of a sharded query (core/shard_coordinator.h):
@@ -73,6 +79,12 @@ struct ShardQueryStats {
   /// C1-side Paillier operations of the shard stage (a remote worker
   /// reports its own; already included in QueryResponse::ops).
   OpSnapshot ops;
+  /// Which replica of the shard answered (remote mode; 0 when unreplicated
+  /// or local).
+  uint32_t replica = 0;
+  /// Replica attempts that failed before this shard's stage succeeded —
+  /// nonzero means the query transparently failed over.
+  uint32_t failovers = 0;
 };
 
 /// \brief Everything Bob ends up with after one request, plus the

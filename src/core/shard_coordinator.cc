@@ -6,11 +6,48 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "net/socket.h"
 #include "proto/query_meter.h"
 
 namespace sknn {
+namespace {
 
-ShardCoordinator::~ShardCoordinator() = default;
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Splits "host:port" for the probe thread's redial. Returns false (and
+/// leaves the outputs alone) for anything unparsable — those replicas simply
+/// never redial.
+bool SplitHostPort(const std::string& addr, std::string* host, int* port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    return false;
+  }
+  int value = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    if (addr[i] < '0' || addr[i] > '9') return false;
+    value = value * 10 + (addr[i] - '0');
+    if (value > 65535) return false;
+  }
+  if (value == 0) return false;
+  *host = addr.substr(0, colon);
+  *port = value;
+  return true;
+}
+
+}  // namespace
+
+ShardCoordinator::~ShardCoordinator() {
+  {
+    MutexLock lock(&probe_mutex_);
+    probe_stop_ = true;
+  }
+  probe_cv_.NotifyAll();
+  if (probe_thread_.joinable()) probe_thread_.join();
+}
 
 Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateLocal(
     const EncryptedDatabase& db, const ShardManifest& manifest,
@@ -30,18 +67,31 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateLocal(
 
 Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateRemote(
     std::vector<std::unique_ptr<Endpoint>> worker_links, bool verify_sbd) {
+  return CreateRemote(std::move(worker_links), verify_sbd, RemoteOptions());
+}
+
+Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateRemote(
+    std::vector<std::unique_ptr<Endpoint>> worker_links, bool verify_sbd,
+    RemoteOptions remote_options) {
   if (worker_links.empty()) {
     return Status::InvalidArgument("ShardCoordinator: no worker links");
   }
+  if (!remote_options.redial_addrs.empty() &&
+      remote_options.redial_addrs.size() != worker_links.size()) {
+    return Status::InvalidArgument(
+        "ShardCoordinator: redial_addrs must be empty or parallel to "
+        "worker_links");
+  }
   // Ping every worker for its geometry; workers may connect in any order —
-  // they are re-indexed by their reported shard.
-  std::vector<std::unique_ptr<RpcClient>> clients;
+  // they are re-indexed by their reported shard, and several workers
+  // reporting the SAME shard become that shard's replicas.
+  std::vector<std::shared_ptr<RpcClient>> clients;
   std::vector<ShardGeometry> geometries;
   for (auto& link : worker_links) {
     if (link == nullptr) {
       return Status::InvalidArgument("ShardCoordinator: null worker link");
     }
-    auto client = std::make_unique<RpcClient>(std::move(link));
+    auto client = std::make_shared<RpcClient>(std::move(link));
     auto pong = client->Call(EncodeShardPing());
     if (!pong.ok()) {
       return Status::Unavailable("shard worker " +
@@ -54,18 +104,14 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateRemote(
     geometries.push_back(geometry);
   }
   const ShardManifest manifest = geometries[0].manifest;
-  if (manifest.num_shards != clients.size()) {
-    return Status::InvalidArgument(
-        "ShardCoordinator: manifest wants " +
-        std::to_string(manifest.num_shards) + " shards, got " +
-        std::to_string(clients.size()) + " workers");
-  }
   auto coordinator = std::unique_ptr<ShardCoordinator>(new ShardCoordinator());
   coordinator->manifest_ = manifest;
   coordinator->verify_sbd_ = verify_sbd;
   coordinator->num_attributes_ = geometries[0].num_attributes;
   coordinator->distance_bits_ = geometries[0].distance_bits;
-  coordinator->workers_.resize(clients.size());
+  coordinator->remote_options_ = remote_options;
+  coordinator->groups_ =
+      std::vector<ReplicaGroup>(manifest.num_shards);
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const ShardGeometry& g = geometries[i];
     if (!(g.manifest == manifest) ||
@@ -75,49 +121,237 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateRemote(
           "ShardCoordinator: worker " + std::to_string(i) +
           " disagrees on the manifest or database geometry");
     }
-    if (g.shard >= clients.size() ||
-        coordinator->workers_[g.shard] != nullptr) {
+    if (g.shard >= manifest.num_shards) {
+      return Status::InvalidArgument(
+          "ShardCoordinator: worker " + std::to_string(i) +
+          " claims out-of-range shard index " + std::to_string(g.shard));
+    }
+    auto replica = std::make_unique<Replica>();
+    {
+      MutexLock lock(&replica->mutex);
+      replica->client = std::move(clients[i]);
+    }
+    if (!remote_options.redial_addrs.empty()) {
+      replica->redial_addr = remote_options.redial_addrs[i];
+    }
+    replica->last_ok_ns.store(NowNs(), std::memory_order_relaxed);
+    coordinator->groups_[g.shard].replicas.push_back(std::move(replica));
+  }
+  for (std::size_t shard = 0; shard < coordinator->groups_.size(); ++shard) {
+    if (coordinator->groups_[shard].replicas.empty()) {
       return Status::InvalidArgument(
           "ShardCoordinator: workers do not cover shards 0.." +
-          std::to_string(clients.size() - 1) + " exactly (duplicate or " +
-          "out-of-range shard index " + std::to_string(g.shard) + ")");
+          std::to_string(manifest.num_shards - 1) + " (no worker for shard " +
+          std::to_string(shard) + ")");
     }
-    coordinator->workers_[g.shard] = std::move(clients[i]);
+  }
+  if (remote_options.probe_interval.count() > 0) {
+    coordinator->probe_thread_ =
+        std::thread([c = coordinator.get()] { c->ProbeLoop(); });
   }
   return coordinator;
+}
+
+std::vector<ShardCoordinator::ReplicaStatus>
+ShardCoordinator::ReplicaStatuses() const {
+  std::vector<ReplicaStatus> statuses;
+  const int64_t now = NowNs();
+  for (std::size_t shard = 0; shard < groups_.size(); ++shard) {
+    const ReplicaGroup& group = groups_[shard];
+    for (std::size_t i = 0; i < group.replicas.size(); ++i) {
+      const Replica& replica = *group.replicas[i];
+      ReplicaStatus status;
+      status.shard = static_cast<uint32_t>(shard);
+      status.replica = static_cast<uint32_t>(i);
+      status.healthy = replica.healthy.load(std::memory_order_relaxed);
+      status.consecutive_failures =
+          replica.consecutive_failures.load(std::memory_order_relaxed);
+      status.failovers = replica.failovers.load(std::memory_order_relaxed);
+      const int64_t last = replica.last_ok_ns.load(std::memory_order_relaxed);
+      status.last_ok_age_seconds =
+          last == 0 ? -1.0 : static_cast<double>(now - last) * 1e-9;
+      statuses.push_back(status);
+    }
+  }
+  return statuses;
+}
+
+void ShardCoordinator::ProbeLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&probe_mutex_);
+      if (!probe_stop_) {
+        probe_cv_.WaitFor(probe_mutex_, remote_options_.probe_interval);
+      }
+      if (probe_stop_) return;
+    }
+    for (auto& group : groups_) {
+      for (auto& replica : group.replicas) {
+        {
+          MutexLock lock(&probe_mutex_);
+          if (probe_stop_) return;
+        }
+        ProbeReplica(*replica);
+      }
+    }
+  }
+}
+
+void ShardCoordinator::ProbeReplica(Replica& replica) {
+  // Bound the probe by the probe interval so one dead-but-routable worker
+  // cannot back the whole probe cycle up behind a TCP timeout.
+  const auto timeout = remote_options_.probe_interval;
+  std::shared_ptr<RpcClient> client = replica.GetClient();
+  if (client != nullptr) {
+    auto pong = client->Call(EncodeShardPing(), timeout);
+    if (pong.ok() && DecodeShardGeometry(*pong).ok()) {
+      replica.MarkOk();
+      return;
+    }
+    if (pong.status().code() == StatusCode::kDeadlineExceeded) {
+      // Link still up, worker silent (busy or stopped): count the failure
+      // but keep the client — a busy worker recovers on its own.
+      replica.MarkFailed(remote_options_.eject_after_failures);
+      return;
+    }
+  }
+  // Link dead. Redial if we know the address; a restarted worker (same
+  // port, fresh process) passes the ping and is reinstated.
+  replica.MarkFailed(remote_options_.eject_after_failures);
+  std::string host;
+  int port = 0;
+  if (!SplitHostPort(replica.redial_addr, &host, &port)) return;
+  auto endpoint = ConnectTcp(host, port);
+  if (!endpoint.ok()) return;
+  auto fresh = std::make_shared<RpcClient>(std::move(*endpoint));
+  auto pong = fresh->Call(EncodeShardPing(), timeout);
+  if (!pong.ok()) return;
+  auto geometry = DecodeShardGeometry(*pong);
+  if (!geometry.ok() || !(geometry->manifest == manifest_)) return;
+  {
+    MutexLock lock(&replica.mutex);
+    replica.client = std::move(fresh);
+  }
+  replica.MarkOk();
+}
+
+Result<ShardCandidates> ShardCoordinator::RunShardRemote(
+    ProtoContext& ctx, std::size_t shard, const QueryRequest& request,
+    const std::vector<Ciphertext>& enc_query, ShardQueryStats* stats) {
+  ReplicaGroup& group = groups_[shard];
+  const std::size_t n = group.replicas.size();
+  // Attempt order: healthy replicas first, starting at the preferred one
+  // (the last that answered), ejected replicas as a last resort — a stale
+  // "unhealthy" verdict must never fail a query that an alive-but-ejected
+  // worker could have served.
+  const std::size_t start = group.preferred.load(std::memory_order_relaxed) % n;
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (start + i) % n;
+    if (group.replicas[idx]->healthy.load(std::memory_order_relaxed)) {
+      order.push_back(idx);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (start + i) % n;
+    if (!group.replicas[idx]->healthy.load(std::memory_order_relaxed)) {
+      order.push_back(idx);
+    }
+  }
+  Status last_error = Status::Unavailable(
+      "shard " + std::to_string(shard) + ": no replica answered");
+  for (std::size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const std::size_t idx = order[attempt];
+    Replica& replica = *group.replicas[idx];
+    // Per-attempt budget: the time remaining split over the replicas still
+    // untried, so one hung worker burns only its share of the deadline and
+    // the stage fails over while there is budget left for the next replica.
+    std::chrono::milliseconds timeout{0};
+    ShardQueryFrame frame;
+    frame.query_id = ctx.query_id();
+    frame.k = request.k;
+    frame.protocol = request.protocol;
+    frame.enc_query = enc_query;
+    if (ctx.has_deadline()) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              ctx.deadline() - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("shard " + std::to_string(shard) +
+                                        ": query deadline elapsed");
+      }
+      timeout = remaining / static_cast<int64_t>(order.size() - attempt);
+      if (timeout.count() < 1) timeout = std::chrono::milliseconds{1};
+      frame.deadline_ms = static_cast<uint32_t>(timeout.count());
+    }
+    std::shared_ptr<RpcClient> client = replica.GetClient();
+    Result<Message> resp =
+        client != nullptr
+            ? client->Call(EncodeShardQuery(frame), timeout)
+            : Result<Message>(Status::Unavailable("replica has no link"));
+    if (!resp.ok() || resp->type == OpCode(Op::kError)) {
+      // Transport death, timeout, or the worker's RPC layer declaring
+      // failure: charge the replica and fail over within this query.
+      replica.MarkFailed(remote_options_.eject_after_failures);
+      replica.failovers.fetch_add(1, std::memory_order_relaxed);
+      stats->failovers += 1;
+      if (!resp.ok()) {
+        last_error =
+            resp.status().code() == StatusCode::kDeadlineExceeded
+                ? Status::DeadlineExceeded(
+                      "shard " + std::to_string(shard) + " replica " +
+                      std::to_string(idx) + " timed out: " +
+                      resp.status().message())
+                : Status::Unavailable("shard " + std::to_string(shard) +
+                                      " replica " + std::to_string(idx) +
+                                      " unreachable: " +
+                                      resp.status().message());
+      } else {
+        last_error = Status::Unavailable(
+            "shard " + std::to_string(shard) + " replica " +
+            std::to_string(idx) + " failed: " +
+            std::string(resp->aux.begin(), resp->aux.end()));
+      }
+      continue;
+    }
+    if (resp->type == ShardOpCode(ShardOp::kShardError)) {
+      // A typed rejection from a live worker: the REQUEST is wrong (bad k,
+      // bad geometry, its own deadline ran out...), so retrying a different
+      // replica of the same shard would only repeat it — unless the worker
+      // itself timed out against C2, where the next replica (with its own
+      // C2 link) may well succeed.
+      Status status = DecodeShardError(*resp);
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        replica.MarkFailed(remote_options_.eject_after_failures);
+        replica.failovers.fetch_add(1, std::memory_order_relaxed);
+        stats->failovers += 1;
+        last_error = status;
+        continue;
+      }
+      replica.MarkOk();
+      return status;
+    }
+    SKNN_ASSIGN_OR_RETURN(ShardCandidatesFrame decoded,
+                          DecodeShardCandidates(*resp));
+    replica.MarkOk();
+    group.preferred.store(idx, std::memory_order_relaxed);
+    stats->candidates = static_cast<uint32_t>(decoded.candidates.count());
+    stats->seconds = decoded.seconds;
+    stats->traffic = decoded.traffic;
+    stats->ops = decoded.ops;
+    stats->replica = static_cast<uint32_t>(idx);
+    return std::move(decoded.candidates);
+  }
+  return last_error;
 }
 
 Result<ShardCandidates> ShardCoordinator::RunShard(
     ProtoContext& ctx, std::size_t shard, const QueryRequest& request,
     const std::vector<Ciphertext>& enc_query, ShardQueryStats* stats) {
   stats->shard = static_cast<uint32_t>(shard);
-  if (!workers_.empty()) {
-    ShardQueryFrame frame;
-    frame.query_id = ctx.query_id();
-    frame.k = request.k;
-    frame.protocol = request.protocol;
-    frame.enc_query = enc_query;
-    auto resp = workers_[shard]->Call(EncodeShardQuery(frame));
-    if (!resp.ok()) {
-      // The transport died under the call: worker killed, link cut. This is
-      // the one failure the coordinator maps to kUnavailable — a protocol
-      // error inside a live worker arrives as a kShardError frame instead.
-      return Status::Unavailable("shard " + std::to_string(shard) +
-                                 " worker unreachable: " +
-                                 resp.status().message());
-    }
-    if (resp->type == OpCode(Op::kError)) {
-      return Status::Unavailable(
-          "shard " + std::to_string(shard) + " worker failed: " +
-          std::string(resp->aux.begin(), resp->aux.end()));
-    }
-    SKNN_ASSIGN_OR_RETURN(ShardCandidatesFrame decoded,
-                          DecodeShardCandidates(*resp));
-    stats->candidates = static_cast<uint32_t>(decoded.candidates.count());
-    stats->seconds = decoded.seconds;
-    stats->traffic = decoded.traffic;
-    stats->ops = decoded.ops;
-    return std::move(decoded.candidates);
+  if (!groups_.empty()) {
+    return RunShardRemote(ctx, shard, request, enc_query, stats);
   }
 
   // Local shard set: same stage, this process, per-shard meter. The shard's
@@ -127,6 +361,7 @@ Result<ShardCandidates> ShardCoordinator::RunShard(
   QueryMeter shard_meter;
   ProtoContext shard_ctx(&ctx.pk(), ctx.client(), ctx.pool(), ctx.query_id(),
                          &shard_meter, ctx.vectorized());
+  if (ctx.has_deadline()) shard_ctx.set_deadline(ctx.deadline());
   Stopwatch watch;
   Result<ShardCandidates> result = [&] {
     ScopedOpSink sink(&shard_meter.ops());

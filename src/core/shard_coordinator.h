@@ -6,10 +6,18 @@
 //     on coordinator-spawned threads, all sharing the engine's C2 link
 //     (concurrent exchanges demux by correlation id; per-query attribution
 //     by the shared query id);
-//   * remote — each shard is a sknn_c1_shard worker process reached over
-//     the RPC stack (net/shard_wire.h), with its own copy of its slice and
-//     its own C2 connection. A dead or unreachable worker surfaces as
-//     StatusCode::kUnavailable, never as a hang.
+//   * remote — each shard is served by one or MORE sknn_c1_shard worker
+//     processes (replicas) reached over the RPC stack (net/shard_wire.h),
+//     each with its own copy of its slice and its own C2 connection. A
+//     failed or timed-out shard stage retries on the next healthy replica
+//     WITHIN the same query — and because the deterministic tie-break makes
+//     every answer a pure function of (table, query, k), failover is
+//     invisible in the results. Only when every replica of a shard fails
+//     does the query surface kUnavailable (or kDeadlineExceeded, if the
+//     per-query deadline ran out first). Per-replica health is tracked by a
+//     background ping-probe thread: consecutive failures eject a replica
+//     from the preferred rotation, a successful probe (after an automatic
+//     redial, when the worker's address is known) reinstates it.
 //
 // The merge is the same machinery as the unsharded protocol, restricted to
 // the s*k candidates: for kSecure/kFarthest, k iterations of ExtractTopK
@@ -22,9 +30,15 @@
 #ifndef SKNN_CORE_SHARD_COORDINATOR_H_
 #define SKNN_CORE_SHARD_COORDINATOR_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/query_api.h"
 #include "core/sharding.h"
 #include "net/rpc.h"
@@ -41,6 +55,39 @@ class ShardCoordinator {
     double merge_seconds = 0;
   };
 
+  /// \brief Replication knobs for CreateRemote. Defaults reproduce sensible
+  /// production behavior; tests shrink the probe interval.
+  struct RemoteOptions {
+    /// Per-link redial addresses ("host:port"), parallel to `worker_links`;
+    /// empty vector or empty entries disable redial for those links. A
+    /// replica with a redial address is automatically re-connected by the
+    /// probe thread after its link dies (e.g. the worker was kill -9'd and
+    /// restarted on the same port).
+    std::vector<std::string> redial_addrs;
+    /// Health-probe cadence. Zero disables the probe thread (ejection then
+    /// only happens on query-path failures, reinstatement on query-path
+    /// successes).
+    std::chrono::milliseconds probe_interval{500};
+    /// Consecutive failures (query or probe) before a replica is ejected
+    /// from the preferred rotation. Ejected replicas are still tried as a
+    /// last resort when every healthy replica of the shard has failed.
+    uint32_t eject_after_failures = 2;
+  };
+
+  /// \brief One replica's health, as reported by ReplicaStatuses() (and,
+  /// over the wire, by the kHealth control-plane frame).
+  struct ReplicaStatus {
+    uint32_t shard = 0;
+    uint32_t replica = 0;
+    bool healthy = true;
+    uint32_t consecutive_failures = 0;
+    /// Times a query failed over AWAY from this replica.
+    uint64_t failovers = 0;
+    /// Seconds since this replica last answered anything (probe or query);
+    /// negative = never.
+    double last_ok_age_seconds = -1;
+  };
+
   /// \brief In-process shard set: partitions `db` along `manifest` and runs
   /// every shard stage on coordinator threads against the caller's C2 link.
   static Result<std::unique_ptr<ShardCoordinator>> CreateLocal(
@@ -48,10 +95,19 @@ class ShardCoordinator {
       bool verify_sbd);
 
   /// \brief Remote shard workers: pings every link, validates that the
-  /// workers agree on one manifest and cover shards {0..s-1} exactly (in
-  /// any connection order), and keeps one RPC client per shard. The
-  /// database geometry (total records, attributes, distance bits) is
-  /// learned from the workers — the coordinator never needs Epk(T).
+  /// workers agree on one manifest and that every shard {0..s-1} is covered
+  /// by at least one worker (in any connection order), and groups the RPC
+  /// clients by their REPORTED shard — several workers for one shard are
+  /// replicas. The database geometry (total records, attributes, distance
+  /// bits) is learned from the workers — the coordinator never needs
+  /// Epk(T).
+  static Result<std::unique_ptr<ShardCoordinator>> CreateRemote(
+      std::vector<std::unique_ptr<Endpoint>> worker_links, bool verify_sbd,
+      RemoteOptions remote_options);
+  /// \brief CreateRemote with default RemoteOptions. (An overload rather
+  /// than a `= {}` default argument: GCC cannot evaluate a nested
+  /// aggregate's member initializers in a default argument of the
+  /// enclosing class.)
   static Result<std::unique_ptr<ShardCoordinator>> CreateRemote(
       std::vector<std::unique_ptr<Endpoint>> worker_links, bool verify_sbd);
 
@@ -59,8 +115,8 @@ class ShardCoordinator {
 
   /// \brief One query: fan out, collect s*k candidates, merge, mask-and-
   /// ship to Bob. All merge exchanges (and, in local mode, the shard
-  /// stages) ride `ctx`'s query id and meter. `breakdown` receives the
-  /// merge's sminn/extract/update phases.
+  /// stages) ride `ctx`'s query id, meter and deadline. `breakdown`
+  /// receives the merge's sminn/extract/update phases.
   Result<CloudQueryOutput> Run(ProtoContext& ctx, const QueryRequest& request,
                                const std::vector<Ciphertext>& enc_query,
                                SkNNmBreakdown* breakdown, RunStats* stats);
@@ -68,25 +124,79 @@ class ShardCoordinator {
   const ShardManifest& manifest() const { return manifest_; }
   /// \brief True when the shards are worker processes (CreateRemote) rather
   /// than in-process slices.
-  bool remote() const { return !workers_.empty(); }
+  bool remote() const { return !groups_.empty(); }
+  /// \brief Replicas serving shard `shard` (remote mode; local mode: 0).
+  std::size_t replicas(std::size_t shard) const {
+    return shard < groups_.size() ? groups_[shard].replicas.size() : 0;
+  }
+  /// \brief Live health snapshot of every replica of every shard (remote
+  /// mode; empty for local shard sets).
+  std::vector<ReplicaStatus> ReplicaStatuses() const;
   /// \brief Database geometry (remote mode reports the workers'; local mode
   /// mirrors the partitioned db).
   std::size_t num_attributes() const { return num_attributes_; }
   unsigned distance_bits() const { return distance_bits_; }
 
  private:
+  /// One remote worker process serving one shard. The client is swappable
+  /// (under the mutex) so the probe thread can redial a dead worker without
+  /// disturbing callers, who take a shared_ptr copy per call.
+  struct Replica {
+    mutable Mutex mutex;
+    std::shared_ptr<RpcClient> client GUARDED_BY(mutex);
+    std::string redial_addr;  // immutable after construction; "" = no redial
+    std::atomic<bool> healthy{true};
+    std::atomic<uint32_t> consecutive_failures{0};
+    std::atomic<uint64_t> failovers{0};
+    /// steady_clock nanoseconds of the last successful answer; 0 = never.
+    std::atomic<int64_t> last_ok_ns{0};
+
+    std::shared_ptr<RpcClient> GetClient() const {
+      MutexLock lock(&mutex);
+      return client;
+    }
+    void MarkOk() {
+      consecutive_failures.store(0, std::memory_order_relaxed);
+      healthy.store(true, std::memory_order_relaxed);
+      last_ok_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count(),
+                       std::memory_order_relaxed);
+    }
+    void MarkFailed(uint32_t eject_after) {
+      const uint32_t failures =
+          consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (failures >= eject_after) {
+        healthy.store(false, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  /// All replicas of one shard. `preferred` rotates to the last replica
+  /// that answered, so steady state sends every stage to a known-good
+  /// worker first.
+  struct ReplicaGroup {
+    std::vector<std::unique_ptr<Replica>> replicas;
+    std::atomic<std::size_t> preferred{0};
+  };
+
   ShardCoordinator() = default;
 
   Result<ShardCandidates> RunShard(ProtoContext& ctx, std::size_t shard,
                                    const QueryRequest& request,
                                    const std::vector<Ciphertext>& enc_query,
                                    ShardQueryStats* stats);
+  Result<ShardCandidates> RunShardRemote(
+      ProtoContext& ctx, std::size_t shard, const QueryRequest& request,
+      const std::vector<Ciphertext>& enc_query, ShardQueryStats* stats);
   Result<CloudQueryOutput> MergeSecure(
       ProtoContext& ctx, std::vector<ShardCandidates> candidates, unsigned k,
       SkNNmBreakdown* breakdown);
   Result<CloudQueryOutput> MergeBasic(ProtoContext& ctx,
                                       std::vector<ShardCandidates> candidates,
                                       unsigned k);
+  void ProbeLoop();
+  void ProbeReplica(Replica& replica);
 
   ShardManifest manifest_;
   bool verify_sbd_ = true;
@@ -94,8 +204,14 @@ class ShardCoordinator {
   unsigned distance_bits_ = 0;
   /// Local mode: one slice per shard.
   std::vector<ShardSlice> slices_;
-  /// Remote mode: one standing RPC client per shard, indexed by shard.
-  std::vector<std::unique_ptr<RpcClient>> workers_;
+  /// Remote mode: one replica group per shard, indexed by shard.
+  std::vector<ReplicaGroup> groups_;
+  RemoteOptions remote_options_;
+  /// Background health probe (remote mode, probe_interval > 0).
+  mutable Mutex probe_mutex_;
+  bool probe_stop_ GUARDED_BY(probe_mutex_) = false;
+  CondVar probe_cv_;
+  std::thread probe_thread_;
 };
 
 }  // namespace sknn

@@ -22,8 +22,11 @@ Status BadFrame(const char* what) {
 }
 
 // Table and frame names cross the wire length-prefixed; anything longer is
-// a hostile or corrupt frame, not a legitimate identifier.
+// a hostile or corrupt frame, not a legitimate identifier. Table build
+// SPECS (kReloadTable) are the one longer payload — paths and options —
+// and get their own, still-bounded cap.
 constexpr std::size_t kMaxNameLen = 256;
+constexpr std::size_t kMaxSpecLen = 4096;
 
 void AppendString(Message& msg, const std::string& text) {
   msg.AppendAuxU32(static_cast<uint32_t>(text.size()));
@@ -31,11 +34,12 @@ void AppendString(Message& msg, const std::string& text) {
 }
 
 // Reads [len:u32][bytes] at `at`, advancing it; false on any overrun.
-bool StringAt(const Message& msg, std::size_t* at, std::string* out) {
+bool StringAt(const Message& msg, std::size_t* at, std::string* out,
+              std::size_t max_len = kMaxNameLen) {
   if (msg.aux.size() < *at + 4) return false;
   const std::size_t len = msg.AuxU32At(*at);
   *at += 4;
-  if (len > kMaxNameLen || msg.aux.size() < *at + len) return false;
+  if (len > max_len || msg.aux.size() < *at + len) return false;
   out->assign(msg.aux.begin() + static_cast<std::ptrdiff_t>(*at),
               msg.aux.begin() + static_cast<std::ptrdiff_t>(*at + len));
   *at += len;
@@ -56,6 +60,7 @@ Message EncodeQueryRequest(const QueryRequest& request) {
     msg.AppendAuxU64(static_cast<uint64_t>(v));
   }
   AppendString(msg, request.table);
+  if (request.deadline_ms != 0) msg.AppendAuxU32(request.deadline_ms);
   return msg;
 }
 
@@ -83,12 +88,19 @@ Result<QueryRequest> DecodeQueryRequest(const Message& msg) {
         static_cast<int64_t>(msg.AuxU64At(16 + std::size_t{j} * 8)));
   }
   // Revision-1 frames end at the record; revision-2 frames append the table
-  // name. Either shape decodes (the sole-table default), so the hello gate
-  // — not a parse failure — is what tells an old client it must upgrade.
+  // name; revision-3 frames may append a trailing deadline word after it.
+  // Every shape decodes (sole-table / no-deadline defaults), so the hello
+  // gate — not a parse failure — is what tells an old client it must
+  // upgrade.
   if (msg.aux.size() == at) return request;
-  if (!StringAt(msg, &at, &request.table) || msg.aux.size() != at) {
+  if (!StringAt(msg, &at, &request.table)) {
     return BadFrame("kQuery table-name geometry mismatch");
   }
+  if (msg.aux.size() == at) return request;
+  if (msg.aux.size() != at + 4) {
+    return BadFrame("kQuery deadline geometry mismatch");
+  }
+  request.deadline_ms = msg.AuxU32At(at);
   return request;
 }
 
@@ -123,6 +135,8 @@ Message EncodeQueryResponse(const QueryResponse& response) {
   for (const ShardQueryStats& shard : response.shards) {
     msg.AppendAuxU32(shard.shard);
     msg.AppendAuxU32(shard.candidates);
+    msg.AppendAuxU32(shard.replica);
+    msg.AppendAuxU32(shard.failovers);
     AppendF64(msg, shard.seconds);
     msg.AppendAuxU64(shard.traffic.frames_a_to_b);
     msg.AppendAuxU64(shard.traffic.bytes_a_to_b);
@@ -157,7 +171,9 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
     return BadFrame("kQueryResult geometry mismatch");
   }
   const std::size_t num_shards = msg.AuxU32At(fixed - 4);
-  constexpr std::size_t kPerShard = 4 + 4 + 9 * 8;
+  // Revision 3 layout: shard, candidates, replica, failovers, seconds,
+  // 4 traffic counters, 4 op counters.
+  constexpr std::size_t kPerShard = 4 + 4 + 4 + 4 + 9 * 8;
   if (num_shards > kMaxDim ||
       msg.aux.size() != fixed + num_shards * kPerShard) {
     return BadFrame("kQueryResult shard-stats geometry mismatch");
@@ -196,15 +212,17 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
     ShardQueryStats shard;
     shard.shard = msg.AuxU32At(at);
     shard.candidates = msg.AuxU32At(at + 4);
-    shard.seconds = F64At(msg, at + 8);
-    shard.traffic.frames_a_to_b = msg.AuxU64At(at + 16);
-    shard.traffic.bytes_a_to_b = msg.AuxU64At(at + 24);
-    shard.traffic.frames_b_to_a = msg.AuxU64At(at + 32);
-    shard.traffic.bytes_b_to_a = msg.AuxU64At(at + 40);
-    shard.ops.encryptions = msg.AuxU64At(at + 48);
-    shard.ops.decryptions = msg.AuxU64At(at + 56);
-    shard.ops.exponentiations = msg.AuxU64At(at + 64);
-    shard.ops.multiplications = msg.AuxU64At(at + 72);
+    shard.replica = msg.AuxU32At(at + 8);
+    shard.failovers = msg.AuxU32At(at + 12);
+    shard.seconds = F64At(msg, at + 16);
+    shard.traffic.frames_a_to_b = msg.AuxU64At(at + 24);
+    shard.traffic.bytes_a_to_b = msg.AuxU64At(at + 32);
+    shard.traffic.frames_b_to_a = msg.AuxU64At(at + 40);
+    shard.traffic.bytes_b_to_a = msg.AuxU64At(at + 48);
+    shard.ops.encryptions = msg.AuxU64At(at + 56);
+    shard.ops.decryptions = msg.AuxU64At(at + 64);
+    shard.ops.exponentiations = msg.AuxU64At(at + 72);
+    shard.ops.multiplications = msg.AuxU64At(at + 80);
     response.shards.push_back(shard);
     at += kPerShard;
   }
@@ -226,7 +244,8 @@ Status DecodeQueryError(const Message& msg) {
     return BadFrame("malformed kQueryError frame");
   }
   const uint32_t code = msg.AuxU32At(0);
-  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+  if (code == 0 ||
+      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
     return BadFrame("kQueryError carries an unknown status code");
   }
   return Status(static_cast<StatusCode>(code),
@@ -427,6 +446,163 @@ Result<ServiceStatsReply> DecodeServiceStatsReply(const Message& msg) {
     return BadFrame("kServiceStatsResult trailing bytes");
   }
   return stats;
+}
+
+Message EncodeHealthRequest() {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kHealth);
+  return msg;
+}
+
+Message EncodeHealthReply(const HealthReply& health) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kHealthResult);
+  msg.AppendAuxU32(static_cast<uint32_t>(health.tables.size()));
+  for (const TableHealthEntry& table : health.tables) {
+    AppendString(msg, table.name);
+    msg.AppendAuxU32(static_cast<uint32_t>(table.replicas.size()));
+    for (const ReplicaHealthEntry& replica : table.replicas) {
+      msg.AppendAuxU32(replica.shard);
+      msg.AppendAuxU32(replica.replica);
+      msg.AppendAuxU32(replica.healthy ? 1 : 0);
+      msg.AppendAuxU32(replica.consecutive_failures);
+      msg.AppendAuxU64(replica.failovers);
+      AppendF64(msg, replica.last_ok_age_seconds);
+    }
+  }
+  return msg;
+}
+
+Result<HealthReply> DecodeHealthReply(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kHealthResult)) {
+    return BadFrame("not a kHealthResult frame");
+  }
+  if (msg.aux.size() < 4) return BadFrame("truncated kHealthResult");
+  const uint32_t num_tables = msg.AuxU32At(0);
+  // Every table block needs at least its name length prefix and replica
+  // count — the same implausible-count guard as kTableList.
+  if (std::size_t{num_tables} * 8 > msg.aux.size() - 4) {
+    return BadFrame("kHealthResult table count implausible");
+  }
+  constexpr std::size_t kPerReplica = 4 * 4 + 8 + 8;
+  HealthReply health;
+  health.tables.reserve(num_tables);
+  std::size_t at = 4;
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    TableHealthEntry table;
+    if (!StringAt(msg, &at, &table.name) || msg.aux.size() < at + 4) {
+      return BadFrame("kHealthResult table geometry mismatch");
+    }
+    const uint32_t num_replicas = msg.AuxU32At(at);
+    at += 4;
+    if (num_replicas > (std::size_t{1} << 20) ||
+        msg.aux.size() < at + std::size_t{num_replicas} * kPerReplica) {
+      return BadFrame("kHealthResult replica count implausible");
+    }
+    table.replicas.reserve(num_replicas);
+    for (uint32_t r = 0; r < num_replicas; ++r) {
+      ReplicaHealthEntry replica;
+      replica.shard = msg.AuxU32At(at);
+      replica.replica = msg.AuxU32At(at + 4);
+      replica.healthy = msg.AuxU32At(at + 8) != 0;
+      replica.consecutive_failures = msg.AuxU32At(at + 12);
+      replica.failovers = msg.AuxU64At(at + 16);
+      replica.last_ok_age_seconds = F64At(msg, at + 24);
+      at += kPerReplica;
+      table.replicas.push_back(replica);
+    }
+    health.tables.push_back(std::move(table));
+  }
+  if (at != msg.aux.size()) return BadFrame("kHealthResult trailing bytes");
+  return health;
+}
+
+Message EncodeReloadTableRequest(const ReloadTableRequest& request) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kReloadTable);
+  AppendString(msg, request.table);
+  AppendString(msg, request.spec);
+  return msg;
+}
+
+Result<ReloadTableRequest> DecodeReloadTableRequest(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kReloadTable)) {
+    return BadFrame("not a kReloadTable frame");
+  }
+  std::size_t at = 0;
+  ReloadTableRequest request;
+  if (!StringAt(msg, &at, &request.table) ||
+      !StringAt(msg, &at, &request.spec, kMaxSpecLen) ||
+      at != msg.aux.size()) {
+    return BadFrame("kReloadTable geometry mismatch");
+  }
+  return request;
+}
+
+namespace {
+
+// kDetachTable and kAdminAck share one shape: a single table name.
+Message EncodeNameShape(FrontendOp op, const std::string& name) {
+  Message msg;
+  msg.type = FrontendOpCode(op);
+  AppendString(msg, name);
+  return msg;
+}
+
+Result<std::string> DecodeNameShape(FrontendOp op, const char* what,
+                                    const Message& msg) {
+  if (msg.type != FrontendOpCode(op)) return BadFrame(what);
+  std::size_t at = 0;
+  std::string name;
+  if (!StringAt(msg, &at, &name) || at != msg.aux.size()) {
+    return BadFrame(what);
+  }
+  return name;
+}
+
+}  // namespace
+
+Message EncodeDetachTableRequest(const std::string& name) {
+  return EncodeNameShape(FrontendOp::kDetachTable, name);
+}
+
+Result<std::string> DecodeDetachTableRequest(const Message& msg) {
+  return DecodeNameShape(FrontendOp::kDetachTable,
+                         "malformed kDetachTable frame", msg);
+}
+
+Message EncodeAdminAck(const std::string& name) {
+  return EncodeNameShape(FrontendOp::kAdminAck, name);
+}
+
+Result<std::string> DecodeAdminAck(const Message& msg) {
+  return DecodeNameShape(FrontendOp::kAdminAck, "malformed kAdminAck frame",
+                         msg);
+}
+
+Message EncodeTableChanged(const TableChangedNote& note) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kTableChanged);
+  AppendString(msg, note.table);
+  msg.AppendAuxU32(static_cast<uint32_t>(note.kind));
+  return msg;
+}
+
+Result<TableChangedNote> DecodeTableChanged(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kTableChanged)) {
+    return BadFrame("not a kTableChanged note");
+  }
+  std::size_t at = 0;
+  TableChangedNote note;
+  if (!StringAt(msg, &at, &note.table) || msg.aux.size() != at + 4) {
+    return BadFrame("kTableChanged geometry mismatch");
+  }
+  const uint32_t kind = msg.AuxU32At(at);
+  if (kind > static_cast<uint32_t>(TableChangeKind::kDetached)) {
+    return BadFrame("kTableChanged carries an unknown kind");
+  }
+  note.kind = static_cast<TableChangeKind>(kind);
+  return note;
 }
 
 }  // namespace sknn

@@ -43,11 +43,18 @@ namespace sknn {
 ///   1 — PR 3/4: unversioned kQuery/kQueryResult/kQueryError only.
 ///   2 — PR 5: hello/negotiation mandatory, kQuery carries a table name,
 ///       control-plane frames (list/info/stats).
-constexpr uint32_t kProtocolRevision = 2;
-/// \brief Oldest client revision the server still accepts. Revision 1
-/// clients cannot hello at all; their first kQuery gets the typed
-/// missing-hello error, which is the deliberate end of their road.
-constexpr uint32_t kMinSupportedRevision = 2;
+///   3 — PR 7: per-query deadlines (kQuery gains a trailing deadline_ms),
+///       replica stats in kQueryResult's per-shard block (a LAYOUT change —
+///       revision-2 decoders would misread it, hence the min bump), replica
+///       health (kHealth), hot table reload/detach (kReloadTable /
+///       kDetachTable / kAdminAck) and the kTableChanged server note.
+constexpr uint32_t kProtocolRevision = 3;
+/// \brief Oldest client revision the server still accepts. Revision 2
+/// clients would misread the widened kQueryResult per-shard block, so the
+/// hello gate turns them away with a typed error instead of letting them
+/// decode garbage. Revision 1 clients cannot hello at all; their first
+/// kQuery gets the typed missing-hello error.
+constexpr uint32_t kMinSupportedRevision = 3;
 
 /// \brief Feature bits advertised in kHello/kHelloAck. A client MUST ignore
 /// bits it does not know; a server advertises exactly what it implements.
@@ -58,11 +65,18 @@ enum FrontendFeature : uint32_t {
   kFeatureShardStats = 1u << 1,
   /// kServiceStats exists.
   kFeatureServiceStats = 1u << 2,
+  /// kQuery honors deadline_ms; overruns surface as kDeadlineExceeded.
+  kFeatureDeadlines = 1u << 3,
+  /// kHealth exists; kQueryResult per-shard blocks carry replica/failovers.
+  kFeatureReplicaHealth = 1u << 4,
+  /// kReloadTable/kDetachTable exist; kTableChanged notes are pushed.
+  kFeatureHotReload = 1u << 5,
 };
 
 /// \brief Every feature this build implements.
 constexpr uint32_t kSupportedFeatures =
-    kFeatureMultiTable | kFeatureShardStats | kFeatureServiceStats;
+    kFeatureMultiTable | kFeatureShardStats | kFeatureServiceStats |
+    kFeatureDeadlines | kFeatureReplicaHealth | kFeatureHotReload;
 
 enum class FrontendOp : uint16_t {
   /// One Bob query. aux = [k:u32][protocol:u32][flags:u32][m:u32][m x i64]
@@ -72,13 +86,17 @@ enum class FrontendOp : uint16_t {
   /// survive the wire intact to be rejected with a proper Status). The
   /// table suffix is absent in revision-1 frames; decoding treats that as
   /// the empty (sole-table) name so the frame shape itself stays readable.
+  /// Revision 3 appends an optional [deadline_ms:u32] after the table: the
+  /// query's end-to-end budget in milliseconds, 0/absent = unbounded.
   kQuery = 0x0101,
   /// Success. aux = [rows:u32][cols:u32][rows*cols x i64]
   /// [bob_seconds:f64][cloud_seconds:f64][traffic:4 x u64][ops:4 x u64]
   /// [breakdown:6 x f64][merge_seconds:f64][num_shards:u32] then per shard
-  /// [shard:u32][candidates:u32][seconds:f64][traffic:4 x u64][ops:4 x u64]
-  /// (num_shards = 0 for unsharded execution), f64 as IEEE-754 bit
-  /// patterns in u64.
+  /// [shard:u32][candidates:u32][replica:u32][failovers:u32][seconds:f64]
+  /// [traffic:4 x u64][ops:4 x u64] (num_shards = 0 for unsharded
+  /// execution), f64 as IEEE-754 bit patterns in u64. The replica/failovers
+  /// words are revision 3's layout change: which replica served the shard
+  /// and how many replica attempts failed first.
   kQueryResult = 0x0102,
   /// Failure. aux = [status code:u32][message bytes].
   kQueryError = 0x0103,
@@ -114,6 +132,34 @@ enum class FrontendOp : uint16_t {
   /// [name_len:u32][name bytes][completed:u64][failed:u64][rejected:u64]
   /// [in_flight:u64].
   kServiceStatsResult = 0x0117,
+
+  // -- Replica health and hot reload (revision 3) --
+
+  /// Client -> server: per-replica shard-worker liveness. aux empty.
+  kHealth = 0x0118,
+  /// Server -> client. aux = [num_tables:u32] then per table
+  /// [name_len:u32][name bytes][num_replicas:u32] then per replica
+  /// [shard:u32][replica:u32][healthy:u32][consecutive_failures:u32]
+  /// [failovers:u64][last_ok_age_seconds:f64]. Tables without remote shard
+  /// replicas report num_replicas = 0.
+  kHealthResult = 0x0119,
+  /// Client -> server: rebuild one table's engine and swap it in under live
+  /// traffic. aux = [name_len:u32][name bytes][spec_len:u32][spec bytes];
+  /// an empty spec reuses the spec the table was registered with. Answered
+  /// with kAdminAck or kQueryError.
+  kReloadTable = 0x011A,
+  /// Client -> server: stop serving one table (in-flight queries finish on
+  /// the old engine). aux = [name_len:u32][name bytes]. Answered with
+  /// kAdminAck or kQueryError.
+  kDetachTable = 0x011B,
+  /// Server -> client: a reload or detach succeeded.
+  /// aux = [name_len:u32][name bytes].
+  kAdminAck = 0x011C,
+  /// Server -> client, UNSOLICITED (correlation id 0 — see RpcServer::Push):
+  /// a table this session may be querying changed under it.
+  /// aux = [name_len:u32][name bytes][kind:u32], kind 0 = reloaded,
+  /// 1 = detached.
+  kTableChanged = 0x011D,
 };
 
 inline uint16_t FrontendOpCode(FrontendOp op) {
@@ -165,6 +211,50 @@ struct ServiceStatsReply {
   std::vector<TableStatsEntry> tables;
 };
 
+/// \brief One shard replica's liveness inside kHealthResult (mirrors
+/// ShardCoordinator::ReplicaStatus).
+struct ReplicaHealthEntry {
+  uint32_t shard = 0;
+  uint32_t replica = 0;
+  bool healthy = true;
+  uint32_t consecutive_failures = 0;
+  uint64_t failovers = 0;
+  /// Seconds since the replica last answered; negative = never.
+  double last_ok_age_seconds = -1;
+};
+
+/// \brief One table's replica set inside kHealthResult. Empty `replicas`
+/// = the table runs without remote shard workers (local or unsharded).
+struct TableHealthEntry {
+  std::string name;
+  std::vector<ReplicaHealthEntry> replicas;
+};
+
+/// \brief Everything kHealthResult carries.
+struct HealthReply {
+  std::vector<TableHealthEntry> tables;
+};
+
+/// \brief kReloadTable's payload: which table, and (optionally) a fresh
+/// build spec; empty spec = rebuild from the spec the table was registered
+/// with.
+struct ReloadTableRequest {
+  std::string table;
+  std::string spec;
+};
+
+/// \brief What happened to the table a kTableChanged note names.
+enum class TableChangeKind : uint32_t {
+  kReloaded = 0,
+  kDetached = 1,
+};
+
+/// \brief The unsolicited kTableChanged server note (correlation id 0).
+struct TableChangedNote {
+  std::string table;
+  TableChangeKind kind = TableChangeKind::kReloaded;
+};
+
 Message EncodeQueryRequest(const QueryRequest& request);
 Result<QueryRequest> DecodeQueryRequest(const Message& msg);
 
@@ -193,6 +283,20 @@ Result<TableInfoReply> DecodeTableInfoReply(const Message& msg);
 Message EncodeServiceStatsRequest();
 Message EncodeServiceStatsReply(const ServiceStatsReply& stats);
 Result<ServiceStatsReply> DecodeServiceStatsReply(const Message& msg);
+
+Message EncodeHealthRequest();
+Message EncodeHealthReply(const HealthReply& health);
+Result<HealthReply> DecodeHealthReply(const Message& msg);
+
+Message EncodeReloadTableRequest(const ReloadTableRequest& request);
+Result<ReloadTableRequest> DecodeReloadTableRequest(const Message& msg);
+Message EncodeDetachTableRequest(const std::string& name);
+Result<std::string> DecodeDetachTableRequest(const Message& msg);
+Message EncodeAdminAck(const std::string& name);
+Result<std::string> DecodeAdminAck(const Message& msg);
+
+Message EncodeTableChanged(const TableChangedNote& note);
+Result<TableChangedNote> DecodeTableChanged(const Message& msg);
 
 }  // namespace sknn
 

@@ -1,5 +1,7 @@
 #include "net/rpc.h"
 
+#include <string>
+
 #include "common/logging.h"
 
 namespace sknn {
@@ -14,7 +16,8 @@ RpcClient::~RpcClient() {
   if (demux_thread_.joinable()) demux_thread_.join();
 }
 
-Result<Message> RpcClient::Call(Message request) {
+Result<Message> RpcClient::Call(Message request,
+                                std::chrono::milliseconds timeout) {
   if (shutdown_.load()) {
     return Status::ProtocolError("RpcClient: already shut down");
   }
@@ -52,9 +55,43 @@ Result<Message> RpcClient::Call(Message request) {
     }
   }
   PendingCall& pending = *call;
+  if (timeout.count() <= 0) {
+    MutexLock lock(&pending.mutex);
+    while (!pending.done) pending.cv.Wait(pending.mutex);
+    return std::move(pending.result);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  {
+    MutexLock lock(&pending.mutex);
+    while (!pending.done) {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      pending.cv.WaitUntil(pending.mutex, deadline);
+    }
+    if (pending.done) return std::move(pending.result);
+  }
+  // Timed out. Unregister so the demux drops the late response as an
+  // unknown correlation id. Lock order matters: pending.mutex was released
+  // above, because the demux takes pending_mutex_ BEFORE a call's mutex.
+  bool erased;
+  {
+    MutexLock lock(&pending_mutex_);
+    erased = pending_.erase(id) > 0;
+  }
+  if (erased) {
+    return Status::DeadlineExceeded(
+        "RpcClient: no response within " + std::to_string(timeout.count()) +
+        " ms");
+  }
+  // The demux claimed the entry between our timeout and the erase: a result
+  // is being delivered right now — take it instead of fabricating a timeout.
   MutexLock lock(&pending.mutex);
   while (!pending.done) pending.cv.Wait(pending.mutex);
   return std::move(pending.result);
+}
+
+void RpcClient::SetNoteHandler(std::function<void(const Message&)> handler) {
+  MutexLock lock(&note_mutex_);
+  note_handler_ = std::move(handler);
 }
 
 void RpcClient::Shutdown() {
@@ -66,6 +103,18 @@ void RpcClient::DemuxLoop() {
   std::vector<uint8_t> frame;
   while (endpoint_->Recv(&frame)) {
     Result<Message> decoded = WireCodec::Decode(frame);
+    if (decoded.ok() && decoded->correlation_id == 0) {
+      // Correlation id 0 is never assigned to a Call: it marks an
+      // unsolicited server note (RpcServer::Push). Deliver it to the note
+      // handler; clients that installed none simply ignore notes.
+      std::function<void(const Message&)> handler;
+      {
+        MutexLock lock(&note_mutex_);
+        handler = note_handler_;
+      }
+      if (handler) handler(*decoded);
+      continue;
+    }
     std::shared_ptr<PendingCall> call;
     if (decoded.ok()) {
       MutexLock lock(&pending_mutex_);
@@ -123,6 +172,12 @@ RpcServer::~RpcServer() {
 }
 
 void RpcServer::Shutdown() { endpoint_->Close(); }
+
+bool RpcServer::Push(Message note) {
+  note.correlation_id = 0;
+  MutexLock lock(&send_mutex_);
+  return endpoint_->Send(WireCodec::Encode(note));
+}
 
 void RpcServer::WaitForClose() {
   if (accept_thread_.joinable()) accept_thread_.join();

@@ -12,6 +12,7 @@
 #define SKNN_NET_RPC_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,7 +37,21 @@ class RpcClient {
 
   /// \brief Sends `request` (correlation id is assigned internally) and
   /// blocks until the response with the same id arrives. Thread-safe.
-  Result<Message> Call(Message request);
+  ///
+  /// `timeout` bounds the wait: zero means wait forever (the pre-deadline
+  /// behavior); a positive timeout resolves a call whose peer is alive but
+  /// silent — hung, SIGSTOPped, overloaded — to kDeadlineExceeded instead
+  /// of blocking until the link dies. A response that arrives after the
+  /// timeout is dropped by the demux as an unknown correlation id.
+  Result<Message> Call(Message request,
+                       std::chrono::milliseconds timeout =
+                           std::chrono::milliseconds{0});
+
+  /// \brief Installs a handler for unsolicited server->client notes (frames
+  /// with correlation id 0, which no Call ever uses — see RpcServer::Push).
+  /// Runs on the demux thread: keep it fast and non-blocking. Pass nullptr
+  /// to uninstall. Thread-safe.
+  void SetNoteHandler(std::function<void(const Message&)> handler);
 
   /// \brief Closes the underlying link; outstanding calls fail.
   void Shutdown();
@@ -57,6 +72,8 @@ class RpcClient {
   Mutex pending_mutex_;
   std::map<uint64_t, std::shared_ptr<PendingCall>> pending_
       GUARDED_BY(pending_mutex_);
+  Mutex note_mutex_;
+  std::function<void(const Message&)> note_handler_ GUARDED_BY(note_mutex_);
   std::thread demux_thread_;
   std::atomic<bool> shutdown_{false};
   /// Set by the demux loop on its way out (peer closed the link): calls
@@ -81,6 +98,12 @@ class RpcServer {
 
   /// \brief Stops the accept loop and joins workers.
   void Shutdown();
+
+  /// \brief Sends an unsolicited server->client note. The frame goes out
+  /// with correlation id 0 — an id Call never assigns — so the client's
+  /// demux routes it to its note handler (RpcClient::SetNoteHandler)
+  /// instead of a pending call. Returns false once the link is down.
+  bool Push(Message note);
 
   /// \brief Blocks until the peer closes the link (accept loop exits).
   /// Used by the standalone C2 server to serve a connection to completion.

@@ -63,6 +63,7 @@ Message EncodeShardQuery(const ShardQueryFrame& frame) {
   msg.query_id = frame.query_id;
   msg.AppendAuxU32(frame.k);
   msg.AppendAuxU32(static_cast<uint32_t>(frame.protocol));
+  if (frame.deadline_ms != 0) msg.AppendAuxU32(frame.deadline_ms);
   msg.ints.reserve(frame.enc_query.size());
   for (const auto& c : frame.enc_query) msg.ints.push_back(c.value());
   return msg;
@@ -72,10 +73,14 @@ Result<ShardQueryFrame> DecodeShardQuery(const Message& msg) {
   if (msg.type != ShardOpCode(ShardOp::kShardQuery)) {
     return BadFrame("not a kShardQuery frame");
   }
-  if (msg.aux.size() != 8) return BadFrame("bad kShardQuery header");
+  // 8 bytes = the original header; 12 = with the trailing deadline word.
+  if (msg.aux.size() != 8 && msg.aux.size() != 12) {
+    return BadFrame("bad kShardQuery header");
+  }
   ShardQueryFrame frame;
   frame.query_id = msg.query_id;
   frame.k = msg.AuxU32At(0);
+  if (msg.aux.size() == 12) frame.deadline_ms = msg.AuxU32At(8);
   const uint32_t protocol = msg.AuxU32At(4);
   if (protocol > static_cast<uint32_t>(QueryProtocol::kFarthest)) {
     return BadFrame("unknown protocol");
@@ -207,7 +212,8 @@ Status DecodeShardError(const Message& msg) {
     return BadFrame("malformed kShardError frame");
   }
   const uint32_t code = msg.AuxU32At(0);
-  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+  if (code == 0 ||
+      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
     return BadFrame("kShardError carries an unknown status code");
   }
   return Status(static_cast<StatusCode>(code),

@@ -56,6 +56,12 @@ struct ShardQueryFrame {
   uint64_t query_id = 0;
   unsigned k = 1;
   QueryProtocol protocol = QueryProtocol::kSecure;
+  /// Milliseconds this attempt may take, 0 = unbounded. The worker arms its
+  /// ProtoContext deadline with it so a hung C2 fails the stage as
+  /// kDeadlineExceeded instead of pinning the worker thread forever. Rides
+  /// as an OPTIONAL trailing aux word: pre-deadline workers never see it,
+  /// pre-deadline coordinators never send it.
+  uint32_t deadline_ms = 0;
   std::vector<Ciphertext> enc_query;
 };
 

@@ -7,7 +7,18 @@ namespace sknn {
 Result<Message> ProtoContext::Exchange(Message request) {
   request.query_id = query_id_;
   const std::size_t request_bytes = request.WireSize();
-  SKNN_ASSIGN_OR_RETURN(Message resp, client_->Call(std::move(request)));
+  std::chrono::milliseconds timeout{0};  // 0 = wait forever
+  if (has_deadline_) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline_ - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::DeadlineExceeded("query deadline elapsed before the "
+                                      "next protocol round");
+    }
+    timeout = remaining;
+  }
+  SKNN_ASSIGN_OR_RETURN(Message resp,
+                        client_->Call(std::move(request), timeout));
   if (meter_ != nullptr) meter_->CountExchange(request_bytes, resp.WireSize());
   if (resp.type == OpCode(Op::kError)) {
     return Status::ProtocolError(

@@ -7,6 +7,7 @@
 #ifndef SKNN_PROTO_CONTEXT_H_
 #define SKNN_PROTO_CONTEXT_H_
 
+#include <chrono>
 #include <functional>
 #include <vector>
 
@@ -42,6 +43,17 @@ class ProtoContext {
   QueryMeter* meter() const { return meter_; }
   bool vectorized() const { return vectorized_; }
 
+  /// \brief Arms a per-query deadline: every Exchange from here on bounds
+  /// its RPC wait by the time remaining and fails with kDeadlineExceeded
+  /// once it runs out — so a hung C2 (or a hung worker, via the shard
+  /// context that copies this) can never stall a query past its budget.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
   /// \brief Single RPC round trip. Fails if C2 reported an error.
   Result<Message> Call(Op op, std::vector<BigInt> ints,
                        std::vector<uint8_t> aux = {});
@@ -74,6 +86,8 @@ class ProtoContext {
   uint64_t query_id_ = 0;
   QueryMeter* meter_ = nullptr;
   bool vectorized_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 }  // namespace sknn

@@ -37,10 +37,13 @@ Result<std::unique_ptr<SknnEngine>> QueryService::CreateShardedEngine(
     return SknnEngine::CreateWithRemoteC2(pk, std::move(db),
                                           std::move(c2_link), options);
   }
-  if (shards != 0 && shards != worker_addrs.size()) {
+  // Replication allows MORE workers than shards (duplicates become
+  // replicas); the coordinator validates full coverage either way. Fewer
+  // workers than --shards cannot cover and fails fast here.
+  if (shards != 0 && worker_addrs.size() < shards) {
     return Status::InvalidArgument(
         "CreateShardedEngine: --shards says " + std::to_string(shards) +
-        " but " + std::to_string(worker_addrs.size()) +
+        " but only " + std::to_string(worker_addrs.size()) +
         " shard workers were given");
   }
   std::vector<std::unique_ptr<Endpoint>> links;
@@ -71,6 +74,9 @@ Result<std::unique_ptr<SknnEngine>> QueryService::CreateShardedEngine(
     }
     links.push_back(std::move(link).value());
   }
+  // The parsed addresses double as redial targets: a worker that dies and
+  // comes back on the same port is re-adopted by the coordinator's probe.
+  options.shard_worker_redial_addrs = worker_addrs;
   return SknnEngine::CreateWithShardWorkers(pk, std::move(links),
                                             std::move(c2_link), options);
 }
@@ -82,8 +88,8 @@ Status QueryService::Start(uint16_t port) {
   if (registry_->size() == 0) {
     return Status::FailedPrecondition("QueryService: no tables registered");
   }
-  // From here the table set is immutable, so per-query resolution never
-  // takes the registration lock.
+  // From here the table SET is immutable (no new names); the tables
+  // themselves stay hot-reloadable through kReloadTable/kDetachTable.
   registry_->Freeze();
   SKNN_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Bind(port));
   port_ = listener.port();
@@ -145,6 +151,95 @@ ServiceStatsReply QueryService::ServiceStatsSnapshot() const {
     reply.tables.push_back(std::move(table));
   }
   return reply;
+}
+
+HealthReply QueryService::HealthSnapshot() const {
+  HealthReply reply;
+  for (const TableRegistry::Entry* entry : registry_->snapshot()) {
+    TableHealthEntry table;
+    table.name = entry->name;
+    // Local (unsharded or in-process-sharded) tables report an empty
+    // replica list: there is nothing to fail over to.
+    if (std::shared_ptr<SknnEngine> engine = entry->engine()) {
+      if (const ShardCoordinator* coordinator = engine->shard_coordinator()) {
+        for (const ShardCoordinator::ReplicaStatus& status :
+             coordinator->ReplicaStatuses()) {
+          ReplicaHealthEntry replica;
+          replica.shard = static_cast<uint32_t>(status.shard);
+          replica.replica = static_cast<uint32_t>(status.replica);
+          replica.healthy = status.healthy;
+          replica.consecutive_failures = status.consecutive_failures;
+          replica.failovers = status.failovers;
+          replica.last_ok_age_seconds = status.last_ok_age_seconds;
+          table.replicas.push_back(replica);
+        }
+      }
+    }
+    reply.tables.push_back(std::move(table));
+  }
+  return reply;
+}
+
+void QueryService::set_table_loader(TableLoader loader) {
+  MutexLock lock(&loader_mutex_);
+  table_loader_ = std::move(loader);
+}
+
+void QueryService::BroadcastTableChanged(const TableChangedNote& note) {
+  const Message frame = EncodeTableChanged(note);
+  MutexLock lock(&mutex_);
+  for (const auto& session : sessions_) {
+    if (session->Finished()) continue;
+    // Best effort by design: a client that raced its disconnect simply
+    // misses the note and learns from its next query's error instead.
+    session->Push(frame);
+  }
+}
+
+Message QueryService::HandleReloadTable(const Message& request) {
+  Result<ReloadTableRequest> decoded = DecodeReloadTableRequest(request);
+  if (!decoded.ok()) return EncodeQueryError(decoded.status());
+  TableRegistry::Entry* entry = registry_->Find(decoded->table);
+  if (entry == nullptr) {
+    return EncodeQueryError(Status::NotFound(
+        "QueryService: kReloadTable names unknown table '" + decoded->table +
+        "' (the table set is fixed at startup; reload replaces an existing "
+        "one)"));
+  }
+  const std::string spec =
+      decoded->spec.empty() ? entry->spec() : decoded->spec;
+  TableLoader loader;
+  {
+    MutexLock lock(&loader_mutex_);
+    loader = table_loader_;
+  }
+  if (!loader) {
+    return EncodeQueryError(Status::FailedPrecondition(
+        "QueryService: this server has no table loader; kReloadTable is "
+        "unavailable"));
+  }
+  // The build runs outside every service lock: queries keep flowing on the
+  // OLD engine while the replacement is constructed, however long it takes.
+  Result<std::unique_ptr<SknnEngine>> rebuilt =
+      loader(decoded->table, spec);
+  if (!rebuilt.ok()) return EncodeQueryError(rebuilt.status());
+  if (Status swapped = registry_->ReplaceEngine(
+          decoded->table, std::move(rebuilt).value(), spec);
+      !swapped.ok()) {
+    return EncodeQueryError(swapped);
+  }
+  BroadcastTableChanged({decoded->table, TableChangeKind::kReloaded});
+  return EncodeAdminAck(decoded->table);
+}
+
+Message QueryService::HandleDetachTable(const Message& request) {
+  Result<std::string> name = DecodeDetachTableRequest(request);
+  if (!name.ok()) return EncodeQueryError(name.status());
+  if (Status detached = registry_->Detach(*name); !detached.ok()) {
+    return EncodeQueryError(detached);
+  }
+  BroadcastTableChanged({*name, TableChangeKind::kDetached});
+  return EncodeAdminAck(*name);
 }
 
 std::size_t QueryService::active_sessions() const {
@@ -237,9 +332,18 @@ Message QueryService::HandleQuery(QueryRequest decoded) {
     return Reject(table.status(), &Stats::queries_failed);
   }
   TableRegistry::Entry& entry = **table;
+  // Pin the engine for the whole query: a concurrent kReloadTable swaps the
+  // entry to a new engine, but this query finishes on the one it resolved —
+  // the old engine cannot destruct while this shared_ptr lives.
+  std::shared_ptr<SknnEngine> engine = entry.engine();
+  if (engine == nullptr) {
+    return Reject(Status::NotFound("QueryService: table '" + entry.name +
+                                   "' was detached mid-session"),
+                  &Stats::queries_failed);
+  }
   // Validate before admission: malformed requests must not consume slots,
   // and their errors are not load signals.
-  if (Status valid = entry.engine->ValidateRequest(decoded); !valid.ok()) {
+  if (Status valid = engine->ValidateRequest(decoded); !valid.ok()) {
     entry.counters.failed.fetch_add(1);
     return Reject(valid, &Stats::queries_failed);
   }
@@ -256,8 +360,7 @@ Message QueryService::HandleQuery(QueryRequest decoded) {
   } while (!in_flight_.compare_exchange_weak(cur, cur + 1));
   entry.counters.in_flight.fetch_add(1);
 
-  Result<QueryResponse> response =
-      entry.engine->Submit(std::move(decoded)).get();
+  Result<QueryResponse> response = engine->Submit(std::move(decoded)).get();
   entry.counters.in_flight.fetch_sub(1);
   in_flight_.fetch_sub(1);
   if (!response.ok()) {
@@ -277,7 +380,12 @@ Message QueryService::HandleTableInfo(const Message& request) {
   if (!name.ok()) return EncodeQueryError(name.status());
   Result<TableRegistry::Entry*> table = registry_->Resolve(*name);
   if (!table.ok()) return EncodeQueryError(table.status());
-  const SknnEngine::Info info = (*table)->engine->info();
+  std::shared_ptr<SknnEngine> engine = (*table)->engine();
+  if (engine == nullptr) {
+    return EncodeQueryError(Status::NotFound(
+        "QueryService: table '" + (*table)->name + "' was detached"));
+  }
+  const SknnEngine::Info info = engine->info();
   TableInfoReply reply;
   reply.name = (*table)->name;
   reply.num_records = info.num_records;
@@ -323,6 +431,12 @@ Result<Message> QueryService::HandleFrame(SessionState& session,
       return HandleTableInfo(request);
     case FrontendOp::kServiceStats:
       return EncodeServiceStatsReply(ServiceStatsSnapshot());
+    case FrontendOp::kHealth:
+      return EncodeHealthReply(HealthSnapshot());
+    case FrontendOp::kReloadTable:
+      return HandleReloadTable(request);
+    case FrontendOp::kDetachTable:
+      return HandleDetachTable(request);
     default:
       return Reject(Status::ProtocolError(
                         "QueryService: frame type " +

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -89,8 +90,11 @@ class QueryService {
   /// in-process shards (SknnEngine::Options::shards) driven over `c2_link`.
   /// Otherwise each "host:port" entry is one standing sknn_c1_shard worker:
   /// the engine is assembled via SknnEngine::CreateWithShardWorkers — `db`
-  /// may then be empty, the geometry comes from the workers, and `shards`
-  /// must match the worker count (0 = take it from the list).
+  /// may then be empty, the geometry comes from the workers, and the list
+  /// must cover at least `shards` workers (0 = take the count from the
+  /// workers). SEVERAL workers may serve the same shard index: they become
+  /// that shard's replicas, queries fail over between them, and the
+  /// coordinator redials a dead worker at its listed address.
   static Result<std::unique_ptr<SknnEngine>> CreateShardedEngine(
       const PaillierPublicKey& pk, EncryptedDatabase db,
       std::unique_ptr<Endpoint> c2_link, SknnEngine::Options options,
@@ -116,6 +120,20 @@ class QueryService {
   /// kServiceStats frame answers): uptime, per-table counters, in-flight.
   ServiceStatsReply ServiceStatsSnapshot() const;
 
+  /// \brief The control plane's replica-liveness snapshot (also what a
+  /// kHealth frame answers): per table, per shard, per replica.
+  HealthReply HealthSnapshot() const;
+
+  /// \brief Builds a replacement engine for table `name` from `spec` (the
+  /// frame's, or the registered one when the frame's is empty). Installed
+  /// by the host process — tools/sknn_c1_server knows how its tables were
+  /// built — and invoked by kReloadTable OUTSIDE every service lock, so a
+  /// multi-second load never stalls serving. Without a loader, kReloadTable
+  /// answers kFailedPrecondition.
+  using TableLoader = std::function<Result<std::unique_ptr<SknnEngine>>(
+      const std::string& name, const std::string& spec)>;
+  void set_table_loader(TableLoader loader);
+
   /// \brief Connections whose client has not yet disconnected. A graceful
   /// drain (tools/sknn_c1_server --queries) waits for this to reach zero
   /// before Shutdown: queries_completed is counted when the handler
@@ -136,7 +154,12 @@ class QueryService {
   Message HandleHello(SessionState& session, const Message& request);
   Message HandleQuery(QueryRequest request);
   Message HandleTableInfo(const Message& request);
+  Message HandleReloadTable(const Message& request);
+  Message HandleDetachTable(const Message& request);
   Message Reject(const Status& status, uint64_t Stats::* counter);
+  /// \brief Pushes a kTableChanged note (correlation id 0) to every live
+  /// session, so clients mid-conversation learn a table changed under them.
+  void BroadcastTableChanged(const TableChangedNote& note);
 
   TableRegistry* registry_;
   /// Backs the single-engine constructor; null when the caller owns the
@@ -152,6 +175,8 @@ class QueryService {
   mutable Mutex mutex_;  // guards sessions_ and stats_
   std::vector<std::unique_ptr<RpcServer>> sessions_ GUARDED_BY(mutex_);
   Stats stats_ GUARDED_BY(mutex_);
+  mutable Mutex loader_mutex_;
+  TableLoader table_loader_ GUARDED_BY(loader_mutex_);
   /// Serializes Shutdown against itself: a second caller blocks until the
   /// first finishes instead of racing it to accept_thread_.join() (joining
   /// one std::thread from two threads is undefined behavior). Ordered after

@@ -2,12 +2,47 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "bigint/random.h"
 #include "net/socket.h"
 #include "proto/opcodes.h"
 
 namespace sknn {
+namespace {
+
+/// How long the client's own RPC timer waits past a query's deadline_ms
+/// before declaring the front end itself hung. The server normally answers
+/// a blown deadline with a TYPED kDeadlineExceeded well inside this.
+constexpr std::chrono::milliseconds kDeadlineGrace{500};
+
+/// Bounds the hello handshake so a hung endpoint rotates instead of
+/// wedging the first call forever.
+constexpr std::chrono::milliseconds kHelloTimeout{5000};
+
+Status ParseHostPort(const std::string& addr, std::string* host,
+                     uint16_t* port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= addr.size()) {
+    return Status::InvalidArgument("RemoteQueryClient: endpoint '" + addr +
+                                   "' is not host:port");
+  }
+  unsigned long parsed = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    const char c = addr[i];
+    if (c < '0' || c > '9') parsed = 66000;  // force the range error below
+    if (parsed <= 65535) parsed = parsed * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (parsed == 0 || parsed > 65535) {
+    return Status::InvalidArgument("RemoteQueryClient: bad port in endpoint '" +
+                                   addr + "'");
+  }
+  *host = addr.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return Status::OK();
+}
+
+}  // namespace
 
 std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy, int attempt,
                                        double uniform01) {
@@ -26,51 +61,207 @@ std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy, int attempt,
   return std::chrono::milliseconds(static_cast<int64_t>(slept));
 }
 
+RemoteQueryClient::RemoteQueryClient(std::unique_ptr<Endpoint> link) {
+  // A null link means "no connection yet" — the endpoint-list Connect path,
+  // which fills endpoints_ and lets EnsureLink dial.
+  if (link == nullptr) return;
+  MutexLock lock(&mutex_);
+  rpc_ = std::make_shared<RpcClient>(std::move(link));
+  InstallNoteHandler(rpc_.get());
+}
+
 Result<std::unique_ptr<RemoteQueryClient>> RemoteQueryClient::Connect(
     const std::string& host, uint16_t port) {
-  SKNN_ASSIGN_OR_RETURN(std::unique_ptr<SocketEndpoint> link,
-                        ConnectTcp(host, port));
-  return std::make_unique<RemoteQueryClient>(std::move(link));
+  return Connect(std::vector<std::string>{host + ":" + std::to_string(port)});
+}
+
+Result<std::unique_ptr<RemoteQueryClient>> RemoteQueryClient::Connect(
+    const std::vector<std::string>& endpoints) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("RemoteQueryClient: no endpoints given");
+  }
+  // Validate every address up front — a typo in the THIRD endpoint should
+  // fail now, not during the failover that was supposed to save the query.
+  for (const std::string& addr : endpoints) {
+    std::string host;
+    uint16_t port = 0;
+    SKNN_RETURN_NOT_OK(ParseHostPort(addr, &host, &port));
+  }
+  // The first dial happens here so Connect keeps its contract of returning
+  // a reachable client; later redials happen lazily inside EnsureLink.
+  auto client = std::make_unique<RemoteQueryClient>(nullptr);
+  client->endpoints_ = endpoints;
+  SKNN_RETURN_NOT_OK(client->EnsureLink().status());
+  return client;
+}
+
+void RemoteQueryClient::Close() {
+  std::shared_ptr<RpcClient> rpc;
+  {
+    MutexLock lock(&mutex_);
+    closed_ = true;
+    rpc = std::move(rpc_);
+    hello_done_ = false;
+  }
+  if (rpc != nullptr) rpc->Shutdown();
+}
+
+void RemoteQueryClient::set_table_changed_handler(TableChangedHandler handler) {
+  {
+    MutexLock lock(&handler_mutex_);
+    table_changed_ = std::move(handler);
+  }
+  // The installed RpcClient-level handler reads table_changed_ at note
+  // time, so a live link picks the new handler up without reinstalling.
+}
+
+void RemoteQueryClient::InstallNoteHandler(RpcClient* rpc) {
+  if (rpc == nullptr) return;
+  rpc->SetNoteHandler([this](const Message& note) {
+    if (note.type != FrontendOpCode(FrontendOp::kTableChanged)) return;
+    Result<TableChangedNote> decoded = DecodeTableChanged(note);
+    if (!decoded.ok()) return;
+    TableChangedHandler handler;
+    {
+      MutexLock lock(&handler_mutex_);
+      handler = table_changed_;
+    }
+    if (handler) handler(*decoded);
+  });
+}
+
+Result<std::shared_ptr<RpcClient>> RemoteQueryClient::EnsureLink() {
+  MutexLock lock(&mutex_);
+  if (closed_) {
+    return Status::FailedPrecondition("RemoteQueryClient: closed");
+  }
+  if (rpc_ == nullptr) {
+    if (endpoints_.empty()) {
+      return Status::Unavailable(
+          "RemoteQueryClient: link is down and no endpoints were given to "
+          "redial");
+    }
+    Status last = Status::Unavailable("RemoteQueryClient: no endpoints");
+    for (std::size_t tried = 0; tried < endpoints_.size(); ++tried) {
+      const std::string& addr = endpoints_[endpoint_idx_ % endpoints_.size()];
+      std::string host;
+      uint16_t port = 0;
+      if (Status parsed = ParseHostPort(addr, &host, &port); !parsed.ok()) {
+        last = parsed;
+        ++endpoint_idx_;
+        continue;
+      }
+      auto link = ConnectTcp(host, port);
+      if (!link.ok()) {
+        last = Status::Unavailable("RemoteQueryClient: cannot reach " + addr +
+                                   ": " + link.status().message());
+        ++endpoint_idx_;
+        continue;
+      }
+      rpc_ = std::make_shared<RpcClient>(std::move(link).value());
+      InstallNoteHandler(rpc_.get());
+      break;
+    }
+    if (rpc_ == nullptr) return last;
+  }
+  if (!hello_done_) {
+    HelloInfo hello;
+    hello.revision = kProtocolRevision;
+    hello.features = kSupportedFeatures;
+    Result<Message> reply = rpc_->Call(EncodeHello(hello), kHelloTimeout);
+    if (!reply.ok()) {
+      // Handshake transport failure: this endpoint is dead or hung. Drop
+      // the link and advance, so the CALLER's next attempt dials the next
+      // endpoint rather than re-helloing a corpse.
+      rpc_->Shutdown();
+      rpc_ = nullptr;
+      ++endpoint_idx_;
+      return reply.status();
+    }
+    if (reply->type == FrontendOpCode(FrontendOp::kQueryError)) {
+      // A typed rejection (revision mismatch) is the server's answer, not a
+      // link failure — surfacing it beats silently querying a neighbor that
+      // would say the same thing.
+      return DecodeQueryError(*reply);
+    }
+    SKNN_ASSIGN_OR_RETURN(server_hello_, DecodeHelloAck(*reply));
+    hello_done_ = true;
+  }
+  return rpc_;
+}
+
+void RemoteQueryClient::DropLink(const std::shared_ptr<RpcClient>& failed) {
+  MutexLock lock(&mutex_);
+  if (rpc_ != failed) return;  // another thread already failed over
+  rpc_ = nullptr;
+  hello_done_ = false;
+  ++endpoint_idx_;
+}
+
+void RemoteQueryClient::RotateEndpoint() {
+  std::shared_ptr<RpcClient> dropped;
+  {
+    MutexLock lock(&mutex_);
+    if (endpoints_.size() < 2) return;
+    dropped = std::move(rpc_);
+    hello_done_ = false;
+    ++endpoint_idx_;
+  }
+  if (dropped != nullptr) dropped->Shutdown();
 }
 
 Result<HelloInfo> RemoteQueryClient::Hello() {
-  SKNN_RETURN_NOT_OK(EnsureHello());
-  MutexLock lock(&hello_mutex_);
+  SKNN_RETURN_NOT_OK(EnsureLink().status());
+  MutexLock lock(&mutex_);
   return server_hello_;
 }
 
-Status RemoteQueryClient::EnsureHello() {
-  MutexLock lock(&hello_mutex_);
-  if (hello_done_) return Status::OK();
-  HelloInfo hello;
-  hello.revision = kProtocolRevision;
-  hello.features = kSupportedFeatures;
-  SKNN_ASSIGN_OR_RETURN(Message reply, rpc_.Call(EncodeHello(hello)));
-  if (reply.type == FrontendOpCode(FrontendOp::kQueryError)) {
-    return DecodeQueryError(reply);
+Result<Message> RemoteQueryClient::Call(const Message& request,
+                                        std::chrono::milliseconds timeout) {
+  // One dial per configured endpoint (at least one attempt for the
+  // wrapped-link constructor). Re-sending after a transport failure is
+  // safe: answers are a pure function of (table, query, k).
+  const std::size_t attempts = std::max<std::size_t>(endpoints_.size(), 1);
+  Status last = Status::Unavailable("RemoteQueryClient: no attempt ran");
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    Result<std::shared_ptr<RpcClient>> rpc = EnsureLink();
+    if (!rpc.ok()) {
+      last = rpc.status();
+      // EnsureLink already rotated past dead endpoints; a non-transport
+      // error (closed client, typed hello rejection) will repeat — stop.
+      if (last.code() != StatusCode::kUnavailable &&
+          last.code() != StatusCode::kDeadlineExceeded) {
+        return last;
+      }
+      continue;
+    }
+    Result<Message> reply = (*rpc)->Call(request, timeout);
+    if (!reply.ok()) {
+      DropLink(*rpc);
+      last = reply.status();
+      continue;
+    }
+    if (reply->type == FrontendOpCode(FrontendOp::kQueryError)) {
+      return DecodeQueryError(*reply);
+    }
+    if (reply->type == OpCode(Op::kError)) {
+      // Transport-level error frame (handler crash path of the RPC server).
+      return Status::ProtocolError("front end error: " +
+                                   std::string(reply->aux.begin(),
+                                               reply->aux.end()));
+    }
+    return reply;
   }
-  SKNN_ASSIGN_OR_RETURN(server_hello_, DecodeHelloAck(reply));
-  hello_done_ = true;
-  return Status::OK();
-}
-
-Result<Message> RemoteQueryClient::Call(Message request) {
-  SKNN_RETURN_NOT_OK(EnsureHello());
-  SKNN_ASSIGN_OR_RETURN(Message reply, rpc_.Call(std::move(request)));
-  if (reply.type == FrontendOpCode(FrontendOp::kQueryError)) {
-    return DecodeQueryError(reply);
-  }
-  if (reply.type == OpCode(Op::kError)) {
-    // Transport-level error frame (handler crash path of the RPC server).
-    return Status::ProtocolError("front end error: " +
-                                 std::string(reply.aux.begin(),
-                                             reply.aux.end()));
-  }
-  return reply;
+  return last;
 }
 
 Result<QueryResponse> RemoteQueryClient::Query(const QueryRequest& request) {
-  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeQueryRequest(request)));
+  std::chrono::milliseconds timeout{0};
+  if (request.deadline_ms > 0) {
+    timeout = std::chrono::milliseconds(request.deadline_ms) + kDeadlineGrace;
+  }
+  SKNN_ASSIGN_OR_RETURN(Message reply,
+                        Call(EncodeQueryRequest(request), timeout));
   return DecodeQueryResponse(reply);
 }
 
@@ -78,15 +269,25 @@ Result<QueryResponse> RemoteQueryClient::QueryWithRetry(
     const QueryRequest& request, const RetryPolicy& policy) {
   const auto started = std::chrono::steady_clock::now();
   const int attempts = std::max(policy.max_attempts, 1);
+  // A client holding a replica list retries worker-loss errors by default:
+  // the rotation below is exactly what the list was configured for.
+  const bool multi_endpoint = endpoints_.size() > 1;
+  const bool retry_unavailable = policy.retry_unavailable || multi_endpoint;
   Result<QueryResponse> response = Status::Internal("unset");
   for (int attempt = 1;; ++attempt) {
     response = Query(request);
     if (response.ok()) return response;
     const StatusCode code = response.status().code();
-    const bool retryable =
-        code == StatusCode::kResourceExhausted ||
-        (policy.retry_unavailable && code == StatusCode::kUnavailable);
+    const bool worker_loss = code == StatusCode::kUnavailable ||
+                             code == StatusCode::kDeadlineExceeded;
+    const bool retryable = code == StatusCode::kResourceExhausted ||
+                           (retry_unavailable && worker_loss);
     if (!retryable || attempt >= attempts) return response;
+    if (worker_loss && multi_endpoint) {
+      // The front end (or its worker fleet) failed this query — try the
+      // next front end rather than the same one again.
+      RotateEndpoint();
+    }
     const double uniform01 =
         static_cast<double>(Random::ThreadLocal().UniformUint64(1u << 20)) /
         static_cast<double>(1u << 20);
@@ -116,6 +317,25 @@ Result<TableInfoReply> RemoteQueryClient::TableInfo(const std::string& table) {
 Result<ServiceStatsReply> RemoteQueryClient::ServiceStats() {
   SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeServiceStatsRequest()));
   return DecodeServiceStatsReply(reply);
+}
+
+Result<HealthReply> RemoteQueryClient::Health() {
+  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeHealthRequest()));
+  return DecodeHealthReply(reply);
+}
+
+Result<std::string> RemoteQueryClient::ReloadTable(const std::string& table,
+                                                   const std::string& spec) {
+  ReloadTableRequest request;
+  request.table = table;
+  request.spec = spec;
+  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeReloadTableRequest(request)));
+  return DecodeAdminAck(reply);
+}
+
+Result<std::string> RemoteQueryClient::DetachTable(const std::string& table) {
+  SKNN_ASSIGN_OR_RETURN(Message reply, Call(EncodeDetachTableRequest(table)));
+  return DecodeAdminAck(reply);
 }
 
 }  // namespace sknn

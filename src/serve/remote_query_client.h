@@ -10,10 +10,28 @@
 // or driving the protocol itself. This is what lets one standing front end
 // serve many lightweight clients across many tables.
 //
+// Failover: Connect() also accepts a LIST of "host:port" endpoints. The
+// client speaks to one front end at a time; when the link dies (connect
+// refused, connection reset, or a per-call deadline with no answer) it
+// rotates to the next endpoint, re-runs the hello handshake there, and
+// re-sends the call. Queries are safe to re-send: the protocol's
+// deterministic tie-break makes the answer a pure function of
+// (table, query, k), so a query that fails over returns bitwise the same
+// records it would have from the first endpoint.
+//
+// Deadlines: a QueryRequest with deadline_ms > 0 is enforced server-side
+// (the coordinator turns a hung shard worker into kDeadlineExceeded); the
+// client additionally arms its own RPC timeout at deadline_ms plus a grace
+// period, so even a front end that is itself hung resolves to
+// kDeadlineExceeded instead of blocking forever.
+//
 // The control plane rides the same connection: ListTables() enumerates
 // what is served, TableInfo() reports one table's geometry and shard
-// topology, ServiceStats() the per-table admission counters — the calls
-// sknn_admin prints.
+// topology, ServiceStats() the per-table admission counters, Health() the
+// per-replica liveness — the calls sknn_admin prints. ReloadTable() and
+// DetachTable() are the admin mutations; when ANY admin triggers one, every
+// connected client hears about it through the kTableChanged note
+// (set_table_changed_handler).
 //
 // Errors arrive as real Statuses: kResourceExhausted means the front end's
 // admission budget is full (back off and retry — QueryWithRetry implements
@@ -29,6 +47,7 @@
 #define SKNN_SERVE_REMOTE_QUERY_CLIENT_H_
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,8 +76,11 @@ struct RetryPolicy {
   /// Fraction of each backoff that is uniformly random, in [0, 1]. 0 =
   /// deterministic (lockstep — only sensible in tests); 1 = full jitter.
   double jitter = 0.5;
-  /// Also retry kUnavailable (a dead shard worker mid-query). Off by
-  /// default: unlike backpressure, recovery is possible but not expected.
+  /// Also retry kUnavailable and kDeadlineExceeded (a dead or hung worker
+  /// mid-query). Off by default for a SINGLE endpoint — recovery is
+  /// possible but not expected; a client connected to SEVERAL endpoints
+  /// retries these regardless (rotating first), because that is what the
+  /// replica list is for.
   bool retry_unavailable = false;
 };
 
@@ -76,23 +98,33 @@ class RemoteQueryClient {
   static Result<std::unique_ptr<RemoteQueryClient>> Connect(
       const std::string& host, uint16_t port);
 
+  /// \brief Connects to the FIRST reachable of several equivalent
+  /// "host:port" front ends; the rest are failover targets the client
+  /// rotates to when its current link dies mid-session.
+  static Result<std::unique_ptr<RemoteQueryClient>> Connect(
+      const std::vector<std::string>& endpoints);
+
   /// \brief Wraps an already-connected link (tests: in-memory channel).
-  explicit RemoteQueryClient(std::unique_ptr<Endpoint> link)
-      : rpc_(std::move(link)) {}
+  /// No failover targets: when this link dies, calls fail.
+  explicit RemoteQueryClient(std::unique_ptr<Endpoint> link);
 
   /// \brief Negotiates the session: sends this build's protocol revision
   /// and feature bits, returns the server's. Idempotent — later calls
-  /// return the cached ack without another round trip. Every other method
-  /// calls this implicitly first.
+  /// return the cached ack without another round trip (re-run
+  /// automatically after a failover). Every other method calls this
+  /// implicitly first.
   Result<HelloInfo> Hello();
 
   /// \brief One query, one round trip (after the implicit hello).
   /// request.table targets one of a multi-table front end's tables
-  /// (empty = the sole table).
+  /// (empty = the sole table). request.deadline_ms > 0 additionally arms a
+  /// client-side RPC timeout of deadline_ms plus a grace period.
   Result<QueryResponse> Query(const QueryRequest& request);
 
-  /// \brief Query(), retrying kResourceExhausted per `policy`. Returns the
-  /// last error when attempts or the elapsed cap run out.
+  /// \brief Query(), retrying kResourceExhausted per `policy` (plus
+  /// kUnavailable/kDeadlineExceeded when policy.retry_unavailable is set or
+  /// several endpoints were given — rotating endpoints before those).
+  /// Returns the last error when attempts or the elapsed cap run out.
   Result<QueryResponse> QueryWithRetry(const QueryRequest& request,
                                        const RetryPolicy& policy);
 
@@ -106,22 +138,64 @@ class RemoteQueryClient {
   /// accounting.
   Result<ServiceStatsReply> ServiceStats();
 
-  /// \brief Closes the connection; in-flight calls fail.
-  void Close() { rpc_.Shutdown(); }
+  /// \brief Per-table, per-shard replica liveness (what sknn_admin --health
+  /// prints).
+  Result<HealthReply> Health();
+
+  /// \brief Hot-reloads `table` on the front end: rebuilds it from `spec`
+  /// (or, when empty, from the spec the server recorded at registration)
+  /// and atomically swaps it in. Returns the acked table name.
+  Result<std::string> ReloadTable(const std::string& table,
+                                  const std::string& spec = "");
+
+  /// \brief Tombstones `table` on the front end: subsequent queries answer
+  /// kNotFound until a reload revives it.
+  Result<std::string> DetachTable(const std::string& table);
+
+  /// \brief Installs a handler for the server's kTableChanged notes (a
+  /// table was hot-reloaded or detached under this session). Runs on the
+  /// RPC demux thread — keep it fast; re-installed automatically across
+  /// failover reconnects. Pass nullptr to uninstall. Thread-safe.
+  using TableChangedHandler = std::function<void(const TableChangedNote&)>;
+  void set_table_changed_handler(TableChangedHandler handler);
+
+  /// \brief Closes the connection; in-flight calls fail and no redial
+  /// happens afterwards.
+  void Close();
 
  private:
-  /// \brief Runs the handshake once; concurrent first calls serialize.
-  Status EnsureHello();
+  /// \brief The connected-and-helloed RPC link, dialing/rotating through
+  /// endpoints_ as needed. Held across the handshake round trip on
+  /// purpose: concurrent first callers serialize behind one hello instead
+  /// of each sending their own.
+  Result<std::shared_ptr<RpcClient>> EnsureLink();
+  /// \brief Drops `failed` if it is still the current link, so the next
+  /// EnsureLink dials the NEXT endpoint. No-op when another thread already
+  /// replaced it.
+  void DropLink(const std::shared_ptr<RpcClient>& failed);
+  /// \brief Drops the current link and advances to the next endpoint —
+  /// QueryWithRetry's front-end rotation on a server-reported
+  /// kUnavailable/kDeadlineExceeded.
+  void RotateEndpoint();
   /// \brief One negotiated round trip: hello first, then `request`;
-  /// kQueryError replies come back as their carried Status.
-  Result<Message> Call(Message request);
+  /// kQueryError replies come back as their carried Status. Transport
+  /// failures fail over across endpoints_ (one dial per endpoint).
+  Result<Message> Call(const Message& request,
+                       std::chrono::milliseconds timeout =
+                           std::chrono::milliseconds{0});
+  void InstallNoteHandler(RpcClient* rpc) REQUIRES(mutex_);
 
-  RpcClient rpc_;
-  /// Held across the handshake round trip on purpose: concurrent first
-  /// callers serialize behind one hello instead of each sending their own.
-  Mutex hello_mutex_;
-  bool hello_done_ GUARDED_BY(hello_mutex_) = false;
-  HelloInfo server_hello_ GUARDED_BY(hello_mutex_);
+  /// Failover targets; empty when constructed around an existing link.
+  std::vector<std::string> endpoints_;
+  mutable Mutex mutex_;
+  std::shared_ptr<RpcClient> rpc_ GUARDED_BY(mutex_);
+  bool hello_done_ GUARDED_BY(mutex_) = false;
+  HelloInfo server_hello_ GUARDED_BY(mutex_);
+  /// Next endpoints_ slot to dial (mod size); advanced on every drop.
+  std::size_t endpoint_idx_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
+  mutable Mutex handler_mutex_;
+  TableChangedHandler table_changed_ GUARDED_BY(handler_mutex_);
 };
 
 }  // namespace sknn

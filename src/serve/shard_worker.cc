@@ -92,6 +92,14 @@ Message ShardWorker::HandleShardQuery(const Message& request) {
   QueryMeter meter;
   ProtoContext ctx(&pk_, c2_client_.get(), pool_.get(), frame.query_id,
                    &meter, options_.vectorized_rounds);
+  if (frame.deadline_ms > 0) {
+    // The coordinator's per-attempt budget: bound every C2 exchange by it
+    // so a hung C2 fails this stage as a typed kDeadlineExceeded (which the
+    // coordinator may retry on a sibling replica) instead of pinning this
+    // worker thread forever.
+    ctx.set_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(frame.deadline_ms));
+  }
   Stopwatch watch;
   Result<ShardCandidates> candidates = [&] {
     ScopedOpSink sink(&meter.ops());

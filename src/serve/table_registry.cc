@@ -33,18 +33,23 @@ Status CheckTableName(const std::string& name) {
 }  // namespace
 
 Status TableRegistry::Register(const std::string& name,
-                               std::unique_ptr<SknnEngine> engine) {
-  SknnEngine* raw = engine.get();
-  return RegisterEntry(name, raw, std::move(engine));
+                               std::unique_ptr<SknnEngine> engine,
+                               const std::string& spec) {
+  return RegisterEntry(name, std::shared_ptr<SknnEngine>(std::move(engine)),
+                       spec);
 }
 
 Status TableRegistry::Register(const std::string& name, SknnEngine* engine) {
-  return RegisterEntry(name, engine, nullptr);
+  // Non-owning: alias the caller's object with a no-op deleter so the
+  // shared_ptr plumbing (in-flight queries pinning the engine) still works
+  // without the registry ever deleting it.
+  return RegisterEntry(
+      name, std::shared_ptr<SknnEngine>(engine, [](SknnEngine*) {}), "");
 }
 
 Status TableRegistry::RegisterEntry(const std::string& name,
-                                    SknnEngine* engine,
-                                    std::unique_ptr<SknnEngine> owned) {
+                                    std::shared_ptr<SknnEngine> engine,
+                                    const std::string& spec) {
   if (engine == nullptr) {
     return Status::InvalidArgument("TableRegistry: null engine for table '" +
                                    name + "'");
@@ -54,7 +59,7 @@ Status TableRegistry::RegisterEntry(const std::string& name,
   if (frozen_) {
     return Status::FailedPrecondition(
         "TableRegistry: serving already started; cannot register '" + name +
-        "'");
+        "' (ReplaceEngine hot-reloads an EXISTING table)");
   }
   for (const auto& entry : entries_) {
     if (entry->name == name) {
@@ -64,27 +69,78 @@ Status TableRegistry::RegisterEntry(const std::string& name,
   }
   auto entry = std::make_unique<Entry>();
   entry->name = name;
-  entry->engine = engine;
-  entry->owned = std::move(owned);
+  {
+    MutexLock entry_lock(&entry->mutex);
+    entry->current = std::move(engine);
+    entry->spec_value = spec;
+  }
   entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status TableRegistry::ReplaceEngine(const std::string& name,
+                                    std::unique_ptr<SknnEngine> engine,
+                                    const std::string& spec) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument(
+        "TableRegistry: null replacement engine for table '" + name + "'");
+  }
+  Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("TableRegistry: unknown table '" + name + "'");
+  }
+  std::shared_ptr<SknnEngine> replaced;
+  {
+    MutexLock lock(&entry->mutex);
+    replaced = std::move(entry->current);
+    entry->current = std::shared_ptr<SknnEngine>(std::move(engine));
+    if (!spec.empty()) entry->spec_value = spec;
+  }
+  entry->detached_flag.store(false, std::memory_order_release);
+  // `replaced` drops here — the old engine destructs NOW if no query holds
+  // it, or when the last in-flight query completes (drain-by-shared_ptr).
+  return Status::OK();
+}
+
+Status TableRegistry::Detach(const std::string& name) {
+  Entry* entry = Find(name);
+  if (entry == nullptr || entry->detached()) {
+    return Status::NotFound("TableRegistry: unknown table '" + name + "'");
+  }
+  entry->detached_flag.store(true, std::memory_order_release);
+  std::shared_ptr<SknnEngine> replaced;
+  {
+    MutexLock lock(&entry->mutex);
+    replaced = std::move(entry->current);
+  }
   return Status::OK();
 }
 
 Result<TableRegistry::Entry*> TableRegistry::Resolve(const std::string& name) {
   MutexLock lock(&mutex_);
   if (name.empty()) {
-    if (entries_.empty()) {
+    Entry* sole = nullptr;
+    std::size_t live = 0;
+    for (const auto& entry : entries_) {
+      if (entry->detached()) continue;
+      sole = entry.get();
+      ++live;
+    }
+    if (live == 0) {
       return Status::FailedPrecondition("TableRegistry: no tables registered");
     }
-    if (entries_.size() > 1) {
+    if (live > 1) {
       return Status::InvalidArgument(
-          "TableRegistry: " + std::to_string(entries_.size()) +
+          "TableRegistry: " + std::to_string(live) +
           " tables are served; the request must name one (kListTables "
           "enumerates them)");
     }
-    return entries_.front().get();
+    return sole;
   }
-  if (Entry* entry = FindLocked(name); entry != nullptr) return entry;
+  if (Entry* entry = FindLocked(name);
+      entry != nullptr && !entry->detached()) {
+    return entry;
+  }
   return Status::NotFound("TableRegistry: unknown table '" + name + "'");
 }
 
@@ -105,20 +161,28 @@ std::vector<std::string> TableRegistry::names() const {
   MutexLock lock(&mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
-  for (const auto& entry : entries_) out.push_back(entry->name);
+  for (const auto& entry : entries_) {
+    if (!entry->detached()) out.push_back(entry->name);
+  }
   return out;
 }
 
 std::size_t TableRegistry::size() const {
   MutexLock lock(&mutex_);
-  return entries_.size();
+  std::size_t live = 0;
+  for (const auto& entry : entries_) {
+    if (!entry->detached()) ++live;
+  }
+  return live;
 }
 
 std::vector<TableRegistry::Entry*> TableRegistry::snapshot() const {
   MutexLock lock(&mutex_);
   std::vector<Entry*> out;
   out.reserve(entries_.size());
-  for (const auto& entry : entries_) out.push_back(entry.get());
+  for (const auto& entry : entries_) {
+    if (!entry->detached()) out.push_back(entry.get());
+  }
   return out;
 }
 

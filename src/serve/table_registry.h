@@ -14,11 +14,18 @@
 // process), attribution is per table.
 //
 // Lifecycle: register every table BEFORE handing the registry to a
-// QueryService; registration is rejected once serving starts (Freeze).
-// Every accessor takes the registry mutex — it is uncontended and held for
-// a name comparison or two, noise next to the milliseconds of homomorphic
-// work behind each query — so the thread-safety analysis can check every
-// entries_ access instead of trusting a freeze-then-read convention.
+// QueryService; registration of NEW names is rejected once serving starts
+// (Freeze). Existing tables, however, stay mutable under live traffic:
+// ReplaceEngine atomically swaps a freshly built engine in (hot reload —
+// in-flight queries finish on the old engine, which destructs when the last
+// of them drops its shared_ptr), and Detach tombstones a table (resolves
+// become kNotFound; the Entry itself is never destroyed, so Entry pointers
+// stay valid for the registry's lifetime).
+//
+// Every accessor takes a mutex — uncontended and held for a name comparison
+// or two, noise next to the milliseconds of homomorphic work behind each
+// query — so the thread-safety analysis can check every access instead of
+// trusting a freeze-then-read convention.
 #ifndef SKNN_SERVE_TABLE_REGISTRY_H_
 #define SKNN_SERVE_TABLE_REGISTRY_H_
 
@@ -45,10 +52,32 @@ class TableRegistry {
  public:
   struct Entry {
     std::string name;
-    /// Always valid; `owned` below controls lifetime only.
-    SknnEngine* engine = nullptr;
-    std::unique_ptr<SknnEngine> owned;
     TableCounters counters;
+
+    /// \brief The engine currently serving this table; nullptr once
+    /// detached. Callers hold the returned shared_ptr for the duration of
+    /// their query, so a concurrent ReplaceEngine/Detach never destroys an
+    /// engine under them — the old engine drains and destructs when the
+    /// last in-flight query drops its copy.
+    std::shared_ptr<SknnEngine> engine() const {
+      MutexLock lock(&mutex);
+      return current;
+    }
+    /// \brief The build spec this table was registered (or last reloaded)
+    /// with; "" when none was recorded. What a spec-less kReloadTable
+    /// rebuilds from.
+    std::string spec() const {
+      MutexLock lock(&mutex);
+      return spec_value;
+    }
+    bool detached() const {
+      return detached_flag.load(std::memory_order_acquire);
+    }
+
+    mutable Mutex mutex;
+    std::shared_ptr<SknnEngine> current GUARDED_BY(mutex);
+    std::string spec_value GUARDED_BY(mutex);
+    std::atomic<bool> detached_flag{false};
   };
 
   TableRegistry() = default;
@@ -57,38 +86,61 @@ class TableRegistry {
 
   /// \brief Registers `engine` under `name`, taking ownership. Names must
   /// be non-empty, unique, at most 64 characters from [A-Za-z0-9._-].
-  Status Register(const std::string& name,
-                  std::unique_ptr<SknnEngine> engine);
-  /// \brief Non-owning registration; `engine` must outlive the registry.
+  /// `spec`, when non-empty, records how to rebuild the engine (the
+  /// kReloadTable default).
+  Status Register(const std::string& name, std::unique_ptr<SknnEngine> engine,
+                  const std::string& spec = "");
+  /// \brief Non-owning registration; `engine` must outlive the registry
+  /// (and every query started against it — hot reload of such a table keeps
+  /// the caller's object alive but stops routing to it).
   Status Register(const std::string& name, SknnEngine* engine);
 
-  /// \brief Rejects further registration — called by QueryService::Start,
-  /// after which the table set is immutable for the registry's lifetime.
+  /// \brief Rejects registration of further NEW tables — called by
+  /// QueryService::Start. ReplaceEngine and Detach still work: the table
+  /// SET is frozen, the tables themselves are not.
   void Freeze() {
     MutexLock lock(&mutex_);
     frozen_ = true;
   }
 
-  /// \brief Resolves a wire table name: "" means THE sole table (an error
-  /// when several are served — a multi-table client must say which), an
-  /// unknown name is kNotFound. Stable pointer for the registry's lifetime.
+  /// \brief Hot reload: atomically routes `name` to `engine`. In-flight
+  /// queries finish on the engine they resolved; the replaced engine
+  /// destructs once the last of them completes. A detached table is revived.
+  /// `spec`, when non-empty, becomes the recorded rebuild spec.
+  Status ReplaceEngine(const std::string& name,
+                       std::unique_ptr<SknnEngine> engine,
+                       const std::string& spec = "");
+
+  /// \brief Tombstones `name`: future resolves are kNotFound, in-flight
+  /// queries finish undisturbed. The entry (and its counters) survives so
+  /// Entry pointers stay valid; a later ReplaceEngine revives it.
+  Status Detach(const std::string& name);
+
+  /// \brief Resolves a wire table name: "" means THE sole (non-detached)
+  /// table (an error when several are served — a multi-table client must
+  /// say which), an unknown or detached name is kNotFound. Stable pointer
+  /// for the registry's lifetime.
   Result<Entry*> Resolve(const std::string& name);
 
-  /// \brief Exact-name lookup; nullptr when absent. ("" never matches.)
+  /// \brief Exact-name lookup, including detached entries; nullptr when
+  /// absent. ("" never matches.)
   Entry* Find(const std::string& name);
 
+  /// \brief Non-detached table names, registration order.
   std::vector<std::string> names() const;
+  /// \brief Count of non-detached tables.
   std::size_t size() const;
 
-  /// \brief Every entry, registration order — the control plane's
-  /// iteration. The pointers stay valid for the registry's lifetime; the
-  /// snapshot itself is the caller's copy (handing out a reference to the
-  /// guarded vector would escape the lock).
+  /// \brief Every non-detached entry, registration order — the control
+  /// plane's iteration. The pointers stay valid for the registry's
+  /// lifetime; the snapshot itself is the caller's copy (handing out a
+  /// reference to the guarded vector would escape the lock).
   std::vector<Entry*> snapshot() const;
 
  private:
-  Status RegisterEntry(const std::string& name, SknnEngine* engine,
-                       std::unique_ptr<SknnEngine> owned);
+  Status RegisterEntry(const std::string& name,
+                       std::shared_ptr<SknnEngine> engine,
+                       const std::string& spec);
 
   Entry* FindLocked(const std::string& name) REQUIRES(mutex_);
 

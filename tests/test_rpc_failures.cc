@@ -199,6 +199,47 @@ TEST_P(RpcFailureTest, ShardErrorFramesCarryStatusCodesIntact) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kCryptoError);
 }
 
+TEST_P(RpcFailureTest, HungPeerResolvesToDeadlineExceededNotAStall) {
+  EndpointPair pair = MakePair(GetParam());
+  Endpoint* server_raw = pair.server.get();
+  Mutex release_mutex;
+  CondVar release_cv;
+  bool released = false;
+  // The silent-stall gap: a peer that READS the request and then sits on it
+  // — alive (the link never closes) but never answering. Before per-call
+  // timeouts, this Call blocked forever; kill -9 was the only way out.
+  std::thread peer([&] {
+    std::vector<uint8_t> frame;
+    (void)server_raw->Recv(&frame);
+    MutexLock lock(&release_mutex);
+    while (!released) release_cv.Wait(release_mutex);
+  });
+  RpcClient client(std::move(pair.client));
+
+  Message req;
+  req.type = 7;
+  const auto started = std::chrono::steady_clock::now();
+  auto result = client.Call(std::move(req), std::chrono::milliseconds(200));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+  // Resolved by the timeout, not by some multi-second transport default.
+  EXPECT_GE(elapsed.count(), 200);
+  EXPECT_LT(elapsed.count(), 5000);
+
+  // The client survives the timed-out call: wake the peer so the link is
+  // torn down cleanly and later calls fail with the link error, not UB.
+  {
+    MutexLock lock(&release_mutex);
+    released = true;
+    release_cv.NotifyAll();
+  }
+  peer.join();
+  client.Shutdown();
+}
+
 TEST_P(RpcFailureTest, PeerDisconnectMidCallFailsAllInFlight) {
   EndpointPair pair = MakePair(GetParam());
   Endpoint* server_raw = pair.server.get();

@@ -16,9 +16,16 @@
 //      — plus fault injection: a worker killed or disconnecting mid-query
 //      must surface StatusCode::kUnavailable, never a hang, and a
 //      misassembled worker set must be rejected at construction.
+//
+// Plus, since ISSUE 7, replication: several workers per shard are replicas,
+// a replica dying or hanging mid-query fails over to a sibling within the
+// query without changing a single output bit, and when EVERY replica of a
+// shard is silent the per-query deadline resolves to kDeadlineExceeded in
+// bounded time.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -500,7 +507,9 @@ TEST(ShardedQueryRemote, SingleWorkerCoordinatorDegeneratesCorrectly) {
 
 TEST(ShardedQueryRemote, MisassembledWorkerSetsAreRejected) {
   RemoteTopology topology(/*n=*/6, /*s=*/2, /*seed=*/2301);
-  // Two workers claiming the SAME shard.
+  // Two workers claiming the same shard are legal now (replicas) — but
+  // shard 1 of the two-shard manifest is still uncovered, so the set is
+  // rejected all the same.
   topology.AddWorker(0);
   topology.AddWorker(0);
   auto engine = topology.MakeEngine();
@@ -633,6 +642,159 @@ TEST_P(ShardFaultInjection, DeadWorkerSurfacesUnavailableNotHang) {
   auto after = RunQuery(**engine, query, 1, QueryProtocol::kBasic);
   ASSERT_FALSE(after.ok());
   EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Replicated shards (ISSUE 7): several workers per shard index are
+// replicas; a replica dying or hanging mid-query fails over to a sibling
+// WITHIN the query, and the answer stays bitwise the oracle's — the
+// deterministic tie-break makes the result a pure function of
+// (table, query, k), so which replica served a stage cannot show through.
+
+TEST(ShardedQueryReplicas, DuplicateWorkersWithFullCoverageAreReplicas) {
+  RemoteTopology topology(/*n=*/8, /*s=*/2, /*seed=*/2701);
+  topology.AddWorker(0);
+  topology.AddWorker(0);  // second worker for shard 0 = its replica
+  topology.AddWorker(1);
+  auto engine = topology.MakeEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const ShardCoordinator* coordinator = (*engine)->shard_coordinator();
+  ASSERT_NE(coordinator, nullptr);
+  EXPECT_EQ(coordinator->replicas(0), 2u);
+  EXPECT_EQ(coordinator->replicas(1), 1u);
+
+  auto reference = MakeEngine(topology.table, BaseOptions());
+  PlainRecord query = GenerateUniformQuery(2, kMaxValue, 2702);
+  auto local = RunQuery(*reference, query, 3, QueryProtocol::kSecure);
+  ASSERT_TRUE(local.ok()) << local.status();
+  auto remote = RunQuery(**engine, query, 3, QueryProtocol::kSecure);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  EXPECT_EQ(remote->records, local->records);
+
+  // Health plumbing end to end: three replicas reported, all healthy, none
+  // ever failed over.
+  auto statuses = coordinator->ReplicaStatuses();
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const auto& status : statuses) {
+    EXPECT_TRUE(status.healthy);
+    EXPECT_EQ(status.failovers, 0u);
+    EXPECT_GE(status.last_ok_age_seconds, 0.0);
+  }
+}
+
+struct FailoverCase {
+  uint64_t seed;
+  QueryProtocol protocol;
+  unsigned k;
+  FaultyWorker::Mode mode;
+  uint32_t deadline_ms;  // 0 = none (the disconnect path needs no timer)
+};
+
+TEST(ShardedQueryReplicas, MidQueryReplicaKillIsBitwiseInvisible) {
+  // The seeded kill sweep: replica 0 of shard 0 dies mid-query (disconnect
+  // or hang), the stage retries on replica 1, and the answer must equal the
+  // plaintext oracle bit for bit — across protocols and seeds.
+  const std::vector<FailoverCase> sweep = {
+      {2801, QueryProtocol::kSecure, 2, FaultyWorker::Mode::kDisconnect, 0},
+      {2802, QueryProtocol::kBasic, 3, FaultyWorker::Mode::kDisconnect, 0},
+      {2803, QueryProtocol::kFarthest, 2, FaultyWorker::Mode::kDisconnect, 0},
+      // The hang needs a deadline: the per-attempt budget (deadline split
+      // over untried replicas) is what turns a silent worker into an
+      // in-query failover instead of a stall.
+      {2804, QueryProtocol::kSecure, 2, FaultyWorker::Mode::kHangUntilKilled,
+       5000},
+  };
+  for (const FailoverCase& c : sweep) {
+    SCOPED_TRACE(std::string(QueryProtocolName(c.protocol)) + " seed=" +
+                 std::to_string(c.seed) + " deadline=" +
+                 std::to_string(c.deadline_ms));
+    RemoteTopology topology(/*n=*/8, /*s=*/2, c.seed);
+    topology.AddWorker(0);
+    topology.AddWorker(1);
+    ShardGeometry geometry = topology.workers[0]->worker()->geometry();
+    FaultyWorker faulty(geometry, c.mode);
+
+    // Connection order makes the faulty worker replica 0 — the preferred
+    // first attempt — so every case exercises a real mid-query failover.
+    std::vector<std::unique_ptr<Endpoint>> links;
+    links.push_back(faulty.TakeLink());
+    links.push_back(topology.workers[0]->TakeLink());
+    links.push_back(topology.workers[1]->TakeLink());
+    auto engine = SknnEngine::CreateWithShardWorkers(
+        SharedAlice().public_key(), std::move(links), topology.c2->Connect(),
+        BaseOptions());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+
+    QueryRequest request;
+    request.record = GenerateUniformQuery(2, kMaxValue, c.seed + 1);
+    request.k = c.k;
+    request.protocol = c.protocol;
+    request.deadline_ms = c.deadline_ms;
+    const PlainTable expected =
+        Oracle(topology.table, request.record, c.k, c.protocol);
+
+    auto response = (*engine)->Query(request);
+    if (c.mode == FaultyWorker::Mode::kHangUntilKilled) faulty.Release();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->records, expected)
+        << "failover changed the answer — determinism broken";
+    ASSERT_EQ(response->shards.size(), 2u);
+    EXPECT_GE(response->shards[0].failovers, 1u);
+    EXPECT_EQ(response->shards[0].replica, 1u)
+        << "the answer should have come from the surviving replica";
+    EXPECT_EQ(response->shards[1].failovers, 0u);
+
+    // The coordinator learned: replica 1 is now preferred, so the next
+    // query succeeds with zero failovers (and the same bits).
+    auto again = (*engine)->Query(request);
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_EQ(again->records, expected);
+    EXPECT_EQ(again->shards[0].failovers, 0u);
+    EXPECT_EQ(again->shards[0].replica, 1u);
+
+    auto statuses = (*engine)->shard_coordinator()->ReplicaStatuses();
+    ASSERT_EQ(statuses.size(), 3u);
+    EXPECT_GE(statuses[0].failovers, 1u);  // shard 0, replica 0: charged
+  }
+}
+
+TEST(ShardedQueryReplicas, EveryReplicaHungYieldsDeadlineExceededInBudget) {
+  // Both replicas of shard 0 are alive-but-silent (the SIGSTOP shape). The
+  // deadline must resolve the query to a typed kDeadlineExceeded in bounded
+  // time — the silent-stall gap this PR closes.
+  RemoteTopology topology(/*n=*/6, /*s=*/2, /*seed=*/2901);
+  topology.AddWorker(1);
+  auto geometry_worker = topology.MakeWorker(0);
+  const ShardGeometry geometry = geometry_worker->geometry();
+  FaultyWorker hung_a(geometry, FaultyWorker::Mode::kHangUntilKilled);
+  FaultyWorker hung_b(geometry, FaultyWorker::Mode::kHangUntilKilled);
+
+  std::vector<std::unique_ptr<Endpoint>> links;
+  links.push_back(hung_a.TakeLink());
+  links.push_back(hung_b.TakeLink());
+  links.push_back(topology.workers[0]->TakeLink());
+  auto engine = SknnEngine::CreateWithShardWorkers(
+      SharedAlice().public_key(), std::move(links), topology.c2->Connect(),
+      BaseOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  QueryRequest request;
+  request.record = GenerateUniformQuery(2, kMaxValue, 2902);
+  request.k = 1;
+  request.protocol = QueryProtocol::kBasic;
+  request.deadline_ms = 800;
+  const auto started = std::chrono::steady_clock::now();
+  auto response = (*engine)->Query(request);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  hung_a.Release();
+  hung_b.Release();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status();
+  // Bounded: the deadline (plus scheduling slack), not a transport default
+  // measured in minutes.
+  EXPECT_LT(elapsed.count(), 10000) << "deadline did not bound the stall";
 }
 
 TEST(ShardedQueryRemote, WorkerAnswersMalformedFramesWithTypedErrors) {

@@ -388,5 +388,107 @@ TEST(TsanStress, ShardWorkerKilledMidServing) {
   service.Shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// 6. Replica churn (ISSUE 7): replicas killed mid-load while clients hammer
+//    the front end and the health plane polls over the wire. Queries must
+//    keep SUCCEEDING — the sibling replica absorbs each stage — and every
+//    concurrent reader of the per-replica health state (query path, probe
+//    thread, kHealth snapshots) must be race-free.
+
+TEST(TsanStress, ReplicaChurnUnderLoad) {
+  PlainTable table = GenerateUniformTable(8, 2, kMaxValue, 9301);
+  auto encrypted = SharedAlice().EncryptDatabase(table, kAttrBits);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  EncryptedDatabase db = std::move(encrypted).value();
+  auto manifest = MakeShardManifest(8, 2, ShardScheme::kContiguous);
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+
+  StressC2 c2;
+  // Two replicas per shard; the killer later takes one of EACH shard, so
+  // both failover paths run while full coverage survives.
+  auto shard0_a = std::make_unique<StressWorker>(db, *manifest, 0, &c2);
+  auto shard0_b = std::make_unique<StressWorker>(db, *manifest, 0, &c2);
+  auto shard1_a = std::make_unique<StressWorker>(db, *manifest, 1, &c2);
+  auto shard1_b = std::make_unique<StressWorker>(db, *manifest, 1, &c2);
+  std::vector<std::unique_ptr<Endpoint>> links;
+  links.push_back(shard0_a->TakeLink());
+  links.push_back(shard0_b->TakeLink());
+  links.push_back(shard1_a->TakeLink());
+  links.push_back(shard1_b->TakeLink());
+  SknnEngine::Options options = BaseOptions();
+  // An aggressive probe cadence: the probe thread's MarkFailed/MarkOk churn
+  // races the query path's replica selection the whole run.
+  options.shard_probe_interval = std::chrono::milliseconds(25);
+  auto engine = SknnEngine::CreateWithShardWorkers(
+      SharedAlice().public_key(), std::move(links), c2.Connect(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  QueryService service(engine->get(), QueryService::Options{});
+  ASSERT_TRUE(service.Start(0).ok());
+
+  const PlainRecord query = GenerateUniformQuery(2, kMaxValue, 9302);
+  auto reference = (*engine)->Query(MakeRequest(query, 2));
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> first_batch_done{0};
+  std::atomic<bool> killed{false};
+  constexpr int kChurnClients = 2;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kChurnClients; ++t) {
+    clients.emplace_back([&] {
+      auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+      ASSERT_TRUE(client.ok()) << client.status();
+      for (int q = 0; q < 4; ++q) {
+        if (q == 2) {
+          // Halfway barrier: the kills land between the warm first batch
+          // (which parked `preferred` on the doomed replicas) and the
+          // second, so the later queries MUST take the failover path.
+          first_batch_done.fetch_add(1);
+          while (!killed.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        auto response =
+            (*client)->QueryWithRetry(MakeRequest(query, 2), PatientRetry());
+        ASSERT_TRUE(response.ok()) << response.status();
+        EXPECT_EQ(response->records, reference->records);
+      }
+    });
+  }
+  // The health plane polls over the wire while replicas die: kHealth reads
+  // the same per-replica state the query path and probe thread write.
+  std::thread health_poller([&] {
+    auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    while (!done.load()) {
+      auto health = (*client)->Health();
+      ASSERT_TRUE(health.ok()) << health.status();
+      ASSERT_EQ(health->tables.size(), 1u);
+      EXPECT_EQ(health->tables[0].replicas.size(), 4u);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Mid-load, one replica of each shard dies.
+  while (first_batch_done.load() < kChurnClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  shard0_a->Kill();
+  shard1_b->Kill();
+  killed.store(true);
+
+  for (auto& t : clients) t.join();
+  done.store(true);
+  health_poller.join();
+
+  // Zero client-visible failures through the churn — failover absorbed
+  // every kill inside the queries themselves.
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries_failed, 0u);
+  auto statuses = (*engine)->shard_coordinator()->ReplicaStatuses();
+  ASSERT_EQ(statuses.size(), 4u);
+  service.Shutdown();
+}
+
 }  // namespace
 }  // namespace sknn

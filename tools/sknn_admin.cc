@@ -6,13 +6,23 @@
 //     --table-info [name]  one table's geometry + shard topology
 //                          (no name = every table)
 //     --stats              uptime, in-flight, per-table admission counters
+//     --health             per-table, per-shard replica liveness: health,
+//                          consecutive failures, failover count, last-ok age
+//     --reload-table name [--spec spec]
+//                          hot reload: rebuild the table (from --spec, or
+//                          the spec recorded at startup) and swap it in
+//                          under live traffic
+//     --detach-table name  tombstone the table: queries answer kNotFound
+//                          until a reload revives it
 //
-// Pure control plane: every command is one hello handshake plus one frame
-// of net/query_wire.h through the same port the data path uses, so what
-// this prints is exactly what any RemoteQueryClient can learn. Exit 0 on
+// Control plane over the data port: every command is one hello handshake
+// plus one frame of net/query_wire.h through the same port the data path
+// uses, so what this prints is exactly what any RemoteQueryClient can
+// learn (and the mutations exactly what any client could send). Exit 0 on
 // success, 1 on any error (including a front end from the wrong protocol
 // era, which answers the hello with a typed status instead of garbage).
 #include <cstdio>
+#include <string>
 
 #include "core/sharding.h"
 #include "serve/remote_query_client.h"
@@ -53,7 +63,8 @@ int main(int argc, char** argv) {
   using namespace sknn::tools;
   const char* usage =
       "sknn_admin --host <ip> --port <p> "
-      "(--hello | --list-tables | --table-info [name] | --stats)";
+      "(--hello | --list-tables | --table-info [name] | --stats | --health | "
+      "--reload-table <name> [--spec <spec>] | --detach-table <name>)";
   auto flags = ParseFlags(argc, argv);
   std::string host = FlagOr(flags, "host", "127.0.0.1");
   uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
@@ -128,6 +139,57 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(table.rejected),
                   static_cast<unsigned long long>(table.in_flight));
     }
+    return 0;
+  }
+  if (flags.count("health")) {
+    auto health = (*client)->Health();
+    if (!health.ok()) {
+      std::fprintf(stderr, "health failed: %s\n",
+                   health.status().ToString().c_str());
+      return 1;
+    }
+    for (const TableHealthEntry& table : health->tables) {
+      if (table.replicas.empty()) {
+        std::printf("table %-16s (no replicated shard workers)\n",
+                    table.name.c_str());
+        continue;
+      }
+      std::printf("table %s\n", table.name.c_str());
+      for (const ReplicaHealthEntry& replica : table.replicas) {
+        std::printf("  shard %-3u replica %-3u %-9s failures=%u "
+                    "failovers=%llu last_ok=%s\n",
+                    replica.shard, replica.replica,
+                    replica.healthy ? "healthy" : "UNHEALTHY",
+                    replica.consecutive_failures,
+                    static_cast<unsigned long long>(replica.failovers),
+                    replica.last_ok_age_seconds < 0
+                        ? "never"
+                        : (std::to_string(replica.last_ok_age_seconds) + "s")
+                              .c_str());
+      }
+    }
+    return 0;
+  }
+  if (flags.count("reload-table")) {
+    const std::string name = flags.at("reload-table");
+    const std::string spec = FlagOr(flags, "spec", "");
+    auto acked = (*client)->ReloadTable(name, spec);
+    if (!acked.ok()) {
+      std::fprintf(stderr, "reload-table failed: %s\n",
+                   acked.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("reloaded %s\n", acked->c_str());
+    return 0;
+  }
+  if (flags.count("detach-table")) {
+    auto acked = (*client)->DetachTable(flags.at("detach-table"));
+    if (!acked.ok()) {
+      std::fprintf(stderr, "detach-table failed: %s\n",
+                   acked.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("detached %s\n", acked->c_str());
     return 0;
   }
   std::fprintf(stderr, "no command given\nusage: %s\n", usage);

@@ -33,6 +33,7 @@
 // runs); the default serves until SIGINT/SIGTERM, either of which unbinds,
 // drains in-flight queries and exits 0 (clean teardown for supervisors and
 // scripts alike).
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -42,6 +43,7 @@
 
 #include "core/db_io.h"
 #include "core/engine.h"
+#include "core/sharding.h"
 #include "crypto/serialization.h"
 #include "net/socket.h"
 #include "serve/query_service.h"
@@ -56,19 +58,27 @@ using namespace sknn::tools;
 // One --table spec, defaults already resolved against the global flags.
 struct TableSpec {
   std::string name;
-  std::string db_path;
+  std::string db_path;        // empty allowed when worker_addrs is set
   std::string manifest_path;  // empty = unsharded (or shards/scheme below)
   std::string pk_path;
   std::string c2_host;
   uint16_t c2_port = 0;
   std::size_t shards = 1;
   ShardScheme scheme = ShardScheme::kContiguous;
+  // Standing sknn_c1_shard workers ("host:port"); duplicates of a shard
+  // index are replicas. '|'-separated in the spec string (the item
+  // separator is ',').
+  std::vector<std::string> worker_addrs;
 };
 
-// "<name>=<db>[,key=value...]" -> TableSpec; dies with usage on malformed
-// specs so a typo'd deployment refuses to start instead of serving the
-// wrong table.
-TableSpec ParseTableSpec(const std::string& text, const char* usage) {
+// "<name>=<db>[,key=value...]" -> TableSpec. The same grammar serves both
+// the --table flag and the recorded rebuild spec behind kReloadTable, so
+// malformed text is a Status here: at startup the caller dies with usage,
+// at reload time the admin gets the error and the server keeps serving.
+Result<TableSpec> TryParseTableSpec(const std::string& text) {
+  auto malformed = [&text](const std::string& why) {
+    return Status::InvalidArgument("table spec '" + text + "': " + why);
+  };
   TableSpec spec;
   std::stringstream ss(text);
   std::string item;
@@ -76,13 +86,14 @@ TableSpec ParseTableSpec(const std::string& text, const char* usage) {
   while (std::getline(ss, item, ',')) {
     const std::size_t eq = item.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
-      DieBadFlag("table", text, usage);
+      return malformed("item '" + item + "' is not key=value");
     }
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
     if (first) {
       spec.name = key;
-      spec.db_path = value;
+      // "-" = no database file (the remote-worker form hosts no records).
+      if (value != "-") spec.db_path = value;
       first = false;
       continue;
     }
@@ -92,44 +103,97 @@ TableSpec ParseTableSpec(const std::string& text, const char* usage) {
       spec.pk_path = value;
     } else if (key == "c2-host") {
       spec.c2_host = value;
-    } else if (key == "c2-port") {
-      spec.c2_port = ParsePortOrDie(value, "table(c2-port)", usage);
-    } else if (key == "shards") {
-      spec.shards = static_cast<std::size_t>(
-          ParseUint64OrDie(value, "table(shards)", usage, 1, 65535));
+    } else if (key == "c2-port" || key == "shards") {
+      unsigned parsed = 0;
+      const char* begin = value.data();
+      const char* end = begin + value.size();
+      auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc() || ptr != end || parsed > 65535 ||
+          (key == "c2-port" && parsed == 0)) {
+        return malformed("bad " + key + " '" + value + "'");
+      }
+      if (key == "c2-port") {
+        spec.c2_port = static_cast<uint16_t>(parsed);
+      } else {
+        spec.shards = parsed;
+      }
     } else if (key == "scheme") {
       auto scheme = ParseShardScheme(value);
-      if (!scheme.ok()) DieBadFlag("table", text, usage);
+      if (!scheme.ok()) return malformed("bad scheme '" + value + "'");
       spec.scheme = *scheme;
+    } else if (key == "workers") {
+      std::stringstream ws(value);
+      std::string addr;
+      while (std::getline(ws, addr, '|')) {
+        if (!addr.empty()) spec.worker_addrs.push_back(addr);
+      }
+      if (spec.worker_addrs.empty()) {
+        return malformed("empty workers list");
+      }
     } else {
-      DieBadFlag("table", text, usage);
+      return malformed("unknown key '" + key + "'");
     }
   }
-  if (spec.name.empty() || spec.db_path.empty()) {
-    DieBadFlag("table", text, usage);
+  if (spec.name.empty()) return malformed("missing table name");
+  if (spec.db_path.empty() && spec.worker_addrs.empty()) {
+    return malformed("a database file (or workers=...) is required");
   }
   return spec;
 }
 
+// The --table flag's parse: dies with usage on malformed specs so a typo'd
+// deployment refuses to start instead of serving the wrong table.
+TableSpec ParseTableSpec(const std::string& text, const char* usage) {
+  auto spec = TryParseTableSpec(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    DieBadFlag("table", text, usage);
+  }
+  return *spec;
+}
+
+// The inverse of TryParseTableSpec: the canonical rebuild spec recorded at
+// registration, which a spec-less kReloadTable parses back.
+std::string FormatTableSpec(const TableSpec& spec) {
+  std::string out =
+      spec.name + "=" + (spec.db_path.empty() ? "-" : spec.db_path);
+  if (!spec.manifest_path.empty()) out += ",manifest=" + spec.manifest_path;
+  out += ",public=" + spec.pk_path;
+  out += ",c2-host=" + spec.c2_host;
+  out += ",c2-port=" + std::to_string(spec.c2_port);
+  out += ",shards=" + std::to_string(spec.shards);
+  out += ",scheme=" + std::string(ShardSchemeName(spec.scheme));
+  if (!spec.worker_addrs.empty()) {
+    out += ",workers=";
+    for (std::size_t i = 0; i < spec.worker_addrs.size(); ++i) {
+      if (i) out += "|";
+      out += spec.worker_addrs[i];
+    }
+  }
+  return out;
+}
+
 // Loads one spec's artifacts and assembles its engine — own key, own
-// database, own C2 connection, own (optional) in-process shard set.
+// database (or remote shard workers), own C2 connection. Runs at startup
+// AND at every kReloadTable, where it rebuilds beside the live engine.
 Result<std::unique_ptr<SknnEngine>> BuildTableEngine(
     const TableSpec& spec, const SknnEngine::Options& base_options) {
   SKNN_ASSIGN_OR_RETURN(PaillierPublicKey pk,
                         ReadPublicKeyFile(spec.pk_path));
-  SKNN_ASSIGN_OR_RETURN(EncryptedDatabase db,
-                        ReadEncryptedDatabase(spec.db_path));
-  SKNN_RETURN_NOT_OK(ValidateCiphertexts(db, pk));
-
-  SknnEngine::Options options = base_options;
-  options.shards = spec.shards;
-  options.shard_scheme = spec.scheme;
-  if (!spec.manifest_path.empty()) {
-    SKNN_ASSIGN_OR_RETURN(ShardManifest manifest,
-                          ReadShardManifest(spec.manifest_path));
-    SKNN_RETURN_NOT_OK(ValidateManifestForDatabase(manifest, db));
-    options.shards = manifest.num_shards;
-    options.shard_scheme = manifest.scheme;
+  EncryptedDatabase db;
+  std::size_t shards = spec.shards;
+  ShardScheme scheme = spec.scheme;
+  if (spec.worker_addrs.empty()) {
+    SKNN_ASSIGN_OR_RETURN(db, ReadEncryptedDatabase(spec.db_path));
+    SKNN_RETURN_NOT_OK(ValidateCiphertexts(db, pk));
+    if (!spec.manifest_path.empty()) {
+      SKNN_ASSIGN_OR_RETURN(ShardManifest manifest,
+                            ReadShardManifest(spec.manifest_path));
+      SKNN_RETURN_NOT_OK(ValidateManifestForDatabase(manifest, db));
+      shards = manifest.num_shards;
+      scheme = manifest.scheme;
+    }
+    if (shards == 0) shards = 1;
   }
 
   auto c2_link = ConnectTcp(spec.c2_host, spec.c2_port);
@@ -139,8 +203,10 @@ Result<std::unique_ptr<SknnEngine>> BuildTableEngine(
                                std::to_string(spec.c2_port) + ": " +
                                c2_link.status().message());
   }
-  return SknnEngine::CreateWithRemoteC2(pk, std::move(db),
-                                        std::move(c2_link).value(), options);
+  return QueryService::CreateShardedEngine(pk, std::move(db),
+                                           std::move(c2_link).value(),
+                                           base_options, shards, scheme,
+                                           spec.worker_addrs);
 }
 
 }  // namespace
@@ -209,54 +275,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Every table is registered with its resolved spec string, so
+  // kReloadTable can rebuild it from scratch (same artifacts, fresh
+  // engine) without the admin repeating the command line.
+  std::vector<TableSpec> specs;
   if (table_flags.empty()) {
     // The single-table form: global flags describe the sole table, served
     // under the name "default" (clients with an empty table name reach it).
-    std::string pk_path = RequireFlag(flags, "public", usage);
-    uint16_t c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
-                                      "c2-port", usage);
-    auto pk = ReadPublicKeyFile(pk_path);
-    if (!pk.ok()) {
-      std::fprintf(stderr, "%s\n", pk.status().ToString().c_str());
-      return 1;
-    }
+    TableSpec spec;
+    spec.name = "default";
+    spec.pk_path = RequireFlag(flags, "public", usage);
+    spec.c2_host = c2_host;
+    spec.c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
+                                  "c2-port", usage);
+    spec.shards = shards;
+    spec.scheme = *scheme;
+    spec.worker_addrs = worker_addrs;
     // With remote shard workers the front end hosts no records; the
     // database is only required (and only loaded) when this process runs
     // the protocol over Epk(T) itself.
-    EncryptedDatabase db;
     if (worker_addrs.empty()) {
-      std::string db_path = RequireFlag(flags, "db", usage);
-      auto loaded = ReadEncryptedDatabase(db_path);
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-        return 1;
-      }
-      if (Status s = ValidateCiphertexts(*loaded, *pk); !s.ok()) {
-        std::fprintf(stderr, "%s\n", s.ToString().c_str());
-        return 1;
-      }
-      db = std::move(loaded).value();
-      if (shards == 0) shards = 1;
+      spec.db_path = RequireFlag(flags, "db", usage);
     }
-    auto c2_link = ConnectTcp(c2_host, c2_port);
-    if (!c2_link.ok()) {
-      std::fprintf(stderr, "cannot reach C2 at %s:%u: %s\n", c2_host.c_str(),
-                   c2_port, c2_link.status().ToString().c_str());
-      return 1;
-    }
-    auto engine = QueryService::CreateShardedEngine(
-        *pk, std::move(db), std::move(c2_link).value(), base_options, shards,
-        *scheme, worker_addrs);
-    if (!engine.ok()) {
-      std::fprintf(stderr, "engine setup failed: %s\n",
-                   engine.status().ToString().c_str());
-      return 1;
-    }
-    if (Status s = registry.Register("default", std::move(engine).value());
-        !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
-    }
+    specs.push_back(std::move(spec));
   } else {
     for (const std::string& text : table_flags) {
       TableSpec spec = ParseTableSpec(text, usage);
@@ -268,23 +309,42 @@ int main(int argc, char** argv) {
         spec.c2_port = ParsePortOrDie(RequireFlag(flags, "c2-port", usage),
                                       "c2-port", usage);
       }
-      auto engine = BuildTableEngine(spec, base_options);
-      if (!engine.ok()) {
-        std::fprintf(stderr, "table '%s' setup failed: %s\n",
-                     spec.name.c_str(), engine.status().ToString().c_str());
-        return 1;
-      }
-      if (Status s = registry.Register(spec.name, std::move(engine).value());
-          !s.ok()) {
-        std::fprintf(stderr, "%s\n", s.ToString().c_str());
-        return 1;
-      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  for (const TableSpec& spec : specs) {
+    auto engine = BuildTableEngine(spec, base_options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "table '%s' setup failed: %s\n", spec.name.c_str(),
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = registry.Register(spec.name, std::move(engine).value(),
+                                     FormatTableSpec(spec));
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
     }
   }
 
   QueryService::Options service_options;
   service_options.max_in_flight = max_in_flight;
   QueryService service(&registry, service_options);
+  // Hot reload: kReloadTable hands this loader the recorded (or an
+  // admin-supplied) spec string; the fresh engine is built beside the live
+  // one and swapped in by the registry.
+  service.set_table_loader(
+      [base_options](const std::string& name, const std::string& spec)
+          -> Result<std::unique_ptr<SknnEngine>> {
+        if (spec.empty()) {
+          return Status::FailedPrecondition(
+              "table '" + name +
+              "' has no recorded build spec; pass one with the reload");
+        }
+        SKNN_ASSIGN_OR_RETURN(TableSpec parsed, TryParseTableSpec(spec));
+        parsed.name = name;  // the frame's table name wins over the spec's
+        return BuildTableEngine(parsed, base_options);
+      });
   if (Status s = service.Start(port); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -299,7 +359,7 @@ int main(int argc, char** argv) {
               service.port(), kProtocolRevision, registry.size(),
               registry.size() == 1 ? "" : "s", threads, max_in_flight);
   for (const sknn::TableRegistry::Entry* entry : registry.snapshot()) {
-    const SknnEngine::Info info = entry->engine->info();
+    const SknnEngine::Info info = entry->engine()->info();
     std::printf("  table %-16s n=%zu m=%zu attr_bits=%u shards=%zu%s\n",
                 entry->name.c_str(), info.num_records, info.num_attributes,
                 info.attr_bits, info.num_shards,

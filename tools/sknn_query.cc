@@ -4,7 +4,8 @@
 //   sknn_query --host 127.0.0.1 --port 9100 \
 //              --query "58,1,4,133,196,1,2,1,6" --k 2 \
 //              [--table name] [--protocol secure] [--retries 5] \
-//              [--max-wait-ms 30000] [--stats]
+//              [--max-wait-ms 30000] [--deadline-ms D] [--stats] \
+//              [--server host:port,host:port,...]
 //
 // This process neither loads the encrypted database nor drives the
 // protocol: it negotiates the versioned wire contract (hello), then sends
@@ -14,6 +15,12 @@
 // end's admission budget is full (ResourceExhausted), the client backs off
 // with exponential, jittered delays (RetryPolicy) up to --retries retries
 // or --max-wait-ms total, then gives up with exit code 3.
+//
+// --deadline-ms arms the per-query deadline: the front end turns a hung
+// shard worker into a typed kDeadlineExceeded (exit code 4) instead of
+// letting the query stall. --server takes a comma-separated list of
+// equivalent front ends; the client fails over between them when one dies
+// (and retries worker-loss errors by default, as a replica list implies).
 //
 // protocols: basic (SkNN_b), secure (SkNN_m, default), farthest (k-FN).
 #include <cstdio>
@@ -25,9 +32,10 @@ int main(int argc, char** argv) {
   using namespace sknn;
   using namespace sknn::tools;
   const char* usage =
-      "sknn_query --host <ip> --port <p> --query \"v1,v2,...\" --k <k> "
+      "sknn_query (--host <ip> --port <p> | --server host:port,...) "
+      "--query \"v1,v2,...\" --k <k> "
       "[--table name] [--protocol basic|secure|farthest] [--retries N] "
-      "[--max-wait-ms M] [--stats]\n"
+      "[--max-wait-ms M] [--deadline-ms D] [--stats]\n"
       "  basic:    SkNN_b — fast; C2 learns distances + access patterns\n"
       "  secure:   SkNN_m — fully secure k nearest neighbors (default)\n"
       "  farthest: SkNN_m on complemented distances — k farthest neighbors\n"
@@ -35,9 +43,20 @@ int main(int argc, char** argv) {
       "encrypted table(s) and drives the clouds. Run as many instances\n"
       "concurrently as the front end's --max-in-flight admits.";
   auto flags = ParseFlags(argc, argv);
-  std::string host = FlagOr(flags, "host", "127.0.0.1");
-  uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
-                                 usage);
+  std::vector<std::string> endpoints;
+  if (flags.count("server")) {
+    std::stringstream ss(flags.at("server"));
+    std::string addr;
+    while (std::getline(ss, addr, ',')) {
+      if (!addr.empty()) endpoints.push_back(addr);
+    }
+    if (endpoints.empty()) DieBadFlag("server", flags.at("server"), usage);
+  } else {
+    std::string host = FlagOr(flags, "host", "127.0.0.1");
+    uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
+                                   usage);
+    endpoints.push_back(host + ":" + std::to_string(port));
+  }
   QueryRequest request;
   request.table = FlagOr(flags, "table", "");
   // Ops/breakdown collection costs the front end an extra C1<->C2 round
@@ -47,6 +66,8 @@ int main(int argc, char** argv) {
   request.record = ParseRecord(RequireFlag(flags, "query", usage), usage);
   request.k = static_cast<unsigned>(ParseUint64OrDie(
       RequireFlag(flags, "k", usage), "k", usage, 1, 1u << 30));
+  request.deadline_ms = static_cast<uint32_t>(ParseUint64OrDie(
+      FlagOr(flags, "deadline-ms", "0"), "deadline-ms", usage, 0, 86400000));
   std::string protocol = FlagOr(flags, "protocol", "secure");
   if (protocol == "basic") {
     request.protocol = QueryProtocol::kBasic;
@@ -65,10 +86,11 @@ int main(int argc, char** argv) {
           FlagOr(flags, "max-wait-ms", "30000"), "max-wait-ms", usage, 0,
           86400000));
 
-  auto client = RemoteQueryClient::Connect(host, port);
+  auto client = RemoteQueryClient::Connect(endpoints);
   if (!client.ok()) {
-    std::fprintf(stderr, "cannot reach front end at %s:%u: %s\n",
-                 host.c_str(), port, client.status().ToString().c_str());
+    std::fprintf(stderr, "cannot reach front end at %s: %s\n",
+                 endpoints.front().c_str(),
+                 client.status().ToString().c_str());
     return 1;
   }
 
@@ -78,6 +100,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "front end saturated, gave up: %s\n",
                    response.status().ToString().c_str());
       return 3;
+    }
+    if (response.status().code() == StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr, "deadline exceeded: %s\n",
+                   response.status().ToString().c_str());
+      return 4;
     }
     std::fprintf(stderr, "query failed: %s\n",
                  response.status().ToString().c_str());
