@@ -5,15 +5,19 @@
 //
 // With --json, the results (plus the pooled-vs-plain Encrypt speedup) are
 // written to the "primitives" section of BENCH_PR2.json — the repo's
-// machine-readable perf trajectory.
+// machine-readable perf trajectory — and the PR 8 refill series (randomizer
+// refill throughput, fixed-base-vs-mpz_powm sweep, short-vs-full-width
+// speedup) to the "refill_throughput" section of BENCH_PR8.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bigint/modexp.h"
 #include "crypto/op_counters.h"
 #include "net/rpc.h"
 #include "proto/c2_service.h"
@@ -105,6 +109,90 @@ void BM_PaillierEncryptPooled(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierEncryptPooled)->ArgName("K")->Arg(512)->Arg(1024)
     ->Iterations(1024)->Unit(benchmark::kMicrosecond);
+
+// Tentpole (PR 8): randomizer REFILL throughput — how fast one worker set
+// can mint fresh r^N values for the pool. short:1 is the short-exponent
+// fixed-base path (r^N = h_N^s through the precomputed window table,
+// docs/CRYPTO.md); short:0 is the full-width reference (rng.UnitModulo ^ N).
+// The acceptance gate (ISSUE 8 / CI bench smoke) requires the short path to
+// refill >= 3x faster at 1024-bit keys.
+void BM_RefillThroughput(benchmark::State& state) {
+  Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
+  RandomizerPoolOptions options;
+  options.short_exponents = state.range(1) != 0;
+  RandomizerSource source(h.pk.n(), options);
+  const std::size_t threads = static_cast<std::size_t>(state.range(2));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  constexpr std::size_t kBatch = 16;
+  for (auto _ : state) {
+    if (pool != nullptr) {
+      pool->ParallelFor(kBatch, [&source](std::size_t) {
+        benchmark::DoNotOptimize(source.Next(Random::ThreadLocal()));
+      });
+    } else {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        benchmark::DoNotOptimize(source.Next(Random::ThreadLocal()));
+      }
+    }
+  }
+  state.counters["enc_per_s"] = benchmark::Counter(
+      static_cast<double>(kBatch),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+// UseRealTime: at T > 1 all the minting happens on pool workers, so the
+// default CPU-time clock (main thread only, mostly blocked) would both
+// mis-schedule iterations and inflate the rate counter.
+BENCHMARK(BM_RefillThroughput)
+    ->ArgNames({"K", "short", "T"})
+    ->ArgsProduct({{512, 1024}, {0, 1}, {1, 2, 4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// The fixed-base window exponentiator against the general mpz_powm it
+// replaces, per window size: table-driven PowMod of a short exponent vs
+// BigInt::PowMod of the same exponent from the same base. The window-size
+// sweep is what RecommendedWindowBits was tuned from.
+void BM_FixedBasePowMod(benchmark::State& state) {
+  Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
+  const unsigned w = static_cast<unsigned>(state.range(1));
+  const BigInt n = h.pk.n();
+  const BigInt n2 = n * n;
+  Random rng(13);
+  const unsigned e_bits =
+      std::max(256u, static_cast<unsigned>(n.BitLength()) / 4);
+  const BigInt base = rng.UnitModulo(n).PowMod(n, n2);
+  const BigInt bound = BigInt::PowerOfTwo(e_bits);
+  FixedBaseWindow window(base, n2, e_bits, w);
+  BigInt e = rng.Below(bound);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.PowMod(e));
+  }
+  state.counters["table_entries"] = static_cast<double>(window.table_size());
+}
+BENCHMARK(BM_FixedBasePowMod)
+    ->ArgNames({"K", "w"})
+    ->ArgsProduct({{512, 1024}, {2, 3, 4, 5, 6}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Baseline for BM_FixedBasePowMod: the same short exponent through the
+// general square-and-multiply path (no precomputation).
+void BM_FixedBaseBaselinePowMod(benchmark::State& state) {
+  Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
+  const BigInt n = h.pk.n();
+  const BigInt n2 = n * n;
+  Random rng(13);
+  const unsigned e_bits =
+      std::max(256u, static_cast<unsigned>(n.BitLength()) / 4);
+  const BigInt base = rng.UnitModulo(n).PowMod(n, n2);
+  BigInt e = rng.Below(BigInt::PowerOfTwo(e_bits));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.PowMod(e, n2));
+  }
+}
+BENCHMARK(BM_FixedBaseBaselinePowMod)
+    ->ArgName("K")->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_PaillierDecrypt(benchmark::State& state) {
   Harness& h = SharedHarness(static_cast<unsigned>(state.range(0)));
@@ -290,6 +378,53 @@ std::string PrimitivesJson(const std::vector<JsonCaptureReporter::Entry>& es) {
   return os.str();
 }
 
+// The PR 8 acceptance series: refill throughput per key size / strategy /
+// thread count, the fixed-base window sweep, and the headline
+// refill_speedup_K ratios (short-exponent vs full-width minting rate,
+// single-threaded — the >= 3x gate of ISSUE 8 and the CI bench smoke).
+std::string RefillJson(const std::vector<JsonCaptureReporter::Entry>& es) {
+  auto counter_of = [&](const std::string& name,
+                        const std::string& counter) -> double {
+    for (const auto& e : es) {
+      if (e.name == name) {
+        auto it = e.counters.find(counter);
+        if (it != e.counters.end()) return it->second;
+      }
+    }
+    return 0;
+  };
+  std::ostringstream os;
+  os << "{\n    \"benchmarks\": [";
+  bool first = true;
+  for (const auto& e : es) {
+    if (e.name.rfind("BM_Refill", 0) != 0 &&
+        e.name.rfind("BM_FixedBase", 0) != 0) {
+      continue;
+    }
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "      {\"name\": \"" << e.name << "\", \"real_time\": "
+       << e.real_time << ", \"unit\": \"" << e.unit
+       << "\", \"iterations\": " << e.iterations;
+    for (const auto& [name, value] : e.counters) {
+      os << ", \"" << name << "\": " << value;
+    }
+    os << "}";
+  }
+  os << "\n    ]";
+  for (unsigned k : {512u, 1024u}) {
+    const std::string prefix =
+        "BM_RefillThroughput/K:" + std::to_string(k);
+    double full = counter_of(prefix + "/short:0/T:1/real_time", "enc_per_s");
+    double fast = counter_of(prefix + "/short:1/T:1/real_time", "enc_per_s");
+    os << ",\n    \"refill_encrypts_per_s_" << k << "\": " << fast;
+    os << ",\n    \"refill_speedup_" << k
+       << "\": " << (full > 0 ? fast / full : 0);
+  }
+  os << "\n  }";
+  return os.str();
+}
+
 }  // namespace sknn
 
 int main(int argc, char** argv) {
@@ -304,6 +439,9 @@ int main(int argc, char** argv) {
     sknn::bench::MergeJsonSection(
         sknn::bench::BenchJsonPath(json_path, "BENCH_PR2.json"), "primitives",
         sknn::PrimitivesJson(reporter.entries));
+    sknn::bench::MergeJsonSection(
+        sknn::bench::BenchJsonPath(json_path, "BENCH_PR8.json"),
+        "refill_throughput", sknn::RefillJson(reporter.entries));
   }
   return 0;
 }

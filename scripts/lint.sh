@@ -12,7 +12,13 @@
 #       - no std::thread::detach anywhere: every thread must be joined, or
 #         TSan-clean teardown is impossible;
 #       - every client-visible wire frame type in src/net/query_wire.h is
-#         documented by name in docs/API.md, the versioned client contract.
+#         documented by name in docs/API.md, the versioned client contract;
+#       - no scalar per-element crypto calls (.Encrypt/.Decrypt/.Rerandomize/
+#         .PowMod) in the src/proto/ hot paths: batch work must go through
+#         EncryptMany/DecryptMany/RerandomizeMany/PowModMany so it shares
+#         the randomizer pool and thread fan-out (docs/CRYPTO.md). A
+#         justified scalar call carries a `// batch-exempt: <why>` marker on
+#         its own line or the line above.
 #  2. clang-tidy over compile_commands.json (runs when clang-tidy is on
 #     PATH — the lint CI job; skipped with a notice otherwise). Checks are
 #     curated in .clang-tidy.
@@ -81,6 +87,28 @@ if [ -n "${undocumented}" ]; then
   fail "wire frame types in src/net/query_wire.h missing from docs/API.md — \
 document the layout and semantics of every client-visible frame" \
     "${undocumented}"
+fi
+
+# --- 1e. Scalar crypto calls in the src/proto hot paths --------------------
+# The sub-protocol drivers and the C2 handlers are the system's hottest
+# loops; a scalar .Encrypt/.Decrypt/.Rerandomize/.PowMod there bypasses the
+# batch API (randomizer pool sharing + thread fan-out). The Many-suffixed
+# calls don't match (the open paren anchors the scalar form). Exempt a
+# justified call with `// batch-exempt: <why>` on the match line or the
+# line directly above.
+scalar_crypto=$(awk '
+  {
+    if ($0 ~ /\.(Encrypt|Decrypt|Rerandomize|PowMod)\(/ &&
+        $0 !~ /batch-exempt:/ && NR != exempt_line) {
+      printf "%s:%d:%s\n", FILENAME, FNR, $0
+    }
+    if ($0 ~ /batch-exempt:/) exempt_line = NR + 1
+  }
+' src/proto/*.cc 2>/dev/null || true)
+if [ -n "${scalar_crypto}" ]; then
+  fail "scalar per-element crypto calls in src/proto/ — use the batch API \
+(EncryptMany/DecryptMany/RerandomizeMany/PowModMany, crypto/paillier.h) or \
+mark the call '// batch-exempt: <why>'" "${scalar_crypto}"
 fi
 
 # --- 2. clang-tidy ---------------------------------------------------------

@@ -266,6 +266,12 @@ grep -Eq "alpha +2 " "$WORK/stats" || { cat "$WORK/stats"; \
   echo "MISMATCH: alpha completed count"; exit 1; }
 grep -Eq "beta +1 " "$WORK/stats" || { cat "$WORK/stats"; \
   echo "MISMATCH: beta completed count"; exit 1; }
+# Revision 4: the per-table randomizer-pool block must be present, and the
+# served queries above must have registered pool hits on some cloud.
+grep -q "randomizer pool" "$WORK/stats" || { cat "$WORK/stats"; \
+  echo "MISSING: randomizer-pool stats section"; exit 1; }
+grep -Eq "alpha +C[12] " "$WORK/stats" || { cat "$WORK/stats"; \
+  echo "MISSING: alpha randomizer-pool rows"; exit 1; }
 
 echo "== SIGTERM teardown: every server must drain and exit 0 =="
 term_and_wait "$C1M_PID"

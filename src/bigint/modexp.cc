@@ -1,0 +1,114 @@
+#include "bigint/modexp.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace sknn {
+namespace {
+
+/// Digit i (width w bits) of the non-negative exponent e.
+std::size_t DigitAt(const BigInt& e, std::size_t i, unsigned w) {
+  std::size_t digit = 0;
+  const std::size_t lo = i * w;
+  for (unsigned b = 0; b < w; ++b) {
+    if (e.Bit(lo + b) != 0) digit |= std::size_t{1} << b;
+  }
+  return digit;
+}
+
+}  // namespace
+
+unsigned FixedBaseWindow::RecommendedWindowBits(unsigned max_exponent_bits) {
+  // Per-exponent cost is ceil(bits/w) multiplications; build cost is
+  // ceil(bits/w) * (2^w - 1). The refill workload amortizes the build over
+  // thousands of exponentiations, so wide windows win once the exponent is
+  // long enough to feed them.
+  if (max_exponent_bits <= 16) return 2;
+  if (max_exponent_bits <= 64) return 3;
+  if (max_exponent_bits <= 128) return 4;
+  return 6;
+}
+
+FixedBaseWindow::FixedBaseWindow(const BigInt& base, const BigInt& modulus,
+                                 unsigned max_exponent_bits,
+                                 unsigned window_bits)
+    : base_(base.Mod(modulus)),
+      modulus_(modulus),
+      one_mod_(BigInt(1).Mod(modulus)),
+      max_exponent_bits_(max_exponent_bits),
+      window_bits_(window_bits == 0 ? RecommendedWindowBits(max_exponent_bits)
+                                    : std::min(window_bits, 16u)),
+      digits_((max_exponent_bits + window_bits_ - 1) / window_bits_) {
+  const std::size_t per_digit = (std::size_t{1} << window_bits_) - 1;
+  table_.reserve(digits_ * per_digit);
+  // g_i = base^(2^(w*i)): the digit-position base, advanced by w squarings
+  // per row. Row i holds g_i^j for j in [1, 2^w).
+  BigInt g = base_;
+  for (std::size_t i = 0; i < digits_; ++i) {
+    table_.push_back(g);
+    for (std::size_t j = 2; j <= per_digit; ++j) {
+      table_.push_back(table_.back().MulMod(g, modulus_));
+    }
+    if (i + 1 < digits_) {
+      for (unsigned s = 0; s < window_bits_; ++s) g = g.MulMod(g, modulus_);
+    }
+  }
+}
+
+BigInt FixedBaseWindow::PowMod(const BigInt& e) const {
+  if (e.IsNegative() || e.BitLength() > max_exponent_bits_) {
+    // Oversized (or pathological) exponent: correctness over speed.
+    return base_.PowMod(e, modulus_);
+  }
+  const std::size_t per_digit = (std::size_t{1} << window_bits_) - 1;
+  BigInt result = one_mod_;
+  const std::size_t used = (e.BitLength() + window_bits_ - 1) / window_bits_;
+  for (std::size_t i = 0; i < used; ++i) {
+    const std::size_t digit = DigitAt(e, i, window_bits_);
+    if (digit == 0) continue;
+    result = result.MulMod(table_[i * per_digit + (digit - 1)], modulus_);
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<BigInt> FanOut(std::size_t count, ThreadPool* pool,
+                           const std::function<BigInt(std::size_t)>& fn) {
+  std::vector<BigInt> out(count);
+  if (pool != nullptr && count > 1) {
+    pool->ParallelFor(count, [&](std::size_t i) { out[i] = fn(i); });
+  } else {
+    for (std::size_t i = 0; i < count; ++i) out[i] = fn(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BigInt> PowModMany(const std::vector<BigInt>& bases,
+                               const std::vector<BigInt>& exponents,
+                               const BigInt& modulus, ThreadPool* pool) {
+  const std::size_t count = std::min(bases.size(), exponents.size());
+  return FanOut(count, pool, [&](std::size_t i) {
+    return bases[i].PowMod(exponents[i], modulus);
+  });
+}
+
+std::vector<BigInt> PowModMany(const std::vector<BigInt>& bases,
+                               const BigInt& exponent, const BigInt& modulus,
+                               ThreadPool* pool) {
+  return FanOut(bases.size(), pool, [&](std::size_t i) {
+    return bases[i].PowMod(exponent, modulus);
+  });
+}
+
+std::vector<BigInt> PowModMany(const FixedBaseWindow& window,
+                               const std::vector<BigInt>& exponents,
+                               ThreadPool* pool) {
+  return FanOut(exponents.size(), pool, [&](std::size_t i) {
+    return window.PowMod(exponents[i]);
+  });
+}
+
+}  // namespace sknn

@@ -1,0 +1,99 @@
+// Modular-exponentiation acceleration layer (ROADMAP item 2, "crypto raw
+// speed"). Two independent tools live here:
+//
+//  * FixedBaseWindow — a 2^w-ary fixed-base exponentiator. When the SAME
+//    base is raised to many exponents modulo the same modulus (the
+//    randomizer-pool refill pattern: h_N^s over and over), precomputing the
+//    table g_{i,j} = base^(j * 2^(w*i)) mod m turns every exponentiation
+//    into ~ceil(bits/w) modular multiplications with NO squarings — the
+//    squaring chain that dominates a generic mpz_powm is paid once, at
+//    table-build time.
+//
+//  * PowModMany — batched b_i^e_i mod m fanned across a caller-supplied
+//    ThreadPool. One modexp is inherently serial inside GMP; a protocol
+//    round carrying hundreds of independent modexps is not. This is the
+//    BigInt-level primitive under Paillier::EncryptMany / RerandomizeMany
+//    (crypto/paillier.h), and the seam a later SIMD/GPU backend replaces.
+//
+// Everything here is bitwise-compatible with BigInt::PowMod (i.e. with
+// mpz_powm): same least-non-negative-residue semantics, same edge cases
+// (e = 0 -> 1 mod m, base reduced mod m first). Property tests in
+// tests/test_bigint.cc hold both tools to that contract.
+#ifndef SKNN_BIGINT_MODEXP_H_
+#define SKNN_BIGINT_MODEXP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/thread_pool.h"
+
+namespace sknn {
+
+/// \brief Precomputed 2^w-ary table for exponentiating one fixed base
+/// modulo one fixed modulus. Immutable after construction, so concurrent
+/// PowMod calls from many threads are safe.
+class FixedBaseWindow {
+ public:
+  /// \brief Builds the table for exponents of up to `max_exponent_bits`
+  /// bits. `window_bits` in [1, 16] selects the digit width w (table holds
+  /// ceil(max_exponent_bits / w) * (2^w - 1) residues); 0 picks
+  /// RecommendedWindowBits(max_exponent_bits). The modulus must be
+  /// positive; the base is reduced mod m up front (mpz_powm semantics).
+  FixedBaseWindow(const BigInt& base, const BigInt& modulus,
+                  unsigned max_exponent_bits, unsigned window_bits = 0);
+
+  /// \brief base^e mod m. Exponents wider than max_exponent_bits() (or
+  /// negative ones) fall back to the generic BigInt::PowMod — correctness
+  /// never depends on the caller respecting the sizing hint.
+  BigInt PowMod(const BigInt& e) const;
+
+  /// \brief The w that balances table cost against per-exponent cost for
+  /// the refill workload (many thousand exponentiations per table): per-exp
+  /// multiplications are ceil(bits/w), so w = 6 is already within ~15% of
+  /// the asymptote while the table stays a few hundred KB for the moduli
+  /// this repo uses. Small exponent budgets get a smaller w so the build
+  /// cost (ceil(bits/w) * (2^w - 1) multiplications) cannot dwarf the use.
+  static unsigned RecommendedWindowBits(unsigned max_exponent_bits);
+
+  const BigInt& base() const { return base_; }
+  const BigInt& modulus() const { return modulus_; }
+  unsigned max_exponent_bits() const { return max_exponent_bits_; }
+  unsigned window_bits() const { return window_bits_; }
+  /// \brief Number of precomputed residues (digits * (2^w - 1)).
+  std::size_t table_size() const { return table_.size(); }
+
+ private:
+  BigInt base_;     // reduced mod modulus_
+  BigInt modulus_;
+  BigInt one_mod_;  // 1 mod m (0 when m == 1), the product identity
+  unsigned max_exponent_bits_;
+  unsigned window_bits_;
+  std::size_t digits_;
+  /// table_[i * (2^w - 1) + (j - 1)] = base^(j * 2^(w*i)) mod m,
+  /// j in [1, 2^w).
+  std::vector<BigInt> table_;
+};
+
+/// \brief bases[i]^exponents[i] mod modulus for every i, fanned across
+/// `pool` (serial when null). The two vectors must have equal length.
+std::vector<BigInt> PowModMany(const std::vector<BigInt>& bases,
+                               const std::vector<BigInt>& exponents,
+                               const BigInt& modulus,
+                               ThreadPool* pool = nullptr);
+
+/// \brief bases[i]^exponent mod modulus — the shared-exponent form (e.g.
+/// r_i^N across a refill batch).
+std::vector<BigInt> PowModMany(const std::vector<BigInt>& bases,
+                               const BigInt& exponent, const BigInt& modulus,
+                               ThreadPool* pool = nullptr);
+
+/// \brief window.PowMod(exponents[i]) for every i, fanned across `pool` —
+/// the batched fixed-base form the randomizer refill uses.
+std::vector<BigInt> PowModMany(const FixedBaseWindow& window,
+                               const std::vector<BigInt>& exponents,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace sknn
+
+#endif  // SKNN_BIGINT_MODEXP_H_

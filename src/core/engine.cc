@@ -196,11 +196,14 @@ Status SknnEngine::InitCommon() {
     c2_->EnableIntraMessageParallelism(options_.c2_threads);
   }
   if (options_.randomizer_pool) {
+    RandomizerPoolOptions pool_options;
+    pool_options.short_exponents = options_.short_randomizers;
     c1_rand_pool_ = std::make_unique<RandomizerPool>(
-        pk_.n(), options_.randomizer_pool_capacity);
+        pk_.n(), options_.randomizer_pool_capacity, pool_options);
     pk_.set_randomizer_pool(c1_rand_pool_.get());
     if (c2_ != nullptr) {
-      c2_->EnableRandomizerPool(options_.randomizer_pool_capacity);
+      c2_->EnableRandomizerPool(options_.randomizer_pool_capacity,
+                                pool_options);
     }
   }
 
@@ -262,6 +265,37 @@ SknnEngine::Info SknnEngine::info() const {
     info.remote_shard_workers = coordinator_->remote();
   }
   return info;
+}
+
+SknnEngine::RandomizerPoolStats SknnEngine::randomizer_pool_stats() {
+  RandomizerPoolStats stats;
+  if (c1_rand_pool_ != nullptr) {
+    stats.c1_hits = c1_rand_pool_->hits();
+    stats.c1_misses = c1_rand_pool_->misses();
+    stats.c1_stock = c1_rand_pool_->stock();
+    stats.c1_capacity = c1_rand_pool_->capacity();
+  }
+  if (c2_ != nullptr) {
+    if (RandomizerPool* pool = c2_->randomizer_pool()) {
+      stats.c2_hits = pool->hits();
+      stats.c2_misses = pool->misses();
+      stats.c2_stock = pool->stock();
+      stats.c2_capacity = pool->capacity();
+    }
+  } else if (client_ != nullptr) {
+    // Remote C2: one untagged meta exchange; zeros on any failure (the
+    // control plane must never fail a stats frame on a flaky link).
+    Message req;
+    req.type = OpCode(Op::kFetchPoolStats);
+    Result<Message> resp = client_->Call(std::move(req));
+    if (resp.ok() && resp->aux.size() >= 32) {
+      stats.c2_hits = resp->AuxU64At(0);
+      stats.c2_misses = resp->AuxU64At(8);
+      stats.c2_stock = resp->AuxU64At(16);
+      stats.c2_capacity = resp->AuxU64At(24);
+    }
+  }
+  return stats;
 }
 
 Status SknnEngine::ValidateRequest(const QueryRequest& request) const {

@@ -76,6 +76,13 @@ class SknnEngine {
     bool randomizer_pool = true;
     /// Per-cloud randomizer pool capacity (r^N values held ready).
     std::size_t randomizer_pool_capacity = 4096;
+    /// Refill the randomizer pools via the short-exponent fixed-base path
+    /// (r^N = h_N^s for a short random s — docs/CRYPTO.md): refills are an
+    /// order of magnitude cheaper than full-width r^N modexps, under the
+    /// standard short-exponent indistinguishability assumption. Disable for
+    /// the assumption-free full-width reference path; decrypted results are
+    /// identical either way, only randomizer distribution economics change.
+    bool short_randomizers = true;
     /// Shard the record fan-out: partition Epk(T) into this many in-process
     /// shards, run each query's distance + local-top-k stages per shard
     /// concurrently, and merge the s*k candidates through the coordinator
@@ -211,6 +218,24 @@ class SknnEngine {
   /// \brief C2 instrumentation hooks (security tests). Only valid when
   /// has_local_c2().
   C2Service& c2_service() { return *c2_; }
+
+  /// \brief Both clouds' randomizer-pool effectiveness counters, merged for
+  /// the serving control plane (kServiceStats) and sknn_admin --stats.
+  /// capacity = 0 means that cloud runs without a pool. C1's numbers come
+  /// from the local pool; C2's are fetched over the link (kFetchPoolStats)
+  /// for a remote C2 and read directly otherwise. Best-effort: a failed
+  /// remote fetch reports zeros, never an error.
+  struct RandomizerPoolStats {
+    uint64_t c1_hits = 0;
+    uint64_t c1_misses = 0;
+    uint64_t c1_stock = 0;
+    uint64_t c1_capacity = 0;
+    uint64_t c2_hits = 0;
+    uint64_t c2_misses = 0;
+    uint64_t c2_stock = 0;
+    uint64_t c2_capacity = 0;
+  };
+  RandomizerPoolStats randomizer_pool_stats();
 
  private:
   SknnEngine() = default;

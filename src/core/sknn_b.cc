@@ -18,13 +18,16 @@ Result<CloudQueryOutput> MaskAndShipToBob(
   const std::size_t total = chosen.size() * m;
   CloudQueryOutput out;
   out.masks_for_bob.resize(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    out.masks_for_bob[idx] = Random::ThreadLocal().Below(pk.n());
+  }
+  // Mask encryptions ride the batched API (randomizer pool + fan-out).
+  std::vector<Ciphertext> enc_masks =
+      pk.EncryptMany(out.masks_for_bob, ctx.pool());
   std::vector<BigInt> gamma(total);
   ctx.ForEach(total, [&](std::size_t idx) {
-    Random& rng = Random::ThreadLocal();
     const Ciphertext& attr = chosen[idx / m][idx % m];
-    BigInt r = rng.Below(pk.n());
-    gamma[idx] = pk.Add(attr, pk.Encrypt(r, rng)).value();
-    out.masks_for_bob[idx] = std::move(r);
+    gamma[idx] = pk.Add(attr, enc_masks[idx]).value();
   });
   SKNN_ASSIGN_OR_RETURN(Message resp,
                         ctx.Call(Op::kMaskedDecryptToBob, std::move(gamma)));

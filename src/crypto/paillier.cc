@@ -1,6 +1,7 @@
 #include "crypto/paillier.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/logging.h"
 #include "crypto/op_counters.h"
@@ -13,15 +14,69 @@ BigInt LFunction(const BigInt& u, const BigInt& d) {
   return (u - BigInt(1)) / d;
 }
 
+/// Runs fn(i) for i in [0, count) across `pool` (serial when null),
+/// carrying the calling thread's op sink into the workers so per-query
+/// attribution matches a scalar loop — the same contract C2Service's
+/// intra-message fan-out keeps.
+void ParallelWithOpSink(ThreadPool* pool, std::size_t count,
+                        const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  OpAccumulator* sink = OpCounters::ThreadSink();
+  if (sink != nullptr) {
+    pool->ParallelFor(count, [&fn, sink](std::size_t i) {
+      ScopedOpSink scoped(sink);
+      fn(i);
+    });
+  } else {
+    pool->ParallelFor(count, fn);
+  }
+}
+
 }  // namespace
+
+RandomizerSource::RandomizerSource(const BigInt& n,
+                                   const RandomizerPoolOptions& options)
+    : n_(n), n_squared_(n * n) {
+  if (!options.short_exponents) return;
+  const unsigned n_bits = static_cast<unsigned>(n.BitLength());
+  unsigned s_bits = options.short_exponent_bits;
+  if (s_bits == 0) s_bits = std::max(256u, n_bits / 4);
+  short_exponent_bits_ = std::min(s_bits, n_bits);
+  // h_N = h^N mod N^2 for a random unit h: every h_N^s is an N-th power
+  // (r^N with r = h^s), i.e. a valid Paillier randomizer.
+  BigInt h_n =
+      Random::ThreadLocal().UnitModulo(n_).PowMod(n_, n_squared_);
+  window_ = std::make_unique<FixedBaseWindow>(
+      h_n, n_squared_, short_exponent_bits_, options.window_bits);
+  exponent_bound_ = BigInt::PowerOfTwo(short_exponent_bits_);
+}
+
+BigInt RandomizerSource::Next(Random& rng) const {
+  if (window_ != nullptr) {
+    return window_->PowMod(rng.Below(exponent_bound_));
+  }
+  return rng.UnitModulo(n_).PowMod(n_, n_squared_);
+}
 
 RandomizerPool::RandomizerPool(const BigInt& n, std::size_t capacity,
                                std::size_t workers)
+    : RandomizerPool(n, capacity, [workers] {
+        RandomizerPoolOptions options;
+        options.workers = workers;
+        return options;
+      }()) {}
+
+RandomizerPool::RandomizerPool(const BigInt& n, std::size_t capacity,
+                               const RandomizerPoolOptions& options)
     : n_(n),
       n_squared_(n * n),
+      source_(n, options),
       capacity_(std::max<std::size_t>(1, capacity)),
       low_watermark_(std::max<std::size_t>(1, capacity / 4)) {
-  workers = std::max<std::size_t>(1, workers);
+  const std::size_t workers = std::max<std::size_t>(1, options.workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { FillLoop(); });
@@ -38,7 +93,7 @@ RandomizerPool::~RandomizerPool() {
 }
 
 BigInt RandomizerPool::ComputeOne(Random& rng) const {
-  return rng.UnitModulo(n_).PowMod(n_, n_squared_);
+  return source_.Next(rng);
 }
 
 void RandomizerPool::FillLoop() {
@@ -174,6 +229,24 @@ Ciphertext PaillierPublicKey::Rerandomize(const Ciphertext& a,
   return Ciphertext(a.value().MulMod(rn, n_squared_));
 }
 
+std::vector<Ciphertext> PaillierPublicKey::EncryptMany(
+    const std::vector<BigInt>& ms, ThreadPool* pool) const {
+  std::vector<Ciphertext> out(ms.size());
+  ParallelWithOpSink(pool, ms.size(), [&](std::size_t i) {
+    out[i] = Encrypt(ms[i], Random::ThreadLocal());
+  });
+  return out;
+}
+
+std::vector<Ciphertext> PaillierPublicKey::RerandomizeMany(
+    const std::vector<Ciphertext>& cs, ThreadPool* pool) const {
+  std::vector<Ciphertext> out(cs.size());
+  ParallelWithOpSink(pool, cs.size(), [&](std::size_t i) {
+    out[i] = Rerandomize(cs[i], Random::ThreadLocal());
+  });
+  return out;
+}
+
 bool PaillierPublicKey::IsValidCiphertext(const Ciphertext& c) const {
   const BigInt& v = c.value();
   if (v.IsNegative() || v >= n_squared_) return false;
@@ -225,6 +298,15 @@ BigInt PaillierSecretKey::Decrypt(const Ciphertext& c) const {
 
 BigInt PaillierSecretKey::DecryptSigned(const Ciphertext& c) const {
   return DecodeSigned(Decrypt(c), pk_.n());
+}
+
+std::vector<BigInt> PaillierSecretKey::DecryptMany(
+    const std::vector<Ciphertext>& cs, ThreadPool* pool) const {
+  std::vector<BigInt> out(cs.size());
+  ParallelWithOpSink(pool, cs.size(), [&](std::size_t i) {
+    out[i] = Decrypt(cs[i]);
+  });
+  return out;
 }
 
 BigInt PaillierSecretKey::DecryptStandard(const Ciphertext& c) const {

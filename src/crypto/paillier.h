@@ -18,16 +18,65 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/modexp.h"
 #include "bigint/random.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "common/thread_pool.h"
 
 namespace sknn {
+
+/// \brief How a RandomizerPool (or a bare RandomizerSource) generates its
+/// r^N mod N^2 values.
+struct RandomizerPoolOptions {
+  /// Background fill threads of the pool.
+  std::size_t workers = 1;
+  /// Short-exponent refill (docs/CRYPTO.md): precompute h_N = h^N mod N^2
+  /// for one random unit h per key, then derive every randomizer as
+  /// h_N^s for a short random s through a fixed-base window table —
+  /// equivalently r = h^s, so r^N = h_N^s. Each refill costs ~bits(s)/w
+  /// modmuls instead of a full |N|-bit modexp. Sound under the standard
+  /// short-exponent indistinguishability assumption; set false for the
+  /// assumption-free full-width reference path (r drawn uniformly from
+  /// Z*_N, one mpz_powm per refill).
+  bool short_exponents = true;
+  /// Bit length of the short exponent s; 0 = auto
+  /// (min(|N|, max(256, |N|/4)) — 256 bits at the paper's key sizes).
+  unsigned short_exponent_bits = 0;
+  /// Fixed-base window width w; 0 = FixedBaseWindow::RecommendedWindowBits.
+  unsigned window_bits = 0;
+};
+
+/// \brief Generates Paillier randomizers r^N mod N^2 — the refill primitive
+/// under RandomizerPool, exposed so benchmarks and tests can measure the
+/// short-exponent fixed-base path against the full-width reference
+/// directly. Immutable after construction; Next() is safe to call from many
+/// threads concurrently (each with its own Random).
+class RandomizerSource {
+ public:
+  RandomizerSource(const BigInt& n, const RandomizerPoolOptions& options);
+
+  /// \brief One fresh r^N mod N^2.
+  BigInt Next(Random& rng) const;
+
+  bool short_exponents() const { return window_ != nullptr; }
+  /// \brief Bits of the short exponent (0 on the full-width path).
+  unsigned short_exponent_bits() const { return short_exponent_bits_; }
+
+ private:
+  BigInt n_;
+  BigInt n_squared_;
+  /// Short path only: the 2^w-ary table over h_N, and the draw bound 2^s.
+  std::unique_ptr<FixedBaseWindow> window_;
+  BigInt exponent_bound_;
+  unsigned short_exponent_bits_ = 0;
+};
 
 /// \brief Precomputed-randomizer pool: a thread-safe stock of r^N mod N^2
 /// values backing Encrypt/Rerandomize.
@@ -62,9 +111,13 @@ namespace sknn {
 class RandomizerPool {
  public:
   /// \brief Starts `workers` background fill threads for a pool of up to
-  /// `capacity` randomizers of the modulus `n`.
+  /// `capacity` randomizers of the modulus `n`, with the default generation
+  /// strategy (short-exponent fixed-base refill — see RandomizerPoolOptions).
   RandomizerPool(const BigInt& n, std::size_t capacity,
                  std::size_t workers = 1);
+  /// \brief Full-control constructor: worker count AND generation strategy.
+  RandomizerPool(const BigInt& n, std::size_t capacity,
+                 const RandomizerPoolOptions& options);
   ~RandomizerPool();
 
   RandomizerPool(const RandomizerPool&) = delete;
@@ -89,12 +142,17 @@ class RandomizerPool {
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// \brief The generation strategy behind this pool (benchmarks measure it
+  /// directly; kServiceStats reports whether the short path is active).
+  const RandomizerSource& source() const { return source_; }
+
  private:
   void FillLoop();
   BigInt ComputeOne(Random& rng) const;
 
   const BigInt n_;
   const BigInt n_squared_;
+  const RandomizerSource source_;
   const std::size_t capacity_;
   const std::size_t low_watermark_;
 
@@ -150,6 +208,19 @@ class PaillierPublicKey {
   Ciphertext Encrypt(const BigInt& m) const {
     return Encrypt(m, Random::ThreadLocal());
   }
+
+  /// \brief Epk(m_i) for every plaintext, fanned across `pool` (serial when
+  /// null). Each element draws its randomness from the executing thread's
+  /// RNG (and the attached RandomizerPool, when one is set) and counts one
+  /// encryption; the caller's per-query op sink is carried into the pool
+  /// workers, so attribution matches the scalar loop exactly.
+  std::vector<Ciphertext> EncryptMany(const std::vector<BigInt>& ms,
+                                      ThreadPool* pool = nullptr) const;
+
+  /// \brief Rerandomize(c_i) for every ciphertext, fanned across `pool`.
+  /// Same op accounting and randomness sourcing as EncryptMany.
+  std::vector<Ciphertext> RerandomizeMany(const std::vector<Ciphertext>& cs,
+                                          ThreadPool* pool = nullptr) const;
 
   /// \brief Deterministic "encryption" with fixed randomness r=1:
   /// c = 1 + mN. NOT semantically secure; used only where the protocol
@@ -218,6 +289,12 @@ class PaillierSecretKey {
 
   /// \brief Dsk(c) decoded to a signed value in (-N/2, N/2].
   BigInt DecryptSigned(const Ciphertext& c) const;
+
+  /// \brief Dsk(c_i) for every ciphertext, fanned across `pool` (serial
+  /// when null). Counts one decryption per element and carries the
+  /// caller's op sink into the pool workers, like EncryptMany.
+  std::vector<BigInt> DecryptMany(const std::vector<Ciphertext>& cs,
+                                  ThreadPool* pool = nullptr) const;
 
   /// \brief Toggles CRT-accelerated decryption (default on). For the
   /// ablation benchmark.

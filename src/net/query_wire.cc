@@ -409,6 +409,14 @@ Message EncodeServiceStatsReply(const ServiceStatsReply& stats) {
     msg.AppendAuxU64(table.failed);
     msg.AppendAuxU64(table.rejected);
     msg.AppendAuxU64(table.in_flight);
+    msg.AppendAuxU64(table.c1_pool_hits);
+    msg.AppendAuxU64(table.c1_pool_misses);
+    msg.AppendAuxU64(table.c1_pool_stock);
+    msg.AppendAuxU64(table.c1_pool_capacity);
+    msg.AppendAuxU64(table.c2_pool_hits);
+    msg.AppendAuxU64(table.c2_pool_misses);
+    msg.AppendAuxU64(table.c2_pool_stock);
+    msg.AppendAuxU64(table.c2_pool_capacity);
   }
   return msg;
 }
@@ -424,22 +432,30 @@ Result<ServiceStatsReply> DecodeServiceStatsReply(const Message& msg) {
   stats.in_flight = msg.AuxU64At(16);
   const uint32_t count = msg.AuxU32At(24);
   // Same implausible-count guard as kTableList: a per-table block is at
-  // least 36 bytes (name length prefix + four u64 counters).
-  if (std::size_t{count} * 36 > msg.aux.size() - 28) {
+  // least 100 bytes (name length prefix + twelve u64 counters).
+  if (std::size_t{count} * 100 > msg.aux.size() - 28) {
     return BadFrame("kServiceStatsResult count implausible");
   }
   std::size_t at = 28;
   stats.tables.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     TableStatsEntry table;
-    if (!StringAt(msg, &at, &table.name) || msg.aux.size() < at + 32) {
+    if (!StringAt(msg, &at, &table.name) || msg.aux.size() < at + 96) {
       return BadFrame("kServiceStatsResult geometry mismatch");
     }
     table.completed = msg.AuxU64At(at);
     table.failed = msg.AuxU64At(at + 8);
     table.rejected = msg.AuxU64At(at + 16);
     table.in_flight = msg.AuxU64At(at + 24);
-    at += 32;
+    table.c1_pool_hits = msg.AuxU64At(at + 32);
+    table.c1_pool_misses = msg.AuxU64At(at + 40);
+    table.c1_pool_stock = msg.AuxU64At(at + 48);
+    table.c1_pool_capacity = msg.AuxU64At(at + 56);
+    table.c2_pool_hits = msg.AuxU64At(at + 64);
+    table.c2_pool_misses = msg.AuxU64At(at + 72);
+    table.c2_pool_stock = msg.AuxU64At(at + 80);
+    table.c2_pool_capacity = msg.AuxU64At(at + 88);
+    at += 96;
     stats.tables.push_back(std::move(table));
   }
   if (at != msg.aux.size()) {

@@ -48,13 +48,16 @@ namespace sknn {
 ///       revision-2 decoders would misread it, hence the min bump), replica
 ///       health (kHealth), hot table reload/detach (kReloadTable /
 ///       kDetachTable / kAdminAck) and the kTableChanged server note.
-constexpr uint32_t kProtocolRevision = 3;
-/// \brief Oldest client revision the server still accepts. Revision 2
-/// clients would misread the widened kQueryResult per-shard block, so the
-/// hello gate turns them away with a typed error instead of letting them
-/// decode garbage. Revision 1 clients cannot hello at all; their first
+///   4 — PR 8: randomizer-pool counters in kServiceStatsResult's per-table
+///       block (8 trailing u64 per table — a LAYOUT change, revision-3
+///       decoders would misparse the widened entry, hence the min bump).
+constexpr uint32_t kProtocolRevision = 4;
+/// \brief Oldest client revision the server still accepts. Revision 3
+/// clients would misread the widened kServiceStatsResult per-table block,
+/// so the hello gate turns them away with a typed error instead of letting
+/// them decode garbage. Revision 1 clients cannot hello at all; their first
 /// kQuery gets the typed missing-hello error.
-constexpr uint32_t kMinSupportedRevision = 3;
+constexpr uint32_t kMinSupportedRevision = 4;
 
 /// \brief Feature bits advertised in kHello/kHelloAck. A client MUST ignore
 /// bits it does not know; a server advertises exactly what it implements.
@@ -130,7 +133,11 @@ enum class FrontendOp : uint16_t {
   /// Server -> client. aux = [uptime_seconds:f64][connections:u64]
   /// [in_flight:u64][num_tables:u32] then per table
   /// [name_len:u32][name bytes][completed:u64][failed:u64][rejected:u64]
-  /// [in_flight:u64].
+  /// [in_flight:u64] followed (revision 4) by the table engine's
+  /// randomizer-pool counters, C1 then C2:
+  /// [c1_hits:u64][c1_misses:u64][c1_stock:u64][c1_capacity:u64]
+  /// [c2_hits:u64][c2_misses:u64][c2_stock:u64][c2_capacity:u64]
+  /// (capacity 0 = that cloud runs without a pool).
   kServiceStatsResult = 0x0117,
 
   // -- Replica health and hot reload (revision 3) --
@@ -195,12 +202,24 @@ struct TableInfoReply {
 };
 
 /// \brief One table's admission counters inside kServiceStatsResult.
+/// Revision 4 widened the entry with the randomizer-pool effectiveness
+/// counters of both clouds (SknnEngine::RandomizerPoolStats): hits = takes
+/// served from precomputed stock, misses = inline full modexps, stock =
+/// randomizers ready right now, capacity = pool size (0 = no pool).
 struct TableStatsEntry {
   std::string name;
   uint64_t completed = 0;
   uint64_t failed = 0;
   uint64_t rejected = 0;
   uint64_t in_flight = 0;
+  uint64_t c1_pool_hits = 0;
+  uint64_t c1_pool_misses = 0;
+  uint64_t c1_pool_stock = 0;
+  uint64_t c1_pool_capacity = 0;
+  uint64_t c2_pool_hits = 0;
+  uint64_t c2_pool_misses = 0;
+  uint64_t c2_pool_stock = 0;
+  uint64_t c2_pool_capacity = 0;
 };
 
 /// \brief Service-wide counters as kServiceStatsResult reports them.

@@ -16,10 +16,22 @@ bool IsMetaOp(uint16_t type) {
     case Op::kPing:
     case Op::kFetchBobOutbox:
     case Op::kFetchQueryOps:
+    case Op::kFetchPoolStats:
       return true;
     default:
       return false;
   }
+}
+
+/// req.ints[first, first + count) as ciphertexts, ready for DecryptMany.
+std::vector<Ciphertext> CiphertextsAt(const Message& req, std::size_t first,
+                                      std::size_t count) {
+  std::vector<Ciphertext> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(req.ints[first + i]);
+  }
+  return out;
 }
 
 }  // namespace
@@ -88,6 +100,18 @@ Result<Message> C2Service::Dispatch(const Message& request) {
       resp.AppendAuxU64(ops.multiplications);
       return resp;
     }
+    case Op::kFetchPoolStats: {
+      // A C1 front end answering a kServiceStats control-plane frame:
+      // report this cloud's randomizer-pool effectiveness (capacity 0 =
+      // no pool attached).
+      Message resp;
+      resp.type = OpCode(Op::kFetchPoolStats);
+      resp.AppendAuxU64(rand_pool_ != nullptr ? rand_pool_->hits() : 0);
+      resp.AppendAuxU64(rand_pool_ != nullptr ? rand_pool_->misses() : 0);
+      resp.AppendAuxU64(rand_pool_ != nullptr ? rand_pool_->stock() : 0);
+      resp.AppendAuxU64(rand_pool_ != nullptr ? rand_pool_->capacity() : 0);
+      return resp;
+    }
     default:
       return Status::ProtocolError("C2Service: unknown opcode " +
                                    std::to_string(request.type));
@@ -100,24 +124,16 @@ void C2Service::EnableIntraMessageParallelism(std::size_t threads) {
 
 void C2Service::EnableRandomizerPool(std::size_t capacity,
                                      std::size_t workers) {
-  rand_pool_ = std::make_unique<RandomizerPool>(sk_.public_key().n(),
-                                                capacity, workers);
-  sk_.mutable_public_key().set_randomizer_pool(rand_pool_.get());
+  RandomizerPoolOptions options;
+  options.workers = workers;
+  EnableRandomizerPool(capacity, options);
 }
 
-void C2Service::ForEach(bool parallel, std::size_t count,
-                        const std::function<void(std::size_t)>& fn) {
-  if (!parallel || intra_pool_ == nullptr) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  // Pool workers act on behalf of the request being handled: carry the
-  // handler thread's op sink across so per-query attribution stays exact.
-  OpAccumulator* sink = OpCounters::ThreadSink();
-  intra_pool_->ParallelFor(count, [&fn, sink](std::size_t i) {
-    ScopedOpSink scoped(sink);
-    fn(i);
-  });
+void C2Service::EnableRandomizerPool(std::size_t capacity,
+                                     const RandomizerPoolOptions& options) {
+  rand_pool_ = std::make_unique<RandomizerPool>(sk_.public_key().n(),
+                                                capacity, options);
+  sk_.mutable_public_key().set_randomizer_pool(rand_pool_.get());
 }
 
 std::vector<BigInt> C2Service::TakeBobOutbox() {
@@ -177,29 +193,31 @@ void C2Service::RecordView(Op op, const BigInt& plaintext) {
 }
 
 // SM, Algorithm 1 step 2: h_i = D(a'_i) * D(b'_i) mod N, returned encrypted.
-// The vectorized form fans the independent instances out across the
-// intra-message pool; views are still recorded in instance order.
+// The whole message runs through the batched crypto API: one DecryptMany
+// over both operand columns, the cheap modmuls in the middle, one
+// EncryptMany for the response — the vectorized form fans both batches
+// across the intra-message pool. Views are still recorded in instance order.
 Result<Message> C2Service::HandleSmBatch(const Message& req, bool parallel) {
   if (req.ints.size() % 2 != 0) {
     return Status::ProtocolError("kSmBatch: odd number of ciphertexts");
   }
   const std::size_t count = req.ints.size() / 2;
   const PaillierPublicKey& pk = sk_.public_key();
+  ThreadPool* fan = FanPool(parallel);
+  std::vector<BigInt> plain =
+      sk_.DecryptMany(CiphertextsAt(req, 0, req.ints.size()), fan);
+  std::vector<BigInt> hs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    hs[i] = plain[2 * i].MulMod(plain[2 * i + 1], pk.n());
+  }
+  std::vector<Ciphertext> enc = pk.EncryptMany(hs, fan);
   Message resp;
   resp.type = req.type;
   resp.ints.resize(count);
-  std::vector<BigInt> seen_a(count), seen_b(count);
-  ForEach(parallel, count, [&](std::size_t i) {
-    BigInt ha = sk_.Decrypt(Ciphertext(req.ints[2 * i]));
-    BigInt hb = sk_.Decrypt(Ciphertext(req.ints[2 * i + 1]));
-    BigInt h = ha.MulMod(hb, pk.n());
-    resp.ints[i] = pk.Encrypt(h, Random::ThreadLocal()).value();
-    seen_a[i] = std::move(ha);
-    seen_b[i] = std::move(hb);
-  });
   for (std::size_t i = 0; i < count; ++i) {
-    RecordView(Op::kSmBatch, seen_a[i]);
-    RecordView(Op::kSmBatch, seen_b[i]);
+    resp.ints[i] = enc[i].value();
+    RecordView(Op::kSmBatch, plain[2 * i]);
+    RecordView(Op::kSmBatch, plain[2 * i + 1]);
   }
   return resp;
 }
@@ -208,27 +226,32 @@ Result<Message> C2Service::HandleSmBatch(const Message& req, bool parallel) {
 Result<Message> C2Service::HandleLsbBatch(const Message& req, bool parallel) {
   const PaillierPublicKey& pk = sk_.public_key();
   const std::size_t count = req.ints.size();
+  ThreadPool* fan = FanPool(parallel);
+  std::vector<BigInt> plain =
+      sk_.DecryptMany(CiphertextsAt(req, 0, count), fan);
+  std::vector<BigInt> parities(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    parities[i] = BigInt(plain[i].IsOdd() ? 1 : 0);
+  }
+  std::vector<Ciphertext> enc = pk.EncryptMany(parities, fan);
   Message resp;
   resp.type = req.type;
   resp.ints.resize(count);
-  std::vector<BigInt> seen(count);
-  ForEach(parallel, count, [&](std::size_t i) {
-    BigInt y = sk_.Decrypt(Ciphertext(req.ints[i]));
-    BigInt parity(y.IsOdd() ? 1 : 0);
-    resp.ints[i] = pk.Encrypt(parity, Random::ThreadLocal()).value();
-    seen[i] = std::move(y);
-  });
-  for (std::size_t i = 0; i < count; ++i) RecordView(Op::kLsbBatch, seen[i]);
+  for (std::size_t i = 0; i < count; ++i) {
+    resp.ints[i] = enc[i].value();
+    RecordView(Op::kLsbBatch, plain[i]);
+  }
   return resp;
 }
 
 // SVR: report (in aux) whether each blinded difference decrypts to zero.
 Result<Message> C2Service::HandleSvrCheckBatch(const Message& req) {
+  std::vector<BigInt> plain = sk_.DecryptMany(
+      CiphertextsAt(req, 0, req.ints.size()), intra_pool_.get());
   Message resp;
   resp.type = OpCode(Op::kSvrCheckBatch);
-  resp.aux.reserve(req.ints.size());
-  for (const auto& v_ct : req.ints) {
-    BigInt v = sk_.Decrypt(Ciphertext(v_ct));
+  resp.aux.reserve(plain.size());
+  for (const BigInt& v : plain) {
     RecordView(Op::kSvrCheckBatch, v);
     resp.aux.push_back(v.IsZero() ? 1 : 0);
   }
@@ -240,7 +263,13 @@ Result<Message> C2Service::HandleSvrCheckBatch(const Message& req) {
 // from C1 when alpha = 0 — Gamma'^0 would otherwise be the identity
 // ciphertext, a visible giveaway; the paper's security argument assumes all
 // values C1 receives are fresh randomized encryptions, Section 4.3).
-// Blocks are independent, so the vectorized form fans out per block.
+//
+// Batched shape: one DecryptMany over every block's L' column, then ONE
+// RerandomizeMany over the whole response. An alpha=0 slot rerandomizes
+// the deterministic encoding of 0 (1 * r^N) and the trailing alpha slot
+// rerandomizes EncodeDeterministic(alpha) ((1 + alpha*N) * r^N) — value
+// for value what Encrypt would have produced, with identical op counts
+// (Rerandomize and Encrypt both cost/count one encryption).
 Result<Message> C2Service::HandleSminPhase2Batch(const Message& req,
                                                  bool parallel) {
   if (req.aux.size() != 8) {
@@ -253,47 +282,52 @@ Result<Message> C2Service::HandleSminPhase2Batch(const Message& req,
   }
   const PaillierPublicKey& pk = sk_.public_key();
   const BigInt one(1);
-  Message resp;
-  resp.type = req.type;
-  resp.ints.resize(static_cast<std::size_t>(l + 1) * count);
-  std::vector<std::vector<BigInt>> seen(count);
-  ForEach(parallel, count, [&](std::size_t b) {
-    Random& rng = Random::ThreadLocal();
+  ThreadPool* fan = FanPool(parallel);
+  // Decrypt the permuted L' vectors of every block in one batch.
+  std::vector<Ciphertext> l_cts;
+  l_cts.reserve(static_cast<std::size_t>(l) * count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t base = b * 2 * l;
+    for (uint32_t i = 0; i < l; ++i) {
+      l_cts.emplace_back(req.ints[base + l + i]);
+    }
+  }
+  std::vector<BigInt> plain = sk_.DecryptMany(l_cts, fan);
+  // alpha_b = 1 iff some decrypted entry of block b equals 1.
+  const Ciphertext zero_seed = pk.EncodeDeterministic(BigInt(0));
+  std::vector<Ciphertext> carriers(static_cast<std::size_t>(l + 1) * count);
+  for (std::size_t b = 0; b < count; ++b) {
+    bool alpha = false;
+    for (uint32_t i = 0; i < l; ++i) {
+      if (plain[b * l + i] == one) alpha = true;
+    }
     const std::size_t base = b * 2 * l;
     const std::size_t out_base = b * (l + 1);
-    // Decrypt the permuted L' vector; alpha = 1 iff some entry equals 1.
-    bool alpha = false;
-    seen[b].resize(l);
     for (uint32_t i = 0; i < l; ++i) {
-      BigInt m = sk_.Decrypt(Ciphertext(req.ints[base + l + i]));
-      if (m == one) alpha = true;
-      seen[b][i] = std::move(m);
+      carriers[out_base + i] =
+          alpha ? Ciphertext(req.ints[base + i]) : zero_seed;
     }
-    for (uint32_t i = 0; i < l; ++i) {
-      const Ciphertext gamma(req.ints[base + i]);
-      Ciphertext m_prime =
-          alpha ? pk.Rerandomize(gamma, rng) : pk.Encrypt(BigInt(0), rng);
-      resp.ints[out_base + i] = m_prime.value();
-    }
-    resp.ints[out_base + l] = pk.Encrypt(BigInt(alpha ? 1 : 0), rng).value();
-  });
-  for (const auto& block : seen) {
-    for (const auto& m : block) RecordView(Op::kSminPhase2Batch, m);
+    carriers[out_base + l] = pk.EncodeDeterministic(BigInt(alpha ? 1 : 0));
   }
+  std::vector<Ciphertext> randomized = pk.RerandomizeMany(carriers, fan);
+  Message resp;
+  resp.type = req.type;
+  resp.ints.resize(randomized.size());
+  for (std::size_t i = 0; i < randomized.size(); ++i) {
+    resp.ints[i] = randomized[i].value();
+  }
+  for (const BigInt& m : plain) RecordView(Op::kSminPhase2Batch, m);
   return resp;
 }
 
 // SkNN_m step 3(c): U has Epk(1) at (one of) the zero position(s) of the
-// decrypted beta, Epk(0) elsewhere. Decryptions and the one-hot response
-// encryptions are independent per position, so both loops fan out.
+// decrypted beta, Epk(0) elsewhere. One DecryptMany over beta, one
+// EncryptMany for the one-hot response.
 Result<Message> C2Service::HandleMinPointerBatch(const Message& req) {
   const PaillierPublicKey& pk = sk_.public_key();
   const std::size_t n = req.ints.size();
-  const bool parallel = intra_pool_ != nullptr;
-  std::vector<BigInt> plain(n);
-  ForEach(parallel, n, [&](std::size_t i) {
-    plain[i] = sk_.Decrypt(Ciphertext(req.ints[i]));
-  });
+  ThreadPool* fan = intra_pool_.get();
+  std::vector<BigInt> plain = sk_.DecryptMany(CiphertextsAt(req, 0, n), fan);
   std::vector<std::size_t> zero_positions;
   for (std::size_t i = 0; i < n; ++i) {
     RecordView(Op::kMinPointerBatch, plain[i]);
@@ -308,13 +342,13 @@ Result<Message> C2Service::HandleMinPointerBatch(const Message& req) {
   std::size_t chosen =
       zero_positions[Random::ThreadLocal().UniformUint64(
           zero_positions.size())];
+  std::vector<BigInt> one_hot(n);
+  for (std::size_t i = 0; i < n; ++i) one_hot[i] = BigInt(i == chosen ? 1 : 0);
+  std::vector<Ciphertext> enc = pk.EncryptMany(one_hot, fan);
   Message resp;
   resp.type = OpCode(Op::kMinPointerBatch);
   resp.ints.resize(n);
-  ForEach(parallel, n, [&](std::size_t i) {
-    resp.ints[i] = pk.Encrypt(BigInt(i == chosen ? 1 : 0),
-                              Random::ThreadLocal()).value();
-  });
+  for (std::size_t i = 0; i < n; ++i) resp.ints[i] = enc[i].value();
   return resp;
 }
 
@@ -327,10 +361,8 @@ Result<Message> C2Service::HandleTopKIndices(const Message& req) {
   if (k == 0 || k > req.ints.size()) {
     return Status::ProtocolError("kTopKIndices: k out of range");
   }
-  std::vector<BigInt> dist(req.ints.size());
-  ForEach(intra_pool_ != nullptr, req.ints.size(), [&](std::size_t i) {
-    dist[i] = sk_.Decrypt(Ciphertext(req.ints[i]));
-  });
+  std::vector<BigInt> dist = sk_.DecryptMany(
+      CiphertextsAt(req, 0, req.ints.size()), intra_pool_.get());
   for (const auto& d : dist) RecordView(Op::kTopKIndices, d);
   std::vector<uint32_t> idx(dist.size());
   std::iota(idx.begin(), idx.end(), 0);
@@ -348,10 +380,8 @@ Result<Message> C2Service::HandleTopKIndices(const Message& req) {
 // Final step of both protocols: decrypt the randomized records and queue the
 // plaintexts for Bob (C2 -> Bob leg; never sent back to C1).
 Result<Message> C2Service::HandleMaskedDecryptToBob(const Message& req) {
-  std::vector<BigInt> decrypted(req.ints.size());
-  ForEach(intra_pool_ != nullptr, req.ints.size(), [&](std::size_t i) {
-    decrypted[i] = sk_.Decrypt(Ciphertext(req.ints[i]));
-  });
+  std::vector<BigInt> decrypted = sk_.DecryptMany(
+      CiphertextsAt(req, 0, req.ints.size()), intra_pool_.get());
   for (const auto& v : decrypted) RecordView(Op::kMaskedDecryptToBob, v);
   {
     MutexLock lock(&mutex_);

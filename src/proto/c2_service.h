@@ -67,8 +67,13 @@ class C2Service {
   /// \brief Creates (and owns) a randomizer pool of `capacity` r^N values
   /// backing every encryption C2 performs — the response re-encryptions of
   /// the sub-protocol handlers are its hottest loop. See RandomizerPool in
-  /// crypto/paillier.h for semantics and the disable switch.
+  /// crypto/paillier.h for semantics and the disable switch. The options
+  /// form selects the refill strategy (short-exponent fixed-base vs the
+  /// full-width reference — docs/CRYPTO.md); the workers form keeps the
+  /// default strategy.
   void EnableRandomizerPool(std::size_t capacity, std::size_t workers = 1);
+  void EnableRandomizerPool(std::size_t capacity,
+                            const RandomizerPoolOptions& options);
   RandomizerPool* randomizer_pool() { return rand_pool_.get(); }
 
   // -- Security-test instrumentation --
@@ -86,11 +91,13 @@ class C2Service {
   Result<Message> Dispatch(const Message& request);
   void RecordQueryOps(uint64_t query_id, const OpSnapshot& ops);
 
-  /// \brief Runs fn(i) for i in [0, count) — across the intra-message pool
-  /// when `parallel` (propagating the caller's per-query op sink), serially
-  /// otherwise.
-  void ForEach(bool parallel, std::size_t count,
-               const std::function<void(std::size_t)>& fn);
+  /// \brief The fan-out pool the batched crypto calls of one request use:
+  /// the intra-message pool when the opcode's vectorized form asked for
+  /// parallelism (and one exists), else null (serial — the scalar wire
+  /// forms keep their one-chunk-per-C1-worker concurrency model).
+  ThreadPool* FanPool(bool parallel) {
+    return parallel ? intra_pool_.get() : nullptr;
+  }
 
   Result<Message> HandleSmBatch(const Message& req, bool parallel);
   Result<Message> HandleLsbBatch(const Message& req, bool parallel);

@@ -78,6 +78,13 @@ enum class Op : uint16_t {
   /// finishes, so QueryResponse::ops stays exact across process boundaries.
   kFetchQueryOps = 13,
 
+  /// Drains nothing: reports C2's randomizer-pool effectiveness counters.
+  /// Response aux = 4 little-endian u64 (hits, misses, stock, capacity);
+  /// capacity = 0 when no pool is attached. Issued by a C1 front end
+  /// answering a kServiceStats control-plane frame, so operators see both
+  /// clouds' pools in one place.
+  kFetchPoolStats = 14,
+
   /// Error response emitted by the RPC server (status text in aux).
   kError = 0xFFFF,
 };

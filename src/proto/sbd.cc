@@ -22,15 +22,18 @@ Result<std::vector<std::vector<Ciphertext>>> DecomposePass(
       count, std::vector<Ciphertext>(opts.l));
 
   for (unsigned t = 0; t < opts.l; ++t) {
-    // Step 1: blind every instance.
+    // Step 1: blind every instance (mask encryptions via the batch API —
+    // this runs once per bit round over every in-flight instance).
     std::vector<BigInt> masks(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      masks[i] = opts.adversarial_masks_for_test
+                     ? n - BigInt(1)
+                     : Random::ThreadLocal().Below(n);
+    }
+    std::vector<Ciphertext> enc_masks = pk.EncryptMany(masks, ctx.pool());
     std::vector<BigInt> request(count);
     ctx.ForEach(count, [&](std::size_t i) {
-      Random& rng = Random::ThreadLocal();
-      masks[i] = opts.adversarial_masks_for_test ? n - BigInt(1)
-                                                 : rng.Below(n);
-      request[i] =
-          pk.Add(current[i], pk.Encrypt(masks[i], rng)).value();
+      request[i] = pk.Add(current[i], enc_masks[i]).value();
     });
 
     // Step 2: C2 returns Epk(parity(z + r mod N)).
@@ -44,13 +47,17 @@ Result<std::vector<std::vector<Ciphertext>>> DecomposePass(
     // are computed through the same formula (1 enc + 1 exp + 1 mul) so the
     // operation count is independent of the secret coin — no cost side
     // channel, and deterministic complexity accounting.
+    std::vector<BigInt> parity_bits(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      parity_bits[i] = BigInt(masks[i].IsOdd() ? 1 : 0);
+    }
+    std::vector<Ciphertext> enc_bits =
+        pk.EncryptMany(parity_bits, ctx.pool());
     ctx.ForEach(count, [&](std::size_t i) {
-      Random& rng = Random::ThreadLocal();
       Ciphertext parity(parities[i]);
       const bool odd = masks[i].IsOdd();
       BigInt sign = odd ? n - BigInt(1) : BigInt(1);
-      Ciphertext lsb = pk.Add(pk.Encrypt(BigInt(odd ? 1 : 0), rng),
-                              pk.MulScalar(parity, sign));
+      Ciphertext lsb = pk.Add(enc_bits[i], pk.MulScalar(parity, sign));
       bits_lsb_first[i][t] = lsb;
       current[i] = pk.MulScalar(pk.Sub(current[i], lsb), inv2);
     });

@@ -13,17 +13,23 @@ Result<std::vector<Ciphertext>> SecureMultiplyBatch(
   const PaillierPublicKey& pk = ctx.pk();
   const BigInt& n = pk.n();
 
-  // Step 1: blind both operands. ra, rb stay local to C1.
+  // Step 1: blind both operands. ra, rb stay local to C1. The 2n blinding
+  // encryptions — the hottest C1 loop of the whole protocol — go through
+  // the batched API so they share the randomizer pool and fan out together.
   std::vector<BigInt> ra(count), rb(count);
-  std::vector<BigInt> request(2 * count);
-  ctx.ForEach(count, [&](std::size_t i) {
+  std::vector<BigInt> blinds(2 * count);
+  for (std::size_t i = 0; i < count; ++i) {
     Random& rng = Random::ThreadLocal();
     ra[i] = rng.Below(n);
     rb[i] = rng.Below(n);
-    Ciphertext a_blind = pk.Add(eas[i], pk.Encrypt(ra[i], rng));
-    Ciphertext b_blind = pk.Add(ebs[i], pk.Encrypt(rb[i], rng));
-    request[2 * i] = a_blind.value();
-    request[2 * i + 1] = b_blind.value();
+    blinds[2 * i] = ra[i];
+    blinds[2 * i + 1] = rb[i];
+  }
+  std::vector<Ciphertext> enc_blinds = pk.EncryptMany(blinds, ctx.pool());
+  std::vector<BigInt> request(2 * count);
+  ctx.ForEach(count, [&](std::size_t i) {
+    request[2 * i] = pk.Add(eas[i], enc_blinds[2 * i]).value();
+    request[2 * i + 1] = pk.Add(ebs[i], enc_blinds[2 * i + 1]).value();
   });
 
   // Step 2: C2 decrypts, multiplies, re-encrypts h = (a+ra)(b+rb) mod N.
@@ -34,13 +40,16 @@ Result<std::vector<Ciphertext>> SecureMultiplyBatch(
 
   // Step 3: strip the cross terms:
   //   Epk(ab) = h' * Epk(a)^{N-rb} * Epk(b)^{N-ra} * Epk(ra*rb)^{N-1}.
+  std::vector<BigInt> cross_plain(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cross_plain[i] = ra[i].MulMod(rb[i], n);
+  }
+  std::vector<Ciphertext> cross = pk.EncryptMany(cross_plain, ctx.pool());
   std::vector<Ciphertext> out(count);
   ctx.ForEach(count, [&](std::size_t i) {
-    Random& rng = Random::ThreadLocal();
     Ciphertext s = pk.Add(Ciphertext(h[i]), pk.MulScalar(eas[i], n - rb[i]));
     Ciphertext s_prime = pk.Add(s, pk.MulScalar(ebs[i], n - ra[i]));
-    Ciphertext cross = pk.Encrypt(ra[i].MulMod(rb[i], n), rng);
-    out[i] = pk.Add(s_prime, pk.MulScalar(cross, n - BigInt(1)));
+    out[i] = pk.Add(s_prime, pk.MulScalar(cross[i], n - BigInt(1)));
   });
   return out;
 }

@@ -19,6 +19,7 @@ EncryptedBits ComplementBits(const PaillierPublicKey& pk,
   EncryptedBits out;
   out.reserve(bits.size());
   for (const auto& b : bits) {
+    // batch-exempt: l encryptions per call (l = bit length, not records)
     out.push_back(pk.Sub(pk.Encrypt(BigInt(1), rng), b));
   }
   return out;

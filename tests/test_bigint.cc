@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <vector>
 
+#include "bigint/modexp.h"
 #include "bigint/random.h"
+#include "common/thread_pool.h"
 
 namespace sknn {
 namespace {
@@ -288,6 +291,93 @@ TEST(RandomTest, UniformUint64Bounds) {
   }
   // bound 1 always yields 0.
   EXPECT_EQ(rng.UniformUint64(1), 0u);
+}
+
+// -- FixedBaseWindow / PowModMany (bigint/modexp.h): both must be bitwise
+// -- compatible with BigInt::PowMod, i.e. with mpz_powm.
+
+TEST(FixedBaseWindowTest, MatchesGenericPowModAcrossWindowWidths) {
+  Random rng(91);
+  BigInt m = rng.Prime(96) * rng.Prime(96);
+  BigInt base = rng.Below(m);
+  for (unsigned w = 1; w <= 6; ++w) {
+    FixedBaseWindow window(base, m, 192, w);
+    EXPECT_EQ(window.window_bits(), w);
+    // digits * (2^w - 1) precomputed residues, nothing more.
+    EXPECT_EQ(window.table_size(),
+              ((192 + w - 1) / w) * ((std::size_t{1} << w) - 1));
+    for (int i = 0; i < 20; ++i) {
+      BigInt e = rng.Bits(1 + static_cast<unsigned>(rng.UniformUint64(192)));
+      EXPECT_EQ(window.PowMod(e), base.PowMod(e, m)) << "w=" << w;
+    }
+  }
+}
+
+TEST(FixedBaseWindowTest, EdgeCases) {
+  BigInt m(1000003);
+  FixedBaseWindow window(BigInt(2), m, 64);
+  EXPECT_EQ(window.PowMod(BigInt(0)), BigInt(1));  // e = 0 -> 1 mod m
+  EXPECT_EQ(window.PowMod(BigInt(1)), BigInt(2));
+  // Degenerate bases: 0^e = 0 (e > 0), 1^e = 1, base >= m reduced up front.
+  EXPECT_EQ(FixedBaseWindow(BigInt(0), m, 64).PowMod(BigInt(5)), BigInt(0));
+  EXPECT_EQ(FixedBaseWindow(BigInt(0), m, 64).PowMod(BigInt(0)), BigInt(1));
+  EXPECT_EQ(FixedBaseWindow(BigInt(1), m, 64).PowMod(BigInt(5)), BigInt(1));
+  EXPECT_EQ(FixedBaseWindow(m + BigInt(3), m, 64).PowMod(BigInt(4)),
+            BigInt(3).PowMod(BigInt(4), m));
+  // Modulus 1: every residue is 0, including the empty product.
+  EXPECT_EQ(FixedBaseWindow(BigInt(7), BigInt(1), 64).PowMod(BigInt(9)),
+            BigInt(0));
+  EXPECT_EQ(FixedBaseWindow(BigInt(7), BigInt(1), 64).PowMod(BigInt(0)),
+            BigInt(0));
+}
+
+TEST(FixedBaseWindowTest, OversizedAndNegativeExponentsFallBack) {
+  Random rng(93);
+  BigInt m = rng.Prime(64) * rng.Prime(64);
+  BigInt base = rng.UnitModulo(m);  // invertible, so e < 0 is defined
+  FixedBaseWindow window(base, m, 32);
+  BigInt wide = rng.Bits(200);  // wider than the 32-bit table
+  EXPECT_EQ(window.PowMod(wide), base.PowMod(wide, m));
+  BigInt neg = BigInt(0) - BigInt(3);
+  EXPECT_EQ(window.PowMod(neg), base.PowMod(neg, m));
+}
+
+TEST(FixedBaseWindowTest, RecommendedWindowWidensWithExponent) {
+  EXPECT_EQ(FixedBaseWindow::RecommendedWindowBits(16), 2u);
+  EXPECT_EQ(FixedBaseWindow::RecommendedWindowBits(64), 3u);
+  EXPECT_EQ(FixedBaseWindow::RecommendedWindowBits(128), 4u);
+  EXPECT_EQ(FixedBaseWindow::RecommendedWindowBits(256), 6u);
+  EXPECT_EQ(FixedBaseWindow::RecommendedWindowBits(1024), 6u);
+}
+
+TEST(PowModManyTest, AllOverloadsMatchScalarSerialAndPooled) {
+  Random rng(94);
+  BigInt m = rng.Prime(80) * rng.Prime(80);
+  std::vector<BigInt> bases, exps;
+  for (int i = 0; i < 33; ++i) {
+    bases.push_back(rng.Below(m));
+    exps.push_back(rng.Bits(1 + static_cast<unsigned>(rng.UniformUint64(160))));
+  }
+  BigInt shared = rng.Bits(160);
+  FixedBaseWindow window(bases[0], m, 160);
+  ThreadPool pool(3);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    std::vector<BigInt> per_element = PowModMany(bases, exps, m, p);
+    std::vector<BigInt> shared_exp = PowModMany(bases, shared, m, p);
+    std::vector<BigInt> fixed_base = PowModMany(window, exps, p);
+    ASSERT_EQ(per_element.size(), bases.size());
+    ASSERT_EQ(shared_exp.size(), bases.size());
+    ASSERT_EQ(fixed_base.size(), exps.size());
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      EXPECT_EQ(per_element[i], bases[i].PowMod(exps[i], m)) << i;
+      EXPECT_EQ(shared_exp[i], bases[i].PowMod(shared, m)) << i;
+      EXPECT_EQ(fixed_base[i], bases[0].PowMod(exps[i], m)) << i;
+    }
+  }
+  const std::vector<BigInt> none;
+  EXPECT_TRUE(PowModMany(none, none, m).empty());
+  EXPECT_TRUE(PowModMany(none, shared, m).empty());
+  EXPECT_TRUE(PowModMany(window, none).empty());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bigint/random.h"
+#include "common/thread_pool.h"
 #include "crypto/op_counters.h"
 
 namespace sknn {
@@ -281,6 +282,90 @@ TEST(RandomizerPoolTest, SafeUnderConcurrentEncrypt) {
   }
   // Distinct randomizers => distinct ciphertexts, even across threads.
   EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// -- PR 8 batch APIs and the short-exponent randomizer source
+// -- (docs/CRYPTO.md): batch calls must match the scalar loop in values,
+// -- op accounting, and edge behavior, serial and fanned alike.
+
+TEST(PaillierBatchTest, EncryptManyMatchesScalarSemantics) {
+  PaillierKeyPair keys = MakeKeys(256, 501);
+  ThreadPool pool(3);
+  std::vector<BigInt> ms;
+  for (int64_t i = 0; i < 17; ++i) ms.push_back(BigInt(i * 3 - 5));
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    OpCounters::Reset();
+    std::vector<Ciphertext> cs = keys.pk.EncryptMany(ms, p);
+    ASSERT_EQ(cs.size(), ms.size());
+    // Same op attribution as 17 scalar Encrypts, even across pool workers.
+    EXPECT_EQ(OpCounters::Snapshot().encryptions, ms.size());
+    OpCounters::Reset();
+    std::vector<BigInt> back = keys.sk.DecryptMany(cs, p);
+    EXPECT_EQ(OpCounters::Snapshot().decryptions, ms.size());
+    ASSERT_EQ(back.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      EXPECT_EQ(back[i], ms[i].Mod(keys.pk.n())) << i;
+    }
+    // Fresh randomness per element: all ciphertexts distinct.
+    std::set<std::string> distinct;
+    for (const auto& c : cs) distinct.insert(c.value().ToString());
+    EXPECT_EQ(distinct.size(), ms.size());
+  }
+  EXPECT_TRUE(keys.pk.EncryptMany({}, &pool).empty());
+}
+
+TEST(PaillierBatchTest, RerandomizeManyPreservesPlaintexts) {
+  PaillierKeyPair keys = MakeKeys(256, 502);
+  Random rng(503);
+  ThreadPool pool(2);
+  std::vector<Ciphertext> cs;
+  for (int64_t i = 0; i < 9; ++i) cs.push_back(keys.pk.Encrypt(BigInt(i), rng));
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    std::vector<Ciphertext> fresh = keys.pk.RerandomizeMany(cs, p);
+    ASSERT_EQ(fresh.size(), cs.size());
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      EXPECT_NE(fresh[i], cs[i]) << i;  // new blinding
+      EXPECT_EQ(keys.sk.Decrypt(fresh[i]), BigInt(static_cast<int64_t>(i)));
+    }
+  }
+}
+
+TEST(RandomizerSourceTest, ShortAndFullWidthMintValidRandomizers) {
+  // 512-bit key so the short path is genuinely short: s has
+  // max(256, 512/4) = 256 bits against the 512-bit full-width draw.
+  PaillierKeyPair keys = MakeKeys(512, 504);
+  Random rng(505);
+  for (bool short_exponents : {false, true}) {
+    RandomizerPoolOptions options;
+    options.short_exponents = short_exponents;
+    RandomizerSource source(keys.pk.n(), options);
+    EXPECT_EQ(source.short_exponents(), short_exponents);
+    if (short_exponents) EXPECT_EQ(source.short_exponent_bits(), 256u);
+    for (int i = 0; i < 6; ++i) {
+      BigInt rn = source.Next(rng);
+      // A valid randomizer is an N-th power that blinds without changing
+      // the plaintext: (1 + 7N) * r^N must still decrypt to 7.
+      Ciphertext blinded(keys.pk.EncodeDeterministic(BigInt(7)).value().MulMod(
+          rn, keys.pk.n_squared()));
+      EXPECT_EQ(keys.sk.Decrypt(blinded), BigInt(7)) << short_exponents;
+    }
+  }
+}
+
+TEST(RandomizerPoolTest, ShortExponentPoolBacksEncryptCorrectly) {
+  PaillierKeyPair keys = MakeKeys(256, 506);
+  RandomizerPoolOptions options;
+  options.workers = 2;
+  RandomizerPool pool(keys.pk.n(), /*capacity=*/64, options);
+  pool.WaitUntilFull();
+  keys.pk.set_randomizer_pool(&pool);
+  EXPECT_EQ(pool.capacity(), 64u);
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(
+        keys.sk.Decrypt(keys.pk.Encrypt(BigInt(i), Random::ThreadLocal())),
+        BigInt(i));
+  }
+  EXPECT_GT(pool.hits(), 0u);
 }
 
 TEST(RandomizerPoolTest, DisableSwitchForcesInlineComputation) {

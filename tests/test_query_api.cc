@@ -202,6 +202,50 @@ TEST(QueryBatchTest, VectorizedRoundsMatchScalarProtocolBitwise) {
   }
 }
 
+TEST(QueryBatchTest, ShortRandomizersMatchFullWidthBitwise) {
+  // The short-exponent randomizer default (docs/CRYPTO.md) changes only how
+  // r^N is minted for the pool, never what the protocols compute: the
+  // distinct-distance table makes every answer deterministic, so records —
+  // and the paper's Section 4.4 op accounting — must be identical with the
+  // flag on and off.
+  PlainTable table = DistinctDistanceTable(8);
+  std::vector<QueryRequest> requests = MixedWorkload();
+  SknnEngine::Options full_opts;
+  full_opts.key_bits = 256;
+  full_opts.attr_bits = 3;
+  full_opts.c1_threads = 2;
+  full_opts.c2_threads = 2;
+  full_opts.short_randomizers = false;
+  auto full_engine = SknnEngine::Create(table, full_opts);
+  ASSERT_TRUE(full_engine.ok()) << full_engine.status();
+
+  SknnEngine::Options short_opts = full_opts;
+  short_opts.short_randomizers = true;
+  auto short_engine = SknnEngine::Create(table, short_opts);
+  ASSERT_TRUE(short_engine.ok()) << short_engine.status();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto full = (*full_engine)->Query(requests[i]);
+    auto fast = (*short_engine)->Query(requests[i]);
+    ASSERT_TRUE(full.ok()) << full.status();
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    EXPECT_EQ(fast->records, full->records) << "request " << i;
+    EXPECT_EQ(fast->ops.encryptions, full->ops.encryptions) << i;
+    EXPECT_EQ(fast->ops.decryptions, full->ops.decryptions) << i;
+    EXPECT_EQ(fast->ops.exponentiations, full->ops.exponentiations) << i;
+    EXPECT_EQ(fast->ops.multiplications, full->ops.multiplications) << i;
+  }
+
+  // Satellite observability: the pools on both engines saw the traffic.
+  for (auto* engine : {full_engine->get(), short_engine->get()}) {
+    SknnEngine::RandomizerPoolStats stats = engine->randomizer_pool_stats();
+    EXPECT_GT(stats.c1_capacity, 0u);
+    EXPECT_GT(stats.c2_capacity, 0u);
+    EXPECT_GT(stats.c1_hits + stats.c1_misses, 0u);
+    EXPECT_GT(stats.c2_hits + stats.c2_misses, 0u);
+  }
+}
+
 TEST(QueryBatchTest, MixedValidityBatchFailsOnlyTheInvalidSlots) {
   PlainTable table = DistinctDistanceTable(5);
   auto engine = MakeEngine(table, /*c1_threads=*/2, /*c2_threads=*/1);

@@ -5,7 +5,8 @@
 //     --list-tables        the served table names, one per line
 //     --table-info [name]  one table's geometry + shard topology
 //                          (no name = every table)
-//     --stats              uptime, in-flight, per-table admission counters
+//     --stats              uptime, in-flight, per-table admission counters,
+//                          per-cloud randomizer-pool hit/miss/stock rows
 //     --health             per-table, per-shard replica liveness: health,
 //                          consecutive failures, failover count, last-ok age
 //     --reload-table name [--spec spec]
@@ -138,6 +139,30 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(table.failed),
                   static_cast<unsigned long long>(table.rejected),
                   static_cast<unsigned long long>(table.in_flight));
+    }
+    // Randomizer-pool effectiveness per table and cloud (revision 4).
+    // hits/misses = encryptions served from precomputed stock vs inline
+    // full modexps; stock/capacity = how warm the pool is right now.
+    // capacity 0 = that cloud runs without a pool (row elided).
+    std::printf("%-20s %-3s %12s %12s %10s %10s\n", "randomizer pool",
+                "", "hits", "misses", "stock", "capacity");
+    for (const TableStatsEntry& table : stats->tables) {
+      if (table.c1_pool_capacity > 0) {
+        std::printf("%-20s %-3s %12llu %12llu %10llu %10llu\n",
+                    table.name.c_str(), "C1",
+                    static_cast<unsigned long long>(table.c1_pool_hits),
+                    static_cast<unsigned long long>(table.c1_pool_misses),
+                    static_cast<unsigned long long>(table.c1_pool_stock),
+                    static_cast<unsigned long long>(table.c1_pool_capacity));
+      }
+      if (table.c2_pool_capacity > 0) {
+        std::printf("%-20s %-3s %12llu %12llu %10llu %10llu\n",
+                    table.name.c_str(), "C2",
+                    static_cast<unsigned long long>(table.c2_pool_hits),
+                    static_cast<unsigned long long>(table.c2_pool_misses),
+                    static_cast<unsigned long long>(table.c2_pool_stock),
+                    static_cast<unsigned long long>(table.c2_pool_capacity));
+      }
     }
     return 0;
   }

@@ -216,7 +216,7 @@ int main(int argc, char** argv) {
       "sknn_c1_server --port <p> [--public <pk>] [--db <db.bin>] "
       "[--c2-host <ip>] [--c2-port <p>] [--threads N] [--max-in-flight M] "
       "[--queries N] [--shards S] [--shard-scheme contiguous|roundrobin] "
-      "[--shard-workers host:port,...] "
+      "[--shard-workers host:port,...] [--no-short-randomizers] "
       "[--table name=db.bin[,manifest=f][,public=pk][,c2-host=ip]"
       "[,c2-port=p][,shards=s][,scheme=sch]]...";
   auto flag_list = ParseFlagList(argc, argv);
@@ -255,6 +255,9 @@ int main(int argc, char** argv) {
 
   SknnEngine::Options base_options;
   base_options.c1_threads = threads;
+  // Front-end (C1-side) randomizer pool refill strategy; the remote C2
+  // server picks its own via sknn_c2_server --no-short-randomizers.
+  base_options.short_randomizers = !flags.count("no-short-randomizers");
 
   TableRegistry registry;
   const std::vector<std::string> table_flags = FlagValues(flag_list, "table");

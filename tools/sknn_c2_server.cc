@@ -2,7 +2,7 @@
 //
 //   sknn_c2_server --secret sk.txt --port 9000 [--workers 2]
 //                  [--connections N] [--pool-capacity N]
-//                  [--no-randomizer-pool]
+//                  [--no-randomizer-pool] [--no-short-randomizers]
 //
 // Serves the C2 side of every sub-protocol over TCP. C1 connects with one
 // link; each querying user (Bob) connects with his own link to pick up
@@ -13,7 +13,9 @@
 // the vectorized opcodes; the response-encryption randomizer pool is on by
 // default (disable it to measure the paper's unamortized cost), holds
 // --pool-capacity precomputed r^N values, and refills on background threads
-// sized from --workers.
+// sized from --workers. Refills use the short-exponent fixed-base path
+// (docs/CRYPTO.md); --no-short-randomizers selects the assumption-free
+// full-width reference generation instead.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -29,7 +31,8 @@ int main(int argc, char** argv) {
   using namespace sknn::tools;
   const char* usage =
       "sknn_c2_server --secret <sk-file> --port <p> [--workers N] "
-      "[--connections N] [--pool-capacity N] [--no-randomizer-pool]";
+      "[--connections N] [--pool-capacity N] [--no-randomizer-pool] "
+      "[--no-short-randomizers]";
   auto flags = ParseFlags(argc, argv);
   std::string sk_path = RequireFlag(flags, "secret", usage);
   uint16_t port = ParsePortOrDie(RequireFlag(flags, "port", usage), "port",
@@ -53,8 +56,10 @@ int main(int argc, char** argv) {
     // Refill threads scale with the serving fan-out: half the handler
     // workers (at least one) keeps the stock warm under load without
     // starving the handlers themselves of cores.
-    c2.EnableRandomizerPool(pool_capacity,
-                            std::max<std::size_t>(1, workers / 2));
+    RandomizerPoolOptions pool_options;
+    pool_options.workers = std::max<std::size_t>(1, workers / 2);
+    pool_options.short_exponents = !flags.count("no-short-randomizers");
+    c2.EnableRandomizerPool(pool_capacity, pool_options);
   }
 
   auto listener = TcpListener::Bind(port);
