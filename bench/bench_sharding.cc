@@ -19,9 +19,20 @@
 // query deadline rather than a fast connection reset. The failover column
 // counts the in-query retries the response reported.
 //
-//   bench_sharding [--json [path]]     # sharding  -> BENCH_PR4.json
+// Series 3 (clustered, PR 9): what the k-means index buys one query — the
+// exact scan versus IndexMode::kClustered at probe = 1 / 2 / 4 / all over a
+// 16-cluster table, at n = 1000 and n = 10000. The figure of merit is the
+// per-query Paillier encryption count (the op the candidate set size
+// drives) and recall@k against the plaintext oracle; probe = all must match
+// the exact scan's answer (the engine falls through to the exact path).
+//
+//   bench_sharding [--json [path]] [--only <series>]
+//                                      # sharding  -> BENCH_PR4.json
 //                                      # failover  -> BENCH_PR7.json
+//                                      # clustered -> BENCH_PR9.json
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -29,7 +40,9 @@
 #include <thread>
 #include <vector>
 
+#include "baseline/plaintext_knn.h"
 #include "bench/bench_util.h"
+#include "core/clustering.h"
 #include "core/data_owner.h"
 #include "core/sharding.h"
 #include "net/shard_wire.h"
@@ -47,6 +60,29 @@ struct Point {
   double merge_seconds = 0;
   double shard_stage_seconds = 0;  // max over shards (they overlap)
 };
+
+/// Consumes "--only <series>" / "--only=<series>" from the args; returns
+/// the series name ("sharding" / "failover" / "clustered") or "" when the
+/// flag is absent (run everything). CI runs one series at a time so the
+/// smoke stays fast.
+std::string ConsumeOnlyFlag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    int remove = 0;
+    std::string value;
+    if (std::strncmp(argv[i], "--only=", 7) == 0) {
+      value = argv[i] + 7;
+      remove = 1;
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
+      remove = 2;
+    }
+    if (remove == 0) continue;
+    for (int j = i; j + remove < *argc; ++j) argv[j] = argv[j + remove];
+    *argc -= remove;
+    return value;
+  }
+  return "";
+}
 
 // ---------------------------------------------------------------------------
 // Failover series machinery: a C2 key holder accepting any number of TCP
@@ -189,8 +225,10 @@ struct FailoverPoint {
 int Main(int argc, char** argv) {
   std::string json_path;
   bool want_json = ConsumeJsonFlag(&argc, argv, &json_path);
-  PrintHeader("sharding", "per-query wall time vs shard count",
-              "SkNN_m k=2; s=1 is the unsharded engine");
+  const std::string only = ConsumeOnlyFlag(&argc, argv);
+  const bool run_sharding = only.empty() || only == "sharding";
+  const bool run_failover = only.empty() || only == "failover";
+  const bool run_clustered = only.empty() || only == "clustered";
 
   const std::size_t n = PaperScale() ? 64 : 16;
   const std::size_t m = 2;
@@ -199,6 +237,9 @@ int Main(int argc, char** argv) {
   const unsigned k = 2;
   const std::size_t threads = BenchThreads();
 
+  if (run_sharding) {
+  PrintHeader("sharding", "per-query wall time vs shard count",
+              "SkNN_m k=2; s=1 is the unsharded engine");
   std::printf("%8s %12s %12s %14s %10s\n", "shards", "seconds", "merge_s",
               "shard_stage_s", "speedup");
   std::vector<Point> points;
@@ -245,11 +286,13 @@ int Main(int argc, char** argv) {
     MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR4.json"), "sharding",
                      json.str());
   }
+  }  // run_sharding
 
   // -------------------------------------------------------------------------
   // Series 2: replica failover. 2 shards behind real TCP workers, shard 0
   // replicated twice; time the query through the failure modes.
 
+  if (run_failover) {
   PrintHeader("failover", "per-query wall time across replica failure modes",
               "SkNN_m k=2; 2 shards, shard 0 twice-replicated over TCP");
   const uint32_t deadline_ms = PaperScale() ? 20000 : 4000;
@@ -374,6 +417,173 @@ int Main(int argc, char** argv) {
     MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR7.json"), "failover",
                      json.str());
   }
+  }  // run_failover
+
+  // -------------------------------------------------------------------------
+  // Series 3 (PR 9): the clustered index versus the exact scan. The exact
+  // SkNN_b pass touches all n records; clustered mode pays one 16-centroid
+  // scoring round and then only the probed clusters' records, so the
+  // per-query encryption count — the op the candidate set drives — should
+  // fall roughly n / candidates-fold. Recall@k is measured against the
+  // plaintext oracle; probe = all must return the exact answer.
+
+  if (run_clustered) {
+  PrintHeader("clustered",
+              "per-query encryption ops and recall vs probe_clusters",
+              "SkNN_b k=4; 16-cluster k-means index, exact scan as baseline");
+  const std::size_t cm = 2;
+  const unsigned cl = 16;  // distance bits; domain [0, 181]
+  const int64_t cmax = MaxValueForDistanceBits(cm, cl);
+  const uint32_t num_clusters = 16;
+  const unsigned ck = 4;
+  const std::size_t num_queries = 4;
+
+  auto calice = DataOwner::Create(key_bits);
+  if (!calice.ok()) {
+    std::fprintf(stderr, "keygen failed: %s\n",
+                 calice.status().ToString().c_str());
+    return 1;
+  }
+  auto die = [](const char* what, const Status& status) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  };
+
+  struct ClusteredPoint {
+    uint32_t probe = 0;
+    double seconds = 0;       // avg per query
+    double encryptions = 0;   // avg per query, both clouds
+    double ops_reduction = 0; // exact encryptions / clustered encryptions
+    double recall = 0;        // avg recall@k vs the plaintext oracle
+  };
+  struct ClusteredSeries {
+    std::size_t n = 0;
+    double exact_seconds = 0;
+    double exact_encryptions = 0;
+    std::vector<ClusteredPoint> points;
+  };
+  // recall@k with multiset semantics (clustered tables repeat rows).
+  auto recall_at_k = [](const PlainTable& got, const PlainTable& want) {
+    PlainTable pool = want;
+    std::size_t hits = 0;
+    for (const PlainRecord& r : got) {
+      auto it = std::find(pool.begin(), pool.end(), r);
+      if (it != pool.end()) {
+        pool.erase(it);
+        ++hits;
+      }
+    }
+    return want.empty() ? 1.0 : static_cast<double>(hits) / want.size();
+  };
+
+  std::vector<ClusteredSeries> cluster_series;
+  std::printf("%8s %8s %12s %14s %12s %8s\n", "n", "probe", "seconds",
+              "encryptions", "ops_reduct", "recall");
+  for (std::size_t cn : {std::size_t{1000}, std::size_t{10000}}) {
+    PlainTable table = GenerateClusteredTable(
+        cn, cm, cmax, {num_clusters, /*spread=*/6}, /*seed=*/9000 + cn);
+    auto manifest_built = BuildClusterManifest(table, num_clusters,
+                                               /*seed=*/9,
+                                               calice->public_key());
+    if (!manifest_built.ok()) die("cluster manifest", manifest_built.status());
+    auto manifest = std::make_shared<const ClusterManifest>(
+        std::move(manifest_built).value());
+
+    SknnEngine::Options copts;
+    copts.c1_threads = threads;
+    copts.c2_threads = threads;
+    copts.clusters = manifest;
+    auto cdb = calice->EncryptDatabase(table, BitsForMaxValue(cmax));
+    if (!cdb.ok()) die("encrypt", cdb.status());
+    auto cengine = SknnEngine::CreateFromParts(
+        calice->public_key(),
+        PaillierSecretKey(calice->secret_key_for_c2()),
+        std::move(cdb).value(), copts);
+    if (!cengine.ok()) die("clustered engine", cengine.status());
+
+    // Queries are table rows: their neighborhood concentrates in their own
+    // cluster, which is the regime a clustered index is built for.
+    std::vector<PlainRecord> queries;
+    std::vector<PlainTable> oracle;
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      const PlainRecord& record = table[(q * cn) / num_queries];
+      queries.push_back(record);
+      oracle.push_back(PlainKnn(table, record, ck));
+    }
+
+    ClusteredSeries series;
+    series.n = cn;
+    // Exact baseline: same engine, IndexMode::kExact (pool-warming query
+    // first so the measurement is steady-state like the probes below).
+    (void)MustQuery(**cengine, queries[0], ck, QueryProtocol::kBasic,
+                    "clustered warmup");
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      Stopwatch watch;
+      QueryResponse response = MustQuery(**cengine, queries[q], ck,
+                                         QueryProtocol::kBasic, "exact query");
+      series.exact_seconds += watch.ElapsedSeconds() / num_queries;
+      series.exact_encryptions +=
+          static_cast<double>(response.ops.encryptions) / num_queries;
+    }
+    std::printf("%8zu %8s %12.4f %14.1f %12s %8s\n", cn, "exact",
+                series.exact_seconds, series.exact_encryptions, "1.00x", "-");
+
+    for (uint32_t probe : {1u, 2u, 4u, num_clusters}) {
+      ClusteredPoint point;
+      point.probe = probe;
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        QueryRequest request;
+        request.record = queries[q];
+        request.k = ck;
+        request.protocol = QueryProtocol::kBasic;
+        request.index_mode = IndexMode::kClustered;
+        request.probe_clusters = probe;
+        Stopwatch watch;
+        auto response = (*cengine)->Query(request);
+        if (!response.ok()) die("clustered query", response.status());
+        point.seconds += watch.ElapsedSeconds() / num_queries;
+        point.encryptions +=
+            static_cast<double>(response->ops.encryptions) / num_queries;
+        point.recall += recall_at_k(response->records, oracle[q]) /
+                        static_cast<double>(num_queries);
+      }
+      point.ops_reduction = series.exact_encryptions / point.encryptions;
+      std::printf("%8zu %8u %12.4f %14.1f %11.2fx %8.3f\n", cn, probe,
+                  point.seconds, point.encryptions, point.ops_reduction,
+                  point.recall);
+      series.points.push_back(point);
+    }
+    cluster_series.push_back(std::move(series));
+  }
+
+  if (want_json) {
+    std::ostringstream json;
+    json << "{\"clusters\": " << num_clusters << ", \"k\": " << ck
+         << ", \"queries\": " << num_queries << ", \"m\": " << cm
+         << ", \"key_bits\": " << key_bits << ", \"tables\": [";
+    for (std::size_t t = 0; t < cluster_series.size(); ++t) {
+      const ClusteredSeries& series = cluster_series[t];
+      if (t > 0) json << ", ";
+      json << "{\"n\": " << series.n
+           << ", \"exact\": {\"seconds\": " << series.exact_seconds
+           << ", \"encryptions\": " << series.exact_encryptions
+           << "}, \"points\": [";
+      for (std::size_t i = 0; i < series.points.size(); ++i) {
+        const ClusteredPoint& point = series.points[i];
+        if (i > 0) json << ", ";
+        json << "{\"probe\": " << point.probe
+             << ", \"seconds\": " << point.seconds
+             << ", \"encryptions\": " << point.encryptions
+             << ", \"ops_reduction\": " << point.ops_reduction
+             << ", \"recall\": " << point.recall << "}";
+      }
+      json << "]}";
+    }
+    json << "]}";
+    MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR9.json"), "clustered",
+                     json.str());
+  }
+  }  // run_clustered
   return 0;
 }
 

@@ -8,6 +8,7 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'K', 'N', 'N', 'D', 'B', '0', '1'};
 constexpr char kManifestMagic[8] = {'S', 'K', 'N', 'N', 'S', 'H', '0', '1'};
+constexpr char kClusterMagic[8] = {'S', 'K', 'N', 'N', 'C', 'L', '0', '1'};
 
 void PutU32(std::ofstream& out, uint32_t v) {
   char bytes[4];
@@ -173,7 +174,7 @@ Result<ShardManifest> ReadShardManifest(const std::string& path) {
   if (in.read(&extra, 1)) {
     return Status::InvalidArgument("ReadShardManifest: trailing bytes");
   }
-  if (scheme > static_cast<uint32_t>(ShardScheme::kRoundRobin)) {
+  if (scheme > static_cast<uint32_t>(ShardScheme::kByCluster)) {
     return Status::InvalidArgument("ReadShardManifest: unknown scheme");
   }
   return MakeShardManifest(total_records, num_shards,
@@ -191,6 +192,143 @@ Status ValidateManifestForDatabase(const ShardManifest& manifest,
         " — manifest and database are not from the same export");
   }
   return Status::OK();
+}
+
+namespace {
+
+// The db-independent half of ValidateClusterManifestForDatabase: internal
+// consistency of counts, assignment range, and centroid geometry.
+Status CheckClusterManifestShape(const ClusterManifest& manifest) {
+  if (manifest.num_clusters == 0) {
+    return Status::InvalidArgument("cluster manifest: zero clusters");
+  }
+  if (manifest.total_records == 0 || manifest.num_attributes == 0) {
+    return Status::InvalidArgument("cluster manifest: empty geometry");
+  }
+  if (manifest.assignment.size() != manifest.total_records) {
+    return Status::InvalidArgument(
+        "cluster manifest: assignment covers " +
+        std::to_string(manifest.assignment.size()) + " of " +
+        std::to_string(manifest.total_records) + " records");
+  }
+  for (uint32_t c : manifest.assignment) {
+    if (c >= manifest.num_clusters) {
+      return Status::InvalidArgument(
+          "cluster manifest: assignment names cluster " + std::to_string(c) +
+          " of " + std::to_string(manifest.num_clusters));
+    }
+  }
+  if (manifest.centroids.size() != manifest.num_clusters) {
+    return Status::InvalidArgument(
+        "cluster manifest: " + std::to_string(manifest.centroids.size()) +
+        " centroid rows for " + std::to_string(manifest.num_clusters) +
+        " clusters");
+  }
+  for (const auto& row : manifest.centroids) {
+    if (row.size() != manifest.num_attributes) {
+      return Status::InvalidArgument("cluster manifest: ragged centroids");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteClusterManifest(const std::string& path,
+                            const ClusterManifest& manifest) {
+  if (Status shape = CheckClusterManifestShape(manifest); !shape.ok()) {
+    return shape;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("WriteClusterManifest: cannot open " + path);
+  }
+  out.write(kClusterMagic, sizeof(kClusterMagic));
+  PutU32(out, manifest.num_clusters);
+  PutU32(out, static_cast<uint32_t>(manifest.num_attributes));
+  PutU32(out, static_cast<uint32_t>(manifest.total_records));
+  for (uint32_t c : manifest.assignment) PutU32(out, c);
+  for (const auto& row : manifest.centroids) {
+    for (const auto& ct : row) {
+      std::vector<uint8_t> bytes = ct.value().ToBytes();
+      PutU32(out, static_cast<uint32_t>(bytes.size()));
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+  }
+  if (!out.good()) {
+    return Status::IoError("WriteClusterManifest: write failure");
+  }
+  return Status::OK();
+}
+
+Result<ClusterManifest> ReadClusterManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("ReadClusterManifest: cannot open " + path);
+  }
+  switch (CheckMagic(in, kClusterMagic)) {
+    case MagicCheck::kOk:
+      break;
+    case MagicCheck::kVersionSkew:
+      return Status::InvalidArgument(
+          "ReadClusterManifest: " + path +
+          " is a cluster manifest of an unsupported format revision (this "
+          "build reads SKNNCL01); re-export it with this build's "
+          "sknn_encrypt");
+    case MagicCheck::kForeign:
+      return Status::InvalidArgument(
+          "ReadClusterManifest: bad magic (not a cluster manifest)");
+  }
+  uint32_t num_clusters = 0, m = 0, n = 0;
+  if (!GetU32(in, &num_clusters) || !GetU32(in, &m) || !GetU32(in, &n) ||
+      num_clusters == 0 || m == 0 || n == 0) {
+    return Status::InvalidArgument("ReadClusterManifest: bad geometry");
+  }
+  if (num_clusters > n) {
+    return Status::InvalidArgument(
+        "ReadClusterManifest: more clusters than records");
+  }
+  ClusterManifest manifest;
+  manifest.num_clusters = num_clusters;
+  manifest.num_attributes = m;
+  manifest.total_records = n;
+  manifest.assignment.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t c = 0;
+    if (!GetU32(in, &c)) {
+      return Status::InvalidArgument(
+          "ReadClusterManifest: truncated assignment");
+    }
+    manifest.assignment.push_back(c);
+  }
+  manifest.centroids.reserve(num_clusters);
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    std::vector<Ciphertext> row;
+    row.reserve(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      uint32_t len = 0;
+      if (!GetU32(in, &len)) {
+        return Status::InvalidArgument(
+            "ReadClusterManifest: truncated centroids");
+      }
+      std::vector<uint8_t> bytes(len);
+      if (len > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), len)) {
+        return Status::InvalidArgument(
+            "ReadClusterManifest: truncated centroid ciphertext");
+      }
+      row.emplace_back(BigInt::FromBytes(bytes));
+    }
+    manifest.centroids.push_back(std::move(row));
+  }
+  char extra;
+  if (in.read(&extra, 1)) {
+    return Status::InvalidArgument("ReadClusterManifest: trailing bytes");
+  }
+  if (Status shape = CheckClusterManifestShape(manifest); !shape.ok()) {
+    return shape;
+  }
+  return manifest;
 }
 
 Status ValidateCiphertexts(const EncryptedDatabase& db,

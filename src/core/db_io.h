@@ -16,11 +16,18 @@
 // a sharded deployment so coordinator and workers provably agree on the
 // partitioning:
 //   magic "SKNNSH01" | u32 scheme | u32 num_shards | u32 total_records
+//
+// A cluster manifest (core/clustering.h) is the sidecar of the clustered
+// index mode — the record→cluster assignment plus the encrypted centroids:
+//   magic "SKNNCL01" | u32 num_clusters | u32 m | u32 n |
+//   n*u32 assignment |
+//   num_clusters*m centroid ciphertexts, each u32 length + magnitude bytes
 #ifndef SKNN_CORE_DB_IO_H_
 #define SKNN_CORE_DB_IO_H_
 
 #include <string>
 
+#include "core/clustering.h"
 #include "core/sharding.h"
 #include "core/types.h"
 #include "crypto/paillier.h"
@@ -48,6 +55,15 @@ Result<ShardManifest> ReadShardManifest(const std::string& path);
 /// sknn_c1_server --table ...,manifest=...).
 Status ValidateManifestForDatabase(const ShardManifest& manifest,
                                    const EncryptedDatabase& db);
+
+/// \brief Persists a cluster manifest (validated structurally first, so a
+/// malformed manifest can never reach disk).
+Status WriteClusterManifest(const std::string& path,
+                            const ClusterManifest& manifest);
+
+/// \brief Reads an SKNNCL01 cluster manifest; geometry and assignment range
+/// are re-validated, version skew and foreign files get distinct errors.
+Result<ClusterManifest> ReadClusterManifest(const std::string& path);
 
 }  // namespace sknn
 

@@ -1,11 +1,13 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <string>
 
 #include "bigint/random.h"
 #include "common/stopwatch.h"
 #include "core/data_owner.h"
 #include "proto/query_meter.h"
+#include "proto/ssed.h"
 
 namespace sknn {
 
@@ -207,6 +209,42 @@ Status SknnEngine::InitCommon() {
     }
   }
 
+  // Clustered index: hold the manifest and its per-cluster sizes. With
+  // sharding the partitioning is BY CLUSTER (one shard per cluster) so
+  // pruning a cluster also prunes its shard.
+  if (options_.clusters != nullptr) {
+    clusters_ = options_.clusters;
+    cluster_sizes_ = ClusterSizes(*clusters_);
+    if (coordinator_ != nullptr) {
+      // Remote workers: their manifest must BE this cluster partitioning,
+      // or pruning cluster c would skip an unrelated slice of the table.
+      const ShardManifest& manifest = coordinator_->manifest();
+      if (manifest.scheme != ShardScheme::kByCluster ||
+          manifest.num_shards != clusters_->num_clusters ||
+          manifest.total_records != clusters_->total_records ||
+          clusters_->num_attributes != num_attributes_) {
+        return Status::InvalidArgument(
+            "clustered engine: the shard workers are not partitioned by "
+            "this cluster manifest (want scheme bycluster with one shard "
+            "per cluster; restart the workers with sknn_c1_shard "
+            "--clusters)");
+      }
+    } else {
+      if (Status valid = ValidateClusterManifestForDatabase(*clusters_, db_);
+          !valid.ok()) {
+        return valid;
+      }
+      if (options_.shards > 1) {
+        SKNN_ASSIGN_OR_RETURN(coordinator_,
+                              ShardCoordinator::CreateLocal(
+                                  db_, *clusters_, options_.verify_sbd));
+        db_.records.clear();
+        db_.records.shrink_to_fit();
+      }
+    }
+    return Status::OK();
+  }
+
   // In-process shard set (Options::shards > 1): partition the hosted
   // database and route every query through the coordinator. Remote-worker
   // engines arrive here with coordinator_ already built.
@@ -264,6 +302,7 @@ SknnEngine::Info SknnEngine::info() const {
     info.shard_scheme = coordinator_->manifest().scheme;
     info.remote_shard_workers = coordinator_->remote();
   }
+  if (clusters_ != nullptr) info.num_clusters = clusters_->num_clusters;
   return info;
 }
 
@@ -308,10 +347,18 @@ Status SknnEngine::ValidateRequest(const QueryRequest& request) const {
   if (request.k == 0) {
     return Status::InvalidArgument("QueryRequest: k must be at least 1");
   }
+  // Oversized k is a malformed REQUEST, not a borderline value: kTableInfo
+  // advertises k_max, so fail typed and fast — before any crypto work.
   if (request.k > n) {
-    return Status::OutOfRange("QueryRequest: k = " +
-                              std::to_string(request.k) + " exceeds the " +
-                              std::to_string(n) + " database records");
+    return Status::InvalidArgument(
+        "QueryRequest: k = " + std::to_string(request.k) +
+        " exceeds this table's k_max = " + std::to_string(n) +
+        " (kTableInfo reports the admissible bound)");
+  }
+  if (request.index_mode == IndexMode::kClustered && clusters_ == nullptr) {
+    return Status::InvalidArgument(
+        "QueryRequest: clustered index requested but this table has no "
+        "cluster manifest (re-export with sknn_encrypt --clusters)");
   }
   const int64_t bound = int64_t{1} << attr_bits_;
   for (int64_t v : request.record) {
@@ -330,6 +377,14 @@ Result<CloudQueryOutput> SknnEngine::Dispatch(
     const std::vector<Ciphertext>& enc_query, QueryResponse* response) {
   SkNNmBreakdown* breakdown =
       request.want_breakdown ? &response->breakdown : nullptr;
+  // Clustered index, with a pruning round actually worth running: probing
+  // every cluster IS the exact computation, so that case (and every exact
+  // request) falls through to the exact paths below unchanged — which is
+  // what makes probe = all bitwise-identical to exact mode.
+  if (request.index_mode == IndexMode::kClustered && clusters_ != nullptr &&
+      std::max(request.probe_clusters, 1u) < clusters_->num_clusters) {
+    return DispatchClustered(ctx, request, enc_query, response, breakdown);
+  }
   if (coordinator_ != nullptr) {
     ShardCoordinator::RunStats stats;
     Result<CloudQueryOutput> out = coordinator_->Run(
@@ -347,6 +402,98 @@ Result<CloudQueryOutput> SknnEngine::Dispatch(
   opts.verify_sbd = options_.verify_sbd;
   opts.farthest = request.protocol == QueryProtocol::kFarthest;
   return RunSkNNm(ctx, db_, enc_query, request.k, breakdown, opts);
+}
+
+Result<CloudQueryOutput> SknnEngine::DispatchClustered(
+    ProtoContext& ctx, const QueryRequest& request,
+    const std::vector<Ciphertext>& enc_query, QueryResponse* response,
+    SkNNmBreakdown* breakdown) {
+  const ClusterManifest& cm = *clusters_;
+  const uint32_t probe = std::max(request.probe_clusters, 1u);
+
+  // Probe round: SSED over the encrypted centroids, then C2's plaintext
+  // top-k round over ALL of them gives the full cluster ranking. This is
+  // the clustered mode's documented leakage — C2 learns how the CLUSTERS
+  // rank for this query (never record distances or identities); see
+  // docs/API.md.
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<Ciphertext> centroid_dists,
+      SecureSquaredDistanceBatch(ctx, cm.centroids, enc_query));
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> ranking,
+      SecureTopKIndices(ctx, centroid_dists, cm.num_clusters));
+  if (request.protocol == QueryProtocol::kFarthest) {
+    // Farthest neighbors live in the FARTHEST clusters.
+    std::reverse(ranking.begin(), ranking.end());
+  }
+
+  // Greedy selection in rank order: at least probe_clusters clusters, and
+  // however many more it takes for the candidates to satisfy k (every
+  // answer needs k records; recall is approximate, the count is not).
+  std::vector<uint32_t> chosen;
+  std::size_t candidate_count = 0;
+  for (uint32_t cluster : ranking) {
+    chosen.push_back(cluster);
+    candidate_count += cluster_sizes_[cluster];
+    if (chosen.size() >= probe && candidate_count >= request.k) break;
+  }
+
+  if (coordinator_ != nullptr) {
+    // By-cluster shards: the pruned clusters' workers never see the query.
+    ShardCoordinator::RunStats stats;
+    Result<CloudQueryOutput> out = coordinator_->Run(
+        ctx, request, enc_query,
+        request.protocol == QueryProtocol::kBasic ? nullptr : breakdown,
+        &stats, &chosen);
+    response->shards = std::move(stats.shards);
+    response->merge_seconds = stats.merge_seconds;
+    return out;
+  }
+
+  // Unsharded: gather the surviving clusters' records in ascending global
+  // order (the SkNN_m tie-break order) and run the exact machinery over
+  // the candidate set only.
+  std::vector<bool> take(cm.num_clusters, false);
+  for (uint32_t cluster : chosen) take[cluster] = true;
+  std::vector<std::size_t> global_indices;
+  std::vector<std::vector<Ciphertext>> candidates;
+  global_indices.reserve(candidate_count);
+  candidates.reserve(candidate_count);
+  for (std::size_t i = 0; i < cm.assignment.size(); ++i) {
+    if (!take[cm.assignment[i]]) continue;
+    global_indices.push_back(i);
+    candidates.push_back(db_.records[i]);
+  }
+
+  if (request.protocol == QueryProtocol::kBasic) {
+    SKNN_ASSIGN_OR_RETURN(
+        std::vector<Ciphertext> dists,
+        SecureSquaredDistanceBatch(ctx, candidates, enc_query));
+    // Candidates ascend by global index, so C2's lower-position tie-break
+    // is the global lower-index tie-break restricted to the candidates.
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint32_t> top,
+                          SecureTopKIndices(ctx, dists, request.k));
+    std::vector<std::vector<Ciphertext>> winners;
+    winners.reserve(top.size());
+    for (uint32_t idx : top) winners.push_back(candidates[idx]);
+    return MaskAndShipToBob(ctx, winners);
+  }
+
+  SKNN_ASSIGN_OR_RETURN(
+      std::vector<EncryptedBits> bits,
+      PrepareDistanceBits(ctx, candidates, enc_query, distance_bits_,
+                          &global_indices, num_records_,
+                          request.protocol == QueryProtocol::kFarthest,
+                          options_.verify_sbd, breakdown));
+  SKNN_ASSIGN_OR_RETURN(TopKExtraction top,
+                        ExtractTopK(ctx, candidates, bits, request.k,
+                                    /*keep_winner_bits=*/false, breakdown));
+  Stopwatch finalize;
+  Result<CloudQueryOutput> out = MaskAndShipToBob(ctx, top.records);
+  if (breakdown != nullptr) {
+    breakdown->finalize_seconds += finalize.ElapsedSeconds();
+  }
+  return out;
 }
 
 Result<std::vector<BigInt>> SknnEngine::TakeC2Outbox(ProtoContext& ctx,

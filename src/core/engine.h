@@ -27,6 +27,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "core/clustering.h"
 #include "core/query_api.h"
 #include "core/query_client.h"
 #include "core/shard_coordinator.h"
@@ -101,6 +102,16 @@ class SknnEngine {
     /// CreateWithShardWorkers only: cadence of the coordinator's replica
     /// health probes; zero disables probing (and redial).
     std::chrono::milliseconds shard_probe_interval{500};
+    /// Clustered index mode: the k-means manifest built by `sknn_encrypt
+    /// --clusters` (core/clustering.h, loaded via db_io). Non-null enables
+    /// IndexMode::kClustered requests against this engine; exact requests
+    /// are unaffected. With `shards > 1` the in-process partitioning
+    /// becomes BY CLUSTER — one shard per cluster, the `shards` count and
+    /// `shard_scheme` are ignored — so a pruned cluster's shard never runs
+    /// its stage. A CreateWithShardWorkers engine requires the workers to
+    /// have been partitioned by this same manifest (sknn_c1_shard
+    /// --clusters); construction fails otherwise.
+    std::shared_ptr<const ClusterManifest> clusters;
   };
 
   /// \brief One-time setup: Alice keygens, encrypts `table` and outsources.
@@ -169,8 +180,11 @@ class SknnEngine {
   std::vector<Result<QueryResponse>> QueryBatch(
       std::vector<QueryRequest> requests);
 
-  /// \brief The up-front request validation Query/Submit/QueryBatch apply:
-  /// k in [1, n], matching dimension, attributes in [0, 2^attr_bits).
+  /// \brief The up-front request validation Query/Submit/QueryBatch apply
+  /// — and the serving front end applies at ADMISSION, before any crypto
+  /// work: k in [1, k_max] (k_max = n; oversized k is kInvalidArgument),
+  /// matching dimension, attributes in [0, 2^attr_bits), and clustered
+  /// requests only against a table that has a cluster manifest.
   Status ValidateRequest(const QueryRequest& request) const;
 
   /// \brief Everything a serving control plane reports about this engine in
@@ -191,6 +205,9 @@ class SknnEngine {
     /// True when the shards are sknn_c1_shard worker processes
     /// (CreateWithShardWorkers) rather than in-process slices.
     bool remote_shard_workers = false;
+    /// Clusters of the table's k-means index; 0 = no cluster index (the
+    /// table only serves IndexMode::kExact).
+    uint32_t num_clusters = 0;
   };
   Info info() const;
 
@@ -253,6 +270,14 @@ class SknnEngine {
                                     const QueryRequest& request,
                                     const std::vector<Ciphertext>& enc_query,
                                     QueryResponse* response);
+  /// \brief The clustered index path: one secure centroid-scoring round
+  /// prunes to the top-probe_clusters clusters, then the exact machinery
+  /// runs over the surviving candidates only (via the by-cluster
+  /// coordinator when sharded, over a gathered candidate slice otherwise).
+  Result<CloudQueryOutput> DispatchClustered(
+      ProtoContext& ctx, const QueryRequest& request,
+      const std::vector<Ciphertext>& enc_query, QueryResponse* response,
+      SkNNmBreakdown* breakdown);
   void SchedulerLoop();
 
   /// \brief The construction tail shared by every factory: geometry and
@@ -279,6 +304,9 @@ class SknnEngine {
   std::size_t num_attributes_ = 0;
   unsigned distance_bits_ = 0;
   std::unique_ptr<ShardCoordinator> coordinator_;
+  /// Clustered index state (null/empty without Options::clusters).
+  std::shared_ptr<const ClusterManifest> clusters_;
+  std::vector<uint32_t> cluster_sizes_;
   std::unique_ptr<C2Service> c2_;
   Channel* channel_ = nullptr;  // owned by the endpoints inside client/server
   std::unique_ptr<RpcServer> server_;

@@ -33,6 +33,19 @@ enum class QueryProtocol {
 
 const char* QueryProtocolName(QueryProtocol protocol);
 
+/// \brief Which index a request consults (orthogonal to QueryProtocol).
+enum class IndexMode : uint32_t {
+  /// Scan every record — the paper-exact protocols, and the differential
+  /// oracle for the clustered mode.
+  kExact = 0,
+  /// Learned k-means index: one secure centroid-scoring round prunes to the
+  /// closest probe_clusters clusters, then the exact machinery runs over
+  /// the surviving candidates only. Approximate — the recall knob is
+  /// QueryRequest::probe_clusters. Requires the table to have been built
+  /// with a cluster manifest; rejected with kInvalidArgument otherwise.
+  kClustered = 1,
+};
+
 /// \brief One Bob query, self-describing. Validated up front by the engine:
 /// k must be in [1, n], the record's dimension must match the database, and
 /// every attribute must lie in [0, 2^attr_bits).
@@ -63,6 +76,14 @@ struct QueryRequest {
   /// a hung worker costs the deadline, never a stall. Appended after `table`
   /// for the same aggregate-initialization reason.
   uint32_t deadline_ms = 0;
+  /// Which index to consult (aggregate-init: appended after deadline_ms).
+  IndexMode index_mode = IndexMode::kExact;
+  /// Clustered mode's recall knob: how many nearest clusters survive the
+  /// pruning round. Clamped to [1, num_clusters]; probing every cluster is
+  /// bitwise-identical to exact mode. More clusters are probed than asked
+  /// for when the first probe_clusters clusters hold fewer than k records.
+  /// Ignored in exact mode.
+  uint32_t probe_clusters = 1;
 };
 
 /// \brief One shard's share of a sharded query (core/shard_coordinator.h):
@@ -85,6 +106,12 @@ struct ShardQueryStats {
   /// Replica attempts that failed before this shard's stage succeeded —
   /// nonzero means the query transparently failed over.
   uint32_t failovers = 0;
+  /// 1 when the clustered pruning round skipped this shard entirely (it
+  /// never saw the query); its candidates/seconds/traffic/ops are all zero.
+  uint32_t pruned = 0;
+  /// Records this shard holds — with `candidates` and `pruned`, the numbers
+  /// behind the "per-query work proportional to the candidate set" claim.
+  uint32_t shard_records = 0;
 };
 
 /// \brief Everything Bob ends up with after one request, plus the

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "core/clustering.h"
 #include "net/socket.h"
 #include "proto/query_meter.h"
 
@@ -62,6 +63,33 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateLocal(
   coordinator->num_attributes_ = db.num_attributes();
   coordinator->distance_bits_ = db.distance_bits;
   SKNN_ASSIGN_OR_RETURN(coordinator->slices_, PartitionDatabase(db, checked));
+  coordinator->shard_records_.reserve(coordinator->slices_.size());
+  for (const ShardSlice& slice : coordinator->slices_) {
+    coordinator->shard_records_.push_back(
+        static_cast<uint32_t>(slice.db.num_records()));
+  }
+  return coordinator;
+}
+
+Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateLocal(
+    const EncryptedDatabase& db, const ClusterManifest& clusters,
+    bool verify_sbd) {
+  SKNN_ASSIGN_OR_RETURN(
+      ShardManifest manifest,
+      MakeShardManifest(db.num_records(), clusters.num_clusters,
+                        ShardScheme::kByCluster));
+  auto coordinator = std::unique_ptr<ShardCoordinator>(new ShardCoordinator());
+  coordinator->manifest_ = manifest;
+  coordinator->verify_sbd_ = verify_sbd;
+  coordinator->num_attributes_ = db.num_attributes();
+  coordinator->distance_bits_ = db.distance_bits;
+  SKNN_ASSIGN_OR_RETURN(coordinator->slices_,
+                        PartitionDatabaseByCluster(db, clusters));
+  coordinator->shard_records_.reserve(coordinator->slices_.size());
+  for (const ShardSlice& slice : coordinator->slices_) {
+    coordinator->shard_records_.push_back(
+        static_cast<uint32_t>(slice.db.num_records()));
+  }
   return coordinator;
 }
 
@@ -112,6 +140,7 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateRemote(
   coordinator->remote_options_ = remote_options;
   coordinator->groups_ =
       std::vector<ReplicaGroup>(manifest.num_shards);
+  coordinator->shard_records_.assign(manifest.num_shards, 0);
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const ShardGeometry& g = geometries[i];
     if (!(g.manifest == manifest) ||
@@ -125,6 +154,16 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::CreateRemote(
       return Status::InvalidArgument(
           "ShardCoordinator: worker " + std::to_string(i) +
           " claims out-of-range shard index " + std::to_string(g.shard));
+    }
+    // Replicas of one shard must hold identical slices.
+    uint32_t& expected = coordinator->shard_records_[g.shard];
+    if (expected == 0) {
+      expected = g.shard_records;
+    } else if (expected != g.shard_records) {
+      return Status::InvalidArgument(
+          "ShardCoordinator: replicas of shard " + std::to_string(g.shard) +
+          " disagree on their record count (" + std::to_string(expected) +
+          " vs " + std::to_string(g.shard_records) + ")");
     }
     auto replica = std::make_unique<Replica>();
     {
@@ -469,22 +508,42 @@ Result<CloudQueryOutput> ShardCoordinator::MergeBasic(
 Result<CloudQueryOutput> ShardCoordinator::Run(
     ProtoContext& ctx, const QueryRequest& request,
     const std::vector<Ciphertext>& enc_query, SkNNmBreakdown* breakdown,
-    RunStats* stats) {
+    RunStats* stats, const std::vector<uint32_t>* active_shards) {
   const std::size_t s = manifest_.num_shards;
   RunStats local_stats;
   RunStats& st = stats != nullptr ? *stats : local_stats;
   st.shards.assign(s, ShardQueryStats{});
   st.merge_seconds = 0;
+  // Clustered pruning: shards outside `active_shards` never see the query.
+  // `active` also sanitizes the list (dedup + range check) so a buggy
+  // caller cannot double-run or overrun a shard.
+  std::vector<bool> active(s, active_shards == nullptr);
+  if (active_shards != nullptr) {
+    for (uint32_t shard : *active_shards) {
+      if (shard >= s) {
+        return Status::InvalidArgument(
+            "ShardCoordinator: active shard " + std::to_string(shard) +
+            " out of range (num_shards = " + std::to_string(s) + ")");
+      }
+      active[shard] = true;
+    }
+  }
+  for (std::size_t shard = 0; shard < s; ++shard) {
+    st.shards[shard].shard = static_cast<uint32_t>(shard);
+    st.shards[shard].shard_records = shard_records(shard);
+    st.shards[shard].pruned = active[shard] ? 0 : 1;
+  }
 
-  // Fan out: every shard stage in flight at once. Shard threads only drive
-  // control flow (and block on their shard's round trips); the homomorphic
-  // work still lands on the shared pools.
+  // Fan out: every active shard stage in flight at once. Shard threads only
+  // drive control flow (and block on their shard's round trips); the
+  // homomorphic work still lands on the shared pools.
   std::vector<Result<ShardCandidates>> results(
       s, Result<ShardCandidates>(Status::Internal("unset")));
   {
     std::vector<std::thread> threads;
     threads.reserve(s);
     for (std::size_t shard = 0; shard < s; ++shard) {
+      if (!active[shard]) continue;
       threads.emplace_back([&, shard] {
         results[shard] =
             RunShard(ctx, shard, request, enc_query, &st.shards[shard]);
@@ -495,6 +554,7 @@ Result<CloudQueryOutput> ShardCoordinator::Run(
   std::vector<ShardCandidates> candidates;
   candidates.reserve(s);
   for (std::size_t shard = 0; shard < s; ++shard) {
+    if (!active[shard]) continue;
     if (!results[shard].ok()) return results[shard].status();
     candidates.push_back(std::move(results[shard]).value());
   }

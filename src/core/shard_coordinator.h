@@ -94,6 +94,14 @@ class ShardCoordinator {
       const EncryptedDatabase& db, const ShardManifest& manifest,
       bool verify_sbd);
 
+  /// \brief In-process shard set partitioned by CLUSTER: shard c holds the
+  /// records of cluster c (ShardScheme::kByCluster, one shard per cluster).
+  /// This is the topology behind the clustered index mode — pruning a
+  /// cluster skips its shard's stage entirely.
+  static Result<std::unique_ptr<ShardCoordinator>> CreateLocal(
+      const EncryptedDatabase& db, const ClusterManifest& clusters,
+      bool verify_sbd);
+
   /// \brief Remote shard workers: pings every link, validates that the
   /// workers agree on one manifest and that every shard {0..s-1} is covered
   /// by at least one worker (in any connection order), and groups the RPC
@@ -113,13 +121,20 @@ class ShardCoordinator {
 
   ~ShardCoordinator();
 
-  /// \brief One query: fan out, collect s*k candidates, merge, mask-and-
+  /// \brief One query: fan out, collect the candidates, merge, mask-and-
   /// ship to Bob. All merge exchanges (and, in local mode, the shard
   /// stages) ride `ctx`'s query id, meter and deadline. `breakdown`
   /// receives the merge's sminn/extract/update phases.
+  ///
+  /// `active_shards` restricts the fan-out (clustered pruning): only the
+  /// named shards run their stage — the others never see the query and
+  /// report `pruned = 1` in their stats entry. nullptr = all shards. The
+  /// caller must guarantee the surviving shards hold at least k records.
   Result<CloudQueryOutput> Run(ProtoContext& ctx, const QueryRequest& request,
                                const std::vector<Ciphertext>& enc_query,
-                               SkNNmBreakdown* breakdown, RunStats* stats);
+                               SkNNmBreakdown* breakdown, RunStats* stats,
+                               const std::vector<uint32_t>* active_shards =
+                                   nullptr);
 
   const ShardManifest& manifest() const { return manifest_; }
   /// \brief True when the shards are worker processes (CreateRemote) rather
@@ -136,6 +151,11 @@ class ShardCoordinator {
   /// mirrors the partitioned db).
   std::size_t num_attributes() const { return num_attributes_; }
   unsigned distance_bits() const { return distance_bits_; }
+  /// \brief Records shard `shard` holds (local: its slice; remote: as the
+  /// workers reported at connect). 0 for an out-of-range shard.
+  uint32_t shard_records(std::size_t shard) const {
+    return shard < shard_records_.size() ? shard_records_[shard] : 0;
+  }
 
  private:
   /// One remote worker process serving one shard. The client is swappable
@@ -202,6 +222,9 @@ class ShardCoordinator {
   bool verify_sbd_ = true;
   std::size_t num_attributes_ = 0;
   unsigned distance_bits_ = 0;
+  /// Record count per shard, both modes (clustered shards are unequal, and
+  /// the stats report them either way).
+  std::vector<uint32_t> shard_records_;
   /// Local mode: one slice per shard.
   std::vector<ShardSlice> slices_;
   /// Remote mode: one replica group per shard, indexed by shard.

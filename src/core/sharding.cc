@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/clustering.h"
 #include "proto/ssed.h"
 
 namespace sknn {
@@ -13,6 +14,8 @@ const char* ShardSchemeName(ShardScheme scheme) {
       return "contiguous";
     case ShardScheme::kRoundRobin:
       return "roundrobin";
+    case ShardScheme::kByCluster:
+      return "bycluster";
   }
   return "unknown";
 }
@@ -20,8 +23,9 @@ const char* ShardSchemeName(ShardScheme scheme) {
 Result<ShardScheme> ParseShardScheme(const std::string& name) {
   if (name == "contiguous") return ShardScheme::kContiguous;
   if (name == "roundrobin") return ShardScheme::kRoundRobin;
+  if (name == "bycluster") return ShardScheme::kByCluster;
   return Status::NotFound("unknown shard scheme '" + name +
-                          "' (want contiguous or roundrobin)");
+                          "' (want contiguous, roundrobin, or bycluster)");
 }
 
 Result<ShardManifest> MakeShardManifest(std::size_t total_records,
@@ -37,7 +41,8 @@ Result<ShardManifest> MakeShardManifest(std::size_t total_records,
         std::to_string(total_records) + " records");
   }
   if (scheme != ShardScheme::kContiguous &&
-      scheme != ShardScheme::kRoundRobin) {
+      scheme != ShardScheme::kRoundRobin &&
+      scheme != ShardScheme::kByCluster) {
     return Status::InvalidArgument("ShardManifest: unknown scheme");
   }
   ShardManifest manifest;
@@ -53,6 +58,9 @@ std::vector<std::size_t> ShardRecordIndices(const ShardManifest& manifest,
   const std::size_t n = manifest.total_records;
   const std::size_t s = manifest.num_shards;
   if (shard >= s || n == 0) return indices;
+  // kByCluster indices are data-dependent (they live in the cluster
+  // assignment); pure geometry cannot produce them.
+  if (manifest.scheme == ShardScheme::kByCluster) return indices;
   if (manifest.scheme == ShardScheme::kRoundRobin) {
     for (std::size_t i = shard; i < n; i += s) indices.push_back(i);
     return indices;
@@ -90,6 +98,32 @@ Result<std::vector<ShardSlice>> PartitionDatabase(
       slice.db.records.push_back(db.records[gidx]);
     }
     slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+Result<std::vector<ShardSlice>> PartitionDatabaseByCluster(
+    const EncryptedDatabase& db, const ClusterManifest& clusters) {
+  if (Status valid = ValidateClusterManifestForDatabase(clusters, db);
+      !valid.ok()) {
+    return valid;
+  }
+  std::vector<ShardSlice> slices(clusters.num_clusters);
+  for (auto& slice : slices) slice.db.distance_bits = db.distance_bits;
+  // One ascending pass keeps every slice in global-index order — the
+  // SkNN_m tie-break depends on it.
+  for (std::size_t i = 0; i < clusters.assignment.size(); ++i) {
+    ShardSlice& slice = slices[clusters.assignment[i]];
+    slice.global_indices.push_back(i);
+    slice.db.records.push_back(db.records[i]);
+  }
+  for (std::size_t c = 0; c < slices.size(); ++c) {
+    if (slices[c].global_indices.empty()) {
+      return Status::InvalidArgument(
+          "PartitionDatabaseByCluster: cluster " + std::to_string(c) +
+          " is empty — rebuild the manifest (k-means reseeds empties, so "
+          "an empty cluster means a corrupted or hand-edited manifest)");
+    }
   }
   return slices;
 }

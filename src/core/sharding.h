@@ -34,11 +34,18 @@ enum class ShardScheme : uint32_t {
   kContiguous = 0,
   /// Shard j holds the records { i : i % s == j }.
   kRoundRobin = 1,
+  /// Shard j holds the records of CLUSTER j of a cluster manifest
+  /// (core/clustering.h). The clustered index mode uses this so pruning a
+  /// cluster prunes its worker. Unlike the other schemes the index lists
+  /// are NOT derivable from the manifest's pure geometry — they come from
+  /// the cluster assignment; use PartitionDatabaseByCluster /
+  /// ClusterRecordIndices, not ShardRecordIndices.
+  kByCluster = 2,
 };
 
 const char* ShardSchemeName(ShardScheme scheme);
-/// \brief Inverse of ShardSchemeName ("contiguous" / "roundrobin");
-/// kNotFound for anything else.
+/// \brief Inverse of ShardSchemeName ("contiguous" / "roundrobin" /
+/// "bycluster"); kNotFound for anything else.
 Result<ShardScheme> ParseShardScheme(const std::string& name);
 
 /// \brief The partitioning contract between the coordinator and its shard
@@ -59,7 +66,9 @@ Result<ShardManifest> MakeShardManifest(std::size_t total_records,
                                         std::size_t num_shards,
                                         ShardScheme scheme);
 
-/// \brief The global record indices of `shard` (ascending).
+/// \brief The global record indices of `shard` (ascending). Empty for
+/// kByCluster — that scheme's indices live in the cluster assignment, not
+/// the geometry (see ClusterRecordIndices in core/clustering.h).
 std::vector<std::size_t> ShardRecordIndices(const ShardManifest& manifest,
                                             std::size_t shard);
 
@@ -75,6 +84,17 @@ struct ShardSlice {
 /// hosted by its own worker process.
 Result<std::vector<ShardSlice>> PartitionDatabase(const EncryptedDatabase& db,
                                                   const ShardManifest& manifest);
+
+// Declared in core/clustering.h; forward-declared here so the cluster
+// partitioner below does not force every sharding user through that header.
+struct ClusterManifest;
+
+/// \brief Slices the database along a cluster manifest: slice c holds the
+/// records of cluster c, ascending by global index (the SkNN_m tie-break
+/// order). The companion ShardManifest for such a deployment is
+/// {kByCluster, num_clusters, total_records}.
+Result<std::vector<ShardSlice>> PartitionDatabaseByCluster(
+    const EncryptedDatabase& db, const ClusterManifest& clusters);
 
 /// \brief What one shard returns for one query: min(k, shard size) local
 /// candidates. For kSecure/kFarthest each candidate is (augmented distance

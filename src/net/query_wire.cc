@@ -60,7 +60,18 @@ Message EncodeQueryRequest(const QueryRequest& request) {
     msg.AppendAuxU64(static_cast<uint64_t>(v));
   }
   AppendString(msg, request.table);
-  if (request.deadline_ms != 0) msg.AppendAuxU32(request.deadline_ms);
+  // Exact-mode requests keep the revision-3/4 shape (optional lone deadline
+  // word) so their frames stay byte-identical across the revision bump.
+  // Clustered requests emit the full revision-5 tail: the deadline word is
+  // then always present (0 = unbounded) so the index_mode/probe words have
+  // a fixed offset.
+  if (request.index_mode != IndexMode::kExact) {
+    msg.AppendAuxU32(request.deadline_ms);
+    msg.AppendAuxU32(static_cast<uint32_t>(request.index_mode));
+    msg.AppendAuxU32(request.probe_clusters);
+  } else if (request.deadline_ms != 0) {
+    msg.AppendAuxU32(request.deadline_ms);
+  }
   return msg;
 }
 
@@ -88,19 +99,29 @@ Result<QueryRequest> DecodeQueryRequest(const Message& msg) {
         static_cast<int64_t>(msg.AuxU64At(16 + std::size_t{j} * 8)));
   }
   // Revision-1 frames end at the record; revision-2 frames append the table
-  // name; revision-3 frames may append a trailing deadline word after it.
-  // Every shape decodes (sole-table / no-deadline defaults), so the hello
-  // gate — not a parse failure — is what tells an old client it must
-  // upgrade.
+  // name; revision-3 frames may append a trailing deadline word after it;
+  // revision-5 frames may follow the deadline with the index_mode and
+  // probe_clusters words. Every shape decodes (sole-table / no-deadline /
+  // exact-mode defaults), so the hello gate — not a parse failure — is what
+  // tells an old client it must upgrade.
   if (msg.aux.size() == at) return request;
   if (!StringAt(msg, &at, &request.table)) {
     return BadFrame("kQuery table-name geometry mismatch");
   }
   if (msg.aux.size() == at) return request;
-  if (msg.aux.size() != at + 4) {
+  const std::size_t tail = msg.aux.size() - at;
+  if (tail != 4 && tail != 12) {
     return BadFrame("kQuery deadline geometry mismatch");
   }
   request.deadline_ms = msg.AuxU32At(at);
+  if (tail == 12) {
+    const uint32_t mode = msg.AuxU32At(at + 4);
+    if (mode > static_cast<uint32_t>(IndexMode::kClustered)) {
+      return BadFrame("kQuery carries an unknown index mode");
+    }
+    request.index_mode = static_cast<IndexMode>(mode);
+    request.probe_clusters = msg.AuxU32At(at + 8);
+  }
   return request;
 }
 
@@ -137,6 +158,8 @@ Message EncodeQueryResponse(const QueryResponse& response) {
     msg.AppendAuxU32(shard.candidates);
     msg.AppendAuxU32(shard.replica);
     msg.AppendAuxU32(shard.failovers);
+    msg.AppendAuxU32(shard.pruned);
+    msg.AppendAuxU32(shard.shard_records);
     AppendF64(msg, shard.seconds);
     msg.AppendAuxU64(shard.traffic.frames_a_to_b);
     msg.AppendAuxU64(shard.traffic.bytes_a_to_b);
@@ -171,9 +194,9 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
     return BadFrame("kQueryResult geometry mismatch");
   }
   const std::size_t num_shards = msg.AuxU32At(fixed - 4);
-  // Revision 3 layout: shard, candidates, replica, failovers, seconds,
-  // 4 traffic counters, 4 op counters.
-  constexpr std::size_t kPerShard = 4 + 4 + 4 + 4 + 9 * 8;
+  // Revision 5 layout: shard, candidates, replica, failovers, pruned,
+  // shard_records, seconds, 4 traffic counters, 4 op counters.
+  constexpr std::size_t kPerShard = 4 + 4 + 4 + 4 + 4 + 4 + 9 * 8;
   if (num_shards > kMaxDim ||
       msg.aux.size() != fixed + num_shards * kPerShard) {
     return BadFrame("kQueryResult shard-stats geometry mismatch");
@@ -214,15 +237,17 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
     shard.candidates = msg.AuxU32At(at + 4);
     shard.replica = msg.AuxU32At(at + 8);
     shard.failovers = msg.AuxU32At(at + 12);
-    shard.seconds = F64At(msg, at + 16);
-    shard.traffic.frames_a_to_b = msg.AuxU64At(at + 24);
-    shard.traffic.bytes_a_to_b = msg.AuxU64At(at + 32);
-    shard.traffic.frames_b_to_a = msg.AuxU64At(at + 40);
-    shard.traffic.bytes_b_to_a = msg.AuxU64At(at + 48);
-    shard.ops.encryptions = msg.AuxU64At(at + 56);
-    shard.ops.decryptions = msg.AuxU64At(at + 64);
-    shard.ops.exponentiations = msg.AuxU64At(at + 72);
-    shard.ops.multiplications = msg.AuxU64At(at + 80);
+    shard.pruned = msg.AuxU32At(at + 16);
+    shard.shard_records = msg.AuxU32At(at + 20);
+    shard.seconds = F64At(msg, at + 24);
+    shard.traffic.frames_a_to_b = msg.AuxU64At(at + 32);
+    shard.traffic.bytes_a_to_b = msg.AuxU64At(at + 40);
+    shard.traffic.frames_b_to_a = msg.AuxU64At(at + 48);
+    shard.traffic.bytes_b_to_a = msg.AuxU64At(at + 56);
+    shard.ops.encryptions = msg.AuxU64At(at + 64);
+    shard.ops.decryptions = msg.AuxU64At(at + 72);
+    shard.ops.exponentiations = msg.AuxU64At(at + 80);
+    shard.ops.multiplications = msg.AuxU64At(at + 88);
     response.shards.push_back(shard);
     at += kPerShard;
   }
@@ -366,6 +391,7 @@ Message EncodeTableInfoReply(const TableInfoReply& info) {
   msg.AppendAuxU32(info.num_shards);
   msg.AppendAuxU32(info.shard_scheme);
   msg.AppendAuxU32(info.remote_workers ? 1 : 0);
+  msg.AppendAuxU32(info.num_clusters);
   return msg;
 }
 
@@ -376,7 +402,7 @@ Result<TableInfoReply> DecodeTableInfoReply(const Message& msg) {
   std::size_t at = 0;
   TableInfoReply info;
   if (!StringAt(msg, &at, &info.name) ||
-      msg.aux.size() != at + 8 + 7 * 4) {
+      msg.aux.size() != at + 8 + 8 * 4) {
     return BadFrame("kTableInfoResult geometry mismatch");
   }
   info.num_records = msg.AuxU64At(at);
@@ -387,6 +413,7 @@ Result<TableInfoReply> DecodeTableInfoReply(const Message& msg) {
   info.num_shards = msg.AuxU32At(at + 24);
   info.shard_scheme = msg.AuxU32At(at + 28);
   info.remote_workers = msg.AuxU32At(at + 32) != 0;
+  info.num_clusters = msg.AuxU32At(at + 36);
   return info;
 }
 

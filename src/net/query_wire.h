@@ -51,13 +51,19 @@ namespace sknn {
 ///   4 — PR 8: randomizer-pool counters in kServiceStatsResult's per-table
 ///       block (8 trailing u64 per table — a LAYOUT change, revision-3
 ///       decoders would misparse the widened entry, hence the min bump).
-constexpr uint32_t kProtocolRevision = 4;
-/// \brief Oldest client revision the server still accepts. Revision 3
-/// clients would misread the widened kServiceStatsResult per-table block,
-/// so the hello gate turns them away with a typed error instead of letting
-/// them decode garbage. Revision 1 clients cannot hello at all; their first
+///   5 — PR 9: clustered (approximate) index mode. kQuery grows an optional
+///       [index_mode:u32][probe_clusters:u32] tail after the deadline,
+///       kQueryResult's per-shard block widens by [pruned:u32]
+///       [shard_records:u32] (a LAYOUT change — revision-4 decoders would
+///       misread the 96-byte entries, hence the min bump), and
+///       kTableInfoResult appends [num_clusters:u32].
+constexpr uint32_t kProtocolRevision = 5;
+/// \brief Oldest client revision the server still accepts. Revision 4
+/// clients would misread the widened kQueryResult per-shard block, so the
+/// hello gate turns them away with a typed error instead of letting them
+/// decode garbage. Revision 1 clients cannot hello at all; their first
 /// kQuery gets the typed missing-hello error.
-constexpr uint32_t kMinSupportedRevision = 4;
+constexpr uint32_t kMinSupportedRevision = 5;
 
 /// \brief Feature bits advertised in kHello/kHelloAck. A client MUST ignore
 /// bits it does not know; a server advertises exactly what it implements.
@@ -74,12 +80,16 @@ enum FrontendFeature : uint32_t {
   kFeatureReplicaHealth = 1u << 4,
   /// kReloadTable/kDetachTable exist; kTableChanged notes are pushed.
   kFeatureHotReload = 1u << 5,
+  /// kQuery honors index_mode/probe_clusters (clustered approximate mode);
+  /// kTableInfoResult reports num_clusters.
+  kFeatureClusteredIndex = 1u << 6,
 };
 
 /// \brief Every feature this build implements.
 constexpr uint32_t kSupportedFeatures =
     kFeatureMultiTable | kFeatureShardStats | kFeatureServiceStats |
-    kFeatureDeadlines | kFeatureReplicaHealth | kFeatureHotReload;
+    kFeatureDeadlines | kFeatureReplicaHealth | kFeatureHotReload |
+    kFeatureClusteredIndex;
 
 enum class FrontendOp : uint16_t {
   /// One Bob query. aux = [k:u32][protocol:u32][flags:u32][m:u32][m x i64]
@@ -91,15 +101,23 @@ enum class FrontendOp : uint16_t {
   /// the empty (sole-table) name so the frame shape itself stays readable.
   /// Revision 3 appends an optional [deadline_ms:u32] after the table: the
   /// query's end-to-end budget in milliseconds, 0/absent = unbounded.
+  /// Revision 5 may append [index_mode:u32][probe_clusters:u32] after the
+  /// deadline (the deadline word is then always present, 0 = unbounded):
+  /// index_mode 0 = exact, 1 = clustered approximate search probing the
+  /// probe_clusters nearest clusters. The tail after the table is therefore
+  /// 0, 4 or 12 bytes — any other length is malformed.
   kQuery = 0x0101,
   /// Success. aux = [rows:u32][cols:u32][rows*cols x i64]
   /// [bob_seconds:f64][cloud_seconds:f64][traffic:4 x u64][ops:4 x u64]
   /// [breakdown:6 x f64][merge_seconds:f64][num_shards:u32] then per shard
-  /// [shard:u32][candidates:u32][replica:u32][failovers:u32][seconds:f64]
-  /// [traffic:4 x u64][ops:4 x u64] (num_shards = 0 for unsharded
-  /// execution), f64 as IEEE-754 bit patterns in u64. The replica/failovers
-  /// words are revision 3's layout change: which replica served the shard
-  /// and how many replica attempts failed first.
+  /// [shard:u32][candidates:u32][replica:u32][failovers:u32][pruned:u32]
+  /// [shard_records:u32][seconds:f64][traffic:4 x u64][ops:4 x u64]
+  /// (num_shards = 0 for unsharded execution), f64 as IEEE-754 bit patterns
+  /// in u64. The replica/failovers words are revision 3's layout change:
+  /// which replica served the shard and how many replica attempts failed
+  /// first. The pruned/shard_records words are revision 5's layout change:
+  /// whether the clustered probe round skipped the shard entirely, and how
+  /// many records the shard holds (cluster sizes are unequal).
   kQueryResult = 0x0102,
   /// Failure. aux = [status code:u32][message bytes].
   kQueryError = 0x0103,
@@ -126,7 +144,9 @@ enum class FrontendOp : uint16_t {
   kTableInfo = 0x0114,
   /// Server -> client. aux = [name_len:u32][name bytes][n:u64][m:u32]
   /// [attr_bits:u32][k_max:u32][distance_bits:u32][num_shards:u32]
-  /// [scheme:u32][remote_workers:u32].
+  /// [scheme:u32][remote_workers:u32][num_clusters:u32] (the last word is
+  /// revision 5: 0 = exact-only table, otherwise the clustered index's
+  /// cluster count — the admissible probe_clusters range is [1, that]).
   kTableInfoResult = 0x0115,
   /// Client -> server: service-wide counters. aux empty.
   kServiceStats = 0x0116,
@@ -199,6 +219,9 @@ struct TableInfoReply {
   uint32_t shard_scheme = 0;
   /// True when the shards live in sknn_c1_shard worker processes.
   bool remote_workers = false;
+  /// Clustered-index geometry: 0 = exact-only table, otherwise the number
+  /// of clusters (= the admissible probe_clusters upper bound).
+  uint32_t num_clusters = 0;
 };
 
 /// \brief One table's admission counters inside kServiceStatsResult.

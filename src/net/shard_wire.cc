@@ -35,6 +35,7 @@ Message EncodeShardGeometry(const ShardGeometry& geometry) {
   msg.AppendAuxU32(static_cast<uint32_t>(geometry.manifest.total_records));
   msg.AppendAuxU32(geometry.num_attributes);
   msg.AppendAuxU32(geometry.distance_bits);
+  msg.AppendAuxU32(geometry.shard_records);
   return msg;
 }
 
@@ -42,11 +43,13 @@ Result<ShardGeometry> DecodeShardGeometry(const Message& msg) {
   if (msg.type != ShardOpCode(ShardOp::kShardPing)) {
     return BadFrame("not a kShardPing response");
   }
-  if (msg.aux.size() != 24) return BadFrame("bad geometry payload");
+  // Coordinator and workers deploy as a unit (same build), so the geometry
+  // frame carries no compatibility tail: it is exactly 28 bytes.
+  if (msg.aux.size() != 28) return BadFrame("bad geometry payload");
   ShardGeometry geometry;
   geometry.shard = msg.AuxU32At(0);
   const uint32_t scheme = msg.AuxU32At(4);
-  if (scheme > static_cast<uint32_t>(ShardScheme::kRoundRobin)) {
+  if (scheme > static_cast<uint32_t>(ShardScheme::kByCluster)) {
     return BadFrame("unknown shard scheme");
   }
   geometry.manifest.scheme = static_cast<ShardScheme>(scheme);
@@ -54,6 +57,7 @@ Result<ShardGeometry> DecodeShardGeometry(const Message& msg) {
   geometry.manifest.total_records = msg.AuxU32At(12);
   geometry.num_attributes = msg.AuxU32At(16);
   geometry.distance_bits = msg.AuxU32At(20);
+  geometry.shard_records = msg.AuxU32At(24);
   return geometry;
 }
 

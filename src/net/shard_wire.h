@@ -43,6 +43,11 @@ struct ShardGeometry {
   ShardManifest manifest;
   uint32_t num_attributes = 0;
   uint32_t distance_bits = 0;
+  /// Records this worker's slice holds. For kContiguous/kRoundRobin this is
+  /// derivable from the manifest; for kByCluster (data-dependent slices) it
+  /// is the only way the coordinator learns shard sizes, which the clustered
+  /// candidate-selection rule and per-shard stats need.
+  uint32_t shard_records = 0;
 
   bool operator==(const ShardGeometry&) const = default;
 };

@@ -411,6 +411,7 @@ Message QueryService::HandleTableInfo(const Message& request) {
   reply.num_shards = static_cast<uint32_t>(info.num_shards);
   reply.shard_scheme = static_cast<uint32_t>(info.shard_scheme);
   reply.remote_workers = info.remote_shard_workers;
+  reply.num_clusters = info.num_clusters;
   return EncodeTableInfoReply(reply);
 }
 

@@ -49,15 +49,26 @@ std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy, int attempt,
   if (attempt < 1) attempt = 1;
   uniform01 = std::clamp(uniform01, 0.0, 1.0);
   const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  // A nonsensical policy (negative or zero initial backoff — e.g. a
+  // mis-parsed config) must never produce a negative sleep or a zero-wait
+  // busy loop: floor the base at 1 ms.
+  const double initial =
+      std::max(1.0, static_cast<double>(policy.initial_backoff.count()));
+  const double max_backoff =
+      std::max(1.0, static_cast<double>(policy.max_backoff.count()));
   // Exponential growth without overflow: cap the shift, then the value.
+  // All arithmetic in double and clamped BEFORE the int64 conversion — a
+  // huge max_backoff (e.g. milliseconds::max()) would otherwise make the
+  // double→int64 cast undefined and the "capped" wait negative.
   const int shift = std::min(attempt - 1, 20);
-  double backoff = static_cast<double>(policy.initial_backoff.count()) *
-                   static_cast<double>(1u << shift);
-  backoff = std::min(backoff, static_cast<double>(policy.max_backoff.count()));
+  double backoff = initial * static_cast<double>(1u << shift);
+  backoff = std::min(backoff, max_backoff);
   // Decorrelate: the bottom (1 - jitter) share is guaranteed, the top
   // jitter share is uniformly random — synchronized clients spread out
   // instead of re-arriving at the admission gate in lockstep.
-  const double slept = backoff * (1.0 - jitter) + backoff * jitter * uniform01;
+  double slept = backoff * (1.0 - jitter) + backoff * jitter * uniform01;
+  constexpr double kMaxSleepMs = 9.0e15;  // < int64 range, ~285k years
+  slept = std::clamp(slept, 1.0, kMaxSleepMs);
   return std::chrono::milliseconds(static_cast<int64_t>(slept));
 }
 

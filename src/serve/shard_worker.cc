@@ -11,21 +11,66 @@ Result<std::unique_ptr<ShardWorker>> ShardWorker::Create(
     const PaillierPublicKey& pk, const EncryptedDatabase& db,
     const ShardManifest& manifest, std::size_t shard_index,
     std::unique_ptr<Endpoint> c2_link, const Options& options) {
+  if (manifest.scheme == ShardScheme::kByCluster) {
+    return Status::InvalidArgument(
+        "ShardWorker: a bycluster manifest does not determine record "
+        "placement by itself; pass the cluster manifest (sknn_c1_shard "
+        "--clusters)");
+  }
   SKNN_ASSIGN_OR_RETURN(
       ShardManifest checked,
       MakeShardManifest(manifest.total_records, manifest.num_shards,
                         manifest.scheme));
-  if (db.num_records() != checked.total_records) {
-    return Status::InvalidArgument(
-        "ShardWorker: manifest is for " +
-        std::to_string(checked.total_records) + " records, database has " +
-        std::to_string(db.num_records()));
-  }
   if (shard_index >= checked.num_shards) {
     return Status::InvalidArgument(
         "ShardWorker: shard index " + std::to_string(shard_index) +
         " out of range for " + std::to_string(checked.num_shards) +
         " shards");
+  }
+  return CreateSliced(pk, db, checked, shard_index,
+                      ShardRecordIndices(checked, shard_index),
+                      std::move(c2_link), options);
+}
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::Create(
+    const PaillierPublicKey& pk, const EncryptedDatabase& db,
+    const ClusterManifest& clusters, std::size_t shard_index,
+    std::unique_ptr<Endpoint> c2_link, const Options& options) {
+  if (Status valid = ValidateClusterManifestForDatabase(clusters, db);
+      !valid.ok()) {
+    return valid;
+  }
+  if (shard_index >= clusters.num_clusters) {
+    return Status::InvalidArgument(
+        "ShardWorker: cluster index " + std::to_string(shard_index) +
+        " out of range for " + std::to_string(clusters.num_clusters) +
+        " clusters");
+  }
+  SKNN_ASSIGN_OR_RETURN(
+      ShardManifest manifest,
+      MakeShardManifest(clusters.total_records, clusters.num_clusters,
+                        ShardScheme::kByCluster));
+  std::vector<std::size_t> indices = ClusterRecordIndices(
+      clusters, static_cast<uint32_t>(shard_index));
+  if (indices.empty()) {
+    return Status::InvalidArgument(
+        "ShardWorker: cluster " + std::to_string(shard_index) +
+        " is empty (corrupted or hand-edited cluster manifest?)");
+  }
+  return CreateSliced(pk, db, manifest, shard_index, std::move(indices),
+                      std::move(c2_link), options);
+}
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::CreateSliced(
+    const PaillierPublicKey& pk, const EncryptedDatabase& db,
+    const ShardManifest& manifest, std::size_t shard_index,
+    std::vector<std::size_t> global_indices,
+    std::unique_ptr<Endpoint> c2_link, const Options& options) {
+  if (db.num_records() != manifest.total_records) {
+    return Status::InvalidArgument(
+        "ShardWorker: manifest is for " +
+        std::to_string(manifest.total_records) + " records, database has " +
+        std::to_string(db.num_records()));
   }
   if (c2_link == nullptr) {
     return Status::InvalidArgument("ShardWorker: null C2 link");
@@ -33,17 +78,19 @@ Result<std::unique_ptr<ShardWorker>> ShardWorker::Create(
   auto worker = std::unique_ptr<ShardWorker>(new ShardWorker());
   worker->options_ = options;
   worker->pk_ = pk;
-  worker->slice_.global_indices = ShardRecordIndices(checked, shard_index);
+  worker->slice_.global_indices = std::move(global_indices);
   worker->slice_.db.distance_bits = db.distance_bits;
   worker->slice_.db.records.reserve(worker->slice_.global_indices.size());
   for (std::size_t gidx : worker->slice_.global_indices) {
     worker->slice_.db.records.push_back(db.records[gidx]);
   }
   worker->geometry_.shard = static_cast<uint32_t>(shard_index);
-  worker->geometry_.manifest = checked;
+  worker->geometry_.manifest = manifest;
   worker->geometry_.num_attributes =
       static_cast<uint32_t>(db.num_attributes());
   worker->geometry_.distance_bits = db.distance_bits;
+  worker->geometry_.shard_records =
+      static_cast<uint32_t>(worker->slice_.db.num_records());
   worker->c2_client_ = std::make_unique<RpcClient>(std::move(c2_link));
   if (options.threads > 1) {
     worker->pool_ = std::make_unique<ThreadPool>(options.threads);

@@ -20,8 +20,10 @@
 #define SKNN_SERVE_SHARD_WORKER_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/thread_pool.h"
+#include "core/clustering.h"
 #include "core/sharding.h"
 #include "net/rpc.h"
 #include "net/shard_wire.h"
@@ -45,9 +47,20 @@ class ShardWorker {
   /// \brief Cuts shard `shard_index` of `manifest` out of the full
   /// database and connects the stage driver to C2 via `c2_link` (fails
   /// fast if the link is dead). The full Epk(T) is released after slicing.
+  /// Rejects ShardScheme::kByCluster manifests — their record placement is
+  /// data-dependent; use the ClusterManifest overload.
   static Result<std::unique_ptr<ShardWorker>> Create(
       const PaillierPublicKey& pk, const EncryptedDatabase& db,
       const ShardManifest& manifest, std::size_t shard_index,
+      std::unique_ptr<Endpoint> c2_link, const Options& options);
+
+  /// \brief Cluster-partitioned worker (sknn_c1_shard --clusters): hosts the
+  /// records of cluster `shard_index` under a ShardScheme::kByCluster
+  /// manifest with one shard per cluster, so a clustered front end can
+  /// prune whole workers out of a query's fan-out.
+  static Result<std::unique_ptr<ShardWorker>> Create(
+      const PaillierPublicKey& pk, const EncryptedDatabase& db,
+      const ClusterManifest& clusters, std::size_t shard_index,
       std::unique_ptr<Endpoint> c2_link, const Options& options);
 
   /// \brief RPC dispatch entry point (plug into an RpcServer); thread-safe
@@ -60,6 +73,14 @@ class ShardWorker {
 
  private:
   ShardWorker() = default;
+
+  /// Shared tail of both Create overloads: `global_indices` names the
+  /// records this worker hosts, in ascending global order.
+  static Result<std::unique_ptr<ShardWorker>> CreateSliced(
+      const PaillierPublicKey& pk, const EncryptedDatabase& db,
+      const ShardManifest& manifest, std::size_t shard_index,
+      std::vector<std::size_t> global_indices,
+      std::unique_ptr<Endpoint> c2_link, const Options& options);
 
   Message HandleShardQuery(const Message& request);
 

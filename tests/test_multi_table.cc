@@ -227,6 +227,30 @@ TEST(MultiTableTest, WrongTableNamesYieldTypedStatusCodes) {
   EXPECT_TRUE(fine.ok()) << fine.status();
 }
 
+TEST(MultiTableTest, OversizedKIsRejectedAtAdmissionWithInvalidArgument) {
+  // k > k_max is a malformed REQUEST, caught at admission — typed
+  // kInvalidArgument over the wire, before any Paillier work runs. (The
+  // regression this pins: the engine used to start the protocol and fail
+  // mid-flight with kOutOfRange, burning a full SSED round on C1.)
+  MultiTableTopology topology;
+  auto client = topology.NewClient();
+
+  auto info = client->TableInfo("alpha");
+  ASSERT_TRUE(info.ok()) << info.status();
+  ASSERT_EQ(info->k_max, 8u);  // = num_records
+
+  auto too_big = client->Query(MakeRequest("alpha", {1, 0}, info->k_max + 1));
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+
+  // The boundary itself is fine, and the rejection neither consumed the
+  // admission budget nor wedged the session.
+  auto at_max = client->Query(
+      MakeRequest("alpha", {1, 0}, info->k_max, QueryProtocol::kBasic));
+  EXPECT_TRUE(at_max.ok()) << at_max.status();
+  EXPECT_EQ(at_max->records.size(), std::size_t{info->k_max});
+}
+
 TEST(MultiTableTest, PreHelloTrafficGetsTypedStatusNeverGarbage) {
   MultiTableTopology topology;
   auto raw = topology.NewRawLink();

@@ -261,7 +261,7 @@ TEST(QueryBatchTest, MixedValidityBatchFailsOnlyTheInvalidSlots) {
   auto results = engine->QueryBatch({good, bad_k, good, bad_dim});
   ASSERT_EQ(results.size(), 4u);
   EXPECT_TRUE(results[0].ok());
-  EXPECT_EQ(results[1].status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(results[2].ok());
   EXPECT_EQ(results[3].status().code(), StatusCode::kInvalidArgument);
   // The valid slots are unaffected by their failed neighbors.

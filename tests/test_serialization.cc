@@ -5,12 +5,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <set>
 
 #include "bigint/random.h"
 #include "core/db_io.h"
 #include "core/data_owner.h"
 #include "crypto/serialization.h"
 #include "data/synthetic.h"
+#include "net/query_wire.h"
+#include "net/shard_wire.h"
 
 namespace sknn {
 namespace {
@@ -176,6 +180,209 @@ TEST_F(DbIoTest, ValidateCatchesTamperedCiphertext) {
 TEST(DbIoErrorTest, WriteRejectsEmptyAndUnopenablePaths) {
   EXPECT_FALSE(WriteEncryptedDatabase("/tmp/x.bin", EncryptedDatabase{}).ok());
   EXPECT_FALSE(ReadEncryptedDatabase("/nonexistent/db.bin").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-frame sweep over BOTH wire catalogs (net/query_wire.h,
+// net/shard_wire.h): every frame type, truncated at EVERY aux length from 0
+// to full. A truncated frame must decode successfully ONLY at the lengths
+// the contract documents as valid shorter shapes (kQuery's optional
+// revision tails, kShardQuery's optional deadline word, the free-length
+// error-message frames); every other cut must come back as a typed error —
+// never an out-of-bounds read, which the sanitizer CI leg would turn into a
+// crash right here.
+
+// Decodes `full` truncated to every prefix length; `decodes_ok` must return
+// true exactly at the lengths in `allowed` (the full length is always
+// allowed).
+void SweepAuxTruncations(const Message& full,
+                         const std::set<std::size_t>& allowed,
+                         const std::function<bool(const Message&)>& decodes_ok,
+                         const char* what) {
+  for (std::size_t cut = 0; cut <= full.aux.size(); ++cut) {
+    Message truncated = full;
+    truncated.aux.resize(cut);
+    const bool ok = decodes_ok(truncated);
+    if (cut == full.aux.size() || allowed.count(cut)) {
+      EXPECT_TRUE(ok) << what << " must decode at aux length " << cut;
+    } else {
+      EXPECT_FALSE(ok) << what << " truncated to aux length " << cut << " (of "
+                       << full.aux.size() << ") decoded instead of failing";
+    }
+  }
+}
+
+TEST(FrameTruncationSweep, QueryRequestAllowsOnlyDocumentedTails) {
+  QueryRequest request;
+  request.record = {5, -3, 7};
+  request.k = 2;
+  request.protocol = QueryProtocol::kSecure;
+  request.table = "t1";
+  request.deadline_ms = 250;
+  request.index_mode = IndexMode::kClustered;
+  request.probe_clusters = 2;
+  Message full = EncodeQueryRequest(request);
+  // header(16) + record(24) = revision-1 shape; + len(4) + "t1"(2) =
+  // revision-2; + deadline(4) = revision-3; + mode/probe(8) = revision-5.
+  ASSERT_EQ(full.aux.size(), 58u);
+  SweepAuxTruncations(
+      full, {40, 46, 50},
+      [](const Message& m) { return DecodeQueryRequest(m).ok(); }, "kQuery");
+
+  // The exact-mode frame keeps the revision-3/4 shape byte for byte: no
+  // clustered tail ever rides a default request (old servers stay
+  // compatible with new exact-mode clients).
+  request.index_mode = IndexMode::kExact;
+  request.deadline_ms = 0;
+  EXPECT_EQ(EncodeQueryRequest(request).aux.size(), 46u);
+}
+
+TEST(FrameTruncationSweep, QueryResponsePerShardBlocksAreExactSize) {
+  QueryResponse response;
+  response.records = {{1, 2, 3}, {4, 5, 6}};
+  response.shards.resize(2);
+  response.shards[0].shard = 0;
+  response.shards[0].candidates = 2;
+  response.shards[1].shard = 1;
+  response.shards[1].pruned = 1;
+  response.shards[1].shard_records = 9;
+  Message full = EncodeQueryResponse(response);
+  SweepAuxTruncations(
+      full, {}, [](const Message& m) { return DecodeQueryResponse(m).ok(); },
+      "kQueryResult");
+  // And the widened revision-5 block actually round-trips.
+  auto decoded = DecodeQueryResponse(full);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->shards.size(), 2u);
+  EXPECT_EQ(decoded->shards[1].pruned, 1u);
+  EXPECT_EQ(decoded->shards[1].shard_records, 9u);
+}
+
+TEST(FrameTruncationSweep, ErrorFramesNeedOnlyTheStatusCode) {
+  // The message text is free-length: every cut >= 4 is a (shorter) valid
+  // frame; cuts 0..3 must fail, not read past the end.
+  Message query_error = EncodeQueryError(Status::InvalidArgument("boom"));
+  std::set<std::size_t> text_cuts;
+  for (std::size_t cut = 4; cut < query_error.aux.size(); ++cut) {
+    text_cuts.insert(cut);
+  }
+  SweepAuxTruncations(query_error, text_cuts,
+                      [](const Message& m) {
+                        return DecodeQueryError(m).code() ==
+                               StatusCode::kInvalidArgument;
+                      },
+                      "kQueryError");
+  Message shard_error = EncodeShardError(Status::InvalidArgument("boom"));
+  SweepAuxTruncations(shard_error, text_cuts,
+                      [](const Message& m) {
+                        return DecodeShardError(m).code() ==
+                               StatusCode::kInvalidArgument;
+                      },
+                      "kShardError");
+}
+
+TEST(FrameTruncationSweep, ControlPlaneFramesAreExactSize) {
+  SweepAuxTruncations(
+      EncodeHello(HelloInfo{}), {},
+      [](const Message& m) { return DecodeHello(m).ok(); }, "kHello");
+  SweepAuxTruncations(
+      EncodeHelloAck(HelloInfo{}), {},
+      [](const Message& m) { return DecodeHelloAck(m).ok(); }, "kHelloAck");
+  SweepAuxTruncations(
+      EncodeTableList({"alpha", "b"}), {},
+      [](const Message& m) { return DecodeTableList(m).ok(); }, "kTableList");
+  SweepAuxTruncations(
+      EncodeTableInfoRequest("tbl"), {},
+      [](const Message& m) { return DecodeTableInfoRequest(m).ok(); },
+      "kTableInfo");
+
+  TableInfoReply info;
+  info.name = "tbl";
+  info.num_records = 100;
+  info.num_clusters = 8;
+  SweepAuxTruncations(
+      EncodeTableInfoReply(info), {},
+      [](const Message& m) { return DecodeTableInfoReply(m).ok(); },
+      "kTableInfoResult");
+
+  ServiceStatsReply stats;
+  stats.tables.resize(2);
+  stats.tables[0].name = "a";
+  stats.tables[1].name = "longer-name";
+  SweepAuxTruncations(
+      EncodeServiceStatsReply(stats), {},
+      [](const Message& m) { return DecodeServiceStatsReply(m).ok(); },
+      "kServiceStatsResult");
+
+  HealthReply health;
+  health.tables.resize(2);
+  health.tables[0].name = "replicated";
+  health.tables[0].replicas.resize(2);
+  health.tables[1].name = "local";
+  SweepAuxTruncations(
+      EncodeHealthReply(health), {},
+      [](const Message& m) { return DecodeHealthReply(m).ok(); },
+      "kHealthResult");
+
+  SweepAuxTruncations(
+      EncodeReloadTableRequest({"tbl", "db=/x.bin,shards=2"}), {},
+      [](const Message& m) { return DecodeReloadTableRequest(m).ok(); },
+      "kReloadTable");
+  SweepAuxTruncations(
+      EncodeDetachTableRequest("tbl"), {},
+      [](const Message& m) { return DecodeDetachTableRequest(m).ok(); },
+      "kDetachTable");
+  SweepAuxTruncations(
+      EncodeAdminAck("tbl"), {},
+      [](const Message& m) { return DecodeAdminAck(m).ok(); }, "kAdminAck");
+  SweepAuxTruncations(
+      EncodeTableChanged({"tbl", TableChangeKind::kDetached}), {},
+      [](const Message& m) { return DecodeTableChanged(m).ok(); },
+      "kTableChanged");
+}
+
+TEST(FrameTruncationSweep, ShardFramesAllowOnlyTheDeadlineTail) {
+  ShardGeometry geometry;
+  geometry.manifest.num_shards = 4;
+  geometry.manifest.total_records = 100;
+  geometry.shard_records = 25;
+  SweepAuxTruncations(
+      EncodeShardGeometry(geometry), {},
+      [](const Message& m) { return DecodeShardGeometry(m).ok(); },
+      "kShardPing geometry");
+
+  ShardQueryFrame query;
+  query.k = 2;
+  query.deadline_ms = 500;
+  query.enc_query = {Ciphertext(BigInt(7))};
+  // aux length 8 = the pre-deadline header, a documented valid shape.
+  SweepAuxTruncations(
+      EncodeShardQuery(query), {8},
+      [](const Message& m) { return DecodeShardQuery(m).ok(); },
+      "kShardQuery");
+
+  // Secure-mode candidates: bits + records, no indices/distances.
+  ShardCandidatesFrame secure;
+  secure.candidates.bits = {{Ciphertext(BigInt(1)), Ciphertext(BigInt(2))},
+                            {Ciphertext(BigInt(3)), Ciphertext(BigInt(4))}};
+  secure.candidates.records = {{Ciphertext(BigInt(5))},
+                               {Ciphertext(BigInt(6))}};
+  SweepAuxTruncations(
+      EncodeShardCandidates(secure), {},
+      [](const Message& m) { return DecodeShardCandidates(m).ok(); },
+      "kShardCandidates (secure)");
+
+  // Basic-mode candidates: distances + global indices widen the aux block.
+  ShardCandidatesFrame basic;
+  basic.candidates.records = {{Ciphertext(BigInt(5))},
+                              {Ciphertext(BigInt(6))}};
+  basic.candidates.distances = {Ciphertext(BigInt(9)),
+                                Ciphertext(BigInt(10))};
+  basic.candidates.global_indices = {3, 11};
+  SweepAuxTruncations(
+      EncodeShardCandidates(basic), {},
+      [](const Message& m) { return DecodeShardCandidates(m).ok(); },
+      "kShardCandidates (basic)");
 }
 
 }  // namespace

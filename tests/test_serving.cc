@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -284,7 +285,9 @@ TEST(ServingTest, InvalidRequestsGetRealStatusCodesOverTheWire) {
   auto k_too_big =
       client->Query(MakeRequest({1, 0}, 99, QueryProtocol::kBasic));
   ASSERT_FALSE(k_too_big.ok());
-  EXPECT_EQ(k_too_big.status().code(), StatusCode::kOutOfRange);
+  // k > k_max is a malformed REQUEST (fail fast at admission), not a range
+  // overrun mid-protocol: typed kInvalidArgument, before any crypto runs.
+  EXPECT_EQ(k_too_big.status().code(), StatusCode::kInvalidArgument);
 
   auto bad_dim =
       client->Query(MakeRequest({1, 0, 3}, 1, QueryProtocol::kBasic));
@@ -300,6 +303,79 @@ TEST(ServingTest, InvalidRequestsGetRealStatusCodesOverTheWire) {
   auto still_fine =
       client->Query(MakeRequest({1, 0}, 1, QueryProtocol::kBasic));
   EXPECT_TRUE(still_fine.ok()) << still_fine.status();
+}
+
+TEST(ServingTest, RetryBackoffSurvivesDegenerateAndExtremePolicies) {
+  // The backoff arithmetic must stay positive and finite for ANY policy a
+  // config file can express — a mis-parsed zero/negative initial backoff
+  // must not busy-loop, and extreme values must not overflow the int64
+  // conversion into a zero or negative sleep.
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+
+  policy.initial_backoff = std::chrono::milliseconds(0);
+  EXPECT_EQ(RetryBackoff(policy, 1, 0.5).count(), 1);
+  policy.initial_backoff = std::chrono::milliseconds(-50);
+  EXPECT_EQ(RetryBackoff(policy, 1, 0.5).count(), 1);
+  policy.max_backoff = std::chrono::milliseconds(-1);
+  EXPECT_GE(RetryBackoff(policy, 40, 0.5).count(), 1);
+
+  // Huge attempt counts: the exponential shift is capped, the wait lands on
+  // max_backoff instead of wrapping to zero/negative.
+  policy.initial_backoff = std::chrono::milliseconds(50);
+  policy.max_backoff = std::chrono::milliseconds(2000);
+  EXPECT_EQ(RetryBackoff(policy, 1000000, 0.5).count(), 2000);
+  EXPECT_EQ(RetryBackoff(policy, std::numeric_limits<int>::max(), 0.5).count(),
+            2000);
+
+  // milliseconds::max() everywhere: the result is clamped below int64
+  // range, still positive, still monotone in spirit (a cap, not a wrap).
+  policy.initial_backoff = std::chrono::milliseconds::max();
+  policy.max_backoff = std::chrono::milliseconds::max();
+  const auto extreme = RetryBackoff(policy, 100, 1.0);
+  EXPECT_GT(extreme.count(), 0);
+  EXPECT_LE(extreme.count(), static_cast<int64_t>(9.0e15));
+
+  // Jitter never zeroes the wait either: even full jitter with a 0 draw
+  // keeps the 1 ms floor.
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(1);
+  policy.jitter = 1.0;
+  EXPECT_GE(RetryBackoff(policy, 1, 0.0).count(), 1);
+}
+
+TEST(ServingTest, DeadlineZeroMeansUnboundedEverywhere) {
+  // deadline_ms = 0 is "no deadline" at every layer: the wire omits or
+  // zeroes the word, the decoder reproduces 0, and the serving stack runs
+  // the query to completion instead of expiring it instantly.
+  QueryRequest request = MakeRequest({1, 0}, 2, QueryProtocol::kSecure);
+  request.deadline_ms = 0;
+  // Exact-mode frames omit the deadline word entirely when it is 0 (the
+  // pre-deadline frame shape, byte for byte)...
+  Message frame = EncodeQueryRequest(request);
+  auto decoded = DecodeQueryRequest(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->deadline_ms, 0u);
+  // ...and clustered-mode frames carry it as an explicit 0, which still
+  // decodes as unbounded.
+  request.index_mode = IndexMode::kClustered;
+  Message clustered_frame = EncodeQueryRequest(request);
+  EXPECT_EQ(clustered_frame.aux.size(), frame.aux.size() + 12);
+  auto clustered_decoded = DecodeQueryRequest(clustered_frame);
+  ASSERT_TRUE(clustered_decoded.ok()) << clustered_decoded.status();
+  EXPECT_EQ(clustered_decoded->deadline_ms, 0u);
+
+  ServingTopology topology(DistinctDistanceTable(6));
+  auto client = topology.NewClient();
+  QueryRequest unbounded = MakeRequest({2, 0}, 3, QueryProtocol::kSecure);
+  unbounded.deadline_ms = 0;
+  auto no_deadline = client->Query(unbounded);
+  ASSERT_TRUE(no_deadline.ok()) << no_deadline.status();
+  QueryRequest generous = MakeRequest({2, 0}, 3, QueryProtocol::kSecure);
+  generous.deadline_ms = 600000;
+  auto with_deadline = client->Query(generous);
+  ASSERT_TRUE(with_deadline.ok()) << with_deadline.status();
+  EXPECT_EQ(no_deadline->records, with_deadline->records);
 }
 
 TEST(ServingTest, MalformedFramesAreRejectedNotHung) {

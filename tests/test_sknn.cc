@@ -171,9 +171,9 @@ TEST(SkNNEndToEnd, InvalidRequestsAreRejected) {
   // k = 0.
   auto r = RunQuery(**engine, {1, 1, 1}, 0, QueryProtocol::kBasic);
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
-  // k > n.
+  // k > n (= k_max): rejected at admission with kInvalidArgument.
   r = RunQuery(**engine, {1, 1, 1}, 6, QueryProtocol::kBasic);
-  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   // Dimension mismatch.
   r = RunQuery(**engine, {1, 1}, 2, QueryProtocol::kBasic);
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);

@@ -55,6 +55,11 @@ int PrintTableInfo(RemoteQueryClient& client, const std::string& name) {
   } else {
     std::printf("  shards         1 (unsharded)\n");
   }
+  if (info->num_clusters > 0) {
+    std::printf("  clusters       %u   (clustered index: probe_clusters in "
+                "[1, %u])\n",
+                info->num_clusters, info->num_clusters);
+  }
   return 0;
 }
 

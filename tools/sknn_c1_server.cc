@@ -14,11 +14,16 @@
 //   --table <name>=<db.bin>[,manifest=<file>][,public=<pk>]
 //                          [,c2-host=<ip>][,c2-port=<p>]
 //                          [,shards=<s>][,scheme=contiguous|roundrobin]
+//                          [,clusters=<file>]
 // where public/c2-host/c2-port default to the global flags — so tables MAY
 // have entirely different Paillier keys, each pointing at the C2 server
 // holding its own secret key, or share one key and one C2. A manifest
 // (sknn_encrypt --manifest-out) shards that table in-process with the
-// partitioning Alice persisted.
+// partitioning Alice persisted. A clusters file (sknn_encrypt
+// --clusters-out) arms the clustered (approximate) index mode: queries with
+// index_mode=clustered prune to the probe_clusters nearest clusters; with
+// shards > 1 the table is partitioned by cluster so pruned shards never see
+// the query.
 //
 //   sknn_c1_server --port 9100 --c2-host 127.0.0.1 --c2-port 9000 \
 //                  --public pk_a.txt \
@@ -41,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/clustering.h"
 #include "core/db_io.h"
 #include "core/engine.h"
 #include "core/sharding.h"
@@ -60,6 +66,7 @@ struct TableSpec {
   std::string name;
   std::string db_path;        // empty allowed when worker_addrs is set
   std::string manifest_path;  // empty = unsharded (or shards/scheme below)
+  std::string clusters_path;  // empty = exact-only table
   std::string pk_path;
   std::string c2_host;
   uint16_t c2_port = 0;
@@ -99,6 +106,8 @@ Result<TableSpec> TryParseTableSpec(const std::string& text) {
     }
     if (key == "manifest") {
       spec.manifest_path = value;
+    } else if (key == "clusters") {
+      spec.clusters_path = value;
     } else if (key == "public") {
       spec.pk_path = value;
     } else if (key == "c2-host") {
@@ -158,6 +167,7 @@ std::string FormatTableSpec(const TableSpec& spec) {
   std::string out =
       spec.name + "=" + (spec.db_path.empty() ? "-" : spec.db_path);
   if (!spec.manifest_path.empty()) out += ",manifest=" + spec.manifest_path;
+  if (!spec.clusters_path.empty()) out += ",clusters=" + spec.clusters_path;
   out += ",public=" + spec.pk_path;
   out += ",c2-host=" + spec.c2_host;
   out += ",c2-port=" + std::to_string(spec.c2_port);
@@ -180,6 +190,13 @@ Result<std::unique_ptr<SknnEngine>> BuildTableEngine(
     const TableSpec& spec, const SknnEngine::Options& base_options) {
   SKNN_ASSIGN_OR_RETURN(PaillierPublicKey pk,
                         ReadPublicKeyFile(spec.pk_path));
+  SknnEngine::Options options = base_options;
+  if (!spec.clusters_path.empty()) {
+    SKNN_ASSIGN_OR_RETURN(ClusterManifest clusters,
+                          ReadClusterManifest(spec.clusters_path));
+    options.clusters =
+        std::make_shared<const ClusterManifest>(std::move(clusters));
+  }
   EncryptedDatabase db;
   std::size_t shards = spec.shards;
   ShardScheme scheme = spec.scheme;
@@ -195,6 +212,19 @@ Result<std::unique_ptr<SknnEngine>> BuildTableEngine(
     }
     if (shards == 0) shards = 1;
   }
+  if (scheme == ShardScheme::kByCluster && options.clusters == nullptr) {
+    return Status::InvalidArgument(
+        "table '" + spec.name +
+        "': a bycluster shard manifest needs the cluster manifest too "
+        "(clusters=<file>)");
+  }
+  // With a cluster manifest and shards > 1 the engine partitions BY CLUSTER
+  // (one shard per cluster); the scheme/shard count here are then only the
+  // operator's intent marker.
+  if (options.clusters != nullptr && shards > 1) {
+    shards = options.clusters->num_clusters;
+    scheme = ShardScheme::kByCluster;
+  }
 
   auto c2_link = ConnectTcp(spec.c2_host, spec.c2_port);
   if (!c2_link.ok()) {
@@ -205,7 +235,7 @@ Result<std::unique_ptr<SknnEngine>> BuildTableEngine(
   }
   return QueryService::CreateShardedEngine(pk, std::move(db),
                                            std::move(c2_link).value(),
-                                           base_options, shards, scheme,
+                                           options, shards, scheme,
                                            spec.worker_addrs);
 }
 
@@ -216,9 +246,10 @@ int main(int argc, char** argv) {
       "sknn_c1_server --port <p> [--public <pk>] [--db <db.bin>] "
       "[--c2-host <ip>] [--c2-port <p>] [--threads N] [--max-in-flight M] "
       "[--queries N] [--shards S] [--shard-scheme contiguous|roundrobin] "
-      "[--shard-workers host:port,...] [--no-short-randomizers] "
-      "[--table name=db.bin[,manifest=f][,public=pk][,c2-host=ip]"
-      "[,c2-port=p][,shards=s][,scheme=sch]]...";
+      "[--shard-workers host:port,...] [--clusters <file>] "
+      "[--no-short-randomizers] "
+      "[--table name=db.bin[,manifest=f][,clusters=f][,public=pk]"
+      "[,c2-host=ip][,c2-port=p][,shards=s][,scheme=sch]]...";
   auto flag_list = ParseFlagList(argc, argv);
   std::map<std::string, std::string> flags;
   for (auto& [key, value] : flag_list) flags[key] = value;
@@ -266,7 +297,7 @@ int main(int argc, char** argv) {
     // operator who writes `--shards 4 --table ...` expects sharding, and
     // getting an unsharded server instead would only surface under load.
     for (const char* single_only : {"shard-workers", "shards",
-                                    "shard-scheme", "db"}) {
+                                    "shard-scheme", "db", "clusters"}) {
       if (flags.count(single_only)) {
         std::fprintf(stderr,
                      "--%s applies to the single-table form only; with "
@@ -293,6 +324,7 @@ int main(int argc, char** argv) {
                                   "c2-port", usage);
     spec.shards = shards;
     spec.scheme = *scheme;
+    spec.clusters_path = FlagOr(flags, "clusters", "");
     spec.worker_addrs = worker_addrs;
     // With remote shard workers the front end hosts no records; the
     // database is only required (and only loaded) when this process runs
@@ -363,10 +395,14 @@ int main(int argc, char** argv) {
               registry.size() == 1 ? "" : "s", threads, max_in_flight);
   for (const sknn::TableRegistry::Entry* entry : registry.snapshot()) {
     const SknnEngine::Info info = entry->engine()->info();
-    std::printf("  table %-16s n=%zu m=%zu attr_bits=%u shards=%zu%s\n",
+    std::printf("  table %-16s n=%zu m=%zu attr_bits=%u shards=%zu%s",
                 entry->name.c_str(), info.num_records, info.num_attributes,
                 info.attr_bits, info.num_shards,
                 info.remote_shard_workers ? " (remote workers)" : "");
+    if (info.num_clusters > 0) {
+      std::printf(" clusters=%u", info.num_clusters);
+    }
+    std::printf("\n");
   }
   std::fflush(stdout);
 

@@ -4,7 +4,8 @@
 //   sknn_c1_shard --public pk.txt --db db.bin --port 9200 \
 //                 --c2-host 127.0.0.1 --c2-port 9000 \
 //                 --shards 4 --shard-index 1 [--scheme contiguous] \
-//                 [--manifest manifest.bin] [--threads N] [--connections N]
+//                 [--manifest manifest.bin] [--clusters clusters.bin] \
+//                 [--threads N] [--connections N]
 //
 // Loads the public key and the FULL encrypted database once, keeps only its
 // shard of the records (the manifest — either derived from --shards /
@@ -15,10 +16,16 @@
 // the coordinator cross-checks this at connect time and refuses a
 // mismatched set.
 //
+// --clusters (instead of --shards/--scheme/--manifest) makes this worker
+// shard `--shard-index` of a CLUSTER-partitioned deployment: it hosts the
+// records of cluster i of the sknn_encrypt --clusters manifest, so a
+// clustered front end can prune this whole worker out of a query.
+//
 // --connections N exits after N coordinator links close (scripted smoke
 // runs); the default serves until SIGINT/SIGTERM, either of which stops
 // accepting, drains in-flight shard stages and exits 0.
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "core/db_io.h"
@@ -34,8 +41,8 @@ int main(int argc, char** argv) {
   const char* usage =
       "sknn_c1_shard --public <pk> --db <db.bin> --port <p> "
       "--c2-host <ip> --c2-port <p> --shards <s> --shard-index <i> "
-      "[--scheme contiguous|roundrobin] [--manifest <file>] [--threads N] "
-      "[--connections N]";
+      "[--scheme contiguous|roundrobin] [--manifest <file>] "
+      "[--clusters <file>] [--threads N] [--connections N]";
   auto flags = ParseFlags(argc, argv);
   std::string pk_path = RequireFlag(flags, "public", usage);
   std::string db_path = RequireFlag(flags, "db", usage);
@@ -68,7 +75,27 @@ int main(int argc, char** argv) {
   }
 
   ShardManifest manifest;
-  if (flags.count("manifest")) {
+  std::optional<ClusterManifest> clusters;
+  if (flags.count("clusters")) {
+    auto loaded = ReadClusterManifest(flags.at("clusters"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    clusters = std::move(loaded).value();
+    if (Status s = ValidateClusterManifestForDatabase(*clusters, *db);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto made = MakeShardManifest(db->num_records(), clusters->num_clusters,
+                                  ShardScheme::kByCluster);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    manifest = std::move(made).value();
+  } else if (flags.count("manifest")) {
     auto loaded = ReadShardManifest(flags.at("manifest"));
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -106,8 +133,12 @@ int main(int argc, char** argv) {
 
   ShardWorker::Options options;
   options.threads = threads;
-  auto worker = ShardWorker::Create(*pk, *db, manifest, shard_index,
-                                    std::move(c2_link).value(), options);
+  auto worker =
+      clusters.has_value()
+          ? ShardWorker::Create(*pk, *db, *clusters, shard_index,
+                                std::move(c2_link).value(), options)
+          : ShardWorker::Create(*pk, *db, manifest, shard_index,
+                                std::move(c2_link).value(), options);
   if (!worker.ok()) {
     std::fprintf(stderr, "shard worker setup failed: %s\n",
                  worker.status().ToString().c_str());

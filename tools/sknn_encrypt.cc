@@ -4,14 +4,22 @@
 //   sknn_encrypt --public pk.txt --csv patients.csv --attr-bits 9 \
 //                --out db.bin [--skip-header] \
 //                [--shards s [--shard-scheme contiguous|roundrobin] \
-//                 --manifest-out manifest.bin]
+//                 --manifest-out manifest.bin] \
+//                [--clusters c [--cluster-seed s] --clusters-out cl.bin]
 //
 // With --shards, Alice also emits the shard manifest (core/sharding.h) —
 // the small artifact every sknn_c1_shard worker and the coordinator load
 // (--manifest) so the partitioning provably agrees across the deployment.
+//
+// With --clusters, Alice learns a k-means partitioning over her PLAINTEXT
+// records (core/clustering.h — the one party who may see them) and emits
+// the cluster manifest: assignments plus Paillier-encrypted centroids, the
+// artifact behind the clustered (approximate) index mode. Deterministic for
+// a fixed --cluster-seed, so re-exports agree across the deployment.
 #include <cstdio>
 
 #include "bigint/random.h"
+#include "core/clustering.h"
 #include "core/data_owner.h"
 #include "core/db_io.h"
 #include "crypto/serialization.h"
@@ -24,7 +32,8 @@ int main(int argc, char** argv) {
   const char* usage =
       "sknn_encrypt --public <pk> --csv <table.csv> --attr-bits <a> --out "
       "<db.bin> [--skip-header] [--shards s [--shard-scheme x] "
-      "--manifest-out <file>]";
+      "--manifest-out <file>] [--clusters c [--cluster-seed s] "
+      "--clusters-out <file>]";
   auto flags = ParseFlags(argc, argv);
   std::string pk_path = RequireFlag(flags, "public", usage);
   std::string csv_path = RequireFlag(flags, "csv", usage);
@@ -96,6 +105,28 @@ int main(int argc, char** argv) {
     }
     std::printf("shard manifest (%zu %s shards) -> %s\n", shards,
                 ShardSchemeName(*scheme), manifest_path.c_str());
+  }
+
+  if (flags.count("clusters")) {
+    std::string clusters_path = RequireFlag(flags, "clusters-out", usage);
+    uint32_t num_clusters = static_cast<uint32_t>(ParseUint64OrDie(
+        flags.at("clusters"), "clusters", usage, 1, 65535));
+    uint64_t seed = ParseUint64OrDie(FlagOr(flags, "cluster-seed", "1"),
+                                     "cluster-seed", usage, 0,
+                                     UINT64_MAX);
+    auto clusters = BuildClusterManifest(*table, num_clusters, seed, *pk);
+    if (!clusters.ok()) {
+      std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+      return 1;
+    }
+    if (Status cs = WriteClusterManifest(clusters_path, *clusters);
+        !cs.ok()) {
+      std::fprintf(stderr, "%s\n", cs.ToString().c_str());
+      return 1;
+    }
+    std::printf("cluster manifest (%u clusters, seed %llu) -> %s\n",
+                clusters->num_clusters,
+                static_cast<unsigned long long>(seed), clusters_path.c_str());
   }
   return 0;
 }

@@ -5,7 +5,14 @@
 //              --query "58,1,4,133,196,1,2,1,6" --k 2 \
 //              [--table name] [--protocol secure] [--retries 5] \
 //              [--max-wait-ms 30000] [--deadline-ms D] [--stats] \
+//              [--index-mode exact|clustered] [--probe-clusters P] \
 //              [--server host:port,host:port,...]
+//
+// --index-mode clustered asks the front end for the table's approximate
+// clustered index (sknn_encrypt --clusters): one secure centroid-scoring
+// round prunes the search to the --probe-clusters nearest clusters — far
+// fewer encryptions per query, at a recall cost sknn_admin --table-info
+// helps you budget (it reports the table's cluster count).
 //
 // This process neither loads the encrypted database nor drives the
 // protocol: it negotiates the versioned wire contract (hello), then sends
@@ -35,7 +42,8 @@ int main(int argc, char** argv) {
       "sknn_query (--host <ip> --port <p> | --server host:port,...) "
       "--query \"v1,v2,...\" --k <k> "
       "[--table name] [--protocol basic|secure|farthest] [--retries N] "
-      "[--max-wait-ms M] [--deadline-ms D] [--stats]\n"
+      "[--max-wait-ms M] [--deadline-ms D] [--stats] "
+      "[--index-mode exact|clustered] [--probe-clusters P]\n"
       "  basic:    SkNN_b — fast; C2 learns distances + access patterns\n"
       "  secure:   SkNN_m — fully secure k nearest neighbors (default)\n"
       "  farthest: SkNN_m on complemented distances — k farthest neighbors\n"
@@ -77,6 +85,21 @@ int main(int argc, char** argv) {
     request.protocol = QueryProtocol::kFarthest;
   } else {
     DieBadFlag("protocol", protocol, usage);
+  }
+  std::string index_mode = FlagOr(flags, "index-mode", "exact");
+  if (index_mode == "clustered") {
+    request.index_mode = IndexMode::kClustered;
+    request.probe_clusters = static_cast<uint32_t>(ParseUint64OrDie(
+        FlagOr(flags, "probe-clusters", "1"), "probe-clusters", usage, 1,
+        65535));
+  } else if (index_mode != "exact") {
+    DieBadFlag("index-mode", index_mode, usage);
+  } else if (flags.count("probe-clusters")) {
+    std::fprintf(stderr,
+                 "--probe-clusters only applies with --index-mode "
+                 "clustered\nusage: %s\n",
+                 usage);
+    return 2;
   }
   RetryPolicy policy;
   policy.max_attempts = 1 + static_cast<int>(ParseInt64OrDie(
@@ -137,6 +160,16 @@ int main(int argc, char** argv) {
           phases.ssed_seconds, phases.sbd_seconds, phases.sminn_seconds,
           phases.extract_seconds, phases.update_seconds,
           phases.finalize_seconds);
+    }
+    if (!response->shards.empty()) {
+      uint32_t pruned = 0;
+      for (const ShardQueryStats& shard : response->shards) {
+        pruned += shard.pruned;
+      }
+      if (pruned > 0) {
+        std::printf("# clustered: pruned %u of %zu shards\n", pruned,
+                    response->shards.size());
+      }
     }
   }
   return 0;
