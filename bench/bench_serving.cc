@@ -1,5 +1,5 @@
 // bench_serving — multi-client throughput of the serving front end (PR 3),
-// plus the multi-table series (PR 5).
+// plus the multi-table series (PR 5) and the QoS series (PR 10).
 //
 // Stands up the full four-party topology in one process but over real
 // loopback sockets — standalone C2 behind a TCP RpcServer, a
@@ -15,15 +15,30 @@
 // share a C1 pool) of multi-tenancy behind one port. JSON lands in
 // BENCH_PR5.json under "serving_multi_table".
 //
-//   bench_serving [--json [path]]     # JSON lands in BENCH_PR3/PR5.json
+// The QoS series (PR 10) drives Zipf-skewed traffic — a few hot queries
+// dominate, as real serving traffic does — through one table with the
+// result cache OFF vs ON (hit rate, throughput, p95 latency: what
+// rerandomized cache hits buy a skewed workload), then floods a
+// weight-8 table next to a weight-1 table under a tiny admission budget
+// and measures the light tenant's progress (what weighted fair admission
+// buys the small tenant). JSON lands in BENCH_PR10.json under
+// "serving_cache_fairness".
+//
+//   bench_serving [--json [path]]  # JSON lands in BENCH_PR3/PR5/PR10.json
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/mutex.h"
 #include "net/socket.h"
+#include "serve/qos/result_cache.h"
 #include "serve/query_service.h"
 #include "serve/remote_query_client.h"
 #include "serve/table_registry.h"
@@ -265,6 +280,236 @@ Point DriveClients(ServingStack& stack, std::size_t num_clients,
   return {num_clients, total_queries, watch.ElapsedSeconds()};
 }
 
+// -- QoS series (PR 10): local engines behind one registry-backed service
+// (the serving path over loopback TCP stays real; the miss path runs the
+// full protocol in-process).
+
+struct QosStack {
+  struct Backing {
+    std::unique_ptr<SknnEngine> engine;
+    PlainRecord query;
+  };
+  std::vector<Backing> tables;
+  std::vector<std::string> names;
+  TableRegistry registry;
+  std::unique_ptr<QueryService> service;
+
+  ~QosStack() {
+    if (service != nullptr) service->Shutdown();
+  }
+};
+
+struct QosTableSpec {
+  const char* name;
+  uint32_t weight;
+};
+
+// unique_ptr for the same reason as MakeMultiStack.
+std::unique_ptr<QosStack> MakeQosStack(const std::vector<QosTableSpec>& specs,
+                                       std::size_t n, std::size_t m,
+                                       unsigned l, unsigned key_bits,
+                                       std::size_t threads,
+                                       std::size_t max_in_flight,
+                                       std::size_t cache_bytes) {
+  auto stack_ptr = std::make_unique<QosStack>();
+  QosStack& stack = *stack_ptr;
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    QosStack::Backing backing;
+    EngineSetup setup =
+        MakeEngine(n, m, l, key_bits, threads, /*seed=*/301 + t);
+    backing.engine = std::move(setup.engine);
+    backing.query = std::move(setup.query);
+    stack.names.emplace_back(specs[t].name);
+    stack.tables.push_back(std::move(backing));
+  }
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    Status s = stack.registry.Register(stack.names[t],
+                                       stack.tables[t].engine.get());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    TableRegistry::Entry* entry = stack.registry.Find(stack.names[t]);
+    entry->qos_weight = specs[t].weight;
+    if (cache_bytes > 0) {
+      entry->cache.set_budget(cache_bytes, ResultCache::kDefaultMaxEntries);
+    }
+  }
+  QueryService::Options service_options;
+  service_options.max_in_flight = max_in_flight;
+  stack.service =
+      std::make_unique<QueryService>(&stack.registry, service_options);
+  if (Status s = stack.service->Start(0); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return stack_ptr;
+}
+
+// Zipf(s) over ranks [0, n): CDF inversion over precomputed cumulative
+// weights — rank 0 is the hot query, the tail is cold.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s, uint64_t seed) : rng_(seed) {
+    double total = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      cdf_.push_back(total += 1.0 / std::pow(static_cast<double>(i), s));
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  std::size_t Next() {
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), dist_(rng_)) -
+        cdf_.begin());
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  std::vector<double> cdf_;
+};
+
+struct SkewedPoint {
+  std::size_t queries = 0;
+  double seconds = 0;
+  std::vector<double> latencies;  // per-query, merged across clients
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, idx == 0 ? 0 : idx - 1)];
+}
+
+// `clients` connections replay the same Zipf(s) popularity law over
+// `pool` (each with its own stream, so the interleaving varies but the
+// marginal distribution is the skew under test).
+SkewedPoint DriveZipfClients(QosStack& stack, const std::string& table,
+                             const std::vector<PlainRecord>& pool,
+                             std::size_t clients, std::size_t per_client,
+                             double zipf_s) {
+  SkewedPoint point;
+  point.queries = clients * per_client;
+  Mutex merge_mutex;
+  Stopwatch watch;
+  std::vector<std::thread> drivers;
+  for (std::size_t c = 0; c < clients; ++c) {
+    drivers.emplace_back([&, c] {
+      ZipfSampler zipf(pool.size(), zipf_s, /*seed=*/701 + c);
+      auto client =
+          RemoteQueryClient::Connect("127.0.0.1", stack.service->port());
+      if (!client.ok()) std::exit(1);
+      std::vector<double> latencies;
+      latencies.reserve(per_client);
+      for (std::size_t q = 0; q < per_client; ++q) {
+        QueryRequest request;
+        request.table = table;
+        request.record = pool[zipf.Next()];
+        request.protocol = QueryProtocol::kBasic;
+        request.k = 2;
+        Stopwatch one;
+        auto response = (*client)->Query(request);
+        if (!response.ok()) {
+          std::fprintf(stderr, "zipf query failed: %s\n",
+                       response.status().ToString().c_str());
+          std::exit(1);
+        }
+        latencies.push_back(one.ElapsedSeconds());
+      }
+      MutexLock lock(&merge_mutex);
+      point.latencies.insert(point.latencies.end(), latencies.begin(),
+                             latencies.end());
+    });
+  }
+  for (auto& t : drivers) t.join();
+  point.seconds = watch.ElapsedSeconds();
+  const ResultCache::Stats cache = stack.registry.Find(table)->cache.stats();
+  point.hits = cache.hits;
+  point.misses = cache.misses;
+  return point;
+}
+
+struct FairnessPoint {
+  uint64_t light_completed = 0;
+  double light_seconds = 0;
+  uint64_t heavy_completed = 0;
+  uint64_t heavy_rejected = 0;
+  uint32_t heavy_share = 0;
+  uint32_t light_share = 0;
+};
+
+// Floods the weight-8 table with `flood_clients` tight loops while ONE
+// light client works through `light_queries` on the weight-1 table; the
+// light tenant's wall clock is the fairness headline — under the PR-3
+// service-wide budget the flood could starve it outright.
+FairnessPoint DriveFairnessFlood(QosStack& stack, std::size_t flood_clients,
+                                 std::size_t light_queries) {
+  FairnessPoint point;
+  RetryPolicy patient;
+  patient.max_attempts = 100000;
+  patient.initial_backoff = std::chrono::milliseconds(1);
+  patient.max_backoff = std::chrono::milliseconds(20);
+  patient.max_elapsed = std::chrono::milliseconds(0);
+  std::atomic<bool> flood_on{true};
+  std::vector<std::thread> flood;
+  for (std::size_t c = 0; c < flood_clients; ++c) {
+    flood.emplace_back([&] {
+      QueryRequest request;
+      request.table = stack.names[0];
+      request.record = stack.tables[0].query;
+      request.protocol = QueryProtocol::kBasic;
+      request.k = 2;
+      auto client =
+          RemoteQueryClient::Connect("127.0.0.1", stack.service->port());
+      if (!client.ok()) std::exit(1);
+      while (flood_on.load()) {
+        // Plain Query, not QueryWithRetry: rejected floods re-arrive
+        // instantly, keeping the admission gate saturated.
+        (void)(*client)->Query(request);
+      }
+    });
+  }
+  {
+    QueryRequest request;
+    request.table = stack.names[1];
+    request.record = stack.tables[1].query;
+    request.protocol = QueryProtocol::kBasic;
+    request.k = 2;
+    auto client =
+        RemoteQueryClient::Connect("127.0.0.1", stack.service->port());
+    if (!client.ok()) std::exit(1);
+    Stopwatch watch;
+    for (std::size_t q = 0; q < light_queries; ++q) {
+      auto response = (*client)->QueryWithRetry(request, patient);
+      if (!response.ok()) {
+        std::fprintf(stderr, "light tenant starved: %s\n",
+                     response.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    point.light_seconds = watch.ElapsedSeconds();
+    point.light_completed = light_queries;
+    flood_on.store(false);
+    for (auto& t : flood) t.join();
+    auto stats = (*client)->ServiceStats();
+    if (!stats.ok()) std::exit(1);
+    for (const TableStatsEntry& entry : stats->tables) {
+      if (entry.name == stack.names[0]) {
+        point.heavy_completed = entry.completed;
+        point.heavy_rejected = entry.rejected;
+        point.heavy_share = entry.share_limit;
+      } else if (entry.name == stack.names[1]) {
+        point.light_share = entry.share_limit;
+      }
+    }
+  }
+  return point;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace sknn
@@ -396,6 +641,106 @@ int main(int argc, char** argv) {
     os << "]\n  }";
     MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR5.json"),
                      "serving_multi_table", os.str());
+  }
+
+  // -- QoS series (PR 10a): Zipf-skewed traffic, result cache off vs on.
+  const double zipf_s = 1.1;
+  const std::size_t distinct_queries = 8;
+  const std::size_t zipf_clients = 4;
+  const std::size_t zipf_per_client = PaperScale() ? 24 : 8;
+  const int64_t max_value = MaxValueForDistanceBits(m, l);
+  std::vector<PlainRecord> query_pool;
+  for (std::size_t i = 0; i < distinct_queries; ++i) {
+    query_pool.push_back(GenerateUniformQuery(m, max_value, 801 + i));
+  }
+  std::printf("# cache: zipf(s=%.1f) over %zu distinct queries, %zu clients "
+              "x %zu queries (basic protocol)\n",
+              zipf_s, distinct_queries, zipf_clients, zipf_per_client);
+  std::printf("%-8s %-10s %-10s %-12s %-10s\n", "cache", "seconds", "qps",
+              "p95_ms", "hit_rate");
+  struct CacheRun {
+    const char* label;
+    std::size_t cache_bytes;
+    SkewedPoint point;
+  };
+  std::vector<CacheRun> cache_runs = {
+      {"off", 0, {}},
+      {"on", ResultCache::kDefaultMaxBytes, {}},
+  };
+  for (CacheRun& run : cache_runs) {
+    std::unique_ptr<QosStack> qos =
+        MakeQosStack({{"hot", 1}}, n, m, l, key_bits, threads,
+                     /*max_in_flight=*/16, run.cache_bytes);
+    run.point = DriveZipfClients(*qos, "hot", query_pool, zipf_clients,
+                                 zipf_per_client, zipf_s);
+    const uint64_t lookups = run.point.hits + run.point.misses;
+    const double hit_rate =
+        lookups == 0 ? 0
+                     : static_cast<double>(run.point.hits) /
+                           static_cast<double>(lookups);
+    std::printf("%-8s %-10.3f %-10.2f %-12.3f %-10.3f\n", run.label,
+                run.point.seconds,
+                run.point.queries / run.point.seconds,
+                Percentile(run.point.latencies, 0.95) * 1e3, hit_rate);
+  }
+
+  // -- QoS series (PR 10b): weighted fairness under a flood. Five clients
+  // flood the weight-8 table through a 4-slot budget (oversubscribing its
+  // fair share, so rejections are visible); the weight-1 tenant must still
+  // make steady progress off its guaranteed share.
+  const std::size_t flood_clients = 5;
+  const std::size_t light_queries = PaperScale() ? 8 : 4;
+  std::unique_ptr<QosStack> fair =
+      MakeQosStack({{"heavy", 8}, {"light", 1}}, n, m, l, key_bits, threads,
+                   /*max_in_flight=*/4, /*cache_bytes=*/0);
+  FairnessPoint fairness = DriveFairnessFlood(*fair, flood_clients,
+                                              light_queries);
+  std::printf("# fairness: %zu flood clients on heavy(w=8), light(w=1) runs "
+              "%zu queries; shares heavy=%u light=%u\n",
+              flood_clients, light_queries, fairness.heavy_share,
+              fairness.light_share);
+  std::printf("light: %zu queries in %.3fs (%.2f qps)  heavy: %llu "
+              "completed, %llu rejected\n",
+              light_queries, fairness.light_seconds,
+              fairness.light_completed / fairness.light_seconds,
+              static_cast<unsigned long long>(fairness.heavy_completed),
+              static_cast<unsigned long long>(fairness.heavy_rejected));
+
+  if (emit_json) {
+    std::ostringstream os;
+    os << "{\n    \"key_bits\": " << key_bits << ", \"n\": " << n
+       << ", \"m\": " << m << ", \"l\": " << l
+       << ", \"zipf_s\": " << zipf_s
+       << ", \"distinct_queries\": " << distinct_queries
+       << ", \"clients\": " << zipf_clients << ",\n    \"cache\": [";
+    for (std::size_t i = 0; i < cache_runs.size(); ++i) {
+      const SkewedPoint& point = cache_runs[i].point;
+      const uint64_t lookups = point.hits + point.misses;
+      os << (i ? ", " : "") << "{\"cache\": \"" << cache_runs[i].label
+         << "\", \"queries\": " << point.queries
+         << ", \"seconds\": " << point.seconds
+         << ", \"qps\": " << point.queries / point.seconds
+         << ", \"p95_seconds\": " << Percentile(point.latencies, 0.95)
+         << ", \"hits\": " << point.hits << ", \"misses\": " << point.misses
+         << ", \"hit_rate\": "
+         << (lookups == 0
+                 ? 0
+                 : static_cast<double>(point.hits) /
+                       static_cast<double>(lookups))
+         << "}";
+    }
+    os << "],\n    \"fairness\": {\"max_in_flight\": 4, \"heavy_weight\": 8"
+       << ", \"light_weight\": 1, \"flood_clients\": " << flood_clients
+       << ", \"heavy_share\": " << fairness.heavy_share
+       << ", \"light_share\": " << fairness.light_share
+       << ", \"light_queries\": " << fairness.light_completed
+       << ", \"light_seconds\": " << fairness.light_seconds
+       << ", \"light_qps\": "
+       << fairness.light_completed / fairness.light_seconds
+       << ", \"heavy_completed\": " << fairness.heavy_completed
+       << ", \"heavy_rejected\": " << fairness.heavy_rejected << "}\n  }";
+    MergeJsonSection(BenchJsonPath(json_path, "BENCH_PR10.json"),
+                     "serving_cache_fairness", os.str());
   }
   return 0;
 }

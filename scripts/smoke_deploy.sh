@@ -16,10 +16,17 @@
 #      probe redials and reinstates it), and hot-reloads the table — zero
 #      client-visible failures allowed; then both replicas of one shard
 #      are SIGSTOPped and a --deadline-ms probe must come back as a TYPED
-#      deadline error (exit 4) within the budget, not a hang.
+#      deadline error (exit 4) within the budget, not a hang;
+#   5. the QoS leg (revision 6): a key-gated front end — keyless and
+#      wrong-key queries are typed PermissionDenied (exit 5), an
+#      authorized miss/hit/--no-cache triple must all equal the oracle
+#      (the cache-freshness differential), and a quota-2 key is served
+#      twice then typed ResourceExhausted.
 # Every answer of every leg is diffed against the plaintext oracle — the
 # sharded leg on a table WITH tied distances, which the deterministic
 # tie-break must resolve exactly like the oracle (lower index first).
+# Control-plane assertions go through `sknn_admin --json` + python3
+# (structured checks, not output-format greps).
 #
 #   scripts/smoke_deploy.sh [build-dir]     # default: build
 set -euo pipefail
@@ -47,6 +54,46 @@ term_and_wait() {
   local pid
   for pid in "$@"; do kill -TERM "$pid"; done
   for pid in "$@"; do wait "$pid"; done
+}
+
+PY=python3
+command -v "$PY" > /dev/null || {
+  echo "python3 is required for the structured sknn_admin --json checks" >&2
+  exit 1
+}
+
+# Assert a python expression over `d`, the parsed JSON document in file $1.
+# sknn_admin --json emits one document per invocation: --stats/--health are
+# objects, --list-tables/--table-info are bare arrays.
+json_assert() { # json-file python-expression
+  "$PY" -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+if not eval(sys.argv[2]):
+    sys.exit(1)
+' "$1" "$2" || {
+    echo "json check failed: $2"
+    echo "-- document ($1):"
+    cat "$1"
+    exit 1
+  }
+}
+
+# Print "<healthy> <total>" replica counts from a --json --health document;
+# tolerates a missing/truncated file (prints "0 0") so poll loops can race
+# the admin call.
+healthy_replicas() { # json-file
+  "$PY" -c '
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        d = json.load(f)
+    rs = [r for t in d["tables"] for r in t["replicas"]]
+    print(sum(1 for r in rs if r["healthy"]), len(rs))
+except Exception:
+    print(0, 0)
+' "$1"
 }
 
 # A distinct-distance table: answers are deterministic for every protocol,
@@ -222,18 +269,21 @@ C2B_PORT=$(wait_for_port "$WORK/c2_beta.log")
 C1M_PID=$!
 C1M_PORT=$(wait_for_port "$WORK/c1_multi.log")
 
-echo "== sknn_admin: control plane =="
-"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --hello
-"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --list-tables \
-  > "$WORK/tables"
-printf 'alpha\nbeta\n' > "$WORK/tables_want"
-diff -u "$WORK/tables_want" "$WORK/tables" || {
-  echo "MISMATCH: list-tables"; exit 1; }
-"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --table-info \
-  > "$WORK/table_info"
-grep -q "table alpha" "$WORK/table_info"
-grep -q "table beta" "$WORK/table_info"
-grep -q "attributes     3" "$WORK/table_info" # beta is 3-dimensional
+echo "== sknn_admin: control plane (structured --json checks) =="
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --json --hello \
+  > "$WORK/hello.json"
+json_assert "$WORK/hello.json" 'd["revision"] >= 6 and d["num_tables"] == 2'
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --json --list-tables \
+  > "$WORK/tables.json"
+json_assert "$WORK/tables.json" 'd == ["alpha", "beta"]'
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --json --table-info \
+  > "$WORK/table_info.json"
+json_assert "$WORK/table_info.json" \
+  '[t["name"] for t in d] == ["alpha", "beta"]'
+json_assert "$WORK/table_info.json" \
+  'd[0]["attributes"] == 2 and d[1]["attributes"] == 3' # beta is 3-dimensional
+json_assert "$WORK/table_info.json" \
+  'all(t["records"] > 0 and t["k_max"] >= 2 for t in d)'
 
 echo "== per-table queries diffed against the oracle =="
 for q in "1,0" "5,0"; do
@@ -260,18 +310,22 @@ if "$BIN/sknn_query" --host 127.0.0.1 --port "$C1M_PORT" --table gamma \
 fi
 grep -q "unknown table" "$WORK/gamma.err"
 
-"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --stats \
-  > "$WORK/stats"
-grep -Eq "alpha +2 " "$WORK/stats" || { cat "$WORK/stats"; \
-  echo "MISMATCH: alpha completed count"; exit 1; }
-grep -Eq "beta +1 " "$WORK/stats" || { cat "$WORK/stats"; \
-  echo "MISMATCH: beta completed count"; exit 1; }
-# Revision 4: the per-table randomizer-pool block must be present, and the
-# served queries above must have registered pool hits on some cloud.
-grep -q "randomizer pool" "$WORK/stats" || { cat "$WORK/stats"; \
-  echo "MISSING: randomizer-pool stats section"; exit 1; }
-grep -Eq "alpha +C[12] " "$WORK/stats" || { cat "$WORK/stats"; \
-  echo "MISSING: alpha randomizer-pool rows"; exit 1; }
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1M_PORT" --json --stats \
+  > "$WORK/stats.json"
+json_assert "$WORK/stats.json" \
+  '{t["name"]: t["completed"] for t in d["tables"]} == {"alpha": 2, "beta": 1}'
+json_assert "$WORK/stats.json" \
+  'all(t["failed"] == 0 and t["rejected"] == 0 for t in d["tables"])'
+# Revision 4: the per-table randomizer pools must be provisioned on some
+# cloud. Revision 6: fair-admission words are live (weight defaults to 1,
+# every table gets a non-zero share of --max-in-flight) and auth is OFF
+# on a front end started without --api-keys.
+json_assert "$WORK/stats.json" \
+  'all(t["c1_pool_capacity"] + t["c2_pool_capacity"] > 0 for t in d["tables"])'
+json_assert "$WORK/stats.json" \
+  'all(t["weight"] == 1 and t["share_limit"] >= 1 for t in d["tables"])'
+json_assert "$WORK/stats.json" \
+  'd["auth_enabled"] is False and d["keys"] == []'
 
 echo "== SIGTERM teardown: every server must drain and exit 0 =="
 term_and_wait "$C1M_PID"
@@ -338,31 +392,35 @@ sleep 1 # let traffic flow on the healthy topology first
 echo "== kill -9 shard-0 replica a mid-traffic =="
 kill -9 "$S0A_PID"
 wait "$S0A_PID" 2>/dev/null || true
+healthy=0 total=0
 for _ in $(seq 100); do
-  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --health \
-    > "$WORK/chaos_health" 2>&1 || true
-  grep -q "UNHEALTHY" "$WORK/chaos_health" && break
+  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --json --health \
+    > "$WORK/chaos_health.json" 2>/dev/null || true
+  read -r healthy total <<< "$(healthy_replicas "$WORK/chaos_health.json")"
+  [ "$total" -eq 4 ] && [ "$healthy" -lt 4 ] && break
   sleep 0.1
 done
-grep -q "UNHEALTHY" "$WORK/chaos_health" || {
-  echo "killed replica never went UNHEALTHY in sknn_admin --health"
-  cat "$WORK/chaos_health"; exit 1; }
+if [ "$total" -ne 4 ] || [ "$healthy" -ge 4 ]; then
+  echo "killed replica never went unhealthy in sknn_admin --json --health"
+  cat "$WORK/chaos_health.json"; exit 1
+fi
 
 echo "== restart the replica on the same port: redial must reinstate it =="
 start_replica 0 a "$S0A_PORT"; S0A_PID=$!
 wait_for_port "$WORK/chaos_0a.log" > /dev/null
 for _ in $(seq 200); do
-  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --health \
-    > "$WORK/chaos_health" 2>&1 || true
-  if ! grep -q "UNHEALTHY" "$WORK/chaos_health" &&
-      [ "$(grep -c ' healthy' "$WORK/chaos_health")" -eq 4 ]; then
-    break
-  fi
+  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --json --health \
+    > "$WORK/chaos_health.json" 2>/dev/null || true
+  read -r healthy total <<< "$(healthy_replicas "$WORK/chaos_health.json")"
+  [ "$healthy" -eq 4 ] && [ "$total" -eq 4 ] && break
   sleep 0.1
 done
-grep -q "UNHEALTHY" "$WORK/chaos_health" && {
-  echo "restarted replica was never reinstated"; cat "$WORK/chaos_health"
-  exit 1; }
+if [ "$healthy" -ne 4 ] || [ "$total" -ne 4 ]; then
+  echo "restarted replica was never reinstated"
+  cat "$WORK/chaos_health.json"; exit 1
+fi
+json_assert "$WORK/chaos_health.json" \
+  'all(r["consecutive_failures"] == 0 for t in d["tables"] for r in t["replicas"])'
 
 echo "== hot reload under live traffic =="
 "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" \
@@ -410,12 +468,10 @@ grep -qi "deadline" "$WORK/chaos_deadline.err"
 
 kill -CONT "$S1A_PID" "$S1B_PID"
 for _ in $(seq 200); do
-  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --health \
-    > "$WORK/chaos_health" 2>&1 || true
-  if ! grep -q "UNHEALTHY" "$WORK/chaos_health" &&
-      [ "$(grep -c ' healthy' "$WORK/chaos_health")" -eq 4 ]; then
-    break
-  fi
+  "$BIN/sknn_admin" --host 127.0.0.1 --port "$C1C_PORT" --json --health \
+    > "$WORK/chaos_health.json" 2>/dev/null || true
+  read -r healthy total <<< "$(healthy_replicas "$WORK/chaos_health.json")"
+  [ "$healthy" -eq 4 ] && [ "$total" -eq 4 ] && break
   sleep 0.1
 done
 "$BIN/sknn_query" --host 127.0.0.1 --port "$C1C_PORT" --query "2,0" \
@@ -429,4 +485,108 @@ term_and_wait "$C1C_PID"
 term_and_wait "$S0A_PID" "$S0B_PID" "$S1A_PID" "$S1B_PID"
 term_and_wait "$C2C_PID"
 echo "leg 4 OK: failover, redial, hot reload, deadlines — all under traffic"
-echo "smoke deploy OK: all four legs match the plaintext oracle"
+
+echo "== leg 5: QoS — API keys, quotas, result cache (revision 6) =="
+ADMIN_KEY=$("$PY" -c 'import secrets; print(secrets.token_hex(32))')
+TRIAL_KEY=$("$PY" -c 'import secrets; print(secrets.token_hex(32))')
+key_digest() { # key -> sha256 hex
+  printf '%s' "$1" | \
+    "$PY" -c 'import hashlib, sys; print(hashlib.sha256(sys.stdin.buffer.read()).hexdigest())'
+}
+cat > "$WORK/keys.txt" <<EOF
+# id:sha256hex:quota:weight — quota 0 = unlimited
+admin:$(key_digest "$ADMIN_KEY"):0:4
+trial:$(key_digest "$TRIAL_KEY"):2:1
+EOF
+
+"$BIN/sknn_c2_server" --secret "$WORK/sk.txt" --port 0 --workers 2 \
+  --pool-capacity 256 > "$WORK/c2_qos.log" 2>&1 &
+C2Q_PID=$!
+C2Q_PORT=$(wait_for_port "$WORK/c2_qos.log")
+"$BIN/sknn_c1_server" --public "$WORK/pk.txt" --db "$WORK/db.bin" --port 0 \
+  --c2-host 127.0.0.1 --c2-port "$C2Q_PORT" --threads 2 --max-in-flight 8 \
+  --api-keys "$WORK/keys.txt" > "$WORK/c1_qos.log" 2>&1 &
+C1Q_PID=$!
+C1Q_PORT=$(wait_for_port "$WORK/c1_qos.log")
+
+echo "== keyless and wrong-key queries: typed PermissionDenied (exit 5) =="
+set +e
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1Q_PORT" --query "1,0" --k 2 \
+  > /dev/null 2>"$WORK/qos_nokey.err"
+rc=$?
+set -e
+[ "$rc" -eq 5 ] || {
+  echo "keyless query: expected exit 5 (permission denied), got $rc"
+  cat "$WORK/qos_nokey.err"; exit 1; }
+grep -q "authentication rejected" "$WORK/qos_nokey.err"
+set +e
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1Q_PORT" --query "1,0" --k 2 \
+  --api-key deadbeef > /dev/null 2>"$WORK/qos_badkey.err"
+rc=$?
+set -e
+[ "$rc" -eq 5 ] || {
+  echo "wrong-key query: expected exit 5 (permission denied), got $rc"
+  cat "$WORK/qos_badkey.err"; exit 1; }
+
+echo "== cache differential: miss, hit, and --no-cache all match the oracle =="
+"$BIN/sknn_plain_knn" --csv "$WORK/table.csv" --query "1,0" --k 2 \
+  > "$WORK/qos_want"
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1Q_PORT" --query "1,0" --k 2 \
+  --api-key "$ADMIN_KEY" --stats > "$WORK/qos_miss" 2>>"$WORK/clients.log"
+grep -q "# cache miss" "$WORK/qos_miss"
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1Q_PORT" --query "1,0" --k 2 \
+  --api-key "$ADMIN_KEY" --stats > "$WORK/qos_hit" 2>>"$WORK/clients.log"
+# The hit must carry rerandomized ciphertexts, not an empty tail.
+grep -Eq "# cache hit  encrypted-results [1-9]" "$WORK/qos_hit"
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1Q_PORT" --query "1,0" --k 2 \
+  --api-key "$ADMIN_KEY" --stats --no-cache > "$WORK/qos_bypass" \
+  2>>"$WORK/clients.log"
+grep -q "# cache miss" "$WORK/qos_bypass" # bypass = fresh protocol run
+for f in qos_miss qos_hit qos_bypass; do
+  tail -n +2 "$WORK/$f" | grep -v '^#' > "$WORK/got"
+  diff -u "$WORK/qos_want" "$WORK/got" || {
+    echo "MISMATCH: $f vs plaintext oracle"; exit 1; }
+done
+
+echo "== quota: trial key (quota 2) serves twice, then typed ResourceExhausted =="
+for q in "0,0" "4,0"; do
+  "$BIN/sknn_query" --host 127.0.0.1 --port "$C1Q_PORT" --query "$q" --k 2 \
+    --api-key "$TRIAL_KEY" > "$WORK/qos_trial" 2>>"$WORK/clients.log"
+  "$BIN/sknn_plain_knn" --csv "$WORK/table.csv" --query "$q" --k 2 \
+    > "$WORK/qos_want"
+  tail -n +2 "$WORK/qos_trial" > "$WORK/got"
+  diff -u "$WORK/qos_want" "$WORK/got" || {
+    echo "MISMATCH: trial-key query $q"; exit 1; }
+done
+set +e
+"$BIN/sknn_query" --host 127.0.0.1 --port "$C1Q_PORT" --query "3,0" --k 2 \
+  --api-key "$TRIAL_KEY" --retries 0 > /dev/null 2>"$WORK/qos_quota.err"
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || {
+  echo "over-quota query: expected exit 3 (resource exhausted), got $rc"
+  cat "$WORK/qos_quota.err"; exit 1; }
+
+echo "== per-key and per-table QoS counters over --json --stats =="
+"$BIN/sknn_admin" --host 127.0.0.1 --port "$C1Q_PORT" --json --stats \
+  > "$WORK/qos_stats.json"
+json_assert "$WORK/qos_stats.json" 'd["auth_enabled"] is True'
+json_assert "$WORK/qos_stats.json" \
+  'sorted(k["id"] for k in d["keys"]) == ["admin", "trial"]'
+json_assert "$WORK/qos_stats.json" \
+  '{k["id"]: k["completed"] for k in d["keys"]} == {"admin": 3, "trial": 2}'
+json_assert "$WORK/qos_stats.json" \
+  'next(k for k in d["keys"] if k["id"] == "admin")["quota"] == 0'
+json_assert "$WORK/qos_stats.json" \
+  'next(k for k in d["keys"] if k["id"] == "trial")["remaining"] == 0'
+json_assert "$WORK/qos_stats.json" \
+  'next(k for k in d["keys"] if k["id"] == "trial")["quota_rejected"] >= 1'
+json_assert "$WORK/qos_stats.json" \
+  'd["tables"][0]["cache_hits"] == 1 and d["tables"][0]["cache_misses"] >= 3'
+json_assert "$WORK/qos_stats.json" \
+  'd["tables"][0]["cache_entries"] >= 1 and d["tables"][0]["cache_bytes"] > 0'
+
+term_and_wait "$C1Q_PID"
+term_and_wait "$C2Q_PID"
+echo "leg 5 OK: auth gate, quota exhaustion, cache hit/miss/bypass — all typed"
+echo "smoke deploy OK: all five legs match the plaintext oracle"

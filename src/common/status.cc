@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
   }
   return "Unknown";
 }

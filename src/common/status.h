@@ -35,6 +35,10 @@ enum class StatusCode {
   /// is alive but too slow (a hung worker, an overloaded link). Retrying —
   /// ideally against a different replica — may succeed.
   kDeadlineExceeded,
+  /// Authentication required or failed, or the presented credential lacks
+  /// access (bad API key, exhausted per-key quota is kResourceExhausted, a
+  /// revoked key is this). Retrying cannot help — fix the credential.
+  kPermissionDenied,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -83,6 +87,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -84,6 +84,12 @@ struct QueryRequest {
   /// for when the first probe_clusters clusters hold fewer than k records.
   /// Ignored in exact mode.
   uint32_t probe_clusters = 1;
+  /// Bypass the serving front end's result cache for this request: the query
+  /// executes the full protocol even when an identical response is cached
+  /// (the hit is neither served nor refreshed). The response is still
+  /// eligible to be inserted. In-process engines have no cache and ignore
+  /// this. Appended after probe_clusters (aggregate-init order).
+  bool no_cache = false;
 };
 
 /// \brief One shard's share of a sharded query (core/shard_coordinator.h):
@@ -144,6 +150,19 @@ struct QueryResponse {
   std::vector<ShardQueryStats> shards;
   /// Wall time of the coordinator's global candidate merge (sharded only).
   double merge_seconds = 0;
+  /// True when a serving front end answered this query from its result
+  /// cache (serve/qos/result_cache.h) instead of running the protocol.
+  /// Always false from an in-process engine. Appended after merge_seconds
+  /// (aggregate-init order), like every revision's new fields.
+  bool cache_hit = false;
+  /// The k×m result attributes encrypted under the TABLE's Paillier public
+  /// key, row-major, each ciphertext serialized as BigInt bytes — populated
+  /// by a serving front end for cache-eligible queries. On a cache hit these
+  /// are RerandomizeMany-refreshed, so two hits on the same entry are
+  /// unlinkable on the wire while decrypting to bitwise-identical records
+  /// (the differential proof tests/test_qos.cc runs). Empty from in-process
+  /// engines and for cache-bypassed (no_cache) requests.
+  std::vector<std::vector<uint8_t>> encrypted_records;
 };
 
 }  // namespace sknn

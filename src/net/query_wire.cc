@@ -8,6 +8,13 @@ namespace {
 
 constexpr uint32_t kFlagBreakdown = 1;
 constexpr uint32_t kFlagOpCounts = 2;
+// Revision 6: bypass the server's result cache for this request.
+constexpr uint32_t kFlagNoCache = 4;
+
+// A serialized Paillier ciphertext is at most 2*|N| bits; 64 KiB covers
+// keys far beyond anything this system runs. Anything longer in the
+// kQueryResult cache tail is a hostile or corrupt frame.
+constexpr std::size_t kMaxCiphertextLen = std::size_t{1} << 16;
 
 void AppendF64(Message& msg, double v) {
   msg.AppendAuxU64(std::bit_cast<uint64_t>(v));
@@ -54,7 +61,8 @@ Message EncodeQueryRequest(const QueryRequest& request) {
   msg.AppendAuxU32(request.k);
   msg.AppendAuxU32(static_cast<uint32_t>(request.protocol));
   msg.AppendAuxU32((request.want_breakdown ? kFlagBreakdown : 0) |
-                   (request.want_op_counts ? kFlagOpCounts : 0));
+                   (request.want_op_counts ? kFlagOpCounts : 0) |
+                   (request.no_cache ? kFlagNoCache : 0));
   msg.AppendAuxU32(static_cast<uint32_t>(request.record.size()));
   for (int64_t v : request.record) {
     msg.AppendAuxU64(static_cast<uint64_t>(v));
@@ -90,6 +98,7 @@ Result<QueryRequest> DecodeQueryRequest(const Message& msg) {
   const uint32_t flags = msg.AuxU32At(8);
   request.want_breakdown = (flags & kFlagBreakdown) != 0;
   request.want_op_counts = (flags & kFlagOpCounts) != 0;
+  request.no_cache = (flags & kFlagNoCache) != 0;
   const uint32_t m = msg.AuxU32At(12);
   std::size_t at = 16 + std::size_t{m} * 8;
   if (msg.aux.size() < at) return BadFrame("kQuery geometry mismatch");
@@ -170,6 +179,15 @@ Message EncodeQueryResponse(const QueryResponse& response) {
     msg.AppendAuxU64(shard.ops.exponentiations);
     msg.AppendAuxU64(shard.ops.multiplications);
   }
+  // Revision 6's mandatory cache tail: whether the result came from the
+  // server's cache, and the rerandomized result-attribute ciphertexts for
+  // cache-eligible queries (empty otherwise).
+  msg.AppendAuxU32(response.cache_hit ? 1 : 0);
+  msg.AppendAuxU32(static_cast<uint32_t>(response.encrypted_records.size()));
+  for (const std::vector<uint8_t>& ct : response.encrypted_records) {
+    msg.AppendAuxU32(static_cast<uint32_t>(ct.size()));
+    msg.aux.insert(msg.aux.end(), ct.begin(), ct.end());
+  }
   return msg;
 }
 
@@ -195,10 +213,13 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
   }
   const std::size_t num_shards = msg.AuxU32At(fixed - 4);
   // Revision 5 layout: shard, candidates, replica, failovers, pruned,
-  // shard_records, seconds, 4 traffic counters, 4 op counters.
+  // shard_records, seconds, 4 traffic counters, 4 op counters. Revision 6
+  // appends the mandatory 8-byte cache-tail header after the shard blocks,
+  // so the exact-size check becomes a lower bound here and an exact check
+  // once the tail's variable-length ciphertexts are walked.
   constexpr std::size_t kPerShard = 4 + 4 + 4 + 4 + 4 + 4 + 9 * 8;
   if (num_shards > kMaxDim ||
-      msg.aux.size() != fixed + num_shards * kPerShard) {
+      msg.aux.size() < fixed + num_shards * kPerShard + 8) {
     return BadFrame("kQueryResult shard-stats geometry mismatch");
   }
   QueryResponse response;
@@ -251,6 +272,31 @@ Result<QueryResponse> DecodeQueryResponse(const Message& msg) {
     response.shards.push_back(shard);
     at += kPerShard;
   }
+  // The revision-6 cache tail (its 8-byte header was size-checked above).
+  response.cache_hit = msg.AuxU32At(at) != 0;
+  const std::size_t enc_count = msg.AuxU32At(at + 4);
+  at += 8;
+  // Implausible-count guard before reserve: each ciphertext needs at least
+  // its 4-byte length prefix.
+  if (enc_count * 4 > msg.aux.size() - at) {
+    return BadFrame("kQueryResult ciphertext count implausible");
+  }
+  response.encrypted_records.reserve(enc_count);
+  for (std::size_t i = 0; i < enc_count; ++i) {
+    if (msg.aux.size() < at + 4) {
+      return BadFrame("kQueryResult ciphertext geometry mismatch");
+    }
+    const std::size_t len = msg.AuxU32At(at);
+    at += 4;
+    if (len > kMaxCiphertextLen || msg.aux.size() < at + len) {
+      return BadFrame("kQueryResult ciphertext geometry mismatch");
+    }
+    response.encrypted_records.emplace_back(
+        msg.aux.begin() + static_cast<std::ptrdiff_t>(at),
+        msg.aux.begin() + static_cast<std::ptrdiff_t>(at + len));
+    at += len;
+  }
+  if (at != msg.aux.size()) return BadFrame("kQueryResult trailing bytes");
   return response;
 }
 
@@ -270,7 +316,7 @@ Status DecodeQueryError(const Message& msg) {
   }
   const uint32_t code = msg.AuxU32At(0);
   if (code == 0 ||
-      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+      code > static_cast<uint32_t>(StatusCode::kPermissionDenied)) {
     return BadFrame("kQueryError carries an unknown status code");
   }
   return Status(static_cast<StatusCode>(code),
@@ -444,6 +490,26 @@ Message EncodeServiceStatsReply(const ServiceStatsReply& stats) {
     msg.AppendAuxU64(table.c2_pool_misses);
     msg.AppendAuxU64(table.c2_pool_stock);
     msg.AppendAuxU64(table.c2_pool_capacity);
+    // Revision 6: QoS admission and result-cache counters.
+    msg.AppendAuxU32(table.weight);
+    msg.AppendAuxU32(table.share_limit);
+    msg.AppendAuxU64(table.cache_hits);
+    msg.AppendAuxU64(table.cache_misses);
+    msg.AppendAuxU64(table.cache_evictions);
+    msg.AppendAuxU64(table.cache_entries);
+    msg.AppendAuxU64(table.cache_bytes);
+  }
+  // Revision 6: per-API-key section after the table blocks.
+  msg.AppendAuxU32(stats.auth_enabled ? 1 : 0);
+  msg.AppendAuxU32(static_cast<uint32_t>(stats.keys.size()));
+  for (const ApiKeyStatsEntry& key : stats.keys) {
+    AppendString(msg, key.id);
+    msg.AppendAuxU64(key.completed);
+    msg.AppendAuxU64(key.denied);
+    msg.AppendAuxU64(key.quota_rejected);
+    msg.AppendAuxU64(key.quota);
+    msg.AppendAuxU64(key.remaining);
+    msg.AppendAuxU32(key.weight);
   }
   return msg;
 }
@@ -459,15 +525,15 @@ Result<ServiceStatsReply> DecodeServiceStatsReply(const Message& msg) {
   stats.in_flight = msg.AuxU64At(16);
   const uint32_t count = msg.AuxU32At(24);
   // Same implausible-count guard as kTableList: a per-table block is at
-  // least 100 bytes (name length prefix + twelve u64 counters).
-  if (std::size_t{count} * 100 > msg.aux.size() - 28) {
+  // least 148 bytes (name length prefix + 144 bytes of fixed counters).
+  if (std::size_t{count} * 148 > msg.aux.size() - 28) {
     return BadFrame("kServiceStatsResult count implausible");
   }
   std::size_t at = 28;
   stats.tables.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     TableStatsEntry table;
-    if (!StringAt(msg, &at, &table.name) || msg.aux.size() < at + 96) {
+    if (!StringAt(msg, &at, &table.name) || msg.aux.size() < at + 144) {
       return BadFrame("kServiceStatsResult geometry mismatch");
     }
     table.completed = msg.AuxU64At(at);
@@ -482,8 +548,43 @@ Result<ServiceStatsReply> DecodeServiceStatsReply(const Message& msg) {
     table.c2_pool_misses = msg.AuxU64At(at + 72);
     table.c2_pool_stock = msg.AuxU64At(at + 80);
     table.c2_pool_capacity = msg.AuxU64At(at + 88);
-    at += 96;
+    table.weight = msg.AuxU32At(at + 96);
+    table.share_limit = msg.AuxU32At(at + 100);
+    table.cache_hits = msg.AuxU64At(at + 104);
+    table.cache_misses = msg.AuxU64At(at + 112);
+    table.cache_evictions = msg.AuxU64At(at + 120);
+    table.cache_entries = msg.AuxU64At(at + 128);
+    table.cache_bytes = msg.AuxU64At(at + 136);
+    at += 144;
     stats.tables.push_back(std::move(table));
+  }
+  // Revision 6's per-API-key section: [auth_enabled:u32][num_keys:u32] then
+  // one block per key.
+  if (msg.aux.size() < at + 8) {
+    return BadFrame("kServiceStatsResult key section truncated");
+  }
+  stats.auth_enabled = msg.AuxU32At(at) != 0;
+  const uint32_t num_keys = msg.AuxU32At(at + 4);
+  at += 8;
+  // A per-key block is at least 48 bytes (id length prefix + five u64
+  // counters + weight).
+  if (std::size_t{num_keys} * 48 > msg.aux.size() - at) {
+    return BadFrame("kServiceStatsResult key count implausible");
+  }
+  stats.keys.reserve(num_keys);
+  for (uint32_t i = 0; i < num_keys; ++i) {
+    ApiKeyStatsEntry key;
+    if (!StringAt(msg, &at, &key.id) || msg.aux.size() < at + 44) {
+      return BadFrame("kServiceStatsResult key geometry mismatch");
+    }
+    key.completed = msg.AuxU64At(at);
+    key.denied = msg.AuxU64At(at + 8);
+    key.quota_rejected = msg.AuxU64At(at + 16);
+    key.quota = msg.AuxU64At(at + 24);
+    key.remaining = msg.AuxU64At(at + 32);
+    key.weight = msg.AuxU32At(at + 40);
+    at += 44;
+    stats.keys.push_back(std::move(key));
   }
   if (at != msg.aux.size()) {
     return BadFrame("kServiceStatsResult trailing bytes");
@@ -646,6 +747,34 @@ Result<TableChangedNote> DecodeTableChanged(const Message& msg) {
   }
   note.kind = static_cast<TableChangeKind>(kind);
   return note;
+}
+
+Message EncodeAuthenticateRequest(const std::string& key) {
+  Message msg;
+  msg.type = FrontendOpCode(FrontendOp::kAuthenticate);
+  AppendString(msg, key);
+  return msg;
+}
+
+Result<std::string> DecodeAuthenticateRequest(const Message& msg) {
+  if (msg.type != FrontendOpCode(FrontendOp::kAuthenticate)) {
+    return BadFrame("not a kAuthenticate frame");
+  }
+  std::size_t at = 0;
+  std::string key;
+  if (!StringAt(msg, &at, &key) || at != msg.aux.size()) {
+    return BadFrame("kAuthenticate geometry mismatch");
+  }
+  return key;
+}
+
+Message EncodeAuthAck(const std::string& key_id) {
+  return EncodeNameShape(FrontendOp::kAuthAck, key_id);
+}
+
+Result<std::string> DecodeAuthAck(const Message& msg) {
+  return DecodeNameShape(FrontendOp::kAuthAck, "malformed kAuthAck frame",
+                         msg);
 }
 
 }  // namespace sknn

@@ -57,13 +57,23 @@ namespace sknn {
 ///       [shard_records:u32] (a LAYOUT change — revision-4 decoders would
 ///       misread the 96-byte entries, hence the min bump), and
 ///       kTableInfoResult appends [num_clusters:u32].
-constexpr uint32_t kProtocolRevision = 5;
-/// \brief Oldest client revision the server still accepts. Revision 4
-/// clients would misread the widened kQueryResult per-shard block, so the
-/// hello gate turns them away with a typed error instead of letting them
-/// decode garbage. Revision 1 clients cannot hello at all; their first
-/// kQuery gets the typed missing-hello error.
-constexpr uint32_t kMinSupportedRevision = 5;
+///   6 — PR 10: serving QoS. kQueryResult appends a mandatory cache tail
+///       after the shard blocks ([cache_hit:u32][enc_count:u32] plus the
+///       rerandomized result ciphertexts — a LAYOUT change: a revision-5
+///       decoder's exact-size check rejects every revision-6 result, hence
+///       the min bump), kQuery gains flags bit 2 (no_cache),
+///       kServiceStatsResult's per-table block widens by the admission
+///       weight/share and result-cache counters and the reply appends a
+///       per-API-key section, kAuthenticate/kAuthAck gate the data plane
+///       when the server runs with an API-key registry, and the
+///       kPermissionDenied status code crosses the wire.
+constexpr uint32_t kProtocolRevision = 6;
+/// \brief Oldest client revision the server still accepts. Revision 5
+/// clients would reject the widened kQueryResult (their exact-size check
+/// fails on the cache tail), so the hello gate turns them away with a typed
+/// error instead of letting them decode garbage. Revision 1 clients cannot
+/// hello at all; their first kQuery gets the typed missing-hello error.
+constexpr uint32_t kMinSupportedRevision = 6;
 
 /// \brief Feature bits advertised in kHello/kHelloAck. A client MUST ignore
 /// bits it does not know; a server advertises exactly what it implements.
@@ -83,18 +93,30 @@ enum FrontendFeature : uint32_t {
   /// kQuery honors index_mode/probe_clusters (clustered approximate mode);
   /// kTableInfoResult reports num_clusters.
   kFeatureClusteredIndex = 1u << 6,
+  /// The server may answer kQuery from a per-table result cache with
+  /// rerandomized ciphertexts; kQueryResult carries the cache tail and
+  /// kQuery honors the no_cache flag (bit 2).
+  kFeatureResultCache = 1u << 7,
+  /// Admission is per-table weighted fair sharing + token buckets instead
+  /// of one service-wide budget; kServiceStatsResult reports weight/share.
+  kFeatureFairAdmission = 1u << 8,
+  /// kAuthenticate/kAuthAck exist; when the server runs with an API-key
+  /// registry, kQuery requires a successful kAuthenticate after the hello.
+  kFeatureApiKeyAuth = 1u << 9,
 };
 
 /// \brief Every feature this build implements.
 constexpr uint32_t kSupportedFeatures =
     kFeatureMultiTable | kFeatureShardStats | kFeatureServiceStats |
     kFeatureDeadlines | kFeatureReplicaHealth | kFeatureHotReload |
-    kFeatureClusteredIndex;
+    kFeatureClusteredIndex | kFeatureResultCache | kFeatureFairAdmission |
+    kFeatureApiKeyAuth;
 
 enum class FrontendOp : uint16_t {
   /// One Bob query. aux = [k:u32][protocol:u32][flags:u32][m:u32][m x i64]
   /// [table_len:u32][table bytes], flags bit 0 = want_breakdown, bit 1 =
-  /// want_op_counts; attributes as two's-complement little-endian u64
+  /// want_op_counts, bit 2 (revision 6) = no_cache (bypass the server's
+  /// result cache); attributes as two's-complement little-endian u64
   /// (requests are validated server-side, so out-of-domain values must
   /// survive the wire intact to be rejected with a proper Status). The
   /// table suffix is absent in revision-1 frames; decoding treats that as
@@ -117,7 +139,13 @@ enum class FrontendOp : uint16_t {
   /// which replica served the shard and how many replica attempts failed
   /// first. The pruned/shard_records words are revision 5's layout change:
   /// whether the clustered probe round skipped the shard entirely, and how
-  /// many records the shard holds (cluster sizes are unequal).
+  /// many records the shard holds (cluster sizes are unequal). Revision 6
+  /// appends a MANDATORY cache tail after the shard blocks:
+  /// [cache_hit:u32][enc_count:u32] then per ciphertext [len:u32][bytes] —
+  /// the k*m result attributes encrypted under the table's key, refreshed
+  /// with RerandomizeMany on every cache hit so repeated hits are
+  /// unlinkable on the wire (enc_count = 0 when the query was not
+  /// cache-eligible).
   kQueryResult = 0x0102,
   /// Failure. aux = [status code:u32][message bytes].
   kQueryError = 0x0103,
@@ -157,7 +185,14 @@ enum class FrontendOp : uint16_t {
   /// randomizer-pool counters, C1 then C2:
   /// [c1_hits:u64][c1_misses:u64][c1_stock:u64][c1_capacity:u64]
   /// [c2_hits:u64][c2_misses:u64][c2_stock:u64][c2_capacity:u64]
-  /// (capacity 0 = that cloud runs without a pool).
+  /// (capacity 0 = that cloud runs without a pool), followed (revision 6)
+  /// by the table's admission weight/share and result-cache counters:
+  /// [weight:u32][share_limit:u32][cache_hits:u64][cache_misses:u64]
+  /// [cache_evictions:u64][cache_entries:u64][cache_bytes:u64].
+  /// Revision 6 then appends a per-API-key section after the table blocks:
+  /// [auth_enabled:u32][num_keys:u32] then per key [id_len:u32][id bytes]
+  /// [completed:u64][denied:u64][quota_rejected:u64][quota:u64]
+  /// [remaining:u64][weight:u32] (num_keys = 0 when auth is off).
   kServiceStatsResult = 0x0117,
 
   // -- Replica health and hot reload (revision 3) --
@@ -187,6 +222,22 @@ enum class FrontendOp : uint16_t {
   /// aux = [name_len:u32][name bytes][kind:u32], kind 0 = reloaded,
   /// 1 = detached.
   kTableChanged = 0x011D,
+
+  // -- API-key authentication (revision 6) --
+
+  /// Client -> server, after the hello: present an API key for this
+  /// session. aux = [key_len:u32][key bytes] (the raw key; the server
+  /// stores only SHA-256 digests of its keys). Answered with kAuthAck on
+  /// success or kQueryError(PermissionDenied) on an unknown/revoked key.
+  /// Against a server running WITHOUT an API-key registry the frame is
+  /// acked too (auth is then a no-op), so clients can always present
+  /// their key. Only kQuery is gated: the control plane stays open so
+  /// operators can introspect a misconfigured deployment.
+  kAuthenticate = 0x011E,
+  /// Server -> client: the key was accepted.
+  /// aux = [key_id_len:u32][key id bytes] — the key's registered id (its
+  /// stats name in kServiceStatsResult), never the key itself.
+  kAuthAck = 0x011F,
 };
 
 inline uint16_t FrontendOpCode(FrontendOp op) {
@@ -243,6 +294,37 @@ struct TableStatsEntry {
   uint64_t c2_pool_misses = 0;
   uint64_t c2_pool_stock = 0;
   uint64_t c2_pool_capacity = 0;
+  /// Revision 6: the table's weighted-fair-admission weight and the
+  /// in-flight share that weight currently buys it (serve/qos/
+  /// fair_admission.h), plus its result-cache effectiveness counters
+  /// (serve/qos/result_cache.h; all five zero for a table serving with
+  /// the cache disabled).
+  uint32_t weight = 1;
+  uint32_t share_limit = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+};
+
+/// \brief One API key's serving counters inside kServiceStatsResult
+/// (revision 6). `id` is the key's registered name — the key itself never
+/// crosses the wire in this direction.
+struct ApiKeyStatsEntry {
+  std::string id;
+  /// Queries this key completed.
+  uint64_t completed = 0;
+  /// Query frames denied because the session's key did not cover them.
+  uint64_t denied = 0;
+  /// Queries rejected because the key's quota bucket was empty.
+  uint64_t quota_rejected = 0;
+  /// The key's configured quota (queries per refill window; 0 = unlimited).
+  uint64_t quota = 0;
+  /// Tokens left in the quota bucket right now (quota = 0 reports 0).
+  uint64_t remaining = 0;
+  /// The key's admission weight (multiplies its fair share).
+  uint32_t weight = 1;
 };
 
 /// \brief Service-wide counters as kServiceStatsResult reports them.
@@ -251,6 +333,10 @@ struct ServiceStatsReply {
   uint64_t connections_accepted = 0;
   uint64_t in_flight = 0;
   std::vector<TableStatsEntry> tables;
+  /// Revision 6: whether the server gates kQuery behind kAuthenticate, and
+  /// the per-key counters when it does (empty otherwise).
+  bool auth_enabled = false;
+  std::vector<ApiKeyStatsEntry> keys;
 };
 
 /// \brief One shard replica's liveness inside kHealthResult (mirrors
@@ -339,6 +425,11 @@ Result<std::string> DecodeAdminAck(const Message& msg);
 
 Message EncodeTableChanged(const TableChangedNote& note);
 Result<TableChangedNote> DecodeTableChanged(const Message& msg);
+
+Message EncodeAuthenticateRequest(const std::string& key);
+Result<std::string> DecodeAuthenticateRequest(const Message& msg);
+Message EncodeAuthAck(const std::string& key_id);
+Result<std::string> DecodeAuthAck(const Message& msg);
 
 }  // namespace sknn
 

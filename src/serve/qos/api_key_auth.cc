@@ -1,0 +1,203 @@
+#include "serve/qos/api_key_auth.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/sha256.h"
+
+namespace sknn {
+namespace {
+
+bool IsHex64(const std::string& text) {
+  if (text.size() != 64) return false;
+  for (char c : text) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - static_cast<uint64_t>(c - '0')) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ApiKeyAuth>> ApiKeyAuth::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("ApiKeyAuth: cannot open keys file '" + path + "'");
+  }
+  std::vector<std::unique_ptr<Key>> keys;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+
+    const std::string where = path + ":" + std::to_string(line_no);
+    std::istringstream fields(line);
+    std::string id, digest, quota_text, weight_text;
+    if (!std::getline(fields, id, ':') || !std::getline(fields, digest, ':') ||
+        !std::getline(fields, quota_text, ':') ||
+        !std::getline(fields, weight_text)) {
+      return Status::InvalidArgument(
+          "ApiKeyAuth: " + where + " is not id:sha256hex:quota:weight");
+    }
+    if (id.empty() || id.size() > 64) {
+      return Status::InvalidArgument("ApiKeyAuth: " + where +
+                                     " has an empty or oversized key id");
+    }
+    if (!IsHex64(digest)) {
+      return Status::InvalidArgument(
+          "ApiKeyAuth: " + where +
+          " digest is not 64 lowercase hex characters (sha256sum output)");
+    }
+    uint64_t quota = 0;
+    uint64_t weight = 1;
+    if (!ParseU64(quota_text, &quota) || !ParseU64(weight_text, &weight) ||
+        weight == 0 || weight > UINT32_MAX) {
+      return Status::InvalidArgument(
+          "ApiKeyAuth: " + where +
+          " quota/weight are not decimal (weight must be in [1, 2^32))");
+    }
+    auto key = std::make_unique<Key>();
+    key->id = id;
+    key->digest_hex = digest;
+    key->quota = quota;
+    key->weight = static_cast<uint32_t>(weight);
+    key->remaining.store(quota);
+    keys.push_back(std::move(key));
+  }
+  return FromParsed(std::move(keys));
+}
+
+Result<std::unique_ptr<ApiKeyAuth>> ApiKeyAuth::FromEntries(
+    const std::vector<KeyEntry>& entries) {
+  std::vector<std::unique_ptr<Key>> keys;
+  keys.reserve(entries.size());
+  for (const KeyEntry& entry : entries) {
+    auto key = std::make_unique<Key>();
+    key->id = entry.id;
+    key->digest_hex = Sha256::HexDigest(entry.raw_key);
+    key->quota = entry.quota;
+    key->weight = entry.weight == 0 ? 1 : entry.weight;
+    key->remaining.store(entry.quota);
+    keys.push_back(std::move(key));
+  }
+  return FromParsed(std::move(keys));
+}
+
+Result<std::unique_ptr<ApiKeyAuth>> ApiKeyAuth::FromParsed(
+    std::vector<std::unique_ptr<Key>> keys) {
+  if (keys.empty()) {
+    return Status::InvalidArgument(
+        "ApiKeyAuth: no keys registered — an auth-enabled server with an "
+        "empty keys file could never serve a query");
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      if (keys[i]->id == keys[j]->id) {
+        return Status::InvalidArgument("ApiKeyAuth: key id '" + keys[i]->id +
+                                       "' registered twice");
+      }
+    }
+  }
+  auto auth = std::unique_ptr<ApiKeyAuth>(new ApiKeyAuth());
+  auth->keys_ = std::move(keys);
+  return auth;
+}
+
+Result<std::size_t> ApiKeyAuth::Authenticate(const std::string& raw_key) {
+  const std::string digest = Sha256::HexDigest(raw_key);
+  // Compare against every registration (no early exit on id): with a
+  // handful of tenants this is cheap, and the uniform scan avoids leaking
+  // which prefix of the registry matched through timing.
+  std::size_t found = keys_.size();
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i]->digest_hex == digest && found == keys_.size()) found = i;
+  }
+  if (found == keys_.size()) {
+    return Status::PermissionDenied(
+        "ApiKeyAuth: unknown API key (check --api-key against the server's "
+        "keys file)");
+  }
+  return found;
+}
+
+Status ApiKeyAuth::ChargeQuery(std::size_t index) {
+  Key& key = *keys_.at(index);
+  if (key.quota == 0) return Status::OK();  // unlimited
+  uint64_t remaining = key.remaining.load();
+  do {
+    if (remaining == 0) {
+      key.quota_rejected.fetch_add(1);
+      return Status::ResourceExhausted(
+          "ApiKeyAuth: key '" + key.id + "' spent its quota of " +
+          std::to_string(key.quota) + " queries");
+    }
+  } while (!key.remaining.compare_exchange_weak(remaining, remaining - 1));
+  return Status::OK();
+}
+
+void ApiKeyAuth::RefundQuery(std::size_t index) {
+  Key& key = *keys_.at(index);
+  if (key.quota == 0) return;
+  key.remaining.fetch_add(1);
+}
+
+void ApiKeyAuth::NoteCompleted(std::size_t index) {
+  keys_.at(index)->completed.fetch_add(1);
+}
+
+void ApiKeyAuth::NoteDenied(std::size_t index) {
+  keys_.at(index)->denied.fetch_add(1);
+}
+
+std::size_t ApiKeyAuth::size() const { return keys_.size(); }
+
+const std::string& ApiKeyAuth::id(std::size_t index) const {
+  return keys_.at(index)->id;
+}
+
+uint32_t ApiKeyAuth::weight(std::size_t index) const {
+  return keys_.at(index)->weight;
+}
+
+std::vector<ApiKeyAuth::KeyStats> ApiKeyAuth::Snapshot() const {
+  std::vector<KeyStats> out;
+  out.reserve(keys_.size());
+  for (const auto& key : keys_) {
+    KeyStats stats;
+    stats.id = key->id;
+    stats.completed = key->completed.load();
+    stats.denied = key->denied.load();
+    stats.quota_rejected = key->quota_rejected.load();
+    stats.quota = key->quota;
+    stats.remaining = key->remaining.load();
+    stats.weight = key->weight;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,116 @@
+// ApiKeyAuth — the per-user API-key registry of the serving QoS subsystem
+// (protocol revision 6).
+//
+// A multi-tenant front end started with `sknn_c1_server --api-keys FILE`
+// requires every session to present a key (wire kAuthenticate, sent after
+// the hello) before its kQuery frames are served; the control plane stays
+// open so operators can introspect an instance without credentials. The
+// FILE holds one key per line,
+//
+//     id:sha256hex:quota:weight
+//
+// where `sha256hex` is the lowercase SHA-256 digest of the raw key — the
+// raw credential never touches the server's disk. (Digests are unsalted:
+// API keys are expected to be high-entropy random tokens, where a salt
+// adds nothing; this is not a password store. docs/DEPLOY.md says how to
+// generate both halves.) `quota` is the total number of queries the key
+// may run over the server's lifetime, 0 = unlimited; once it is spent,
+// further queries are rejected with the same typed kResourceExhausted as
+// admission overload — deliberately, so client retry policy treats "out
+// of quota" and "server busy" as one backoff case while the per-key stats
+// (kServiceStats) distinguish them for the operator. A key that does not
+// verify is kPermissionDenied: retrying cannot help, fix the credential.
+// `weight` feeds the per-key FairAdmission the service builds, so tenants
+// sharing a table still get weighted fair slots.
+#ifndef SKNN_SERVE_QOS_API_KEY_AUTH_H_
+#define SKNN_SERVE_QOS_API_KEY_AUTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sknn {
+
+class ApiKeyAuth {
+ public:
+  /// \brief One key's registration plus live counters, the per-key section
+  /// of kServiceStatsResult.
+  struct KeyStats {
+    std::string id;
+    uint64_t completed = 0;
+    uint64_t denied = 0;
+    uint64_t quota_rejected = 0;
+    uint64_t quota = 0;  // 0 = unlimited
+    uint64_t remaining = 0;
+    uint32_t weight = 1;
+  };
+
+  /// \brief Parses a keys file (id:sha256hex:quota:weight per line, '#'
+  /// comments and blank lines skipped). Rejects duplicate ids, malformed
+  /// digests, and empty files — a server asked to authenticate against
+  /// nothing is a misconfiguration, not an open door.
+  static Result<std::unique_ptr<ApiKeyAuth>> LoadFromFile(
+      const std::string& path);
+
+  /// \brief In-memory construction for tests: each (id, raw_key, quota,
+  /// weight) tuple is hashed here.
+  struct KeyEntry {
+    std::string id;
+    std::string raw_key;
+    uint64_t quota = 0;
+    uint32_t weight = 1;
+  };
+  static Result<std::unique_ptr<ApiKeyAuth>> FromEntries(
+      const std::vector<KeyEntry>& entries);
+
+  /// \brief Verifies a raw key: the index of the matching registration, or
+  /// kPermissionDenied. A failed presentation is attributable to no key (the
+  /// presenter is unknown by definition); the service-wide auth_rejected
+  /// counter is where those land.
+  Result<std::size_t> Authenticate(const std::string& raw_key);
+
+  /// \brief Charges one query against key `index`'s quota; typed
+  /// kResourceExhausted once it is spent.
+  Status ChargeQuery(std::size_t index);
+  /// \brief Refunds a charge whose query was never admitted (the fair-share
+  /// or rate check after the quota check said no) — a rejection must not
+  /// consume quota.
+  void RefundQuery(std::size_t index);
+  void NoteCompleted(std::size_t index);
+  /// \brief Counts a non-quota rejection (fair share, rate, total budget)
+  /// against key `index` — the operator's per-tenant overload signal.
+  void NoteDenied(std::size_t index);
+
+  std::size_t size() const;
+  const std::string& id(std::size_t index) const;
+  uint32_t weight(std::size_t index) const;
+
+  std::vector<KeyStats> Snapshot() const;
+
+ private:
+  struct Key {
+    std::string id;
+    std::string digest_hex;
+    uint64_t quota = 0;
+    uint32_t weight = 1;
+    std::atomic<uint64_t> remaining{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> denied{0};
+    std::atomic<uint64_t> quota_rejected{0};
+  };
+
+  static Result<std::unique_ptr<ApiKeyAuth>> FromParsed(
+      std::vector<std::unique_ptr<Key>> keys);
+
+  /// unique_ptr elements: Key holds atomics (immovable) and the vector is
+  /// immutable after construction, so indexes are stable session state.
+  std::vector<std::unique_ptr<Key>> keys_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_SERVE_QOS_API_KEY_AUTH_H_

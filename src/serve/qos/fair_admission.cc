@@ -1,0 +1,84 @@
+#include "serve/qos/fair_admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sknn {
+
+FairAdmission::FairAdmission(std::size_t total,
+                             std::vector<PrincipalConfig> principals)
+    : total_(std::max<std::size_t>(1, total)) {
+  uint64_t total_weight = 0;
+  for (PrincipalConfig& config : principals) {
+    if (config.weight == 0) config.weight = 1;
+    if (config.rate > 0 && config.burst <= 0) config.burst = config.rate;
+    total_weight += config.weight;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  MutexLock lock(&mutex_);
+  principals_.reserve(principals.size());
+  for (PrincipalConfig& config : principals) {
+    Principal principal;
+    principal.share_limit = static_cast<uint32_t>(std::max<uint64_t>(
+        1, total_ * config.weight / std::max<uint64_t>(1, total_weight)));
+    principal.tokens = config.burst;
+    principal.last_refill = now;
+    principal.config = std::move(config);
+    principals_.push_back(std::move(principal));
+  }
+}
+
+Status FairAdmission::TryAdmit(std::size_t index) {
+  MutexLock lock(&mutex_);
+  Principal& principal = principals_.at(index);
+  if (principal.config.rate > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - principal.last_refill).count();
+    principal.last_refill = now;
+    principal.tokens = std::min(principal.config.burst,
+                                principal.tokens +
+                                    elapsed * principal.config.rate);
+    if (principal.tokens < 1.0) {
+      return Status::ResourceExhausted(
+          "FairAdmission: " + principal.config.name + " is over its rate of " +
+          std::to_string(principal.config.rate) + "/s; retry");
+    }
+    // Charged only once every other check passes — a rejection for a full
+    // share must not also burn a token.
+  }
+  if (principal.in_flight >= principal.share_limit) {
+    return Status::ResourceExhausted(
+        "FairAdmission: " + principal.config.name + " holds its fair share (" +
+        std::to_string(principal.share_limit) + " of " +
+        std::to_string(total_) + " slots); retry");
+  }
+  if (total_in_flight_ >= total_) {
+    return Status::ResourceExhausted(
+        "FairAdmission: " + std::to_string(total_) +
+        " queries in flight; retry");
+  }
+  if (principal.config.rate > 0) principal.tokens -= 1.0;
+  ++principal.in_flight;
+  ++total_in_flight_;
+  return Status::OK();
+}
+
+void FairAdmission::Release(std::size_t index) {
+  MutexLock lock(&mutex_);
+  Principal& principal = principals_.at(index);
+  if (principal.in_flight > 0) --principal.in_flight;
+  if (total_in_flight_ > 0) --total_in_flight_;
+}
+
+uint32_t FairAdmission::share_limit(std::size_t index) const {
+  MutexLock lock(&mutex_);
+  return principals_.at(index).share_limit;
+}
+
+uint64_t FairAdmission::in_flight(std::size_t index) const {
+  MutexLock lock(&mutex_);
+  return principals_.at(index).in_flight;
+}
+
+}  // namespace sknn

@@ -1,0 +1,90 @@
+// FairAdmission — weighted fair admission control for the serving front end
+// (protocol revision 6).
+//
+// PR 3's admission was one service-wide in-flight budget: first come,
+// first admitted, so one hot tenant could consume every slot and starve
+// its neighbors indefinitely. This replaces it with weighted fair shares
+// over a set of PRINCIPALS (the service instantiates one FairAdmission
+// over its tables and, when API-key auth is on, a second one over the
+// keys): principal i with weight w_i out of total weight W may hold at
+// most
+//
+//     share_limit_i = max(1, total * w_i / W)
+//
+// of the `total` in-flight slots. The max(1, ...) floor plus the shares
+// summing to at most `total` is the starvation-freedom argument: however
+// hard a heavy principal hammers the service, at least one slot per light
+// principal can never be taken from it — the property
+// bench/bench_serving.cc measures under a Zipf-skewed load and
+// tests/test_qos.cc asserts directly.
+//
+// Each principal optionally carries a token bucket (`rate` admissions per
+// second, `burst` capacity): a principal above its rate is rejected even
+// when slots are free, bounding sustained throughput rather than just
+// concurrency. Everything stays REJECT, NOT QUEUE — an admission that
+// does not fit fails immediately with the typed kResourceExhausted the
+// thin client's retry policy understands; nothing ever blocks here.
+#ifndef SKNN_SERVE_QOS_FAIR_ADMISSION_H_
+#define SKNN_SERVE_QOS_FAIR_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace sknn {
+
+class FairAdmission {
+ public:
+  struct PrincipalConfig {
+    /// Diagnostic name ("table alpha", "key tenant-a") for error messages.
+    std::string name;
+    /// Relative share of the in-flight budget; 0 is clamped to 1.
+    uint32_t weight = 1;
+    /// Sustained admissions per second; 0 = unlimited (no token bucket).
+    double rate = 0;
+    /// Token-bucket capacity; 0 with a nonzero rate defaults to the rate
+    /// (one second of headroom).
+    double burst = 0;
+  };
+
+  /// \brief `total` in-flight slots (0 clamped to 1) divided among
+  /// `principals` by weight. The principal set is fixed for the object's
+  /// lifetime — the serving table set is frozen at Start, and a keys file
+  /// is loaded once — which keeps admission a handful of integer checks.
+  FairAdmission(std::size_t total, std::vector<PrincipalConfig> principals);
+
+  /// \brief Admits one query for principal `index` or explains why not:
+  /// kResourceExhausted whether the service budget, the principal's fair
+  /// share, or its rate limit is what ran out (the message says which).
+  /// Every OK MUST be paired with a Release.
+  Status TryAdmit(std::size_t index);
+
+  void Release(std::size_t index);
+
+  std::size_t total() const { return total_; }
+  uint32_t share_limit(std::size_t index) const;
+  uint64_t in_flight(std::size_t index) const;
+
+ private:
+  struct Principal {
+    PrincipalConfig config;
+    uint32_t share_limit = 1;
+    uint64_t in_flight = 0;
+    double tokens = 0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  const std::size_t total_;
+  mutable Mutex mutex_;
+  std::vector<Principal> principals_ GUARDED_BY(mutex_);
+  std::size_t total_in_flight_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_SERVE_QOS_FAIR_ADMISSION_H_

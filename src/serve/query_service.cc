@@ -91,6 +91,40 @@ Status QueryService::Start(uint16_t port) {
   // From here the table SET is immutable (no new names); the tables
   // themselves stay hot-reloadable through kReloadTable/kDetachTable.
   registry_->Freeze();
+  // The frozen set is also the admission principal set: one weighted share
+  // per table (detached-but-revivable entries included), replacing the old
+  // first-come single budget. With one table of weight 1 this reproduces
+  // the pre-QoS behavior exactly: one share covering the whole budget.
+  {
+    std::vector<FairAdmission::PrincipalConfig> tables;
+    for (TableRegistry::Entry* entry : registry_->snapshot_all()) {
+      if (options_.cache_bytes > 0) {
+        entry->cache.set_budget(options_.cache_bytes,
+                                ResultCache::kDefaultMaxEntries);
+      }
+      table_principal_[entry] = tables.size();
+      FairAdmission::PrincipalConfig config;
+      config.name = "table '" + entry->name + "'";
+      config.weight = entry->qos_weight;
+      config.rate = entry->qos_rate;
+      config.burst = entry->qos_burst;
+      tables.push_back(std::move(config));
+    }
+    table_admission_ = std::make_unique<FairAdmission>(options_.max_in_flight,
+                                                       std::move(tables));
+  }
+  if (auth_ != nullptr) {
+    std::vector<FairAdmission::PrincipalConfig> keys;
+    keys.reserve(auth_->size());
+    for (std::size_t i = 0; i < auth_->size(); ++i) {
+      FairAdmission::PrincipalConfig config;
+      config.name = "key '" + auth_->id(i) + "'";
+      config.weight = auth_->weight(i);
+      keys.push_back(std::move(config));
+    }
+    key_admission_ = std::make_unique<FairAdmission>(options_.max_in_flight,
+                                                     std::move(keys));
+  }
   SKNN_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Bind(port));
   port_ = listener.port();
   listener_.emplace(std::move(listener));
@@ -163,7 +197,35 @@ ServiceStatsReply QueryService::ServiceStatsSnapshot() const {
       table.c2_pool_stock = pool.c2_stock;
       table.c2_pool_capacity = pool.c2_capacity;
     }
+    // QoS surface (revision 6): admission share and result-cache counters.
+    table.weight = entry->qos_weight;
+    if (table_admission_ != nullptr) {
+      if (auto it = table_principal_.find(entry);
+          it != table_principal_.end()) {
+        table.share_limit = table_admission_->share_limit(it->second);
+      }
+    }
+    const ResultCache::Stats cache = entry->cache.stats();
+    table.cache_hits = cache.hits;
+    table.cache_misses = cache.misses;
+    table.cache_evictions = cache.evictions;
+    table.cache_entries = cache.entries;
+    table.cache_bytes = cache.bytes;
     reply.tables.push_back(std::move(table));
+  }
+  reply.auth_enabled = auth_ != nullptr;
+  if (auth_ != nullptr) {
+    for (ApiKeyAuth::KeyStats& key : auth_->Snapshot()) {
+      ApiKeyStatsEntry entry;
+      entry.id = std::move(key.id);
+      entry.completed = key.completed;
+      entry.denied = key.denied;
+      entry.quota_rejected = key.quota_rejected;
+      entry.quota = key.quota;
+      entry.remaining = key.remaining;
+      entry.weight = key.weight;
+      reply.keys.push_back(std::move(entry));
+    }
   }
   return reply;
 }
@@ -198,6 +260,10 @@ HealthReply QueryService::HealthSnapshot() const {
 void QueryService::set_table_loader(TableLoader loader) {
   MutexLock lock(&loader_mutex_);
   table_loader_ = std::move(loader);
+}
+
+void QueryService::set_api_key_auth(std::unique_ptr<ApiKeyAuth> auth) {
+  auth_ = std::move(auth);
 }
 
 void QueryService::BroadcastTableChanged(const TableChangedNote& note) {
@@ -341,12 +407,35 @@ Message QueryService::HandleHello(SessionState& session,
   return EncodeHelloAck(ack);
 }
 
-Message QueryService::HandleQuery(QueryRequest decoded) {
+Message QueryService::HandleAuthenticate(SessionState& session,
+                                         const Message& request) {
+  Result<std::string> key = DecodeAuthenticateRequest(request);
+  if (!key.ok()) return Reject(key.status(), &Stats::queries_failed);
+  if (auth_ == nullptr) {
+    // No key registry: ack as a no-op (empty key id), so one client
+    // configuration works against both an open and an auth-enabled server.
+    return EncodeAuthAck("");
+  }
+  Result<std::size_t> index = auth_->Authenticate(*key);
+  if (!index.ok()) return Reject(index.status(), &Stats::auth_rejected);
+  session.key_index.store(static_cast<int64_t>(*index),
+                          std::memory_order_release);
+  return EncodeAuthAck(auth_->id(*index));
+}
+
+Message QueryService::HandleQuery(SessionState& session,
+                                  QueryRequest decoded) {
   Result<TableRegistry::Entry*> table = registry_->Resolve(decoded.table);
   if (!table.ok()) {
     return Reject(table.status(), &Stats::queries_failed);
   }
   TableRegistry::Entry& entry = **table;
+  // Pin the cache generation BEFORE the engine: ReplaceEngine swaps the
+  // engine first and invalidates the cache second, so a query that read the
+  // OLD engine necessarily also read a pre-invalidation generation and its
+  // Insert below is refused — a reload racing this query can never plant a
+  // stale cache entry (serve/qos/result_cache.h).
+  const uint64_t cache_generation = entry.cache.generation();
   // Pin the engine for the whole query: a concurrent kReloadTable swaps the
   // entry to a new engine, but this query finishes on the one it resolved —
   // the old engine cannot destruct while this shared_ptr lives.
@@ -362,30 +451,117 @@ Message QueryService::HandleQuery(QueryRequest decoded) {
     entry.counters.failed.fetch_add(1);
     return Reject(valid, &Stats::queries_failed);
   }
-  std::size_t cur = in_flight_.load();
-  do {
-    if (cur >= options_.max_in_flight) {
-      entry.counters.rejected.fetch_add(1);
-      return Reject(
-          Status::ResourceExhausted(
-              "QueryService: " + std::to_string(options_.max_in_flight) +
-              " queries in flight; retry"),
-          &Stats::queries_rejected);
+  const int64_t key_index = session.key_index.load(std::memory_order_acquire);
+  const bool keyed = auth_ != nullptr && key_index >= 0;
+  const std::size_t key = keyed ? static_cast<std::size_t>(key_index) : 0;
+
+  const bool cacheable = entry.cache.enabled();
+  ResultCache::Key cache_key{};
+  if (cacheable) {
+    cache_key = ResultCache::Fingerprint(entry.name, decoded);
+    if (!decoded.no_cache) {
+      if (std::optional<ResultCache::CachedResult> hit =
+              entry.cache.Lookup(cache_key)) {
+        // A hit is a served query: it is charged against the key's quota
+        // but bypasses admission — it costs a few rerandomization modexps,
+        // not a protocol run, so it must not occupy a protocol slot.
+        if (keyed) {
+          if (Status charged = auth_->ChargeQuery(key); !charged.ok()) {
+            entry.counters.rejected.fetch_add(1);
+            return Reject(charged, &Stats::queries_rejected);
+          }
+          auth_->NoteCompleted(key);
+        }
+        // The stored response rides out whole — records AND the populating
+        // run's instrumentation (shard stats, breakdown), flagged by
+        // cache_hit so a reader knows these numbers are that run's, not
+        // this round trip's.
+        QueryResponse response = std::move(hit->response);
+        response.cache_hit = true;
+        // Fresh randomness on every hit: the wire ciphertexts of two hits
+        // on the same entry share no bytes, while decrypting identically.
+        const std::vector<Ciphertext> refreshed =
+            engine->public_key().RerandomizeMany(hit->encrypted);
+        response.encrypted_records.reserve(refreshed.size());
+        for (const Ciphertext& ct : refreshed) {
+          response.encrypted_records.push_back(ct.value().ToBytes());
+        }
+        entry.counters.completed.fetch_add(1);
+        MutexLock lock(&mutex_);
+        ++stats_.queries_completed;
+        return EncodeQueryResponse(response);
+      }
     }
-  } while (!in_flight_.compare_exchange_weak(cur, cur + 1));
+  }
+
+  // Quota first (cheapest check that can refuse), then the table's fair
+  // share, then the key's. Later rejections refund earlier charges — a
+  // refused query must consume neither quota nor slots.
+  if (keyed) {
+    if (Status charged = auth_->ChargeQuery(key); !charged.ok()) {
+      entry.counters.rejected.fetch_add(1);
+      return Reject(charged, &Stats::queries_rejected);
+    }
+  }
+  const std::size_t table_principal = table_principal_.at(&entry);
+  if (Status admitted = table_admission_->TryAdmit(table_principal);
+      !admitted.ok()) {
+    if (keyed) {
+      auth_->RefundQuery(key);
+      auth_->NoteDenied(key);
+    }
+    entry.counters.rejected.fetch_add(1);
+    return Reject(admitted, &Stats::queries_rejected);
+  }
+  if (keyed) {
+    if (Status admitted = key_admission_->TryAdmit(key); !admitted.ok()) {
+      table_admission_->Release(table_principal);
+      auth_->RefundQuery(key);
+      auth_->NoteDenied(key);
+      entry.counters.rejected.fetch_add(1);
+      return Reject(admitted, &Stats::queries_rejected);
+    }
+  }
+  in_flight_.fetch_add(1);
   entry.counters.in_flight.fetch_add(1);
 
   Result<QueryResponse> response = engine->Submit(std::move(decoded)).get();
   entry.counters.in_flight.fetch_sub(1);
   in_flight_.fetch_sub(1);
+  table_admission_->Release(table_principal);
+  if (keyed) key_admission_->Release(key);
   if (!response.ok()) {
+    // Server-side failure (the request validated): not the tenant's spend.
+    if (keyed) auth_->RefundQuery(key);
     entry.counters.failed.fetch_add(1);
     return Reject(response.status(), &Stats::queries_failed);
   }
+  if (keyed) auth_->NoteCompleted(key);
   entry.counters.completed.fetch_add(1);
   {
     MutexLock lock(&mutex_);
     ++stats_.queries_completed;
+  }
+  if (cacheable) {
+    // Encrypt the result attributes under the TABLE's public key: the
+    // ciphertexts ride the response (so a key-holding client can verify
+    // them) and seed the cache entry future hits rerandomize from. Insert
+    // is generation-checked — see the pin at the top.
+    std::vector<BigInt> plain;
+    plain.reserve(response->records.size() *
+                  (response->records.empty() ? 0
+                                             : response->records[0].size()));
+    for (const PlainRecord& record : response->records) {
+      for (int64_t attr : record) plain.emplace_back(attr);
+    }
+    ResultCache::CachedResult cached;
+    cached.encrypted = engine->public_key().EncryptMany(plain);
+    cached.response = *response;  // stored WITHOUT the ciphertext tail
+    response->encrypted_records.reserve(cached.encrypted.size());
+    for (const Ciphertext& ct : cached.encrypted) {
+      response->encrypted_records.push_back(ct.value().ToBytes());
+    }
+    entry.cache.Insert(cache_key, std::move(cached), cache_generation);
   }
   return EncodeQueryResponse(*response);
 }
@@ -438,9 +614,23 @@ Result<Message> QueryService::HandleFrame(SessionState& session,
             ") before any other frame"),
         &Stats::hello_rejected);
   }
+  // Only the DATA path is credential-gated: operators may introspect an
+  // auth-enabled instance (stats, health, table listing) without a key,
+  // and the admin mutations were already host-trust operations.
+  if (request.type == FrontendOpCode(FrontendOp::kQuery) &&
+      auth_ != nullptr &&
+      session.key_index.load(std::memory_order_acquire) < 0) {
+    return Reject(
+        Status::PermissionDenied(
+            "QueryService: this server requires an API key — send "
+            "kAuthenticate after the hello (client flag --api-key)"),
+        &Stats::auth_rejected);
+  }
   switch (static_cast<FrontendOp>(request.type)) {
     case FrontendOp::kQuery:
-      return HandleQuery(std::move(*decoded));
+      return HandleQuery(session, std::move(*decoded));
+    case FrontendOp::kAuthenticate:
+      return HandleAuthenticate(session, request);
     case FrontendOp::kListTables:
       return EncodeTableList(registry_->names());
     case FrontendOp::kTableInfo:

@@ -35,6 +35,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
@@ -43,6 +44,8 @@
 #include "net/query_wire.h"
 #include "net/rpc.h"
 #include "net/socket.h"
+#include "serve/qos/api_key_auth.h"
+#include "serve/qos/fair_admission.h"
 #include "serve/table_registry.h"
 
 namespace sknn {
@@ -60,6 +63,14 @@ class QueryService {
     /// connection are answered one at a time; clients that pipeline many
     /// concurrent calls over a single connection need more).
     std::size_t connection_workers = 1;
+    /// Result-cache byte budget applied to EVERY table at Start (appended
+    /// field, aggregate-init order). 0 — the default — leaves each table's
+    /// own budget alone, which for an unconfigured entry means DISABLED:
+    /// an un-opted-in service runs every query through the full protocol,
+    /// exactly like before revision 6. tools/sknn_c1_server instead
+    /// configures budgets per table from the spec's cache= key and leaves
+    /// this 0.
+    std::size_t cache_bytes = 0;
   };
 
   struct Stats {
@@ -68,6 +79,7 @@ class QueryService {
     uint64_t queries_failed = 0;    // engine/validation/decode errors
     uint64_t queries_rejected = 0;  // backpressure (kResourceExhausted)
     uint64_t hello_rejected = 0;    // version mismatch / missing hello
+    uint64_t auth_rejected = 0;     // bad key / query without kAuthenticate
   };
 
   /// \brief The multi-table front end: serves every table registered in
@@ -134,6 +146,12 @@ class QueryService {
       const std::string& name, const std::string& spec)>;
   void set_table_loader(TableLoader loader);
 
+  /// \brief Enables API-key authentication (serve/qos/api_key_auth.h):
+  /// every session must kAuthenticate with a registered key before its
+  /// kQuery frames are served; the control plane stays open. Must be
+  /// called before Start; null keeps the service open (the default).
+  void set_api_key_auth(std::unique_ptr<ApiKeyAuth> auth);
+
   /// \brief Connections whose client has not yet disconnected. A graceful
   /// drain (tools/sknn_c1_server --queries) waits for this to reach zero
   /// before Shutdown: queries_completed is counted when the handler
@@ -147,12 +165,16 @@ class QueryService {
   /// not admit its neighbors.
   struct SessionState {
     std::atomic<bool> hello_done{false};
+    /// Index into the ApiKeyAuth registry once this session authenticated;
+    /// -1 before (and forever, on an auth-less server).
+    std::atomic<int64_t> key_index{-1};
   };
 
   void AcceptLoop();
   Result<Message> HandleFrame(SessionState& session, const Message& request);
   Message HandleHello(SessionState& session, const Message& request);
-  Message HandleQuery(QueryRequest request);
+  Message HandleAuthenticate(SessionState& session, const Message& request);
+  Message HandleQuery(SessionState& session, QueryRequest request);
   Message HandleTableInfo(const Message& request);
   Message HandleReloadTable(const Message& request);
   Message HandleDetachTable(const Message& request);
@@ -172,6 +194,18 @@ class QueryService {
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> in_flight_{0};
+  /// Weighted fair admission over the tables (serve/qos/fair_admission.h),
+  /// built by Start from the frozen table set's QoS knobs; replaces the
+  /// old single CAS-loop budget. Read-only pointer after Start.
+  std::unique_ptr<FairAdmission> table_admission_;
+  /// Entry* -> principal index in table_admission_, fixed at Start.
+  std::unordered_map<const TableRegistry::Entry*, std::size_t>
+      table_principal_;
+  /// Per-key fair admission, present only when auth is enabled: a session's
+  /// key bounds its slots by the key file's weights, so tenants sharing a
+  /// table still get weighted fair service.
+  std::unique_ptr<FairAdmission> key_admission_;
+  std::unique_ptr<ApiKeyAuth> auth_;
   mutable Mutex mutex_;  // guards sessions_ and stats_
   std::vector<std::unique_ptr<RpcServer>> sessions_ GUARDED_BY(mutex_);
   Stats stats_ GUARDED_BY(mutex_);

@@ -72,6 +72,17 @@ std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy, int attempt,
   return std::chrono::milliseconds(static_cast<int64_t>(slept));
 }
 
+bool RetryableStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
 RemoteQueryClient::RemoteQueryClient(std::unique_ptr<Endpoint> link) {
   // A null link means "no connection yet" — the endpoint-list Connect path,
   // which fills endpoints_ and lets EnsureLink dial.
@@ -113,6 +124,7 @@ void RemoteQueryClient::Close() {
     closed_ = true;
     rpc = std::move(rpc_);
     hello_done_ = false;
+    auth_done_ = false;
   }
   if (rpc != nullptr) rpc->Shutdown();
 }
@@ -198,7 +210,41 @@ Result<std::shared_ptr<RpcClient>> RemoteQueryClient::EnsureLink() {
     SKNN_ASSIGN_OR_RETURN(server_hello_, DecodeHelloAck(*reply));
     hello_done_ = true;
   }
+  if (!api_key_.empty() && !auth_done_) {
+    // The credential is re-presented after EVERY fresh hello — a failover
+    // landed this session on a front end that has never seen it.
+    Result<Message> reply =
+        rpc_->Call(EncodeAuthenticateRequest(api_key_), kHelloTimeout);
+    if (!reply.ok()) {
+      rpc_->Shutdown();
+      rpc_ = nullptr;
+      hello_done_ = false;
+      ++endpoint_idx_;
+      return reply.status();
+    }
+    if (reply->type == FrontendOpCode(FrontendOp::kQueryError)) {
+      // Typed rejection (kPermissionDenied): the KEY is wrong, and every
+      // equivalent front end will say the same — surface it, don't rotate.
+      return DecodeQueryError(*reply);
+    }
+    SKNN_ASSIGN_OR_RETURN(key_id_, DecodeAuthAck(*reply));
+    auth_done_ = true;
+  }
   return rpc_;
+}
+
+void RemoteQueryClient::set_api_key(std::string key) {
+  MutexLock lock(&mutex_);
+  api_key_ = std::move(key);
+  // Force a (re)presentation on the next call even if the session already
+  // helloed without a key.
+  auth_done_ = false;
+}
+
+Result<std::string> RemoteQueryClient::AuthenticatedKeyId() {
+  SKNN_RETURN_NOT_OK(EnsureLink().status());
+  MutexLock lock(&mutex_);
+  return key_id_;
 }
 
 void RemoteQueryClient::DropLink(const std::shared_ptr<RpcClient>& failed) {
@@ -206,6 +252,7 @@ void RemoteQueryClient::DropLink(const std::shared_ptr<RpcClient>& failed) {
   if (rpc_ != failed) return;  // another thread already failed over
   rpc_ = nullptr;
   hello_done_ = false;
+  auth_done_ = false;
   ++endpoint_idx_;
 }
 
@@ -216,6 +263,7 @@ void RemoteQueryClient::RotateEndpoint() {
     if (endpoints_.size() < 2) return;
     dropped = std::move(rpc_);
     hello_done_ = false;
+    auth_done_ = false;
     ++endpoint_idx_;
   }
   if (dropped != nullptr) dropped->Shutdown();
@@ -289,10 +337,13 @@ Result<QueryResponse> RemoteQueryClient::QueryWithRetry(
     response = Query(request);
     if (response.ok()) return response;
     const StatusCode code = response.status().code();
-    const bool worker_loss = code == StatusCode::kUnavailable ||
-                             code == StatusCode::kDeadlineExceeded;
-    const bool retryable = code == StatusCode::kResourceExhausted ||
-                           (retry_unavailable && worker_loss);
+    // Fail fast on everything a retry cannot fix — kInvalidArgument,
+    // kNotFound, kPermissionDenied and friends reproduce verbatim on every
+    // re-send, so burning attempts (and sleeps) on them only delays the
+    // caller's real answer. RetryableStatusCode is the single matrix.
+    if (!RetryableStatusCode(code)) return response;
+    const bool worker_loss = code != StatusCode::kResourceExhausted;
+    const bool retryable = !worker_loss || retry_unavailable;
     if (!retryable || attempt >= attempts) return response;
     if (worker_loss && multi_endpoint) {
       // The front end (or its worker fleet) failed this query — try the

@@ -91,6 +91,15 @@ struct RetryPolicy {
 std::chrono::milliseconds RetryBackoff(const RetryPolicy& policy, int attempt,
                                        double uniform01);
 
+/// \brief The retry matrix in one place: true exactly for the codes where a
+/// retry can help — kResourceExhausted (admission or quota pressure clears),
+/// kUnavailable (a dead peer may recover), kDeadlineExceeded (a slow peer
+/// may answer in time elsewhere). Everything else — kInvalidArgument,
+/// kNotFound, kPermissionDenied, protocol/crypto errors — is a property of
+/// the REQUEST or the CREDENTIAL, and re-sending it verbatim reproduces the
+/// failure; QueryWithRetry fails those fast on the first answer.
+bool RetryableStatusCode(StatusCode code);
+
 class RemoteQueryClient {
  public:
   /// \brief Connects to a QueryService at host:port. The hello handshake
@@ -114,6 +123,18 @@ class RemoteQueryClient {
   /// automatically after a failover). Every other method calls this
   /// implicitly first.
   Result<HelloInfo> Hello();
+
+  /// \brief Arms API-key authentication: the raw key rides a kAuthenticate
+  /// frame right after every hello — including the re-hello after a
+  /// failover, so a rotated session is re-authenticated transparently.
+  /// Against an auth-less server the frame is acked as a no-op. Call
+  /// before the first query; a bad key surfaces as kPermissionDenied from
+  /// whichever call triggered the handshake.
+  void set_api_key(std::string key);
+
+  /// \brief Forces the handshake (hello + authenticate) and returns the
+  /// key id the server acked — "" on an open server or when no key is set.
+  Result<std::string> AuthenticatedKeyId();
 
   /// \brief One query, one round trip (after the implicit hello).
   /// request.table targets one of a multi-table front end's tables
@@ -191,6 +212,11 @@ class RemoteQueryClient {
   std::shared_ptr<RpcClient> rpc_ GUARDED_BY(mutex_);
   bool hello_done_ GUARDED_BY(mutex_) = false;
   HelloInfo server_hello_ GUARDED_BY(mutex_);
+  /// Raw API key to present after every hello; "" = none configured.
+  std::string api_key_ GUARDED_BY(mutex_);
+  bool auth_done_ GUARDED_BY(mutex_) = false;
+  /// The key id the server acked for this session.
+  std::string key_id_ GUARDED_BY(mutex_);
   /// Next endpoints_ slot to dial (mod size); advanced on every drop.
   std::size_t endpoint_idx_ GUARDED_BY(mutex_) = 0;
   bool closed_ GUARDED_BY(mutex_) = false;

@@ -97,6 +97,11 @@ Status TableRegistry::ReplaceEngine(const std::string& name,
     if (!spec.empty()) entry->spec_value = spec;
   }
   entry->detached_flag.store(false, std::memory_order_release);
+  // Invalidate AFTER the swap: a query that pinned the cache generation
+  // before resolving the OLD engine now fails its generation check on
+  // Insert, so the reload can never be raced into a stale cache entry
+  // (serve/qos/result_cache.h spells out the ordering argument).
+  entry->cache.Invalidate();
   // `replaced` drops here — the old engine destructs NOW if no query holds
   // it, or when the last in-flight query completes (drain-by-shared_ptr).
   return Status::OK();
@@ -113,6 +118,7 @@ Status TableRegistry::Detach(const std::string& name) {
     MutexLock lock(&entry->mutex);
     replaced = std::move(entry->current);
   }
+  entry->cache.Invalidate();
   return Status::OK();
 }
 
@@ -183,6 +189,14 @@ std::vector<TableRegistry::Entry*> TableRegistry::snapshot() const {
   for (const auto& entry : entries_) {
     if (!entry->detached()) out.push_back(entry.get());
   }
+  return out;
+}
+
+std::vector<TableRegistry::Entry*> TableRegistry::snapshot_all() const {
+  MutexLock lock(&mutex_);
+  std::vector<Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.get());
   return out;
 }
 

@@ -36,6 +36,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/engine.h"
+#include "serve/qos/result_cache.h"
 
 namespace sknn {
 
@@ -78,6 +79,18 @@ class TableRegistry {
     std::shared_ptr<SknnEngine> current GUARDED_BY(mutex);
     std::string spec_value GUARDED_BY(mutex);
     std::atomic<bool> detached_flag{false};
+
+    /// This table's response cache (serve/qos/result_cache.h), invalidated
+    /// by ReplaceEngine and Detach so no entry ever outlives the engine
+    /// build it was computed against. Budget 0 disables it.
+    ResultCache cache;
+    /// QoS knobs (serve/qos/fair_admission.h), parsed from the table spec's
+    /// weight=/rate=/burst= keys by tools/sknn_c1_server. Written only
+    /// before QueryService::Start freezes the table set; read-only under
+    /// traffic, so plain members suffice.
+    uint32_t qos_weight = 1;
+    double qos_rate = 0;
+    double qos_burst = 0;
   };
 
   TableRegistry() = default;
@@ -136,6 +149,12 @@ class TableRegistry {
   /// lifetime; the snapshot itself is the caller's copy (handing out a
   /// reference to the guarded vector would escape the lock).
   std::vector<Entry*> snapshot() const;
+
+  /// \brief Every entry INCLUDING detached ones, registration order — how
+  /// QueryService::Start enumerates QoS principals: a table detached before
+  /// serving starts can be revived by kReloadTable later and must already
+  /// own an admission share when it is.
+  std::vector<Entry*> snapshot_all() const;
 
  private:
   Status RegisterEntry(const std::string& name,

@@ -276,6 +276,87 @@ TEST(HotReloadTest, InFlightQueryDrainsOnTheOldEngine) {
   EXPECT_EQ(after->records, topology.Reference("v2", slow_request));
 }
 
+TEST(HotReloadTest, ReloadAndDetachInvalidateTheResultCache) {
+  // Revision 6: a reload (or detach) must clear the table's result cache —
+  // a hit computed against the old build answering for the new one is the
+  // one bug the cache must never have.
+  ReloadTopology topology;
+  TableRegistry::Entry* entry = topology.registry().Find("alpha");
+  entry->cache.set_budget(ResultCache::kDefaultMaxBytes,
+                          ResultCache::kDefaultMaxEntries);
+  auto client = topology.NewClient();
+  const QueryRequest request = MakeRequest("alpha", {3, 0}, 2);
+
+  auto miss = client->Query(request);
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->cache_hit);
+  auto hit = client->Query(request);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->records, topology.Reference("v1", request));
+
+  // The reload empties the cache: the next query is a MISS answering v2.
+  ASSERT_TRUE(client->ReloadTable("alpha", "v2").ok());
+  auto after = client->Query(request);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_EQ(after->records, topology.Reference("v2", request));
+  // ...and v2 hits serve v2.
+  auto v2_hit = client->Query(request);
+  ASSERT_TRUE(v2_hit.ok()) << v2_hit.status();
+  EXPECT_TRUE(v2_hit->cache_hit);
+  EXPECT_EQ(v2_hit->records, after->records);
+
+  // Detach invalidates too: after the revival (empty spec = the recorded
+  // "v2"), the first query is a fresh miss.
+  ASSERT_TRUE(client->DetachTable("alpha").ok());
+  ASSERT_TRUE(client->ReloadTable("alpha").ok());
+  auto revived = client->Query(request);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_FALSE(revived->cache_hit);
+  EXPECT_EQ(revived->records, topology.Reference("v2", request));
+}
+
+TEST(HotReloadTest, ReloadRacingAnInFlightCachedQueryNeverServesStale) {
+  // The ordering argument of serve/qos/result_cache.h, end to end: a query
+  // pins the cache generation BEFORE resolving its engine; ReplaceEngine
+  // swaps the engine BEFORE invalidating. A slow query in flight across the
+  // swap therefore either ran on v2 (fine to cache) or ran on v1 with a
+  // stale generation (its insert is refused) — so the first post-reload
+  // query can never be served a v1 answer out of the cache.
+  ReloadTopology topology;
+  topology.registry().Find("alpha")->cache.set_budget(
+      ResultCache::kDefaultMaxBytes, ResultCache::kDefaultMaxEntries);
+  const QueryRequest request =
+      MakeRequest("alpha", {2, 0}, 3, QueryProtocol::kSecure);
+  const PlainTable v1 = topology.Reference("v1", request);
+  const PlainTable v2 = topology.Reference("v2", request);
+  ASSERT_NE(v1, v2);
+
+  auto runner = topology.NewClient();
+  ASSERT_TRUE(runner->Hello().ok());
+  // A slow secure query launched just before the reload: whichever side of
+  // the swap it resolves is timing, and either answer is legal FOR IT...
+  std::thread querier([&] {
+    auto response = runner->Query(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->records == v1 || response->records == v2);
+  });
+  auto admin = topology.NewClient();
+  ASSERT_TRUE(admin->ReloadTable("alpha", "v2").ok());
+  querier.join();
+
+  // ...but whatever it answered, every post-reload query MUST say v2: had
+  // the drained v1 run planted its result past the invalidation, this
+  // lookup would hit a stale entry and say v1.
+  for (int i = 0; i < 3; ++i) {
+    auto after = runner->Query(request);
+    ASSERT_TRUE(after.ok()) << after.status();
+    EXPECT_EQ(after->records, v2) << "stale cache hit after reload, query "
+                                  << i;
+  }
+}
+
 TEST(HotReloadTest, ReloadFailureModesAreTypedAndNonDestructive) {
   ReloadTopology topology;
   auto client = topology.NewClient();

@@ -15,7 +15,10 @@
 //    is undefined behavior on a std::thread);
 //  * TcpListener::Close against a blocked Accept (regression: the listening
 //    fd was a plain int written by Close while Accept read it);
-//  * RandomizerPool::set_enabled toggled against Take and the fill threads.
+//  * RandomizerPool::set_enabled toggled against Take and the fill threads;
+//  * the revision-6 result cache churned by concurrent hits, misses,
+//    no_cache bypasses, LRU evictions and hot-reload-style invalidation
+//    while the stats plane reads its counters.
 //
 // The suite is part of the regular ctest run (it must also PASS functionally)
 // and is the workload of the tsan CI job, where the whole binary runs under
@@ -35,9 +38,11 @@
 #include "net/shard_wire.h"
 #include "net/socket.h"
 #include "proto/c2_service.h"
+#include "serve/qos/result_cache.h"
 #include "serve/query_service.h"
 #include "serve/remote_query_client.h"
 #include "serve/shard_worker.h"
+#include "serve/table_registry.h"
 #include "tests/query_test_util.h"
 
 namespace sknn {
@@ -487,6 +492,94 @@ TEST(TsanStress, ReplicaChurnUnderLoad) {
   EXPECT_EQ(stats.queries_failed, 0u);
   auto statuses = (*engine)->shard_coordinator()->ReplicaStatuses();
   ASSERT_EQ(statuses.size(), 4u);
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// 7. Result cache under fire (revision 6): clients mixing hits, misses and
+//    no_cache bypasses against a 2-entry cache (so LRU eviction churns the
+//    whole run), while an invalidator thread replays the hot-reload
+//    invalidation path and a stats poller snapshots the cache counters over
+//    the wire. Every answer must still be CORRECT — a torn entry or a
+//    generation race would surface as a wrong record set, not just a report.
+
+TEST(TsanStress, ResultCacheHitsEvictionsAndInvalidationRace) {
+  PlainTable table = GenerateUniformTable(8, 2, kMaxValue, 9401);
+  std::unique_ptr<SknnEngine> engine = MakeLocalEngine(table);
+  TableRegistry registry;
+  ASSERT_TRUE(registry.Register("t", engine.get()).ok());
+  TableRegistry::Entry* entry = registry.Find("t");
+  ASSERT_NE(entry, nullptr);
+  // Two slots for three distinct queries: every insert past warmup evicts,
+  // so Lookup/Insert/unlink-relink on the LRU list stay contended.
+  entry->cache.set_budget(ResultCache::kDefaultMaxBytes, /*max_entries=*/2);
+
+  QueryService service(&registry, QueryService::Options{});
+  ASSERT_TRUE(service.Start(0).ok());
+
+  constexpr int kDistinctQueries = 3;
+  std::vector<QueryRequest> requests;
+  std::vector<PlainTable> expected;
+  for (int i = 0; i < kDistinctQueries; ++i) {
+    QueryRequest request = MakeRequest({i, i % 2}, 2);
+    request.table = "t";
+    auto reference = engine->Query(request);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    requests.push_back(std::move(request));
+    expected.push_back(reference->records);
+  }
+
+  std::atomic<bool> done{false};
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+      ASSERT_TRUE(client.ok()) << client.status();
+      for (int q = 0; q < 6; ++q) {
+        QueryRequest request = requests[(t + q) % kDistinctQueries];
+        // Every third query bypasses the cache: the miss path (full
+        // protocol run + insert) keeps racing the hit path instead of the
+        // cache going warm and quiet.
+        request.no_cache = (q % 3 == 0);
+        auto response =
+            (*client)->QueryWithRetry(request, PatientRetry());
+        ASSERT_TRUE(response.ok()) << response.status();
+        EXPECT_EQ(response->records, expected[(t + q) % kDistinctQueries]);
+        if (request.no_cache) EXPECT_FALSE(response->cache_hit);
+      }
+    });
+  }
+  // The invalidator replays what ReplaceEngine/Detach do under hot reload:
+  // bump the generation, drop every entry — racing in-flight inserts whose
+  // pinned generation just went stale.
+  std::thread invalidator([&] {
+    while (!done.load()) {
+      entry->cache.Invalidate();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // And the control plane reads the counters the data plane is writing.
+  std::thread poller([&] {
+    auto client = RemoteQueryClient::Connect("127.0.0.1", service.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    while (!done.load()) {
+      auto stats = (*client)->ServiceStats();
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      ASSERT_EQ(stats->tables.size(), 1u);
+      EXPECT_LE(stats->tables[0].cache_entries, 2u);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& t : clients) t.join();
+  done.store(true);
+  invalidator.join();
+  poller.join();
+
+  const ResultCache::Stats cache = entry->cache.stats();
+  // Every query either hit, missed, or bypassed — and nothing failed.
+  EXPECT_GT(cache.misses, 0u);
+  EXPECT_EQ(service.stats().queries_failed, 0u);
   service.Shutdown();
 }
 

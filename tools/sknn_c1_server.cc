@@ -15,6 +15,8 @@
 //                          [,c2-host=<ip>][,c2-port=<p>]
 //                          [,shards=<s>][,scheme=contiguous|roundrobin]
 //                          [,clusters=<file>]
+//                          [,weight=<w>][,rate=<qps>][,burst=<b>]
+//                          [,cache=<bytes>]
 // where public/c2-host/c2-port default to the global flags — so tables MAY
 // have entirely different Paillier keys, each pointing at the C2 server
 // holding its own secret key, or share one key and one C2. A manifest
@@ -34,6 +36,15 @@
 // clients hello, then name the table per query; sknn_admin lists tables,
 // geometry and per-table admission counters over the same port.
 //
+// QoS (protocol revision 6, docs/DEPLOY.md "multi-tenant operations"):
+// weight= sets the table's share of the --max-in-flight budget under
+// contention (weighted fair admission; default 1), rate=/burst= arm a
+// token-bucket QPS limit (default off), and cache= bounds the table's
+// rerandomized result cache in bytes — the tool defaults it ON at
+// ResultCache::kDefaultMaxBytes; cache=0 disables it. --api-keys <file>
+// enables per-user authentication and quotas: each line of the file is
+// id:sha256(key):quota:weight, sessions must kAuthenticate before kQuery.
+//
 // --queries N exits after N queries have been answered (scripted smoke
 // runs); the default serves until SIGINT/SIGTERM, either of which unbinds,
 // drains in-flight queries and exits 0 (clean teardown for supervisors and
@@ -52,6 +63,8 @@
 #include "core/sharding.h"
 #include "crypto/serialization.h"
 #include "net/socket.h"
+#include "serve/qos/api_key_auth.h"
+#include "serve/qos/result_cache.h"
 #include "serve/query_service.h"
 #include "serve/table_registry.h"
 #include "tools/tool_util.h"
@@ -76,7 +89,24 @@ struct TableSpec {
   // index are replicas. '|'-separated in the spec string (the item
   // separator is ',').
   std::vector<std::string> worker_addrs;
+  // QoS knobs (serve/qos/): fair-admission weight, token-bucket rate/burst
+  // (0 = unlimited), and the result-cache byte budget — the TOOL's default
+  // is cache ON, so operators opt OUT with cache=0 (the library default is
+  // off so unconfigured embedders keep the pre-revision-6 behavior).
+  uint32_t weight = 1;
+  double rate = 0;
+  double burst = 0;
+  std::size_t cache_bytes = ResultCache::kDefaultMaxBytes;
 };
+
+// Strict whole-string non-negative double parse (rate=/burst= values);
+// std::from_chars so a malformed spec is a Status, never an exception.
+bool ParseSpecDouble(const std::string& value, double* out) {
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end && *out >= 0;
+}
 
 // "<name>=<db>[,key=value...]" -> TableSpec. The same grammar serves both
 // the --table flag and the recorded rebuild spec behind kReloadTable, so
@@ -130,6 +160,30 @@ Result<TableSpec> TryParseTableSpec(const std::string& text) {
       auto scheme = ParseShardScheme(value);
       if (!scheme.ok()) return malformed("bad scheme '" + value + "'");
       spec.scheme = *scheme;
+    } else if (key == "weight") {
+      uint32_t parsed = 0;
+      const char* begin = value.data();
+      const char* end = begin + value.size();
+      auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc() || ptr != end || parsed == 0) {
+        return malformed("bad weight '" + value + "' (want >= 1)");
+      }
+      spec.weight = parsed;
+    } else if (key == "rate" || key == "burst") {
+      double parsed = 0;
+      if (!ParseSpecDouble(value, &parsed)) {
+        return malformed("bad " + key + " '" + value + "'");
+      }
+      (key == "rate" ? spec.rate : spec.burst) = parsed;
+    } else if (key == "cache") {
+      std::size_t parsed = 0;
+      const char* begin = value.data();
+      const char* end = begin + value.size();
+      auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc() || ptr != end) {
+        return malformed("bad cache '" + value + "' (bytes; 0 disables)");
+      }
+      spec.cache_bytes = parsed;
     } else if (key == "workers") {
       std::stringstream ws(value);
       std::string addr;
@@ -173,6 +227,14 @@ std::string FormatTableSpec(const TableSpec& spec) {
   out += ",c2-port=" + std::to_string(spec.c2_port);
   out += ",shards=" + std::to_string(spec.shards);
   out += ",scheme=" + std::string(ShardSchemeName(spec.scheme));
+  // QoS keys only when off-default, so pre-revision-6 recorded specs and
+  // new default ones stay byte-identical.
+  if (spec.weight != 1) out += ",weight=" + std::to_string(spec.weight);
+  if (spec.rate > 0) out += ",rate=" + std::to_string(spec.rate);
+  if (spec.burst > 0) out += ",burst=" + std::to_string(spec.burst);
+  if (spec.cache_bytes != ResultCache::kDefaultMaxBytes) {
+    out += ",cache=" + std::to_string(spec.cache_bytes);
+  }
   if (!spec.worker_addrs.empty()) {
     out += ",workers=";
     for (std::size_t i = 0; i < spec.worker_addrs.size(); ++i) {
@@ -247,9 +309,10 @@ int main(int argc, char** argv) {
       "[--c2-host <ip>] [--c2-port <p>] [--threads N] [--max-in-flight M] "
       "[--queries N] [--shards S] [--shard-scheme contiguous|roundrobin] "
       "[--shard-workers host:port,...] [--clusters <file>] "
-      "[--no-short-randomizers] "
+      "[--no-short-randomizers] [--api-keys <file>] "
       "[--table name=db.bin[,manifest=f][,clusters=f][,public=pk]"
-      "[,c2-host=ip][,c2-port=p][,shards=s][,scheme=sch]]...";
+      "[,c2-host=ip][,c2-port=p][,shards=s][,scheme=sch]"
+      "[,weight=w][,rate=qps][,burst=b][,cache=bytes]]...";
   auto flag_list = ParseFlagList(argc, argv);
   std::map<std::string, std::string> flags;
   for (auto& [key, value] : flag_list) flags[key] = value;
@@ -360,11 +423,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
+    // QoS knobs land on the registry entry, where QueryService::Start reads
+    // them when building the fair-admission table and where the per-table
+    // cache lives.
+    TableRegistry::Entry* entry = registry.Find(spec.name);
+    entry->qos_weight = spec.weight;
+    entry->qos_rate = spec.rate;
+    entry->qos_burst = spec.burst;
+    entry->cache.set_budget(spec.cache_bytes, ResultCache::kDefaultMaxEntries);
   }
 
   QueryService::Options service_options;
   service_options.max_in_flight = max_in_flight;
   QueryService service(&registry, service_options);
+  if (flags.count("api-keys")) {
+    auto auth = ApiKeyAuth::LoadFromFile(flags.at("api-keys"));
+    if (!auth.ok()) {
+      std::fprintf(stderr, "--api-keys: %s\n",
+                   auth.status().ToString().c_str());
+      return 1;
+    }
+    service.set_api_key_auth(std::move(auth).value());
+  }
   // Hot reload: kReloadTable hands this loader the recorded (or an
   // admin-supplied) spec string; the fresh engine is built beside the live
   // one and swapped in by the registry.
@@ -402,7 +482,8 @@ int main(int argc, char** argv) {
     if (info.num_clusters > 0) {
       std::printf(" clusters=%u", info.num_clusters);
     }
-    std::printf("\n");
+    std::printf(" weight=%u cache=%zu\n",
+                entry->qos_weight, entry->cache.max_bytes());
   }
   std::fflush(stdout);
 

@@ -6,7 +6,15 @@
 //              [--table name] [--protocol secure] [--retries 5] \
 //              [--max-wait-ms 30000] [--deadline-ms D] [--stats] \
 //              [--index-mode exact|clustered] [--probe-clusters P] \
-//              [--server host:port,host:port,...]
+//              [--server host:port,host:port,...] \
+//              [--api-key KEY] [--no-cache]
+//
+// --api-key authenticates the session (kAuthenticate, revision 6) against
+// a front end started with --api-keys; without it such a front end rejects
+// every query with PermissionDenied. --no-cache asks the front end to
+// bypass its result cache for this query (a fresh protocol run, e.g. to
+// cross-check a cached answer); --stats prints whether the answer was a
+// cache hit.
 //
 // --index-mode clustered asks the front end for the table's approximate
 // clustered index (sknn_encrypt --clusters): one secure centroid-scoring
@@ -43,7 +51,8 @@ int main(int argc, char** argv) {
       "--query \"v1,v2,...\" --k <k> "
       "[--table name] [--protocol basic|secure|farthest] [--retries N] "
       "[--max-wait-ms M] [--deadline-ms D] [--stats] "
-      "[--index-mode exact|clustered] [--probe-clusters P]\n"
+      "[--index-mode exact|clustered] [--probe-clusters P] "
+      "[--api-key KEY] [--no-cache]\n"
       "  basic:    SkNN_b — fast; C2 learns distances + access patterns\n"
       "  secure:   SkNN_m — fully secure k nearest neighbors (default)\n"
       "  farthest: SkNN_m on complemented distances — k farthest neighbors\n"
@@ -71,6 +80,7 @@ int main(int argc, char** argv) {
   // trip per query; only pay it when --stats will print it.
   request.want_op_counts = flags.count("stats") > 0;
   request.want_breakdown = flags.count("stats") > 0;
+  request.no_cache = flags.count("no-cache") > 0;
   request.record = ParseRecord(RequireFlag(flags, "query", usage), usage);
   request.k = static_cast<unsigned>(ParseUint64OrDie(
       RequireFlag(flags, "k", usage), "k", usage, 1, 1u << 30));
@@ -116,6 +126,9 @@ int main(int argc, char** argv) {
                  client.status().ToString().c_str());
     return 1;
   }
+  if (flags.count("api-key")) {
+    (*client)->set_api_key(flags.at("api-key"));
+  }
 
   Result<QueryResponse> response = (*client)->QueryWithRetry(request, policy);
   if (!response.ok()) {
@@ -128,6 +141,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "deadline exceeded: %s\n",
                    response.status().ToString().c_str());
       return 4;
+    }
+    if (response.status().code() == StatusCode::kPermissionDenied) {
+      std::fprintf(stderr, "authentication rejected: %s\n",
+                   response.status().ToString().c_str());
+      return 5;
     }
     std::fprintf(stderr, "query failed: %s\n",
                  response.status().ToString().c_str());
@@ -148,6 +166,9 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   if (flags.count("stats")) {
+    std::printf("# cache %s  encrypted-results %zu\n",
+                response->cache_hit ? "hit" : "miss",
+                response->encrypted_records.size());
     std::printf("# bob %.6fs  cloud %.6fs  traffic %s  ops %s\n",
                 response->bob_seconds, response->cloud_seconds,
                 response->traffic.ToString().c_str(),
